@@ -1,0 +1,85 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation.
+// Each benchmark runs the corresponding experiment (shrunk sweeps, short
+// virtual windows — use cmd/draid-bench for full-fidelity runs) and reports
+// the headline dRAID metric so regressions in the reproduced shapes are
+// visible in benchmark output.
+//
+//	go test -bench=Fig10 .          # one figure
+//	go test -bench=. -benchmem .    # everything
+package draid_test
+
+import (
+	"testing"
+
+	"draid/internal/experiments"
+	"draid/internal/sim"
+)
+
+func benchOptions() experiments.Options {
+	return experiments.Options{
+		Quick:   true,
+		Ramp:    10 * sim.Millisecond,
+		Measure: 40 * sim.Millisecond,
+	}
+}
+
+// benchFigure runs one registered experiment per iteration and reports the
+// final point of the last (dRAID-side) series.
+func benchFigure(b *testing.B, id string) {
+	b.Helper()
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.RunFigure(id, o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := fig.Series[len(fig.Series)-1]
+		p := last.Points[len(last.Points)-1]
+		b.ReportMetric(p.BW, "MB/s")
+		b.ReportMetric(p.Lat, "us")
+	}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table1(benchOptions())
+		b.ReportMetric(rows[2].WriteOverhead, "write-overhead-x")
+		b.ReportMetric(rows[2].DReadOverhead, "dread-overhead-x")
+	}
+}
+
+func BenchmarkFig09(b *testing.B)  { benchFigure(b, "fig09") }
+func BenchmarkFig10(b *testing.B)  { benchFigure(b, "fig10") }
+func BenchmarkFig11(b *testing.B)  { benchFigure(b, "fig11") }
+func BenchmarkFig12(b *testing.B)  { benchFigure(b, "fig12") }
+func BenchmarkFig13(b *testing.B)  { benchFigure(b, "fig13") }
+func BenchmarkFig14a(b *testing.B) { benchFigure(b, "fig14a") }
+func BenchmarkFig14b(b *testing.B) { benchFigure(b, "fig14b") }
+func BenchmarkFig15(b *testing.B)  { benchFigure(b, "fig15") }
+func BenchmarkFig16(b *testing.B)  { benchFigure(b, "fig16") }
+func BenchmarkFig17a(b *testing.B) { benchFigure(b, "fig17a") }
+func BenchmarkFig17b(b *testing.B) { benchFigure(b, "fig17b") }
+func BenchmarkFig18(b *testing.B)  { benchFigure(b, "fig18") }
+func BenchmarkFig19a(b *testing.B) { benchFigure(b, "fig19a") }
+func BenchmarkFig19b(b *testing.B) { benchFigure(b, "fig19b") }
+func BenchmarkFig20(b *testing.B)  { benchFigure(b, "fig20") }
+func BenchmarkFig21(b *testing.B)  { benchFigure(b, "fig21") }
+
+// Appendix A: RAID-6.
+func BenchmarkFig22(b *testing.B)  { benchFigure(b, "fig22") }
+func BenchmarkFig23(b *testing.B)  { benchFigure(b, "fig23") }
+func BenchmarkFig24(b *testing.B)  { benchFigure(b, "fig24") }
+func BenchmarkFig25(b *testing.B)  { benchFigure(b, "fig25") }
+func BenchmarkFig26(b *testing.B)  { benchFigure(b, "fig26") }
+func BenchmarkFig27a(b *testing.B) { benchFigure(b, "fig27a") }
+func BenchmarkFig27b(b *testing.B) { benchFigure(b, "fig27b") }
+func BenchmarkFig28(b *testing.B)  { benchFigure(b, "fig28") }
+func BenchmarkFig29(b *testing.B)  { benchFigure(b, "fig29") }
+func BenchmarkFig30(b *testing.B)  { benchFigure(b, "fig30") }
+
+// Ablations on dRAID's design choices (DESIGN.md).
+func BenchmarkAblationPipeline(b *testing.B)   { benchFigure(b, "ablation-pipeline") }
+func BenchmarkAblationHostParity(b *testing.B) { benchFigure(b, "ablation-hostparity") }
+func BenchmarkAblationBarrier(b *testing.B)    { benchFigure(b, "ablation-barrier") }
+func BenchmarkAblationReducer(b *testing.B)    { benchFigure(b, "ablation-reducer") }
+func BenchmarkAblationColocate(b *testing.B)   { benchFigure(b, "ablation-colocate") }

@@ -1,0 +1,65 @@
+// Command draid-bench regenerates the paper's tables and figures on the
+// simulated testbed and prints the same rows/series the paper plots.
+//
+// Usage:
+//
+//	draid-bench -list
+//	draid-bench -fig table1
+//	draid-bench -fig fig10,fig12
+//	draid-bench -fig all -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"draid/internal/experiments"
+	"draid/internal/sim"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "", "experiment id(s), comma-separated, or 'all'")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		quick   = flag.Bool("quick", false, "shrink sweeps to endpoints (smoke run)")
+		ramp    = flag.Duration("ramp", 30*time.Millisecond, "virtual warm-up window per point")
+		measure = flag.Duration("measure", 100*time.Millisecond, "virtual measurement window per point")
+		seed    = flag.Int64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	if *fig == "" {
+		fmt.Fprintln(os.Stderr, "draid-bench: pass -fig <id>[,<id>...] or -list")
+		os.Exit(2)
+	}
+	opts := experiments.Options{
+		Quick:   *quick,
+		Ramp:    sim.Duration(*ramp),
+		Measure: sim.Duration(*measure),
+		Seed:    *seed,
+	}
+	ids := strings.Split(*fig, ",")
+	if *fig == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		start := time.Now()
+		out, err := experiments.Run(id, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "draid-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		fmt.Printf("  (%s regenerated in %.1fs wall clock)\n\n", id, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,84 @@
+// Command draid-fio runs an ad-hoc FIO-style workload against a chosen RAID
+// system on the simulated testbed.
+//
+// Examples:
+//
+//	draid-fio -system draid -targets 8 -iosize 131072 -ratio 0 -qd 12
+//	draid-fio -system spdk -targets 8 -fail 0 -ratio 1
+//	draid-fio -system linux -level 6 -targets 8 -iosize 4096
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"draid/internal/experiments"
+	"draid/internal/fio"
+	"draid/internal/raid"
+	"draid/internal/sim"
+)
+
+func main() {
+	var (
+		system  = flag.String("system", "draid", "draid | spdk | linux")
+		targets = flag.Int("targets", 8, "stripe width / storage servers")
+		level   = flag.Int("level", 5, "RAID level: 5 or 6")
+		chunk   = flag.Int64("chunk", 512<<10, "chunk size in bytes")
+		iosize  = flag.Int64("iosize", 128<<10, "I/O size in bytes")
+		ratio   = flag.Float64("ratio", 0, "read ratio in [0,1]")
+		qd      = flag.Int("qd", 12, "queue depth")
+		fail    = flag.String("fail", "", "comma-separated member indices to pre-fail")
+		ramp    = flag.Duration("ramp", 30*time.Millisecond, "virtual warm-up")
+		measure = flag.Duration("measure", 100*time.Millisecond, "virtual measurement window")
+		seed    = flag.Int64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	var sys experiments.System
+	switch strings.ToLower(*system) {
+	case "draid":
+		sys = experiments.DRAID
+	case "spdk":
+		sys = experiments.SPDK
+	case "linux":
+		sys = experiments.Linux
+	default:
+		fmt.Fprintf(os.Stderr, "draid-fio: unknown system %q\n", *system)
+		os.Exit(2)
+	}
+	lvl := raid.Raid5
+	if *level == 6 {
+		lvl = raid.Raid6
+	}
+	var failed []int
+	if *fail != "" {
+		for _, part := range strings.Split(*fail, ",") {
+			m, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "draid-fio: bad -fail entry %q\n", part)
+				os.Exit(2)
+			}
+			failed = append(failed, m)
+		}
+	}
+	dev, cl := experiments.Build(experiments.Setup{
+		System: sys, Targets: *targets, Level: lvl, ChunkSize: *chunk,
+		FailedMembers: failed, Seed: *seed,
+	})
+	res := fio.Run(fio.Job{
+		Name: string(sys), Dev: dev, Eng: cl.Eng,
+		IOSize: *iosize, ReadRatio: *ratio, QueueDepth: *qd,
+		Ramp: sim.Duration(*ramp), Measure: sim.Duration(*measure), Seed: *seed,
+	})
+	fmt.Println(res.String())
+	out, in := cl.TotalHostBytes()
+	user := res.ReadBytes + res.WriteBytes
+	if user > 0 {
+		fmt.Printf("host NIC traffic: out=%.2fx in=%.2fx of user bytes\n",
+			float64(out)/float64(user), float64(in)/float64(user))
+	}
+}

@@ -1,0 +1,61 @@
+// Command draid-report runs the machine-checkable encoding of the paper's
+// claims against freshly regenerated figures and prints a PASS/FAIL report —
+// the artifact-evaluation view of this reproduction.
+//
+// Usage:
+//
+//	draid-report              # full run (a few minutes)
+//	draid-report -measure 50ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"draid/internal/experiments"
+	"draid/internal/sim"
+)
+
+func main() {
+	var (
+		ramp    = flag.Duration("ramp", 30*time.Millisecond, "virtual warm-up window per point")
+		measure = flag.Duration("measure", 100*time.Millisecond, "virtual measurement window per point")
+		seed    = flag.Int64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+	o := experiments.Options{
+		Ramp:    sim.Duration(*ramp),
+		Measure: sim.Duration(*measure),
+		Seed:    *seed,
+	}
+
+	figs := map[string]experiments.Figure{}
+	pass, fail := 0, 0
+	start := time.Now()
+	for _, e := range experiments.Expectations() {
+		fig, ok := figs[e.FigureID]
+		if !ok {
+			var err error
+			fig, err = experiments.RunFigure(e.FigureID, o)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "draid-report: %v\n", err)
+				os.Exit(1)
+			}
+			figs[e.FigureID] = fig
+		}
+		if err := e.Check(fig); err != nil {
+			fail++
+			fmt.Printf("FAIL  %-9s %s\n      %v\n", e.FigureID, e.Claim, err)
+		} else {
+			pass++
+			fmt.Printf("pass  %-9s %s\n", e.FigureID, e.Claim)
+		}
+	}
+	fmt.Printf("\n%d/%d paper claims reproduced (%.0fs wall clock)\n",
+		pass, pass+fail, time.Since(start).Seconds())
+	if fail > 0 {
+		os.Exit(1)
+	}
+}

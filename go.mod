@@ -1,0 +1,3 @@
+module draid
+
+go 1.23

@@ -1,0 +1,196 @@
+package baseline_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"draid/internal/baseline"
+	"draid/internal/parity"
+	"draid/internal/raid"
+)
+
+func TestSizeAndFailedMembers(t *testing.T) {
+	cl, h := testHost(t, 5, raid.Raid5, baseline.SPDKStyle())
+	_ = cl
+	want := (int64(64<<20) / chunkSize) * 4 * chunkSize
+	if h.Size() != want {
+		t.Fatalf("size = %d, want %d", h.Size(), want)
+	}
+	h.SetFailed(3, true)
+	h.SetFailed(1, true)
+	if got := h.FailedMembers(); len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("failed = %v", got)
+	}
+	h.SetFailed(3, false)
+	if got := h.FailedMembers(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("failed after restore = %v", got)
+	}
+}
+
+func TestReadRetryAfterSilentFailure(t *testing.T) {
+	cl, h := testHost(t, 5, raid.Raid5, baseline.SPDKStyle())
+	data := randBytes(20, 16<<10)
+	mustWrite(t, cl, h, 0, data)
+	m := h.Geometry().DataDrive(0, 0)
+	cl.FailTarget(m) // host not told
+	got := mustRead(t, cl, h, 0, int64(len(data)))
+	if !bytes.Equal(got, data) {
+		t.Fatal("read retry mismatch")
+	}
+	if h.Stats().Retries == 0 || h.Stats().Timeouts == 0 {
+		t.Fatalf("stats = %+v", h.Stats())
+	}
+}
+
+// plainWrites: RAID-5 with its parity member dead degenerates to bare data
+// writes.
+func TestPlainWritesWhenNoParitySurvives(t *testing.T) {
+	cl, h := testHost(t, 5, raid.Raid5, baseline.SPDKStyle())
+	seed := randBytes(21, 4*chunkSize)
+	mustWrite(t, cl, h, 0, seed)
+	p := h.Geometry().PDrive(0)
+	cl.FailTarget(p)
+	h.SetFailed(p, true)
+	newData := randBytes(22, 8<<10)
+	mustWrite(t, cl, h, 0, newData)
+	if got := mustRead(t, cl, h, 0, 8<<10); !bytes.Equal(got, newData) {
+		t.Fatal("plain write round-trip mismatch")
+	}
+}
+
+// gatherAll: a multi-chunk write partially covering a failed chunk needs
+// host-side reconstruction of the lost old content.
+func TestGatherAllPartialCoverageOfFailedChunk(t *testing.T) {
+	cl, h := testHost(t, 5, raid.Raid5, baseline.SPDKStyle())
+	seed := randBytes(23, 4*chunkSize)
+	mustWrite(t, cl, h, 0, seed)
+	m := h.Geometry().DataDrive(0, 1)
+	cl.FailTarget(m)
+	h.SetFailed(m, true)
+
+	off := int64(chunkSize / 2)
+	data := randBytes(24, chunkSize) // half of chunk 0 + half of chunk 1 (failed)
+	mustWrite(t, cl, h, off, data)
+	if got := mustRead(t, cl, h, off, int64(len(data))); !bytes.Equal(got, data) {
+		t.Fatal("gatherAll round-trip mismatch")
+	}
+	// Untouched tail of the failed chunk preserved through reconstruction.
+	tail := mustRead(t, cl, h, chunkSize+chunkSize/2, chunkSize/2)
+	if !bytes.Equal(tail, seed[chunkSize+chunkSize/2:2*chunkSize]) {
+		t.Fatal("gatherAll corrupted untouched range")
+	}
+}
+
+// Q-based solves at the host: RAID-6 degraded reads with P also lost, and
+// with two data members lost.
+func TestRaid6HostSolves(t *testing.T) {
+	cl, h := testHost(t, 6, raid.Raid6, baseline.SPDKStyle())
+	data := randBytes(25, 4*chunkSize)
+	mustWrite(t, cl, h, 0, data)
+	g := h.Geometry()
+
+	// Data + P lost.
+	m := g.DataDrive(0, 1)
+	cl.FailTarget(m)
+	h.SetFailed(m, true)
+	p := g.PDrive(0)
+	cl.FailTarget(p)
+	h.SetFailed(p, true)
+	got := mustRead(t, cl, h, chunkSize, chunkSize)
+	if !bytes.Equal(got, data[chunkSize:2*chunkSize]) {
+		t.Fatal("data+P recovery via Q mismatch")
+	}
+}
+
+func TestRaid6TwoDataLostHostSolve(t *testing.T) {
+	cl, h := testHost(t, 6, raid.Raid6, baseline.SPDKStyle())
+	data := randBytes(26, 4*chunkSize)
+	mustWrite(t, cl, h, 0, data)
+	g := h.Geometry()
+	for _, c := range []int{0, 2} {
+		m := g.DataDrive(0, c)
+		cl.FailTarget(m)
+		h.SetFailed(m, true)
+	}
+	for _, c := range []int{0, 2} {
+		got := mustRead(t, cl, h, int64(c)*chunkSize, chunkSize)
+		if !bytes.Equal(got, data[int64(c)*chunkSize:int64(c+1)*chunkSize]) {
+			t.Fatalf("two-data-lost recovery mismatch for chunk %d", c)
+		}
+	}
+}
+
+func TestTooManyFailuresReadFails(t *testing.T) {
+	cl, h := testHost(t, 5, raid.Raid5, baseline.SPDKStyle())
+	mustWrite(t, cl, h, 0, randBytes(27, 4*chunkSize))
+	g := h.Geometry()
+	for _, c := range []int{0, 1} {
+		m := g.DataDrive(0, c)
+		cl.FailTarget(m)
+		h.SetFailed(m, true)
+	}
+	err := errors.New("pending")
+	h.Read(0, chunkSize, func(_ parity.Buffer, e error) { err = e })
+	cl.Eng.Run()
+	if err == nil {
+		t.Fatal("RAID-5 double failure read should error")
+	}
+}
+
+// SingleMachine degraded write path and Size.
+func TestSingleMachineDegradedWriteAndSize(t *testing.T) {
+	eng, sm := newSingleMachine(t)
+	if sm.Size() <= 0 {
+		t.Fatal("size")
+	}
+	seed := randBytes(28, 4*64<<10)
+	errp := errors.New("pending")
+	sm.Write(0, parity.FromBytes(seed), func(e error) { errp = e })
+	eng.Run()
+	if errp != nil {
+		t.Fatal(errp)
+	}
+	// Out-of-range checks.
+	var oErr error
+	sm.Read(sm.Size(), 4, func(_ parity.Buffer, e error) { oErr = e })
+	eng.Run()
+	if oErr == nil {
+		t.Fatal("out-of-range read accepted")
+	}
+	sm.Write(-1, parity.Sized(4), func(e error) { oErr = e })
+	eng.Run()
+	if oErr == nil {
+		t.Fatal("out-of-range write accepted")
+	}
+}
+
+func TestSingleMachineReconstructLocal(t *testing.T) {
+	eng, sm := newSingleMachine(t)
+	seed := randBytes(29, 4*64<<10) // full stripe at 64 KB chunks, width 5
+	errp := errors.New("pending")
+	sm.Write(0, parity.FromBytes(seed), func(e error) { errp = e })
+	eng.Run()
+	if errp != nil {
+		t.Fatal(errp)
+	}
+	// Fail the member holding chunk 0 and read it back (local XOR).
+	g := raid.Geometry{Level: raid.Raid5, Width: 5, ChunkSize: chunkSize}
+	sm.SetFailed(g.DataDrive(0, 0), true)
+	var got []byte
+	sm.Read(0, chunkSize, func(b parity.Buffer, e error) { errp, got = e, b.Data() })
+	eng.Run()
+	if errp != nil || !bytes.Equal(got, seed[:chunkSize]) {
+		t.Fatalf("local reconstruction mismatch err=%v", errp)
+	}
+}
+
+func TestLinuxGfCostUsesCopyRate(t *testing.T) {
+	cl, h := testHost(t, 6, raid.Raid6, baseline.LinuxStyle())
+	data := randBytes(30, 2*chunkSize)
+	mustWrite(t, cl, h, 0, data)
+	if got := mustRead(t, cl, h, 0, int64(len(data))); !bytes.Equal(got, data) {
+		t.Fatal("linux RAID-6 round-trip mismatch")
+	}
+	verifyParity(t, cl, h, 0)
+}

@@ -1,0 +1,377 @@
+package baseline_test
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"draid/internal/baseline"
+	"draid/internal/cluster"
+	"draid/internal/core"
+	"draid/internal/cpu"
+	"draid/internal/gf256"
+	"draid/internal/parity"
+	"draid/internal/raid"
+	"draid/internal/sim"
+	"draid/internal/simnet"
+	"draid/internal/ssd"
+)
+
+const chunkSize = 64 << 10
+
+func testHost(t *testing.T, targets int, level raid.Level, style baseline.Style) (*cluster.Cluster, *baseline.Host) {
+	t.Helper()
+	spec := cluster.DefaultSpec()
+	spec.Targets = targets
+	drv := ssd.DefaultSpec()
+	drv.Capacity = 64 << 20
+	spec.Drive = &drv
+	cl := cluster.New(spec)
+	h := baseline.NewHost(cl.Eng, cl.Fabric, cl.DriveCapacity(), baseline.Config{
+		Geometry: raid.Geometry{Level: level, Width: targets, ChunkSize: chunkSize},
+		Costs:    cl.Costs,
+		Style:    style,
+		Deadline: 50 * sim.Millisecond,
+	})
+	return cl, h
+}
+
+func mustWrite(t *testing.T, cl *cluster.Cluster, h *baseline.Host, off int64, data []byte) {
+	t.Helper()
+	err := errors.New("pending")
+	h.Write(off, parity.FromBytes(data), func(e error) { err = e })
+	cl.Eng.Run()
+	if err != nil {
+		t.Fatalf("write: %v", err)
+	}
+}
+
+func mustRead(t *testing.T, cl *cluster.Cluster, h *baseline.Host, off, n int64) []byte {
+	t.Helper()
+	err := errors.New("pending")
+	var out []byte
+	h.Read(off, n, func(b parity.Buffer, e error) { err, out = e, b.Data() })
+	cl.Eng.Run()
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	return out
+}
+
+func randBytes(seed int64, n int) []byte {
+	b := make([]byte, n)
+	rand.New(rand.NewSource(seed)).Read(b)
+	return b
+}
+
+func verifyParity(t *testing.T, cl *cluster.Cluster, h *baseline.Host, stripe int64) {
+	t.Helper()
+	g := h.Geometry()
+	base := g.DriveOffset(stripe)
+	data := make([][]byte, g.DataChunks())
+	for c := 0; c < g.DataChunks(); c++ {
+		data[c] = cl.Drives[g.DataDrive(stripe, c)].PeekSync(base, g.ChunkSize)
+	}
+	wantP := make([]byte, g.ChunkSize)
+	wantQ := make([]byte, g.ChunkSize)
+	gf256.SyndromePQ(wantP, wantQ, data)
+	if !bytes.Equal(cl.Drives[g.PDrive(stripe)].PeekSync(base, g.ChunkSize), wantP) {
+		t.Fatalf("stripe %d: P inconsistent", stripe)
+	}
+	if g.Level == raid.Raid6 {
+		if !bytes.Equal(cl.Drives[g.QDrive(stripe)].PeekSync(base, g.ChunkSize), wantQ) {
+			t.Fatalf("stripe %d: Q inconsistent", stripe)
+		}
+	}
+}
+
+func stylesUnderTest() map[string]baseline.Style {
+	return map[string]baseline.Style{
+		"spdk":  baseline.SPDKStyle(),
+		"linux": baseline.LinuxStyle(),
+	}
+}
+
+func TestRoundTripAllModes(t *testing.T) {
+	for name, style := range stylesUnderTest() {
+		t.Run(name, func(t *testing.T) {
+			cl, h := testHost(t, 8, raid.Raid5, style) // k=7
+			cases := []struct {
+				off  int64
+				size int
+			}{
+				{4 << 10, 8 << 10},             // RMW single chunk
+				{0, 3 * chunkSize},             // RCW
+				{0, 7 * chunkSize},             // full stripe
+				{2*chunkSize + 100, 2 << 10},   // unaligned RMW
+				{6 * chunkSize, 2 * chunkSize}, // cross-stripe
+			}
+			for i, tc := range cases {
+				data := randBytes(int64(100+i), tc.size)
+				mustWrite(t, cl, h, tc.off, data)
+				if got := mustRead(t, cl, h, tc.off, int64(tc.size)); !bytes.Equal(got, data) {
+					t.Fatalf("case %d: round-trip mismatch", i)
+				}
+			}
+			verifyParity(t, cl, h, 0)
+			verifyParity(t, cl, h, 1)
+			st := h.Stats()
+			if st.RMWWrites == 0 || st.RCWWrites == 0 || st.FullStripeWrites == 0 {
+				t.Fatalf("stats = %+v, expected all modes exercised", st)
+			}
+		})
+	}
+}
+
+func TestRaid6RoundTripAndParity(t *testing.T) {
+	cl, h := testHost(t, 6, raid.Raid6, baseline.SPDKStyle())
+	data := randBytes(1, 2*chunkSize)
+	mustWrite(t, cl, h, 0, data)
+	if got := mustRead(t, cl, h, 0, int64(len(data))); !bytes.Equal(got, data) {
+		t.Fatal("round-trip mismatch")
+	}
+	verifyParity(t, cl, h, 0)
+}
+
+func TestDegradedReadHostSide(t *testing.T) {
+	cl, h := testHost(t, 5, raid.Raid5, baseline.SPDKStyle())
+	data := randBytes(2, 16<<10)
+	mustWrite(t, cl, h, 0, data)
+	m := h.Geometry().DataDrive(0, 0)
+	cl.FailTarget(m)
+	h.SetFailed(m, true)
+	cl.ResetTraffic()
+	got := mustRead(t, cl, h, 0, int64(len(data)))
+	if !bytes.Equal(got, data) {
+		t.Fatal("degraded read mismatch")
+	}
+	// Host-centric reconstruction drags (n-1)× the data across the host
+	// NIC inbound — the Table 1 D-Read overhead.
+	_, in := cl.TotalHostBytes()
+	ratio := float64(in) / float64(len(data))
+	if ratio < 3.5 {
+		t.Fatalf("host inbound = %.2f× requested, expected ~(n-1)× amplification", ratio)
+	}
+}
+
+func TestDegradedWriteUntouchedFailed(t *testing.T) {
+	cl, h := testHost(t, 5, raid.Raid5, baseline.SPDKStyle())
+	seed := randBytes(3, 4*chunkSize)
+	mustWrite(t, cl, h, 0, seed)
+	m := h.Geometry().DataDrive(0, 2)
+	cl.FailTarget(m)
+	h.SetFailed(m, true)
+	newData := randBytes(4, chunkSize)
+	mustWrite(t, cl, h, 0, newData)
+	if got := mustRead(t, cl, h, 2*chunkSize, chunkSize); !bytes.Equal(got, seed[2*chunkSize:3*chunkSize]) {
+		t.Fatal("failed chunk no longer reconstructable after degraded RMW")
+	}
+}
+
+func TestDegradedWriteTouchedFailed(t *testing.T) {
+	cl, h := testHost(t, 5, raid.Raid5, baseline.SPDKStyle())
+	seed := randBytes(5, 4*chunkSize)
+	mustWrite(t, cl, h, 0, seed)
+	m := h.Geometry().DataDrive(0, 1)
+	cl.FailTarget(m)
+	h.SetFailed(m, true)
+	newData := randBytes(6, chunkSize)
+	mustWrite(t, cl, h, chunkSize, newData)
+	if got := mustRead(t, cl, h, chunkSize, chunkSize); !bytes.Equal(got, newData) {
+		t.Fatal("write to failed chunk not absorbed by parity")
+	}
+}
+
+func TestTimeoutRetryMarksFailed(t *testing.T) {
+	cl, h := testHost(t, 5, raid.Raid5, baseline.SPDKStyle())
+	seed := randBytes(7, 4*chunkSize)
+	mustWrite(t, cl, h, 0, seed)
+	m := h.Geometry().DataDrive(0, 0)
+	cl.FailTarget(m) // silent failure
+	newData := randBytes(8, chunkSize)
+	err := errors.New("pending")
+	h.Write(0, parity.FromBytes(newData), func(e error) { err = e })
+	cl.Eng.Run()
+	if err != nil {
+		t.Fatalf("write after silent failure: %v", err)
+	}
+	if h.Stats().Timeouts == 0 || h.Stats().Retries == 0 {
+		t.Fatalf("stats = %+v", h.Stats())
+	}
+	if got := mustRead(t, cl, h, 0, chunkSize); !bytes.Equal(got, newData) {
+		t.Fatal("post-retry read mismatch")
+	}
+}
+
+// SPDK-style RMW writes must cost ~2× host outbound (data + parity), the
+// bandwidth ceiling the paper identifies.
+func TestSPDKWriteTrafficIsTwox(t *testing.T) {
+	cl, h := testHost(t, 8, raid.Raid5, baseline.SPDKStyle())
+	warm := randBytes(9, 128<<10)
+	mustWrite(t, cl, h, 0, warm)
+	cl.ResetTraffic()
+	// One full chunk: the classic RMW — write data + write parity of equal
+	// size (a two-chunk write would share one parity union and land at
+	// 1.5×, which TestSPDKMultiChunkRMWTraffic covers).
+	const userBytes = chunkSize
+	mustWrite(t, cl, h, 4*chunkSize, randBytes(10, userBytes))
+	out, in := cl.TotalHostBytes()
+	outRatio := float64(out) / userBytes
+	inRatio := float64(in) / userBytes
+	if outRatio < 1.8 || outRatio > 2.3 {
+		t.Fatalf("host outbound = %.2f× user bytes, want ~2×", outRatio)
+	}
+	if inRatio < 1.8 || inRatio > 2.3 {
+		t.Fatalf("host inbound = %.2f× user bytes, want ~2× (pre-reads)", inRatio)
+	}
+}
+
+// A two-chunk RMW shares one parity union, so amplification is 1.5×.
+func TestSPDKMultiChunkRMWTraffic(t *testing.T) {
+	cl, h := testHost(t, 8, raid.Raid5, baseline.SPDKStyle())
+	mustWrite(t, cl, h, 0, randBytes(16, 128<<10))
+	cl.ResetTraffic()
+	const userBytes = 2 * chunkSize
+	mustWrite(t, cl, h, 4*chunkSize, randBytes(17, userBytes))
+	out, _ := cl.TotalHostBytes()
+	if ratio := float64(out) / userBytes; ratio < 1.4 || ratio > 1.7 {
+		t.Fatalf("host outbound = %.2f× user bytes, want ~1.5×", ratio)
+	}
+}
+
+func TestStripeLockSerializesSPDKReads(t *testing.T) {
+	cl, h := testHost(t, 5, raid.Raid5, baseline.SPDKStyle())
+	data := randBytes(11, 32<<10)
+	mustWrite(t, cl, h, 0, data)
+	done := 0
+	for i := 0; i < 4; i++ {
+		h.Read(0, 8<<10, func(b parity.Buffer, err error) {
+			if err != nil {
+				t.Errorf("read: %v", err)
+			}
+			done++
+		})
+	}
+	cl.Eng.Run()
+	if done != 4 {
+		t.Fatalf("done = %d", done)
+	}
+	if h.Stats().StripeLockConflict != 3 {
+		t.Fatalf("lock conflicts = %d, want 3", h.Stats().StripeLockConflict)
+	}
+}
+
+func TestLinuxReadsAreLockFree(t *testing.T) {
+	cl, h := testHost(t, 5, raid.Raid5, baseline.LinuxStyle())
+	mustWrite(t, cl, h, 0, randBytes(12, 16<<10))
+	for i := 0; i < 4; i++ {
+		h.Read(0, 8<<10, func(parity.Buffer, error) {})
+	}
+	cl.Eng.Run()
+	if h.Stats().StripeLockConflict != 0 {
+		t.Fatalf("lock conflicts = %d, want 0", h.Stats().StripeLockConflict)
+	}
+}
+
+// Linux's single raid5d worker should make its writes measurably slower
+// than SPDK's multi-core handling under concurrency.
+func TestLinuxWritesSlowerThanSPDK(t *testing.T) {
+	elapsed := func(style baseline.Style) sim.Time {
+		cl, h := testHost(t, 8, raid.Raid5, style)
+		pending := 0
+		for i := 0; i < 32; i++ {
+			pending++
+			off := int64(i) * 7 * chunkSize // one write per stripe
+			h.Write(off, parity.FromBytes(randBytes(int64(i), 16<<10)), func(err error) {
+				if err != nil {
+					t.Errorf("write: %v", err)
+				}
+				pending--
+			})
+		}
+		end := cl.Eng.Run()
+		if pending != 0 {
+			t.Fatal("writes did not drain")
+		}
+		return end
+	}
+	spdk := elapsed(baseline.SPDKStyle())
+	linux := elapsed(baseline.LinuxStyle())
+	if linux <= spdk {
+		t.Fatalf("linux (%v) should be slower than spdk (%v)", linux, spdk)
+	}
+}
+
+// --- SingleMachine -----------------------------------------------------------
+
+func newSingleMachine(t *testing.T) (*sim.Engine, *baseline.SingleMachine) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	net := simnet.New(eng, simnet.DefaultConfig())
+	drv := ssd.DefaultSpec()
+	drv.Capacity = 64 << 20
+	geo := raid.Geometry{Level: raid.Raid5, Width: 5, ChunkSize: chunkSize}
+	return eng, baseline.NewSingleMachine(eng, net, geo, drv, cpu.DefaultCosts(), 100)
+}
+
+func TestSingleMachineRoundTrip(t *testing.T) {
+	eng, sm := newSingleMachine(t)
+	data := randBytes(13, 100<<10)
+	err := errors.New("pending")
+	sm.Write(8<<10, parity.FromBytes(data), func(e error) { err = e })
+	eng.Run()
+	if err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	var got []byte
+	sm.Read(8<<10, int64(len(data)), func(b parity.Buffer, e error) { err, got = e, b.Data() })
+	eng.Run()
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("read err=%v match=%v", err, bytes.Equal(got, data))
+	}
+}
+
+func TestSingleMachineDegradedReadOnexTraffic(t *testing.T) {
+	eng, sm := newSingleMachine(t)
+	data := randBytes(14, 64<<10)
+	errp := errors.New("pending")
+	sm.Write(0, parity.FromBytes(data), func(e error) { errp = e })
+	eng.Run()
+	if errp != nil {
+		t.Fatal(errp)
+	}
+	sm.SetFailed(4, true) // whichever member; reads of its chunks reconstruct locally
+	sm.Client().ResetCounters()
+	var got []byte
+	sm.Read(0, int64(len(data)), func(b parity.Buffer, e error) { errp, got = e, b.Data() })
+	eng.Run()
+	if errp != nil || !bytes.Equal(got, data) {
+		t.Fatalf("degraded read err=%v", errp)
+	}
+	in := sm.Client().BytesIn()
+	if ratio := float64(in) / float64(len(data)); ratio > 1.1 {
+		t.Fatalf("client inbound = %.2f×, want ~1× (reconstruction stays in the box)", ratio)
+	}
+}
+
+func TestSingleMachineWriteOnexTraffic(t *testing.T) {
+	eng, sm := newSingleMachine(t)
+	data := randBytes(15, 64<<10)
+	errp := errors.New("pending")
+	sm.Client().ResetCounters()
+	sm.Write(0, parity.FromBytes(data), func(e error) { errp = e })
+	eng.Run()
+	if errp != nil {
+		t.Fatal(errp)
+	}
+	out := sm.Client().BytesOut()
+	if ratio := float64(out) / float64(len(data)); ratio > 1.1 {
+		t.Fatalf("client outbound = %.2f×, want ~1×", ratio)
+	}
+	if sm.Describe() == "" {
+		t.Fatal("empty description")
+	}
+}
+
+var _ = core.HostID // keep import for potential fabric assertions

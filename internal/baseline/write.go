@@ -1,0 +1,439 @@
+package baseline
+
+import (
+	"draid/internal/blockdev"
+	"draid/internal/nvmeof"
+	"draid/internal/parity"
+	"draid/internal/raid"
+	"draid/internal/sim"
+)
+
+// Write implements blockdev.Device. All parity work happens on the host:
+// pre-reads pull old data/parity across the host NIC, the worker computes,
+// and the new data plus parity are written back — the 2× (RAID-5) / 3×
+// (RAID-6) outbound amplification that motivates dRAID.
+func (h *Host) Write(off int64, data parity.Buffer, cb func(error)) {
+	n := int64(data.Len())
+	if err := blockdev.CheckRange(off, n, h.size); err != nil {
+		h.eng.Defer(func() { cb(err) })
+		return
+	}
+	h.stats.Writes++
+	h.stats.UserBytesWritten += n
+	if n == 0 {
+		h.eng.Defer(func() { cb(nil) })
+		return
+	}
+	byStripe := raid.StripeExtents(h.geo.Split(off, n))
+	pending := len(byStripe)
+	var firstErr error
+	for stripe, group := range byStripe {
+		stripe, group := stripe, group
+		h.acquire(stripe, func() {
+			h.stripeWrite(stripe, group, data, false, func(err error) {
+				h.release(stripe)
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				pending--
+				if pending == 0 {
+					cb(firstErr)
+				}
+			})
+		})
+	}
+}
+
+func (h *Host) stripeWrite(stripe int64, exts []raid.Extent, data parity.Buffer, isRetry bool, done func(error)) {
+	pAlive := !h.failed[h.geo.PDrive(stripe)]
+	qAlive := h.geo.Level == raid.Raid6 && !h.failed[h.geo.QDrive(stripe)]
+
+	var touchedFailed []raid.Extent
+	failedUntouched := false
+	touched := make(map[int]raid.Extent)
+	for _, e := range exts {
+		touched[e.Chunk] = e
+		if h.failed[h.geo.DataDrive(stripe, e.Chunk)] {
+			touchedFailed = append(touchedFailed, e)
+		}
+	}
+	for c := 0; c < h.geo.DataChunks(); c++ {
+		if _, ok := touched[c]; !ok && h.failed[h.geo.DataDrive(stripe, c)] {
+			failedUntouched = true
+		}
+	}
+
+	onTimeout := func(missing []int) {
+		if isRetry || len(missing) == 0 {
+			done(blockdev.ErrTimeout)
+			return
+		}
+		h.stats.Retries++
+		for _, m := range missing {
+			h.SetFailed(m, true)
+		}
+		h.stripeWrite(stripe, exts, data, true, done)
+	}
+
+	mode := h.geo.DecideWriteMode(exts)
+	uLo, uHi := unionRange(exts)
+
+	switch {
+	case mode == raid.ModeFull:
+		h.stats.FullStripeWrites++
+		h.fullStripe(stripe, exts, data, pAlive, qAlive, onTimeout, done)
+	case !pAlive && !qAlive:
+		h.plainWrites(stripe, exts, data, onTimeout, done)
+	case len(touchedFailed) == 0 && !failedUntouched && mode == raid.ModeRCW:
+		h.stats.RCWWrites++
+		h.gatherRCW(stripe, exts, data, uLo, uHi, pAlive, qAlive, onTimeout, done)
+	case len(touchedFailed) == 0:
+		// Healthy-touched RMW, also forced when a failed chunk is untouched.
+		h.stats.RMWWrites++
+		h.gatherRMW(stripe, exts, data, uLo, uHi, pAlive, qAlive, onTimeout, done)
+	case len(touchedFailed) == 1 && !failedUntouched &&
+		touchedFailed[0].Off == uLo && touchedFailed[0].Off+touchedFailed[0].Len == uHi:
+		h.stats.RCWWrites++
+		h.gatherRCW(stripe, exts, data, uLo, uHi, pAlive, qAlive, onTimeout, done)
+	default:
+		h.gatherAll(stripe, exts, data, uLo, uHi, pAlive, qAlive, onTimeout, done)
+	}
+}
+
+func unionRange(exts []raid.Extent) (lo, hi int64) {
+	lo, hi = exts[0].Off, exts[0].Off+exts[0].Len
+	for _, e := range exts[1:] {
+		if e.Off < lo {
+			lo = e.Off
+		}
+		if e.Off+e.Len > hi {
+			hi = e.Off + e.Len
+		}
+	}
+	return lo, hi
+}
+
+type readReq struct {
+	member   int
+	off, len int64
+}
+
+type writeReq struct {
+	member int
+	off    int64
+	buf    parity.Buffer
+}
+
+// gather issues pre-reads, then runs compute on the worker, then writes.
+func (h *Host) gather(reads []readReq, work func(map[int]parity.Buffer) ([]writeReq, int), onTimeout func([]int), done func(error)) {
+	got := make(map[int]parity.Buffer, len(reads))
+	doWrites := func() {
+		writes, cost := work(got)
+		h.worker(h.stripeOverhead()+h.workCost(cost), func() {
+			if len(writes) == 0 {
+				done(nil)
+				return
+			}
+			watch := make([]int, 0, len(writes))
+			for _, w := range writes {
+				watch = append(watch, w.member)
+			}
+			wo := h.newOp(len(writes), watch, func() { done(nil) }, onTimeout)
+			for _, w := range writes {
+				h.send(wo, w.member, nvmeof.Command{
+					Opcode: nvmeof.OpWrite, Offset: w.off, Length: int64(w.buf.Len()),
+				}, w.buf)
+			}
+		})
+	}
+	if len(reads) == 0 {
+		h.eng.Defer(doWrites)
+		return
+	}
+	watch := make([]int, 0, len(reads))
+	for _, r := range reads {
+		watch = append(watch, r.member)
+	}
+	ro := h.newOp(len(reads), watch, doWrites, onTimeout)
+	ro.onPayload = func(from int, _, _ int64, b parity.Buffer) { got[from] = b }
+	if !h.cfg.Style.SerialWriteReads {
+		for _, r := range reads {
+			h.send(ro, r.member, nvmeof.Command{Opcode: nvmeof.OpRead, Offset: r.off, Length: r.len}, parity.Buffer{})
+		}
+		return
+	}
+	// Serial pre-reads: walk the read states one at a time, as the POC's
+	// stripe state machine does.
+	idx := 0
+	var next func()
+	orig := ro.onPayload
+	ro.onPayload = func(from int, a, b2 int64, b parity.Buffer) {
+		orig(from, a, b2, b)
+		if idx < len(reads) && !ro.done {
+			next()
+		}
+	}
+	next = func() {
+		r := reads[idx]
+		idx++
+		h.send(ro, r.member, nvmeof.Command{Opcode: nvmeof.OpRead, Offset: r.off, Length: r.len}, parity.Buffer{})
+	}
+	next()
+}
+
+// workCost converts a byte count of parity work to worker time.
+func (h *Host) workCost(bytes int) sim.Duration { return h.xorCost(bytes) }
+
+// fullStripe computes parity straight from the user data.
+func (h *Host) fullStripe(stripe int64, exts []raid.Extent, data parity.Buffer, pAlive, qAlive bool, onTimeout func([]int), done func(error)) {
+	k := h.geo.DataChunks()
+	cs := h.geo.ChunkSize
+	base := h.geo.DriveOffset(stripe)
+	chunks := make([]parity.Buffer, k)
+	for _, e := range exts {
+		chunks[e.Chunk] = data.Slice(int(e.VOff), int(cs))
+	}
+	work := func(map[int]parity.Buffer) ([]writeReq, int) {
+		var writes []writeReq
+		for c := 0; c < k; c++ {
+			m := h.geo.DataDrive(stripe, c)
+			if !h.failed[m] {
+				writes = append(writes, writeReq{member: m, off: base, buf: chunks[c]})
+			}
+		}
+		cost := 0
+		if pAlive {
+			writes = append(writes, writeReq{member: h.geo.PDrive(stripe), off: base, buf: parity.ComputeP(chunks)})
+			cost += int(cs) * k
+		}
+		if qAlive {
+			writes = append(writes, writeReq{member: h.geo.QDrive(stripe), off: base, buf: parity.ComputeQ(chunks, nil)})
+			cost += int(cs) * k
+		}
+		return writes, cost
+	}
+	h.gather(nil, work, onTimeout, done)
+}
+
+// plainWrites updates data with no surviving parity to maintain.
+func (h *Host) plainWrites(stripe int64, exts []raid.Extent, data parity.Buffer, onTimeout func([]int), done func(error)) {
+	base := h.geo.DriveOffset(stripe)
+	work := func(map[int]parity.Buffer) ([]writeReq, int) {
+		var writes []writeReq
+		for _, e := range exts {
+			m := h.geo.DataDrive(stripe, e.Chunk)
+			if h.failed[m] {
+				continue
+			}
+			writes = append(writes, writeReq{member: m, off: base + e.Off, buf: data.Slice(int(e.VOff), int(e.Len))})
+		}
+		return writes, 0
+	}
+	h.gather(nil, work, onTimeout, done)
+}
+
+// gatherRMW: read old data under each written range plus old parity over
+// the union; apply deltas; write back.
+func (h *Host) gatherRMW(stripe int64, exts []raid.Extent, data parity.Buffer, uLo, uHi int64, pAlive, qAlive bool, onTimeout func([]int), done func(error)) {
+	base := h.geo.DriveOffset(stripe)
+	uLen := uHi - uLo
+	var reads []readReq
+	for _, e := range exts {
+		reads = append(reads, readReq{member: h.geo.DataDrive(stripe, e.Chunk), off: base + e.Off, len: e.Len})
+	}
+	pm, qm := h.geo.PDrive(stripe), -1
+	if pAlive {
+		reads = append(reads, readReq{member: pm, off: base + uLo, len: uLen})
+	}
+	if qAlive {
+		qm = h.geo.QDrive(stripe)
+		reads = append(reads, readReq{member: qm, off: base + uLo, len: uLen})
+	}
+	work := func(got map[int]parity.Buffer) ([]writeReq, int) {
+		cost := 0
+		pNew := parity.Sized(int(uLen))
+		qNew := pNew
+		if pAlive {
+			pNew = got[pm].Clone()
+		}
+		if qAlive {
+			qNew = got[qm].Clone()
+		}
+		var writes []writeReq
+		for _, e := range exts {
+			m := h.geo.DataDrive(stripe, e.Chunk)
+			newSeg := data.Slice(int(e.VOff), int(e.Len))
+			delta := parity.XORInto(got[m].Clone(), newSeg)
+			rel := int(e.Off - uLo)
+			if pAlive {
+				pSub := pNew.Slice(rel, int(e.Len))
+				parity.XORInto(pSub, delta)
+				if pSub.Elided() {
+					pNew = parity.Sized(int(uLen))
+				}
+				cost += int(e.Len) * 2
+			}
+			if qAlive {
+				qSub := qNew.Slice(rel, int(e.Len))
+				parity.MulAddInto(qSub, delta, parity.QCoeff(e.Chunk))
+				if qSub.Elided() {
+					qNew = parity.Sized(int(uLen))
+				}
+				cost += int(e.Len) * 2
+			}
+			writes = append(writes, writeReq{member: m, off: base + e.Off, buf: newSeg})
+		}
+		if pAlive {
+			writes = append(writes, writeReq{member: pm, off: base + uLo, buf: pNew})
+		}
+		if qAlive {
+			writes = append(writes, writeReq{member: qm, off: base + uLo, buf: qNew})
+		}
+		return writes, cost
+	}
+	h.gather(reads, work, onTimeout, done)
+}
+
+// gatherRCW: read the union from chunks whose content is not fully known
+// from the write payload, recompute parity over the union, write back.
+// Valid when any failed touched chunk covers the whole union.
+func (h *Host) gatherRCW(stripe int64, exts []raid.Extent, data parity.Buffer, uLo, uHi int64, pAlive, qAlive bool, onTimeout func([]int), done func(error)) {
+	base := h.geo.DriveOffset(stripe)
+	uLen := uHi - uLo
+	k := h.geo.DataChunks()
+	extBy := make(map[int]raid.Extent)
+	for _, e := range exts {
+		extBy[e.Chunk] = e
+	}
+	var reads []readReq
+	memberOf := make([]int, k)
+	for c := 0; c < k; c++ {
+		m := h.geo.DataDrive(stripe, c)
+		memberOf[c] = m
+		if h.failed[m] {
+			continue
+		}
+		e, isTouched := extBy[c]
+		fullyCovered := isTouched && e.Off == uLo && e.Off+e.Len == uHi
+		if !fullyCovered {
+			reads = append(reads, readReq{member: m, off: base + uLo, len: uLen})
+		}
+	}
+	work := func(got map[int]parity.Buffer) ([]writeReq, int) {
+		cost := 0
+		values := make([]parity.Buffer, k)
+		for c := 0; c < k; c++ {
+			m := memberOf[c]
+			e, isTouched := extBy[c]
+			switch {
+			case isTouched && e.Off == uLo && e.Off+e.Len == uHi:
+				values[c] = data.Slice(int(e.VOff), int(e.Len))
+			case h.failed[m]:
+				// Untouched failed chunks are excluded by the caller; a
+				// touched-but-not-covering failed chunk routes to
+				// gatherAll. Reaching here means covered, handled above.
+				values[c] = parity.Sized(int(uLen))
+			default:
+				v := got[m].Clone()
+				if isTouched && !data.Elided() {
+					v.CopyAt(int(e.Off-uLo), data.Slice(int(e.VOff), int(e.Len)))
+				}
+				values[c] = v
+			}
+		}
+		var writes []writeReq
+		for _, e := range exts {
+			m := memberOf[e.Chunk]
+			if h.failed[m] {
+				continue
+			}
+			writes = append(writes, writeReq{member: m, off: base + e.Off, buf: data.Slice(int(e.VOff), int(e.Len))})
+		}
+		if pAlive {
+			writes = append(writes, writeReq{member: h.geo.PDrive(stripe), off: base + uLo, buf: parity.ComputeP(values)})
+			cost += int(uLen) * k
+		}
+		if qAlive {
+			writes = append(writes, writeReq{member: h.geo.QDrive(stripe), off: base + uLo, buf: parity.ComputeQ(values, nil)})
+			cost += int(uLen) * k
+		}
+		return writes, cost
+	}
+	h.gather(reads, work, onTimeout, done)
+}
+
+// gatherAll is the catch-all consistency path: read the union from every
+// alive data chunk and P, reconstruct any lost old content, overlay the new
+// data, recompute parity, and write back. Mirrors real MD's degraded
+// handling of awkward geometries.
+func (h *Host) gatherAll(stripe int64, exts []raid.Extent, data parity.Buffer, uLo, uHi int64, pAlive, qAlive bool, onTimeout func([]int), done func(error)) {
+	base := h.geo.DriveOffset(stripe)
+	uLen := uHi - uLo
+	k := h.geo.DataChunks()
+
+	var lost []int
+	var reads []readReq
+	for c := 0; c < k; c++ {
+		m := h.geo.DataDrive(stripe, c)
+		if h.failed[m] {
+			lost = append(lost, c)
+			continue
+		}
+		reads = append(reads, readReq{member: m, off: base + uLo, len: uLen})
+	}
+	if len(lost) > 1 || (len(lost) == 1 && !pAlive) {
+		h.eng.Defer(func() { done(blockdev.ErrIO) })
+		return
+	}
+	pm := h.geo.PDrive(stripe)
+	if len(lost) == 1 {
+		reads = append(reads, readReq{member: pm, off: base + uLo, len: uLen})
+	}
+	work := func(got map[int]parity.Buffer) ([]writeReq, int) {
+		values := make([]parity.Buffer, k)
+		for c := 0; c < k; c++ {
+			m := h.geo.DataDrive(stripe, c)
+			if !h.failed[m] {
+				values[c] = got[m].Clone()
+			}
+		}
+		if len(lost) == 1 {
+			acc := got[pm].Clone()
+			for c := 0; c < k; c++ {
+				m := h.geo.DataDrive(stripe, c)
+				if !h.failed[m] {
+					acc = parity.XORInto(acc, got[m])
+				}
+			}
+			values[lost[0]] = acc
+		}
+		for _, e := range exts {
+			if data.Elided() {
+				values[e.Chunk] = parity.Sized(int(uLen))
+				continue
+			}
+			values[e.Chunk].CopyAt(int(e.Off-uLo), data.Slice(int(e.VOff), int(e.Len)))
+		}
+		var writes []writeReq
+		cost := 0
+		for _, e := range exts {
+			m := h.geo.DataDrive(stripe, e.Chunk)
+			if h.failed[m] {
+				continue
+			}
+			writes = append(writes, writeReq{member: m, off: base + e.Off, buf: data.Slice(int(e.VOff), int(e.Len))})
+		}
+		if pAlive {
+			writes = append(writes, writeReq{member: pm, off: base + uLo, buf: parity.ComputeP(values)})
+			cost += int(uLen) * k
+		}
+		if qAlive {
+			writes = append(writes, writeReq{member: h.geo.QDrive(stripe), off: base + uLo, buf: parity.ComputeQ(values, nil)})
+			cost += int(uLen) * k
+		}
+		return writes, cost
+	}
+	h.gather(reads, work, onTimeout, done)
+}
+
+var _ blockdev.Device = (*Host)(nil)

@@ -1,0 +1,190 @@
+package blobfs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"draid/internal/blockdev"
+	"draid/internal/parity"
+	"draid/internal/sim"
+)
+
+func newFS(t *testing.T) (*sim.Engine, *FS) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	dev := blockdev.NewMem(eng, 8<<20, 5*sim.Microsecond)
+	return eng, New(eng, dev)
+}
+
+func create(t *testing.T, eng *sim.Engine, fs *FS, name string) *File {
+	t.Helper()
+	var f *File
+	fs.Create(name, func(file *File, err error) {
+		if err != nil {
+			t.Fatalf("create %s: %v", name, err)
+		}
+		f = file
+	})
+	eng.Run()
+	return f
+}
+
+func appendData(t *testing.T, eng *sim.Engine, f *File, data []byte) {
+	t.Helper()
+	err := errors.New("pending")
+	f.Append(parity.FromBytes(data), func(e error) { err = e })
+	eng.Run()
+	if err != nil {
+		t.Fatalf("append: %v", err)
+	}
+}
+
+func readAt(t *testing.T, eng *sim.Engine, f *File, off, n int64) []byte {
+	t.Helper()
+	var out []byte
+	err := errors.New("pending")
+	f.ReadAt(off, n, func(b parity.Buffer, e error) { err, out = e, b.Data() })
+	eng.Run()
+	if err != nil {
+		t.Fatalf("readAt(%d,%d): %v", off, n, err)
+	}
+	return out
+}
+
+func TestCreateAppendRead(t *testing.T) {
+	eng, fs := newFS(t)
+	f := create(t, eng, fs, "wal")
+	appendData(t, eng, f, []byte("hello "))
+	appendData(t, eng, f, []byte("world"))
+	if f.Size() != 11 {
+		t.Fatalf("size = %d", f.Size())
+	}
+	if got := readAt(t, eng, f, 0, 11); string(got) != "hello world" {
+		t.Fatalf("got %q", got)
+	}
+	// Read spanning the extent boundary.
+	if got := readAt(t, eng, f, 4, 4); string(got) != "o wo" {
+		t.Fatalf("cross-extent read = %q", got)
+	}
+}
+
+func TestCreateDuplicateFails(t *testing.T) {
+	eng, fs := newFS(t)
+	create(t, eng, fs, "a")
+	var err error
+	fs.Create("a", func(_ *File, e error) { err = e })
+	eng.Run()
+	if !errors.Is(err, ErrExists) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestOpenAndList(t *testing.T) {
+	eng, fs := newFS(t)
+	create(t, eng, fs, "b")
+	create(t, eng, fs, "a")
+	if _, err := fs.Open("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Open("zz"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+	names := fs.List()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("list = %v", names)
+	}
+}
+
+func TestDeleteFreesAndReuses(t *testing.T) {
+	eng, fs := newFS(t)
+	f := create(t, eng, fs, "big")
+	appendData(t, eng, f, make([]byte, 1<<20))
+	usedBefore := fs.next
+
+	var err error
+	fs.Delete("big", func(e error) { err = e })
+	eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Open("big"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("file still present")
+	}
+	// A new allocation should reuse the freed extent, not bump further.
+	g := create(t, eng, fs, "new")
+	appendData(t, eng, g, make([]byte, 1<<20))
+	if fs.next != usedBefore {
+		t.Fatalf("allocator bumped to %d; should have reused freed extent", fs.next)
+	}
+}
+
+func TestOutOfSpace(t *testing.T) {
+	eng := sim.NewEngine(1)
+	dev := blockdev.NewMem(eng, dataStart+4096, 0)
+	fs := New(eng, dev)
+	var f *File
+	fs.Create("f", func(file *File, err error) { f = file })
+	eng.Run()
+	var err error
+	f.Append(parity.Sized(8192), func(e error) { err = e })
+	eng.Run()
+	if !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReadBeyondEOF(t *testing.T) {
+	eng, fs := newFS(t)
+	f := create(t, eng, fs, "f")
+	appendData(t, eng, f, []byte("abc"))
+	var err error
+	f.ReadAt(2, 5, func(_ parity.Buffer, e error) { err = e })
+	eng.Run()
+	if !errors.Is(err, blockdev.ErrOutOfRange) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestJournalWritesCounted(t *testing.T) {
+	eng, fs := newFS(t)
+	f := create(t, eng, fs, "f")
+	before := fs.JournalWrites()
+	appendData(t, eng, f, []byte("x"))
+	if fs.JournalWrites() != before+1 {
+		t.Fatalf("journal writes = %d, want %d", fs.JournalWrites(), before+1)
+	}
+}
+
+func TestManyExtentsRead(t *testing.T) {
+	eng, fs := newFS(t)
+	f := create(t, eng, fs, "f")
+	var whole []byte
+	for i := 0; i < 10; i++ {
+		part := bytes.Repeat([]byte{byte('a' + i)}, 100)
+		appendData(t, eng, f, part)
+		whole = append(whole, part...)
+	}
+	got := readAt(t, eng, f, 150, 700)
+	if !bytes.Equal(got, whole[150:850]) {
+		t.Fatal("multi-extent read mismatch")
+	}
+}
+
+func TestCoalesceAdjacentFreeExtents(t *testing.T) {
+	eng, fs := newFS(t)
+	a := create(t, eng, fs, "a")
+	b := create(t, eng, fs, "b")
+	appendData(t, eng, a, make([]byte, 1000))
+	appendData(t, eng, b, make([]byte, 1000))
+	fs.Delete("a", func(error) {})
+	eng.Run()
+	fs.Delete("b", func(error) {})
+	eng.Run()
+	// Freed neighbours must coalesce so a 2000-byte allocation fits.
+	c := create(t, eng, fs, "c")
+	appendData(t, eng, c, make([]byte, 2000))
+	if len(c.extents) != 1 || c.extents[0].off != dataStart {
+		t.Fatalf("extents = %+v, want single reused extent at data start", c.extents)
+	}
+}

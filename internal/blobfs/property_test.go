@@ -1,0 +1,115 @@
+package blobfs
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"draid/internal/blockdev"
+	"draid/internal/parity"
+	"draid/internal/sim"
+)
+
+// Property: an arbitrary interleaving of creates, appends, deletes, and
+// reads over several files behaves exactly like an in-memory shadow model.
+func TestPropertyShadowModel(t *testing.T) {
+	f := func(seed int64, opsRaw []uint8) bool {
+		if len(opsRaw) > 80 {
+			opsRaw = opsRaw[:80]
+		}
+		eng := sim.NewEngine(seed)
+		dev := blockdev.NewMem(eng, 16<<20, sim.Microsecond)
+		fs := New(eng, dev)
+		rng := rand.New(rand.NewSource(seed))
+
+		shadow := map[string][]byte{}
+		ok := true
+		for _, op := range opsRaw {
+			name := fmt.Sprintf("f%d", rng.Intn(4))
+			switch op % 4 {
+			case 0: // create
+				fs.Create(name, func(_ *File, err error) {
+					_, exists := shadow[name]
+					if (err == nil) == exists {
+						ok = false
+					}
+					if err == nil {
+						shadow[name] = []byte{}
+					}
+				})
+			case 1: // append
+				if _, exists := shadow[name]; !exists {
+					continue
+				}
+				data := make([]byte, 1+rng.Intn(5000))
+				rng.Read(data)
+				file, err := fs.Open(name)
+				if err != nil {
+					ok = false
+					continue
+				}
+				file.Append(parity.FromBytes(data), func(err error) {
+					if err != nil {
+						ok = false
+						return
+					}
+					shadow[name] = append(shadow[name], data...)
+				})
+			case 2: // read a random range
+				content, exists := shadow[name]
+				if !exists {
+					continue
+				}
+				file, err := fs.Open(name)
+				if err != nil {
+					ok = false
+					continue
+				}
+				eng.Run() // settle pending appends so sizes agree
+				content = shadow[name]
+				if len(content) == 0 {
+					continue
+				}
+				off := rng.Intn(len(content))
+				n := 1 + rng.Intn(len(content)-off)
+				file.ReadAt(int64(off), int64(n), func(b parity.Buffer, err error) {
+					if err != nil || !bytes.Equal(b.Data(), content[off:off+n]) {
+						ok = false
+					}
+				})
+			case 3: // delete
+				fs.Delete(name, func(err error) {
+					_, exists := shadow[name]
+					if (err == nil) != exists {
+						ok = false
+					}
+					delete(shadow, name)
+				})
+			}
+			eng.Run()
+		}
+		eng.Run()
+		// Final verification of every live file.
+		for name, content := range shadow {
+			file, err := fs.Open(name)
+			if err != nil || file.Size() != int64(len(content)) {
+				return false
+			}
+			if len(content) == 0 {
+				continue
+			}
+			file.ReadAt(0, int64(len(content)), func(b parity.Buffer, err error) {
+				if err != nil || !bytes.Equal(b.Data(), content) {
+					ok = false
+				}
+			})
+			eng.Run()
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

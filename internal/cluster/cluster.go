@@ -1,0 +1,185 @@
+// Package cluster assembles simulated testbeds: a host plus N storage
+// servers with NICs, drives, and per-server controller cores, wired through
+// a Fabric — the software equivalent of the paper's CloudLab profile
+// (c6525-100g: 100 Gbps ConnectX-5 NICs, enterprise NVMe SSDs, one
+// controller core per drive).
+package cluster
+
+import (
+	"fmt"
+
+	"draid/internal/core"
+	"draid/internal/cpu"
+	"draid/internal/raid"
+	"draid/internal/sim"
+	"draid/internal/simnet"
+	"draid/internal/ssd"
+)
+
+// Spec describes a testbed.
+type Spec struct {
+	// Targets is the number of member bdevs (= array width).
+	Targets int
+	// BdevsPerServer co-locates this many member bdevs per physical
+	// storage server, sharing one controller core and NIC (§5.5 resource
+	// sharing). Default 1 (one drive per server, the paper's main setup).
+	BdevsPerServer int
+	// HostGbps is the host NIC line rate (default 100).
+	HostGbps float64
+	// TargetGbps is the per-target NIC line rate (default 100). Use
+	// TargetGbpsList for heterogeneous setups (Figure 17b).
+	TargetGbps     float64
+	TargetGbpsList []float64
+	// Drive overrides the per-target drive model (default ssd.DefaultSpec).
+	Drive *ssd.Spec
+	// Net overrides fabric parameters (default simnet.DefaultConfig).
+	Net *simnet.Config
+	// Costs overrides the CPU cost model (default cpu.DefaultCosts).
+	Costs *cpu.Costs
+	// Pipelined controls the §5.3 server-side I/O pipeline (dRAID default
+	// true; the ablation sets it false).
+	Pipelined bool
+	// BarrierReduce enables the §5.2 barrier ablation on the servers.
+	BarrierReduce bool
+	// Seed drives all randomness (default 1).
+	Seed int64
+	// Elide runs the data plane size-only (benchmark mode).
+	Elide bool
+	// Trace receives protocol events from all controllers when non-nil.
+	Trace func(format string, args ...any)
+}
+
+// DefaultSpec returns the paper's default testbed shape: 8 targets, 100 Gbps
+// everywhere, the calibrated drive model.
+func DefaultSpec() Spec {
+	return Spec{Targets: 8, HostGbps: 100, TargetGbps: 100, Pipelined: true, Seed: 1}
+}
+
+// Cluster is an assembled testbed.
+type Cluster struct {
+	Eng      *sim.Engine
+	Net      *simnet.Network
+	Fabric   *core.Fabric
+	HostNode *simnet.Node
+	Targets  []*simnet.Node
+	Drives   []*ssd.Drive
+	Cores    []*cpu.Core
+	Servers  []*core.ServerController
+	Costs    cpu.Costs
+	spec     Spec
+}
+
+// New builds a cluster.
+func New(spec Spec) *Cluster {
+	if spec.Targets < 3 {
+		panic(fmt.Sprintf("cluster: need at least 3 targets, got %d", spec.Targets))
+	}
+	if spec.HostGbps == 0 {
+		spec.HostGbps = 100
+	}
+	if spec.TargetGbps == 0 {
+		spec.TargetGbps = 100
+	}
+	if spec.Seed == 0 {
+		spec.Seed = 1
+	}
+	eng := sim.NewEngine(spec.Seed)
+	netCfg := simnet.DefaultConfig()
+	if spec.Net != nil {
+		netCfg = *spec.Net
+	}
+	net := simnet.New(eng, netCfg)
+	costs := cpu.DefaultCosts()
+	if spec.Costs != nil {
+		costs = *spec.Costs
+	}
+	driveSpec := ssd.DefaultSpec()
+	if spec.Drive != nil {
+		driveSpec = *spec.Drive
+	}
+	if spec.Elide {
+		driveSpec.StoreData = false
+	}
+
+	hostNode := net.NewNode("host")
+	hostNode.AddNIC("nic0", spec.HostGbps)
+
+	perServer := spec.BdevsPerServer
+	if perServer <= 0 {
+		perServer = 1
+	}
+	c := &Cluster{Eng: eng, Net: net, HostNode: hostNode, Costs: costs, spec: spec}
+	var serverNode *simnet.Node
+	var serverCore *cpu.Core
+	for i := 0; i < spec.Targets; i++ {
+		if i%perServer == 0 {
+			serverNode = net.NewNode(fmt.Sprintf("server%d", i/perServer))
+			gbps := spec.TargetGbps
+			if spec.TargetGbpsList != nil {
+				gbps = spec.TargetGbpsList[(i/perServer)%len(spec.TargetGbpsList)]
+			}
+			serverNode.AddNIC("nic0", gbps)
+			serverCore = cpu.NewCore(eng)
+		}
+		c.Targets = append(c.Targets, serverNode)
+		c.Drives = append(c.Drives, ssd.New(eng, driveSpec))
+		c.Cores = append(c.Cores, serverCore)
+	}
+	c.Fabric = core.NewFabric(net, hostNode, c.Targets)
+	for i := range c.Targets {
+		c.Servers = append(c.Servers, core.NewServer(core.NodeID(i), eng, c.Fabric, c.Drives[i], c.Cores[i], core.ServerConfig{
+			Costs:         costs,
+			Pipelined:     spec.Pipelined,
+			BarrierReduce: spec.BarrierReduce,
+			Trace:         spec.Trace,
+		}))
+	}
+	return c
+}
+
+// DriveCapacity returns the per-drive capacity.
+func (c *Cluster) DriveCapacity() int64 { return c.Drives[0].Spec().Capacity }
+
+// NewDRAID attaches a dRAID host controller for the given geometry. Config
+// fields left zero pick up the cluster defaults.
+func (c *Cluster) NewDRAID(cfg core.Config) *core.HostController {
+	if cfg.Geometry.Width == 0 {
+		cfg.Geometry = raid.Geometry{Level: raid.Raid5, Width: c.spec.Targets, ChunkSize: 512 << 10}
+	}
+	if cfg.Costs == (cpu.Costs{}) {
+		cfg.Costs = c.Costs
+	}
+	if cfg.Trace == nil {
+		cfg.Trace = c.spec.Trace
+	}
+	return core.NewHost(c.Eng, c.Fabric, c.DriveCapacity(), cfg)
+}
+
+// FailTarget fails a target end to end: the node drops off the network and
+// its drive stops completing I/O. Pair with HostController.SetFailed (the
+// host notices either via timeouts or via explicit administrative action, as
+// in the paper's evaluation).
+func (c *Cluster) FailTarget(i int) {
+	c.Targets[i].SetDown(true)
+	c.Drives[i].Fail()
+}
+
+// RecoverTarget reverses FailTarget.
+func (c *Cluster) RecoverTarget(i int) {
+	c.Targets[i].SetDown(false)
+	c.Drives[i].Recover()
+}
+
+// TotalHostBytes reports the host NIC traffic (out, in) since the last
+// counter reset — the quantity Table 1 accounts.
+func (c *Cluster) TotalHostBytes() (out, in int64) {
+	return c.HostNode.BytesOut(), c.HostNode.BytesIn()
+}
+
+// ResetTraffic zeroes all NIC counters on the host and targets.
+func (c *Cluster) ResetTraffic() {
+	c.HostNode.ResetCounters()
+	for _, t := range c.Targets {
+		t.ResetCounters()
+	}
+}

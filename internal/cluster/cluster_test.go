@@ -1,0 +1,93 @@
+package cluster
+
+import (
+	"testing"
+
+	"draid/internal/core"
+	"draid/internal/raid"
+	"draid/internal/ssd"
+)
+
+func TestNewWiresEverything(t *testing.T) {
+	spec := DefaultSpec()
+	spec.Targets = 5
+	cl := New(spec)
+	if len(cl.Targets) != 5 || len(cl.Drives) != 5 || len(cl.Cores) != 5 || len(cl.Servers) != 5 {
+		t.Fatal("component counts wrong")
+	}
+	if cl.Fabric.Width() != 5 {
+		t.Fatal("fabric width wrong")
+	}
+	if cl.HostNode.Name() != "host" {
+		t.Fatal("host node missing")
+	}
+	if cl.DriveCapacity() != ssd.DefaultSpec().Capacity {
+		t.Fatal("drive capacity wrong")
+	}
+}
+
+func TestHeterogeneousNICs(t *testing.T) {
+	spec := DefaultSpec()
+	spec.Targets = 4
+	spec.TargetGbpsList = []float64{100, 25}
+	cl := New(spec)
+	rates := []int64{
+		cl.Targets[0].NICs()[0].RateBps(),
+		cl.Targets[1].NICs()[0].RateBps(),
+		cl.Targets[2].NICs()[0].RateBps(),
+		cl.Targets[3].NICs()[0].RateBps(),
+	}
+	want := []int64{100e9, 25e9, 100e9, 25e9}
+	for i := range want {
+		if rates[i] != want[i] {
+			t.Fatalf("rates = %v, want alternating %v", rates, want)
+		}
+	}
+}
+
+func TestNewDRAIDDefaultsGeometry(t *testing.T) {
+	spec := DefaultSpec()
+	spec.Targets = 6
+	cl := New(spec)
+	h := cl.NewDRAID(core.Config{})
+	g := h.Geometry()
+	if g.Level != raid.Raid5 || g.Width != 6 || g.ChunkSize != 512<<10 {
+		t.Fatalf("geometry = %+v", g)
+	}
+	if h.Size() <= 0 {
+		t.Fatal("size not derived from drives")
+	}
+}
+
+func TestFailRecoverTarget(t *testing.T) {
+	spec := DefaultSpec()
+	spec.Targets = 4
+	cl := New(spec)
+	cl.FailTarget(2)
+	if !cl.Targets[2].Down() || !cl.Drives[2].Failed() {
+		t.Fatal("FailTarget incomplete")
+	}
+	cl.RecoverTarget(2)
+	if cl.Targets[2].Down() || cl.Drives[2].Failed() {
+		t.Fatal("RecoverTarget incomplete")
+	}
+}
+
+func TestElideFlowsToDrives(t *testing.T) {
+	spec := DefaultSpec()
+	spec.Targets = 4
+	spec.Elide = true
+	cl := New(spec)
+	if cl.Drives[0].Spec().StoreData {
+		t.Fatal("elide did not disable drive data storage")
+	}
+}
+
+func TestTooFewTargetsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(Spec{Targets: 2})
+}

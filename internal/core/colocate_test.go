@@ -1,0 +1,137 @@
+package core_test
+
+import (
+	"bytes"
+	"testing"
+
+	"draid/internal/cluster"
+	"draid/internal/core"
+	"draid/internal/parity"
+	"draid/internal/raid"
+	"draid/internal/sim"
+	"draid/internal/ssd"
+)
+
+// colocatedCluster builds an array whose members share physical servers
+// (§5.5 resource sharing): width 6 over 3 servers, 2 bdevs each.
+func colocatedCluster(t *testing.T, width, perServer int) (*cluster.Cluster, *core.HostController) {
+	t.Helper()
+	spec := cluster.DefaultSpec()
+	spec.Targets = width
+	spec.BdevsPerServer = perServer
+	drv := ssd.DefaultSpec()
+	drv.Capacity = 64 << 20
+	spec.Drive = &drv
+	cl := cluster.New(spec)
+	h := cl.NewDRAID(core.Config{
+		Geometry: raid.Geometry{Level: raid.Raid5, Width: width, ChunkSize: chunkSize},
+		Deadline: 50 * sim.Millisecond,
+	})
+	return cl, h
+}
+
+func TestColocatedBdevsShareServers(t *testing.T) {
+	cl, _ := colocatedCluster(t, 6, 2)
+	if cl.Targets[0] != cl.Targets[1] || cl.Targets[0] == cl.Targets[2] {
+		t.Fatal("bdev-to-server mapping wrong")
+	}
+	if cl.Cores[0] != cl.Cores[1] || cl.Cores[0] == cl.Cores[2] {
+		t.Fatal("core sharing wrong")
+	}
+	if cl.Drives[0] == cl.Drives[1] {
+		t.Fatal("drives must stay distinct")
+	}
+}
+
+func TestColocatedRoundTripAndParity(t *testing.T) {
+	cl, h := colocatedCluster(t, 6, 2)
+	data := randBytes(70, 3*chunkSize)
+	mustWrite(t, cl, h, 0, data)
+	if !bytes.Equal(mustRead(t, cl, h, 0, int64(len(data))), data) {
+		t.Fatal("co-located round-trip mismatch")
+	}
+	verifyStripeParity(t, cl, h, 0)
+}
+
+func TestColocatedDegradedRead(t *testing.T) {
+	cl, h := colocatedCluster(t, 6, 2)
+	data := randBytes(71, 16<<10)
+	mustWrite(t, cl, h, 0, data)
+	m := h.Geometry().DataDrive(0, 0)
+	// A SERVER failure takes down the co-located sibling too, so fail only
+	// the drive here and mark the member degraded (disk failure, not
+	// server failure).
+	cl.Drives[m].Fail()
+	h.SetFailed(m, true)
+	if !bytes.Equal(mustRead(t, cl, h, 0, int64(len(data))), data) {
+		t.Fatal("co-located degraded read mismatch")
+	}
+}
+
+// Peer transfers between co-located bdevs must bypass the NIC: an RMW whose
+// data chunk and parity chunk live on the same server moves its partial
+// parity with zero network bytes.
+func TestColocatedPeerTransferIsLocal(t *testing.T) {
+	cl, h := colocatedCluster(t, 6, 2)
+	g := h.Geometry()
+	// Find a stripe whose P member is co-located with some data chunk's
+	// member, then write that chunk.
+	for stripe := int64(0); stripe < 6; stripe++ {
+		p := g.PDrive(stripe)
+		for c := 0; c < g.DataChunks(); c++ {
+			d := g.DataDrive(stripe, c)
+			if cl.Targets[d] != cl.Targets[p] {
+				continue
+			}
+			off := stripe*g.StripeDataSize() + int64(c)*g.ChunkSize
+			mustWrite(t, cl, h, off, randBytes(72, int(g.ChunkSize))) // seed
+			cl.ResetTraffic()
+			mustWrite(t, cl, h, off, randBytes(73, int(g.ChunkSize)))
+			// Server NIC inbound across all servers: only the host's data
+			// push (1 chunk + capsules) — no peer traffic.
+			var in int64
+			seen := map[string]bool{}
+			for _, nd := range cl.Targets {
+				if !seen[nd.Name()] {
+					seen[nd.Name()] = true
+					in += nd.BytesIn()
+				}
+			}
+			if ratio := float64(in) / float64(g.ChunkSize); ratio > 1.05 {
+				t.Fatalf("server inbound = %.2fx with co-located parity, want ~1x (local peer transfer)", ratio)
+			}
+			verifyStripeParity(t, cl, h, stripe)
+			return
+		}
+	}
+	t.Fatal("no co-located data/parity pair found in 6 stripes")
+}
+
+// Server failure takes out every co-located bdev at once — the availability
+// trade-off of packing members.
+func TestColocatedServerFailureDegradesSiblings(t *testing.T) {
+	cl, h := colocatedCluster(t, 6, 2)
+	data := randBytes(74, 4*chunkSize)
+	mustWrite(t, cl, h, 0, data)
+	cl.FailTarget(0) // takes down members 0 AND 1 (shared node)
+	h.SetFailed(0, true)
+	h.SetFailed(1, true)
+	// RAID-5 cannot survive two lost members: reads of their chunks fail.
+	g := h.Geometry()
+	lostChunks := 0
+	for c := 0; c < g.DataChunks(); c++ {
+		d := g.DataDrive(0, c)
+		if d == 0 || d == 1 {
+			lostChunks++
+		}
+	}
+	if lostChunks == 0 {
+		t.Skip("stripe 0 has no data on server 0")
+	}
+	errSeen := false
+	h.Read(0, g.StripeDataSize(), func(_ parity.Buffer, err error) { errSeen = err != nil })
+	cl.Eng.Run()
+	if !errSeen {
+		t.Fatal("double member loss on RAID-5 should fail reads")
+	}
+}

@@ -1,0 +1,177 @@
+// Package core implements dRAID itself: the host-side controller (a virtual
+// block device that orchestrates disaggregated RAID I/O) and the server-side
+// controller (the dRAID bdev that executes PartialWrite/Parity/
+// Reconstruction/Peer commands, Algorithms 1 and 2 of the paper).
+//
+// The same Fabric and ServerController are reused by the host-centric
+// baselines in internal/baseline, which speak only the standard NVMe-oF
+// subset (Read/Write) — exactly the paper's comparison setup.
+package core
+
+import (
+	"fmt"
+
+	"draid/internal/nvmeof"
+	"draid/internal/parity"
+	"draid/internal/simnet"
+)
+
+// NodeID identifies an endpoint on the fabric: HostID for the host, 0..n-1
+// for storage targets.
+type NodeID int
+
+// HostID is the host's NodeID.
+const HostID NodeID = -1
+
+// NoDest marks an unused next-dest field.
+const NoDest uint16 = 0xFFFF
+
+// NoScale in Command.DataIdx marks a Peer contribution that is XORed raw
+// (P-style); any other value i means the reducer scales it by g^i (Q-style).
+const NoScale uint16 = 0xFFFF
+
+// Message is a capsule plus its (possibly elided) payload. Payload bytes are
+// pushed with the capsule; the transfer consumes sender and receiver NIC
+// bandwidth but no receiver CPU beyond per-message processing, modelling
+// one-sided RDMA data movement.
+type Message struct {
+	Cmd     nvmeof.Command
+	Payload parity.Buffer
+	From    NodeID
+}
+
+// Handler consumes messages delivered to a fabric endpoint.
+type Handler func(Message)
+
+// Fabric wires the host and targets with reliable connections: host↔target
+// stars plus a full target↔target mesh (created pairwise by the server-side
+// controllers in the paper, §3). Several member bdevs may share one
+// physical server node (§5.5 resource sharing); transfers between
+// co-located bdevs stay local and consume no NIC bandwidth, and only one
+// connection exists per server pair (the §5.5 connection-sharing rule).
+type Fabric struct {
+	net      *simnet.Network
+	hostNode *simnet.Node
+	targets  []*simnet.Node
+	hostConn []*simnet.Conn          // host ↔ target i (shared per node)
+	mesh     map[[2]int]*simnet.Conn // target i ↔ j, i < j (nil = co-located)
+	handlers map[NodeID]Handler
+}
+
+// NewFabric connects hostNode to every target server and servers pairwise.
+// Entries of targets may repeat (co-located bdevs): each distinct node pair
+// gets exactly one connection, and same-node pairs get none.
+func NewFabric(net *simnet.Network, hostNode *simnet.Node, targets []*simnet.Node) *Fabric {
+	f := &Fabric{
+		net: net, hostNode: hostNode, targets: targets,
+		mesh:     make(map[[2]int]*simnet.Conn),
+		handlers: make(map[NodeID]Handler),
+	}
+	hostByNode := make(map[*simnet.Node]*simnet.Conn)
+	for _, t := range targets {
+		c, ok := hostByNode[t]
+		if !ok {
+			c = net.Connect(hostNode, t)
+			hostByNode[t] = c
+		}
+		f.hostConn = append(f.hostConn, c)
+	}
+	meshByNodes := make(map[[2]*simnet.Node]*simnet.Conn)
+	for i := range targets {
+		for j := i + 1; j < len(targets); j++ {
+			if targets[i] == targets[j] {
+				continue // co-located: local transfers
+			}
+			key := [2]*simnet.Node{targets[i], targets[j]}
+			c, ok := meshByNodes[key]
+			if !ok {
+				key2 := [2]*simnet.Node{targets[j], targets[i]}
+				if c2, ok2 := meshByNodes[key2]; ok2 {
+					c, ok = c2, true
+				}
+			}
+			if !ok {
+				c = net.Connect(targets[i], targets[j])
+				meshByNodes[key] = c
+			}
+			f.mesh[[2]int{i, j}] = c
+		}
+	}
+	return f
+}
+
+// Register installs the message handler for an endpoint.
+func (f *Fabric) Register(id NodeID, h Handler) { f.handlers[id] = h }
+
+// Width returns the number of targets.
+func (f *Fabric) Width() int { return len(f.targets) }
+
+// Node returns the simnet node behind an endpoint.
+func (f *Fabric) Node(id NodeID) *simnet.Node {
+	if id == HostID {
+		return f.hostNode
+	}
+	return f.targets[id]
+}
+
+// HostNode returns the host's simnet node.
+func (f *Fabric) HostNode() *simnet.Node { return f.hostNode }
+
+// Targets returns the target nodes.
+func (f *Fabric) Targets() []*simnet.Node { return f.targets }
+
+// Connection exposes the underlying connection between two endpoints, for
+// fault injection in tests and experiments.
+func (f *Fabric) Connection(a, b NodeID) *simnet.Conn { return f.conn(a, b) }
+
+// conn returns the connection between two endpoints.
+func (f *Fabric) conn(a, b NodeID) *simnet.Conn {
+	switch {
+	case a == HostID:
+		return f.hostConn[b]
+	case b == HostID:
+		return f.hostConn[a]
+	default:
+		i, j := int(a), int(b)
+		if i > j {
+			i, j = j, i
+		}
+		return f.mesh[[2]int{i, j}]
+	}
+}
+
+// Send transmits a capsule (and payload) from one endpoint to another. Wire
+// size is the encoded capsule plus payload length. Delivery invokes the
+// destination's handler; messages to failed nodes vanish (sender times
+// out). Transfers between bdevs sharing one server node bypass the network
+// entirely (a local memcpy, §5.5).
+func (f *Fabric) Send(from, to NodeID, cmd nvmeof.Command, payload parity.Buffer) {
+	if from == to {
+		panic(fmt.Sprintf("core: send from %d to itself", from))
+	}
+	srcNode, dstNode := f.Node(from), f.Node(to)
+	if srcNode == dstNode {
+		if srcNode.Down() {
+			return
+		}
+		f.net.Eng.Defer(func() {
+			if dstNode.Down() {
+				return
+			}
+			if h := f.handlers[to]; h != nil {
+				h(Message{Cmd: cmd, Payload: payload, From: from})
+			}
+		})
+		return
+	}
+	c := f.conn(from, to)
+	if c == nil {
+		panic(fmt.Sprintf("core: no connection %d→%d", from, to))
+	}
+	size := int64(cmd.EncodedSize()) + int64(payload.Len())
+	c.Send(srcNode, size, func() {
+		if h := f.handlers[to]; h != nil {
+			h(Message{Cmd: cmd, Payload: payload, From: from})
+		}
+	})
+}

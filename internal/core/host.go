@@ -1,0 +1,562 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"draid/internal/blockdev"
+	"draid/internal/cpu"
+	"draid/internal/nvmeof"
+	"draid/internal/parity"
+	"draid/internal/raid"
+	"draid/internal/recon"
+	"draid/internal/sim"
+)
+
+// Config parameterizes a dRAID host controller.
+type Config struct {
+	Geometry raid.Geometry
+	Costs    cpu.Costs
+	// HostCores sizes the host's reactor pool (default 4).
+	HostCores int
+	// Deadline bounds each stripe operation (§5.4). Zero means 1s.
+	Deadline sim.Duration
+	// Selector picks degraded-read reducers; nil means random.
+	Selector recon.Selector
+	// HostParityOnly disables peer-to-peer disaggregation: partial writes
+	// fall back to host-side RMW like the SPDK baseline (an ablation knob;
+	// normal dRAID leaves this false).
+	HostParityOnly bool
+	// Trace, when non-nil, receives protocol events.
+	Trace func(format string, args ...any)
+}
+
+// Stats counts host-level events.
+type Stats struct {
+	Reads, Writes        int64
+	RMWWrites, RCWWrites int64
+	FullStripeWrites     int64
+	DegradedReads        int64
+	Reconstructions      int64
+	Timeouts, Retries    int64
+	UserBytesRead        int64
+	UserBytesWritten     int64
+	HostFallbackWrites   int64
+	HostFallbackReads    int64
+	QueuedStripeWaits    int64
+}
+
+// HostController is the dRAID host: a virtual block device whose I/O is
+// disaggregated across the storage targets.
+type HostController struct {
+	eng   *sim.Engine
+	fab   *Fabric
+	geo   raid.Geometry
+	cfg   Config
+	cores *cpu.Pool
+
+	size   int64
+	nextID uint64
+
+	// stripeQ admits one write per stripe at a time (§3); reads are
+	// lock-free (§8 optimization over the SPDK POC).
+	stripeQ map[int64]*stripeQueue
+
+	// inflight maps command IDs to their parent operation.
+	inflight map[uint64]*subOp
+
+	failed map[int]bool // member index → failed
+
+	// dirty is the §5.4 write-intent bitmap: stripe → in-flight writes.
+	dirty map[int64]int
+
+	stats Stats
+}
+
+type stripeQueue struct {
+	busy    bool
+	waiters []func()
+}
+
+// subOp tracks one outstanding capsule exchange.
+type subOp struct {
+	op *stripeOp
+}
+
+// stripeOp is one stripe-granularity operation (a stripe write or a
+// degraded-read reconstruction group).
+type stripeOp struct {
+	id        uint64
+	stripe    int64
+	remaining int
+	failedFn  func(missing []NodeID)
+	doneFn    func()
+	timer     *sim.Timer
+	// read assembly: completions carrying payloads are routed here.
+	onPayload func(from NodeID, cmd nvmeof.Command, b parity.Buffer)
+	done      bool
+}
+
+// NewHost creates the dRAID host controller on the fabric's host node.
+func NewHost(eng *sim.Engine, fab *Fabric, driveCapacity int64, cfg Config) *HostController {
+	if err := cfg.Geometry.Validate(); err != nil {
+		panic(err)
+	}
+	if cfg.Geometry.Width != fab.Width() {
+		panic(fmt.Sprintf("core: geometry width %d != fabric targets %d", cfg.Geometry.Width, fab.Width()))
+	}
+	if cfg.HostCores <= 0 {
+		cfg.HostCores = 4
+	}
+	if cfg.Deadline == 0 {
+		cfg.Deadline = sim.Second
+	}
+	if cfg.Selector == nil {
+		cfg.Selector = &recon.RandomSelector{Rng: eng.Rand()}
+	}
+	h := &HostController{
+		eng: eng, fab: fab, geo: cfg.Geometry, cfg: cfg,
+		cores:    cpu.NewPool(eng, cfg.HostCores),
+		size:     cfg.Geometry.VirtualSize(driveCapacity),
+		stripeQ:  make(map[int64]*stripeQueue),
+		inflight: make(map[uint64]*subOp),
+		failed:   make(map[int]bool),
+	}
+	fab.Register(HostID, h.handle)
+	return h
+}
+
+// Size implements blockdev.Device.
+func (h *HostController) Size() int64 { return h.size }
+
+// Stats returns a snapshot of host counters.
+func (h *HostController) Stats() Stats { return h.stats }
+
+// Geometry returns the array geometry.
+func (h *HostController) Geometry() raid.Geometry { return h.geo }
+
+// SetFailed marks a member drive failed (true) or restored (false); the
+// array serves degraded I/O for failed members.
+func (h *HostController) SetFailed(member int, failed bool) {
+	if member < 0 || member >= h.geo.Width {
+		panic(fmt.Sprintf("core: member %d out of range", member))
+	}
+	if failed {
+		h.failed[member] = true
+	} else {
+		delete(h.failed, member)
+	}
+}
+
+// FailedMembers returns the sorted failed member indices.
+func (h *HostController) FailedMembers() []int {
+	var out []int
+	for m := range h.failed {
+		out = append(out, m)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func (h *HostController) trace(format string, args ...any) {
+	if h.cfg.Trace != nil {
+		h.cfg.Trace("[host %8s] "+format, append([]any{h.eng.Now()}, args...)...)
+	}
+}
+
+// handle processes completions arriving from targets.
+func (h *HostController) handle(m Message) {
+	h.cores.Exec(h.cfg.Costs.PerMsg, func() {
+		if m.Cmd.Opcode != nvmeof.OpCompletion {
+			panic(fmt.Sprintf("core: host received %v", m.Cmd.Opcode))
+		}
+		sub, ok := h.inflight[m.Cmd.ID]
+		if !ok || sub.op.done {
+			return // late completion after timeout handling
+		}
+		op := sub.op
+		if m.Cmd.Status != nvmeof.StatusSuccess {
+			h.trace("completion id=%d from t%d status=%v", m.Cmd.ID, int(m.From), m.Cmd.Status)
+			h.failOp(op, []NodeID{m.From})
+			return
+		}
+		if m.Payload.Len() > 0 && op.onPayload != nil {
+			op.onPayload(m.From, m.Cmd, m.Payload)
+		}
+		op.remaining--
+		h.trace("completion id=%d from t%d remaining=%d", m.Cmd.ID, int(m.From), op.remaining)
+		if op.remaining == 0 {
+			h.finishOp(op)
+		}
+	})
+}
+
+func (h *HostController) finishOp(op *stripeOp) {
+	if op.done {
+		return
+	}
+	op.done = true
+	if op.timer != nil {
+		op.timer.Stop()
+	}
+	delete(h.inflight, op.id)
+	op.doneFn()
+}
+
+func (h *HostController) failOp(op *stripeOp, missing []NodeID) {
+	if op.done {
+		return
+	}
+	op.done = true
+	if op.timer != nil {
+		op.timer.Stop()
+	}
+	delete(h.inflight, op.id)
+	op.failedFn(missing)
+}
+
+// newStripeOp allocates an operation with a deadline timer. Targets listed
+// in watch are the ones whose absence on timeout implicates them.
+func (h *HostController) newStripeOp(stripe int64, expect int, watch []NodeID, done func(), failed func([]NodeID)) *stripeOp {
+	h.nextID++
+	op := &stripeOp{id: h.nextID, stripe: stripe, remaining: expect, doneFn: done, failedFn: failed}
+	h.inflight[op.id] = &subOp{op: op}
+	op.timer = h.eng.After(h.cfg.Deadline, func() {
+		if op.done {
+			return
+		}
+		h.stats.Timeouts++
+		h.trace("op id=%d timed out; suspects=%v", op.id, watch)
+		var down []NodeID
+		for _, t := range watch {
+			if h.fab.Node(t).Down() {
+				down = append(down, t)
+			}
+		}
+		h.failOp(op, down)
+	})
+	return op
+}
+
+// send issues a capsule for an operation.
+func (h *HostController) send(op *stripeOp, to NodeID, cmd nvmeof.Command, payload parity.Buffer) {
+	cmd.ID = op.id
+	h.fab.Send(HostID, to, cmd, payload)
+}
+
+// ---------------------------------------------------------------------------
+// Stripe write admission (§3: one write per stripe; reads are lock-free).
+
+func (h *HostController) acquireStripe(stripe int64, fn func()) {
+	q, ok := h.stripeQ[stripe]
+	if !ok {
+		q = &stripeQueue{}
+		h.stripeQ[stripe] = q
+	}
+	if !q.busy {
+		q.busy = true
+		fn()
+		return
+	}
+	h.stats.QueuedStripeWaits++
+	q.waiters = append(q.waiters, fn)
+}
+
+func (h *HostController) releaseStripe(stripe int64) {
+	q := h.stripeQ[stripe]
+	if q == nil {
+		return
+	}
+	if len(q.waiters) == 0 {
+		delete(h.stripeQ, stripe)
+		return
+	}
+	next := q.waiters[0]
+	q.waiters = q.waiters[1:]
+	// Defer so the releasing op's stack unwinds first.
+	h.eng.Defer(next)
+}
+
+// ---------------------------------------------------------------------------
+// Reads.
+
+// Read implements blockdev.Device. Extents on healthy members are plain
+// NVMe-oF reads; extents on a failed member trigger the §6.1 disaggregated
+// reconstruction, co-designed with the normal reads of the same stripe.
+func (h *HostController) Read(off, n int64, cb func(parity.Buffer, error)) {
+	if err := blockdev.CheckRange(off, n, h.size); err != nil {
+		h.eng.Defer(func() { cb(parity.Buffer{}, err) })
+		return
+	}
+	h.stats.Reads++
+	h.stats.UserBytesRead += n
+	if n == 0 {
+		h.eng.Defer(func() { cb(parity.Alloc(0), nil) })
+		return
+	}
+	exts := h.geo.Split(off, n)
+
+	asm := newAssembler(n)
+	pending := 0
+	var fail error
+	maybeDone := func() {
+		pending--
+		if pending == 0 {
+			if fail != nil {
+				cb(parity.Buffer{}, fail)
+				return
+			}
+			cb(asm.result(), nil)
+		}
+	}
+
+	byStripe := raid.StripeExtents(exts)
+	stripes := make([]int64, 0, len(byStripe))
+	for s := range byStripe {
+		stripes = append(stripes, s)
+	}
+	sort.Slice(stripes, func(i, j int) bool { return stripes[i] < stripes[j] })
+
+	for _, stripe := range stripes {
+		group := byStripe[stripe]
+		var failedExts []raid.Extent
+		var normal []raid.Extent
+		for _, e := range group {
+			if h.failed[h.geo.DataDrive(stripe, e.Chunk)] {
+				failedExts = append(failedExts, e)
+			} else {
+				normal = append(normal, e)
+			}
+		}
+		switch {
+		case len(failedExts) == 0:
+			for _, e := range normal {
+				pending++
+				h.normalReadExtent(e, asm, &fail, maybeDone)
+			}
+		case len(failedExts) == 1:
+			pending++
+			h.degradedReadStripe(stripe, failedExts[0], normal, asm, &fail, maybeDone)
+		default:
+			// Multiple failed data chunks in one stripe (RAID-6 dual
+			// failure): host-side GF solve per failed extent.
+			for i, fe := range failedExts {
+				pending++
+				n := normal
+				if i > 0 {
+					n = nil
+				}
+				h.hostFallbackRead(stripe, fe, n, asm, &fail, maybeDone)
+			}
+		}
+	}
+	h.cores.Exec(h.cfg.Costs.PerUser, func() {})
+}
+
+// assembler collects read pieces into the user buffer.
+type assembler struct {
+	n      int64
+	buf    parity.Buffer
+	elided bool
+}
+
+func newAssembler(n int64) *assembler {
+	return &assembler{n: n, buf: parity.Alloc(int(n))}
+}
+
+func (a *assembler) put(vOff int64, b parity.Buffer) {
+	if b.Elided() {
+		a.elided = true
+		return
+	}
+	a.buf.CopyAt(int(vOff), b)
+}
+
+func (a *assembler) result() parity.Buffer {
+	if a.elided {
+		return parity.Sized(int(a.n))
+	}
+	return a.buf
+}
+
+func (h *HostController) normalReadExtent(e raid.Extent, asm *assembler, fail *error, done func()) {
+	h.normalReadExtentAttempt(e, asm, fail, done, false)
+}
+
+func (h *HostController) normalReadExtentAttempt(e raid.Extent, asm *assembler, fail *error, done func(), isRetry bool) {
+	target := NodeID(h.geo.DataDrive(e.Stripe, e.Chunk))
+	absOff := h.geo.DriveOffset(e.Stripe) + e.Off
+	op := h.newStripeOp(e.Stripe, 1, []NodeID{target},
+		func() { done() },
+		func(missing []NodeID) { h.readFailurePath(e, missing, asm, fail, done, isRetry) },
+	)
+	op.onPayload = func(_ NodeID, _ nvmeof.Command, b parity.Buffer) { asm.put(e.VOff, b) }
+	h.send(op, target, nvmeof.Command{Opcode: nvmeof.OpRead, Offset: absOff, Length: e.Len}, parity.Buffer{})
+}
+
+// readFailurePath handles a normal read that timed out (§5.4): mark
+// truly-down members failed and take the degraded path; a transient timeout
+// (nothing down) retries the plain read once.
+func (h *HostController) readFailurePath(e raid.Extent, missing []NodeID, asm *assembler, fail *error, done func(), isRetry bool) {
+	if isRetry {
+		*fail = blockdev.ErrTimeout
+		done()
+		return
+	}
+	h.stats.Retries++
+	if len(missing) == 0 {
+		h.normalReadExtentAttempt(e, asm, fail, done, true)
+		return
+	}
+	for _, m := range missing {
+		h.SetFailed(int(m), true)
+	}
+	h.degradedReadStripe(e.Stripe, e, nil, asm, fail, done)
+}
+
+// degradedReadStripe reconstructs failedExt while serving the stripe's
+// normal extents, per §6.1: one Reconstruction broadcast, a reducer
+// aggregating XOR contributions, and decoupled direct return of normal data.
+func (h *HostController) degradedReadStripe(stripe int64, failedExt raid.Extent, normal []raid.Extent, asm *assembler, fail *error, done func()) {
+	h.stats.DegradedReads++
+	h.stats.Reconstructions++
+
+	// The peer-to-peer XOR reduction needs P plus every other data chunk of
+	// this stripe healthy; anything else goes through the host GF solve.
+	failedData := 0
+	for c := 0; c < h.geo.DataChunks(); c++ {
+		if h.failed[h.geo.DataDrive(stripe, c)] {
+			failedData++
+		}
+	}
+	if failedData+lostParityCount(h, stripe) > h.geo.Level.ParityCount() {
+		h.eng.Defer(func() {
+			*fail = blockdev.ErrIO
+			done()
+		})
+		return
+	}
+	if failedData != 1 || h.failed[h.geo.PDrive(stripe)] {
+		h.hostFallbackRead(stripe, failedExt, normal, asm, fail, done)
+		return
+	}
+
+	rOff := h.geo.DriveOffset(stripe) + failedExt.Off
+	rLen := failedExt.Len
+
+	// Participants: every healthy member holding a data chunk of this
+	// stripe except the failed one, plus the P member. (Q is not needed for
+	// a single failure.)
+	type part struct {
+		target NodeID
+		own    *raid.Extent // normal-read extent served by this member
+	}
+	var parts []part
+	pDrive := h.geo.PDrive(stripe)
+	if !h.failed[pDrive] {
+		parts = append(parts, part{target: NodeID(pDrive)})
+	}
+	for c := 0; c < h.geo.DataChunks(); c++ {
+		d := h.geo.DataDrive(stripe, c)
+		if h.failed[d] || c == failedExt.Chunk {
+			continue
+		}
+		p := part{target: NodeID(d)}
+		for i := range normal {
+			if normal[i].Chunk == c {
+				p.own = &normal[i]
+			}
+		}
+		parts = append(parts, p)
+	}
+
+	candidates := make([]int, len(parts))
+	for i, p := range parts {
+		candidates[i] = int(p.target)
+	}
+	reducer := NodeID(h.cfg.Selector.Pick(candidates, rLen*int64(len(parts))))
+
+	// Expected host completions: reducer's reconstructed segment + one per
+	// AlsoRead direct return.
+	expect := 1
+	for _, p := range parts {
+		if p.own != nil {
+			expect++
+		}
+	}
+	watch := make([]NodeID, len(parts))
+	for i, p := range parts {
+		watch[i] = p.target
+	}
+	op := h.newStripeOp(stripe, expect, watch,
+		func() { done() },
+		func(missing []NodeID) {
+			if len(missing) == 0 {
+				*fail = blockdev.ErrTimeout
+			} else {
+				*fail = blockdev.ErrIO // second failure during reconstruction
+			}
+			done()
+		},
+	)
+	reconVOff := failedExt.VOff
+	op.onPayload = func(from NodeID, cmd nvmeof.Command, b parity.Buffer) {
+		// The completion subtype disambiguates the two §6.1 return paths.
+		if cmd.Subtype == nvmeof.SubNoRead && from == reducer {
+			asm.put(reconVOff, b)
+			return
+		}
+		if cmd.Subtype != nvmeof.SubAlsoRead {
+			return
+		}
+		for _, p := range parts {
+			if p.own != nil && p.target == from {
+				asm.put(p.own.VOff, b)
+				return
+			}
+		}
+	}
+
+	for _, p := range parts {
+		cmd := nvmeof.Command{
+			Opcode:    nvmeof.OpReconstruction,
+			Subtype:   nvmeof.SubNoRead,
+			FwdOffset: rOff, FwdLength: rLen,
+			NextDest: uint16(reducer),
+			DataIdx:  NoScale,
+		}
+		// Combined drive read: union of own segment and R (§6.1 — also
+		// reads the gap between them to stay a single I/O).
+		readOff, readLen := rOff, rLen
+		if p.own != nil {
+			cmd.Subtype = nvmeof.SubAlsoRead
+			ownOff := h.geo.DriveOffset(stripe) + p.own.Off
+			cmd.SGL = []nvmeof.SGE{{Off: ownOff, Len: p.own.Len}}
+			lo, hi := readOff, readOff+readLen
+			if ownOff < lo {
+				lo = ownOff
+			}
+			if ownOff+p.own.Len > hi {
+				hi = ownOff + p.own.Len
+			}
+			readOff, readLen = lo, hi-lo
+		}
+		cmd.Offset, cmd.Length = readOff, readLen
+		if p.target == reducer {
+			cmd.WaitNum = uint16(len(parts))
+		}
+		h.send(op, p.target, cmd, parity.Buffer{})
+	}
+}
+
+// lostParityCount counts failed parity members of a stripe.
+func lostParityCount(h *HostController, stripe int64) int {
+	n := 0
+	if h.failed[h.geo.PDrive(stripe)] {
+		n++
+	}
+	if h.geo.Level == raid.Raid6 && h.failed[h.geo.QDrive(stripe)] {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+
+	"draid/internal/blockdev"
+	"draid/internal/gf256"
+	"draid/internal/nvmeof"
+	"draid/internal/parity"
+	"draid/internal/raid"
+)
+
+// WriteMemberChunk writes a full chunk image directly to a member's drive —
+// the delivery half of rebuilding onto a replacement drive.
+func (h *HostController) WriteMemberChunk(stripe int64, member int, b parity.Buffer, cb func(error)) {
+	if int64(b.Len()) != h.geo.ChunkSize {
+		h.eng.Defer(func() { cb(fmt.Errorf("core: chunk image is %d bytes, want %d", b.Len(), h.geo.ChunkSize)) })
+		return
+	}
+	op := h.newStripeOp(stripe, 1, []NodeID{NodeID(member)},
+		func() { cb(nil) },
+		func([]NodeID) { cb(blockdev.ErrTimeout) },
+	)
+	h.send(op, NodeID(member), nvmeof.Command{
+		Opcode: nvmeof.OpWrite,
+		Offset: h.geo.DriveOffset(stripe), Length: h.geo.ChunkSize,
+	}, b)
+}
+
+// ReconstructStripeChunk rebuilds the full chunk held by `member` in
+// `stripe` using the disaggregated reconstruction machinery (§6) and returns
+// it to the host — the unit of work for drive rebuild (Figure 17a). The
+// member must currently be marked failed. Works for data, P, and Q chunks:
+//
+//   - data chunk: XOR-reduce the surviving data chunks and P; if P is also
+//     lost (RAID-6), GF-reduce the survivors and Q and unscale on the host;
+//   - P chunk:    XOR-reduce all data chunks;
+//   - Q chunk:    GF-reduce all data chunks with their g^i coefficients.
+func (h *HostController) ReconstructStripeChunk(stripe int64, member int, cb func(parity.Buffer, error)) {
+	if !h.failed[member] {
+		h.eng.Defer(func() { cb(parity.Buffer{}, fmt.Errorf("core: member %d is not failed", member)) })
+		return
+	}
+	h.stats.Reconstructions++
+	kind, lostIdx := h.geo.Role(stripe, member)
+	base := h.geo.DriveOffset(stripe)
+	cs := h.geo.ChunkSize
+
+	type part struct {
+		target  NodeID
+		dataIdx uint16 // GF coefficient for this contribution
+	}
+	var parts []part
+	addData := func(scale bool) {
+		for c := 0; c < h.geo.DataChunks(); c++ {
+			d := h.geo.DataDrive(stripe, c)
+			if h.failed[d] {
+				continue
+			}
+			idx := NoScale
+			if scale {
+				idx = uint16(c)
+			}
+			parts = append(parts, part{target: NodeID(d), dataIdx: idx})
+		}
+	}
+	// unscale post-processes the reducer's result on the host (the Q-based
+	// single-data recovery needs a division by g^lost).
+	unscale := byte(1)
+	switch kind {
+	case raid.KindData:
+		pDrive := h.geo.PDrive(stripe)
+		switch {
+		case !h.failed[pDrive]:
+			parts = append(parts, part{target: NodeID(pDrive), dataIdx: NoScale})
+			addData(false)
+		case h.geo.Level == raid.Raid6 && !h.failed[h.geo.QDrive(stripe)]:
+			// P lost too: D_lost = (Q ⊕ Σ g^i·D_i) / g^lost.
+			parts = append(parts, part{target: NodeID(h.geo.QDrive(stripe)), dataIdx: NoScale})
+			addData(true)
+			unscale = gf256.Inv(parity.QCoeff(lostIdx))
+		default:
+			h.eng.Defer(func() { cb(parity.Buffer{}, blockdev.ErrIO) })
+			return
+		}
+	case raid.KindP:
+		addData(false)
+	case raid.KindQ:
+		addData(true)
+	}
+	if len(parts) < h.geo.DataChunks() {
+		h.eng.Defer(func() { cb(parity.Buffer{}, blockdev.ErrIO) })
+		return
+	}
+
+	candidates := make([]int, len(parts))
+	for i, p := range parts {
+		candidates[i] = int(p.target)
+	}
+	reducer := NodeID(h.cfg.Selector.Pick(candidates, cs*int64(len(parts))))
+
+	var result parity.Buffer
+	watch := make([]NodeID, len(parts))
+	for i, p := range parts {
+		watch[i] = p.target
+	}
+	op := h.newStripeOp(stripe, 1, watch,
+		func() {
+			if unscale != 1 {
+				h.cores.Exec(h.cfg.Costs.Gf(result.Len()), func() {
+					cb(parity.MulInto(result, unscale), nil)
+				})
+				return
+			}
+			cb(result, nil)
+		},
+		func(missing []NodeID) { cb(parity.Buffer{}, blockdev.ErrTimeout) },
+	)
+	op.onPayload = func(from NodeID, _ nvmeof.Command, b parity.Buffer) { result = b }
+
+	for _, p := range parts {
+		cmd := nvmeof.Command{
+			Opcode:  nvmeof.OpReconstruction,
+			Subtype: nvmeof.SubNoRead,
+			Offset:  base, Length: cs,
+			FwdOffset: base, FwdLength: cs,
+			NextDest: uint16(reducer),
+			DataIdx:  p.dataIdx,
+		}
+		if p.target == reducer {
+			cmd.WaitNum = uint16(len(parts))
+		}
+		h.send(op, p.target, cmd, parity.Buffer{})
+	}
+}

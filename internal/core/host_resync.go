@@ -1,0 +1,131 @@
+package core
+
+import (
+	"sort"
+
+	"draid/internal/blockdev"
+	"draid/internal/nvmeof"
+	"draid/internal/parity"
+	"draid/internal/raid"
+)
+
+// §5.4 host-failure handling: like Linux MD, the controller keeps a
+// write-intent bitmap of stripes with writes in flight. After a host crash,
+// a replacement controller needs to resync only those stripes — never a
+// full-array scan. In this simulation the bitmap is exposed directly
+// (DirtyStripes) where a production system would persist it.
+
+func (h *HostController) markDirty(stripe int64) {
+	if h.dirty == nil {
+		h.dirty = make(map[int64]int)
+	}
+	h.dirty[stripe]++
+}
+
+func (h *HostController) clearDirty(stripe int64) {
+	h.dirty[stripe]--
+	if h.dirty[stripe] <= 0 {
+		delete(h.dirty, stripe)
+	}
+}
+
+// DirtyStripes returns the stripes with writes currently in flight — the
+// write-intent bitmap a replacement controller must resync after a host
+// crash.
+func (h *HostController) DirtyStripes() []int64 {
+	out := make([]int64, 0, len(h.dirty))
+	for s := range h.dirty {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ResyncStripe restores the parity invariant of one stripe, exactly as MD's
+// resync does: read every healthy data chunk in full, recompute P (and Q),
+// write the parity chunk(s) back. Data content is taken as found — resync
+// repairs consistency, not the write hole.
+func (h *HostController) ResyncStripe(stripe int64, cb func(error)) {
+	base := h.geo.DriveOffset(stripe)
+	cs := h.geo.ChunkSize
+	k := h.geo.DataChunks()
+
+	pDrive := h.geo.PDrive(stripe)
+	pAlive := !h.failed[pDrive]
+	qDrive, qAlive := -1, false
+	if h.geo.Level == raid.Raid6 {
+		qDrive = h.geo.QDrive(stripe)
+		qAlive = !h.failed[qDrive]
+	}
+	if !pAlive && !qAlive {
+		h.eng.Defer(func() { cb(nil) }) // nothing to resync
+		return
+	}
+
+	chunks := make([]parity.Buffer, k)
+	var watch []NodeID
+	reads := 0
+	for c := 0; c < k; c++ {
+		m := h.geo.DataDrive(stripe, c)
+		if h.failed[m] {
+			// A missing data chunk makes its old content undefined; treat
+			// as zero for the recomputation (MD resyncs degraded arrays
+			// only after the member is replaced and rebuilt).
+			chunks[c] = parity.Alloc(int(cs))
+			continue
+		}
+		reads++
+		watch = append(watch, NodeID(m))
+	}
+	if reads == 0 {
+		h.eng.Defer(func() { cb(blockdev.ErrIO) })
+		return
+	}
+
+	rOp := h.newStripeOp(stripe, reads, watch,
+		func() {
+			work := h.cfg.Costs.Xor(int(cs) * k)
+			if qAlive {
+				work += h.cfg.Costs.Gf(int(cs) * k)
+			}
+			h.cores.Exec(work, func() {
+				writes := 0
+				var wWatch []NodeID
+				if pAlive {
+					writes++
+					wWatch = append(wWatch, NodeID(pDrive))
+				}
+				if qAlive {
+					writes++
+					wWatch = append(wWatch, NodeID(qDrive))
+				}
+				wOp := h.newStripeOp(stripe, writes, wWatch,
+					func() { cb(nil) },
+					func([]NodeID) { cb(blockdev.ErrTimeout) })
+				if pAlive {
+					h.send(wOp, NodeID(pDrive), nvmeof.Command{
+						Opcode: nvmeof.OpWrite, Offset: base, Length: cs,
+					}, parity.ComputeP(chunks))
+				}
+				if qAlive {
+					h.send(wOp, NodeID(qDrive), nvmeof.Command{
+						Opcode: nvmeof.OpWrite, Offset: base, Length: cs,
+					}, parity.ComputeQ(chunks, nil))
+				}
+			})
+		},
+		func([]NodeID) { cb(blockdev.ErrTimeout) })
+	rOp.onPayload = func(from NodeID, _ nvmeof.Command, b parity.Buffer) {
+		_, idx := h.geo.Role(stripe, int(from))
+		chunks[idx] = b
+	}
+	for c := 0; c < k; c++ {
+		m := h.geo.DataDrive(stripe, c)
+		if h.failed[m] {
+			continue
+		}
+		h.send(rOp, NodeID(m), nvmeof.Command{
+			Opcode: nvmeof.OpRead, Offset: base, Length: cs,
+		}, parity.Buffer{})
+	}
+}

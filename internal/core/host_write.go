@@ -1,0 +1,599 @@
+package core
+
+import (
+	"fmt"
+
+	"draid/internal/blockdev"
+	"draid/internal/nvmeof"
+	"draid/internal/parity"
+	"draid/internal/raid"
+)
+
+// Write implements blockdev.Device. Each affected stripe is admitted through
+// the per-stripe write queue (§3), then executed in the cheapest mode:
+// full-stripe (host-side parity), disaggregated read-modify-write, or
+// disaggregated reconstruct-write (§5). Degraded stripes are handled per the
+// rules documented on stripeWrite.
+func (h *HostController) Write(off int64, data parity.Buffer, cb func(error)) {
+	n := int64(data.Len())
+	if err := blockdev.CheckRange(off, n, h.size); err != nil {
+		h.eng.Defer(func() { cb(err) })
+		return
+	}
+	h.stats.Writes++
+	h.stats.UserBytesWritten += n
+	if n == 0 {
+		h.eng.Defer(func() { cb(nil) })
+		return
+	}
+	byStripe := raid.StripeExtents(h.geo.Split(off, n))
+	pending := len(byStripe)
+	var firstErr error
+	for stripe, group := range byStripe {
+		stripe, group := stripe, group
+		h.acquireStripe(stripe, func() {
+			h.markDirty(stripe)
+			h.stripeWrite(stripe, group, data, false, func(err error) {
+				h.clearDirty(stripe)
+				h.releaseStripe(stripe)
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				pending--
+				if pending == 0 {
+					cb(firstErr)
+				}
+			})
+		})
+	}
+	h.cores.Exec(h.cfg.Costs.PerUser, func() {})
+}
+
+// stripeWrite executes the write for one stripe. Degraded rules:
+//
+//   - no failed member in this stripe's chunk set → normal mode decision;
+//   - only parity member(s) failed → same flow minus the failed reducer(s);
+//     RAID-5 with P failed degenerates to plain data writes;
+//   - a failed DATA chunk untouched by the write → forced RMW (its old value
+//     stays encoded in parity; deltas from written chunks suffice);
+//   - a failed DATA chunk touched by the write → reconstruct-write with the
+//     host supplying the failed chunk's new data to the reducer(s), valid
+//     when that chunk's written range covers the whole union; otherwise, or
+//     with two failed data chunks touched, the host fallback restores
+//     consistency centrally.
+//
+// isRetry marks the §5.4 full-stripe retry after a timeout, which always
+// goes through the host fallback path and is attempted only once.
+func (h *HostController) stripeWrite(stripe int64, exts []raid.Extent, data parity.Buffer, isRetry bool, done func(error)) {
+	if isRetry {
+		h.hostFallbackWrite(stripe, exts, data, done)
+		return
+	}
+
+	pDrive := h.geo.PDrive(stripe)
+	pAlive := !h.failed[pDrive]
+	qDrive, qAlive := -1, false
+	if h.geo.Level == raid.Raid6 {
+		qDrive = h.geo.QDrive(stripe)
+		qAlive = !h.failed[qDrive]
+	}
+
+	var touchedFailed, touchedAlive []raid.Extent
+	anyFailedDataUntouched := false
+	touchedSet := make(map[int]bool)
+	for _, e := range exts {
+		touchedSet[e.Chunk] = true
+		if h.failed[h.geo.DataDrive(stripe, e.Chunk)] {
+			touchedFailed = append(touchedFailed, e)
+		} else {
+			touchedAlive = append(touchedAlive, e)
+		}
+	}
+	for c := 0; c < h.geo.DataChunks(); c++ {
+		if !touchedSet[c] && h.failed[h.geo.DataDrive(stripe, c)] {
+			anyFailedDataUntouched = true
+		}
+	}
+
+	onTimeout := h.writeTimeoutHandler(stripe, exts, data, isRetry, done)
+
+	mode := h.geo.DecideWriteMode(exts)
+	switch {
+	case len(touchedFailed) == 0 && !anyFailedDataUntouched:
+		// All data chunks of this stripe are healthy.
+		switch {
+		case mode == raid.ModeFull:
+			h.stats.FullStripeWrites++
+			h.fullStripeWrite(stripe, data, exts, pAlive, qAlive, onTimeout, done)
+		case !pAlive && h.geo.Level == raid.Raid5:
+			h.plainWrites(stripe, touchedAlive, data, onTimeout, done)
+		case h.cfg.HostParityOnly:
+			h.hostFallbackWrite(stripe, exts, data, done)
+		case mode == raid.ModeRMW:
+			h.stats.RMWWrites++
+			h.rmwWrite(stripe, exts, data, pAlive, qAlive, onTimeout, done)
+		default:
+			h.stats.RCWWrites++
+			h.rcwWrite(stripe, exts, data, nil, pAlive, qAlive, onTimeout, done)
+		}
+	case len(touchedFailed) == 0:
+		// A failed data chunk exists but is untouched: RMW only.
+		if !pAlive && !qAlive {
+			h.plainWrites(stripe, touchedAlive, data, onTimeout, done)
+			return
+		}
+		h.stats.RMWWrites++
+		h.rmwWrite(stripe, exts, data, pAlive, qAlive, onTimeout, done)
+	case len(touchedFailed) == 1 && !anyFailedDataUntouched && (pAlive || qAlive):
+		fe := touchedFailed[0]
+		uLo, uHi := unionRange(exts)
+		if fe.Off == uLo && fe.Off+fe.Len == uHi && mode != raid.ModeFull {
+			h.stats.RCWWrites++
+			h.rcwWrite(stripe, exts, data, &fe, pAlive, qAlive, onTimeout, done)
+			return
+		}
+		if mode == raid.ModeFull {
+			h.stats.FullStripeWrites++
+			h.fullStripeWrite(stripe, data, exts, pAlive, qAlive, onTimeout, done)
+			return
+		}
+		h.hostFallbackWrite(stripe, exts, data, done)
+	default:
+		h.hostFallbackWrite(stripe, exts, data, done)
+	}
+}
+
+// writeTimeoutHandler implements §5.4: after a timeout, the host waits for
+// terminal states (the op's deadline), marks truly-down targets failed, and
+// retries exactly once as a full-stripe-consistent host write. Transient
+// failures (no node actually down — network jitter, dropped messages) take
+// the same retry, which is safe because the retry never depends on the
+// expired operation's partial state.
+func (h *HostController) writeTimeoutHandler(stripe int64, exts []raid.Extent, data parity.Buffer, isRetry bool, done func(error)) func([]NodeID) {
+	return func(missing []NodeID) {
+		if isRetry {
+			done(blockdev.ErrTimeout)
+			return
+		}
+		h.stats.Retries++
+		for _, m := range missing {
+			h.SetFailed(int(m), true)
+		}
+		h.trace("stripe %d write retry (down: %v)", stripe, missing)
+		h.stripeWrite(stripe, exts, data, true, done)
+	}
+}
+
+// unionRange returns the chunk-relative union [lo,hi) of the written ranges
+// across the stripe's extents — the byte positions where parity changes.
+func unionRange(exts []raid.Extent) (lo, hi int64) {
+	lo, hi = exts[0].Off, exts[0].Off+exts[0].Len
+	for _, e := range exts[1:] {
+		if e.Off < lo {
+			lo = e.Off
+		}
+		if e.Off+e.Len > hi {
+			hi = e.Off + e.Len
+		}
+	}
+	return lo, hi
+}
+
+// fullStripeWrite computes parity on the host (§3: disaggregation gains
+// nothing for full-stripe writes) and issues plain writes to every healthy
+// member.
+func (h *HostController) fullStripeWrite(stripe int64, data parity.Buffer, exts []raid.Extent, pAlive, qAlive bool, onTimeout func([]NodeID), done func(error)) {
+	k := h.geo.DataChunks()
+	cs := h.geo.ChunkSize
+	chunks := make([]parity.Buffer, k)
+	for _, e := range exts {
+		if e.Off != 0 || e.Len != cs {
+			panic("core: full-stripe write with partial extent")
+		}
+		chunks[e.Chunk] = data.Slice(int(e.VOff), int(cs))
+	}
+	absOff := h.geo.DriveOffset(stripe)
+
+	var targets []NodeID
+	for c := 0; c < k; c++ {
+		d := h.geo.DataDrive(stripe, c)
+		if !h.failed[d] {
+			targets = append(targets, NodeID(d))
+		}
+	}
+	parityWork := h.cfg.Costs.Xor(int(cs) * k)
+	if h.geo.Level == raid.Raid6 && qAlive {
+		parityWork += h.cfg.Costs.Gf(int(cs) * k)
+	}
+	h.cores.Exec(parityWork, func() {
+		var pBuf, qBuf parity.Buffer
+		if pAlive {
+			pBuf = parity.ComputeP(chunks)
+		}
+		if qAlive {
+			qBuf = parity.ComputeQ(chunks, nil)
+		}
+		expect := len(targets)
+		if pAlive {
+			expect++
+		}
+		if qAlive {
+			expect++
+		}
+		watch := append([]NodeID(nil), targets...)
+		if pAlive {
+			watch = append(watch, NodeID(h.geo.PDrive(stripe)))
+		}
+		if qAlive {
+			watch = append(watch, NodeID(h.geo.QDrive(stripe)))
+		}
+		op := h.newStripeOp(stripe, expect, watch, func() { done(nil) }, onTimeout)
+		for _, t := range targets {
+			_, idx := h.geo.Role(stripe, int(t))
+			h.send(op, t, nvmeof.Command{Opcode: nvmeof.OpWrite, Offset: absOff, Length: cs}, chunks[idx])
+		}
+		if pAlive {
+			h.send(op, NodeID(h.geo.PDrive(stripe)), nvmeof.Command{Opcode: nvmeof.OpWrite, Offset: absOff, Length: cs}, pBuf)
+		}
+		if qAlive {
+			h.send(op, NodeID(h.geo.QDrive(stripe)), nvmeof.Command{Opcode: nvmeof.OpWrite, Offset: absOff, Length: cs}, qBuf)
+		}
+	})
+}
+
+// plainWrites issues bare data writes with no parity maintenance — the
+// degenerate degraded mode when no parity member of the stripe survives.
+func (h *HostController) plainWrites(stripe int64, exts []raid.Extent, data parity.Buffer, onTimeout func([]NodeID), done func(error)) {
+	if len(exts) == 0 {
+		h.eng.Defer(func() { done(nil) })
+		return
+	}
+	watch := make([]NodeID, 0, len(exts))
+	for _, e := range exts {
+		watch = append(watch, NodeID(h.geo.DataDrive(stripe, e.Chunk)))
+	}
+	op := h.newStripeOp(stripe, len(exts), watch, func() { done(nil) }, onTimeout)
+	for _, e := range exts {
+		t := NodeID(h.geo.DataDrive(stripe, e.Chunk))
+		h.send(op, t, nvmeof.Command{
+			Opcode: nvmeof.OpWrite,
+			Offset: h.geo.DriveOffset(stripe) + e.Off, Length: e.Len,
+		}, data.Slice(int(e.VOff), int(e.Len)))
+	}
+}
+
+// parityDests returns the NextDest/NextDest2 routing for a stripe.
+func (h *HostController) parityDests(stripe int64, pAlive, qAlive bool) (pDest, qDest uint16) {
+	pDest, qDest = NoDest, NoDest
+	if pAlive {
+		pDest = uint16(h.geo.PDrive(stripe))
+	}
+	if qAlive && h.geo.Level == raid.Raid6 {
+		qDest = uint16(h.geo.QDrive(stripe))
+	}
+	return pDest, qDest
+}
+
+// rmwWrite runs the disaggregated read-modify-write of §5: PartialWrite to
+// each written data bdev, Parity to the reducer(s), peer-to-peer delta
+// forwarding, non-blocking reduce.
+func (h *HostController) rmwWrite(stripe int64, exts []raid.Extent, data parity.Buffer, pAlive, qAlive bool, onTimeout func([]NodeID), done func(error)) {
+	base := h.geo.DriveOffset(stripe)
+	uLo, uHi := unionRange(exts)
+	union := nvmeof.SGE{Off: base + uLo, Len: uHi - uLo}
+	pDest, qDest := h.parityDests(stripe, pAlive, qAlive)
+
+	expect := len(exts) // one bdevD callback per written chunk
+	var watch []NodeID
+	for _, e := range exts {
+		watch = append(watch, NodeID(h.geo.DataDrive(stripe, e.Chunk)))
+	}
+	if pDest != NoDest {
+		expect++
+		watch = append(watch, NodeID(pDest))
+	}
+	if qDest != NoDest {
+		expect++
+		watch = append(watch, NodeID(qDest))
+	}
+	op := h.newStripeOp(stripe, expect, watch, func() { done(nil) }, onTimeout)
+
+	for _, e := range exts {
+		t := NodeID(h.geo.DataDrive(stripe, e.Chunk))
+		h.send(op, t, nvmeof.Command{
+			Opcode:  nvmeof.OpPartialWrite,
+			Subtype: nvmeof.SubRMW,
+			Offset:  base + e.Off, Length: e.Len,
+			FwdOffset: base + e.Off, FwdLength: e.Len,
+			NextDest: pDest, NextDest2: qDest,
+			DataIdx: uint16(e.Chunk),
+			SGL:     []nvmeof.SGE{union},
+		}, data.Slice(int(e.VOff), int(e.Len)))
+	}
+	parityCmd := nvmeof.Command{
+		Opcode:  nvmeof.OpParity,
+		Subtype: nvmeof.SubRMW,
+		Offset:  union.Off, Length: union.Len,
+		WaitNum: uint16(len(exts)),
+		DataIdx: NoScale,
+	}
+	if pDest != NoDest {
+		h.send(op, NodeID(pDest), parityCmd, parity.Buffer{})
+	}
+	if qDest != NoDest {
+		h.send(op, NodeID(qDest), parityCmd, parity.Buffer{})
+	}
+}
+
+// rcwWrite runs the disaggregated reconstruct-write: written chunks
+// contribute their new content, untouched chunks their stored content, and
+// parity is recomputed over the union with no old-parity preload.
+// hostContrib, when non-nil, is the failed chunk whose new data the host
+// contributes directly to the reducer(s) (degraded writes).
+func (h *HostController) rcwWrite(stripe int64, exts []raid.Extent, data parity.Buffer, hostContrib *raid.Extent, pAlive, qAlive bool, onTimeout func([]NodeID), done func(error)) {
+	base := h.geo.DriveOffset(stripe)
+	uLo, uHi := unionRange(exts)
+	union := nvmeof.SGE{Off: base + uLo, Len: uHi - uLo}
+	pDest, qDest := h.parityDests(stripe, pAlive, qAlive)
+
+	extByChunk := make(map[int]raid.Extent)
+	for _, e := range exts {
+		extByChunk[e.Chunk] = e
+	}
+
+	var written, readers []int // chunk indices of alive participants
+	for c := 0; c < h.geo.DataChunks(); c++ {
+		d := h.geo.DataDrive(stripe, c)
+		if h.failed[d] {
+			continue
+		}
+		if _, ok := extByChunk[c]; ok {
+			written = append(written, c)
+		} else {
+			readers = append(readers, c)
+		}
+	}
+
+	expect := len(written)
+	var watch []NodeID
+	for _, c := range append(append([]int(nil), written...), readers...) {
+		watch = append(watch, NodeID(h.geo.DataDrive(stripe, c)))
+	}
+	if pDest != NoDest {
+		expect++
+		watch = append(watch, NodeID(pDest))
+	}
+	if qDest != NoDest {
+		expect++
+		watch = append(watch, NodeID(qDest))
+	}
+	if expect == 0 {
+		h.eng.Defer(func() { done(fmt.Errorf("core: stripe %d has no healthy participants: %w", stripe, blockdev.ErrIO)) })
+		return
+	}
+	op := h.newStripeOp(stripe, expect, watch, func() { done(nil) }, onTimeout)
+
+	waitNum := len(written) + len(readers)
+	for _, c := range written {
+		e := extByChunk[c]
+		h.send(op, NodeID(h.geo.DataDrive(stripe, c)), nvmeof.Command{
+			Opcode:  nvmeof.OpPartialWrite,
+			Subtype: nvmeof.SubRWWrite,
+			Offset:  base + e.Off, Length: e.Len,
+			FwdOffset: union.Off, FwdLength: union.Len,
+			NextDest: pDest, NextDest2: qDest,
+			DataIdx: uint16(c),
+			SGL:     []nvmeof.SGE{union},
+		}, data.Slice(int(e.VOff), int(e.Len)))
+	}
+	for _, c := range readers {
+		h.send(op, NodeID(h.geo.DataDrive(stripe, c)), nvmeof.Command{
+			Opcode:  nvmeof.OpPartialWrite,
+			Subtype: nvmeof.SubRWRead,
+			Offset:  union.Off, Length: 0,
+			FwdOffset: union.Off, FwdLength: union.Len,
+			NextDest: pDest, NextDest2: qDest,
+			DataIdx: uint16(c),
+			SGL:     []nvmeof.SGE{union},
+		}, parity.Buffer{})
+	}
+	parityCmd := nvmeof.Command{
+		Opcode:  nvmeof.OpParity,
+		Subtype: nvmeof.SubNone,
+		Offset:  union.Off, Length: union.Len,
+		WaitNum: uint16(waitNum),
+		DataIdx: NoScale,
+	}
+	var contribPayload parity.Buffer
+	if hostContrib != nil {
+		e := *hostContrib
+		parityCmd.FwdOffset = base + e.Off
+		parityCmd.FwdLength = e.Len
+		contribPayload = data.Slice(int(e.VOff), int(e.Len))
+	}
+	if pDest != NoDest {
+		h.send(op, NodeID(pDest), parityCmd, contribPayload.Clone())
+	}
+	if qDest != NoDest {
+		qCmd := parityCmd
+		if hostContrib != nil {
+			qCmd.DataIdx = uint16(hostContrib.Chunk)
+		}
+		h.send(op, NodeID(qDest), qCmd, contribPayload.Clone())
+	}
+}
+
+// hostFallbackWrite restores full stripe consistency centrally: fetch the
+// stripe's survivor state over the union range, compute new data and parity
+// on the host, and write everything back. Used for the §5.4 full-stripe
+// retry, for degraded corner cases, and for the HostParityOnly ablation.
+func (h *HostController) hostFallbackWrite(stripe int64, exts []raid.Extent, data parity.Buffer, done func(error)) {
+	h.stats.HostFallbackWrites++
+	base := h.geo.DriveOffset(stripe)
+	uLo, uHi := unionRange(exts)
+	uLen := uHi - uLo
+	k := h.geo.DataChunks()
+
+	pDrive := h.geo.PDrive(stripe)
+	pAlive := !h.failed[pDrive]
+	qDrive, qAlive := -1, false
+	if h.geo.Level == raid.Raid6 {
+		qDrive = h.geo.QDrive(stripe)
+		qAlive = !h.failed[qDrive]
+	}
+
+	// Phase 1: read the union range of every alive data chunk, plus P if we
+	// need to reconstruct a lost chunk's old content.
+	type slot struct {
+		buf parity.Buffer
+		ok  bool
+	}
+	dataOld := make([]slot, k)
+	var pOld slot
+	var lostIdx []int
+	var aliveIdx []int
+	for c := 0; c < k; c++ {
+		if h.failed[h.geo.DataDrive(stripe, c)] {
+			lostIdx = append(lostIdx, c)
+		} else {
+			aliveIdx = append(aliveIdx, c)
+		}
+	}
+	if len(lostIdx) > 1 || (len(lostIdx) == 1 && !pAlive) {
+		// Two lost data chunks, or a lost chunk whose old content can no
+		// longer be recovered through P — reconstructable in principle via
+		// Q, but out of scope for the fallback writer.
+		h.eng.Defer(func() { done(blockdev.ErrIO) })
+		return
+	}
+	needP := len(lostIdx) == 1 && pAlive
+
+	reads := len(aliveIdx)
+	if needP {
+		reads++
+	}
+	var watch []NodeID
+	for _, c := range aliveIdx {
+		watch = append(watch, NodeID(h.geo.DataDrive(stripe, c)))
+	}
+	if needP {
+		watch = append(watch, NodeID(pDrive))
+	}
+
+	finishPhase2 := func() {
+		// Reconstruct the lost chunk's old content through P if present.
+		if len(lostIdx) == 1 {
+			acc := pOld.buf.Clone()
+			for _, c := range aliveIdx {
+				acc = parity.XORInto(acc, dataOld[c].buf)
+			}
+			dataOld[lostIdx[0]] = slot{buf: acc, ok: true}
+		}
+		// Overlay the new data.
+		newData := make([]parity.Buffer, k)
+		for c := 0; c < k; c++ {
+			newData[c] = dataOld[c].buf.Clone()
+		}
+		elided := data.Elided()
+		for _, e := range exts {
+			if elided {
+				newData[e.Chunk] = parity.Sized(int(uLen))
+				continue
+			}
+			newData[e.Chunk].CopyAt(int(e.Off-uLo), data.Slice(int(e.VOff), int(e.Len)))
+		}
+		work := h.cfg.Costs.Xor(int(uLen) * k)
+		if qAlive {
+			work += h.cfg.Costs.Gf(int(uLen) * k)
+		}
+		h.cores.Exec(work, func() {
+			var pNew, qNew parity.Buffer
+			if pAlive {
+				pNew = parity.ComputeP(newData)
+			}
+			if qAlive {
+				qNew = parity.ComputeQ(newData, nil)
+			}
+			// Phase 3: write back touched alive chunks + parity.
+			writes := 0
+			var wWatch []NodeID
+			for _, e := range exts {
+				d := h.geo.DataDrive(stripe, e.Chunk)
+				if !h.failed[d] {
+					writes++
+					wWatch = append(wWatch, NodeID(d))
+				}
+			}
+			if pAlive {
+				writes++
+				wWatch = append(wWatch, NodeID(pDrive))
+			}
+			if qAlive {
+				writes++
+				wWatch = append(wWatch, NodeID(qDrive))
+			}
+			if writes == 0 {
+				done(nil)
+				return
+			}
+			wOp := h.newStripeOp(stripe, writes, wWatch,
+				func() { done(nil) },
+				func(missing []NodeID) {
+					for _, m := range missing {
+						h.SetFailed(int(m), true)
+					}
+					done(blockdev.ErrTimeout)
+				})
+			for _, e := range exts {
+				d := h.geo.DataDrive(stripe, e.Chunk)
+				if h.failed[d] {
+					continue
+				}
+				h.send(wOp, NodeID(d), nvmeof.Command{
+					Opcode: nvmeof.OpWrite, Offset: base + e.Off, Length: e.Len,
+				}, data.Slice(int(e.VOff), int(e.Len)))
+			}
+			if pAlive {
+				h.send(wOp, NodeID(pDrive), nvmeof.Command{
+					Opcode: nvmeof.OpWrite, Offset: base + uLo, Length: uLen,
+				}, pNew)
+			}
+			if qAlive {
+				h.send(wOp, NodeID(qDrive), nvmeof.Command{
+					Opcode: nvmeof.OpWrite, Offset: base + uLo, Length: uLen,
+				}, qNew)
+			}
+		})
+	}
+
+	if reads == 0 {
+		h.eng.Defer(finishPhase2)
+		return
+	}
+	rOp := h.newStripeOp(stripe, reads, watch,
+		finishPhase2,
+		func(missing []NodeID) {
+			for _, m := range missing {
+				h.SetFailed(int(m), true)
+			}
+			done(blockdev.ErrTimeout)
+		})
+	rOp.onPayload = func(from NodeID, _ nvmeof.Command, b parity.Buffer) {
+		if int(from) == pDrive {
+			pOld = slot{buf: b, ok: true}
+			return
+		}
+		_, idx := h.geo.Role(stripe, int(from))
+		dataOld[idx] = slot{buf: b, ok: true}
+	}
+	for _, c := range aliveIdx {
+		h.send(rOp, NodeID(h.geo.DataDrive(stripe, c)), nvmeof.Command{
+			Opcode: nvmeof.OpRead, Offset: base + uLo, Length: uLen,
+		}, parity.Buffer{})
+	}
+	if needP {
+		h.send(rOp, NodeID(pDrive), nvmeof.Command{
+			Opcode: nvmeof.OpRead, Offset: base + uLo, Length: uLen,
+		}, parity.Buffer{})
+	}
+}

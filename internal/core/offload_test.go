@@ -1,0 +1,128 @@
+package core_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"draid/internal/core"
+	"draid/internal/parity"
+	"draid/internal/raid"
+	"draid/internal/sim"
+)
+
+func TestOffloadRoundTrip(t *testing.T) {
+	cl, h := testCluster(t, 5, raid.Raid5)
+	clientNode := cl.Net.NewNode("client")
+	clientNode.AddNIC("nic0", 100)
+	client := core.NewOffload(cl.Eng, cl.Net, clientNode, h, cl.Costs)
+
+	data := randBytes(50, 48<<10)
+	var werr error = errors.New("pending")
+	client.Write(8<<10, parity.FromBytes(data), func(e error) { werr = e })
+	cl.Eng.Run()
+	if werr != nil {
+		t.Fatalf("offloaded write: %v", werr)
+	}
+	var got []byte
+	var rerr error = errors.New("pending")
+	client.Read(8<<10, int64(len(data)), func(b parity.Buffer, e error) { rerr, got = e, b.Data() })
+	cl.Eng.Run()
+	if rerr != nil || !bytes.Equal(got, data) {
+		t.Fatalf("offloaded read err=%v match=%v", rerr, bytes.Equal(got, data))
+	}
+	if client.Size() != h.Size() {
+		t.Fatal("size mismatch")
+	}
+	verifyStripeParity(t, cl, h, 0)
+}
+
+func TestOffloadClientTrafficIsOnexEvenOnRMW(t *testing.T) {
+	cl, h := testCluster(t, 8, raid.Raid5)
+	clientNode := cl.Net.NewNode("client")
+	clientNode.AddNIC("nic0", 100)
+	client := core.NewOffload(cl.Eng, cl.Net, clientNode, h, cl.Costs)
+
+	seed := randBytes(51, chunkSize)
+	var werr error = errors.New("pending")
+	client.Write(0, parity.FromBytes(seed), func(e error) { werr = e })
+	cl.Eng.Run()
+	if werr != nil {
+		t.Fatal(werr)
+	}
+	clientNode.ResetCounters()
+	client.Write(0, parity.FromBytes(randBytes(52, chunkSize)), func(e error) { werr = e })
+	cl.Eng.Run()
+	if werr != nil {
+		t.Fatal(werr)
+	}
+	out := clientNode.BytesOut()
+	if ratio := float64(out) / chunkSize; ratio > 1.05 {
+		t.Fatalf("offloaded client outbound = %.2fx user bytes, want ~1x", ratio)
+	}
+}
+
+func TestOffloadDegradedRead(t *testing.T) {
+	cl, h := testCluster(t, 5, raid.Raid5)
+	clientNode := cl.Net.NewNode("client")
+	clientNode.AddNIC("nic0", 100)
+	client := core.NewOffload(cl.Eng, cl.Net, clientNode, h, cl.Costs)
+
+	data := randBytes(53, 32<<10)
+	var werr error = errors.New("pending")
+	client.Write(0, parity.FromBytes(data), func(e error) { werr = e })
+	cl.Eng.Run()
+	if werr != nil {
+		t.Fatal(werr)
+	}
+	failMember(cl, h, h.Geometry().DataDrive(0, 0))
+	var got []byte
+	var rerr error = errors.New("pending")
+	client.Read(0, int64(len(data)), func(b parity.Buffer, e error) { rerr, got = e, b.Data() })
+	cl.Eng.Run()
+	if rerr != nil || !bytes.Equal(got, data) {
+		t.Fatalf("offloaded degraded read err=%v", rerr)
+	}
+}
+
+// The paper's trade-off: the extra hop adds latency versus the direct
+// controller.
+func TestOffloadAddsLatency(t *testing.T) {
+	direct := func() sim.Time {
+		cl, h := testCluster(t, 5, raid.Raid5)
+		var done sim.Time
+		h.Write(0, parity.FromBytes(randBytes(54, 16<<10)), func(error) { done = cl.Eng.Now() })
+		cl.Eng.Run()
+		return done
+	}()
+	offloaded := func() sim.Time {
+		cl, h := testCluster(t, 5, raid.Raid5)
+		clientNode := cl.Net.NewNode("client")
+		clientNode.AddNIC("nic0", 100)
+		client := core.NewOffload(cl.Eng, cl.Net, clientNode, h, cl.Costs)
+		var done sim.Time
+		client.Write(0, parity.FromBytes(randBytes(54, 16<<10)), func(error) { done = cl.Eng.Now() })
+		cl.Eng.Run()
+		return done
+	}()
+	if offloaded <= direct {
+		t.Fatalf("offloaded write (%v) should cost more than direct (%v)", offloaded, direct)
+	}
+	if offloaded > direct+sim.Time(100*sim.Microsecond) {
+		t.Fatalf("offload overhead %v implausibly high", offloaded-direct)
+	}
+}
+
+func TestOffloadBoundsChecked(t *testing.T) {
+	cl, h := testCluster(t, 5, raid.Raid5)
+	clientNode := cl.Net.NewNode("client")
+	clientNode.AddNIC("nic0", 100)
+	client := core.NewOffload(cl.Eng, cl.Net, clientNode, h, cl.Costs)
+	var rerr, werr error
+	client.Read(client.Size(), 10, func(_ parity.Buffer, e error) { rerr = e })
+	client.Write(-5, parity.Sized(1), func(e error) { werr = e })
+	cl.Eng.Run()
+	if rerr == nil || werr == nil {
+		t.Fatal("out-of-range accepted")
+	}
+}

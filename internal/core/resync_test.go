@@ -1,0 +1,200 @@
+package core_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"draid/internal/core"
+	"draid/internal/parity"
+	"draid/internal/raid"
+	"draid/internal/sim"
+)
+
+func TestDirtyBitmapTracksInflightWrites(t *testing.T) {
+	cl, h := testCluster(t, 5, raid.Raid5)
+	if len(h.DirtyStripes()) != 0 {
+		t.Fatal("fresh array should have no dirty stripes")
+	}
+	h.Write(0, parity.FromBytes(randBytes(60, 8<<10)), func(error) {})
+	h.Write(5*4*chunkSize, parity.FromBytes(randBytes(61, 8<<10)), func(error) {})
+	// Mid-flight, both stripes are dirty.
+	if got := h.DirtyStripes(); len(got) != 2 || got[0] != 0 || got[1] != 5 {
+		t.Fatalf("dirty = %v, want [0 5]", got)
+	}
+	cl.Eng.Run()
+	if len(h.DirtyStripes()) != 0 {
+		t.Fatalf("dirty after completion = %v", h.DirtyStripes())
+	}
+}
+
+func TestDirtyBitmapCountsOverlappingWrites(t *testing.T) {
+	cl, h := testCluster(t, 5, raid.Raid5)
+	h.Write(0, parity.FromBytes(randBytes(62, 4<<10)), func(error) {})
+	h.Write(8<<10, parity.FromBytes(randBytes(63, 4<<10)), func(error) {})
+	if got := h.DirtyStripes(); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("dirty = %v, want [0]", got)
+	}
+	cl.Eng.RunFor(20 * sim.Microsecond)
+	// The stripe stays dirty until BOTH writes (the second is queued behind
+	// the stripe lock) complete.
+	if len(h.DirtyStripes()) != 1 {
+		t.Fatalf("dirty mid-queue = %v", h.DirtyStripes())
+	}
+	cl.Eng.Run()
+	if len(h.DirtyStripes()) != 0 {
+		t.Fatal("dirty not cleared")
+	}
+}
+
+// Host crash scenario (§5.4): a write is interrupted mid-flight (the
+// controller "dies"), a replacement controller takes over, resyncs only the
+// bitmap's stripes, and the parity invariant is restored without a full
+// scan.
+func TestHostCrashResyncRestoresParity(t *testing.T) {
+	cl, h := testCluster(t, 5, raid.Raid5)
+	seed := randBytes(64, 4*chunkSize)
+	mustWrite(t, cl, h, 0, seed)
+
+	// Interrupt an RMW mid-flight: run just far enough for the data bdev to
+	// have written new data but (deliberately) not to completion.
+	h.Write(0, parity.FromBytes(randBytes(65, chunkSize)), func(error) {})
+	cl.Eng.RunFor(80 * sim.Microsecond)
+	dirty := h.DirtyStripes()
+	if len(dirty) != 1 || dirty[0] != 0 {
+		t.Fatalf("dirty at crash = %v, want [0]", dirty)
+	}
+
+	// "Crash": a replacement controller registers over the fabric's host
+	// endpoint. In-flight completions of the dead controller are dropped.
+	h2 := cl.NewDRAID(core.Config{
+		Geometry: raid.Geometry{Level: raid.Raid5, Width: 5, ChunkSize: chunkSize},
+		Deadline: 50 * sim.Millisecond,
+	})
+	cl.Eng.Run() // drain the dead controller's traffic
+
+	for _, s := range dirty {
+		err := errors.New("pending")
+		h2.ResyncStripe(s, func(e error) { err = e })
+		cl.Eng.Run()
+		if err != nil {
+			t.Fatalf("resync stripe %d: %v", s, err)
+		}
+	}
+	// Parity must be consistent with whatever data landed.
+	verifyStripeParity(t, cl, h2, 0)
+}
+
+func TestResyncRaid6RecomputesBothParities(t *testing.T) {
+	cl, h := testCluster(t, 6, raid.Raid6)
+	mustWrite(t, cl, h, 0, randBytes(66, 4*chunkSize))
+	// Corrupt both parity chunks directly, then resync.
+	g := h.Geometry()
+	cl.Drives[g.PDrive(0)].Write(0, parity.FromBytes(randBytes(67, chunkSize)), func(error) {})
+	cl.Drives[g.QDrive(0)].Write(0, parity.FromBytes(randBytes(68, chunkSize)), func(error) {})
+	cl.Eng.Run()
+	err := errors.New("pending")
+	h.ResyncStripe(0, func(e error) { err = e })
+	cl.Eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyStripeParity(t, cl, h, 0)
+}
+
+func TestResyncDegradedStripeNoParityAlive(t *testing.T) {
+	cl, h := testCluster(t, 4, raid.Raid5)
+	mustWrite(t, cl, h, 0, randBytes(69, 3*chunkSize))
+	failMember(cl, h, h.Geometry().PDrive(0))
+	err := errors.New("pending")
+	h.ResyncStripe(0, func(e error) { err = e })
+	cl.Eng.Run()
+	if err != nil {
+		t.Fatalf("resync with dead parity should no-op cleanly: %v", err)
+	}
+}
+
+// Rebuilding a data chunk when P is ALSO lost must fall back to the Q-based
+// GF reconstruction (RAID-6 dual-failure rebuild).
+func TestReconstructDataChunkViaQ(t *testing.T) {
+	cl, h := testCluster(t, 6, raid.Raid6)
+	data := randBytes(80, 4*chunkSize)
+	mustWrite(t, cl, h, 0, data)
+	g := h.Geometry()
+	m := g.DataDrive(0, 2)
+	want := cl.Drives[m].PeekSync(0, chunkSize)
+	failMember(cl, h, m)
+	failMember(cl, h, g.PDrive(0))
+	var got parity.Buffer
+	rerr := errors.New("pending")
+	h.ReconstructStripeChunk(0, m, func(b parity.Buffer, err error) { got, rerr = b, err })
+	cl.Eng.Run()
+	if rerr != nil {
+		t.Fatalf("Q-based reconstruction: %v", rerr)
+	}
+	if !bytes.Equal(got.Data(), want) {
+		t.Fatal("Q-based reconstruction mismatch")
+	}
+}
+
+// RAID-5 with P lost cannot rebuild a data member.
+func TestReconstructDataChunkNoParityErrors(t *testing.T) {
+	cl, h := testCluster(t, 5, raid.Raid5)
+	mustWrite(t, cl, h, 0, randBytes(81, 4*chunkSize))
+	g := h.Geometry()
+	m := g.DataDrive(0, 0)
+	failMember(cl, h, m)
+	failMember(cl, h, g.PDrive(0))
+	rerr := errors.New("pending")
+	h.ReconstructStripeChunk(0, m, func(_ parity.Buffer, err error) { rerr = err })
+	cl.Eng.Run()
+	if rerr == nil {
+		t.Fatal("unrecoverable rebuild should error")
+	}
+}
+
+// §5.4 transient failures: a dropped message (network jitter, no node down)
+// must be absorbed by the timeout + retry mechanism, not surfaced.
+func TestTransientDropRetriedWrite(t *testing.T) {
+	cl, h := testCluster(t, 5, raid.Raid5)
+	seed := randBytes(82, 4*chunkSize)
+	mustWrite(t, cl, h, 0, seed)
+	// Drop every host→target0 message for the first attempt only.
+	conn := cl.Fabric.Connection(core.HostID, 0)
+	conn.InjectDrop(1.0)
+	cl.Eng.After(20*sim.Millisecond, func() { conn.InjectDrop(0) })
+
+	data := randBytes(83, 4*chunkSize) // full stripe touches member 0
+	werr := errors.New("pending")
+	h.Write(0, parity.FromBytes(data), func(e error) { werr = e })
+	cl.Eng.Run()
+	if werr != nil {
+		t.Fatalf("transient drop not absorbed: %v", werr)
+	}
+	if h.Stats().Retries == 0 {
+		t.Fatalf("stats = %+v, want a retry", h.Stats())
+	}
+	if len(h.FailedMembers()) != 0 {
+		t.Fatalf("transient failure wrongly degraded members: %v", h.FailedMembers())
+	}
+	if !bytes.Equal(mustRead(t, cl, h, 0, int64(len(data))), data) {
+		t.Fatal("post-retry content mismatch")
+	}
+	verifyStripeParity(t, cl, h, 0)
+}
+
+func TestTransientDropRetriedRead(t *testing.T) {
+	cl, h := testCluster(t, 5, raid.Raid5)
+	data := randBytes(84, 16<<10)
+	mustWrite(t, cl, h, 0, data)
+	conn := cl.Fabric.Connection(core.HostID, core.NodeID(h.Geometry().DataDrive(0, 0)))
+	conn.InjectDrop(1.0)
+	cl.Eng.After(20*sim.Millisecond, func() { conn.InjectDrop(0) })
+	got := mustRead(t, cl, h, 0, int64(len(data)))
+	if !bytes.Equal(got, data) {
+		t.Fatal("transient-drop read mismatch")
+	}
+	if len(h.FailedMembers()) != 0 {
+		t.Fatalf("read retry wrongly degraded members: %v", h.FailedMembers())
+	}
+}

@@ -1,0 +1,496 @@
+package core
+
+import (
+	"fmt"
+
+	"draid/internal/cpu"
+	"draid/internal/nvmeof"
+	"draid/internal/parity"
+	"draid/internal/sim"
+	"draid/internal/ssd"
+)
+
+// ServerConfig parameterizes a server-side controller.
+type ServerConfig struct {
+	Costs cpu.Costs
+	// Pipelined enables the §5.3 parallel I/O pipeline: the drive write and
+	// the partial-parity generation/forwarding proceed concurrently after
+	// the drive read, and the bdev reports its completion to the host
+	// independently. When false, stages run serially (the ablation).
+	Pipelined bool
+	// BarrierReduce disables the §5.2 non-blocking reduce: peer
+	// contributions arriving before the anchoring Parity/Reconstruction
+	// command are buffered instead of reduced immediately (the "barrier
+	// between phases" design the paper rejects — an ablation knob).
+	BarrierReduce bool
+	// Trace, when non-nil, receives protocol events.
+	Trace func(format string, args ...any)
+}
+
+// ServerController is a dRAID bdev: the server-side controller managing one
+// drive. It is RAID-unaware — every command carries absolute drive offsets
+// and explicit forwarding destinations (§3: "A dRAID bdev is unaware of
+// being in a RAID").
+type ServerController struct {
+	id    NodeID
+	eng   *sim.Engine
+	fab   *Fabric
+	drive *ssd.Drive
+	core  *cpu.Core
+	cfg   ServerConfig
+
+	// Reduce-phase state (Algorithm 2), keyed by command ID. The paper keys
+	// by offset, relying on single-writer-per-stripe admission; command IDs
+	// are equivalent under that invariant and carry it explicitly.
+	reduces map[uint64]*reduceState
+}
+
+// reduceState accumulates partial results for one reduction (parity update
+// or data reconstruction) over the union segment [absOff, absOff+length).
+type reduceState struct {
+	absOff int64
+	length int64
+	acc    parity.Buffer
+	// counter implements the paper's wait_num trick: each Peer contribution
+	// decrements it; the anchoring Parity/Reconstruction command adds its
+	// WaitNum. The reduction completes when the anchor has arrived, any
+	// preload finished, and counter is zero.
+	counter        int
+	anchorArrived  bool
+	preloadPending bool
+	// writeBack: parity reductions persist the result to the drive;
+	// reconstructions return it to the host instead (§6.1 decoupled paths).
+	writeBack bool
+	replyTo   NodeID
+	id        uint64
+	// deferred holds contributions buffered by the BarrierReduce ablation.
+	deferred []func()
+}
+
+// NewServer creates a server-side controller and registers it on the fabric.
+func NewServer(id NodeID, eng *sim.Engine, fab *Fabric, drive *ssd.Drive, core *cpu.Core, cfg ServerConfig) *ServerController {
+	s := &ServerController{
+		id: id, eng: eng, fab: fab, drive: drive, core: core, cfg: cfg,
+		reduces: make(map[uint64]*reduceState),
+	}
+	fab.Register(id, s.handle)
+	return s
+}
+
+// Drive returns the controller's drive (for tests and rebuild tooling).
+func (s *ServerController) Drive() *ssd.Drive { return s.drive }
+
+func (s *ServerController) trace(format string, args ...any) {
+	if s.cfg.Trace != nil {
+		s.cfg.Trace("[t%d %8s] "+format, append([]any{int(s.id), s.eng.Now()}, args...)...)
+	}
+}
+
+// handle dispatches an incoming capsule after per-message CPU processing.
+func (s *ServerController) handle(m Message) {
+	s.core.Exec(s.cfg.Costs.PerMsg, func() {
+		s.trace("recv %v from %d", m.Cmd.String(), int(m.From))
+		switch m.Cmd.Opcode {
+		case nvmeof.OpRead:
+			s.handleRead(m)
+		case nvmeof.OpWrite:
+			s.handleWrite(m)
+		case nvmeof.OpPartialWrite:
+			s.handlePartialWrite(m)
+		case nvmeof.OpParity:
+			s.handleParity(m)
+		case nvmeof.OpReconstruction:
+			s.handleReconstruction(m)
+		case nvmeof.OpPeer:
+			s.handlePeer(m)
+		default:
+			panic(fmt.Sprintf("core: server %d: unexpected opcode %v", s.id, m.Cmd.Opcode))
+		}
+	})
+}
+
+// complete sends a completion capsule (optionally with payload) to dst. The
+// subtype disambiguates the two §6.1 return paths at the host: SubAlsoRead
+// marks a direct normal-read return, SubNoRead a reconstructed segment.
+func (s *ServerController) complete(dst NodeID, id uint64, st nvmeof.Status, off, length int64, payload parity.Buffer) {
+	s.completeSub(dst, id, st, nvmeof.SubNone, off, length, payload)
+}
+
+func (s *ServerController) completeSub(dst NodeID, id uint64, st nvmeof.Status, sub nvmeof.Subtype, off, length int64, payload parity.Buffer) {
+	cmd := nvmeof.Command{ID: id, Opcode: nvmeof.OpCompletion, Status: st, Subtype: sub, Offset: off, Length: length}
+	s.fab.Send(s.id, dst, cmd, payload)
+}
+
+// handleRead serves a standard NVMe-oF read.
+func (s *ServerController) handleRead(m Message) {
+	s.drive.Read(m.Cmd.Offset, m.Cmd.Length, func(b parity.Buffer, err error) {
+		s.core.Exec(s.cfg.Costs.PerIO, func() {
+			st := nvmeof.StatusSuccess
+			if err != nil {
+				st = nvmeof.StatusError
+			}
+			s.complete(m.From, m.Cmd.ID, st, m.Cmd.Offset, m.Cmd.Length, b)
+		})
+	})
+}
+
+// handleWrite serves a standard NVMe-oF write.
+func (s *ServerController) handleWrite(m Message) {
+	s.drive.Write(m.Cmd.Offset, m.Payload, func(err error) {
+		s.core.Exec(s.cfg.Costs.PerIO, func() {
+			st := nvmeof.StatusSuccess
+			if err != nil {
+				st = nvmeof.StatusError
+			}
+			s.complete(m.From, m.Cmd.ID, st, m.Cmd.Offset, int64(m.Payload.Len()), parity.Buffer{})
+		})
+	})
+}
+
+// sendContribution forwards a partial result to the P reducer and, for
+// RAID-6, the Q reducer named in the command. The contribution covers
+// [fo, fo+fl) absolute; union is quoted so a late-arriving anchor command
+// finds consistent state (§5.2).
+func (s *ServerController) sendContribution(cmd nvmeof.Command, contrib parity.Buffer, fo, fl int64, unionOff, unionLen int64) {
+	peer := nvmeof.Command{
+		ID: cmd.ID, Opcode: nvmeof.OpPeer, NSID: cmd.NSID,
+		Offset: unionOff, Length: unionLen,
+		FwdOffset: fo, FwdLength: fl,
+		DataIdx: NoScale,
+	}
+	if cmd.NextDest != NoDest {
+		s.trace("fwd contribution [%d,%d) to t%d", fo, fo+fl, cmd.NextDest)
+		s.fab.Send(s.id, NodeID(cmd.NextDest), peer, contrib)
+	}
+	if cmd.NextDest2 != NoDest {
+		qPeer := peer
+		qPeer.DataIdx = cmd.DataIdx // reducer scales by g^DataIdx
+		s.trace("fwd Q contribution [%d,%d) to t%d", fo, fo+fl, cmd.NextDest2)
+		s.fab.Send(s.id, NodeID(cmd.NextDest2), qPeer, contrib.Clone())
+	}
+}
+
+// handlePartialWrite implements Algorithm 1 (HandleDataChunk).
+//
+// Capsule conventions (all offsets absolute drive offsets):
+//   - Offset/Length + Payload: the write segment (Length 0 for RW_READ)
+//   - FwdOffset/FwdLength: this bdev's contribution segment
+//     (== write segment for RMW; == union for RW_WRITE/RW_READ)
+//   - SGL[0]: the union segment, quoted in Peer messages
+//   - NextDest / NextDest2 / DataIdx: reducer routing
+func (s *ServerController) handlePartialWrite(m Message) {
+	cmd := m.Cmd
+	if len(cmd.SGL) != 1 {
+		panic("core: PartialWrite without union SGL")
+	}
+	union := cmd.SGL[0]
+
+	writeDone := func() {
+		s.core.Exec(s.cfg.Costs.PerIO, func() {
+			// §5.3: the data bdev reports its own completion so the drive
+			// write need not gate parity forwarding.
+			s.complete(m.From, cmd.ID, nvmeof.StatusSuccess, cmd.Offset, cmd.Length, parity.Buffer{})
+		})
+	}
+
+	switch cmd.Subtype {
+	case nvmeof.SubRMW:
+		// Read old data over the write segment; delta = old ⊕ new.
+		s.drive.Read(cmd.Offset, cmd.Length, func(oldB parity.Buffer, err error) {
+			if err != nil {
+				s.complete(m.From, cmd.ID, nvmeof.StatusError, cmd.Offset, cmd.Length, parity.Buffer{})
+				return
+			}
+			forward := func(next func()) {
+				s.core.Exec(s.cfg.Costs.Xor(int(cmd.Length)), func() {
+					delta := parity.XORInto(oldB.Clone(), m.Payload)
+					s.sendContribution(cmd, delta, cmd.FwdOffset, cmd.FwdLength, union.Off, union.Len)
+					if next != nil {
+						next()
+					}
+				})
+			}
+			write := func(next func()) {
+				s.drive.Write(cmd.Offset, m.Payload, func(werr error) {
+					if werr != nil {
+						s.complete(m.From, cmd.ID, nvmeof.StatusError, cmd.Offset, cmd.Length, parity.Buffer{})
+						return
+					}
+					writeDone()
+					if next != nil {
+						next()
+					}
+				})
+			}
+			if s.cfg.Pipelined {
+				// Drive write and parity generation/forwarding overlap.
+				forward(nil)
+				write(nil)
+			} else {
+				forward(func() { write(nil) })
+			}
+		})
+
+	case nvmeof.SubRWWrite:
+		// Contribution = stored data over the union, overlaid with the new
+		// write segment. Skip the drive read when the write covers the
+		// whole union.
+		buildAndGo := func(contrib parity.Buffer) {
+			s.core.Exec(s.cfg.Costs.Xor(int(union.Len)), func() {
+				s.sendContribution(cmd, contrib, cmd.FwdOffset, cmd.FwdLength, union.Off, union.Len)
+			})
+		}
+		if cmd.Offset == union.Off && cmd.Length == union.Len {
+			buildAndGo(m.Payload.Clone())
+			s.drive.Write(cmd.Offset, m.Payload, func(err error) {
+				if err != nil {
+					s.complete(m.From, cmd.ID, nvmeof.StatusError, cmd.Offset, cmd.Length, parity.Buffer{})
+					return
+				}
+				writeDone()
+			})
+			return
+		}
+		s.drive.Read(union.Off, union.Len, func(oldB parity.Buffer, err error) {
+			if err != nil {
+				s.complete(m.From, cmd.ID, nvmeof.StatusError, cmd.Offset, cmd.Length, parity.Buffer{})
+				return
+			}
+			contrib := oldB.Clone()
+			contrib.CopyAt(int(cmd.Offset-union.Off), m.Payload)
+			if m.Payload.Elided() {
+				contrib = parity.Sized(contrib.Len())
+			}
+			write := func() {
+				s.drive.Write(cmd.Offset, m.Payload, func(werr error) {
+					if werr != nil {
+						s.complete(m.From, cmd.ID, nvmeof.StatusError, cmd.Offset, cmd.Length, parity.Buffer{})
+						return
+					}
+					writeDone()
+				})
+			}
+			if s.cfg.Pipelined {
+				buildAndGo(contrib)
+				write()
+			} else {
+				s.core.Exec(s.cfg.Costs.Xor(int(union.Len)), func() {
+					s.sendContribution(cmd, contrib, cmd.FwdOffset, cmd.FwdLength, union.Off, union.Len)
+					write()
+				})
+			}
+		})
+
+	case nvmeof.SubRWRead:
+		// Contribution = stored data over the union; nothing written, no
+		// host callback (the reducer's completion covers this bdev).
+		s.drive.Read(union.Off, union.Len, func(oldB parity.Buffer, err error) {
+			if err != nil {
+				s.complete(m.From, cmd.ID, nvmeof.StatusError, union.Off, union.Len, parity.Buffer{})
+				return
+			}
+			s.core.Exec(s.cfg.Costs.PerIO, func() {
+				s.sendContribution(cmd, oldB, cmd.FwdOffset, cmd.FwdLength, union.Off, union.Len)
+			})
+		})
+
+	default:
+		panic(fmt.Sprintf("core: PartialWrite subtype %v", cmd.Subtype))
+	}
+}
+
+// stateFor finds or creates the reduce state for a command ID.
+func (s *ServerController) stateFor(id uint64, absOff, length int64) *reduceState {
+	st, ok := s.reduces[id]
+	if !ok {
+		st = &reduceState{id: id, absOff: absOff, length: length, acc: parity.Alloc(int(length)), replyTo: HostID}
+		s.reduces[id] = st
+	}
+	return st
+}
+
+// reduceInto folds a contribution at [fo, fo+fl) into the accumulator,
+// scaled by g^dataIdx unless dataIdx is NoScale (Algorithm 2,
+// reduce_new_buffer — generalized to sub-ranges and RAID-6 Q).
+func (s *ServerController) reduceInto(st *reduceState, contrib parity.Buffer, fo, fl int64, dataIdx uint16) {
+	if fo < st.absOff || fo+fl > st.absOff+st.length {
+		panic(fmt.Sprintf("core: contribution [%d,%d) outside union [%d,%d)", fo, fo+fl, st.absOff, st.absOff+st.length))
+	}
+	dst := st.acc.Slice(int(fo-st.absOff), int(fl))
+	var merged parity.Buffer
+	if dataIdx == NoScale {
+		merged = parity.XORInto(dst, contrib)
+	} else {
+		merged = parity.MulAddInto(dst, parity.MulInto(contrib, parity.QCoeff(int(dataIdx))), 1)
+	}
+	if merged.Elided() && !st.acc.Elided() {
+		// An elided contribution poisons the whole accumulator.
+		st.acc = parity.Sized(int(st.length))
+	}
+}
+
+// handlePeer implements the Peer-arrival half of Algorithm 2
+// (handle_peer_partial_parity). Peers may arrive before the anchoring
+// Parity/Reconstruction command; state is created on demand.
+func (s *ServerController) handlePeer(m Message) {
+	cmd := m.Cmd
+	st := s.stateFor(cmd.ID, cmd.Offset, cmd.Length)
+	apply := func() {
+		cost := s.cfg.Costs.Xor(int(cmd.FwdLength))
+		if cmd.DataIdx != NoScale {
+			cost = s.cfg.Costs.Gf(int(cmd.FwdLength))
+		}
+		s.core.Exec(cost, func() {
+			s.reduceInto(st, m.Payload, cmd.FwdOffset, cmd.FwdLength, cmd.DataIdx)
+			st.counter--
+			s.finish(st)
+		})
+	}
+	if s.cfg.BarrierReduce && !st.anchorArrived {
+		st.deferred = append(st.deferred, apply)
+		return
+	}
+	apply()
+}
+
+// handleParity implements the host-command half of Algorithm 2
+// (handle_host_parity). RMW preloads the stored parity chunk; reconstruct
+// writes skip the preload. A payload on the Parity command is the host's own
+// contribution (degraded writes where the host supplies the failed chunk's
+// new data).
+func (s *ServerController) handleParity(m Message) {
+	cmd := m.Cmd
+	st := s.stateFor(cmd.ID, cmd.Offset, cmd.Length)
+	st.writeBack = true
+	st.replyTo = m.From
+
+	hostContrib := func() {
+		if m.Payload.Len() > 0 {
+			s.reduceInto(st, m.Payload, cmd.FwdOffset, cmd.FwdLength, cmd.DataIdx)
+		}
+	}
+
+	if cmd.Subtype == nvmeof.SubRMW {
+		st.preloadPending = true
+		s.drive.Read(cmd.Offset, cmd.Length, func(oldB parity.Buffer, err error) {
+			if err != nil {
+				s.complete(st.replyTo, st.id, nvmeof.StatusError, st.absOff, st.length, parity.Buffer{})
+				delete(s.reduces, st.id)
+				return
+			}
+			s.core.Exec(s.cfg.Costs.Xor(int(cmd.Length)), func() {
+				s.reduceInto(st, oldB, cmd.Offset, cmd.Length, NoScale)
+				hostContrib()
+				st.preloadPending = false
+				st.counter += int(cmd.WaitNum)
+				st.anchorArrived = true
+				s.drainDeferred(st)
+				s.finish(st)
+			})
+		})
+		return
+	}
+	s.core.Exec(s.cfg.Costs.Xor(int(cmd.FwdLength)), func() {
+		hostContrib()
+		st.counter += int(cmd.WaitNum)
+		st.anchorArrived = true
+		s.drainDeferred(st)
+		s.finish(st)
+	})
+}
+
+// drainDeferred releases contributions buffered by the BarrierReduce
+// ablation once the anchor command has arrived.
+func (s *ServerController) drainDeferred(st *reduceState) {
+	pending := st.deferred
+	st.deferred = nil
+	for _, fn := range pending {
+		fn()
+	}
+}
+
+// finish implements Algorithm 2's finish(): when every expected partial
+// result has been folded in (counter back to zero after the anchor's
+// WaitNum), persist or return the result.
+func (s *ServerController) finish(st *reduceState) {
+	if !st.anchorArrived || st.preloadPending || st.counter != 0 {
+		return
+	}
+	delete(s.reduces, st.id)
+	if st.writeBack {
+		s.drive.Write(st.absOff, st.acc, func(err error) {
+			st2 := nvmeof.StatusSuccess
+			if err != nil {
+				st2 = nvmeof.StatusError
+			}
+			s.core.Exec(s.cfg.Costs.PerIO, func() {
+				s.complete(st.replyTo, st.id, st2, st.absOff, st.length, parity.Buffer{})
+			})
+		})
+		return
+	}
+	// Reconstruction: return the rebuilt segment to the host directly.
+	s.core.Exec(s.cfg.Costs.PerIO, func() {
+		s.completeSub(st.replyTo, st.id, nvmeof.StatusSuccess, nvmeof.SubNoRead, st.absOff, st.length, st.acc)
+	})
+}
+
+// handleReconstruction implements the §6.1 degraded-read participant logic.
+//
+// Capsule conventions (absolute offsets):
+//   - Offset/Length: this bdev's combined drive read (union of its own
+//     normal-read segment and the reconstruction segment, plus any gap)
+//   - FwdOffset/FwdLength: the reconstruction segment R
+//   - SGL[0] (AlsoRead only): this bdev's own normal-read segment, returned
+//     directly to the host on the decoupled path
+//   - NextDest: the reducer; WaitNum (reducer only): expected contributions
+//     including the reducer's own
+//   - DataIdx: GF scale for this bdev's contribution (NoScale for XOR)
+func (s *ServerController) handleReconstruction(m Message) {
+	cmd := m.Cmd
+	isReducer := NodeID(cmd.NextDest) == s.id
+	if isReducer {
+		st := s.stateFor(cmd.ID, cmd.FwdOffset, cmd.FwdLength)
+		st.writeBack = false
+		st.replyTo = m.From
+		st.counter += int(cmd.WaitNum)
+		st.anchorArrived = true
+		s.drainDeferred(st)
+	}
+	s.drive.Read(cmd.Offset, cmd.Length, func(b parity.Buffer, err error) {
+		if err != nil {
+			s.complete(m.From, cmd.ID, nvmeof.StatusError, cmd.Offset, cmd.Length, parity.Buffer{})
+			return
+		}
+		// Decoupled return path: normal-read data goes straight home.
+		if cmd.Subtype == nvmeof.SubAlsoRead {
+			own := cmd.SGL[0]
+			s.core.Exec(s.cfg.Costs.PerIO, func() {
+				s.completeSub(m.From, cmd.ID, nvmeof.StatusSuccess, nvmeof.SubAlsoRead, own.Off, own.Len,
+					b.Slice(int(own.Off-cmd.Offset), int(own.Len)).Clone())
+			})
+		}
+		rPart := b.Slice(int(cmd.FwdOffset-cmd.Offset), int(cmd.FwdLength))
+		if isReducer {
+			st := s.stateFor(cmd.ID, cmd.FwdOffset, cmd.FwdLength)
+			cost := s.cfg.Costs.Xor(int(cmd.FwdLength))
+			if cmd.DataIdx != NoScale {
+				cost = s.cfg.Costs.Gf(int(cmd.FwdLength))
+			}
+			s.core.Exec(cost, func() {
+				s.reduceInto(st, rPart, cmd.FwdOffset, cmd.FwdLength, cmd.DataIdx)
+				st.counter--
+				s.finish(st)
+			})
+			return
+		}
+		peer := nvmeof.Command{
+			ID: cmd.ID, Opcode: nvmeof.OpPeer, NSID: cmd.NSID,
+			Offset: cmd.FwdOffset, Length: cmd.FwdLength,
+			FwdOffset: cmd.FwdOffset, FwdLength: cmd.FwdLength,
+			DataIdx: cmd.DataIdx,
+		}
+		s.trace("recon contribution [%d,%d) to t%d", cmd.FwdOffset, cmd.FwdOffset+cmd.FwdLength, cmd.NextDest)
+		s.fab.Send(s.id, NodeID(cmd.NextDest), peer, rPart.Clone())
+	})
+}

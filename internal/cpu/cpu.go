@@ -1,0 +1,121 @@
+// Package cpu models compute as FIFO time reservations on cores, so that
+// parity arithmetic and per-I/O software overhead consume virtual time and
+// can become the bottleneck (as they do for the Linux MD baseline) or stay
+// negligible (as the paper reports for dRAID's server-side controllers).
+package cpu
+
+import (
+	"fmt"
+
+	"draid/internal/sim"
+)
+
+// Costs converts work items to core time. Rates are bytes per second.
+type Costs struct {
+	XorBps  float64      // XOR throughput (ISA-L-class: tens of GB/s)
+	GfBps   float64      // GF(2^8) multiply-accumulate throughput
+	PerMsg  sim.Duration // handling one network message
+	PerIO   sim.Duration // submitting/completing one drive I/O
+	PerUser sim.Duration // admitting one user I/O (request parsing etc.)
+}
+
+// DefaultCosts reflects a modern x86 server core with ISA-L acceleration
+// (the paper: dRAID's parity work uses <25% of one core per SSD).
+func DefaultCosts() Costs {
+	return Costs{
+		XorBps:  40e9, // 40 GB/s single-core XOR
+		GfBps:   20e9, // 20 GB/s single-core GF multiply-accumulate
+		PerMsg:  600 * sim.Nanosecond,
+		PerIO:   700 * sim.Nanosecond,
+		PerUser: 500 * sim.Nanosecond,
+	}
+}
+
+// Xor returns the core time to XOR n bytes.
+func (c Costs) Xor(n int) sim.Duration {
+	return sim.Duration(float64(n) / c.XorBps * 1e9)
+}
+
+// Gf returns the core time to multiply-accumulate n bytes over GF(2^8).
+func (c Costs) Gf(n int) sim.Duration {
+	return sim.Duration(float64(n) / c.GfBps * 1e9)
+}
+
+// Core is one processor core running in poll mode: work items queue FIFO.
+type Core struct {
+	eng       *sim.Engine
+	busyUntil sim.Time
+	busyTotal sim.Duration
+}
+
+// NewCore returns an idle core.
+func NewCore(eng *sim.Engine) *Core { return &Core{eng: eng} }
+
+// Exec queues d of work and runs fn when it completes. Zero-cost work still
+// defers fn to preserve event ordering.
+func (c *Core) Exec(d sim.Duration, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("cpu: negative work %d", d))
+	}
+	start := c.eng.Now()
+	if c.busyUntil > start {
+		start = c.busyUntil
+	}
+	c.busyUntil = start + sim.Time(d)
+	c.busyTotal += d
+	c.eng.At(c.busyUntil, fn)
+}
+
+// BusyTotal returns accumulated busy time since creation.
+func (c *Core) BusyTotal() sim.Duration { return c.busyTotal }
+
+// Utilization returns the fraction of the window [since, now] this core was
+// busy, given the busy total observed at the window start.
+func (c *Core) Utilization(busyAtStart sim.Duration, since sim.Time) float64 {
+	elapsed := c.eng.Now() - since
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(c.busyTotal-busyAtStart) / float64(elapsed)
+}
+
+// Pool schedules work across several cores, picking the one that frees up
+// first (work-conserving, like an SPDK reactor group).
+type Pool struct {
+	cores []*Core
+}
+
+// NewPool creates n cores.
+func NewPool(eng *sim.Engine, n int) *Pool {
+	if n <= 0 {
+		panic("cpu: pool needs at least one core")
+	}
+	p := &Pool{}
+	for i := 0; i < n; i++ {
+		p.cores = append(p.cores, NewCore(eng))
+	}
+	return p
+}
+
+// Exec queues d of work on the earliest-available core.
+func (p *Pool) Exec(d sim.Duration, fn func()) {
+	best := p.cores[0]
+	for _, c := range p.cores[1:] {
+		if c.busyUntil < best.busyUntil {
+			best = c
+		}
+	}
+	best.Exec(d, fn)
+}
+
+// Cores returns the pool's cores.
+func (p *Pool) Cores() []*Core { return p.cores }
+
+// BusyTotal sums busy time over all cores.
+func (p *Pool) BusyTotal() sim.Duration {
+	var t sim.Duration
+	for _, c := range p.cores {
+		t += c.busyTotal
+	}
+	return t
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import "fmt"
+
+// AblationPipeline isolates the §5.3 parallel I/O pipeline: dRAID with
+// overlapped bdev stages vs serial stage execution, partial-stripe writes.
+func AblationPipeline(o Options) Figure {
+	o = o.withDefaults()
+	var series []Series
+	for _, variant := range []struct {
+		name      string
+		pipelined bool
+	}{{"dRAID (pipelined)", true}, {"dRAID (serial stages)", false}} {
+		var pts []Point
+		for _, qd := range []int{4, 8, 12, 16} {
+			s := Setup{System: DRAID, Targets: 8, Pipelined: variant.pipelined, PipelineSet: true, Seed: o.Seed}
+			r := measure(s, o, 128<<10, 0, qd)
+			pts = append(pts, Point{X: float64(qd), Label: fmt.Sprintf("qd%d", qd), BW: r.BandwidthMBps(), Lat: r.AvgLatency()})
+		}
+		series = append(series, Series{System: variant.name, Points: pts})
+	}
+	return Figure{
+		ID: "ablation-pipeline", Title: "Ablation: §5.3 I/O pipeline on 128 KB writes",
+		XLabel: "queue-depth", Series: series,
+	}
+}
+
+// AblationHostParity isolates peer-to-peer parity disaggregation: normal
+// dRAID vs the same controller computing partial-write parity on the host.
+func AblationHostParity(o Options) Figure {
+	o = o.withDefaults()
+	var series []Series
+	for _, variant := range []struct {
+		name string
+		host bool
+	}{{"dRAID (peer-to-peer parity)", false}, {"dRAID (host parity)", true}} {
+		var pts []Point
+		for _, kb := range sizesKB(o.Quick, 32, 64, 128) {
+			s := Setup{System: DRAID, Targets: 8, HostParityOnly: variant.host, Seed: o.Seed}
+			r := measure(s, o, kb<<10, 0, writeQD)
+			pts = append(pts, toPoint(float64(kb), fmt.Sprintf("%dKB", kb), r))
+		}
+		series = append(series, Series{System: variant.name, Points: pts})
+	}
+	return Figure{
+		ID: "ablation-hostparity", Title: "Ablation: peer-to-peer vs host-side partial-write parity",
+		XLabel: "io-size", Series: series,
+	}
+}
+
+// AblationBarrier isolates the §5.2 non-blocking reduce: normal dRAID vs a
+// barrier between the Broadcast and Reduce phases.
+func AblationBarrier(o Options) Figure {
+	o = o.withDefaults()
+	var series []Series
+	for _, variant := range []struct {
+		name    string
+		barrier bool
+	}{{"dRAID (non-blocking reduce)", false}, {"dRAID (barrier)", true}} {
+		var pts []Point
+		for _, qd := range []int{4, 12, 24} {
+			s := Setup{System: DRAID, Targets: 8, BarrierReduce: variant.barrier, Seed: o.Seed}
+			r := measure(s, o, 128<<10, 0, qd)
+			pts = append(pts, Point{X: float64(qd), Label: fmt.Sprintf("qd%d", qd), BW: r.BandwidthMBps(), Lat: r.AvgLatency()})
+		}
+		series = append(series, Series{System: variant.name, Points: pts})
+	}
+	return Figure{
+		ID: "ablation-barrier", Title: "Ablation: §5.2 non-blocking reduce vs phase barrier (128 KB writes)",
+		XLabel: "queue-depth", Series: series,
+	}
+}
+
+// AblationColocate measures §5.5 resource sharing: the same 8-wide array
+// spread over 8 servers vs packed 2-per-server (4 servers). Peer parity
+// traffic between co-located members stays off the NIC, but the shared NIC
+// and controller core carry twice the members.
+func AblationColocate(o Options) Figure {
+	o = o.withDefaults()
+	var series []Series
+	for _, variant := range []struct {
+		name      string
+		perServer int
+	}{{"8 servers (1 bdev each)", 1}, {"4 servers (2 bdevs each)", 2}} {
+		var pts []Point
+		for _, kb := range sizesKB(o.Quick, 32, 128) {
+			s := Setup{System: DRAID, Targets: 8, BdevsPerServer: variant.perServer, Seed: o.Seed}
+			r := measure(s, o, kb<<10, 0, writeQD)
+			pts = append(pts, toPoint(float64(kb), fmt.Sprintf("%dKB", kb), r))
+		}
+		series = append(series, Series{System: variant.name, Points: pts})
+	}
+	return Figure{
+		ID: "ablation-colocate", Title: "Ablation: §5.5 bdev co-location on 128 KB writes",
+		XLabel: "io-size", Series: series,
+	}
+}
+
+// AblationReducer compares reducer-selection policies on degraded reads over
+// heterogeneous NICs (random vs bandwidth-aware vs fixed).
+func AblationReducer(o Options) Figure {
+	o = o.withDefaults()
+	gbps := []float64{100, 25, 100, 25, 100, 25, 100, 25}
+	var series []Series
+	for _, sel := range []string{"random", "bwaware", "fixed"} {
+		var pts []Point
+		for _, qd := range []int{8, 16, 32} {
+			s := Setup{System: DRAID, Targets: 8, FailedMembers: []int{1}, Selector: sel, TargetGbpsList: gbps, Seed: o.Seed}
+			r := measure(s, o, 128<<10, 1.0, qd)
+			pts = append(pts, Point{X: float64(qd), Label: fmt.Sprintf("qd%d", qd), BW: r.BandwidthMBps(), Lat: r.AvgLatency()})
+		}
+		series = append(series, Series{System: sel, Points: pts})
+	}
+	return Figure{
+		ID: "ablation-reducer", Title: "Ablation: reducer selection policy, degraded reads on 25/100G mix",
+		XLabel: "queue-depth", Series: series,
+	}
+}

@@ -1,0 +1,236 @@
+// Package experiments encodes every table and figure of the paper's
+// evaluation (§9 and Appendix A) as a runnable experiment: workload,
+// parameter sweep, systems under test, and the series the paper plots.
+// cmd/draid-bench and the repository's top-level benchmarks are thin
+// wrappers over this package.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"draid/internal/baseline"
+	"draid/internal/blockdev"
+	"draid/internal/cluster"
+	"draid/internal/core"
+	"draid/internal/fio"
+	"draid/internal/raid"
+	"draid/internal/recon"
+	"draid/internal/sim"
+	"draid/internal/simnet"
+)
+
+// System identifies a system under test.
+type System string
+
+// The paper's comparison systems.
+const (
+	Linux System = "Linux"
+	SPDK  System = "SPDK"
+	DRAID System = "dRAID"
+)
+
+// AllSystems lists the systems in the paper's plotting order.
+var AllSystems = []System{Linux, SPDK, DRAID}
+
+// Options tune experiment execution.
+type Options struct {
+	// Ramp and Measure are the per-point warm-up and measurement windows
+	// (defaults 30ms / 100ms of virtual time).
+	Ramp    sim.Duration
+	Measure sim.Duration
+	// QueueDepth is the default closed-loop depth (default 32).
+	QueueDepth int
+	// Quick shrinks sweeps to their endpoints for smoke runs.
+	Quick bool
+	// Seed drives all randomness (default 1).
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Ramp == 0 {
+		o.Ramp = 30 * sim.Millisecond
+	}
+	if o.Measure == 0 {
+		o.Measure = 100 * sim.Millisecond
+	}
+	if o.QueueDepth == 0 {
+		o.QueueDepth = 32
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Point is one measurement.
+type Point struct {
+	X     float64 // sweep coordinate (KB, width, ratio, ...)
+	Label string
+	BW    float64 // MB/s
+	Lat   float64 // mean latency, microseconds
+	Extra float64 // figure-specific (e.g. KIOPS)
+}
+
+// Series is one line on a figure.
+type Series struct {
+	System string
+	Points []Point
+}
+
+// Figure is a reproduced table/figure.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	Series []Series
+	Notes  []string
+}
+
+// String renders the figure as an aligned text table (one row per X, one
+// BW/Lat column pair per system) — the same rows the paper plots.
+func (f Figure) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", f.ID, f.Title)
+	fmt.Fprintf(&b, "%-12s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, " | %14s MB/s %9s us", s.System, "")
+	}
+	b.WriteString("\n")
+	if len(f.Series) > 0 {
+		for i := range f.Series[0].Points {
+			p0 := f.Series[0].Points[i]
+			label := p0.Label
+			if label == "" {
+				label = fmt.Sprintf("%g", p0.X)
+			}
+			fmt.Fprintf(&b, "%-12s", label)
+			for _, s := range f.Series {
+				if i < len(s.Points) {
+					fmt.Fprintf(&b, " | %14.1f      %9.1f   ", s.Points[i].BW, s.Points[i].Lat)
+				}
+			}
+			b.WriteString("\n")
+		}
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Setup describes a testbed + array for one measurement run.
+type Setup struct {
+	System    System
+	Targets   int
+	Level     raid.Level
+	ChunkSize int64
+	// TargetGbpsList enables heterogeneous NICs (Figure 17b).
+	TargetGbpsList []float64
+	// FailedMembers are pre-failed (degraded-state experiments).
+	FailedMembers []int
+	// Selector overrides the dRAID reducer policy ("random", "bwaware",
+	// "fixed"; empty = random).
+	Selector string
+	// Pipelined disables the §5.3 pipeline when false+PipelineSet.
+	Pipelined   bool
+	PipelineSet bool
+	// BarrierReduce enables the §5.2 barrier ablation.
+	BarrierReduce bool
+	// BdevsPerServer co-locates members on shared servers (§5.5).
+	BdevsPerServer int
+	// HostParityOnly enables the host-parity ablation for dRAID.
+	HostParityOnly bool
+	Seed           int64
+}
+
+// Build assembles the cluster and device for a setup. Every run gets a
+// fresh, independent simulation.
+func Build(s Setup) (blockdev.Device, *cluster.Cluster) {
+	if s.ChunkSize == 0 {
+		s.ChunkSize = 512 << 10
+	}
+	if s.Level == 0 {
+		s.Level = raid.Raid5
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	spec := cluster.DefaultSpec()
+	spec.Targets = s.Targets
+	spec.Elide = true
+	spec.Seed = s.Seed
+	spec.TargetGbpsList = s.TargetGbpsList
+	if s.PipelineSet {
+		spec.Pipelined = s.Pipelined
+	}
+	spec.BarrierReduce = s.BarrierReduce
+	spec.BdevsPerServer = s.BdevsPerServer
+	cl := cluster.New(spec)
+	geo := raid.Geometry{Level: s.Level, Width: s.Targets, ChunkSize: s.ChunkSize}
+
+	var dev blockdev.Device
+	switch s.System {
+	case DRAID:
+		cfg := core.Config{Geometry: geo, HostParityOnly: s.HostParityOnly}
+		switch s.Selector {
+		case "", "random":
+			// default
+		case "fixed":
+			cfg.Selector = recon.FixedSelector{}
+		case "bwaware":
+			tr := recon.NewBandwidthTracker(cl.Eng, firstNICs(cl), 2*sim.Millisecond)
+			cfg.Selector = &recon.BWAwareSelector{Rng: cl.Eng.Rand(), Tracker: tr, Fanout: s.Targets - 2}
+		default:
+			panic("experiments: unknown selector " + s.Selector)
+		}
+		h := cl.NewDRAID(cfg)
+		for _, m := range s.FailedMembers {
+			cl.FailTarget(m)
+			h.SetFailed(m, true)
+		}
+		dev = h
+	case SPDK, Linux:
+		style := baseline.SPDKStyle()
+		if s.System == Linux {
+			style = baseline.LinuxStyle()
+		}
+		h := baseline.NewHost(cl.Eng, cl.Fabric, cl.DriveCapacity(), baseline.Config{
+			Geometry: geo, Costs: cl.Costs, Style: style,
+		})
+		for _, m := range s.FailedMembers {
+			cl.FailTarget(m)
+			h.SetFailed(m, true)
+		}
+		dev = h
+	default:
+		panic("experiments: unknown system " + string(s.System))
+	}
+	return dev, cl
+}
+
+// firstNICs returns the first NIC of each target, in member order.
+func firstNICs(cl *cluster.Cluster) []*simnet.NIC {
+	out := make([]*simnet.NIC, len(cl.Targets))
+	for i, t := range cl.Targets {
+		out[i] = t.NICs()[0]
+	}
+	return out
+}
+
+// measure runs one fio point against a fresh setup.
+func measure(s Setup, o Options, ioSize int64, readRatio float64, qd int) fio.Result {
+	dev, cl := Build(s)
+	if qd == 0 {
+		qd = o.QueueDepth
+	}
+	return fio.Run(fio.Job{
+		Name: string(s.System), Dev: dev, Eng: cl.Eng,
+		IOSize: ioSize, ReadRatio: readRatio, QueueDepth: qd,
+		Ramp: o.Ramp, Measure: o.Measure, Seed: o.Seed,
+	})
+}
+
+func toPoint(x float64, label string, r fio.Result) Point {
+	return Point{X: x, Label: label, BW: r.BandwidthMBps(), Lat: r.AvgLatency()}
+}

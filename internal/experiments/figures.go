@@ -1,0 +1,498 @@
+package experiments
+
+import (
+	"fmt"
+
+	"draid/internal/core"
+	"draid/internal/fio"
+	"draid/internal/hist"
+	"draid/internal/parity"
+	"draid/internal/raid"
+	"draid/internal/sim"
+)
+
+// Queue depths used throughout: the paper compares systems "under similar
+// latency"; these depths put dRAID just past drive saturation on writes and
+// keep reads at NIC goodput, mirroring that methodology.
+const (
+	readQD  = 32
+	writeQD = 12
+)
+
+func sizesKB(quick bool, all ...int64) []int64 {
+	if quick && len(all) > 2 {
+		return []int64{all[0], all[len(all)-1]}
+	}
+	return all
+}
+
+// sweepIOSize runs a size sweep for all systems.
+func sweepIOSize(o Options, base Setup, sizes []int64, readRatio float64, qd int) []Series {
+	var out []Series
+	for _, sys := range AllSystems {
+		s := base
+		s.System = sys
+		var pts []Point
+		for _, kb := range sizes {
+			r := measure(s, o, kb<<10, readRatio, qd)
+			pts = append(pts, toPoint(float64(kb), fmt.Sprintf("%dKB", kb), r))
+		}
+		out = append(out, Series{System: string(sys), Points: pts})
+	}
+	return out
+}
+
+// Fig09 — RAID-5 normal-state read vs I/O size (6 targets).
+func Fig09(o Options) Figure {
+	o = o.withDefaults()
+	sizes := sizesKB(o.Quick, 4, 8, 16, 32, 64, 128)
+	return Figure{
+		ID: "fig09", Title: "RAID-5 normal-state read vs I/O size (6 targets)",
+		XLabel: "io-size",
+		Series: sweepIOSize(o, Setup{Targets: 6, Seed: o.Seed}, sizes, 1.0, readQD),
+		Notes:  []string{"all systems reach NIC goodput (~11500 MB/s) at ≥64KB; dRAID leads at small sizes (lock-free reads)"},
+	}
+}
+
+// Fig10 — RAID-5 write vs I/O size (8 targets): RMW below 1536 KB,
+// reconstruct-write to 3584 KB, full-stripe at 3584 KB.
+func Fig10(o Options) Figure {
+	o = o.withDefaults()
+	sizes := sizesKB(o.Quick, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 3584)
+	return Figure{
+		ID: "fig10", Title: "RAID-5 write vs I/O size (8 targets)",
+		XLabel: "io-size",
+		Series: sweepIOSize(o, Setup{Targets: 8, Seed: o.Seed}, sizes, 0, writeQD),
+		Notes:  []string{"dRAID leads on partial-stripe writes; parity at 3584KB (full stripe handled identically)"},
+	}
+}
+
+// Fig11 — RAID-5 write vs chunk size (128 KB I/O, 8 targets).
+func Fig11(o Options) Figure {
+	o = o.withDefaults()
+	chunks := sizesKB(o.Quick, 32, 64, 128, 256, 512, 1024)
+	var series []Series
+	for _, sys := range AllSystems {
+		var pts []Point
+		for _, kb := range chunks {
+			s := Setup{System: sys, Targets: 8, ChunkSize: kb << 10, Seed: o.Seed}
+			r := measure(s, o, 128<<10, 0, writeQD)
+			pts = append(pts, toPoint(float64(kb), fmt.Sprintf("%dKB", kb), r))
+		}
+		series = append(series, Series{System: string(sys), Points: pts})
+	}
+	return Figure{
+		ID: "fig11", Title: "RAID-5 write vs chunk size (128 KB I/O, 8 targets)",
+		XLabel: "chunk-size", Series: series,
+	}
+}
+
+// widths returns the paper's stripe-width sweep.
+func widths(quick bool) []int {
+	if quick {
+		return []int{4, 18}
+	}
+	return []int{4, 6, 8, 10, 12, 14, 16, 18}
+}
+
+// Fig12 — RAID-5 write scalability vs stripe width (128 KB I/O).
+func Fig12(o Options) Figure {
+	o = o.withDefaults()
+	var series []Series
+	for _, sys := range AllSystems {
+		var pts []Point
+		for _, w := range widths(o.Quick) {
+			s := Setup{System: sys, Targets: w, Seed: o.Seed}
+			r := measure(s, o, 128<<10, 0, 64)
+			pts = append(pts, toPoint(float64(w), fmt.Sprintf("%d", w), r))
+		}
+		series = append(series, Series{System: string(sys), Points: pts})
+	}
+	return Figure{
+		ID: "fig12", Title: "RAID-5 write vs stripe width (128 KB I/O, QD 64)",
+		XLabel: "width", Series: series,
+		Notes: []string{"NIC goodput is ~11500 MB/s; SPDK caps at half (2x outbound write traffic)"},
+	}
+}
+
+// Fig13 — RAID-5 mixed read/write ratio (128 KB, 8 targets).
+func Fig13(o Options) Figure {
+	o = o.withDefaults()
+	ratios := []float64{0, 0.25, 0.5, 0.75, 1.0}
+	if o.Quick {
+		ratios = []float64{0, 1.0}
+	}
+	var series []Series
+	for _, sys := range AllSystems {
+		var pts []Point
+		for _, ratio := range ratios {
+			qd := 16
+			if ratio == 1.0 {
+				qd = readQD
+			}
+			s := Setup{System: sys, Targets: 8, Seed: o.Seed}
+			r := measure(s, o, 128<<10, ratio, qd)
+			pts = append(pts, toPoint(100*ratio, fmt.Sprintf("%.0f%%", 100*ratio), r))
+		}
+		series = append(series, Series{System: string(sys), Points: pts})
+	}
+	return Figure{
+		ID: "fig13", Title: "RAID-5 write vs read/write ratio (128 KB, 8 targets)",
+		XLabel: "read-ratio", Series: series,
+	}
+}
+
+// Fig14 — latency vs bandwidth under increasing load (18 targets).
+// variant "wo" = write-only (Fig 14a); "rw" = 50/50 (Fig 14b).
+func Fig14(o Options, variant string) Figure {
+	o = o.withDefaults()
+	ratio := 0.0
+	title := "write-only"
+	if variant == "rw" {
+		ratio = 0.5
+		title = "50% read + 50% write"
+	}
+	qds := []int{2, 4, 8, 16, 32, 64, 128, 192}
+	if o.Quick {
+		qds = []int{4, 64}
+	}
+	var series []Series
+	for _, sys := range AllSystems {
+		var pts []Point
+		for _, qd := range qds {
+			s := Setup{System: sys, Targets: 18, Seed: o.Seed}
+			r := measure(s, o, 128<<10, ratio, qd)
+			pts = append(pts, Point{X: r.BandwidthMBps(), Label: fmt.Sprintf("qd%d", qd), BW: r.BandwidthMBps(), Lat: r.AvgLatency()})
+		}
+		series = append(series, Series{System: string(sys), Points: pts})
+	}
+	return Figure{
+		ID: "fig14" + variant, Title: "RAID-5 latency vs bandwidth, " + title + " (18 targets)",
+		XLabel: "load(qd)", Series: series,
+	}
+}
+
+// Fig15 — RAID-5 degraded read vs I/O size (8 targets, 1 failed).
+func Fig15(o Options) Figure {
+	o = o.withDefaults()
+	sizes := sizesKB(o.Quick, 4, 8, 16, 32, 64, 128)
+	return Figure{
+		ID: "fig15", Title: "RAID-5 degraded read vs I/O size (8 targets, 1 failed)",
+		XLabel: "io-size",
+		Series: sweepIOSize(o, Setup{Targets: 8, FailedMembers: []int{0}, Seed: o.Seed}, sizes, 1.0, readQD),
+		Notes:  []string{"1 of 8 reads triggers reconstruction; dRAID ~95% of normal-state read"},
+	}
+}
+
+// Fig16 — RAID-5 degraded read vs stripe width (128 KB).
+func Fig16(o Options) Figure {
+	o = o.withDefaults()
+	var series []Series
+	for _, sys := range AllSystems {
+		var pts []Point
+		for _, w := range widths(o.Quick) {
+			s := Setup{System: sys, Targets: w, FailedMembers: []int{0}, Seed: o.Seed}
+			r := measure(s, o, 128<<10, 1.0, readQD)
+			pts = append(pts, toPoint(float64(w), fmt.Sprintf("%d", w), r))
+		}
+		series = append(series, Series{System: string(sys), Points: pts})
+	}
+	return Figure{
+		ID: "fig16", Title: "RAID-5 degraded read vs stripe width (128 KB)",
+		XLabel: "width", Series: series,
+	}
+}
+
+// rebuildRate measures full-drive reconstruction throughput: qd rebuild
+// operations in flight, each reconstructing one chunk of the failed member.
+func rebuildRate(sys System, targets int, o Options, selector string, gbpsList []float64, seed int64, qd int) fio.Result {
+	s := Setup{System: sys, Targets: targets, FailedMembers: []int{0}, Selector: selector, TargetGbpsList: gbpsList, Seed: seed}
+	dev, cl := Build(s)
+	geo := raid.Geometry{Level: raid.Raid5, Width: targets, ChunkSize: 512 << 10}
+
+	end := sim.Time(o.Ramp + o.Measure)
+	measureStart := sim.Time(o.Ramp)
+	res := fio.Result{Name: string(sys), Elapsed: o.Measure}
+	var stripe int64
+	if qd <= 0 {
+		qd = 8
+	}
+	lat := hist.New()
+
+	record := func(issued sim.Time) {
+		now := cl.Eng.Now()
+		if now > measureStart && now <= end {
+			res.ReadBytes += geo.ChunkSize
+			res.ReadOps++
+			lat.Record(int64(now - issued))
+		}
+	}
+
+	switch h := dev.(type) {
+	case *core.HostController:
+		var issue func()
+		issue = func() {
+			if cl.Eng.Now() >= end {
+				return
+			}
+			s := stripe
+			stripe++
+			issued := cl.Eng.Now()
+			h.ReconstructStripeChunk(s, 0, func(_ parity.Buffer, err error) {
+				if err == nil {
+					record(issued)
+				}
+				issue()
+			})
+		}
+		for i := 0; i < qd; i++ {
+			issue()
+		}
+	default:
+		// Host-centric rebuild: degraded reads of every chunk of the
+		// failed member (the host gathers survivors and XORs).
+		var issue func()
+		issue = func() {
+			if cl.Eng.Now() >= end {
+				return
+			}
+			s := stripe
+			stripe++
+			issued := cl.Eng.Now()
+			// Read the virtual range that maps to the failed member's
+			// chunk in stripe s, if it holds data there.
+			kind, idx := geo.Role(s, 0)
+			if kind != raid.KindData {
+				issue()
+				return
+			}
+			vOff := s*geo.StripeDataSize() + int64(idx)*geo.ChunkSize
+			dev.Read(vOff, geo.ChunkSize, func(_ parity.Buffer, err error) {
+				if err == nil {
+					record(issued)
+				}
+				issue()
+			})
+		}
+		for i := 0; i < qd; i++ {
+			issue()
+		}
+	}
+	cl.Eng.RunUntil(end)
+	res.ReadLat = lat.Summarize()
+	return res
+}
+
+// Fig17a — reconstruction scalability vs stripe width.
+func Fig17a(o Options) Figure {
+	o = o.withDefaults()
+	var series []Series
+	for _, sys := range []System{SPDK, DRAID} {
+		var pts []Point
+		for _, w := range widths(o.Quick) {
+			r := rebuildRate(sys, w, o, "", nil, o.Seed, 8)
+			pts = append(pts, Point{X: float64(w), Label: fmt.Sprintf("%d", w), BW: r.ReadBandwidthMBps(), Lat: r.ReadLat.Mean / 1e3})
+		}
+		series = append(series, Series{System: string(sys), Points: pts})
+	}
+	return Figure{
+		ID: "fig17a", Title: "Drive reconstruction throughput vs stripe width",
+		XLabel: "width", Series: series,
+	}
+}
+
+// Fig17b — random vs bandwidth-aware reducer selection with heterogeneous
+// NICs (mix of 25 and 100 Gbps targets) under reconstruction load, latency
+// vs bandwidth. The reducer absorbs (n−2) chunk-sized contributions per
+// reconstruction, so an overloaded 25G reducer dominates latency — the
+// effect the §6.2 max-min policy removes.
+func Fig17b(o Options) Figure {
+	o = o.withDefaults()
+	gbps := []float64{100, 25, 100, 25, 100, 25, 100, 25}
+	qds := []int{1, 2, 4, 8, 12, 16, 24}
+	if o.Quick {
+		qds = []int{2, 12}
+	}
+	var series []Series
+	for _, sel := range []string{"random", "bwaware"} {
+		var pts []Point
+		for _, qd := range qds {
+			r := rebuildRate(DRAID, 8, o, sel, gbps, o.Seed, qd)
+			pts = append(pts, Point{X: r.ReadBandwidthMBps(), Label: fmt.Sprintf("qd%d", qd), BW: r.ReadBandwidthMBps(), Lat: r.ReadLat.Mean / 1e3})
+		}
+		name := "Random"
+		if sel == "bwaware" {
+			name = "BW-Aware"
+		}
+		series = append(series, Series{System: name, Points: pts})
+	}
+	return Figure{
+		ID: "fig17b", Title: "Reconstruction with heterogeneous NICs (25/100G mix): reducer policies",
+		XLabel: "load(qd)", Series: series,
+	}
+}
+
+// Fig18 — RAID-5 degraded write vs I/O size (8 targets, 1 failed).
+func Fig18(o Options) Figure {
+	o = o.withDefaults()
+	sizes := sizesKB(o.Quick, 4, 8, 16, 32, 64, 128)
+	return Figure{
+		ID: "fig18", Title: "RAID-5 degraded write vs I/O size (8 targets, 1 failed)",
+		XLabel: "io-size",
+		Series: sweepIOSize(o, Setup{Targets: 8, FailedMembers: []int{0}, Seed: o.Seed}, sizes, 0, writeQD),
+	}
+}
+
+// --- RAID-6 appendix ----------------------------------------------------------
+
+func raid6Base(targets int, failed []int, seed int64) Setup {
+	return Setup{Targets: targets, Level: raid.Raid6, FailedMembers: failed, Seed: seed}
+}
+
+// Fig22 — RAID-6 normal read vs I/O size.
+func Fig22(o Options) Figure {
+	o = o.withDefaults()
+	sizes := sizesKB(o.Quick, 4, 8, 16, 32, 64, 128)
+	return Figure{
+		ID: "fig22", Title: "RAID-6 normal-state read vs I/O size (6 targets)",
+		XLabel: "io-size",
+		Series: sweepIOSize(o, raid6Base(6, nil, o.Seed), sizes, 1.0, readQD),
+	}
+}
+
+// Fig23 — RAID-6 write vs I/O size (stripe is 3072 KB at 8 targets).
+func Fig23(o Options) Figure {
+	o = o.withDefaults()
+	sizes := sizesKB(o.Quick, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 3072)
+	return Figure{
+		ID: "fig23", Title: "RAID-6 write vs I/O size (8 targets)",
+		XLabel: "io-size",
+		Series: sweepIOSize(o, raid6Base(8, nil, o.Seed), sizes, 0, writeQD),
+	}
+}
+
+// Fig24 — RAID-6 write vs chunk size.
+func Fig24(o Options) Figure {
+	o = o.withDefaults()
+	chunks := sizesKB(o.Quick, 32, 64, 128, 256, 512, 1024)
+	var series []Series
+	for _, sys := range AllSystems {
+		var pts []Point
+		for _, kb := range chunks {
+			s := raid6Base(8, nil, o.Seed)
+			s.System = sys
+			s.ChunkSize = kb << 10
+			r := measure(s, o, 128<<10, 0, writeQD)
+			pts = append(pts, toPoint(float64(kb), fmt.Sprintf("%dKB", kb), r))
+		}
+		series = append(series, Series{System: string(sys), Points: pts})
+	}
+	return Figure{ID: "fig24", Title: "RAID-6 write vs chunk size (128 KB I/O)", XLabel: "chunk-size", Series: series}
+}
+
+// Fig25 — RAID-6 write vs stripe width.
+func Fig25(o Options) Figure {
+	o = o.withDefaults()
+	var series []Series
+	for _, sys := range AllSystems {
+		var pts []Point
+		for _, w := range widths(o.Quick) {
+			s := raid6Base(w, nil, o.Seed)
+			s.System = sys
+			r := measure(s, o, 128<<10, 0, 64)
+			pts = append(pts, toPoint(float64(w), fmt.Sprintf("%d", w), r))
+		}
+		series = append(series, Series{System: string(sys), Points: pts})
+	}
+	return Figure{ID: "fig25", Title: "RAID-6 write vs stripe width (128 KB, QD 64)", XLabel: "width", Series: series}
+}
+
+// Fig26 — RAID-6 read/write ratio sweep.
+func Fig26(o Options) Figure {
+	o = o.withDefaults()
+	ratios := []float64{0, 0.25, 0.5, 0.75, 1.0}
+	if o.Quick {
+		ratios = []float64{0, 1.0}
+	}
+	var series []Series
+	for _, sys := range AllSystems {
+		var pts []Point
+		for _, ratio := range ratios {
+			qd := 16
+			if ratio == 1.0 {
+				qd = readQD
+			}
+			s := raid6Base(8, nil, o.Seed)
+			s.System = sys
+			r := measure(s, o, 128<<10, ratio, qd)
+			pts = append(pts, toPoint(100*ratio, fmt.Sprintf("%.0f%%", 100*ratio), r))
+		}
+		series = append(series, Series{System: string(sys), Points: pts})
+	}
+	return Figure{ID: "fig26", Title: "RAID-6 write vs read/write ratio (128 KB)", XLabel: "read-ratio", Series: series}
+}
+
+// Fig27 — RAID-6 latency vs bandwidth (write-only "wo" and 50/50 "rw").
+func Fig27(o Options, variant string) Figure {
+	o = o.withDefaults()
+	ratio := 0.0
+	title := "write-only"
+	if variant == "rw" {
+		ratio, title = 0.5, "50% read + 50% write"
+	}
+	qds := []int{2, 4, 8, 16, 32, 64, 128, 192}
+	if o.Quick {
+		qds = []int{4, 64}
+	}
+	var series []Series
+	for _, sys := range AllSystems {
+		var pts []Point
+		for _, qd := range qds {
+			s := raid6Base(18, nil, o.Seed)
+			s.System = sys
+			r := measure(s, o, 128<<10, ratio, qd)
+			pts = append(pts, Point{X: r.BandwidthMBps(), Label: fmt.Sprintf("qd%d", qd), BW: r.BandwidthMBps(), Lat: r.AvgLatency()})
+		}
+		series = append(series, Series{System: string(sys), Points: pts})
+	}
+	return Figure{ID: "fig27" + variant, Title: "RAID-6 latency vs bandwidth, " + title + " (18 targets)", XLabel: "load(qd)", Series: series}
+}
+
+// Fig28 — RAID-6 degraded read vs I/O size.
+func Fig28(o Options) Figure {
+	o = o.withDefaults()
+	sizes := sizesKB(o.Quick, 4, 8, 16, 32, 64, 128)
+	return Figure{
+		ID: "fig28", Title: "RAID-6 degraded read vs I/O size (8 targets, 1 failed)",
+		XLabel: "io-size",
+		Series: sweepIOSize(o, raid6Base(8, []int{0}, o.Seed), sizes, 1.0, readQD),
+	}
+}
+
+// Fig29 — RAID-6 degraded read vs stripe width.
+func Fig29(o Options) Figure {
+	o = o.withDefaults()
+	var series []Series
+	for _, sys := range AllSystems {
+		var pts []Point
+		for _, w := range widths(o.Quick) {
+			s := raid6Base(w, []int{0}, o.Seed)
+			s.System = sys
+			r := measure(s, o, 128<<10, 1.0, readQD)
+			pts = append(pts, toPoint(float64(w), fmt.Sprintf("%d", w), r))
+		}
+		series = append(series, Series{System: string(sys), Points: pts})
+	}
+	return Figure{ID: "fig29", Title: "RAID-6 degraded read vs stripe width (128 KB)", XLabel: "width", Series: series}
+}
+
+// Fig30 — RAID-6 degraded write vs I/O size.
+func Fig30(o Options) Figure {
+	o = o.withDefaults()
+	sizes := sizesKB(o.Quick, 4, 8, 16, 32, 64, 128)
+	return Figure{
+		ID: "fig30", Title: "RAID-6 degraded write vs I/O size (8 targets, 1 failed)",
+		XLabel: "io-size",
+		Series: sweepIOSize(o, raid6Base(8, []int{0}, o.Seed), sizes, 0, writeQD),
+	}
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func quickOpts() Options {
+	return Options{Quick: true, Ramp: 10e6, Measure: 30e6} // 10ms/30ms windows
+}
+
+func TestAllFiguresRunQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure smoke runs take a few seconds")
+	}
+	o := quickOpts()
+	figs := []Figure{
+		Fig09(o), Fig10(o), Fig11(o), Fig12(o), Fig13(o),
+		Fig14(o, "wo"), Fig14(o, "rw"),
+		Fig15(o), Fig16(o), Fig17a(o), Fig17b(o), Fig18(o),
+		Fig22(o), Fig23(o), Fig24(o), Fig25(o), Fig26(o),
+		Fig27(o, "wo"), Fig27(o, "rw"), Fig28(o), Fig29(o), Fig30(o),
+	}
+	seen := map[string]bool{}
+	for _, f := range figs {
+		if f.ID == "" || len(f.Series) == 0 {
+			t.Fatalf("figure %q empty", f.Title)
+		}
+		if seen[f.ID] {
+			t.Fatalf("duplicate figure id %s", f.ID)
+		}
+		seen[f.ID] = true
+		for _, s := range f.Series {
+			if len(s.Points) == 0 {
+				t.Fatalf("%s: series %s has no points", f.ID, s.System)
+			}
+			for _, p := range s.Points {
+				if p.BW <= 0 {
+					t.Errorf("%s/%s: nonpositive bandwidth at %v", f.ID, s.System, p.Label)
+				}
+			}
+		}
+		if !strings.Contains(f.String(), f.ID) {
+			t.Errorf("%s: String() missing id", f.ID)
+		}
+		t.Logf("\n%s", f.String())
+	}
+}
+
+func TestTable1Overheads(t *testing.T) {
+	rows := Table1(Options{})
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	sm, dist, dr := rows[0], rows[1], rows[2]
+	// Paper's Table 1: single-machine 1x/1x, distributed 1-4x write and Nx
+	// degraded read, dRAID 1x/1x.
+	if sm.WriteOverhead > 1.1 || sm.DReadOverhead > 1.1 {
+		t.Errorf("single-machine overheads = %.2f/%.2f, want ~1x", sm.WriteOverhead, sm.DReadOverhead)
+	}
+	if dist.WriteOverhead < 1.8 {
+		t.Errorf("distributed write overhead = %.2f, want ~2x", dist.WriteOverhead)
+	}
+	if dist.DReadOverhead < 3.0 {
+		t.Errorf("distributed degraded-read overhead = %.2f, want ~(n-1)x", dist.DReadOverhead)
+	}
+	if dr.WriteOverhead > 1.1 || dr.DReadOverhead > 1.1 {
+		t.Errorf("dRAID overheads = %.2f/%.2f, want ~1x", dr.WriteOverhead, dr.DReadOverhead)
+	}
+	out := FormatTable1(rows)
+	for _, want := range []string{"dRAID", "Single-Machine", "Storage pool"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q", want)
+		}
+	}
+	t.Logf("\n%s", out)
+}
+
+func TestSizesKBQuick(t *testing.T) {
+	got := sizesKB(true, 4, 8, 16, 128)
+	if len(got) != 2 || got[0] != 4 || got[1] != 128 {
+		t.Fatalf("quick sizes = %v", got)
+	}
+	if len(sizesKB(false, 4, 8)) != 2 {
+		t.Fatal("non-quick should keep all")
+	}
+}
+
+func TestBuildUnknownSelectorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Build(Setup{System: DRAID, Targets: 4, Selector: "bogus"})
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// registry maps experiment IDs to runners.
+var registry = map[string]func(Options) Figure{
+	"fig09":               Fig09,
+	"fig10":               Fig10,
+	"fig11":               Fig11,
+	"fig12":               Fig12,
+	"fig13":               Fig13,
+	"fig14a":              func(o Options) Figure { return Fig14(o, "wo") },
+	"fig14b":              func(o Options) Figure { return Fig14(o, "rw") },
+	"fig15":               Fig15,
+	"fig16":               Fig16,
+	"fig17a":              Fig17a,
+	"fig17b":              Fig17b,
+	"fig18":               Fig18,
+	"fig19a":              func(o Options) Figure { return Fig19(o, "normal") },
+	"fig19b":              func(o Options) Figure { return Fig19(o, "degraded") },
+	"fig20":               Fig20,
+	"fig21":               Fig21,
+	"fig22":               Fig22,
+	"fig23":               Fig23,
+	"fig24":               Fig24,
+	"fig25":               Fig25,
+	"fig26":               Fig26,
+	"fig27a":              func(o Options) Figure { return Fig27(o, "wo") },
+	"fig27b":              func(o Options) Figure { return Fig27(o, "rw") },
+	"fig28":               Fig28,
+	"fig29":               Fig29,
+	"fig30":               Fig30,
+	"ablation-pipeline":   AblationPipeline,
+	"ablation-hostparity": AblationHostParity,
+	"ablation-barrier":    AblationBarrier,
+	"ablation-colocate":   AblationColocate,
+	"ablation-reducer":    AblationReducer,
+}
+
+// IDs returns all experiment IDs in sorted order ("table1" first).
+func IDs() []string {
+	out := []string{"table1"}
+	var figs []string
+	for id := range registry {
+		figs = append(figs, id)
+	}
+	sort.Strings(figs)
+	return append(out, figs...)
+}
+
+// Run executes one experiment by ID and returns its printable report.
+func Run(id string, o Options) (string, error) {
+	if id == "table1" {
+		return FormatTable1(Table1(o)), nil
+	}
+	fn, ok := registry[id]
+	if !ok {
+		return "", fmt.Errorf("experiments: unknown id %q (known: %v)", id, IDs())
+	}
+	return fn(o).String(), nil
+}
+
+// RunFigure executes one figure by ID (not table1) and returns the data.
+func RunFigure(id string, o Options) (Figure, error) {
+	fn, ok := registry[id]
+	if !ok {
+		return Figure{}, fmt.Errorf("experiments: unknown figure %q", id)
+	}
+	return fn(o), nil
+}

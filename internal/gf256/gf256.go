@@ -1,0 +1,249 @@
+// Package gf256 implements arithmetic over GF(2^8) with the polynomial
+// x^8 + x^4 + x^3 + x^2 + 1 (0x11D), the field used by Linux MD and the
+// canonical RAID-6 construction (Anvin, "The mathematics of RAID-6").
+//
+// RAID-6 computes two syndromes over the data chunks D_0..D_{k-1}:
+//
+//	P = D_0 ⊕ D_1 ⊕ ... ⊕ D_{k-1}
+//	Q = g^0·D_0 ⊕ g^1·D_1 ⊕ ... ⊕ g^{k-1}·D_{k-1}
+//
+// where g = 2 is a generator of the field. This package provides the scalar
+// and vector arithmetic plus the recovery solves for every one- and
+// two-chunk failure combination.
+package gf256
+
+// Poly is the field's reduction polynomial (without the x^8 term).
+const Poly = 0x1D
+
+var (
+	expTable [512]byte // exp[i] = g^i, doubled to avoid mod 255 in mul
+	logTable [256]byte // log[x] = i such that g^i = x, undefined for 0
+)
+
+func init() {
+	x := byte(1)
+	for i := 0; i < 255; i++ {
+		expTable[i] = x
+		logTable[x] = byte(i)
+		// x *= 2 in GF(2^8)
+		carry := x&0x80 != 0
+		x <<= 1
+		if carry {
+			x ^= Poly
+		}
+	}
+	for i := 255; i < 512; i++ {
+		expTable[i] = expTable[i-255]
+	}
+}
+
+// Exp returns g^i for the generator g=2 (i taken mod 255).
+func Exp(i int) byte {
+	i %= 255
+	if i < 0 {
+		i += 255
+	}
+	return expTable[i]
+}
+
+// Log returns log_g(x). It panics for x = 0, which has no logarithm.
+func Log(x byte) int {
+	if x == 0 {
+		panic("gf256: log of zero")
+	}
+	return int(logTable[x])
+}
+
+// Add returns a + b (= a - b = a XOR b).
+func Add(a, b byte) byte { return a ^ b }
+
+// Mul returns a·b.
+func Mul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return expTable[int(logTable[a])+int(logTable[b])]
+}
+
+// Div returns a/b. It panics if b is 0.
+func Div(a, b byte) byte {
+	if b == 0 {
+		panic("gf256: division by zero")
+	}
+	if a == 0 {
+		return 0
+	}
+	d := int(logTable[a]) - int(logTable[b])
+	if d < 0 {
+		d += 255
+	}
+	return expTable[d]
+}
+
+// Inv returns the multiplicative inverse of a. It panics if a is 0.
+func Inv(a byte) byte {
+	if a == 0 {
+		panic("gf256: inverse of zero")
+	}
+	return expTable[255-int(logTable[a])]
+}
+
+// Pow returns a^n.
+func Pow(a byte, n int) byte {
+	if a == 0 {
+		if n == 0 {
+			return 1
+		}
+		return 0
+	}
+	e := (int(logTable[a]) * n) % 255
+	if e < 0 {
+		e += 255
+	}
+	return expTable[e]
+}
+
+// MulSlice computes dst[i] = c·src[i]. dst and src must have equal length.
+func MulSlice(dst, src []byte, c byte) {
+	if len(dst) != len(src) {
+		panic("gf256: length mismatch")
+	}
+	switch c {
+	case 0:
+		for i := range dst {
+			dst[i] = 0
+		}
+	case 1:
+		copy(dst, src)
+	default:
+		logC := int(logTable[c])
+		for i, s := range src {
+			if s == 0 {
+				dst[i] = 0
+			} else {
+				dst[i] = expTable[logC+int(logTable[s])]
+			}
+		}
+	}
+}
+
+// MulAddSlice computes dst[i] ^= c·src[i] (accumulate a scaled vector).
+func MulAddSlice(dst, src []byte, c byte) {
+	if len(dst) != len(src) {
+		panic("gf256: length mismatch")
+	}
+	if c == 0 {
+		return
+	}
+	if c == 1 {
+		for i, s := range src {
+			dst[i] ^= s
+		}
+		return
+	}
+	logC := int(logTable[c])
+	for i, s := range src {
+		if s != 0 {
+			dst[i] ^= expTable[logC+int(logTable[s])]
+		}
+	}
+}
+
+// XORSlice computes dst[i] ^= src[i].
+func XORSlice(dst, src []byte) {
+	if len(dst) != len(src) {
+		panic("gf256: length mismatch")
+	}
+	// Process word-at-a-time via the compiler's bounds-check-friendly form.
+	for i, s := range src {
+		dst[i] ^= s
+	}
+}
+
+// SyndromePQ computes P and Q over data chunks. data[i] is chunk D_i; all
+// chunks and p, q must share one length. Pass nil p or q to skip it.
+func SyndromePQ(p, q []byte, data [][]byte) {
+	if p != nil {
+		for i := range p {
+			p[i] = 0
+		}
+		for _, d := range data {
+			XORSlice(p, d)
+		}
+	}
+	if q != nil {
+		for i := range q {
+			q[i] = 0
+		}
+		for idx, d := range data {
+			MulAddSlice(q, d, Exp(idx))
+		}
+	}
+}
+
+// RecoverOneData reconstructs data chunk `lost` from the surviving data
+// chunks and P: D_lost = P ⊕ ⊕_{i≠lost} D_i. survivors must contain every
+// data chunk except the lost one. The result is written to dst.
+func RecoverOneData(dst []byte, p []byte, survivors [][]byte) {
+	copy(dst, p)
+	for _, d := range survivors {
+		XORSlice(dst, d)
+	}
+}
+
+// RecoverOneDataFromQ reconstructs data chunk at index `lost` using Q when P
+// is unavailable (RAID-6, data+P failed):
+//
+//	D_lost = (Q ⊕ Q') / g^lost   where Q' is the syndrome of survivors.
+//
+// survivorIdx[i] gives the data-chunk index of survivors[i].
+func RecoverOneDataFromQ(dst []byte, q []byte, survivors [][]byte, survivorIdx []int, lost int) {
+	if len(survivors) != len(survivorIdx) {
+		panic("gf256: survivors/survivorIdx mismatch")
+	}
+	qp := make([]byte, len(q))
+	for i, d := range survivors {
+		MulAddSlice(qp, d, Exp(survivorIdx[i]))
+	}
+	XORSlice(qp, q)
+	MulSlice(dst, qp, Inv(Exp(lost)))
+}
+
+// RecoverTwoData reconstructs two lost data chunks x < y (indices into the
+// data-chunk array) from P, Q, and the surviving data chunks, using the
+// standard two-failure solve:
+//
+//	A = g^{y-x} / (g^{y-x} ⊕ 1)
+//	B = g^{-x}  / (g^{y-x} ⊕ 1)
+//	D_x = A·(P ⊕ P') ⊕ B·(Q ⊕ Q')
+//	D_y = (P ⊕ P') ⊕ D_x
+//
+// where P', Q' are the syndromes computed over the survivors only.
+func RecoverTwoData(dx, dy []byte, p, q []byte, survivors [][]byte, survivorIdx []int, x, y int) {
+	if x == y {
+		panic("gf256: x == y")
+	}
+	if x > y {
+		x, y = y, x
+		dx, dy = dy, dx
+	}
+	n := len(p)
+	pp := make([]byte, n)
+	qp := make([]byte, n)
+	for i, d := range survivors {
+		XORSlice(pp, d)
+		MulAddSlice(qp, d, Exp(survivorIdx[i]))
+	}
+	XORSlice(pp, p) // pp = P ⊕ P'
+	XORSlice(qp, q) // qp = Q ⊕ Q'
+
+	gyx := Exp(y - x)
+	denom := Add(gyx, 1)
+	a := Div(gyx, denom)
+	b := Div(Inv(Exp(x)), denom)
+
+	MulSlice(dx, pp, a)
+	MulAddSlice(dx, qp, b)
+	copy(dy, pp)
+	XORSlice(dy, dx)
+}

@@ -1,0 +1,367 @@
+package gf256
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestExpLogRoundTrip(t *testing.T) {
+	for x := 1; x < 256; x++ {
+		if got := Exp(Log(byte(x))); got != byte(x) {
+			t.Fatalf("Exp(Log(%d)) = %d", x, got)
+		}
+	}
+}
+
+func TestExpIsGeneratorWithFullOrder(t *testing.T) {
+	seen := make(map[byte]bool)
+	for i := 0; i < 255; i++ {
+		v := Exp(i)
+		if seen[v] {
+			t.Fatalf("g^%d = %d repeats before order 255", i, v)
+		}
+		seen[v] = true
+	}
+	if Exp(255) != 1 || Exp(0) != 1 {
+		t.Fatalf("g^255 = %d, g^0 = %d; want 1,1", Exp(255), Exp(0))
+	}
+}
+
+func TestExpNegativeIndex(t *testing.T) {
+	if Exp(-1) != Exp(254) {
+		t.Fatalf("Exp(-1) = %d, want Exp(254) = %d", Exp(-1), Exp(254))
+	}
+}
+
+func TestLogZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Log(0) did not panic")
+		}
+	}()
+	Log(0)
+}
+
+func TestMulAgainstSlowMultiply(t *testing.T) {
+	slow := func(a, b byte) byte {
+		var r byte
+		for b != 0 {
+			if b&1 != 0 {
+				r ^= a
+			}
+			carry := a&0x80 != 0
+			a <<= 1
+			if carry {
+				a ^= Poly
+			}
+			b >>= 1
+		}
+		return r
+	}
+	for a := 0; a < 256; a += 3 {
+		for b := 0; b < 256; b += 5 {
+			if got, want := Mul(byte(a), byte(b)), slow(byte(a), byte(b)); got != want {
+				t.Fatalf("Mul(%d,%d) = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestFieldAxioms(t *testing.T) {
+	f := func(a, b, c byte) bool {
+		if Mul(a, b) != Mul(b, a) {
+			return false
+		}
+		if Mul(Mul(a, b), c) != Mul(a, Mul(b, c)) {
+			return false
+		}
+		// distributivity
+		if Mul(a, Add(b, c)) != Add(Mul(a, b), Mul(a, c)) {
+			return false
+		}
+		// identity
+		return Mul(a, 1) == a && Add(a, 0) == a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDivInvConsistency(t *testing.T) {
+	for a := 1; a < 256; a++ {
+		if Mul(byte(a), Inv(byte(a))) != 1 {
+			t.Fatalf("a·a^-1 != 1 for a=%d", a)
+		}
+		for b := 1; b < 256; b += 7 {
+			q := Div(byte(a), byte(b))
+			if Mul(q, byte(b)) != byte(a) {
+				t.Fatalf("Div(%d,%d)·%d != %d", a, b, b, a)
+			}
+		}
+	}
+	if Div(0, 5) != 0 {
+		t.Fatal("0/x != 0")
+	}
+}
+
+func TestDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Div by zero did not panic")
+		}
+	}()
+	Div(3, 0)
+}
+
+func TestInvZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Inv(0) did not panic")
+		}
+	}()
+	Inv(0)
+}
+
+func TestPow(t *testing.T) {
+	for _, tc := range []struct {
+		a    byte
+		n    int
+		want byte
+	}{
+		{2, 0, 1}, {2, 1, 2}, {2, 8, Poly ^ 0 /* x^8 = poly */}, {0, 0, 1}, {0, 5, 0}, {3, 255, 1},
+	} {
+		if got := Pow(tc.a, tc.n); got != tc.want {
+			t.Errorf("Pow(%d,%d) = %d, want %d", tc.a, tc.n, got, tc.want)
+		}
+	}
+	// a^n == repeated multiplication
+	for a := 1; a < 256; a += 11 {
+		acc := byte(1)
+		for n := 0; n < 20; n++ {
+			if got := Pow(byte(a), n); got != acc {
+				t.Fatalf("Pow(%d,%d) = %d, want %d", a, n, got, acc)
+			}
+			acc = Mul(acc, byte(a))
+		}
+	}
+}
+
+func randChunks(rng *rand.Rand, k, size int) [][]byte {
+	data := make([][]byte, k)
+	for i := range data {
+		data[i] = make([]byte, size)
+		rng.Read(data[i])
+	}
+	return data
+}
+
+func TestSyndromeAndRecoverOneData(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	data := randChunks(rng, 6, 128)
+	p := make([]byte, 128)
+	q := make([]byte, 128)
+	SyndromePQ(p, q, data)
+
+	for lost := 0; lost < 6; lost++ {
+		var survivors [][]byte
+		for i, d := range data {
+			if i != lost {
+				survivors = append(survivors, d)
+			}
+		}
+		got := make([]byte, 128)
+		RecoverOneData(got, p, survivors)
+		if !bytes.Equal(got, data[lost]) {
+			t.Fatalf("RecoverOneData failed for lost=%d", lost)
+		}
+	}
+}
+
+func TestRecoverOneDataFromQ(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	data := randChunks(rng, 7, 64)
+	q := make([]byte, 64)
+	SyndromePQ(nil, q, data)
+
+	for lost := 0; lost < 7; lost++ {
+		var survivors [][]byte
+		var idx []int
+		for i, d := range data {
+			if i != lost {
+				survivors = append(survivors, d)
+				idx = append(idx, i)
+			}
+		}
+		got := make([]byte, 64)
+		RecoverOneDataFromQ(got, q, survivors, idx, lost)
+		if !bytes.Equal(got, data[lost]) {
+			t.Fatalf("RecoverOneDataFromQ failed for lost=%d", lost)
+		}
+	}
+}
+
+func TestRecoverTwoDataAllPairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const k = 8
+	data := randChunks(rng, k, 96)
+	p := make([]byte, 96)
+	q := make([]byte, 96)
+	SyndromePQ(p, q, data)
+
+	for x := 0; x < k; x++ {
+		for y := x + 1; y < k; y++ {
+			var survivors [][]byte
+			var idx []int
+			for i, d := range data {
+				if i != x && i != y {
+					survivors = append(survivors, d)
+					idx = append(idx, i)
+				}
+			}
+			dx := make([]byte, 96)
+			dy := make([]byte, 96)
+			RecoverTwoData(dx, dy, p, q, survivors, idx, x, y)
+			if !bytes.Equal(dx, data[x]) || !bytes.Equal(dy, data[y]) {
+				t.Fatalf("RecoverTwoData failed for pair (%d,%d)", x, y)
+			}
+		}
+	}
+}
+
+func TestRecoverTwoDataSwappedArgs(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	data := randChunks(rng, 5, 32)
+	p := make([]byte, 32)
+	q := make([]byte, 32)
+	SyndromePQ(p, q, data)
+	var survivors [][]byte
+	var idx []int
+	for i, d := range data {
+		if i != 1 && i != 3 {
+			survivors = append(survivors, d)
+			idx = append(idx, i)
+		}
+	}
+	// Pass y before x: the function must normalize.
+	d3 := make([]byte, 32)
+	d1 := make([]byte, 32)
+	RecoverTwoData(d3, d1, p, q, survivors, idx, 3, 1)
+	if !bytes.Equal(d3, data[3]) || !bytes.Equal(d1, data[1]) {
+		t.Fatal("RecoverTwoData with swapped indices failed")
+	}
+}
+
+func TestMulSliceVariants(t *testing.T) {
+	src := []byte{1, 2, 3, 255, 0, 128}
+	dst := make([]byte, len(src))
+
+	MulSlice(dst, src, 0)
+	for _, v := range dst {
+		if v != 0 {
+			t.Fatal("MulSlice by 0 should zero dst")
+		}
+	}
+	MulSlice(dst, src, 1)
+	if !bytes.Equal(dst, src) {
+		t.Fatal("MulSlice by 1 should copy")
+	}
+	MulSlice(dst, src, 7)
+	for i := range src {
+		if dst[i] != Mul(src[i], 7) {
+			t.Fatal("MulSlice by 7 mismatch with scalar Mul")
+		}
+	}
+}
+
+func TestMulAddSliceMatchesScalar(t *testing.T) {
+	f := func(seed int64, c byte) bool {
+		rng := rand.New(rand.NewSource(seed))
+		src := make([]byte, 40)
+		dst := make([]byte, 40)
+		rng.Read(src)
+		rng.Read(dst)
+		want := make([]byte, 40)
+		for i := range want {
+			want[i] = dst[i] ^ Mul(src[i], c)
+		}
+		MulAddSlice(dst, src, c)
+		return bytes.Equal(dst, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSliceLengthMismatchPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"MulSlice":    func() { MulSlice(make([]byte, 2), make([]byte, 3), 5) },
+		"MulAddSlice": func() { MulAddSlice(make([]byte, 2), make([]byte, 3), 5) },
+		"XORSlice":    func() { XORSlice(make([]byte, 2), make([]byte, 3)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s with mismatched lengths did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: the RAID-6 equations hold after updating a single data chunk via
+// delta updates: P' = P ⊕ ΔD, Q' = Q ⊕ g^i·ΔD.
+func TestPropertyDeltaParityUpdate(t *testing.T) {
+	f := func(seed int64, chunkIdxRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const k, n = 5, 48
+		data := randChunks(rng, k, n)
+		p := make([]byte, n)
+		q := make([]byte, n)
+		SyndromePQ(p, q, data)
+
+		i := int(chunkIdxRaw) % k
+		newChunk := make([]byte, n)
+		rng.Read(newChunk)
+		delta := make([]byte, n)
+		copy(delta, data[i])
+		XORSlice(delta, newChunk)
+
+		XORSlice(p, delta)            // P update
+		MulAddSlice(q, delta, Exp(i)) // Q update
+		data[i] = newChunk
+
+		wantP := make([]byte, n)
+		wantQ := make([]byte, n)
+		SyndromePQ(wantP, wantQ, data)
+		return bytes.Equal(p, wantP) && bytes.Equal(q, wantQ)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkXORSlice128K(b *testing.B) {
+	dst := make([]byte, 128<<10)
+	src := make([]byte, 128<<10)
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		XORSlice(dst, src)
+	}
+}
+
+func BenchmarkMulAddSlice128K(b *testing.B) {
+	dst := make([]byte, 128<<10)
+	src := make([]byte, 128<<10)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MulAddSlice(dst, src, 29)
+	}
+}

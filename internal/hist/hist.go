@@ -1,0 +1,232 @@
+// Package hist provides latency histograms and summary statistics used by
+// the workload generators and the benchmark harness.
+//
+// The histogram is log-bucketed (HDR-style): values are grouped into
+// power-of-two magnitudes, each split into a fixed number of linear
+// sub-buckets, giving a bounded relative error (~1.6% with 64 sub-buckets)
+// over the full int64 range with a few KB of memory.
+package hist
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+const subBucketBits = 6 // 64 linear sub-buckets per power of two
+
+// Histogram records int64 samples (typically nanoseconds) with bounded
+// relative error. The zero value is ready to use.
+type Histogram struct {
+	counts map[int]uint64
+	n      uint64
+	sum    float64
+	min    int64
+	max    int64
+}
+
+// New returns an empty histogram.
+func New() *Histogram {
+	return &Histogram{counts: make(map[int]uint64), min: math.MaxInt64}
+}
+
+func bucketOf(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	if v < 1<<subBucketBits {
+		return int(v) // exact for small values
+	}
+	mag := bits.Len64(uint64(v)) - 1 // index of highest set bit, ≥ subBucketBits
+	sub := int(v>>(uint(mag)-subBucketBits)) & ((1 << subBucketBits) - 1)
+	return ((mag - subBucketBits + 1) << subBucketBits) | sub
+}
+
+// midpointOf returns a representative value for bucket b (inverse of
+// bucketOf up to the bucket's width).
+func midpointOf(b int) int64 {
+	if b < 1<<subBucketBits {
+		return int64(b)
+	}
+	mag := (b >> subBucketBits) + subBucketBits - 1
+	sub := int64(b & ((1 << subBucketBits) - 1))
+	lo := (int64(1) << uint(mag)) | (sub << (uint(mag) - subBucketBits))
+	width := int64(1) << (uint(mag) - subBucketBits)
+	return lo + width/2
+}
+
+// Record adds one sample.
+func (h *Histogram) Record(v int64) {
+	if h.counts == nil {
+		h.counts = make(map[int]uint64)
+		h.min = math.MaxInt64
+	}
+	h.counts[bucketOf(v)]++
+	h.n++
+	h.sum += float64(v)
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 { return h.n }
+
+// Mean returns the arithmetic mean of the samples, or 0 if empty.
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Min returns the smallest recorded sample, or 0 if empty.
+func (h *Histogram) Min() int64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest recorded sample, or 0 if empty.
+func (h *Histogram) Max() int64 { return h.max }
+
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1) with the histogram's
+// bucket resolution, or 0 if empty.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	keys := make([]int, 0, len(h.counts))
+	for k := range h.counts {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	target := uint64(math.Ceil(q * float64(h.n)))
+	var cum uint64
+	for _, k := range keys {
+		cum += h.counts[k]
+		if cum >= target {
+			v := midpointOf(k)
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// Merge adds all samples of other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil || other.n == 0 {
+		return
+	}
+	if h.counts == nil {
+		h.counts = make(map[int]uint64)
+		h.min = math.MaxInt64
+	}
+	for k, c := range other.counts {
+		h.counts[k] += c
+	}
+	h.n += other.n
+	h.sum += other.sum
+	if other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// Reset discards all samples.
+func (h *Histogram) Reset() {
+	h.counts = make(map[int]uint64)
+	h.n = 0
+	h.sum = 0
+	h.min = math.MaxInt64
+	h.max = 0
+}
+
+// Summary is a compact digest of a histogram, convenient for tables.
+type Summary struct {
+	Count          uint64
+	Mean, P50, P95 float64
+	P99, Max       float64
+}
+
+// Summarize extracts a Summary.
+func (h *Histogram) Summarize() Summary {
+	return Summary{
+		Count: h.n,
+		Mean:  h.Mean(),
+		P50:   float64(h.Quantile(0.50)),
+		P95:   float64(h.Quantile(0.95)),
+		P99:   float64(h.Quantile(0.99)),
+		Max:   float64(h.Max()),
+	}
+}
+
+// String renders the summary with microsecond units (samples are assumed to
+// be nanoseconds, as everywhere in this repository).
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.1fus p50=%.1fus p95=%.1fus p99=%.1fus max=%.1fus",
+		s.Count, s.Mean/1e3, s.P50/1e3, s.P95/1e3, s.P99/1e3, s.Max/1e3)
+}
+
+// Welford accumulates streaming mean/variance for scalar series (used for
+// throughput sampling).
+type Welford struct {
+	n    uint64
+	mean float64
+	m2   float64
+}
+
+// Add records one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() uint64 { return w.n }
+
+// Mean returns the running mean.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Stddev returns the sample standard deviation.
+func (w *Welford) Stddev() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return math.Sqrt(w.m2 / float64(w.n-1))
+}
+
+// Bar renders a crude ASCII bar of width proportional to v/max, for the
+// trace/bench CLIs.
+func Bar(v, max float64, width int) string {
+	if max <= 0 || v <= 0 {
+		return ""
+	}
+	n := int(v / max * float64(width))
+	if n > width {
+		n = width
+	}
+	return strings.Repeat("#", n)
+}

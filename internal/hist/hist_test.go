@@ -1,0 +1,197 @@
+package hist
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyHistogram(t *testing.T) {
+	h := New()
+	if h.Count() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("quantile of empty histogram should be 0")
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var h Histogram
+	h.Record(100)
+	if h.Count() != 1 || h.Min() != 100 || h.Max() != 100 {
+		t.Fatalf("zero-value histogram broken: %+v", h.Summarize())
+	}
+}
+
+func TestExactSmallValues(t *testing.T) {
+	h := New()
+	for v := int64(0); v < 64; v++ {
+		h.Record(v)
+	}
+	if h.Min() != 0 || h.Max() != 63 {
+		t.Fatalf("min=%d max=%d", h.Min(), h.Max())
+	}
+	if q := h.Quantile(0.5); q < 30 || q > 33 {
+		t.Fatalf("median = %d, want ~31", q)
+	}
+}
+
+func TestMeanIsExact(t *testing.T) {
+	h := New()
+	var sum int64
+	for i := int64(1); i <= 1000; i++ {
+		h.Record(i * 17)
+		sum += i * 17
+	}
+	want := float64(sum) / 1000
+	if math.Abs(h.Mean()-want) > 1e-9 {
+		t.Fatalf("mean = %f, want %f", h.Mean(), want)
+	}
+}
+
+func TestQuantileRelativeError(t *testing.T) {
+	h := New()
+	rng := rand.New(rand.NewSource(1))
+	samples := make([]int64, 0, 100000)
+	for i := 0; i < 100000; i++ {
+		v := int64(rng.ExpFloat64() * 1e6) // exponential latencies ~1ms
+		h.Record(v)
+		samples = append(samples, v)
+	}
+	sorted := append([]int64(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	exact := func(q float64) int64 {
+		return sorted[int(q*float64(len(sorted)-1))]
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		got, want := h.Quantile(q), exact(q)
+		if want == 0 {
+			continue
+		}
+		rel := math.Abs(float64(got-want)) / float64(want)
+		if rel > 0.05 {
+			t.Errorf("q=%v: got %d want %d (rel err %.3f)", q, got, want, rel)
+		}
+	}
+}
+
+func TestQuantileBounds(t *testing.T) {
+	h := New()
+	h.Record(10)
+	h.Record(1000000)
+	if h.Quantile(0) != 10 {
+		t.Fatalf("q0 = %d, want min", h.Quantile(0))
+	}
+	if h.Quantile(1) != 1000000 {
+		t.Fatalf("q1 = %d, want max", h.Quantile(1))
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := New(), New()
+	for i := int64(0); i < 100; i++ {
+		a.Record(i)
+		b.Record(i + 1000)
+	}
+	a.Merge(b)
+	if a.Count() != 200 {
+		t.Fatalf("count = %d, want 200", a.Count())
+	}
+	if a.Min() != 0 || a.Max() != 1099 {
+		t.Fatalf("min=%d max=%d", a.Min(), a.Max())
+	}
+	a.Merge(nil) // must not panic
+}
+
+func TestReset(t *testing.T) {
+	h := New()
+	h.Record(5)
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 {
+		t.Fatal("reset did not clear histogram")
+	}
+	h.Record(7)
+	if h.Min() != 7 {
+		t.Fatalf("min after reset+record = %d", h.Min())
+	}
+}
+
+// Property: bucket midpoint is always within 2% of any value ≥ 4096 mapping
+// to that bucket, and quantiles stay within [min,max].
+func TestPropertyBucketAccuracy(t *testing.T) {
+	f := func(raw uint32) bool {
+		v := int64(raw)%1e9 + 4096
+		mid := midpointOf(bucketOf(v))
+		rel := math.Abs(float64(mid-v)) / float64(v)
+		return rel <= 0.02
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyQuantileWithinRange(t *testing.T) {
+	f := func(vals []uint16, qRaw uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		h := New()
+		for _, v := range vals {
+			h.Record(int64(v))
+		}
+		q := float64(qRaw) / 255
+		got := h.Quantile(q)
+		return got >= h.Min() && got <= h.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWelford(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if math.Abs(w.Mean()-5) > 1e-9 {
+		t.Fatalf("mean = %f, want 5", w.Mean())
+	}
+	if math.Abs(w.Stddev()-2.138089935) > 1e-6 {
+		t.Fatalf("stddev = %f", w.Stddev())
+	}
+	if w.N() != 8 {
+		t.Fatalf("n = %d", w.N())
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	h := New()
+	h.Record(1500)
+	s := h.Summarize().String()
+	if s == "" {
+		t.Fatal("empty summary string")
+	}
+}
+
+func TestBar(t *testing.T) {
+	if Bar(5, 10, 10) != "#####" {
+		t.Fatalf("bar = %q", Bar(5, 10, 10))
+	}
+	if Bar(20, 10, 10) != "##########" {
+		t.Fatal("bar should clamp to width")
+	}
+	if Bar(0, 10, 10) != "" || Bar(5, 0, 10) != "" {
+		t.Fatal("degenerate bars should be empty")
+	}
+}
+
+func BenchmarkRecord(b *testing.B) {
+	h := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Record(int64(i) * 31 % 1e9)
+	}
+}

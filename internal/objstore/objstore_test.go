@@ -1,0 +1,164 @@
+package objstore
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"draid/internal/blockdev"
+	"draid/internal/parity"
+	"draid/internal/sim"
+)
+
+func newStore(t *testing.T, devSize, objSize int64) (*sim.Engine, *Store) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	dev := blockdev.NewMem(eng, devSize, 10*sim.Microsecond)
+	return eng, New(eng, dev, objSize)
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	eng, s := newStore(t, 1<<20, 4096)
+	want := []byte("object payload")
+	var got []byte
+	s.Put(42, parity.FromBytes(want), func(err error) {
+		if err != nil {
+			t.Errorf("put: %v", err)
+		}
+		s.Get(42, func(b parity.Buffer, err error) {
+			if err != nil {
+				t.Errorf("get: %v", err)
+			}
+			got = b.Data()[:len(want)]
+		})
+	})
+	eng.Run()
+	if !bytes.Equal(got, want) {
+		t.Fatalf("got %q, want %q", got, want)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	eng, s := newStore(t, 1<<20, 4096)
+	var err error
+	s.Get(7, func(_ parity.Buffer, e error) { err = e })
+	eng.Run()
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestOverwriteSameSlot(t *testing.T) {
+	eng, s := newStore(t, 1<<20, 4096)
+	s.Put(1, parity.FromBytes([]byte("v1")), func(error) {})
+	eng.Run()
+	s.Put(1, parity.FromBytes([]byte("v2")), func(error) {})
+	eng.Run()
+	if s.Len() != 1 {
+		t.Fatalf("len = %d after overwrite", s.Len())
+	}
+	var got []byte
+	s.Get(1, func(b parity.Buffer, _ error) { got = b.Data()[:2] })
+	eng.Run()
+	if string(got) != "v2" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestCollisionProbing(t *testing.T) {
+	eng, s := newStore(t, 16*4096, 4096) // 16 slots
+	// Insert more keys than likely collision-free; all must coexist.
+	for k := uint64(0); k < 12; k++ {
+		payload := []byte{byte(k)}
+		s.Put(k, parity.FromBytes(payload), func(err error) {
+			if err != nil {
+				t.Errorf("put %d: %v", k, err)
+			}
+		})
+		eng.Run()
+	}
+	for k := uint64(0); k < 12; k++ {
+		var got byte
+		s.Get(k, func(b parity.Buffer, err error) {
+			if err != nil {
+				t.Errorf("get %d: %v", k, err)
+				return
+			}
+			got = b.Data()[0]
+		})
+		eng.Run()
+		if got != byte(k) {
+			t.Fatalf("key %d read wrong slot (got %d)", k, got)
+		}
+	}
+}
+
+func TestFull(t *testing.T) {
+	eng, s := newStore(t, 2*4096, 4096)
+	for k := uint64(0); k < 2; k++ {
+		s.Put(k, parity.FromBytes([]byte{1}), func(err error) {
+			if err != nil {
+				t.Errorf("put: %v", err)
+			}
+		})
+		eng.Run()
+	}
+	var err error
+	s.Put(99, parity.FromBytes([]byte{1}), func(e error) { err = e })
+	eng.Run()
+	if !errors.Is(err, ErrFull) {
+		t.Fatalf("err = %v, want ErrFull", err)
+	}
+}
+
+func TestDeleteFreesSlot(t *testing.T) {
+	eng, s := newStore(t, 2*4096, 4096)
+	s.Put(1, parity.FromBytes([]byte{1}), func(error) {})
+	s.Put(2, parity.FromBytes([]byte{2}), func(error) {})
+	eng.Run()
+	if err := s.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	if s.Delete(1) == nil {
+		t.Fatal("double delete should fail")
+	}
+	var err error
+	s.Put(3, parity.FromBytes([]byte{3}), func(e error) { err = e })
+	eng.Run()
+	if err != nil {
+		t.Fatalf("put after delete: %v", err)
+	}
+}
+
+func TestOversizeRejected(t *testing.T) {
+	eng, s := newStore(t, 1<<20, 1024)
+	var err error
+	s.Put(1, parity.Sized(2048), func(e error) { err = e })
+	eng.Run()
+	if err == nil {
+		t.Fatal("oversize object accepted")
+	}
+}
+
+func TestElidedPayloads(t *testing.T) {
+	eng, s := newStore(t, 1<<20, 4096)
+	s.Put(5, parity.Sized(1000), func(err error) {
+		if err != nil {
+			t.Errorf("put: %v", err)
+		}
+	})
+	eng.Run()
+	var n int
+	s.Get(5, func(b parity.Buffer, err error) { n = b.Len() })
+	eng.Run()
+	if n != 4096 {
+		t.Fatalf("got %d bytes, want full slot", n)
+	}
+	puts, gets := s.Stats()
+	if puts != 1 || gets != 1 {
+		t.Fatalf("stats = %d,%d", puts, gets)
+	}
+}

@@ -1,0 +1,261 @@
+// Package recon implements reducer selection for disaggregated data
+// reconstruction (paper §6): the randomized single-reducer baseline (optimal
+// under homogeneous networks, Theorem 1) and the bandwidth-aware policy of
+// §6.2 — a max-min solve for the selection probabilities P_i that maximize
+// the smallest expected remaining bandwidth
+//
+//	R_i = B_i − P_i·(n−1)·L,   ΣP_i = 1,  0 ≤ P_i ≤ 1,
+//
+// with L tracked as an EWMA of the observed reconstruction load.
+package recon
+
+import (
+	"math/rand"
+
+	"draid/internal/sim"
+	"draid/internal/simnet"
+)
+
+// MaxMinProbabilities solves the §6.2 program. bandwidth[i] is the available
+// bandwidth B_i on candidate i (any consistent unit); load is (n−1)·L in the
+// same unit — the traffic a reducer absorbs per selection. It returns the
+// probability vector; uniform when load is zero or all bandwidths equal.
+//
+// The optimum is a water-fill: choose the level λ with
+// Σ_i clamp((B_i−λ)/load, 0, 1) = 1 and set P_i to the clamped terms; λ is
+// found by bisection (the sum is monotonically decreasing in λ).
+func MaxMinProbabilities(bandwidth []float64, load float64) []float64 {
+	n := len(bandwidth)
+	if n == 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	if load <= 0 {
+		for i := range out {
+			out[i] = 1 / float64(n)
+		}
+		return out
+	}
+	sumAt := func(lambda float64) float64 {
+		var s float64
+		for _, b := range bandwidth {
+			p := (b - lambda) / load
+			if p < 0 {
+				p = 0
+			} else if p > 1 {
+				p = 1
+			}
+			s += p
+		}
+		return s
+	}
+	lo, hi := bandwidth[0], bandwidth[0]
+	for _, b := range bandwidth[1:] {
+		if b < lo {
+			lo = b
+		}
+		if b > hi {
+			hi = b
+		}
+	}
+	lo -= load // sum(lo) ≥ n ≥ 1
+	// Bisect: sumAt(lo) ≥ 1, sumAt(hi) ≤ ... ensure bracketing.
+	for sumAt(hi) > 1 {
+		hi += load
+	}
+	for i := 0; i < 64; i++ {
+		mid := (lo + hi) / 2
+		if sumAt(mid) > 1 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	lambda := (lo + hi) / 2
+	var total float64
+	for i, b := range bandwidth {
+		p := (b - lambda) / load
+		if p < 0 {
+			p = 0
+		} else if p > 1 {
+			p = 1
+		}
+		out[i] = p
+		total += p
+	}
+	// Normalize residual bisection error.
+	if total > 0 {
+		for i := range out {
+			out[i] /= total
+		}
+	} else {
+		for i := range out {
+			out[i] = 1 / float64(n)
+		}
+	}
+	return out
+}
+
+// EWMA is an exponentially weighted moving average.
+type EWMA struct {
+	Alpha float64 // weight of the newest sample, in (0,1]
+	value float64
+	init  bool
+}
+
+// Update folds in a sample and returns the new average.
+func (e *EWMA) Update(x float64) float64 {
+	if !e.init {
+		e.value, e.init = x, true
+		return x
+	}
+	e.value = e.Alpha*x + (1-e.Alpha)*e.value
+	return e.value
+}
+
+// Value returns the current average (0 before any sample).
+func (e *EWMA) Value() float64 { return e.value }
+
+// Selector picks a reducer among candidate indices.
+type Selector interface {
+	// Pick chooses one of candidates (never empty). size is the
+	// reconstruction transfer size in bytes, used for load tracking.
+	Pick(candidates []int, size int64) int
+}
+
+// RandomSelector implements the paper's randomized baseline.
+type RandomSelector struct {
+	Rng *rand.Rand
+}
+
+// Pick implements Selector.
+func (s *RandomSelector) Pick(candidates []int, _ int64) int {
+	return candidates[s.Rng.Intn(len(candidates))]
+}
+
+// FixedSelector always picks the first candidate (the parity drive, in the
+// core's candidate ordering) — an ablation point.
+type FixedSelector struct{}
+
+// Pick implements Selector.
+func (FixedSelector) Pick(candidates []int, _ int64) int { return candidates[0] }
+
+// BandwidthTracker samples a set of NICs and maintains, per target, an EWMA
+// of its recent outbound throughput; available bandwidth is line rate minus
+// that. Sampling is lazy: estimates are refreshed on access once at least
+// one period has elapsed, so the tracker adds no standing events to the
+// simulation (an idle engine stays idle).
+type BandwidthTracker struct {
+	eng      *sim.Engine
+	nics     []*simnet.NIC
+	period   sim.Duration
+	lastTick sim.Time
+	lastOut  []int64
+	outRate  []EWMA // bytes/sec
+	loadRate EWMA   // reconstruction load L, bytes/sec
+	loadAcc  int64
+}
+
+// NewBandwidthTracker creates a tracker over the given NICs with the given
+// sampling period.
+func NewBandwidthTracker(eng *sim.Engine, nics []*simnet.NIC, period sim.Duration) *BandwidthTracker {
+	t := &BandwidthTracker{
+		eng: eng, nics: nics, period: period,
+		lastTick: eng.Now(),
+		lastOut:  make([]int64, len(nics)),
+		outRate:  make([]EWMA, len(nics)),
+	}
+	for i := range t.outRate {
+		t.outRate[i].Alpha = 0.3
+	}
+	t.loadRate.Alpha = 0.3
+	for i, nic := range nics {
+		t.lastOut[i] = nic.BytesOut()
+	}
+	return t
+}
+
+// refresh folds elapsed windows into the EWMAs. Long idle gaps count as
+// multiple zero-traffic windows so stale load estimates decay.
+func (t *BandwidthTracker) refresh() {
+	elapsed := t.eng.Now() - t.lastTick
+	if sim.Duration(elapsed) < t.period {
+		return
+	}
+	windows := int64(elapsed) / t.period
+	secs := sim.Seconds(sim.Duration(elapsed))
+	measured := make([]float64, len(t.nics))
+	for i, nic := range t.nics {
+		cur := nic.BytesOut()
+		measured[i] = float64(cur-t.lastOut[i]) / secs
+		t.lastOut[i] = cur
+	}
+	measuredLoad := float64(t.loadAcc) / secs
+	t.loadAcc = 0
+	// Fold the gap's average rate once per elapsed window (capped), so the
+	// EWMAs converge toward it at the same pace as periodic sampling would.
+	if windows > 8 {
+		windows = 8
+	}
+	for w := int64(0); w < windows; w++ {
+		for i := range t.outRate {
+			t.outRate[i].Update(measured[i])
+		}
+		t.loadRate.Update(measuredLoad)
+	}
+	t.lastTick = t.eng.Now()
+}
+
+// Available returns the estimated available outbound bandwidth (bytes/sec)
+// of target i.
+func (t *BandwidthTracker) Available(i int) float64 {
+	t.refresh()
+	avail := t.nics[i].GoodputBytesPerSec() - t.outRate[i].Value()
+	if avail < 0 {
+		avail = 0
+	}
+	return avail
+}
+
+// RecordReconstruction accounts size bytes of reconstruction traffic toward
+// the load estimate L.
+func (t *BandwidthTracker) RecordReconstruction(size int64) {
+	t.refresh()
+	t.loadAcc += size
+}
+
+// Load returns the EWMA reconstruction load in bytes/sec.
+func (t *BandwidthTracker) Load() float64 {
+	t.refresh()
+	return t.loadRate.Value()
+}
+
+// BWAwareSelector implements §6.2 using a BandwidthTracker.
+type BWAwareSelector struct {
+	Rng     *rand.Rand
+	Tracker *BandwidthTracker
+	// Fanout is (n−1): how many peer transfers the reducer absorbs per
+	// reconstruction relative to L.
+	Fanout int
+}
+
+// Pick implements Selector: it recomputes the max-min probabilities from
+// current bandwidth estimates and draws from them.
+func (s *BWAwareSelector) Pick(candidates []int, size int64) int {
+	s.Tracker.RecordReconstruction(size)
+	bw := make([]float64, len(candidates))
+	for i, c := range candidates {
+		bw[i] = s.Tracker.Available(c)
+	}
+	load := s.Tracker.Load() * float64(s.Fanout)
+	probs := MaxMinProbabilities(bw, load)
+	x := s.Rng.Float64()
+	var cum float64
+	for i, p := range probs {
+		cum += p
+		if x < cum {
+			return candidates[i]
+		}
+	}
+	return candidates[len(candidates)-1]
+}

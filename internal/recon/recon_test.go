@@ -1,0 +1,246 @@
+package recon
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"draid/internal/sim"
+	"draid/internal/simnet"
+)
+
+func TestMaxMinUniformWhenHomogeneous(t *testing.T) {
+	p := MaxMinProbabilities([]float64{10, 10, 10, 10}, 5)
+	for _, v := range p {
+		if math.Abs(v-0.25) > 1e-9 {
+			t.Fatalf("probs = %v, want uniform 0.25", p)
+		}
+	}
+}
+
+func TestMaxMinZeroLoadUniform(t *testing.T) {
+	p := MaxMinProbabilities([]float64{1, 100, 7}, 0)
+	for _, v := range p {
+		if math.Abs(v-1.0/3) > 1e-9 {
+			t.Fatalf("probs = %v, want uniform", p)
+		}
+	}
+}
+
+func TestMaxMinFavorsHighBandwidth(t *testing.T) {
+	// One 100G-class and three 25G-class candidates under heavy load.
+	p := MaxMinProbabilities([]float64{100, 25, 25, 25}, 60)
+	if p[0] <= p[1] {
+		t.Fatalf("probs = %v, high-bandwidth candidate should dominate", p)
+	}
+	for i := 1; i < 4; i++ {
+		if math.Abs(p[i]-p[1]) > 1e-6 {
+			t.Fatalf("equal-bandwidth candidates got unequal probs: %v", p)
+		}
+	}
+}
+
+func TestMaxMinStarvesOverloadedNode(t *testing.T) {
+	// A node with no available bandwidth should get (near) zero probability
+	// when the others can absorb the load.
+	p := MaxMinProbabilities([]float64{0, 50, 50}, 40)
+	if p[0] > 0.01 {
+		t.Fatalf("probs = %v, exhausted node should get ~0", p)
+	}
+}
+
+func TestMaxMinEmpty(t *testing.T) {
+	if MaxMinProbabilities(nil, 5) != nil {
+		t.Fatal("empty input should return nil")
+	}
+}
+
+// Property: output is a probability distribution, and the realized min
+// remaining bandwidth is no worse than under the uniform distribution.
+func TestPropertyMaxMinValidAndNoWorseThanUniform(t *testing.T) {
+	f := func(raw []uint8, loadRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 12 {
+			raw = raw[:12]
+		}
+		bw := make([]float64, len(raw))
+		for i, r := range raw {
+			bw[i] = float64(r)
+		}
+		load := float64(loadRaw) + 1
+		p := MaxMinProbabilities(bw, load)
+		var sum float64
+		for _, v := range p {
+			if v < -1e-9 || v > 1+1e-9 {
+				return false
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			return false
+		}
+		minRem := func(probs []float64) float64 {
+			m := math.Inf(1)
+			for i := range bw {
+				r := bw[i] - probs[i]*load
+				if r < m {
+					m = r
+				}
+			}
+			return m
+		}
+		uniform := make([]float64, len(bw))
+		for i := range uniform {
+			uniform[i] = 1 / float64(len(bw))
+		}
+		return minRem(p) >= minRem(uniform)-1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	e := EWMA{Alpha: 0.5}
+	if e.Value() != 0 {
+		t.Fatal("initial value should be 0")
+	}
+	e.Update(10)
+	if e.Value() != 10 {
+		t.Fatal("first sample should seed the average")
+	}
+	e.Update(20)
+	if math.Abs(e.Value()-15) > 1e-9 {
+		t.Fatalf("value = %v, want 15", e.Value())
+	}
+}
+
+func TestRandomSelectorUniform(t *testing.T) {
+	s := &RandomSelector{Rng: rand.New(rand.NewSource(1))}
+	counts := make(map[int]int)
+	cands := []int{3, 5, 9}
+	for i := 0; i < 3000; i++ {
+		counts[s.Pick(cands, 1000)]++
+	}
+	for _, c := range cands {
+		if counts[c] < 800 || counts[c] > 1200 {
+			t.Fatalf("counts = %v, want ~1000 each", counts)
+		}
+	}
+}
+
+func TestFixedSelector(t *testing.T) {
+	if (FixedSelector{}).Pick([]int{7, 8}, 0) != 7 {
+		t.Fatal("fixed selector should pick first")
+	}
+}
+
+func buildTrackerNet(t *testing.T) (*sim.Engine, *simnet.Network, []*simnet.NIC, []*simnet.Conn) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	net := simnet.New(eng, simnet.Config{Goodput: 1.0})
+	sink := net.NewNode("sink")
+	sink.AddNIC("nic0", 800)
+	var nics []*simnet.NIC
+	var conns []*simnet.Conn
+	for i := 0; i < 2; i++ {
+		nd := net.NewNode(string(rune('a' + i)))
+		nics = append(nics, nd.AddNIC("nic0", 8)) // 1 B/ns
+		conns = append(conns, net.Connect(nd, sink))
+	}
+	return eng, net, nics, conns
+}
+
+func TestBandwidthTrackerEstimatesLoad(t *testing.T) {
+	eng, net, nics, conns := buildTrackerNet(t)
+	_ = net
+	tr := NewBandwidthTracker(eng, nics, sim.Millisecond)
+	// Node 0 sends ~0.5 B/ns for 10ms; node 1 idle.
+	nodeA := conns[0]
+	var pump func()
+	sent := int64(0)
+	pump = func() {
+		if eng.Now() > sim.Time(10*sim.Millisecond) {
+			return
+		}
+		nodeA.Send(nodeA.Peer(net.Node("sink")), 500_000, func() {})
+		sent += 500_000
+		eng.After(sim.Millisecond, pump)
+	}
+	pump()
+	eng.RunUntil(sim.Time(12 * sim.Millisecond))
+
+	availBusy := tr.Available(0)
+	availIdle := tr.Available(1)
+	if availIdle <= availBusy {
+		t.Fatalf("idle node available %v should exceed busy node %v", availIdle, availBusy)
+	}
+	// Idle node: full 1 B/ns = 1e9 B/s.
+	if math.Abs(availIdle-1e9) > 1e6 {
+		t.Fatalf("idle available = %v, want ~1e9", availIdle)
+	}
+	// Busy node: ~0.5e9 used.
+	if availBusy > 0.7e9 || availBusy < 0.3e9 {
+		t.Fatalf("busy available = %v, want ~0.5e9", availBusy)
+	}
+}
+
+func TestBandwidthTrackerLoadEWMA(t *testing.T) {
+	eng, _, nics, _ := buildTrackerNet(t)
+	tr := NewBandwidthTracker(eng, nics, sim.Millisecond)
+	for i := 0; i < 10; i++ {
+		eng.After(sim.Duration(i)*sim.Millisecond, func() {
+			tr.RecordReconstruction(1_000_000) // 1 MB per ms = 1 GB/s
+		})
+	}
+	eng.RunUntil(sim.Time(10 * sim.Millisecond))
+	l := tr.Load()
+	if l < 0.5e9 || l > 1.5e9 {
+		t.Fatalf("load estimate = %v B/s, want ~1e9", l)
+	}
+	// After reconstruction stops the estimate decays toward zero.
+	eng.RunUntil(sim.Time(25 * sim.Millisecond))
+	if tr.Load() >= l/2 {
+		t.Fatalf("load estimate %v did not decay from %v", tr.Load(), l)
+	}
+}
+
+func TestBWAwareSelectorPrefersIdleFastNode(t *testing.T) {
+	eng, net, nics, conns := buildTrackerNet(t)
+	tr := NewBandwidthTracker(eng, nics, sim.Millisecond)
+	sel := &BWAwareSelector{Rng: rand.New(rand.NewSource(2)), Tracker: tr, Fanout: 3}
+	// Saturate node 0 half-way; leave node 1 idle.
+	sink := net.Node("sink")
+	var pump func()
+	pump = func() {
+		if eng.Now() > sim.Time(20*sim.Millisecond) {
+			return
+		}
+		conns[0].Send(conns[0].Peer(sink), 500_000, func() {})
+		eng.After(sim.Millisecond, pump)
+	}
+	pump()
+	// Record steady reconstruction load so the solver has a nonzero L.
+	var loadPump func()
+	loadPump = func() {
+		if eng.Now() > sim.Time(20*sim.Millisecond) {
+			return
+		}
+		tr.RecordReconstruction(300_000)
+		eng.After(sim.Millisecond, loadPump)
+	}
+	loadPump()
+	counts := [2]int{}
+	eng.At(sim.Time(15*sim.Millisecond), func() {
+		for i := 0; i < 1000; i++ {
+			counts[sel.Pick([]int{0, 1}, 100_000)]++
+		}
+	})
+	eng.RunUntil(sim.Time(21 * sim.Millisecond))
+	if counts[1] <= counts[0] {
+		t.Fatalf("picks = %v, idle node should be preferred", counts)
+	}
+}

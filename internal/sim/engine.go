@@ -1,0 +1,187 @@
+// Package sim provides the deterministic discrete-event engine that all
+// simulated substrates (network, drives, CPUs) and controllers run on.
+//
+// A single goroutine executes events in virtual-time order. Events scheduled
+// for the same instant run in scheduling order (FIFO), which makes every run
+// fully deterministic for a given seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the run.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds. It is distinct from
+// time.Duration only to keep virtual and wall-clock time from mixing by
+// accident; use the helper constructors below.
+type Duration = int64
+
+// Common durations, in virtual nanoseconds.
+const (
+	Nanosecond  Duration = 1
+	Microsecond Duration = 1000 * Nanosecond
+	Millisecond Duration = 1000 * Microsecond
+	Second      Duration = 1000 * Millisecond
+)
+
+// Seconds converts a virtual duration to floating-point seconds.
+func Seconds(d Duration) float64 { return float64(d) / float64(Second) }
+
+// String renders a Time using time.Duration formatting.
+func (t Time) String() string { return time.Duration(t).String() }
+
+type event struct {
+	at   Time
+	seq  uint64 // tie-breaker: FIFO among same-time events
+	fn   func()
+	idx  int // heap index, -1 once popped or cancelled
+	dead bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulation engine. The zero value is not ready
+// for use; call NewEngine.
+type Engine struct {
+	now     Time
+	queue   eventHeap
+	seq     uint64
+	rng     *rand.Rand
+	stopped bool
+	// processed counts executed events, exposed for tests and debugging.
+	processed uint64
+}
+
+// NewEngine returns an engine whose random source is seeded with seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Processed reports how many events have been executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Timer is a handle to a scheduled event that can be cancelled.
+type Timer struct {
+	ev *event
+}
+
+// Stop cancels the timer. It reports whether the event had not yet fired.
+// Stopping an already-fired or already-stopped timer is a no-op.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.dead || t.ev.idx < 0 {
+		return false
+	}
+	t.ev.dead = true
+	return true
+}
+
+// At schedules fn to run at absolute virtual time at. Scheduling in the past
+// panics: it always indicates a logic error in a causal simulation.
+func (e *Engine) At(at Time, fn func()) *Timer {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
+	}
+	ev := &event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (e *Engine) After(d Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now+Time(d), fn)
+}
+
+// Defer schedules fn to run at the current time, after all events already
+// queued for this instant. It is the simulation analogue of "post to the
+// event loop" and is the usual way to break call-stack recursion between
+// components.
+func (e *Engine) Defer(fn func()) *Timer { return e.After(0, fn) }
+
+// Stop makes Run return after the currently executing event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events until the queue is empty or Stop is called. It returns
+// the virtual time of the last executed event.
+func (e *Engine) Run() Time {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		e.step()
+	}
+	return e.now
+}
+
+// RunUntil executes events with time ≤ deadline. The clock is left at
+// min(deadline, time of last event) if the queue drains early, or exactly
+// deadline otherwise.
+func (e *Engine) RunUntil(deadline Time) {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		if e.queue[0].at > deadline {
+			e.now = deadline
+			return
+		}
+		e.step()
+	}
+	if e.now < deadline && !e.stopped {
+		e.now = deadline
+	}
+}
+
+// RunFor advances the clock by d, executing all events in the window.
+func (e *Engine) RunFor(d Duration) { e.RunUntil(e.now + Time(d)) }
+
+func (e *Engine) step() {
+	ev := heap.Pop(&e.queue).(*event)
+	if ev.dead {
+		return
+	}
+	e.now = ev.at
+	e.processed++
+	ev.fn()
+}
+
+// Pending reports the number of events in the queue, including cancelled
+// events not yet reaped.
+func (e *Engine) Pending() int { return len(e.queue) }

@@ -1,0 +1,215 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineRunsEventsInOrder(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	e.At(30, func() { got = append(got, 3) })
+	e.At(10, func() { got = append(got, 1) })
+	e.At(20, func() { got = append(got, 2) })
+	end := e.Run()
+	if end != 30 {
+		t.Fatalf("end time = %v, want 30", end)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEngineFIFOAtSameInstant(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("same-instant order = %v, want FIFO", got)
+		}
+	}
+}
+
+func TestEngineAfterAndNow(t *testing.T) {
+	e := NewEngine(1)
+	var at1, at2 Time
+	e.After(100, func() {
+		at1 = e.Now()
+		e.After(50, func() { at2 = e.Now() })
+	})
+	e.Run()
+	if at1 != 100 || at2 != 150 {
+		t.Fatalf("at1=%v at2=%v, want 100,150", at1, at2)
+	}
+}
+
+func TestEngineSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine(1)
+	e.After(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(50, func() {})
+	})
+	e.Run()
+}
+
+func TestTimerStop(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	tm := e.After(10, func() { fired = true })
+	if !tm.Stop() {
+		t.Fatal("Stop on pending timer returned false")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop returned true")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("cancelled timer fired")
+	}
+}
+
+func TestTimerStopAfterFire(t *testing.T) {
+	e := NewEngine(1)
+	tm := e.After(10, func() {})
+	e.Run()
+	if tm.Stop() {
+		t.Fatal("Stop after fire returned true")
+	}
+}
+
+func TestRunUntilLeavesClockAtDeadline(t *testing.T) {
+	e := NewEngine(1)
+	e.At(10, func() {})
+	e.At(100, func() {})
+	e.RunUntil(50)
+	if e.Now() != 50 {
+		t.Fatalf("now = %v, want 50", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+	e.RunUntil(100)
+	if e.Now() != 100 || e.Pending() != 0 {
+		t.Fatalf("now=%v pending=%d after second RunUntil", e.Now(), e.Pending())
+	}
+}
+
+func TestRunForAdvancesRelative(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	e.At(5, func() { count++ })
+	e.At(15, func() { count++ })
+	e.RunFor(10)
+	if e.Now() != 10 || count != 1 {
+		t.Fatalf("now=%v count=%d, want 10,1", e.Now(), count)
+	}
+	e.RunFor(10)
+	if e.Now() != 20 || count != 2 {
+		t.Fatalf("now=%v count=%d, want 20,2", e.Now(), count)
+	}
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	e := NewEngine(1)
+	ran := 0
+	for i := 1; i <= 100; i++ {
+		e.At(Time(i), func() {
+			ran++
+			if ran == 10 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if ran != 10 {
+		t.Fatalf("ran = %d events, want 10", ran)
+	}
+	if e.Pending() != 90 {
+		t.Fatalf("pending = %d, want 90", e.Pending())
+	}
+}
+
+func TestDeferRunsAfterQueuedSameInstant(t *testing.T) {
+	e := NewEngine(1)
+	var got []string
+	e.At(10, func() {
+		e.Defer(func() { got = append(got, "deferred") })
+	})
+	e.At(10, func() { got = append(got, "second") })
+	e.Run()
+	if len(got) != 2 || got[0] != "second" || got[1] != "deferred" {
+		t.Fatalf("got %v, want [second deferred]", got)
+	}
+}
+
+func TestDeterminismSameSeed(t *testing.T) {
+	run := func(seed int64) []int64 {
+		e := NewEngine(seed)
+		var samples []int64
+		var tick func()
+		tick = func() {
+			samples = append(samples, e.rng.Int63n(1000), int64(e.Now()))
+			if len(samples) < 200 {
+				e.After(Duration(1+e.rng.Int63n(50)), tick)
+			}
+		}
+		e.After(1, tick)
+		e.Run()
+		return samples
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs with same seed diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+// Property: for any set of scheduled delays, events fire in nondecreasing
+// time order and the engine processes exactly len(delays) events.
+func TestPropertyEventOrdering(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine(7)
+		var times []Time
+		for _, d := range delays {
+			e.After(Duration(d), func() { times = append(times, e.Now()) })
+		}
+		e.Run()
+		if len(times) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return e.Processed() == uint64(len(delays))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	e := NewEngine(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.After(Duration(i%100), func() {})
+		if e.Pending() > 1024 {
+			e.Run()
+		}
+	}
+	e.Run()
+}

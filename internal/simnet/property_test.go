@@ -1,0 +1,164 @@
+package simnet
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"draid/internal/sim"
+)
+
+// Property: with no faults, bytes are conserved — every sender's outbound
+// total equals the receivers' inbound totals, every message is delivered
+// exactly once, and arrivals never precede the physically possible time.
+func TestPropertyConservationAndCausality(t *testing.T) {
+	f := func(seed int64, sizesRaw []uint16) bool {
+		if len(sizesRaw) == 0 {
+			return true
+		}
+		if len(sizesRaw) > 64 {
+			sizesRaw = sizesRaw[:64]
+		}
+		eng := sim.NewEngine(seed)
+		cfg := Config{PropDelay: 100, PerMsgDelay: 10, HeaderBytes: 32, Goodput: 1.0}
+		net := New(eng, cfg)
+		nodes := []*Node{net.NewNode("a"), net.NewNode("b"), net.NewNode("c")}
+		for _, n := range nodes {
+			n.AddNIC("nic0", 8) // 1 B/ns
+		}
+		conns := map[[2]int]*Conn{}
+		for i := 0; i < 3; i++ {
+			for j := i + 1; j < 3; j++ {
+				conns[[2]int{i, j}] = net.Connect(nodes[i], nodes[j])
+			}
+		}
+		rng := rand.New(rand.NewSource(seed))
+		delivered := 0
+		var totalWire int64
+		for _, raw := range sizesRaw {
+			i, j := rng.Intn(3), rng.Intn(3)
+			if i == j {
+				j = (j + 1) % 3
+			}
+			lo, hi := i, j
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			c := conns[[2]int{lo, hi}]
+			size := int64(raw)
+			sendTime := eng.Now()
+			minArrival := sendTime + sim.Time(size+cfg.HeaderBytes) /* out */ +
+				sim.Time(cfg.PropDelay+cfg.PerMsgDelay)
+			c.Send(nodes[i], size, func() {
+				delivered++
+				if eng.Now() < minArrival {
+					t.Errorf("arrival %v before physical minimum %v", eng.Now(), minArrival)
+				}
+			})
+			totalWire += size + cfg.HeaderBytes
+		}
+		eng.Run()
+		if delivered != len(sizesRaw) {
+			return false
+		}
+		var out, in int64
+		for _, n := range nodes {
+			out += n.BytesOut()
+			in += n.BytesIn()
+		}
+		return out == totalWire && in == totalWire
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: FIFO per direction — messages sent in order on one connection
+// direction are delivered in order.
+func TestPropertyFIFODelivery(t *testing.T) {
+	f := func(seed int64, sizesRaw []uint16) bool {
+		if len(sizesRaw) < 2 {
+			return true
+		}
+		if len(sizesRaw) > 32 {
+			sizesRaw = sizesRaw[:32]
+		}
+		eng := sim.NewEngine(seed)
+		net := New(eng, Config{Goodput: 1.0})
+		a := net.NewNode("a")
+		b := net.NewNode("b")
+		a.AddNIC("nic0", 8)
+		b.AddNIC("nic0", 8)
+		c := net.Connect(a, b)
+		var got []int
+		for idx, raw := range sizesRaw {
+			idx := idx
+			c.Send(a, int64(raw), func() { got = append(got, idx) })
+		}
+		eng.Run()
+		for i := 1; i < len(got); i++ {
+			if got[i] < got[i-1] {
+				return false
+			}
+		}
+		return len(got) == len(sizesRaw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultConfigSane(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Goodput <= 0.8 || cfg.Goodput > 1 {
+		t.Fatalf("goodput = %v", cfg.Goodput)
+	}
+	if cfg.PropDelay <= 0 || cfg.HeaderBytes <= 0 {
+		t.Fatal("default config has zero overheads")
+	}
+	eng := sim.NewEngine(1)
+	net := New(eng, cfg)
+	if net.Config() != cfg {
+		t.Fatal("Config() mismatch")
+	}
+}
+
+func TestBadGoodputPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(sim.NewEngine(1), Config{Goodput: 1.5})
+}
+
+func TestPeerUnknownNodePanics(t *testing.T) {
+	eng := sim.NewEngine(1)
+	net := New(eng, Config{Goodput: 1})
+	a := net.NewNode("a")
+	b := net.NewNode("b")
+	c := net.NewNode("c")
+	for _, n := range []*Node{a, b, c} {
+		n.AddNIC("nic0", 8)
+	}
+	conn := net.Connect(a, b)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	conn.Peer(c)
+}
+
+func TestDownAccessor(t *testing.T) {
+	eng := sim.NewEngine(1)
+	net := New(eng, Config{Goodput: 1})
+	a := net.NewNode("a")
+	if a.Down() {
+		t.Fatal("new node should be up")
+	}
+	a.SetDown(true)
+	if !a.Down() {
+		t.Fatal("SetDown not reflected")
+	}
+}

@@ -1,0 +1,287 @@
+// Package simnet models a datacenter network at the fidelity dRAID's
+// evaluation depends on: per-NIC full-duplex line-rate serialization, a
+// non-blocking switch fabric, propagation and per-message latency, reliable
+// FIFO connections (the RDMA RC stand-in), byte-level traffic accounting,
+// and fault injection.
+//
+// A transfer of S bytes from node A to node B occupies A's chosen NIC
+// outbound pipe for S/rate, travels PropDelay+PerMsgDelay, then occupies B's
+// NIC inbound pipe for S/rate before delivery. Pipes are FIFO reservations
+// (busy-until), so aggregate throughput through a NIC is capped at exactly
+// its line rate — the arithmetic the paper's bandwidth arguments rest on.
+package simnet
+
+import (
+	"fmt"
+
+	"draid/internal/sim"
+)
+
+// Config holds network-wide parameters. The defaults mirror a modern
+// datacenter fabric (the paper's Dell Z9264 + ConnectX-5 testbed).
+type Config struct {
+	// PropDelay is one-way propagation through the fabric.
+	PropDelay sim.Duration
+	// PerMsgDelay is fixed per-message processing (doorbell, completion,
+	// DMA setup) added to every transfer.
+	PerMsgDelay sim.Duration
+	// HeaderBytes is wire overhead added to every message's size.
+	HeaderBytes int64
+	// Goodput derates NIC line rate for protocol overhead (0 < g ≤ 1).
+	// The paper measures ~92 Gbps of goodput on a 100 Gbps NIC ⇒ 0.92.
+	Goodput float64
+}
+
+// DefaultConfig returns parameters calibrated to the paper's testbed.
+func DefaultConfig() Config {
+	return Config{
+		PropDelay:   2 * sim.Microsecond,
+		PerMsgDelay: 1 * sim.Microsecond,
+		HeaderBytes: 128,
+		Goodput:     0.92,
+	}
+}
+
+// Network is the fabric connecting all nodes.
+type Network struct {
+	Eng   *sim.Engine
+	cfg   Config
+	nodes map[string]*Node
+}
+
+// New creates an empty network on the given engine.
+func New(eng *sim.Engine, cfg Config) *Network {
+	if cfg.Goodput <= 0 || cfg.Goodput > 1 {
+		panic(fmt.Sprintf("simnet: goodput %v out of (0,1]", cfg.Goodput))
+	}
+	return &Network{Eng: eng, cfg: cfg, nodes: make(map[string]*Node)}
+}
+
+// Config returns the network configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// NewNode adds a node. Names must be unique.
+func (n *Network) NewNode(name string) *Node {
+	if _, dup := n.nodes[name]; dup {
+		panic("simnet: duplicate node " + name)
+	}
+	nd := &Node{name: name, net: n}
+	n.nodes[name] = nd
+	return nd
+}
+
+// Node returns the named node, or nil.
+func (n *Network) Node(name string) *Node { return n.nodes[name] }
+
+// pipe is a FIFO bandwidth reservation: each transfer occupies the pipe for
+// size/rate, queued behind earlier transfers.
+type pipe struct {
+	rate      float64 // bytes per virtual nanosecond
+	busyUntil sim.Time
+	busyTotal sim.Duration // accumulated service time, for utilization
+	bytes     int64
+	msgs      int64
+}
+
+func (p *pipe) reserve(now sim.Time, size int64) sim.Time {
+	start := now
+	if p.busyUntil > start {
+		start = p.busyUntil
+	}
+	svc := sim.Duration(float64(size) / p.rate)
+	p.busyUntil = start + sim.Time(svc)
+	p.busyTotal += svc
+	p.bytes += size
+	p.msgs++
+	return p.busyUntil
+}
+
+// NIC is one network interface with full-duplex line rate.
+type NIC struct {
+	name    string
+	node    *Node
+	rateBps int64 // raw line rate in bits/sec (before goodput derating)
+	out, in pipe
+	conns   int // connections placed on this NIC, for least-used placement
+}
+
+// GbpsToBps converts gigabits/sec to bits/sec.
+func GbpsToBps(gbps float64) int64 { return int64(gbps * 1e9) }
+
+// RateBps returns the NIC's raw line rate in bits per second.
+func (c *NIC) RateBps() int64 { return c.rateBps }
+
+// GoodputBytesPerSec returns the usable payload rate in bytes per second.
+func (c *NIC) GoodputBytesPerSec() float64 {
+	return float64(c.rateBps) / 8 * c.node.net.cfg.Goodput
+}
+
+// Name returns "node/nic".
+func (c *NIC) Name() string { return c.node.name + "/" + c.name }
+
+// BytesOut and BytesIn return cumulative payload+header bytes through the NIC.
+func (c *NIC) BytesOut() int64 { return c.out.bytes }
+
+// BytesIn returns cumulative inbound bytes through the NIC.
+func (c *NIC) BytesIn() int64 { return c.in.bytes }
+
+// BusyOut returns accumulated outbound service time (for utilization math).
+func (c *NIC) BusyOut() sim.Duration { return c.out.busyTotal }
+
+// BusyIn returns accumulated inbound service time.
+func (c *NIC) BusyIn() sim.Duration { return c.in.busyTotal }
+
+// Node is a machine on the fabric: a host or a storage server.
+type Node struct {
+	name string
+	net  *Network
+	nics []*NIC
+	down bool
+}
+
+// Name returns the node name.
+func (nd *Node) Name() string { return nd.name }
+
+// AddNIC attaches a NIC with the given line rate in Gbps.
+func (nd *Node) AddNIC(name string, gbps float64) *NIC {
+	rate := float64(GbpsToBps(gbps)) / 8 * nd.net.cfg.Goodput / 1e9 // bytes per ns
+	nic := &NIC{
+		name: name, node: nd, rateBps: GbpsToBps(gbps),
+		out: pipe{rate: rate}, in: pipe{rate: rate},
+	}
+	nd.nics = append(nd.nics, nic)
+	return nic
+}
+
+// NICs returns the node's NICs.
+func (nd *Node) NICs() []*NIC { return nd.nics }
+
+// leastUsedNIC implements the paper's §5.5 placement rule: new connections
+// go on the NIC with the fewest connections (ties: first added).
+func (nd *Node) leastUsedNIC() *NIC {
+	if len(nd.nics) == 0 {
+		panic("simnet: node " + nd.name + " has no NIC")
+	}
+	best := nd.nics[0]
+	for _, c := range nd.nics[1:] {
+		if c.conns < best.conns {
+			best = c
+		}
+	}
+	return best
+}
+
+// SetDown marks the node failed (true) or recovered (false). Messages to or
+// from a down node are silently dropped — the sender learns only via its own
+// timeout, as on a real fabric.
+func (nd *Node) SetDown(down bool) { nd.down = down }
+
+// Down reports the node's failure state.
+func (nd *Node) Down() bool { return nd.down }
+
+// BytesOut sums outbound bytes over all NICs.
+func (nd *Node) BytesOut() int64 {
+	var t int64
+	for _, c := range nd.nics {
+		t += c.out.bytes
+	}
+	return t
+}
+
+// BytesIn sums inbound bytes over all NICs.
+func (nd *Node) BytesIn() int64 {
+	var t int64
+	for _, c := range nd.nics {
+		t += c.in.bytes
+	}
+	return t
+}
+
+// ResetCounters zeroes all NIC byte/message counters (not busy state).
+func (nd *Node) ResetCounters() {
+	for _, c := range nd.nics {
+		c.out.bytes, c.out.msgs, c.in.bytes, c.in.msgs = 0, 0, 0, 0
+	}
+}
+
+// Conn is a reliable FIFO connection between two nodes (an RDMA RC queue
+// pair). Each endpoint is pinned to one NIC chosen at connect time by the
+// least-used rule.
+type Conn struct {
+	net      *Network
+	aNode    *Node
+	bNode    *Node
+	aNIC     *NIC
+	bNIC     *NIC
+	dropProb float64
+	delay    sim.Duration
+}
+
+// Connect establishes a connection between two distinct nodes.
+func (n *Network) Connect(a, b *Node) *Conn {
+	if a == b {
+		panic("simnet: connecting node to itself")
+	}
+	an, bn := a.leastUsedNIC(), b.leastUsedNIC()
+	an.conns++
+	bn.conns++
+	return &Conn{net: n, aNode: a, bNode: b, aNIC: an, bNIC: bn}
+}
+
+// InjectDrop makes each message on this connection be dropped with
+// probability p (deterministically via the engine RNG). Used for transient
+// failure tests.
+func (c *Conn) InjectDrop(p float64) { c.dropProb = p }
+
+// InjectDelay adds d to every message's latency on this connection.
+func (c *Conn) InjectDelay(d sim.Duration) { c.delay = d }
+
+// Peer returns the node opposite from.
+func (c *Conn) Peer(from *Node) *Node {
+	switch from {
+	case c.aNode:
+		return c.bNode
+	case c.bNode:
+		return c.aNode
+	}
+	panic("simnet: node " + from.name + " not an endpoint")
+}
+
+// Send transmits size payload bytes from `from` to the opposite endpoint and
+// runs deliver at the receiver when the last byte arrives. Dropped messages
+// (down node or injected fault) consume sender bandwidth but never deliver.
+// Size 0 is allowed (pure control message); header bytes still apply.
+func (c *Conn) Send(from *Node, size int64, deliver func()) {
+	if size < 0 {
+		panic("simnet: negative message size")
+	}
+	var src, dst *NIC
+	switch from {
+	case c.aNode:
+		src, dst = c.aNIC, c.bNIC
+	case c.bNode:
+		src, dst = c.bNIC, c.aNIC
+	default:
+		panic("simnet: node " + from.name + " not an endpoint")
+	}
+	eng := c.net.Eng
+	wire := size + c.net.cfg.HeaderBytes
+	sent := src.pipeOut().reserve(eng.Now(), wire)
+	if from.down || c.Peer(from).down {
+		return // consumed sender bandwidth; vanishes in the fabric
+	}
+	if c.dropProb > 0 && eng.Rand().Float64() < c.dropProb {
+		return
+	}
+	arrive := sent + sim.Time(c.net.cfg.PropDelay+c.net.cfg.PerMsgDelay+c.delay)
+	eng.At(arrive, func() {
+		if c.Peer(from).down || from.down {
+			return
+		}
+		done := dst.pipeIn().reserve(eng.Now(), wire)
+		eng.At(done, deliver)
+	})
+}
+
+func (c *NIC) pipeOut() *pipe { return &c.out }
+func (c *NIC) pipeIn() *pipe  { return &c.in }

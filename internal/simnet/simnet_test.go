@@ -1,0 +1,304 @@
+package simnet
+
+import (
+	"testing"
+
+	"draid/internal/sim"
+)
+
+// testNet builds a 2-node network with simple round numbers: 1 GB/s NICs
+// (goodput 1.0), zero prop/per-msg delay, zero header bytes — so transfer
+// time is exactly size ns per byte/ns.
+func testNet(t *testing.T) (*sim.Engine, *Network, *Node, *Node) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	net := New(eng, Config{Goodput: 1.0})
+	a := net.NewNode("a")
+	b := net.NewNode("b")
+	a.AddNIC("nic0", 8) // 8 Gbps = 1 byte/ns
+	b.AddNIC("nic0", 8)
+	return eng, net, a, b
+}
+
+func TestSendDeliversAfterSerialization(t *testing.T) {
+	eng, net, a, b := testNet(t)
+	conn := net.Connect(a, b)
+	var deliveredAt sim.Time = -1
+	conn.Send(a, 1000, func() { deliveredAt = eng.Now() })
+	eng.Run()
+	// 1000 bytes at 1 B/ns out + 1000 in = 2000ns total.
+	if deliveredAt != 2000 {
+		t.Fatalf("delivered at %d, want 2000", deliveredAt)
+	}
+}
+
+func TestNICSerializesConcurrentSends(t *testing.T) {
+	eng, net, a, b := testNet(t)
+	conn := net.Connect(a, b)
+	var times []sim.Time
+	for i := 0; i < 3; i++ {
+		conn.Send(a, 1000, func() { times = append(times, eng.Now()) })
+	}
+	eng.Run()
+	// Outbound serializes at 1000ns each; inbound pipeline overlaps with the
+	// next outbound, so arrivals are 2000, 3000, 4000.
+	want := []sim.Time{2000, 3000, 4000}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("arrivals = %v, want %v", times, want)
+		}
+	}
+}
+
+func TestFullDuplexIndependentDirections(t *testing.T) {
+	eng, net, a, b := testNet(t)
+	conn := net.Connect(a, b)
+	var aT, bT sim.Time
+	conn.Send(a, 1000, func() { aT = eng.Now() })
+	conn.Send(b, 1000, func() { bT = eng.Now() })
+	eng.Run()
+	if aT != 2000 || bT != 2000 {
+		t.Fatalf("duplex arrivals a=%d b=%d, want 2000 both", aT, bT)
+	}
+}
+
+func TestPropagationAndHeaderOverhead(t *testing.T) {
+	eng := sim.NewEngine(1)
+	net := New(eng, Config{PropDelay: 100, PerMsgDelay: 50, HeaderBytes: 64, Goodput: 1.0})
+	a := net.NewNode("a")
+	b := net.NewNode("b")
+	a.AddNIC("nic0", 8)
+	b.AddNIC("nic0", 8)
+	conn := net.Connect(a, b)
+	var at sim.Time
+	conn.Send(a, 1000, func() { at = eng.Now() })
+	eng.Run()
+	// (1000+64) out + 100 + 50 + (1000+64) in = 2278.
+	if at != 2278 {
+		t.Fatalf("arrival = %d, want 2278", at)
+	}
+}
+
+func TestGoodputDeratesRate(t *testing.T) {
+	eng := sim.NewEngine(1)
+	net := New(eng, Config{Goodput: 0.5})
+	a := net.NewNode("a")
+	b := net.NewNode("b")
+	a.AddNIC("nic0", 8) // 0.5 B/ns effective
+	b.AddNIC("nic0", 8)
+	conn := net.Connect(a, b)
+	var at sim.Time
+	conn.Send(a, 1000, func() { at = eng.Now() })
+	eng.Run()
+	if at != 4000 {
+		t.Fatalf("arrival = %d, want 4000 with half-rate goodput", at)
+	}
+}
+
+func TestThroughputCapsAtLineRate(t *testing.T) {
+	eng, net, a, b := testNet(t)
+	conn := net.Connect(a, b)
+	const msgs, size = 100, 10000
+	var last sim.Time
+	for i := 0; i < msgs; i++ {
+		conn.Send(a, size, func() { last = eng.Now() })
+	}
+	eng.Run()
+	bytes := int64(msgs * size)
+	rate := float64(bytes) / float64(last) // bytes per ns
+	if rate > 1.001 {
+		t.Fatalf("achieved %v B/ns through a 1 B/ns NIC", rate)
+	}
+	if rate < 0.95 {
+		t.Fatalf("achieved only %v B/ns; pipe should saturate", rate)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	eng, net, a, b := testNet(t)
+	conn := net.Connect(a, b)
+	conn.Send(a, 500, func() {})
+	conn.Send(b, 300, func() {})
+	eng.Run()
+	if a.BytesOut() != 500 || a.BytesIn() != 300 {
+		t.Fatalf("a out=%d in=%d", a.BytesOut(), a.BytesIn())
+	}
+	if b.BytesOut() != 300 || b.BytesIn() != 500 {
+		t.Fatalf("b out=%d in=%d", b.BytesOut(), b.BytesIn())
+	}
+	a.ResetCounters()
+	if a.BytesOut() != 0 || a.BytesIn() != 0 {
+		t.Fatal("ResetCounters did not zero")
+	}
+}
+
+func TestDownNodeDropsTraffic(t *testing.T) {
+	eng, net, a, b := testNet(t)
+	conn := net.Connect(a, b)
+	b.SetDown(true)
+	delivered := false
+	conn.Send(a, 100, func() { delivered = true })
+	eng.Run()
+	if delivered {
+		t.Fatal("message delivered to down node")
+	}
+	// Sender bandwidth was still consumed.
+	if a.BytesOut() != 100 {
+		t.Fatalf("sender bytes = %d, want 100", a.BytesOut())
+	}
+	b.SetDown(false)
+	conn.Send(a, 100, func() { delivered = true })
+	eng.Run()
+	if !delivered {
+		t.Fatal("message not delivered after recovery")
+	}
+}
+
+func TestNodeGoesDownMidFlight(t *testing.T) {
+	eng, net, a, b := testNet(t)
+	conn := net.Connect(a, b)
+	delivered := false
+	conn.Send(a, 1000, func() { delivered = true })
+	// Fail the receiver while the message is on the wire.
+	eng.At(500, func() { b.SetDown(true) })
+	eng.Run()
+	if delivered {
+		t.Fatal("in-flight message delivered to node that failed before arrival")
+	}
+}
+
+func TestInjectDrop(t *testing.T) {
+	eng, net, a, b := testNet(t)
+	conn := net.Connect(a, b)
+	conn.InjectDrop(1.0)
+	delivered := 0
+	for i := 0; i < 10; i++ {
+		conn.Send(a, 10, func() { delivered++ })
+	}
+	eng.Run()
+	if delivered != 0 {
+		t.Fatalf("%d messages delivered despite 100%% drop", delivered)
+	}
+	conn.InjectDrop(0)
+	conn.Send(a, 10, func() { delivered++ })
+	eng.Run()
+	if delivered != 1 {
+		t.Fatal("message not delivered after clearing drop")
+	}
+}
+
+func TestInjectDelay(t *testing.T) {
+	eng, net, a, b := testNet(t)
+	conn := net.Connect(a, b)
+	conn.InjectDelay(5000)
+	var at sim.Time
+	conn.Send(a, 1000, func() { at = eng.Now() })
+	eng.Run()
+	if at != 7000 {
+		t.Fatalf("arrival = %d, want 7000 with +5000 injected delay", at)
+	}
+}
+
+func TestLeastUsedNICPlacement(t *testing.T) {
+	eng := sim.NewEngine(1)
+	net := New(eng, Config{Goodput: 1.0})
+	a := net.NewNode("a")
+	nic1 := a.AddNIC("nic1", 8)
+	nic2 := a.AddNIC("nic2", 8)
+	for i := 0; i < 4; i++ {
+		b := net.NewNode(nodeName(i))
+		b.AddNIC("nic0", 8)
+		net.Connect(a, b)
+	}
+	if nic1.conns != 2 || nic2.conns != 2 {
+		t.Fatalf("connection placement %d/%d, want 2/2", nic1.conns, nic2.conns)
+	}
+}
+
+func nodeName(i int) string { return string(rune('p' + i)) }
+
+func TestConnectSelfPanics(t *testing.T) {
+	eng := sim.NewEngine(1)
+	net := New(eng, Config{Goodput: 1.0})
+	a := net.NewNode("a")
+	a.AddNIC("nic0", 8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	net.Connect(a, a)
+}
+
+func TestDuplicateNodePanics(t *testing.T) {
+	eng := sim.NewEngine(1)
+	net := New(eng, Config{Goodput: 1.0})
+	net.NewNode("a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	net.NewNode("a")
+}
+
+func TestPeer(t *testing.T) {
+	eng, net, a, b := testNet(t)
+	_ = eng
+	conn := net.Connect(a, b)
+	if conn.Peer(a) != b || conn.Peer(b) != a {
+		t.Fatal("Peer broken")
+	}
+}
+
+func TestNegativeSizePanics(t *testing.T) {
+	_, net, a, b := testNet(t)
+	conn := net.Connect(a, b)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	conn.Send(a, -1, func() {})
+}
+
+func TestNodeLookupAndNames(t *testing.T) {
+	eng := sim.NewEngine(1)
+	net := New(eng, Config{Goodput: 1.0})
+	a := net.NewNode("host")
+	nic := a.AddNIC("mlx0", 100)
+	if net.Node("host") != a || net.Node("absent") != nil {
+		t.Fatal("Node lookup broken")
+	}
+	if nic.Name() != "host/mlx0" {
+		t.Fatalf("nic name = %q", nic.Name())
+	}
+	if nic.RateBps() != 100e9 {
+		t.Fatalf("rate = %d", nic.RateBps())
+	}
+}
+
+func TestBusyAccounting(t *testing.T) {
+	eng, net, a, b := testNet(t)
+	conn := net.Connect(a, b)
+	conn.Send(a, 1000, func() {})
+	eng.Run()
+	nic := a.NICs()[0]
+	if nic.BusyOut() != 1000 {
+		t.Fatalf("busy out = %d, want 1000", nic.BusyOut())
+	}
+	if b.NICs()[0].BusyIn() != 1000 {
+		t.Fatalf("busy in = %d, want 1000", b.NICs()[0].BusyIn())
+	}
+}
+
+func TestGoodputBytesPerSec(t *testing.T) {
+	eng := sim.NewEngine(1)
+	net := New(eng, Config{Goodput: 0.92})
+	a := net.NewNode("a")
+	nic := a.AddNIC("nic0", 100)
+	want := 100e9 / 8 * 0.92
+	if got := nic.GoodputBytesPerSec(); got != want {
+		t.Fatalf("goodput = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,205 @@
+// Package ssd models an NVMe solid-state drive at the fidelity the dRAID
+// evaluation needs: a finite service rate that reads and writes share, a
+// per-operation access latency that overlaps across queued operations, real
+// byte storage for correctness tests, and fault injection.
+//
+// Service time (size/rate) occupies the drive's internal bandwidth FIFO;
+// access latency is added after service and does not consume bandwidth, so
+// a deep queue reaches the drive's full rate — as on real NVMe.
+package ssd
+
+import (
+	"errors"
+	"fmt"
+
+	"draid/internal/parity"
+	"draid/internal/sim"
+)
+
+// Spec describes a drive model.
+type Spec struct {
+	Capacity     int64        // bytes
+	ReadBps      int64        // sustained read, bytes/sec
+	WriteBps     int64        // sustained write, bytes/sec
+	ReadLatency  sim.Duration // per-op access latency (read)
+	WriteLatency sim.Duration // per-op access latency (write)
+	StoreData    bool         // keep real bytes (false ⇒ size-only payloads)
+}
+
+// DefaultSpec is calibrated to the paper's Dell Ent NVMe AGN MU 1.6 TB
+// drives: ~19 Gbps (2.4 GB/s) writes, ~26 Gbps (3.2 GB/s) reads.
+func DefaultSpec() Spec {
+	return Spec{
+		Capacity:     1600 << 30, // 1.6 TB
+		ReadBps:      3200 << 20, // 3.2 GB/s
+		WriteBps:     2375 << 20, // 2.375 GB/s ≈ 19 Gbps
+		ReadLatency:  80 * sim.Microsecond,
+		WriteLatency: 15 * sim.Microsecond,
+		StoreData:    true,
+	}
+}
+
+// Errors reported through operation callbacks.
+var (
+	ErrOutOfRange = errors.New("ssd: access beyond capacity")
+	ErrFailed     = errors.New("ssd: drive failed")
+)
+
+const pageSize = 64 << 10 // sparse backing-store granularity
+
+// Stats counts completed operations.
+type Stats struct {
+	ReadOps, WriteOps     int64
+	ReadBytes, WriteBytes int64
+}
+
+// Drive is one simulated SSD. All methods must be called from engine
+// callbacks (single-threaded simulation discipline).
+type Drive struct {
+	eng    *sim.Engine
+	spec   Spec
+	pages  map[int64][]byte
+	busy   sim.Time // FIFO bandwidth reservation
+	failed bool
+	stats  Stats
+}
+
+// New creates a drive.
+func New(eng *sim.Engine, spec Spec) *Drive {
+	if spec.Capacity <= 0 || spec.ReadBps <= 0 || spec.WriteBps <= 0 {
+		panic(fmt.Sprintf("ssd: invalid spec %+v", spec))
+	}
+	d := &Drive{eng: eng, spec: spec}
+	if spec.StoreData {
+		d.pages = make(map[int64][]byte)
+	}
+	return d
+}
+
+// Spec returns the drive's specification.
+func (d *Drive) Spec() Spec { return d.spec }
+
+// Stats returns operation counters.
+func (d *Drive) Stats() Stats { return d.stats }
+
+// Fail puts the drive into a failed state: in-flight and future operations
+// never complete (their callbacks are never invoked), as with a dead device
+// on a real fabric. Callers are expected to detect this via timeouts.
+func (d *Drive) Fail() { d.failed = true }
+
+// Recover returns the drive to service. Stored data is retained (a
+// transient failure); for a replaced drive, create a new Drive.
+func (d *Drive) Recover() { d.failed = false }
+
+// Failed reports the failure state.
+func (d *Drive) Failed() bool { return d.failed }
+
+func (d *Drive) reserve(size int64, rate int64) sim.Time {
+	start := d.eng.Now()
+	if d.busy > start {
+		start = d.busy
+	}
+	d.busy = start + sim.Time(float64(size)/(float64(rate)/1e9))
+	return d.busy
+}
+
+// Read fetches n bytes at off. cb receives the payload (zeros for
+// never-written ranges; elided when StoreData is false).
+func (d *Drive) Read(off, n int64, cb func(parity.Buffer, error)) {
+	if off < 0 || n < 0 || off+n > d.spec.Capacity {
+		d.eng.Defer(func() { cb(parity.Buffer{}, ErrOutOfRange) })
+		return
+	}
+	if d.failed {
+		return
+	}
+	done := d.reserve(n, d.spec.ReadBps)
+	d.eng.At(done+sim.Time(d.spec.ReadLatency), func() {
+		if d.failed {
+			return
+		}
+		d.stats.ReadOps++
+		d.stats.ReadBytes += n
+		cb(d.load(off, n), nil)
+	})
+}
+
+// Write persists b at off. cb receives nil on success.
+func (d *Drive) Write(off int64, b parity.Buffer, cb func(error)) {
+	n := int64(b.Len())
+	if off < 0 || off+n > d.spec.Capacity {
+		d.eng.Defer(func() { cb(ErrOutOfRange) })
+		return
+	}
+	if d.failed {
+		return
+	}
+	// Capture payload bytes at submission time (DMA semantics): the caller
+	// may reuse its buffer immediately after Write returns.
+	var snapshot []byte
+	if d.pages != nil && !b.Elided() {
+		snapshot = append([]byte(nil), b.Data()...)
+	}
+	done := d.reserve(n, d.spec.WriteBps)
+	d.eng.At(done+sim.Time(d.spec.WriteLatency), func() {
+		if d.failed {
+			return
+		}
+		d.stats.WriteOps++
+		d.stats.WriteBytes += n
+		if snapshot != nil {
+			d.store(off, snapshot)
+		}
+		cb(nil)
+	})
+}
+
+// load copies [off, off+n) out of the sparse page store.
+func (d *Drive) load(off, n int64) parity.Buffer {
+	if d.pages == nil {
+		return parity.Sized(int(n))
+	}
+	out := make([]byte, n)
+	for pos := int64(0); pos < n; {
+		pageNo := (off + pos) / pageSize
+		pageOff := (off + pos) % pageSize
+		span := pageSize - pageOff
+		if span > n-pos {
+			span = n - pos
+		}
+		if page, ok := d.pages[pageNo]; ok {
+			copy(out[pos:pos+span], page[pageOff:pageOff+span])
+		}
+		pos += span
+	}
+	return parity.FromBytes(out)
+}
+
+func (d *Drive) store(off int64, data []byte) {
+	n := int64(len(data))
+	for pos := int64(0); pos < n; {
+		pageNo := (off + pos) / pageSize
+		pageOff := (off + pos) % pageSize
+		span := pageSize - pageOff
+		if span > n-pos {
+			span = n - pos
+		}
+		page, ok := d.pages[pageNo]
+		if !ok {
+			page = make([]byte, pageSize)
+			d.pages[pageNo] = page
+		}
+		copy(page[pageOff:pageOff+span], data[pos:pos+span])
+		pos += span
+	}
+}
+
+// PeekSync reads stored bytes immediately, bypassing timing — for test
+// assertions only.
+func (d *Drive) PeekSync(off, n int64) []byte {
+	b := d.load(off, n)
+	if b.Elided() {
+		return nil
+	}
+	return b.Data()
+}

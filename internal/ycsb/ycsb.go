@@ -1,0 +1,150 @@
+// Package ycsb implements the YCSB core-workload generators used by the
+// paper's application evaluation (§9.6): workloads A-F with zipfian,
+// uniform, and latest request distributions over a keyspace of records.
+package ycsb
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// OpKind is a YCSB operation type.
+type OpKind int
+
+// YCSB operation kinds.
+const (
+	OpRead OpKind = iota
+	OpUpdate
+	OpInsert
+	OpScan
+	OpReadModifyWrite
+)
+
+// String names the op.
+func (k OpKind) String() string {
+	switch k {
+	case OpRead:
+		return "READ"
+	case OpUpdate:
+		return "UPDATE"
+	case OpInsert:
+		return "INSERT"
+	case OpScan:
+		return "SCAN"
+	case OpReadModifyWrite:
+		return "RMW"
+	}
+	return fmt.Sprintf("OpKind(%d)", int(k))
+}
+
+// Workload is a YCSB operation mix.
+type Workload struct {
+	Name         string
+	ReadProp     float64
+	UpdateProp   float64
+	InsertProp   float64
+	ScanProp     float64
+	RMWProp      float64
+	Distribution string // "zipfian", "uniform", "latest"
+}
+
+// The standard core workloads.
+var (
+	WorkloadA = Workload{Name: "YCSB-A", ReadProp: 0.5, UpdateProp: 0.5, Distribution: "zipfian"}
+	WorkloadB = Workload{Name: "YCSB-B", ReadProp: 0.95, UpdateProp: 0.05, Distribution: "zipfian"}
+	WorkloadC = Workload{Name: "YCSB-C", ReadProp: 1.0, Distribution: "zipfian"}
+	WorkloadD = Workload{Name: "YCSB-D", ReadProp: 0.95, InsertProp: 0.05, Distribution: "latest"}
+	WorkloadE = Workload{Name: "YCSB-E", ScanProp: 0.95, InsertProp: 0.05, Distribution: "zipfian"}
+	WorkloadF = Workload{Name: "YCSB-F", ReadProp: 0.5, RMWProp: 0.5, Distribution: "zipfian"}
+)
+
+// Workloads maps short names to workloads.
+var Workloads = map[string]Workload{
+	"a": WorkloadA, "b": WorkloadB, "c": WorkloadC,
+	"d": WorkloadD, "e": WorkloadE, "f": WorkloadF,
+}
+
+// Uniform makes a copy of w with a uniform request distribution (the paper
+// tunes the object-store runs to uniform, §9.6).
+func (w Workload) Uniform() Workload {
+	w.Distribution = "uniform"
+	return w
+}
+
+// Op is one generated operation.
+type Op struct {
+	Kind OpKind
+	Key  uint64
+	// ScanLen is the number of records for OpScan.
+	ScanLen int
+}
+
+// Generator produces operations for a workload.
+type Generator struct {
+	w       Workload
+	rng     *rand.Rand
+	zipf    *rand.Zipf
+	records uint64 // current record count (grows with inserts)
+}
+
+// NewGenerator creates a generator over an initial keyspace of records.
+func NewGenerator(w Workload, records uint64, seed int64) *Generator {
+	if records == 0 {
+		panic("ycsb: empty keyspace")
+	}
+	total := w.ReadProp + w.UpdateProp + w.InsertProp + w.ScanProp + w.RMWProp
+	if total < 0.999 || total > 1.001 {
+		panic(fmt.Sprintf("ycsb: %s proportions sum to %v", w.Name, total))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := &Generator{w: w, rng: rng, records: records}
+	// s=1.01 approximates YCSB's 0.99 zipfian constant within rand.Zipf's
+	// s>1 constraint.
+	g.zipf = rand.NewZipf(rng, 1.01, 1, records-1)
+	return g
+}
+
+// Records returns the current record count.
+func (g *Generator) Records() uint64 { return g.records }
+
+// nextKey draws a key per the request distribution.
+func (g *Generator) nextKey() uint64 {
+	switch g.w.Distribution {
+	case "uniform":
+		return uint64(g.rng.Int63n(int64(g.records)))
+	case "latest":
+		// Most recent records are hottest: offset a zipfian draw from the
+		// tail of the keyspace.
+		d := g.zipf.Uint64()
+		if d >= g.records {
+			d = g.records - 1
+		}
+		return g.records - 1 - d
+	default: // zipfian over the whole keyspace (scrambled)
+		raw := g.zipf.Uint64()
+		// FNV-style scramble spreads hot keys across the keyspace, as
+		// YCSB's scrambled-zipfian does.
+		h := raw*0x9E3779B97F4A7C15 + 0x2545F4914F6CDD1D
+		return h % g.records
+	}
+}
+
+// Next returns the next operation.
+func (g *Generator) Next() Op {
+	x := g.rng.Float64()
+	w := g.w
+	switch {
+	case x < w.ReadProp:
+		return Op{Kind: OpRead, Key: g.nextKey()}
+	case x < w.ReadProp+w.UpdateProp:
+		return Op{Kind: OpUpdate, Key: g.nextKey()}
+	case x < w.ReadProp+w.UpdateProp+w.InsertProp:
+		key := g.records
+		g.records++
+		return Op{Kind: OpInsert, Key: key}
+	case x < w.ReadProp+w.UpdateProp+w.InsertProp+w.ScanProp:
+		return Op{Kind: OpScan, Key: g.nextKey(), ScanLen: 1 + g.rng.Intn(100)}
+	default:
+		return Op{Kind: OpReadModifyWrite, Key: g.nextKey()}
+	}
+}

@@ -1,0 +1,154 @@
+package ycsb
+
+import (
+	"testing"
+)
+
+func TestWorkloadMixes(t *testing.T) {
+	for name, w := range Workloads {
+		g := NewGenerator(w, 10000, 1)
+		counts := map[OpKind]int{}
+		for i := 0; i < 20000; i++ {
+			counts[g.Next().Kind]++
+		}
+		frac := func(k OpKind) float64 { return float64(counts[k]) / 20000 }
+		check := func(k OpKind, want float64) {
+			if got := frac(k); got < want-0.02 || got > want+0.02 {
+				t.Errorf("%s: %v fraction = %.3f, want %.2f", name, k, got, want)
+			}
+		}
+		check(OpRead, w.ReadProp)
+		check(OpUpdate, w.UpdateProp)
+		check(OpInsert, w.InsertProp)
+		check(OpScan, w.ScanProp)
+		check(OpReadModifyWrite, w.RMWProp)
+	}
+}
+
+func TestZipfianIsSkewed(t *testing.T) {
+	g := NewGenerator(WorkloadC, 100000, 2)
+	counts := map[uint64]int{}
+	for i := 0; i < 50000; i++ {
+		counts[g.Next().Key]++
+	}
+	// Hottest key should take far more than uniform share (0.5 per key).
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 500 {
+		t.Fatalf("hottest key count = %d, zipfian should be heavily skewed", max)
+	}
+	// But hot keys must be scrambled across the keyspace, not clustered at 0.
+	lowRange := 0
+	for k, c := range counts {
+		if k < 1000 {
+			lowRange += c
+		}
+	}
+	if float64(lowRange)/50000 > 0.5 {
+		t.Fatalf("scrambling failed: %.2f of traffic in first 1%% of keyspace", float64(lowRange)/50000)
+	}
+}
+
+func TestUniformIsFlat(t *testing.T) {
+	g := NewGenerator(WorkloadC.Uniform(), 1000, 3)
+	counts := map[uint64]int{}
+	for i := 0; i < 100000; i++ {
+		counts[g.Next().Key]++
+	}
+	for k, c := range counts {
+		if c > 400 {
+			t.Fatalf("key %d drawn %d times; uniform should average 100", k, c)
+		}
+	}
+}
+
+func TestLatestFavorsRecentKeys(t *testing.T) {
+	g := NewGenerator(WorkloadD, 10000, 4)
+	recent := 0
+	total := 0
+	for i := 0; i < 20000; i++ {
+		op := g.Next()
+		if op.Kind != OpRead {
+			continue
+		}
+		total++
+		if op.Key >= g.Records()-100 {
+			recent++
+		}
+	}
+	if float64(recent)/float64(total) < 0.3 {
+		t.Fatalf("only %.2f of reads hit the 100 newest records", float64(recent)/float64(total))
+	}
+}
+
+func TestInsertsGrowKeyspace(t *testing.T) {
+	g := NewGenerator(WorkloadD, 1000, 5)
+	before := g.Records()
+	inserts := uint64(0)
+	for i := 0; i < 10000; i++ {
+		if op := g.Next(); op.Kind == OpInsert {
+			if op.Key != before+inserts {
+				t.Fatalf("insert key %d not sequential (want %d)", op.Key, before+inserts)
+			}
+			inserts++
+		}
+	}
+	if g.Records() != before+inserts {
+		t.Fatalf("records = %d, want %d", g.Records(), before+inserts)
+	}
+	if inserts == 0 {
+		t.Fatal("no inserts generated for workload D")
+	}
+}
+
+func TestKeysInRange(t *testing.T) {
+	for _, w := range []Workload{WorkloadA, WorkloadC.Uniform(), WorkloadD} {
+		g := NewGenerator(w, 5000, 6)
+		for i := 0; i < 10000; i++ {
+			op := g.Next()
+			if op.Key >= g.Records() {
+				t.Fatalf("%s: key %d out of range %d", w.Name, op.Key, g.Records())
+			}
+		}
+	}
+}
+
+func TestScanLens(t *testing.T) {
+	g := NewGenerator(WorkloadE, 1000, 7)
+	for i := 0; i < 1000; i++ {
+		op := g.Next()
+		if op.Kind == OpScan && (op.ScanLen < 1 || op.ScanLen > 100) {
+			t.Fatalf("scan len %d out of [1,100]", op.ScanLen)
+		}
+	}
+}
+
+func TestBadWorkloadPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewGenerator(Workload{Name: "bad", ReadProp: 0.5}, 100, 1)
+}
+
+func TestEmptyKeyspacePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewGenerator(WorkloadA, 0, 1)
+}
+
+func TestOpKindStrings(t *testing.T) {
+	for _, k := range []OpKind{OpRead, OpUpdate, OpInsert, OpScan, OpReadModifyWrite, OpKind(99)} {
+		if k.String() == "" {
+			t.Fatal("empty op kind string")
+		}
+	}
+}
