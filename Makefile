@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: all build test vet race verify trace
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# Full pre-merge gate; same sequence as scripts/verify.sh.
+verify: build test vet race
+
+# Demo: degraded-read trace, Perfetto-loadable JSON + flame summary.
+trace:
+	$(GO) run ./cmd/draid-trace -chrome draid-trace.json

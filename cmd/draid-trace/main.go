@@ -1,73 +1,107 @@
-// Command draid-trace prints the full protocol timeline of single dRAID
+// Command draid-trace records the full virtual-time trace of single dRAID
 // operations — the clearest way to see the disaggregated data path: the
 // PartialWrite/Parity broadcast, peer-to-peer partial-parity forwarding, the
 // non-blocking reduce, and a degraded read's decoupled return paths.
 //
-// Usage:
+// It runs a short scripted scenario (full-stripe seed, partial-stripe
+// read-modify-write, member failure, degraded read) with tracing enabled,
+// then exports the trace:
 //
-//	draid-trace            # trace a partial-stripe write and a degraded read
-//	draid-trace -level 6   # same on RAID-6 (P and Q reducers)
+//	draid-trace                       # flame summary on stdout + draid-trace.json
+//	draid-trace -chrome deg.json      # choose the Chrome trace path
+//	draid-trace -chrome -             # Chrome JSON on stdout, no summary
+//	draid-trace -level 6 -drives 7    # same scenario on RAID-6
+//
+// Load the JSON in Perfetto (ui.perfetto.dev) or chrome://tracing: each
+// storage server is a process row, and during the degraded read the Peer
+// spans between server NICs carry the parity traffic that never touches the
+// host NIC.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
+	"os"
 
-	"draid/internal/cluster"
-	"draid/internal/core"
-	"draid/internal/parity"
-	"draid/internal/raid"
-	"draid/internal/ssd"
+	"draid"
 )
 
 func main() {
 	level := flag.Int("level", 5, "RAID level: 5 or 6")
-	targets := flag.Int("targets", 5, "stripe width")
+	drives := flag.Int("drives", 5, "stripe width")
+	chrome := flag.String("chrome", "draid-trace.json", "Chrome trace_event output path (- for stdout)")
+	flame := flag.Bool("flame", true, "print plain-text flame summary on stdout")
+	policy := flag.String("reducer", "random", "reducer policy: random, fixed, or bwaware")
 	flag.Parse()
 
-	lvl := raid.Raid5
+	lvl := draid.Raid5
 	if *level == 6 {
-		lvl = raid.Raid6
+		lvl = draid.Raid6
 	}
-	trace := func(format string, args ...any) { fmt.Printf(format+"\n", args...) }
-
-	spec := cluster.DefaultSpec()
-	spec.Targets = *targets
-	drv := ssd.DefaultSpec()
-	drv.Capacity = 64 << 20
-	spec.Drive = &drv
-	spec.Trace = trace
-	cl := cluster.New(spec)
-	h := cl.NewDRAID(core.Config{
-		Geometry: raid.Geometry{Level: lvl, Width: *targets, ChunkSize: 64 << 10},
-		Trace:    trace,
+	red, err := draid.ParseReducerPolicy(*policy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	arr, err := draid.New(draid.Config{
+		Level: lvl, Drives: *drives, ChunkSize: 64 << 10, DriveCapacity: 64 << 20,
+		ReducerPolicy: red,
+		Observe:       draid.Observe{Trace: true},
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	fmt.Println("=== seeding stripe 0 (full-stripe write; parity on host) ===")
-	h.Write(0, parity.Sized(int(h.Geometry().StripeDataSize())), func(err error) {
-		fmt.Printf("--- seed complete err=%v ---\n", err)
-	})
-	cl.Eng.Run()
+	quiet := *chrome == "-"
+	say := func(format string, args ...any) {
+		if !quiet {
+			fmt.Printf(format+"\n", args...)
+		}
+	}
 
-	fmt.Println()
-	fmt.Println("=== partial-stripe write: 64 KB into chunk 0 (read-modify-write) ===")
-	h.Write(0, parity.Sized(64<<10), func(err error) {
-		fmt.Printf("--- partial write complete err=%v ---\n", err)
-	})
-	cl.Eng.Run()
+	stripeData := int(arr.Controller().Geometry().StripeDataSize())
+	say("=== seeding stripe 0 (full-stripe write; parity on host) ===")
+	if err := arr.WriteSync(0, make([]byte, stripeData)); err != nil {
+		log.Fatal(err)
+	}
 
-	m := h.Geometry().DataDrive(0, 1)
-	fmt.Println()
-	fmt.Printf("=== failing member %d; degraded read of chunks 0-1 ===\n", m)
-	cl.FailTarget(m)
-	h.SetFailed(m, true)
-	h.Read(0, 2*64<<10, func(b parity.Buffer, err error) {
-		fmt.Printf("--- degraded read complete bytes=%d err=%v ---\n", b.Len(), err)
-	})
-	cl.Eng.Run()
+	say("=== partial-stripe write: 64 KB into chunk 0 (read-modify-write) ===")
+	if err := arr.WriteSync(0, make([]byte, 64<<10)); err != nil {
+		log.Fatal(err)
+	}
 
-	fmt.Println()
-	fmt.Printf("host stats: %+v\n", h.Stats())
-	out, in := cl.TotalHostBytes()
-	fmt.Printf("host NIC totals: out=%d bytes in=%d bytes\n", out, in)
+	m := arr.Controller().Geometry().DataDrive(0, 1)
+	say("=== failing member %d; degraded read of chunks 0-1 ===", m)
+	arr.FailDrive(m)
+	if _, err := arr.ReadSync(0, 2*64<<10); err != nil {
+		log.Fatal(err)
+	}
+
+	if *chrome == "-" {
+		if err := arr.Trace().WriteChrome(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	} else if *chrome != "" {
+		f, err := os.Create(*chrome)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := arr.Trace().WriteChrome(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		say("=== wrote %s (load in ui.perfetto.dev or chrome://tracing) ===", *chrome)
+	}
+	if *flame && !quiet {
+		fmt.Println()
+		if err := arr.Trace().WriteFlame(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	out, in := arr.HostTraffic()
+	say("\nhost stats: %+v", arr.Stats())
+	say("host NIC totals: out=%d bytes in=%d bytes (peer parity traffic bypasses the host)", out, in)
 }

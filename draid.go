@@ -21,6 +21,7 @@ package draid
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"draid/internal/blockdev"
@@ -33,6 +34,7 @@ import (
 	"draid/internal/sim"
 	"draid/internal/simnet"
 	"draid/internal/ssd"
+	"draid/internal/trace"
 )
 
 // Level selects the RAID level.
@@ -43,6 +45,86 @@ const (
 	Raid5 = raid.Raid5
 	Raid6 = raid.Raid6
 )
+
+// Errors returned by array operations. They chain — ErrDoubleFault wraps
+// ErrDegraded wraps ErrIO — so errors.Is matches at any specificity:
+//
+//	if errors.Is(err, draid.ErrDegraded) { ... }  // any degraded-mode failure
+var (
+	// ErrOutOfRange reports an access beyond the device size.
+	ErrOutOfRange = blockdev.ErrOutOfRange
+	// ErrIO is the root of all I/O failures.
+	ErrIO = blockdev.ErrIO
+	// ErrTimeout reports an operation that exceeded its deadline.
+	ErrTimeout = blockdev.ErrTimeout
+	// ErrDegraded reports a degraded-mode operation that could not complete
+	// (for example, a participant lost mid-reconstruction).
+	ErrDegraded = blockdev.ErrDegraded
+	// ErrDoubleFault reports failures exceeding the parity budget: the
+	// addressed data is unrecoverable until rebuild or repair.
+	ErrDoubleFault = blockdev.ErrDoubleFault
+)
+
+// ReducerPolicy selects degraded-read reducer placement (§6.2).
+type ReducerPolicy int
+
+// Reducer placement policies.
+const (
+	// ReducerRandom spreads reductions uniformly over eligible members
+	// (the default).
+	ReducerRandom ReducerPolicy = iota
+	// ReducerFixed always picks the first eligible member (the static
+	// placement the paper compares against).
+	ReducerFixed
+	// ReducerBWAware picks the member with the most spare NIC bandwidth
+	// (§6.2 bandwidth-aware placement).
+	ReducerBWAware
+)
+
+// String names the policy ("random", "fixed", "bwaware").
+func (p ReducerPolicy) String() string {
+	switch p {
+	case ReducerRandom:
+		return "random"
+	case ReducerFixed:
+		return "fixed"
+	case ReducerBWAware:
+		return "bwaware"
+	}
+	return fmt.Sprintf("ReducerPolicy(%d)", int(p))
+}
+
+// ParseReducerPolicy maps a flag-style string ("random", "fixed", "bwaware";
+// "" means random) to a policy. It is the only place strings enter: the
+// Config field itself is typed.
+func ParseReducerPolicy(s string) (ReducerPolicy, error) {
+	switch s {
+	case "", "random":
+		return ReducerRandom, nil
+	case "fixed":
+		return ReducerFixed, nil
+	case "bwaware":
+		return ReducerBWAware, nil
+	}
+	return 0, fmt.Errorf("draid: unknown reducer policy %q", s)
+}
+
+// Tracer is the structured virtual-time trace collector. A nil *Tracer is
+// the disabled tracer: every method is safe to call and does nothing, and
+// WriteChrome/WriteFlame emit valid empty documents.
+type Tracer = trace.Collector
+
+// Observe configures the tracing and metrics subsystem (see Array.Trace).
+type Observe struct {
+	// Trace enables collection: hierarchical spans from the controllers,
+	// NICs, and drives, plus periodic gauge samples (NIC utilization, drive
+	// queue depth, controller-core busy fraction). Collection runs in
+	// virtual time, so two same-seed runs emit byte-identical traces.
+	Trace bool
+	// SampleEvery sets the gauge sampling period in virtual time
+	// (default 50µs).
+	SampleEvery time.Duration
+}
 
 // Config describes a dRAID array and its simulated testbed.
 type Config struct {
@@ -61,9 +143,9 @@ type Config struct {
 	HostNICGbps       float64
 	TargetNICGbps     float64
 	TargetNICGbpsList []float64
-	// ReducerPolicy selects degraded-read reducer placement: "random"
-	// (default), "bwaware" (§6.2), or "fixed".
-	ReducerPolicy string
+	// ReducerPolicy selects degraded-read reducer placement (default
+	// ReducerRandom). Use ParseReducerPolicy at flag boundaries.
+	ReducerPolicy ReducerPolicy
 	// DrivesPerServer co-locates several member drives on one physical
 	// storage server, sharing its NIC and controller core (§5.5 resource
 	// sharing). Default 1.
@@ -77,6 +159,8 @@ type Config struct {
 	OffloadController bool
 	// Seed drives all randomness (default 1).
 	Seed int64
+	// Observe configures the tracing and metrics subsystem.
+	Observe Observe
 }
 
 // Array is a dRAID virtual block device plus its simulated testbed. All
@@ -122,6 +206,8 @@ func New(cfg Config) (*Array, error) {
 	}
 	spec.TargetGbpsList = cfg.TargetNICGbpsList
 	spec.BdevsPerServer = cfg.DrivesPerServer
+	spec.Observe = cfg.Observe.Trace
+	spec.SampleEvery = sim.Duration(cfg.Observe.SampleEvery)
 	if cfg.DriveCapacity != 0 {
 		drv := ssd.DefaultSpec()
 		drv.Capacity = cfg.DriveCapacity
@@ -132,14 +218,14 @@ func New(cfg Config) (*Array, error) {
 
 	hostCfg := core.Config{Geometry: geo}
 	switch cfg.ReducerPolicy {
-	case "", "random":
-	case "fixed":
+	case ReducerRandom:
+	case ReducerFixed:
 		hostCfg.Selector = recon.FixedSelector{}
-	case "bwaware":
+	case ReducerBWAware:
 		tr := recon.NewBandwidthTracker(cl.Eng, targetNICs(cl), 2*sim.Millisecond)
 		hostCfg.Selector = &recon.BWAwareSelector{Rng: cl.Eng.Rand(), Tracker: tr, Fanout: cfg.Drives - 2}
 	default:
-		return nil, fmt.Errorf("draid: unknown reducer policy %q", cfg.ReducerPolicy)
+		return nil, fmt.Errorf("draid: unknown reducer policy %v", cfg.ReducerPolicy)
 	}
 	host := cl.NewDRAID(hostCfg)
 	arr := &Array{cl: cl, host: host, dev: host, clientNode: cl.HostNode}
@@ -213,6 +299,58 @@ func (a *Array) ReadSync(off, n int64) ([]byte, error) {
 	}
 	return out, err
 }
+
+// Trace returns the array's trace collector, or nil when Config.Observe was
+// off. Export with WriteChrome (Perfetto-loadable trace_event JSON) or
+// WriteFlame (plain-text summary); both are deterministic for a given seed.
+func (a *Array) Trace() *Tracer { return a.cl.Tracer }
+
+// ReadAt implements io.ReaderAt over ReadSync: reads ending past the device
+// return the available bytes plus io.EOF, and reads starting past it return
+// 0, io.EOF. Like every *Sync path, it advances virtual time.
+func (a *Array) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("draid: negative offset %d: %w", off, ErrOutOfRange)
+	}
+	size := a.Size()
+	if off >= size {
+		return 0, io.EOF
+	}
+	n := int64(len(p))
+	eof := false
+	if off+n > size {
+		n = size - off
+		eof = true
+	}
+	b, err := a.ReadSync(off, n)
+	if err != nil {
+		return 0, err
+	}
+	copy(p, b)
+	if eof {
+		return int(n), io.EOF
+	}
+	return int(n), nil
+}
+
+// WriteAt implements io.WriterAt over WriteSync. Writes extending past the
+// device fail whole with ErrOutOfRange (no partial write).
+func (a *Array) WriteAt(p []byte, off int64) (int, error) {
+	if off < 0 || off+int64(len(p)) > a.Size() {
+		return 0, fmt.Errorf("draid: write [%d,%d) of %d: %w",
+			off, off+int64(len(p)), a.Size(), ErrOutOfRange)
+	}
+	if err := a.WriteSync(off, p); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// Array is usable anywhere a random-access file is.
+var (
+	_ io.ReaderAt = (*Array)(nil)
+	_ io.WriterAt = (*Array)(nil)
+)
 
 // FailDrive takes member i offline (node and drive) and degrades the array.
 func (a *Array) FailDrive(i int) {

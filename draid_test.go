@@ -150,7 +150,7 @@ func TestBenchmarkRuns(t *testing.T) {
 }
 
 func TestReducerPolicies(t *testing.T) {
-	for _, policy := range []string{"random", "bwaware", "fixed"} {
+	for _, policy := range []draid.ReducerPolicy{draid.ReducerRandom, draid.ReducerBWAware, draid.ReducerFixed} {
 		arr := smallArray(t, draid.Config{ReducerPolicy: policy})
 		data := randBytes(7, 64<<10)
 		if err := arr.WriteSync(0, data); err != nil {
@@ -162,8 +162,20 @@ func TestReducerPolicies(t *testing.T) {
 			t.Fatalf("%s: degraded read failed: %v", policy, err)
 		}
 	}
-	if _, err := draid.New(draid.Config{ReducerPolicy: "bogus"}); err == nil {
+	if _, err := draid.New(draid.Config{ReducerPolicy: draid.ReducerPolicy(99)}); err == nil {
 		t.Fatal("bogus policy accepted")
+	}
+	for in, want := range map[string]draid.ReducerPolicy{
+		"": draid.ReducerRandom, "random": draid.ReducerRandom,
+		"fixed": draid.ReducerFixed, "bwaware": draid.ReducerBWAware,
+	} {
+		got, err := draid.ParseReducerPolicy(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseReducerPolicy(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := draid.ParseReducerPolicy("bogus"); err == nil {
+		t.Fatal("bogus policy string accepted")
 	}
 }
 

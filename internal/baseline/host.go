@@ -321,7 +321,9 @@ func (h *Host) degradedReadExtent(e raid.Extent, put func(int64, parity.Buffer),
 		members = append(members, m)
 	}
 	if failedData+lostParity(h, stripe) > h.geo.Level.ParityCount() {
-		h.eng.Defer(func() { done(blockdev.ErrIO) })
+		h.eng.Defer(func() {
+			done(fmt.Errorf("baseline: stripe %d: %w", stripe, blockdev.ErrDoubleFault))
+		})
 		return
 	}
 	o := h.newOp(len(members), members,
@@ -337,7 +339,10 @@ func (h *Host) degradedReadExtent(e raid.Extent, put func(int64, parity.Buffer),
 				done(nil)
 			})
 		},
-		func(missing []int) { done(blockdev.ErrIO) },
+		func(missing []int) {
+			done(fmt.Errorf("baseline: stripe %d: members %v lost during recovery: %w",
+				stripe, missing, blockdev.ErrDegraded))
+		},
 	)
 	o.onPayload = func(from int, _, _ int64, b parity.Buffer) {
 		if p := pieces[from]; p != nil {

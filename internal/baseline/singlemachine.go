@@ -163,7 +163,9 @@ func (s *SingleMachine) reconstructLocal(stripe, absOff, length int64, lost int,
 		members = append(members, m)
 	}
 	if len(members) < s.geo.DataChunks() {
-		s.eng.Defer(func() { cb(parity.Buffer{}, blockdev.ErrIO) })
+		s.eng.Defer(func() {
+			cb(parity.Buffer{}, fmt.Errorf("baseline: stripe %d: %w", stripe, blockdev.ErrDoubleFault))
+		})
 		return
 	}
 	acc := parity.Alloc(int(length))
@@ -181,7 +183,8 @@ func (s *SingleMachine) reconstructLocal(stripe, absOff, length int64, lost int,
 				pending--
 				if pending == 0 {
 					if failed {
-						cb(parity.Buffer{}, blockdev.ErrIO)
+						cb(parity.Buffer{}, fmt.Errorf("baseline: stripe %d: member read failed during recovery: %w",
+							stripe, blockdev.ErrDegraded))
 						return
 					}
 					cb(acc, nil)

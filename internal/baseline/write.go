@@ -1,6 +1,8 @@
 package baseline
 
 import (
+	"fmt"
+
 	"draid/internal/blockdev"
 	"draid/internal/nvmeof"
 	"draid/internal/parity"
@@ -382,7 +384,9 @@ func (h *Host) gatherAll(stripe int64, exts []raid.Extent, data parity.Buffer, u
 		reads = append(reads, readReq{member: m, off: base + uLo, len: uLen})
 	}
 	if len(lost) > 1 || (len(lost) == 1 && !pAlive) {
-		h.eng.Defer(func() { done(blockdev.ErrIO) })
+		h.eng.Defer(func() {
+			done(fmt.Errorf("baseline: stripe %d write: %w", stripe, blockdev.ErrDoubleFault))
+		})
 		return
 	}
 	pm := h.geo.PDrive(stripe)

@@ -19,6 +19,18 @@ var (
 	ErrTimeout    = errors.New("blockdev: operation timed out")
 )
 
+// RAID failure-mode errors. They form a chain — ErrDoubleFault wraps
+// ErrDegraded wraps ErrIO — so errors.Is matches at any level of specificity
+// and callers written against plain ErrIO keep working.
+var (
+	// ErrDegraded reports that a degraded-mode operation could not complete
+	// (for example, a participant was lost mid-reconstruction).
+	ErrDegraded = fmt.Errorf("%w: degraded operation failed", ErrIO)
+	// ErrDoubleFault reports failures exceeding the geometry's parity budget:
+	// the addressed data is unrecoverable until a rebuild or repair.
+	ErrDoubleFault = fmt.Errorf("%w: failures exceed parity budget", ErrDegraded)
+)
+
 // Device is an asynchronous block device. Callbacks run on the simulation
 // engine; implementations must never invoke a callback synchronously from
 // Read/Write (use the engine's Defer), so callers can rely on stack-safe

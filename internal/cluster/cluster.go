@@ -14,6 +14,7 @@ import (
 	"draid/internal/sim"
 	"draid/internal/simnet"
 	"draid/internal/ssd"
+	"draid/internal/trace"
 )
 
 // Spec describes a testbed.
@@ -47,6 +48,11 @@ type Spec struct {
 	Elide bool
 	// Trace receives protocol events from all controllers when non-nil.
 	Trace func(format string, args ...any)
+	// Observe enables the structured virtual-time tracing subsystem: spans
+	// from NICs, drives, and controllers plus periodic gauge samples.
+	Observe bool
+	// SampleEvery sets the gauge ticker period (default 50µs; needs Observe).
+	SampleEvery sim.Duration
 }
 
 // DefaultSpec returns the paper's default testbed shape: 8 targets, 100 Gbps
@@ -66,7 +72,9 @@ type Cluster struct {
 	Cores    []*cpu.Core
 	Servers  []*core.ServerController
 	Costs    cpu.Costs
-	spec     Spec
+	// Tracer is the structured trace collector (nil unless Spec.Observe).
+	Tracer *trace.Collector
+	spec   Spec
 }
 
 // New builds a cluster.
@@ -89,6 +97,12 @@ func New(spec Spec) *Cluster {
 		netCfg = *spec.Net
 	}
 	net := simnet.New(eng, netCfg)
+	var tracer *trace.Collector
+	if spec.Observe {
+		tracer = trace.New(eng, trace.Options{SampleEvery: spec.SampleEvery})
+		eng.SetObserver(tracer)
+		net.SetTracer(tracer) // before nodes, so every NIC registers its track
+	}
 	costs := cpu.DefaultCosts()
 	if spec.Costs != nil {
 		costs = *spec.Costs
@@ -108,7 +122,7 @@ func New(spec Spec) *Cluster {
 	if perServer <= 0 {
 		perServer = 1
 	}
-	c := &Cluster{Eng: eng, Net: net, HostNode: hostNode, Costs: costs, spec: spec}
+	c := &Cluster{Eng: eng, Net: net, HostNode: hostNode, Costs: costs, Tracer: tracer, spec: spec}
 	var serverNode *simnet.Node
 	var serverCore *cpu.Core
 	for i := 0; i < spec.Targets; i++ {
@@ -120,19 +134,33 @@ func New(spec Spec) *Cluster {
 			}
 			serverNode.AddNIC("nic0", gbps)
 			serverCore = cpu.NewCore(eng)
+			if tracer.Enabled() {
+				node, core := serverNode, serverCore
+				tracer.AddGauge(tracer.Track(node.Name(), "core"), node.Name()+" core busy",
+					trace.UtilizationGauge(eng, core.BusyTotal))
+			}
 		}
 		c.Targets = append(c.Targets, serverNode)
-		c.Drives = append(c.Drives, ssd.New(eng, driveSpec))
+		drive := ssd.New(eng, driveSpec)
+		if tracer.Enabled() {
+			drive.SetTracer(tracer, tracer.Track(serverNode.Name(), fmt.Sprintf("bdev%d", i)))
+		}
+		c.Drives = append(c.Drives, drive)
 		c.Cores = append(c.Cores, serverCore)
 	}
 	c.Fabric = core.NewFabric(net, hostNode, c.Targets)
 	for i := range c.Targets {
-		c.Servers = append(c.Servers, core.NewServer(core.NodeID(i), eng, c.Fabric, c.Drives[i], c.Cores[i], core.ServerConfig{
+		scfg := core.ServerConfig{
 			Costs:         costs,
 			Pipelined:     spec.Pipelined,
 			BarrierReduce: spec.BarrierReduce,
 			Trace:         spec.Trace,
-		}))
+		}
+		if tracer.Enabled() {
+			scfg.Tracer = tracer
+			scfg.TraceTrack = tracer.Track(c.Targets[i].Name(), fmt.Sprintf("bdev%d", i))
+		}
+		c.Servers = append(c.Servers, core.NewServer(core.NodeID(i), eng, c.Fabric, c.Drives[i], c.Cores[i], scfg))
 	}
 	return c
 }
@@ -151,6 +179,9 @@ func (c *Cluster) NewDRAID(cfg core.Config) *core.HostController {
 	}
 	if cfg.Trace == nil {
 		cfg.Trace = c.spec.Trace
+	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = c.Tracer
 	}
 	return core.NewHost(c.Eng, c.Fabric, c.DriveCapacity(), cfg)
 }

@@ -26,6 +26,14 @@ const HostID NodeID = -1
 // NoDest marks an unused next-dest field.
 const NoDest uint16 = 0xFFFF
 
+// fromName renders a NodeID as a short trace label ("host" or "tN").
+func fromName(id NodeID) string {
+	if id == HostID {
+		return "host"
+	}
+	return fmt.Sprintf("t%d", int(id))
+}
+
 // NoScale in Command.DataIdx marks a Peer contribution that is XORed raw
 // (P-style); any other value i means the reducer scales it by g^i (Q-style).
 const NoScale uint16 = 0xFFFF

@@ -11,6 +11,7 @@ import (
 	"draid/internal/raid"
 	"draid/internal/recon"
 	"draid/internal/sim"
+	"draid/internal/trace"
 )
 
 // Config parameterizes a dRAID host controller.
@@ -29,6 +30,9 @@ type Config struct {
 	HostParityOnly bool
 	// Trace, when non-nil, receives protocol events.
 	Trace func(format string, args ...any)
+	// Tracer, when enabled, records structured stripe-op and per-member RPC
+	// spans plus a host-core utilization gauge. Nil disables.
+	Tracer *trace.Collector
 }
 
 // Stats counts host-level events.
@@ -71,6 +75,10 @@ type HostController struct {
 	dirty map[int64]int
 
 	stats Stats
+
+	// Tracing timelines (meaningful only when cfg.Tracer is enabled).
+	opsTrack trace.Track // async stripe-op spans
+	rpcTrack trace.Track // async per-member capsule exchanges
 }
 
 type stripeQueue struct {
@@ -95,6 +103,46 @@ type stripeOp struct {
 	// read assembly: completions carrying payloads are routed here.
 	onPayload func(from NodeID, cmd nvmeof.Command, b parity.Buffer)
 	done      bool
+	// span covers the whole operation; rpcs cover each capsule exchange, in
+	// send order (a slice, not a map, so close-out order is deterministic).
+	span *trace.Op
+	rpcs []rpcSpan
+}
+
+// rpcSpan is one in-flight capsule exchange's trace span.
+type rpcSpan struct {
+	target NodeID
+	span   *trace.Op
+}
+
+// endRPC closes the oldest open RPC span addressed to target.
+func (op *stripeOp) endRPC(target NodeID) {
+	for i := range op.rpcs {
+		if r := &op.rpcs[i]; r.target == target && r.span != nil {
+			r.span.End()
+			r.span = nil
+			return
+		}
+	}
+}
+
+// closeSpans ends the op span and any RPC spans still open (participants that
+// never send a completion, e.g. SubRWRead readers, or a timed-out exchange).
+func (op *stripeOp) closeSpans(result string) {
+	if op.span != nil {
+		if result == "" {
+			op.span.End()
+		} else {
+			op.span.End(trace.Str("result", result))
+		}
+		op.span = nil
+	}
+	for i := range op.rpcs {
+		if s := op.rpcs[i].span; s != nil {
+			s.End()
+			op.rpcs[i].span = nil
+		}
+	}
 }
 
 // NewHost creates the dRAID host controller on the fabric's host node.
@@ -121,6 +169,12 @@ func NewHost(eng *sim.Engine, fab *Fabric, driveCapacity int64, cfg Config) *Hos
 		stripeQ:  make(map[int64]*stripeQueue),
 		inflight: make(map[uint64]*subOp),
 		failed:   make(map[int]bool),
+	}
+	if t := cfg.Tracer; t.Enabled() {
+		h.opsTrack = t.Track("host", "ops")
+		h.rpcTrack = t.Track("host", "rpc")
+		t.AddGauge(h.opsTrack, "host cores busy",
+			trace.PoolUtilizationGauge(eng, cfg.HostCores, h.cores.BusyTotal))
 	}
 	fab.Register(HostID, h.handle)
 	return h
@@ -175,6 +229,7 @@ func (h *HostController) handle(m Message) {
 			return // late completion after timeout handling
 		}
 		op := sub.op
+		op.endRPC(m.From)
 		if m.Cmd.Status != nvmeof.StatusSuccess {
 			h.trace("completion id=%d from t%d status=%v", m.Cmd.ID, int(m.From), m.Cmd.Status)
 			h.failOp(op, []NodeID{m.From})
@@ -200,6 +255,7 @@ func (h *HostController) finishOp(op *stripeOp) {
 		op.timer.Stop()
 	}
 	delete(h.inflight, op.id)
+	op.closeSpans("")
 	op.doneFn()
 }
 
@@ -212,15 +268,21 @@ func (h *HostController) failOp(op *stripeOp, missing []NodeID) {
 		op.timer.Stop()
 	}
 	delete(h.inflight, op.id)
+	op.closeSpans("failed")
 	op.failedFn(missing)
 }
 
-// newStripeOp allocates an operation with a deadline timer. Targets listed
+// newStripeOp allocates an operation with a deadline timer. kind names the
+// operation on the trace ("rmw-write", "degraded-read", …); targets listed
 // in watch are the ones whose absence on timeout implicates them.
-func (h *HostController) newStripeOp(stripe int64, expect int, watch []NodeID, done func(), failed func([]NodeID)) *stripeOp {
+func (h *HostController) newStripeOp(kind string, stripe int64, expect int, watch []NodeID, done func(), failed func([]NodeID)) *stripeOp {
 	h.nextID++
 	op := &stripeOp{id: h.nextID, stripe: stripe, remaining: expect, doneFn: done, failedFn: failed}
 	h.inflight[op.id] = &subOp{op: op}
+	if t := h.cfg.Tracer; t.Enabled() {
+		op.span = t.Begin(h.opsTrack, "op", kind,
+			trace.I64("stripe", stripe), trace.I64("id", int64(op.id)))
+	}
 	op.timer = h.eng.After(h.cfg.Deadline, func() {
 		if op.done {
 			return
@@ -241,6 +303,10 @@ func (h *HostController) newStripeOp(stripe int64, expect int, watch []NodeID, d
 // send issues a capsule for an operation.
 func (h *HostController) send(op *stripeOp, to NodeID, cmd nvmeof.Command, payload parity.Buffer) {
 	cmd.ID = op.id
+	if t := h.cfg.Tracer; t.Enabled() {
+		op.rpcs = append(op.rpcs, rpcSpan{target: to, span: t.Begin(h.rpcTrack, "rpc",
+			fmt.Sprintf("%s→t%d", cmd.SpanName(), int(to)), trace.I64("id", int64(op.id)))})
+	}
 	h.fab.Send(HostID, to, cmd, payload)
 }
 
@@ -386,7 +452,7 @@ func (h *HostController) normalReadExtent(e raid.Extent, asm *assembler, fail *e
 func (h *HostController) normalReadExtentAttempt(e raid.Extent, asm *assembler, fail *error, done func(), isRetry bool) {
 	target := NodeID(h.geo.DataDrive(e.Stripe, e.Chunk))
 	absOff := h.geo.DriveOffset(e.Stripe) + e.Off
-	op := h.newStripeOp(e.Stripe, 1, []NodeID{target},
+	op := h.newStripeOp("read", e.Stripe, 1, []NodeID{target},
 		func() { done() },
 		func(missing []NodeID) { h.readFailurePath(e, missing, asm, fail, done, isRetry) },
 	)
@@ -431,7 +497,7 @@ func (h *HostController) degradedReadStripe(stripe int64, failedExt raid.Extent,
 	}
 	if failedData+lostParityCount(h, stripe) > h.geo.Level.ParityCount() {
 		h.eng.Defer(func() {
-			*fail = blockdev.ErrIO
+			*fail = fmt.Errorf("core: stripe %d: %w", stripe, blockdev.ErrDoubleFault)
 			done()
 		})
 		return
@@ -488,13 +554,14 @@ func (h *HostController) degradedReadStripe(stripe int64, failedExt raid.Extent,
 	for i, p := range parts {
 		watch[i] = p.target
 	}
-	op := h.newStripeOp(stripe, expect, watch,
+	op := h.newStripeOp("degraded-read", stripe, expect, watch,
 		func() { done() },
 		func(missing []NodeID) {
 			if len(missing) == 0 {
 				*fail = blockdev.ErrTimeout
 			} else {
-				*fail = blockdev.ErrIO // second failure during reconstruction
+				*fail = fmt.Errorf("core: stripe %d: members %v lost during reconstruction: %w",
+					stripe, missing, blockdev.ErrDegraded)
 			}
 			done()
 		},

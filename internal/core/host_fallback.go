@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"draid/internal/blockdev"
 	"draid/internal/gf256"
 	"draid/internal/nvmeof"
@@ -65,7 +67,7 @@ func (h *HostController) hostFallbackRead(stripe int64, failedExt raid.Extent, n
 	if lostData+lostPar > h.geo.Level.ParityCount() ||
 		(lostData >= 2 && h.geo.Level != raid.Raid6) {
 		h.eng.Defer(func() {
-			*fail = blockdev.ErrIO
+			*fail = fmt.Errorf("core: stripe %d fallback read: %w", stripe, blockdev.ErrDoubleFault)
 			done()
 		})
 		return
@@ -86,7 +88,7 @@ func (h *HostController) hostFallbackRead(stripe int64, failedExt raid.Extent, n
 	for _, pc := range pieces {
 		watch = append(watch, NodeID(pc.member))
 	}
-	op := h.newStripeOp(stripe, len(pieces), watch,
+	op := h.newStripeOp("fallback-read", stripe, len(pieces), watch,
 		func() {
 			h.cores.Exec(h.cfg.Costs.Gf(int(rLen))*sim.Duration(len(pieces)), func() {
 				out := h.solveDualFailure(stripe, failedExt, pieces)
@@ -108,7 +110,8 @@ func (h *HostController) hostFallbackRead(stripe int64, failedExt raid.Extent, n
 			})
 		},
 		func(missing []NodeID) {
-			*fail = blockdev.ErrIO
+			*fail = fmt.Errorf("core: stripe %d: members %v lost during fallback read: %w",
+				stripe, missing, blockdev.ErrDegraded)
 			part()
 		},
 	)

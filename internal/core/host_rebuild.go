@@ -17,7 +17,7 @@ func (h *HostController) WriteMemberChunk(stripe int64, member int, b parity.Buf
 		h.eng.Defer(func() { cb(fmt.Errorf("core: chunk image is %d bytes, want %d", b.Len(), h.geo.ChunkSize)) })
 		return
 	}
-	op := h.newStripeOp(stripe, 1, []NodeID{NodeID(member)},
+	op := h.newStripeOp("rebuild-write", stripe, 1, []NodeID{NodeID(member)},
 		func() { cb(nil) },
 		func([]NodeID) { cb(blockdev.ErrTimeout) },
 	)
@@ -104,7 +104,7 @@ func (h *HostController) ReconstructStripeChunk(stripe int64, member int, cb fun
 	for i, p := range parts {
 		watch[i] = p.target
 	}
-	op := h.newStripeOp(stripe, 1, watch,
+	op := h.newStripeOp("rebuild-reconstruct", stripe, 1, watch,
 		func() {
 			if unscale != 1 {
 				h.cores.Exec(h.cfg.Costs.Gf(result.Len()), func() {

@@ -82,7 +82,7 @@ func (h *HostController) ResyncStripe(stripe int64, cb func(error)) {
 		return
 	}
 
-	rOp := h.newStripeOp(stripe, reads, watch,
+	rOp := h.newStripeOp("resync-read", stripe, reads, watch,
 		func() {
 			work := h.cfg.Costs.Xor(int(cs) * k)
 			if qAlive {
@@ -99,7 +99,7 @@ func (h *HostController) ResyncStripe(stripe int64, cb func(error)) {
 					writes++
 					wWatch = append(wWatch, NodeID(qDrive))
 				}
-				wOp := h.newStripeOp(stripe, writes, wWatch,
+				wOp := h.newStripeOp("resync-write", stripe, writes, wWatch,
 					func() { cb(nil) },
 					func([]NodeID) { cb(blockdev.ErrTimeout) })
 				if pAlive {

@@ -227,7 +227,7 @@ func (h *HostController) fullStripeWrite(stripe int64, data parity.Buffer, exts 
 		if qAlive {
 			watch = append(watch, NodeID(h.geo.QDrive(stripe)))
 		}
-		op := h.newStripeOp(stripe, expect, watch, func() { done(nil) }, onTimeout)
+		op := h.newStripeOp("full-stripe-write", stripe, expect, watch, func() { done(nil) }, onTimeout)
 		for _, t := range targets {
 			_, idx := h.geo.Role(stripe, int(t))
 			h.send(op, t, nvmeof.Command{Opcode: nvmeof.OpWrite, Offset: absOff, Length: cs}, chunks[idx])
@@ -252,7 +252,7 @@ func (h *HostController) plainWrites(stripe int64, exts []raid.Extent, data pari
 	for _, e := range exts {
 		watch = append(watch, NodeID(h.geo.DataDrive(stripe, e.Chunk)))
 	}
-	op := h.newStripeOp(stripe, len(exts), watch, func() { done(nil) }, onTimeout)
+	op := h.newStripeOp("plain-write", stripe, len(exts), watch, func() { done(nil) }, onTimeout)
 	for _, e := range exts {
 		t := NodeID(h.geo.DataDrive(stripe, e.Chunk))
 		h.send(op, t, nvmeof.Command{
@@ -296,7 +296,7 @@ func (h *HostController) rmwWrite(stripe int64, exts []raid.Extent, data parity.
 		expect++
 		watch = append(watch, NodeID(qDest))
 	}
-	op := h.newStripeOp(stripe, expect, watch, func() { done(nil) }, onTimeout)
+	op := h.newStripeOp("rmw-write", stripe, expect, watch, func() { done(nil) }, onTimeout)
 
 	for _, e := range exts {
 		t := NodeID(h.geo.DataDrive(stripe, e.Chunk))
@@ -368,10 +368,10 @@ func (h *HostController) rcwWrite(stripe int64, exts []raid.Extent, data parity.
 		watch = append(watch, NodeID(qDest))
 	}
 	if expect == 0 {
-		h.eng.Defer(func() { done(fmt.Errorf("core: stripe %d has no healthy participants: %w", stripe, blockdev.ErrIO)) })
+		h.eng.Defer(func() { done(fmt.Errorf("core: stripe %d has no healthy participants: %w", stripe, blockdev.ErrDegraded)) })
 		return
 	}
-	op := h.newStripeOp(stripe, expect, watch, func() { done(nil) }, onTimeout)
+	op := h.newStripeOp("rcw-write", stripe, expect, watch, func() { done(nil) }, onTimeout)
 
 	waitNum := len(written) + len(readers)
 	for _, c := range written {
@@ -463,7 +463,9 @@ func (h *HostController) hostFallbackWrite(stripe int64, exts []raid.Extent, dat
 		// Two lost data chunks, or a lost chunk whose old content can no
 		// longer be recovered through P — reconstructable in principle via
 		// Q, but out of scope for the fallback writer.
-		h.eng.Defer(func() { done(blockdev.ErrIO) })
+		h.eng.Defer(func() {
+			done(fmt.Errorf("core: stripe %d fallback write: %w", stripe, blockdev.ErrDoubleFault))
+		})
 		return
 	}
 	needP := len(lostIdx) == 1 && pAlive
@@ -536,7 +538,7 @@ func (h *HostController) hostFallbackWrite(stripe int64, exts []raid.Extent, dat
 				done(nil)
 				return
 			}
-			wOp := h.newStripeOp(stripe, writes, wWatch,
+			wOp := h.newStripeOp("fallback-writeback", stripe, writes, wWatch,
 				func() { done(nil) },
 				func(missing []NodeID) {
 					for _, m := range missing {
@@ -570,7 +572,7 @@ func (h *HostController) hostFallbackWrite(stripe int64, exts []raid.Extent, dat
 		h.eng.Defer(finishPhase2)
 		return
 	}
-	rOp := h.newStripeOp(stripe, reads, watch,
+	rOp := h.newStripeOp("fallback-read", stripe, reads, watch,
 		finishPhase2,
 		func(missing []NodeID) {
 			for _, m := range missing {

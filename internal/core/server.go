@@ -8,6 +8,7 @@ import (
 	"draid/internal/parity"
 	"draid/internal/sim"
 	"draid/internal/ssd"
+	"draid/internal/trace"
 )
 
 // ServerConfig parameterizes a server-side controller.
@@ -25,6 +26,10 @@ type ServerConfig struct {
 	BarrierReduce bool
 	// Trace, when non-nil, receives protocol events.
 	Trace func(format string, args ...any)
+	// Tracer, when enabled, records capsule-arrival instants on TraceTrack
+	// (registered by the cluster wiring). Nil disables.
+	Tracer     *trace.Collector
+	TraceTrack trace.Track
 }
 
 // ServerController is a dRAID bdev: the server-side controller managing one
@@ -90,6 +95,10 @@ func (s *ServerController) trace(format string, args ...any) {
 func (s *ServerController) handle(m Message) {
 	s.core.Exec(s.cfg.Costs.PerMsg, func() {
 		s.trace("recv %v from %d", m.Cmd.String(), int(m.From))
+		if t := s.cfg.Tracer; t.Enabled() {
+			t.Instant(s.cfg.TraceTrack, "rpc", m.Cmd.SpanName()+"←"+fromName(m.From),
+				trace.I64("id", int64(m.Cmd.ID)))
+		}
 		switch m.Cmd.Opcode {
 		case nvmeof.OpRead:
 			s.handleRead(m)

@@ -231,6 +231,15 @@ func Decode(b []byte) (Command, error) {
 	return c, nil
 }
 
+// SpanName returns the short label used for trace spans: the opcode, plus
+// the subtype when it refines behaviour ("PartialWrite/RMW").
+func (c *Command) SpanName() string {
+	if c.Subtype != SubNone {
+		return c.Opcode.String() + "/" + c.Subtype.String()
+	}
+	return c.Opcode.String()
+}
+
 // String renders a compact human-readable capsule summary for traces.
 func (c *Command) String() string {
 	s := fmt.Sprintf("%v id=%d ns=%d off=%d len=%d", c.Opcode, c.ID, c.NSID, c.Offset, c.Length)

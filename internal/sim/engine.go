@@ -82,7 +82,25 @@ type Engine struct {
 	stopped bool
 	// processed counts executed events, exposed for tests and debugging.
 	processed uint64
+	// live counts scheduled events that are neither fired nor cancelled —
+	// unlike len(queue), it ignores dead timers awaiting heap reaping.
+	live int
+	obs  Observer
 }
+
+// Observer receives run-loop lifecycle notifications. It exists for
+// instrumentation (the tracing subsystem's gauge ticker and per-run spans);
+// a nil observer costs one pointer test per Run.
+type Observer interface {
+	// RunStart fires when Run/RunUntil begins executing events.
+	RunStart(now Time)
+	// RunEnd fires when the run loop returns, with the cumulative processed
+	// event count.
+	RunEnd(now Time, processed uint64)
+}
+
+// SetObserver installs the run-loop observer (nil to remove).
+func (e *Engine) SetObserver(o Observer) { e.obs = o }
 
 // NewEngine returns an engine whose random source is seeded with seed.
 func NewEngine(seed int64) *Engine {
@@ -100,7 +118,8 @@ func (e *Engine) Processed() uint64 { return e.processed }
 
 // Timer is a handle to a scheduled event that can be cancelled.
 type Timer struct {
-	ev *event
+	eng *Engine
+	ev  *event
 }
 
 // Stop cancels the timer. It reports whether the event had not yet fired.
@@ -110,6 +129,7 @@ func (t *Timer) Stop() bool {
 		return false
 	}
 	t.ev.dead = true
+	t.eng.live--
 	return true
 }
 
@@ -121,8 +141,9 @@ func (e *Engine) At(at Time, fn func()) *Timer {
 	}
 	ev := &event{at: at, seq: e.seq, fn: fn}
 	e.seq++
+	e.live++
 	heap.Push(&e.queue, ev)
-	return &Timer{ev: ev}
+	return &Timer{eng: e, ev: ev}
 }
 
 // After schedules fn to run d nanoseconds from now.
@@ -146,8 +167,14 @@ func (e *Engine) Stop() { e.stopped = true }
 // the virtual time of the last executed event.
 func (e *Engine) Run() Time {
 	e.stopped = false
+	if e.obs != nil {
+		e.obs.RunStart(e.now)
+	}
 	for len(e.queue) > 0 && !e.stopped {
 		e.step()
+	}
+	if e.obs != nil {
+		e.obs.RunEnd(e.now, e.processed)
 	}
 	return e.now
 }
@@ -157,15 +184,21 @@ func (e *Engine) Run() Time {
 // deadline otherwise.
 func (e *Engine) RunUntil(deadline Time) {
 	e.stopped = false
+	if e.obs != nil {
+		e.obs.RunStart(e.now)
+	}
 	for len(e.queue) > 0 && !e.stopped {
 		if e.queue[0].at > deadline {
 			e.now = deadline
-			return
+			break
 		}
 		e.step()
 	}
 	if e.now < deadline && !e.stopped {
 		e.now = deadline
+	}
+	if e.obs != nil {
+		e.obs.RunEnd(e.now, e.processed)
 	}
 }
 
@@ -177,6 +210,7 @@ func (e *Engine) step() {
 	if ev.dead {
 		return
 	}
+	e.live--
 	e.now = ev.at
 	e.processed++
 	ev.fn()
@@ -185,3 +219,8 @@ func (e *Engine) step() {
 // Pending reports the number of events in the queue, including cancelled
 // events not yet reaped.
 func (e *Engine) Pending() int { return len(e.queue) }
+
+// Live reports the number of scheduled events that are neither fired nor
+// cancelled. The tracing ticker uses it to stop re-arming once only dead
+// deadline timers remain.
+func (e *Engine) Live() int { return e.live }

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"draid/internal/sim"
+	"draid/internal/trace"
 )
 
 // Config holds network-wide parameters. The defaults mirror a modern
@@ -44,10 +45,15 @@ func DefaultConfig() Config {
 
 // Network is the fabric connecting all nodes.
 type Network struct {
-	Eng   *sim.Engine
-	cfg   Config
-	nodes map[string]*Node
+	Eng    *sim.Engine
+	cfg    Config
+	nodes  map[string]*Node
+	tracer *trace.Collector
 }
+
+// SetTracer enables per-NIC serialization spans. Call before adding nodes so
+// every NIC registers its track; nil disables.
+func (n *Network) SetTracer(c *trace.Collector) { n.tracer = c }
 
 // New creates an empty network on the given engine.
 func New(eng *sim.Engine, cfg Config) *Network {
@@ -83,8 +89,8 @@ type pipe struct {
 	msgs      int64
 }
 
-func (p *pipe) reserve(now sim.Time, size int64) sim.Time {
-	start := now
+func (p *pipe) reserve(now sim.Time, size int64) (start, done sim.Time) {
+	start = now
 	if p.busyUntil > start {
 		start = p.busyUntil
 	}
@@ -93,7 +99,7 @@ func (p *pipe) reserve(now sim.Time, size int64) sim.Time {
 	p.busyTotal += svc
 	p.bytes += size
 	p.msgs++
-	return p.busyUntil
+	return start, p.busyUntil
 }
 
 // NIC is one network interface with full-duplex line rate.
@@ -103,6 +109,8 @@ type NIC struct {
 	rateBps int64 // raw line rate in bits/sec (before goodput derating)
 	out, in pipe
 	conns   int // connections placed on this NIC, for least-used placement
+	// txTrack/rxTrack are tracing timelines for the two pipes (tracer != nil).
+	txTrack, rxTrack trace.Track
 }
 
 // GbpsToBps converts gigabits/sec to bits/sec.
@@ -148,6 +156,14 @@ func (nd *Node) AddNIC(name string, gbps float64) *NIC {
 	nic := &NIC{
 		name: name, node: nd, rateBps: GbpsToBps(gbps),
 		out: pipe{rate: rate}, in: pipe{rate: rate},
+	}
+	if t := nd.net.tracer; t.Enabled() {
+		nic.txTrack = t.Track(nd.name, name+".tx")
+		nic.rxTrack = t.Track(nd.name, name+".rx")
+		t.AddGauge(nic.txTrack, nd.name+"/"+name+" tx util",
+			trace.UtilizationGauge(nd.net.Eng, func() sim.Duration { return nic.out.busyTotal }))
+		t.AddGauge(nic.rxTrack, nd.name+"/"+name+" rx util",
+			trace.UtilizationGauge(nd.net.Eng, func() sim.Duration { return nic.in.busyTotal }))
 	}
 	nd.nics = append(nd.nics, nic)
 	return nic
@@ -265,9 +281,13 @@ func (c *Conn) Send(from *Node, size int64, deliver func()) {
 		panic("simnet: node " + from.name + " not an endpoint")
 	}
 	eng := c.net.Eng
+	to := c.Peer(from)
 	wire := size + c.net.cfg.HeaderBytes
-	sent := src.pipeOut().reserve(eng.Now(), wire)
-	if from.down || c.Peer(from).down {
+	txStart, sent := src.pipeOut().reserve(eng.Now(), wire)
+	if t := c.net.tracer; t.Enabled() {
+		t.Span(src.txTrack, "net", "tx→"+to.name, txStart, sent, trace.I64("bytes", wire))
+	}
+	if from.down || to.down {
 		return // consumed sender bandwidth; vanishes in the fabric
 	}
 	if c.dropProb > 0 && eng.Rand().Float64() < c.dropProb {
@@ -275,10 +295,13 @@ func (c *Conn) Send(from *Node, size int64, deliver func()) {
 	}
 	arrive := sent + sim.Time(c.net.cfg.PropDelay+c.net.cfg.PerMsgDelay+c.delay)
 	eng.At(arrive, func() {
-		if c.Peer(from).down || from.down {
+		if to.down || from.down {
 			return
 		}
-		done := dst.pipeIn().reserve(eng.Now(), wire)
+		rxStart, done := dst.pipeIn().reserve(eng.Now(), wire)
+		if t := c.net.tracer; t.Enabled() {
+			t.Span(dst.rxTrack, "net", "rx←"+from.name, rxStart, done, trace.I64("bytes", wire))
+		}
 		eng.At(done, deliver)
 	})
 }

@@ -14,6 +14,7 @@ import (
 
 	"draid/internal/parity"
 	"draid/internal/sim"
+	"draid/internal/trace"
 )
 
 // Spec describes a drive model.
@@ -62,7 +63,23 @@ type Drive struct {
 	busy   sim.Time // FIFO bandwidth reservation
 	failed bool
 	stats  Stats
+	// inflight counts submitted-but-incomplete operations (queue depth).
+	inflight int
+	tracer   *trace.Collector
+	track    trace.Track
 }
+
+// SetTracer enables per-operation service spans on the given track and a
+// queue-depth gauge; nil disables.
+func (d *Drive) SetTracer(c *trace.Collector, tr trace.Track) {
+	d.tracer, d.track = c, tr
+	if c.Enabled() {
+		c.AddGauge(tr, "queue depth", func() float64 { return float64(d.inflight) })
+	}
+}
+
+// QueueDepth reports the number of in-flight operations.
+func (d *Drive) QueueDepth() int { return d.inflight }
 
 // New creates a drive.
 func New(eng *sim.Engine, spec Spec) *Drive {
@@ -94,13 +111,13 @@ func (d *Drive) Recover() { d.failed = false }
 // Failed reports the failure state.
 func (d *Drive) Failed() bool { return d.failed }
 
-func (d *Drive) reserve(size int64, rate int64) sim.Time {
-	start := d.eng.Now()
+func (d *Drive) reserve(size int64, rate int64) (start, done sim.Time) {
+	start = d.eng.Now()
 	if d.busy > start {
 		start = d.busy
 	}
 	d.busy = start + sim.Time(float64(size)/(float64(rate)/1e9))
-	return d.busy
+	return start, d.busy
 }
 
 // Read fetches n bytes at off. cb receives the payload (zeros for
@@ -113,13 +130,19 @@ func (d *Drive) Read(off, n int64, cb func(parity.Buffer, error)) {
 	if d.failed {
 		return
 	}
-	done := d.reserve(n, d.spec.ReadBps)
-	d.eng.At(done+sim.Time(d.spec.ReadLatency), func() {
+	start, done := d.reserve(n, d.spec.ReadBps)
+	d.inflight++
+	end := done + sim.Time(d.spec.ReadLatency)
+	d.eng.At(end, func() {
+		d.inflight--
 		if d.failed {
 			return
 		}
 		d.stats.ReadOps++
 		d.stats.ReadBytes += n
+		if t := d.tracer; t.Enabled() {
+			t.Span(d.track, "drive", "read", start, end, trace.I64("bytes", n))
+		}
 		cb(d.load(off, n), nil)
 	})
 }
@@ -140,13 +163,19 @@ func (d *Drive) Write(off int64, b parity.Buffer, cb func(error)) {
 	if d.pages != nil && !b.Elided() {
 		snapshot = append([]byte(nil), b.Data()...)
 	}
-	done := d.reserve(n, d.spec.WriteBps)
-	d.eng.At(done+sim.Time(d.spec.WriteLatency), func() {
+	start, done := d.reserve(n, d.spec.WriteBps)
+	d.inflight++
+	end := done + sim.Time(d.spec.WriteLatency)
+	d.eng.At(end, func() {
+		d.inflight--
 		if d.failed {
 			return
 		}
 		d.stats.WriteOps++
 		d.stats.WriteBytes += n
+		if t := d.tracer; t.Enabled() {
+			t.Span(d.track, "drive", "write", start, end, trace.I64("bytes", n))
+		}
 		if snapshot != nil {
 			d.store(off, snapshot)
 		}

@@ -1,0 +1,197 @@
+// Chrome trace_event and flame-summary exporters. Both are hand-rendered
+// rather than reflection-marshalled so that key order, number formatting, and
+// therefore the exact output bytes are deterministic: two same-seed runs must
+// produce byte-identical files.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"draid/internal/sim"
+)
+
+// WriteChrome emits the collected events as Chrome trace_event JSON
+// (loadable in Perfetto / chrome://tracing). One event per line.
+func (c *Collector) WriteChrome(w io.Writer) error {
+	if c == nil {
+		_, err := io.WriteString(w, "{\"traceEvents\":[]}\n")
+		return err
+	}
+	var b strings.Builder
+	b.WriteString("{\"traceEvents\":[\n")
+	first := true
+	emit := func(line string) {
+		if !first {
+			b.WriteString(",\n")
+		}
+		first = false
+		b.WriteString(line)
+	}
+
+	// Metadata: name every process and thread so Perfetto shows the topology.
+	for pi, name := range c.processes {
+		emit(fmt.Sprintf(`{"ph":"M","name":"process_name","pid":%d,"tid":0,"args":{"name":%s}}`,
+			pi, strconv.Quote(name)))
+		emit(fmt.Sprintf(`{"ph":"M","name":"process_sort_index","pid":%d,"tid":0,"args":{"sort_index":%d}}`,
+			pi, pi))
+	}
+	for ti, tr := range c.tracks {
+		emit(fmt.Sprintf(`{"ph":"M","name":"thread_name","pid":%d,"tid":%d,"args":{"name":%s}}`,
+			tr.process, ti, strconv.Quote(tr.thread)))
+	}
+
+	for i := range c.events {
+		ev := &c.events[i]
+		pid := c.tracks[ev.track].process
+		tid := int(ev.track)
+		switch ev.kind {
+		case evComplete:
+			emit(fmt.Sprintf(`{"ph":"X","name":%s,"cat":%s,"ts":%s,"dur":%s,"pid":%d,"tid":%d%s}`,
+				strconv.Quote(ev.name), strconv.Quote(ev.cat),
+				usec(int64(ev.ts)), usec(ev.dur), pid, tid, chromeArgs(ev.args)))
+		case evBegin:
+			emit(fmt.Sprintf(`{"ph":"b","id":"0x%x","name":%s,"cat":%s,"ts":%s,"pid":%d,"tid":%d%s}`,
+				ev.id, strconv.Quote(ev.name), strconv.Quote(ev.cat),
+				usec(int64(ev.ts)), pid, tid, chromeArgs(ev.args)))
+		case evEnd:
+			emit(fmt.Sprintf(`{"ph":"e","id":"0x%x","name":%s,"cat":%s,"ts":%s,"pid":%d,"tid":%d%s}`,
+				ev.id, strconv.Quote(ev.name), strconv.Quote(ev.cat),
+				usec(int64(ev.ts)), pid, tid, chromeArgs(ev.args)))
+		case evInstant:
+			emit(fmt.Sprintf(`{"ph":"i","s":"t","name":%s,"cat":%s,"ts":%s,"pid":%d,"tid":%d%s}`,
+				strconv.Quote(ev.name), strconv.Quote(ev.cat),
+				usec(int64(ev.ts)), pid, tid, chromeArgs(ev.args)))
+		case evCounter:
+			emit(fmt.Sprintf(`{"ph":"C","name":%s,"ts":%s,"pid":%d,"tid":%d,"args":{"value":%s}}`,
+				strconv.Quote(ev.name), usec(int64(ev.ts)), pid, tid,
+				strconv.FormatFloat(ev.value, 'g', -1, 64)))
+		}
+	}
+	b.WriteString("\n],\"displayTimeUnit\":\"ns\"}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// usec renders virtual nanoseconds as the microsecond decimal Chrome's "ts"
+// field expects, with fixed millimicrosecond precision (pure integer math —
+// no float rounding nondeterminism).
+func usec(ns int64) string {
+	return fmt.Sprintf("%d.%03d", ns/1000, ns%1000)
+}
+
+// chromeArgs renders an args object (leading comma included) or nothing.
+func chromeArgs(args []Arg) string {
+	if len(args) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString(`,"args":{`)
+	for i, a := range args {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Quote(a.Key))
+		b.WriteByte(':')
+		s, q := formatArgVal(a.Val)
+		if q {
+			s = strconv.Quote(s)
+		}
+		b.WriteString(s)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// flameRow aggregates spans sharing a (track, name) cell.
+type flameRow struct {
+	track Track
+	name  string
+	count int64
+	total sim.Duration
+	max   sim.Duration
+}
+
+// WriteFlame emits the plain-text flame summary: per track, virtual time
+// spent under each span name — the "where do the nanoseconds go" view.
+func (c *Collector) WriteFlame(w io.Writer) error {
+	if c == nil {
+		_, err := io.WriteString(w, "trace disabled\n")
+		return err
+	}
+	rows := make(map[[2]string]*flameRow) // key: track index (as string), name
+	var last sim.Time
+	add := func(tr Track, name string, d sim.Duration) {
+		key := [2]string{strconv.Itoa(int(tr)), name}
+		r, ok := rows[key]
+		if !ok {
+			r = &flameRow{track: tr, name: name}
+			rows[key] = r
+		}
+		r.count++
+		r.total += d
+		if d > r.max {
+			r.max = d
+		}
+	}
+	open := make(map[uint64]sim.Time)
+	for i := range c.events {
+		ev := &c.events[i]
+		if ev.ts > last {
+			last = ev.ts
+		}
+		switch ev.kind {
+		case evComplete:
+			add(ev.track, ev.name, ev.dur)
+			if end := ev.ts + sim.Time(ev.dur); end > last {
+				last = end
+			}
+		case evBegin:
+			open[ev.id] = ev.ts
+		case evEnd:
+			if start, ok := open[ev.id]; ok {
+				delete(open, ev.id)
+				add(ev.track, ev.name, sim.Duration(ev.ts-start))
+			}
+		}
+	}
+
+	sorted := make([]*flameRow, 0, len(rows))
+	for _, r := range rows {
+		sorted = append(sorted, r)
+	}
+	sort.Slice(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		if a.track != b.track {
+			return a.track < b.track
+		}
+		if a.total != b.total {
+			return a.total > b.total
+		}
+		return a.name < b.name
+	})
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "flame summary: %s of virtual time, %d events\n",
+		time.Duration(last), len(c.events))
+	prev := Track(-1)
+	for _, r := range sorted {
+		if r.track != prev {
+			prev = r.track
+			ti := c.tracks[r.track]
+			fmt.Fprintf(&b, "\n%s/%s\n", c.processes[ti.process], ti.thread)
+		}
+		mean := sim.Duration(0)
+		if r.count > 0 {
+			mean = r.total / r.count
+		}
+		fmt.Fprintf(&b, "  %-28s count=%-6d total=%-12v mean=%-10v max=%v\n",
+			r.name, r.count, time.Duration(r.total), time.Duration(mean), time.Duration(r.max))
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,344 @@
+// Package trace is the deterministic, virtual-time tracing and metrics
+// subsystem threaded through the whole stack: hierarchical spans (stripe op →
+// per-member RPC → NIC serialization → drive service), periodic gauge
+// sampling on a virtual-time ticker, and exporters (Chrome trace_event JSON
+// for Perfetto, plain-text flame summary).
+//
+// Timestamps are VIRTUAL time, never wall time: the simulation's claims are
+// claims about virtual nanoseconds, and wall-clock stamps would destroy the
+// byte-for-byte reproducibility that makes traces diffable across runs. Two
+// runs with the same seed emit identical event streams.
+//
+// A nil *Collector is the disabled tracer: every method is nil-safe and
+// returns immediately, so instrumented hot paths pay only a pointer test.
+package trace
+
+import (
+	"strconv"
+
+	"draid/internal/sim"
+)
+
+// Track identifies one timeline (a NIC pipe, a drive, a controller's op
+// stream) inside a process group. The zero value is safe to pass to a nil
+// Collector.
+type Track int
+
+// Arg is one key/value annotation on an event. Values are rendered
+// deterministically at export time; supported types are string, bool, int,
+// int64, uint64, float64, sim.Time, and sim.Duration.
+type Arg struct {
+	Key string
+	Val any
+}
+
+// Str, I64, and F64 build Args without the caller spelling the struct out.
+func Str(k, v string) Arg      { return Arg{Key: k, Val: v} }
+func I64(k string, v int64) Arg { return Arg{Key: k, Val: v} }
+func F64(k string, v float64) Arg { return Arg{Key: k, Val: v} }
+
+// Options tune a Collector.
+type Options struct {
+	// SampleEvery is the virtual-time period of the gauge ticker
+	// (default 50µs).
+	SampleEvery sim.Duration
+}
+
+type eventKind uint8
+
+const (
+	evComplete eventKind = iota
+	evBegin
+	evEnd
+	evInstant
+	evCounter
+)
+
+type event struct {
+	kind  eventKind
+	track Track
+	cat   string
+	name  string
+	ts    sim.Time
+	dur   sim.Duration // evComplete only
+	id    uint64       // evBegin/evEnd pairing
+	value float64      // evCounter only
+	args  []Arg
+}
+
+type trackInfo struct {
+	process int // index into Collector.processes
+	thread  string
+}
+
+type gauge struct {
+	track Track
+	name  string
+	fn    func() float64
+}
+
+// Collector gathers events. Create one per simulation engine; a nil
+// *Collector is the disabled tracer.
+type Collector struct {
+	eng *sim.Engine
+	opt Options
+
+	processes []string
+	procIdx   map[string]int
+	tracks    []trackInfo
+	trackIdx  map[trackKey]Track
+
+	events    []event
+	gauges    []gauge
+	nextAsync uint64
+
+	samplerArmed bool
+	lastSample   sim.Time
+
+	engineTrack       Track
+	runStart          sim.Time
+	runStartProcessed uint64
+}
+
+type trackKey struct{ process, thread string }
+
+// New creates a Collector bound to eng. Install it with eng.SetObserver to
+// activate the gauge ticker and per-Run spans.
+func New(eng *sim.Engine, opt Options) *Collector {
+	if opt.SampleEvery <= 0 {
+		opt.SampleEvery = 50 * sim.Microsecond
+	}
+	c := &Collector{
+		eng: eng, opt: opt,
+		procIdx:  make(map[string]int),
+		trackIdx: make(map[trackKey]Track),
+	}
+	c.engineTrack = c.Track("sim", "engine")
+	return c
+}
+
+// Enabled reports whether tracing is on — the near-zero-cost disabled check.
+func (c *Collector) Enabled() bool { return c != nil }
+
+// Track registers (or finds) the timeline named thread inside process.
+// Registration order is deterministic because simulation construction is.
+func (c *Collector) Track(process, thread string) Track {
+	if c == nil {
+		return 0
+	}
+	key := trackKey{process, thread}
+	if tr, ok := c.trackIdx[key]; ok {
+		return tr
+	}
+	pi, ok := c.procIdx[process]
+	if !ok {
+		pi = len(c.processes)
+		c.procIdx[process] = pi
+		c.processes = append(c.processes, process)
+	}
+	tr := Track(len(c.tracks))
+	c.tracks = append(c.tracks, trackInfo{process: pi, thread: thread})
+	c.trackIdx[key] = tr
+	return tr
+}
+
+// Span records a complete span [start, end) on a track — the shape for FIFO
+// resources (NIC pipes, drive service) whose duration is known at emission.
+func (c *Collector) Span(tr Track, cat, name string, start, end sim.Time, args ...Arg) {
+	if c == nil {
+		return
+	}
+	if end < start {
+		end = start
+	}
+	c.events = append(c.events, event{
+		kind: evComplete, track: tr, cat: cat, name: name,
+		ts: start, dur: sim.Duration(end - start), args: args,
+	})
+}
+
+// Op is an in-flight async span (a stripe operation, a per-member RPC).
+// Overlapping Ops on one track render as an async group in Perfetto.
+// A nil *Op (from a disabled Collector) ignores End.
+type Op struct {
+	c     *Collector
+	track Track
+	cat   string
+	name  string
+	id    uint64
+}
+
+// Begin opens an async span at the current virtual time.
+func (c *Collector) Begin(tr Track, cat, name string, args ...Arg) *Op {
+	if c == nil {
+		return nil
+	}
+	c.nextAsync++
+	id := c.nextAsync
+	c.events = append(c.events, event{
+		kind: evBegin, track: tr, cat: cat, name: name,
+		ts: c.eng.Now(), id: id, args: args,
+	})
+	return &Op{c: c, track: tr, cat: cat, name: name, id: id}
+}
+
+// End closes the span at the current virtual time. Multiple Ends are no-ops.
+func (o *Op) End(args ...Arg) {
+	if o == nil || o.c == nil {
+		return
+	}
+	c := o.c
+	o.c = nil
+	c.events = append(c.events, event{
+		kind: evEnd, track: o.track, cat: o.cat, name: o.name,
+		ts: c.eng.Now(), id: o.id, args: args,
+	})
+}
+
+// Instant records a point event at the current virtual time.
+func (c *Collector) Instant(tr Track, cat, name string, args ...Arg) {
+	if c == nil {
+		return
+	}
+	c.events = append(c.events, event{
+		kind: evInstant, track: tr, cat: cat, name: name,
+		ts: c.eng.Now(), args: args,
+	})
+}
+
+// counter records one gauge sample.
+func (c *Collector) counter(tr Track, name string, value float64) {
+	c.events = append(c.events, event{
+		kind: evCounter, track: tr, name: name, ts: c.eng.Now(), value: value,
+	})
+}
+
+// AddGauge registers a sampled metric. fn runs on every ticker fire and must
+// derive its value purely from simulation state (determinism is load-bearing).
+func (c *Collector) AddGauge(tr Track, name string, fn func() float64) {
+	if c == nil {
+		return
+	}
+	c.gauges = append(c.gauges, gauge{track: tr, name: name, fn: fn})
+}
+
+// UtilizationGauge adapts a monotonically increasing busy-time total (NIC
+// pipe, CPU core) into a busy-fraction-since-last-sample gauge.
+func UtilizationGauge(eng *sim.Engine, busyTotal func() sim.Duration) func() float64 {
+	return PoolUtilizationGauge(eng, 1, busyTotal)
+}
+
+// PoolUtilizationGauge is UtilizationGauge over n units sharing one busy
+// total (a core pool): busy fraction of the pool's aggregate capacity.
+func PoolUtilizationGauge(eng *sim.Engine, n int, busyTotal func() sim.Duration) func() float64 {
+	if n <= 0 {
+		n = 1
+	}
+	var prevBusy sim.Duration
+	var prevAt sim.Time
+	return func() float64 {
+		now := eng.Now()
+		busy := busyTotal()
+		elapsed := sim.Duration(now - prevAt)
+		dBusy := busy - prevBusy
+		prevAt, prevBusy = now, busy
+		if elapsed <= 0 {
+			return 0
+		}
+		f := float64(dBusy) / (float64(elapsed) * float64(n))
+		if f > 1 {
+			f = 1
+		}
+		return f
+	}
+}
+
+// RunStart implements sim.Observer: arm the gauge ticker for this run.
+func (c *Collector) RunStart(now sim.Time) {
+	if c == nil {
+		return
+	}
+	c.runStart = now
+	c.runStartProcessed = c.eng.Processed()
+	c.armSampler()
+}
+
+// RunEnd implements sim.Observer: close the run with an engine-track span.
+func (c *Collector) RunEnd(now sim.Time, processed uint64) {
+	if c == nil {
+		return
+	}
+	if d := processed - c.runStartProcessed; d > 0 {
+		c.Span(c.engineTrack, "engine", "run", c.runStart, now,
+			I64("events", int64(d)))
+	}
+}
+
+// armSampler starts the virtual-time ticker if gauges exist and it is idle.
+// The ticker re-arms itself only while live events remain, so it never keeps
+// Run from returning.
+func (c *Collector) armSampler() {
+	if c.samplerArmed || len(c.gauges) == 0 {
+		return
+	}
+	c.samplerArmed = true
+	c.scheduleSample()
+}
+
+func (c *Collector) scheduleSample() {
+	next := c.lastSample + sim.Time(c.opt.SampleEvery)
+	if next <= c.eng.Now() {
+		next = c.eng.Now() + sim.Time(c.opt.SampleEvery)
+	}
+	c.eng.At(next, c.sample)
+}
+
+func (c *Collector) sample() {
+	c.lastSample = c.eng.Now()
+	for _, g := range c.gauges {
+		c.counter(g.track, g.name, g.fn())
+	}
+	if c.eng.Live() > 0 {
+		c.scheduleSample()
+		return
+	}
+	c.samplerArmed = false
+}
+
+// Events reports how many events have been collected.
+func (c *Collector) Events() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.events)
+}
+
+// Reset discards collected events (not tracks or gauges).
+func (c *Collector) Reset() {
+	if c == nil {
+		return
+	}
+	c.events = c.events[:0]
+}
+
+// formatArgVal renders an Arg value deterministically for both exporters.
+func formatArgVal(v any) (s string, quoted bool) {
+	switch x := v.(type) {
+	case string:
+		return x, true
+	case bool:
+		return strconv.FormatBool(x), false
+	case int:
+		return strconv.FormatInt(int64(x), 10), false
+	case int64:
+		return strconv.FormatInt(x, 10), false
+	case uint64:
+		return strconv.FormatUint(x, 10), false
+	case float64:
+		return strconv.FormatFloat(x, 'g', -1, 64), false
+	case sim.Time:
+		return x.String(), true
+	default:
+		return "?", true
+	}
+}

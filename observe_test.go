@@ -1,0 +1,146 @@
+package draid_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"draid"
+)
+
+// degradedRunTrace performs one full observed scenario — write, fail a
+// member, degraded read — and returns the Chrome trace bytes.
+func degradedRunTrace(t *testing.T) []byte {
+	t.Helper()
+	arr, err := draid.New(draid.Config{
+		Drives: 5, ChunkSize: 16 << 10, DriveCapacity: 4 << 20, Seed: 7,
+		Observe: draid.Observe{Trace: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := randBytes(11, 48<<10)
+	if err := arr.WriteSync(0, data); err != nil {
+		t.Fatal(err)
+	}
+	arr.FailDrive(arr.Controller().Geometry().DataDrive(0, 0))
+	got, err := arr.ReadSync(0, int64(len(data)))
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("degraded read: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := arr.Trace().WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestTraceDeterminism is the tentpole's load-bearing property: two runs with
+// the same seed must emit byte-identical trace output.
+func TestTraceDeterminism(t *testing.T) {
+	a := degradedRunTrace(t)
+	b := degradedRunTrace(t)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same-seed runs produced different traces")
+	}
+
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(a, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) < 50 {
+		t.Fatalf("suspiciously small trace: %d events", len(doc.TraceEvents))
+	}
+	out := string(a)
+	// The degraded read must be visible end to end: the stripe op, the
+	// Reconstruction broadcast, and peer-to-peer parity traffic that
+	// bypasses the host NIC (Peer capsules arriving at server bdevs).
+	for _, want := range []string{"degraded-read", "Reconstruction", "Peer←t", "queue depth", "tx util"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("trace missing %q", want)
+		}
+	}
+}
+
+func TestTraceDisabledByDefault(t *testing.T) {
+	arr := smallArray(t, draid.Config{})
+	if arr.Trace() != nil {
+		t.Fatal("tracer enabled without Observe")
+	}
+	// The nil tracer still exports valid empty documents.
+	var buf bytes.Buffer
+	if err := arr.Trace().WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"traceEvents":[]`) {
+		t.Fatalf("nil trace export = %q", buf.String())
+	}
+}
+
+// TestErrorSentinels checks the public error chain end to end: a two-failure
+// RAID-5 read is a double fault, and matches every level of the chain.
+func TestErrorSentinels(t *testing.T) {
+	arr := smallArray(t, draid.Config{Drives: 5})
+	data := randBytes(3, 32<<10)
+	if err := arr.WriteSync(0, data); err != nil {
+		t.Fatal(err)
+	}
+	geo := arr.Controller().Geometry()
+	arr.FailDrive(geo.DataDrive(0, 0))
+	arr.FailDrive(geo.DataDrive(0, 1))
+	_, err := arr.ReadSync(0, int64(len(data)))
+	if err == nil {
+		t.Fatal("two-failure RAID-5 read succeeded")
+	}
+	for _, sentinel := range []error{draid.ErrDoubleFault, draid.ErrDegraded, draid.ErrIO} {
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("errors.Is(%v, %v) = false", err, sentinel)
+		}
+	}
+	if errors.Is(err, draid.ErrOutOfRange) || errors.Is(err, draid.ErrTimeout) {
+		t.Fatalf("err %v matches unrelated sentinel", err)
+	}
+}
+
+func TestReaderAtWriterAt(t *testing.T) {
+	arr := smallArray(t, draid.Config{})
+	data := randBytes(5, 96<<10)
+	n, err := arr.WriteAt(data, 8<<10)
+	if err != nil || n != len(data) {
+		t.Fatalf("WriteAt = %d, %v", n, err)
+	}
+	got := make([]byte, len(data))
+	n, err = arr.ReadAt(got, 8<<10)
+	if err != nil || n != len(got) {
+		t.Fatalf("ReadAt = %d, %v", n, err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("ReadAt round-trip mismatch")
+	}
+
+	// io.ReaderAt EOF contract at the end of the device.
+	size := arr.Size()
+	tail := make([]byte, 4<<10)
+	if _, err := arr.ReadAt(tail, size); err != io.EOF {
+		t.Fatalf("ReadAt(at size) err = %v, want io.EOF", err)
+	}
+	n, err = arr.ReadAt(tail, size-1024)
+	if n != 1024 || err != io.EOF {
+		t.Fatalf("ReadAt(partial tail) = %d, %v, want 1024, io.EOF", n, err)
+	}
+	// WriteAt must refuse writes extending past the device.
+	if _, err := arr.WriteAt(tail, size-1024); !errors.Is(err, draid.ErrOutOfRange) {
+		t.Fatalf("WriteAt past end err = %v, want ErrOutOfRange", err)
+	}
+	// io.SectionReader composes over the array.
+	sr := io.NewSectionReader(arr, 8<<10, int64(len(data)))
+	all, err := io.ReadAll(sr)
+	if err != nil || !bytes.Equal(all, data) {
+		t.Fatalf("SectionReader: %v", err)
+	}
+}
