@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race verify trace
+.PHONY: all build test vet race verify trace torture
 
 all: build
 
@@ -22,3 +22,11 @@ verify: build test vet race
 # Demo: degraded-read trace, Perfetto-loadable JSON + flame summary.
 trace:
 	$(GO) run ./cmd/draid-trace -chrome draid-trace.json
+
+# Adversarial fault-injection suites under the race detector: random
+# concurrent I/O with mid-run crashes, automatic detection + hot-spare
+# rebuild, and host failover — each across ≥3 seeds (seeds are baked into
+# the test tables). Slower than `race`; run via FULL=1 scripts/verify.sh.
+torture:
+	$(GO) test -race -run 'TestTorture' ./internal/core -count=1
+	$(GO) test -race -run 'TestAutoRecovery|TestFailoverHost|TestRecoveryTraceDeterminism' . -count=1

@@ -31,6 +31,7 @@ import (
 	"draid/internal/parity"
 	"draid/internal/raid"
 	"draid/internal/recon"
+	"draid/internal/repair"
 	"draid/internal/sim"
 	"draid/internal/simnet"
 	"draid/internal/ssd"
@@ -126,6 +127,44 @@ type Observe struct {
 	SampleEvery time.Duration
 }
 
+// HealthConfig tunes automatic failure detection (internal/repair). With
+// Detect set, the host controller feeds per-member evidence — op timeouts,
+// error completions, missed heartbeats — into a healthy → suspect → failed
+// state machine, and confirmed failures trigger rebuild onto a hot spare
+// (when Config.Spares provides one) with no SetFailed call from outside.
+type HealthConfig struct {
+	// Detect enables the failure detector and heartbeat probing.
+	Detect bool
+	// FailAfter is how many unconfirmed strikes escalate suspect → failed
+	// (default 3). Confirmed evidence (node observably down, drive error)
+	// escalates immediately.
+	FailAfter int
+	// HeartbeatEvery is the probe period (default 10ms when Detect is set).
+	HeartbeatEvery time.Duration
+	// HeartbeatTimeout is the per-probe deadline (default HeartbeatEvery/2).
+	HeartbeatTimeout time.Duration
+	// Grace is the quiet window after which accumulated strikes decay
+	// (default 4×HeartbeatEvery).
+	Grace time.Duration
+}
+
+// MemberState re-exports the detector's per-member state (healthy, suspect,
+// failed) for status surfaces.
+type MemberState = repair.MemberState
+
+// Detection states.
+const (
+	Healthy = repair.Healthy
+	Suspect = repair.Suspect
+	Failed  = repair.Failed
+)
+
+// RebuildStatus re-exports the rebuild manager's progress snapshot.
+type RebuildStatus = repair.RebuildStatus
+
+// RecoveryEvent is one entry of the supervisor's recovery log.
+type RecoveryEvent = repair.Event
+
 // Config describes a dRAID array and its simulated testbed.
 type Config struct {
 	// Level is the RAID level (default Raid5).
@@ -161,6 +200,25 @@ type Config struct {
 	Seed int64
 	// Observe configures the tracing and metrics subsystem.
 	Observe Observe
+	// Spares provisions this many hot-spare storage servers (own NIC, core,
+	// drive) beyond the array width. Confirmed member failures rebuild onto
+	// spares automatically.
+	Spares int
+	// Health configures automatic failure detection.
+	Health HealthConfig
+	// RebuildRateMBps throttles hot-spare rebuild to this many MB/s of
+	// reconstructed data (the Figure 17 rebuild-vs-foreground knob).
+	// 0 means unthrottled.
+	RebuildRateMBps float64
+	// MaxRetries bounds §5.4 per-op retries before an I/O fails with
+	// ErrTimeout (default 1). RetryBackoff spaces successive attempts
+	// (default 0: immediate).
+	MaxRetries   int
+	RetryBackoff time.Duration
+	// OpDeadline bounds each stripe operation (§5.4); ops stalled past it
+	// retry and feed the failure detector. Default 1s. Tighten it to bound
+	// worst-case I/O latency across an undetected member failure.
+	OpDeadline time.Duration
 }
 
 // Array is a dRAID virtual block device plus its simulated testbed. All
@@ -174,6 +232,10 @@ type Array struct {
 	dev blockdev.Device
 	// clientNode is the traffic-accounting vantage point.
 	clientNode *simnet.Node
+	// hostCfg is kept so FailoverHost can build an identical replacement.
+	hostCfg core.Config
+	// sup is the fault-supervision stack (nil unless Spares or Health.Detect).
+	sup *repair.Supervisor
 }
 
 // New assembles the testbed and attaches the dRAID host controller.
@@ -196,6 +258,7 @@ func New(cfg Config) (*Array, error) {
 	}
 	spec := cluster.DefaultSpec()
 	spec.Targets = cfg.Drives
+	spec.Spares = cfg.Spares
 	spec.Seed = cfg.Seed
 	spec.Elide = cfg.SizeOnly
 	if cfg.HostNICGbps != 0 {
@@ -216,7 +279,12 @@ func New(cfg Config) (*Array, error) {
 	}
 	cl := cluster.New(spec)
 
-	hostCfg := core.Config{Geometry: geo}
+	hostCfg := core.Config{
+		Geometry:     geo,
+		MaxRetries:   cfg.MaxRetries,
+		RetryBackoff: sim.Duration(cfg.RetryBackoff),
+		Deadline:     sim.Duration(cfg.OpDeadline),
+	}
 	switch cfg.ReducerPolicy {
 	case ReducerRandom:
 	case ReducerFixed:
@@ -228,7 +296,28 @@ func New(cfg Config) (*Array, error) {
 		return nil, fmt.Errorf("draid: unknown reducer policy %v", cfg.ReducerPolicy)
 	}
 	host := cl.NewDRAID(hostCfg)
-	arr := &Array{cl: cl, host: host, dev: host, clientNode: cl.HostNode}
+	arr := &Array{cl: cl, host: host, dev: host, clientNode: cl.HostNode, hostCfg: hostCfg}
+	if cfg.Spares > 0 || cfg.Health.Detect {
+		det := repair.DetectorConfig{
+			FailAfter:        cfg.Health.FailAfter,
+			HeartbeatTimeout: sim.Duration(cfg.Health.HeartbeatTimeout),
+			Grace:            sim.Duration(cfg.Health.Grace),
+		}
+		if cfg.Health.Detect {
+			det.HeartbeatEvery = sim.Duration(cfg.Health.HeartbeatEvery)
+			if det.HeartbeatEvery <= 0 {
+				det.HeartbeatEvery = 10 * sim.Millisecond
+			}
+		}
+		arr.sup = repair.NewSupervisor(cl.Eng, host, repair.Config{
+			Detector: det,
+			Rebuild:  repair.RebuilderConfig{RateMBps: cfg.RebuildRateMBps},
+			Spares:   cl.SpareIDs(),
+		}, cl.Tracer)
+		if cfg.Health.Detect {
+			arr.sup.Start()
+		}
+	}
 	if cfg.OffloadController {
 		clientNode := cl.Net.NewNode("client")
 		gbps := cfg.HostNICGbps
@@ -353,9 +442,23 @@ var (
 )
 
 // FailDrive takes member i offline (node and drive) and degrades the array.
+// When a supervisor is active (Spares or Health.Detect configured) it is
+// notified, so a hot-spare rebuild launches on the next Run.
 func (a *Array) FailDrive(i int) {
 	a.cl.FailTarget(i)
 	a.host.SetFailed(i, true)
+	if a.sup != nil {
+		a.sup.NotifyFailed(i)
+	}
+}
+
+// CrashDrive takes member i offline WITHOUT telling the controller — the
+// paper's fail-stop scenario. The host must notice on its own: op timeouts
+// and missed heartbeats feed the failure detector (Config.Health), which
+// escalates the member to failed and, with a spare available, triggers
+// rebuild. Compare FailDrive, the administrative path.
+func (a *Array) CrashDrive(i int) {
+	a.cl.FailTarget(i)
 }
 
 // RecoverDrive returns member i to service WITHOUT resynchronizing its
@@ -409,6 +512,80 @@ func (a *Array) RebuildDrive(i int, stripes int64) error {
 
 // Stats exposes host-controller counters.
 func (a *Array) Stats() core.Stats { return a.host.Stats() }
+
+// MemberHealth returns every member's detection state. Without a configured
+// detector, members the controller has marked failed report Failed and the
+// rest Healthy.
+func (a *Array) MemberHealth() []MemberState {
+	if a.sup != nil {
+		return a.sup.Detector().States()
+	}
+	out := make([]MemberState, a.host.Geometry().Width)
+	for _, m := range a.host.FailedMembers() {
+		out[m] = Failed
+	}
+	return out
+}
+
+// RebuildStatus reports hot-spare rebuild progress (zero value when no
+// supervisor is configured or no rebuild is running).
+func (a *Array) RebuildStatus() RebuildStatus {
+	if a.sup == nil {
+		return RebuildStatus{}
+	}
+	return a.sup.Rebuilder().Status()
+}
+
+// SparesAvailable returns how many hot spares remain in the pool.
+func (a *Array) SparesAvailable() int {
+	if a.sup == nil {
+		return 0
+	}
+	return a.sup.SparesAvailable()
+}
+
+// RecoveryEvents returns the supervisor's recovery log: detection, rebuild,
+// and failover milestones in virtual-time order.
+func (a *Array) RecoveryEvents() []RecoveryEvent {
+	if a.sup == nil {
+		return nil
+	}
+	return a.sup.Events()
+}
+
+// Supervisor exposes the fault-supervision stack for advanced scenarios
+// (nil unless Spares or Health.Detect was configured).
+func (a *Array) Supervisor() *repair.Supervisor { return a.sup }
+
+// FailoverHost crashes the current host controller and brings up a
+// replacement that adopts the array: it inherits the member map and rebuild
+// state, consumes the crashed controller's write-intent bitmap, resyncs
+// exactly the dirty stripes (§5.4 — never a full-array scan), and resumes
+// service. Outstanding I/O on the old controller is abandoned (its callbacks
+// never fire), exactly as a real controller crash loses in-flight requests.
+// Returns the number of stripes resynced.
+func (a *Array) FailoverHost() (int, error) {
+	if a.dev != blockdev.Device(a.host) {
+		return 0, fmt.Errorf("draid: host failover with an offloaded controller is not supported")
+	}
+	old := a.host
+	old.Crash()
+	replacement := a.cl.NewDRAID(a.hostCfg) // takes over the fabric endpoint
+	dirty := replacement.Adopt(old)
+	if a.sup != nil {
+		a.sup.Rebind(replacement)
+	}
+	a.host = replacement
+	a.dev = replacement
+	var ferr error
+	done := false
+	repair.Failover(a.cl.Eng, replacement, dirty, func(err error) { ferr, done = err, true })
+	a.cl.Eng.Run()
+	if !done {
+		return 0, fmt.Errorf("draid: failover resync stalled")
+	}
+	return len(dirty), ferr
+}
 
 // HostTraffic returns the client-side NIC (outbound, inbound) bytes since
 // the last ResetTraffic — the controller node's NIC normally, the thin

@@ -282,7 +282,7 @@ func (h *Host) normalReadExtent(e raid.Extent, put func(int64, parity.Buffer), d
 
 func (h *Host) readRetry(e raid.Extent, missing []int, put func(int64, parity.Buffer), done func(error)) {
 	if len(missing) == 0 {
-		done(blockdev.ErrTimeout)
+		done(fmt.Errorf("baseline: stripe %d read: %w", e.Stripe, blockdev.ErrTimeout))
 		return
 	}
 	h.stats.Retries++

@@ -199,7 +199,8 @@ func (s *SingleMachine) serveWrite(off int64, data parity.Buffer, cb func(error)
 	byStripe := raid.StripeExtents(s.geo.Split(off, int64(data.Len())))
 	pending := len(byStripe)
 	var firstErr error
-	for stripe, exts := range byStripe {
+	for _, stripe := range raid.StripeOrder(byStripe) {
+		exts := byStripe[stripe]
 		s.localStripeWrite(stripe, exts, data, func(err error) {
 			if err != nil && firstErr == nil {
 				firstErr = err

@@ -29,8 +29,8 @@ func (h *Host) Write(off int64, data parity.Buffer, cb func(error)) {
 	byStripe := raid.StripeExtents(h.geo.Split(off, n))
 	pending := len(byStripe)
 	var firstErr error
-	for stripe, group := range byStripe {
-		stripe, group := stripe, group
+	for _, stripe := range raid.StripeOrder(byStripe) {
+		stripe, group := stripe, byStripe[stripe]
 		h.acquire(stripe, func() {
 			h.stripeWrite(stripe, group, data, false, func(err error) {
 				h.release(stripe)
@@ -67,7 +67,7 @@ func (h *Host) stripeWrite(stripe int64, exts []raid.Extent, data parity.Buffer,
 
 	onTimeout := func(missing []int) {
 		if isRetry || len(missing) == 0 {
-			done(blockdev.ErrTimeout)
+			done(fmt.Errorf("baseline: stripe %d write: %w", stripe, blockdev.ErrTimeout))
 			return
 		}
 		h.stats.Retries++

@@ -25,6 +25,11 @@ type Spec struct {
 	// storage server, sharing one controller core and NIC (§5.5 resource
 	// sharing). Default 1 (one drive per server, the paper's main setup).
 	BdevsPerServer int
+	// Spares adds this many hot-spare bdevs beyond Targets, each on its own
+	// server with its own NIC, core, and drive. Spares are idle until a
+	// rebuild manager (internal/repair) promotes one to replace a failed
+	// member; they are not part of the array geometry.
+	Spares int
 	// HostGbps is the host NIC line rate (default 100).
 	HostGbps float64
 	// TargetGbps is the per-target NIC line rate (default 100). Use
@@ -148,6 +153,26 @@ func New(spec Spec) *Cluster {
 		c.Drives = append(c.Drives, drive)
 		c.Cores = append(c.Cores, serverCore)
 	}
+	// Hot spares ride on the same fabric as extra targets past the array
+	// width: the server-controller loop below gives each one a full bdev
+	// stack, so a promoted spare serves I/O exactly like a member.
+	for i := 0; i < spec.Spares; i++ {
+		spareNode := net.NewNode(fmt.Sprintf("spare%d", i))
+		spareNode.AddNIC("nic0", spec.TargetGbps)
+		spareCore := cpu.NewCore(eng)
+		if tracer.Enabled() {
+			node, core := spareNode, spareCore
+			tracer.AddGauge(tracer.Track(node.Name(), "core"), node.Name()+" core busy",
+				trace.UtilizationGauge(eng, core.BusyTotal))
+		}
+		c.Targets = append(c.Targets, spareNode)
+		drive := ssd.New(eng, driveSpec)
+		if tracer.Enabled() {
+			drive.SetTracer(tracer, tracer.Track(spareNode.Name(), fmt.Sprintf("bdev%d", spec.Targets+i)))
+		}
+		c.Drives = append(c.Drives, drive)
+		c.Cores = append(c.Cores, spareCore)
+	}
 	c.Fabric = core.NewFabric(net, hostNode, c.Targets)
 	for i := range c.Targets {
 		scfg := core.ServerConfig{
@@ -167,6 +192,15 @@ func New(spec Spec) *Cluster {
 
 // DriveCapacity returns the per-drive capacity.
 func (c *Cluster) DriveCapacity() int64 { return c.Drives[0].Spec().Capacity }
+
+// SpareIDs returns the fabric NodeIDs of the hot spares, in pool order.
+func (c *Cluster) SpareIDs() []core.NodeID {
+	ids := make([]core.NodeID, c.spec.Spares)
+	for i := range ids {
+		ids[i] = core.NodeID(c.spec.Targets + i)
+	}
+	return ids
+}
 
 // NewDRAID attaches a dRAID host controller for the given geometry. Config
 // fields left zero pick up the cluster defaults.

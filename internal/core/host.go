@@ -28,11 +28,31 @@ type Config struct {
 	// fall back to host-side RMW like the SPDK baseline (an ablation knob;
 	// normal dRAID leaves this false).
 	HostParityOnly bool
+	// MaxRetries bounds the §5.4 retry chain per operation (default 1: one
+	// timeout-driven retry, then the error surfaces).
+	MaxRetries int
+	// RetryBackoff spaces retries deterministically: attempt k waits
+	// k*RetryBackoff before reissuing (default 0: immediate retry).
+	RetryBackoff sim.Duration
+	// Health, when non-nil, receives per-member evidence from the data path
+	// (see HealthSink). Also settable after construction via SetHealth.
+	Health HealthSink
 	// Trace, when non-nil, receives protocol events.
 	Trace func(format string, args ...any)
 	// Tracer, when enabled, records structured stripe-op and per-member RPC
 	// spans plus a host-core utilization gauge. Nil disables.
 	Tracer *trace.Collector
+}
+
+// HealthSink receives per-member evidence from the host's data path: missed
+// deadlines and error completions (faults) and successful completions (oks).
+// confirmed marks definitive evidence — the member's node observed down, or
+// a drive-reported error — as opposed to a silent timeout that may be
+// network jitter. Implementations must not re-enter the controller
+// synchronously with blocking work; defer through the engine instead.
+type HealthSink interface {
+	ObserveFault(member int, confirmed bool)
+	ObserveOK(member int)
 }
 
 // Stats counts host-level events.
@@ -48,6 +68,9 @@ type Stats struct {
 	HostFallbackWrites   int64
 	HostFallbackReads    int64
 	QueuedStripeWaits    int64
+	Probes               int64
+	RebuiltStripes       int64
+	Resyncs              int64
 }
 
 // HostController is the dRAID host: a virtual block device whose I/O is
@@ -71,8 +94,21 @@ type HostController struct {
 
 	failed map[int]bool // member index → failed
 
+	// memberNode maps member index → the fabric endpoint currently serving
+	// it. Identity at construction; spare promotion repoints entries.
+	memberNode []NodeID
+	// rebuilds tracks in-progress spare rebuilds by member: stripes below
+	// the frontier already live on the spare and are routed there.
+	rebuilds map[int]*rebuildState
+
 	// dirty is the §5.4 write-intent bitmap: stripe → in-flight writes.
 	dirty map[int64]int
+
+	// crashed simulates controller death: no new I/O is accepted, no
+	// completions are processed, and pending callbacks never fire.
+	crashed bool
+
+	health HealthSink
 
 	stats Stats
 
@@ -84,6 +120,12 @@ type HostController struct {
 type stripeQueue struct {
 	busy    bool
 	waiters []func()
+}
+
+// rebuildState is one member's in-progress rebuild onto a spare endpoint.
+type rebuildState struct {
+	dest     NodeID
+	frontier int64 // stripes < frontier are already on dest
 }
 
 // subOp tracks one outstanding capsule exchange.
@@ -103,6 +145,9 @@ type stripeOp struct {
 	// read assembly: completions carrying payloads are routed here.
 	onPayload func(from NodeID, cmd nvmeof.Command, b parity.Buffer)
 	done      bool
+	// responded records endpoints that completed (any status), so a timeout
+	// implicates only the silent participants.
+	responded map[NodeID]bool
 	// span covers the whole operation; rpcs cover each capsule exchange, in
 	// send order (a slice, not a map, so close-out order is deterministic).
 	span *trace.Op
@@ -150,8 +195,8 @@ func NewHost(eng *sim.Engine, fab *Fabric, driveCapacity int64, cfg Config) *Hos
 	if err := cfg.Geometry.Validate(); err != nil {
 		panic(err)
 	}
-	if cfg.Geometry.Width != fab.Width() {
-		panic(fmt.Sprintf("core: geometry width %d != fabric targets %d", cfg.Geometry.Width, fab.Width()))
+	if cfg.Geometry.Width > fab.Width() {
+		panic(fmt.Sprintf("core: geometry width %d > fabric targets %d", cfg.Geometry.Width, fab.Width()))
 	}
 	if cfg.HostCores <= 0 {
 		cfg.HostCores = 4
@@ -164,11 +209,17 @@ func NewHost(eng *sim.Engine, fab *Fabric, driveCapacity int64, cfg Config) *Hos
 	}
 	h := &HostController{
 		eng: eng, fab: fab, geo: cfg.Geometry, cfg: cfg,
-		cores:    cpu.NewPool(eng, cfg.HostCores),
-		size:     cfg.Geometry.VirtualSize(driveCapacity),
-		stripeQ:  make(map[int64]*stripeQueue),
-		inflight: make(map[uint64]*subOp),
-		failed:   make(map[int]bool),
+		cores:      cpu.NewPool(eng, cfg.HostCores),
+		size:       cfg.Geometry.VirtualSize(driveCapacity),
+		stripeQ:    make(map[int64]*stripeQueue),
+		inflight:   make(map[uint64]*subOp),
+		failed:     make(map[int]bool),
+		memberNode: make([]NodeID, cfg.Geometry.Width),
+		rebuilds:   make(map[int]*rebuildState),
+		health:     cfg.Health,
+	}
+	for m := range h.memberNode {
+		h.memberNode[m] = NodeID(m)
 	}
 	if t := cfg.Tracer; t.Enabled() {
 		h.opsTrack = t.Track("host", "ops")
@@ -212,6 +263,93 @@ func (h *HostController) FailedMembers() []int {
 	return out
 }
 
+// SetHealth installs (or clears) the sink receiving data-path evidence.
+func (h *HostController) SetHealth(s HealthSink) { h.health = s }
+
+// ---------------------------------------------------------------------------
+// Member → endpoint indirection. RAID math lives in member-index space; the
+// fabric speaks NodeIDs. The two coincide until a spare is promoted or a
+// rebuild routes early stripes to its destination.
+
+// nodeOf returns the fabric endpoint currently serving member.
+func (h *HostController) nodeOf(member int) NodeID { return h.memberNode[member] }
+
+// nodeAt resolves member for I/O touching stripe: during a rebuild, stripes
+// below the frontier already live on the spare and are served from there.
+func (h *HostController) nodeAt(stripe int64, member int) NodeID {
+	if r, ok := h.rebuilds[member]; ok && stripe >= 0 && stripe < r.frontier {
+		return r.dest
+	}
+	return h.memberNode[member]
+}
+
+// memberOf is the reverse mapping: which member does endpoint n serve?
+// Returns -1 for endpoints serving no member (an idle spare).
+func (h *HostController) memberOf(n NodeID) int {
+	for m, nd := range h.memberNode {
+		if nd == n {
+			return m
+		}
+	}
+	for m, r := range h.rebuilds {
+		if r.dest == n {
+			return m
+		}
+	}
+	return -1
+}
+
+// memberFailed reports whether member is unavailable for I/O touching
+// stripe. A member under rebuild is healthy again for stripes already copied
+// to the spare — that is what lets foreground I/O shed the degraded path as
+// the rebuild frontier advances.
+func (h *HostController) memberFailed(stripe int64, member int) bool {
+	if !h.failed[member] {
+		return false
+	}
+	if r, ok := h.rebuilds[member]; ok && stripe >= 0 && stripe < r.frontier {
+		return false
+	}
+	return true
+}
+
+// failNode marks the member served by endpoint n failed, if any.
+func (h *HostController) failNode(n NodeID) {
+	if m := h.memberOf(n); m >= 0 {
+		h.SetFailed(m, true)
+	}
+}
+
+// maxRetries returns the per-op retry budget (§5.4), default 1.
+func (h *HostController) maxRetries() int {
+	if h.cfg.MaxRetries > 0 {
+		return h.cfg.MaxRetries
+	}
+	return 1
+}
+
+// retryAfter spaces retry attempt k by (k+1)*RetryBackoff. With no backoff
+// configured the retry runs inline, preserving historical event ordering.
+func (h *HostController) retryAfter(attempt int, fn func()) {
+	if h.cfg.RetryBackoff <= 0 {
+		fn()
+		return
+	}
+	h.eng.After(h.cfg.RetryBackoff*sim.Duration(attempt+1), fn)
+}
+
+func (h *HostController) reportFault(member int, confirmed bool) {
+	if h.health != nil && member >= 0 && member < h.geo.Width {
+		h.health.ObserveFault(member, confirmed)
+	}
+}
+
+func (h *HostController) reportOK(member int) {
+	if h.health != nil && member >= 0 && member < h.geo.Width {
+		h.health.ObserveOK(member)
+	}
+}
+
 func (h *HostController) trace(format string, args ...any) {
 	if h.cfg.Trace != nil {
 		h.cfg.Trace("[host %8s] "+format, append([]any{h.eng.Now()}, args...)...)
@@ -220,7 +358,13 @@ func (h *HostController) trace(format string, args ...any) {
 
 // handle processes completions arriving from targets.
 func (h *HostController) handle(m Message) {
+	if h.crashed {
+		return
+	}
 	h.cores.Exec(h.cfg.Costs.PerMsg, func() {
+		if h.crashed {
+			return
+		}
 		if m.Cmd.Opcode != nvmeof.OpCompletion {
 			panic(fmt.Sprintf("core: host received %v", m.Cmd.Opcode))
 		}
@@ -229,12 +373,18 @@ func (h *HostController) handle(m Message) {
 			return // late completion after timeout handling
 		}
 		op := sub.op
+		if op.responded == nil {
+			op.responded = make(map[NodeID]bool)
+		}
+		op.responded[m.From] = true
 		op.endRPC(m.From)
 		if m.Cmd.Status != nvmeof.StatusSuccess {
 			h.trace("completion id=%d from t%d status=%v", m.Cmd.ID, int(m.From), m.Cmd.Status)
+			h.reportFault(h.memberOf(m.From), true)
 			h.failOp(op, []NodeID{m.From})
 			return
 		}
+		h.reportOK(h.memberOf(m.From))
 		if m.Payload.Len() > 0 && op.onPayload != nil {
 			op.onPayload(m.From, m.Cmd, m.Payload)
 		}
@@ -272,10 +422,20 @@ func (h *HostController) failOp(op *stripeOp, missing []NodeID) {
 	op.failedFn(missing)
 }
 
-// newStripeOp allocates an operation with a deadline timer. kind names the
-// operation on the trace ("rmw-write", "degraded-read", …); targets listed
-// in watch are the ones whose absence on timeout implicates them.
+// newStripeOp allocates an operation with the configured deadline. kind
+// names the operation on the trace ("rmw-write", "degraded-read", …);
+// targets listed in watch are the ones whose absence on timeout implicates
+// them.
 func (h *HostController) newStripeOp(kind string, stripe int64, expect int, watch []NodeID, done func(), failed func([]NodeID)) *stripeOp {
+	return h.newStripeOpDeadline(kind, stripe, expect, watch, h.cfg.Deadline, done, failed)
+}
+
+// newStripeOpDeadline is newStripeOp with an explicit deadline (heartbeat
+// probes run much tighter than data ops). On timeout every watched endpoint
+// that never completed is reported to the health sink — confirmed when its
+// node is observably down, suspect otherwise — before failedFn runs with the
+// down set.
+func (h *HostController) newStripeOpDeadline(kind string, stripe int64, expect int, watch []NodeID, deadline sim.Duration, done func(), failed func([]NodeID)) *stripeOp {
 	h.nextID++
 	op := &stripeOp{id: h.nextID, stripe: stripe, remaining: expect, doneFn: done, failedFn: failed}
 	h.inflight[op.id] = &subOp{op: op}
@@ -283,21 +443,97 @@ func (h *HostController) newStripeOp(kind string, stripe int64, expect int, watc
 		op.span = t.Begin(h.opsTrack, "op", kind,
 			trace.I64("stripe", stripe), trace.I64("id", int64(op.id)))
 	}
-	op.timer = h.eng.After(h.cfg.Deadline, func() {
+	op.timer = h.eng.After(deadline, func() {
 		if op.done {
 			return
 		}
 		h.stats.Timeouts++
 		h.trace("op id=%d timed out; suspects=%v", op.id, watch)
-		var down []NodeID
+		var down, silent []NodeID
 		for _, t := range watch {
+			if op.responded[t] {
+				continue
+			}
 			if h.fab.Node(t).Down() {
 				down = append(down, t)
+			} else {
+				silent = append(silent, t)
+			}
+		}
+		// Evidence attribution: a confirmed-down participant explains the
+		// whole stall (peer chains run through it), so silent peers are NOT
+		// blamed — charging them unconfirmed strikes would let one dead node
+		// fail innocent members by collateral evidence.
+		for _, t := range down {
+			h.reportFault(h.memberOf(t), true)
+		}
+		if len(down) == 0 {
+			for _, t := range silent {
+				h.reportFault(h.memberOf(t), false)
 			}
 		}
 		h.failOp(op, down)
 	})
 	return op
+}
+
+// Probe sends a heartbeat capsule to the endpoint currently serving member.
+// Evidence reaches the health sink through the normal completion/deadline
+// paths; cb only observes the outcome (for rescheduling the next probe).
+func (h *HostController) Probe(member int, timeout sim.Duration, cb func(ok bool)) {
+	if h.crashed {
+		return
+	}
+	h.stats.Probes++
+	target := h.nodeOf(member)
+	op := h.newStripeOpDeadline("heartbeat", -1, 1, []NodeID{target}, timeout,
+		func() { cb(true) },
+		func([]NodeID) { cb(false) },
+	)
+	h.send(op, target, nvmeof.Command{Opcode: nvmeof.OpHeartbeat}, parity.Buffer{})
+}
+
+// Crash simulates host-controller death: every in-flight operation is
+// abandoned with its callbacks never firing, and future I/O and completions
+// are ignored. The write-intent bitmap is left intact — it is exactly what a
+// replacement controller consumes to resync (§5.4).
+func (h *HostController) Crash() {
+	h.crashed = true
+	ids := make([]uint64, 0, len(h.inflight))
+	for id := range h.inflight {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		op := h.inflight[id].op
+		op.done = true
+		if op.timer != nil {
+			op.timer.Stop()
+		}
+		op.closeSpans("crashed")
+		delete(h.inflight, id)
+	}
+}
+
+// Crashed reports whether Crash was called.
+func (h *HostController) Crashed() bool { return h.crashed }
+
+// Adopt takes over a crashed predecessor's array state — failed members, the
+// member→endpoint mapping, and any rebuild in progress — and returns the
+// predecessor's dirty stripes: the exact set the replacement must resync
+// before parity is trustworthy again.
+func (h *HostController) Adopt(prev *HostController) []int64 {
+	if !prev.crashed {
+		panic("core: adopting a live controller")
+	}
+	for m := range prev.failed {
+		h.failed[m] = true
+	}
+	copy(h.memberNode, prev.memberNode)
+	for m, r := range prev.rebuilds {
+		h.rebuilds[m] = &rebuildState{dest: r.dest, frontier: r.frontier}
+	}
+	return prev.DirtyStripes()
 }
 
 // send issues a capsule for an operation.
@@ -350,6 +586,9 @@ func (h *HostController) releaseStripe(stripe int64) {
 // NVMe-oF reads; extents on a failed member trigger the §6.1 disaggregated
 // reconstruction, co-designed with the normal reads of the same stripe.
 func (h *HostController) Read(off, n int64, cb func(parity.Buffer, error)) {
+	if h.crashed {
+		return
+	}
 	if err := blockdev.CheckRange(off, n, h.size); err != nil {
 		h.eng.Defer(func() { cb(parity.Buffer{}, err) })
 		return
@@ -377,18 +616,12 @@ func (h *HostController) Read(off, n int64, cb func(parity.Buffer, error)) {
 	}
 
 	byStripe := raid.StripeExtents(exts)
-	stripes := make([]int64, 0, len(byStripe))
-	for s := range byStripe {
-		stripes = append(stripes, s)
-	}
-	sort.Slice(stripes, func(i, j int) bool { return stripes[i] < stripes[j] })
-
-	for _, stripe := range stripes {
+	for _, stripe := range raid.StripeOrder(byStripe) {
 		group := byStripe[stripe]
 		var failedExts []raid.Extent
 		var normal []raid.Extent
 		for _, e := range group {
-			if h.failed[h.geo.DataDrive(stripe, e.Chunk)] {
+			if h.memberFailed(stripe, h.geo.DataDrive(stripe, e.Chunk)) {
 				failedExts = append(failedExts, e)
 			} else {
 				normal = append(normal, e)
@@ -446,15 +679,15 @@ func (a *assembler) result() parity.Buffer {
 }
 
 func (h *HostController) normalReadExtent(e raid.Extent, asm *assembler, fail *error, done func()) {
-	h.normalReadExtentAttempt(e, asm, fail, done, false)
+	h.normalReadExtentAttempt(e, asm, fail, done, 0)
 }
 
-func (h *HostController) normalReadExtentAttempt(e raid.Extent, asm *assembler, fail *error, done func(), isRetry bool) {
-	target := NodeID(h.geo.DataDrive(e.Stripe, e.Chunk))
+func (h *HostController) normalReadExtentAttempt(e raid.Extent, asm *assembler, fail *error, done func(), attempt int) {
+	target := h.nodeAt(e.Stripe, h.geo.DataDrive(e.Stripe, e.Chunk))
 	absOff := h.geo.DriveOffset(e.Stripe) + e.Off
 	op := h.newStripeOp("read", e.Stripe, 1, []NodeID{target},
 		func() { done() },
-		func(missing []NodeID) { h.readFailurePath(e, missing, asm, fail, done, isRetry) },
+		func(missing []NodeID) { h.readFailurePath(e, missing, asm, fail, done, attempt) },
 	)
 	op.onPayload = func(_ NodeID, _ nvmeof.Command, b parity.Buffer) { asm.put(e.VOff, b) }
 	h.send(op, target, nvmeof.Command{Opcode: nvmeof.OpRead, Offset: absOff, Length: e.Len}, parity.Buffer{})
@@ -462,20 +695,23 @@ func (h *HostController) normalReadExtentAttempt(e raid.Extent, asm *assembler, 
 
 // readFailurePath handles a normal read that timed out (§5.4): mark
 // truly-down members failed and take the degraded path; a transient timeout
-// (nothing down) retries the plain read once.
-func (h *HostController) readFailurePath(e raid.Extent, missing []NodeID, asm *assembler, fail *error, done func(), isRetry bool) {
-	if isRetry {
-		*fail = blockdev.ErrTimeout
+// (nothing down) retries the plain read, with deterministic backoff, until
+// the retry budget runs out.
+func (h *HostController) readFailurePath(e raid.Extent, missing []NodeID, asm *assembler, fail *error, done func(), attempt int) {
+	if attempt >= h.maxRetries() {
+		*fail = fmt.Errorf("core: stripe %d read: retries exhausted: %w", e.Stripe, blockdev.ErrTimeout)
 		done()
 		return
 	}
 	h.stats.Retries++
 	if len(missing) == 0 {
-		h.normalReadExtentAttempt(e, asm, fail, done, true)
+		h.retryAfter(attempt, func() {
+			h.normalReadExtentAttempt(e, asm, fail, done, attempt+1)
+		})
 		return
 	}
 	for _, m := range missing {
-		h.SetFailed(int(m), true)
+		h.failNode(m)
 	}
 	h.degradedReadStripe(e.Stripe, e, nil, asm, fail, done)
 }
@@ -484,6 +720,23 @@ func (h *HostController) readFailurePath(e raid.Extent, missing []NodeID, asm *a
 // normal extents, per §6.1: one Reconstruction broadcast, a reducer
 // aggregating XOR contributions, and decoupled direct return of normal data.
 func (h *HostController) degradedReadStripe(stripe int64, failedExt raid.Extent, normal []raid.Extent, asm *assembler, fail *error, done func()) {
+	// The chunk may have come back between the timeout and this retry — the
+	// rebuild frontier passed the stripe, so reads now route to the spare.
+	// Plain reads suffice; no reconstruction needed.
+	if !h.memberFailed(stripe, h.geo.DataDrive(stripe, failedExt.Chunk)) {
+		exts := append([]raid.Extent{failedExt}, normal...)
+		pending := len(exts)
+		part := func() {
+			pending--
+			if pending == 0 {
+				done()
+			}
+		}
+		for _, e := range exts {
+			h.normalReadExtent(e, asm, fail, part)
+		}
+		return
+	}
 	h.stats.DegradedReads++
 	h.stats.Reconstructions++
 
@@ -491,7 +744,7 @@ func (h *HostController) degradedReadStripe(stripe int64, failedExt raid.Extent,
 	// this stripe healthy; anything else goes through the host GF solve.
 	failedData := 0
 	for c := 0; c < h.geo.DataChunks(); c++ {
-		if h.failed[h.geo.DataDrive(stripe, c)] {
+		if h.memberFailed(stripe, h.geo.DataDrive(stripe, c)) {
 			failedData++
 		}
 	}
@@ -502,7 +755,7 @@ func (h *HostController) degradedReadStripe(stripe int64, failedExt raid.Extent,
 		})
 		return
 	}
-	if failedData != 1 || h.failed[h.geo.PDrive(stripe)] {
+	if failedData != 1 || h.memberFailed(stripe, h.geo.PDrive(stripe)) {
 		h.hostFallbackRead(stripe, failedExt, normal, asm, fail, done)
 		return
 	}
@@ -519,15 +772,15 @@ func (h *HostController) degradedReadStripe(stripe int64, failedExt raid.Extent,
 	}
 	var parts []part
 	pDrive := h.geo.PDrive(stripe)
-	if !h.failed[pDrive] {
-		parts = append(parts, part{target: NodeID(pDrive)})
+	if !h.memberFailed(stripe, pDrive) {
+		parts = append(parts, part{target: h.nodeAt(stripe, pDrive)})
 	}
 	for c := 0; c < h.geo.DataChunks(); c++ {
 		d := h.geo.DataDrive(stripe, c)
-		if h.failed[d] || c == failedExt.Chunk {
+		if h.memberFailed(stripe, d) || c == failedExt.Chunk {
 			continue
 		}
-		p := part{target: NodeID(d)}
+		p := part{target: h.nodeAt(stripe, d)}
 		for i := range normal {
 			if normal[i].Chunk == c {
 				p.own = &normal[i]
@@ -558,7 +811,7 @@ func (h *HostController) degradedReadStripe(stripe int64, failedExt raid.Extent,
 		func() { done() },
 		func(missing []NodeID) {
 			if len(missing) == 0 {
-				*fail = blockdev.ErrTimeout
+				*fail = fmt.Errorf("core: stripe %d reconstruction: %w", stripe, blockdev.ErrTimeout)
 			} else {
 				*fail = fmt.Errorf("core: stripe %d: members %v lost during reconstruction: %w",
 					stripe, missing, blockdev.ErrDegraded)
@@ -619,10 +872,10 @@ func (h *HostController) degradedReadStripe(stripe int64, failedExt raid.Extent,
 // lostParityCount counts failed parity members of a stripe.
 func lostParityCount(h *HostController, stripe int64) int {
 	n := 0
-	if h.failed[h.geo.PDrive(stripe)] {
+	if h.memberFailed(stripe, h.geo.PDrive(stripe)) {
 		n++
 	}
-	if h.geo.Level == raid.Raid6 && h.failed[h.geo.QDrive(stripe)] {
+	if h.geo.Level == raid.Raid6 && h.memberFailed(stripe, h.geo.QDrive(stripe)) {
 		n++
 	}
 	return n

@@ -52,16 +52,26 @@ func (h *HostController) hostFallbackRead(stripe int64, failedExt raid.Extent, n
 	}
 
 	// Recoverability: total losses within the stripe must fit the parity
-	// budget, and two lost data chunks need Q (RAID-6).
+	// budget, and two lost data chunks need Q (RAID-6). The classification is
+	// captured NOW: by the time the survivor fetch completes, a concurrent
+	// rebuild may have advanced its frontier past this stripe and shrunk the
+	// failed set, but the solve must match the pieces actually fetched.
+	var lost lostSet
 	lostData, lostPar := 0, 0
 	for m := 0; m < h.geo.Width; m++ {
-		if !h.failed[m] {
+		if !h.memberFailed(stripe, m) {
 			continue
 		}
-		if k, _ := h.geo.Role(stripe, m); k == raid.KindData {
-			lostData++
-		} else {
+		switch k, idx := h.geo.Role(stripe, m); k {
+		case raid.KindP:
+			lost.p = true
 			lostPar++
+		case raid.KindQ:
+			lost.q = true
+			lostPar++
+		default:
+			lost.data = append(lost.data, idx)
+			lostData++
 		}
 	}
 	if lostData+lostPar > h.geo.Level.ParityCount() ||
@@ -76,22 +86,22 @@ func (h *HostController) hostFallbackRead(stripe int64, failedExt raid.Extent, n
 	var pieces []*fbPiece
 	byMember := make(map[NodeID]*fbPiece)
 	for m := 0; m < h.geo.Width; m++ {
-		if h.failed[m] {
+		if h.memberFailed(stripe, m) {
 			continue
 		}
 		kind, idx := h.geo.Role(stripe, m)
 		pc := &fbPiece{member: m, kind: kind, dataIdx: idx}
 		pieces = append(pieces, pc)
-		byMember[NodeID(m)] = pc
+		byMember[h.nodeAt(stripe, m)] = pc
 	}
 	watch := make([]NodeID, 0, len(pieces))
 	for _, pc := range pieces {
-		watch = append(watch, NodeID(pc.member))
+		watch = append(watch, h.nodeAt(stripe, pc.member))
 	}
 	op := h.newStripeOp("fallback-read", stripe, len(pieces), watch,
 		func() {
 			h.cores.Exec(h.cfg.Costs.Gf(int(rLen))*sim.Duration(len(pieces)), func() {
-				out := h.solveDualFailure(stripe, failedExt, pieces)
+				out := h.solveDualFailure(failedExt, pieces, lost)
 				asm.put(failedExt.VOff, out)
 				// Normal extents of this stripe rode along inside the
 				// survivor segments.
@@ -126,7 +136,7 @@ func (h *HostController) hostFallbackRead(stripe int64, failedExt raid.Extent, n
 		// extra round trip. For simplicity the fallback fetches the failed
 		// extent's range, which covers the aligned benchmark workloads;
 		// non-overlapping normal extents are re-read below.
-		h.send(op, NodeID(pc.member), nvmeof.Command{
+		h.send(op, h.nodeAt(stripe, pc.member), nvmeof.Command{
 			Opcode: nvmeof.OpRead, Offset: rOff, Length: rLen,
 		}, parity.Buffer{})
 	}
@@ -135,21 +145,18 @@ func (h *HostController) hostFallbackRead(stripe int64, failedExt raid.Extent, n
 	}
 }
 
+// lostSet is the failed-member classification of one stripe, frozen at the
+// instant a fallback read was issued.
+type lostSet struct {
+	p, q bool
+	data []int
+}
+
 // solveDualFailure recovers failedExt's data chunk from survivor pieces.
-func (h *HostController) solveDualFailure(stripe int64, failedExt raid.Extent, pieces []*fbPiece) parity.Buffer {
+// lost is the issue-time classification matching how pieces were gathered.
+func (h *HostController) solveDualFailure(failedExt raid.Extent, pieces []*fbPiece, lost lostSet) parity.Buffer {
 	rLen := int(failedExt.Len)
-	var pLost, qLost bool
-	var lostData []int
-	for m := range h.failed {
-		switch k, idx := h.geo.Role(stripe, m); k {
-		case raid.KindP:
-			pLost = true
-		case raid.KindQ:
-			qLost = true
-		default:
-			lostData = append(lostData, idx)
-		}
-	}
+	pLost, qLost, lostData := lost.p, lost.q, lost.data
 	var pBuf, qBuf parity.Buffer
 	var dataBufs []parity.Buffer
 	var dataIdx []int

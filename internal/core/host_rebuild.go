@@ -13,19 +13,100 @@ import (
 // WriteMemberChunk writes a full chunk image directly to a member's drive —
 // the delivery half of rebuilding onto a replacement drive.
 func (h *HostController) WriteMemberChunk(stripe int64, member int, b parity.Buffer, cb func(error)) {
+	h.writeChunkToNode(stripe, h.nodeOf(member), b, cb)
+}
+
+// writeChunkToNode writes a full chunk image for stripe to an arbitrary
+// endpoint — a member's drive or a hot spare being rebuilt onto.
+func (h *HostController) writeChunkToNode(stripe int64, to NodeID, b parity.Buffer, cb func(error)) {
 	if int64(b.Len()) != h.geo.ChunkSize {
 		h.eng.Defer(func() { cb(fmt.Errorf("core: chunk image is %d bytes, want %d", b.Len(), h.geo.ChunkSize)) })
 		return
 	}
-	op := h.newStripeOp("rebuild-write", stripe, 1, []NodeID{NodeID(member)},
+	op := h.newStripeOp("rebuild-write", stripe, 1, []NodeID{to},
 		func() { cb(nil) },
-		func([]NodeID) { cb(blockdev.ErrTimeout) },
+		func([]NodeID) { cb(fmt.Errorf("core: stripe %d rebuild write: %w", stripe, blockdev.ErrTimeout)) },
 	)
-	h.send(op, NodeID(member), nvmeof.Command{
+	h.send(op, to, nvmeof.Command{
 		Opcode: nvmeof.OpWrite,
 		Offset: h.geo.DriveOffset(stripe), Length: h.geo.ChunkSize,
 	}, b)
 }
+
+// ---------------------------------------------------------------------------
+// Hot-spare rebuild bookkeeping. The rebuild manager (internal/repair) drives
+// stripes through RebuildStripe in order; the controller routes foreground
+// I/O below the advancing frontier to the spare, so the array sheds the
+// degraded path incrementally instead of all at once.
+
+// StartRebuild registers an in-progress rebuild of member onto endpoint dest
+// (a hot spare). The member must currently be failed.
+func (h *HostController) StartRebuild(member int, dest NodeID) {
+	if !h.failed[member] {
+		panic(fmt.Sprintf("core: rebuilding healthy member %d", member))
+	}
+	if _, dup := h.rebuilds[member]; dup {
+		panic(fmt.Sprintf("core: member %d already rebuilding", member))
+	}
+	h.rebuilds[member] = &rebuildState{dest: dest}
+}
+
+// Rebuilding returns the rebuild destination and frontier for member; ok is
+// false when no rebuild is in progress.
+func (h *HostController) Rebuilding(member int) (dest NodeID, frontier int64, ok bool) {
+	r, ok := h.rebuilds[member]
+	if !ok {
+		return 0, 0, false
+	}
+	return r.dest, r.frontier, true
+}
+
+// RebuildStripe reconstructs member's chunk of one stripe and writes it to
+// the rebuild destination, then advances the frontier. The stripe write lock
+// is held across reconstruct+write, so no foreground write can interleave
+// and leave the rebuilt chunk stale.
+func (h *HostController) RebuildStripe(stripe int64, member int, cb func(error)) {
+	r, ok := h.rebuilds[member]
+	if !ok {
+		h.eng.Defer(func() { cb(fmt.Errorf("core: member %d has no rebuild in progress", member)) })
+		return
+	}
+	h.acquireStripe(stripe, func() {
+		h.ReconstructStripeChunk(stripe, member, func(b parity.Buffer, err error) {
+			if err != nil {
+				h.releaseStripe(stripe)
+				cb(err)
+				return
+			}
+			h.writeChunkToNode(stripe, r.dest, b, func(err error) {
+				if err == nil {
+					h.stats.RebuiltStripes++
+					if r.frontier == stripe {
+						r.frontier = stripe + 1
+					}
+				}
+				h.releaseStripe(stripe)
+				cb(err)
+			})
+		})
+	})
+}
+
+// FinishRebuild completes member's rebuild: the spare becomes the member's
+// endpoint and the member returns to full service.
+func (h *HostController) FinishRebuild(member int) {
+	r, ok := h.rebuilds[member]
+	if !ok {
+		panic(fmt.Sprintf("core: member %d has no rebuild to finish", member))
+	}
+	h.memberNode[member] = r.dest
+	delete(h.rebuilds, member)
+	delete(h.failed, member)
+}
+
+// AbortRebuild abandons member's rebuild; the member stays failed and the
+// partially written spare content is discarded.
+func (h *HostController) AbortRebuild(member int) { delete(h.rebuilds, member) }
 
 // ReconstructStripeChunk rebuilds the full chunk held by `member` in
 // `stripe` using the disaggregated reconstruction machinery (§6) and returns
@@ -54,14 +135,14 @@ func (h *HostController) ReconstructStripeChunk(stripe int64, member int, cb fun
 	addData := func(scale bool) {
 		for c := 0; c < h.geo.DataChunks(); c++ {
 			d := h.geo.DataDrive(stripe, c)
-			if h.failed[d] {
+			if d == member || h.memberFailed(stripe, d) {
 				continue
 			}
 			idx := NoScale
 			if scale {
 				idx = uint16(c)
 			}
-			parts = append(parts, part{target: NodeID(d), dataIdx: idx})
+			parts = append(parts, part{target: h.nodeAt(stripe, d), dataIdx: idx})
 		}
 	}
 	// unscale post-processes the reducer's result on the host (the Q-based
@@ -71,12 +152,12 @@ func (h *HostController) ReconstructStripeChunk(stripe int64, member int, cb fun
 	case raid.KindData:
 		pDrive := h.geo.PDrive(stripe)
 		switch {
-		case !h.failed[pDrive]:
-			parts = append(parts, part{target: NodeID(pDrive), dataIdx: NoScale})
+		case !h.memberFailed(stripe, pDrive):
+			parts = append(parts, part{target: h.nodeAt(stripe, pDrive), dataIdx: NoScale})
 			addData(false)
-		case h.geo.Level == raid.Raid6 && !h.failed[h.geo.QDrive(stripe)]:
+		case h.geo.Level == raid.Raid6 && !h.memberFailed(stripe, h.geo.QDrive(stripe)):
 			// P lost too: D_lost = (Q ⊕ Σ g^i·D_i) / g^lost.
-			parts = append(parts, part{target: NodeID(h.geo.QDrive(stripe)), dataIdx: NoScale})
+			parts = append(parts, part{target: h.nodeAt(stripe, h.geo.QDrive(stripe)), dataIdx: NoScale})
 			addData(true)
 			unscale = gf256.Inv(parity.QCoeff(lostIdx))
 		default:
@@ -114,7 +195,9 @@ func (h *HostController) ReconstructStripeChunk(stripe int64, member int, cb fun
 			}
 			cb(result, nil)
 		},
-		func(missing []NodeID) { cb(parity.Buffer{}, blockdev.ErrTimeout) },
+		func(missing []NodeID) {
+			cb(parity.Buffer{}, fmt.Errorf("core: stripe %d reconstruction: %w", stripe, blockdev.ErrTimeout))
+		},
 	)
 	op.onPayload = func(from NodeID, _ nvmeof.Command, b parity.Buffer) { result = b }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 
 	"draid/internal/blockdev"
@@ -46,16 +47,17 @@ func (h *HostController) DirtyStripes() []int64 {
 // write the parity chunk(s) back. Data content is taken as found — resync
 // repairs consistency, not the write hole.
 func (h *HostController) ResyncStripe(stripe int64, cb func(error)) {
+	h.stats.Resyncs++
 	base := h.geo.DriveOffset(stripe)
 	cs := h.geo.ChunkSize
 	k := h.geo.DataChunks()
 
 	pDrive := h.geo.PDrive(stripe)
-	pAlive := !h.failed[pDrive]
+	pAlive := !h.memberFailed(stripe, pDrive)
 	qDrive, qAlive := -1, false
 	if h.geo.Level == raid.Raid6 {
 		qDrive = h.geo.QDrive(stripe)
-		qAlive = !h.failed[qDrive]
+		qAlive = !h.memberFailed(stripe, qDrive)
 	}
 	if !pAlive && !qAlive {
 		h.eng.Defer(func() { cb(nil) }) // nothing to resync
@@ -67,7 +69,7 @@ func (h *HostController) ResyncStripe(stripe int64, cb func(error)) {
 	reads := 0
 	for c := 0; c < k; c++ {
 		m := h.geo.DataDrive(stripe, c)
-		if h.failed[m] {
+		if h.memberFailed(stripe, m) {
 			// A missing data chunk makes its old content undefined; treat
 			// as zero for the recomputation (MD resyncs degraded arrays
 			// only after the member is replaced and rebuilt).
@@ -75,7 +77,7 @@ func (h *HostController) ResyncStripe(stripe int64, cb func(error)) {
 			continue
 		}
 		reads++
-		watch = append(watch, NodeID(m))
+		watch = append(watch, h.nodeAt(stripe, m))
 	}
 	if reads == 0 {
 		h.eng.Defer(func() { cb(blockdev.ErrIO) })
@@ -93,38 +95,42 @@ func (h *HostController) ResyncStripe(stripe int64, cb func(error)) {
 				var wWatch []NodeID
 				if pAlive {
 					writes++
-					wWatch = append(wWatch, NodeID(pDrive))
+					wWatch = append(wWatch, h.nodeAt(stripe, pDrive))
 				}
 				if qAlive {
 					writes++
-					wWatch = append(wWatch, NodeID(qDrive))
+					wWatch = append(wWatch, h.nodeAt(stripe, qDrive))
 				}
 				wOp := h.newStripeOp("resync-write", stripe, writes, wWatch,
 					func() { cb(nil) },
-					func([]NodeID) { cb(blockdev.ErrTimeout) })
+					func([]NodeID) {
+						cb(fmt.Errorf("core: stripe %d resync write: %w", stripe, blockdev.ErrTimeout))
+					})
 				if pAlive {
-					h.send(wOp, NodeID(pDrive), nvmeof.Command{
+					h.send(wOp, h.nodeAt(stripe, pDrive), nvmeof.Command{
 						Opcode: nvmeof.OpWrite, Offset: base, Length: cs,
 					}, parity.ComputeP(chunks))
 				}
 				if qAlive {
-					h.send(wOp, NodeID(qDrive), nvmeof.Command{
+					h.send(wOp, h.nodeAt(stripe, qDrive), nvmeof.Command{
 						Opcode: nvmeof.OpWrite, Offset: base, Length: cs,
 					}, parity.ComputeQ(chunks, nil))
 				}
 			})
 		},
-		func([]NodeID) { cb(blockdev.ErrTimeout) })
+		func([]NodeID) {
+			cb(fmt.Errorf("core: stripe %d resync read: %w", stripe, blockdev.ErrTimeout))
+		})
 	rOp.onPayload = func(from NodeID, _ nvmeof.Command, b parity.Buffer) {
-		_, idx := h.geo.Role(stripe, int(from))
+		_, idx := h.geo.Role(stripe, h.memberOf(from))
 		chunks[idx] = b
 	}
 	for c := 0; c < k; c++ {
 		m := h.geo.DataDrive(stripe, c)
-		if h.failed[m] {
+		if h.memberFailed(stripe, m) {
 			continue
 		}
-		h.send(rOp, NodeID(m), nvmeof.Command{
+		h.send(rOp, h.nodeAt(stripe, m), nvmeof.Command{
 			Opcode: nvmeof.OpRead, Offset: base, Length: cs,
 		}, parity.Buffer{})
 	}

@@ -15,6 +15,9 @@ import (
 // disaggregated reconstruct-write (§5). Degraded stripes are handled per the
 // rules documented on stripeWrite.
 func (h *HostController) Write(off int64, data parity.Buffer, cb func(error)) {
+	if h.crashed {
+		return
+	}
 	n := int64(data.Len())
 	if err := blockdev.CheckRange(off, n, h.size); err != nil {
 		h.eng.Defer(func() { cb(err) })
@@ -29,11 +32,11 @@ func (h *HostController) Write(off int64, data parity.Buffer, cb func(error)) {
 	byStripe := raid.StripeExtents(h.geo.Split(off, n))
 	pending := len(byStripe)
 	var firstErr error
-	for stripe, group := range byStripe {
-		stripe, group := stripe, group
+	for _, stripe := range raid.StripeOrder(byStripe) {
+		stripe, group := stripe, byStripe[stripe]
 		h.acquireStripe(stripe, func() {
 			h.markDirty(stripe)
-			h.stripeWrite(stripe, group, data, false, func(err error) {
+			h.stripeWrite(stripe, group, data, 0, func(err error) {
 				h.clearDirty(stripe)
 				h.releaseStripe(stripe)
 				if err != nil && firstErr == nil {
@@ -62,20 +65,22 @@ func (h *HostController) Write(off int64, data parity.Buffer, cb func(error)) {
 //     with two failed data chunks touched, the host fallback restores
 //     consistency centrally.
 //
-// isRetry marks the §5.4 full-stripe retry after a timeout, which always
-// goes through the host fallback path and is attempted only once.
-func (h *HostController) stripeWrite(stripe int64, exts []raid.Extent, data parity.Buffer, isRetry bool, done func(error)) {
-	if isRetry {
-		h.hostFallbackWrite(stripe, exts, data, done)
+// attempt counts §5.4 timeout-driven retries; any retry goes through the
+// host fallback path, which never depends on the expired operation's partial
+// state.
+func (h *HostController) stripeWrite(stripe int64, exts []raid.Extent, data parity.Buffer, attempt int, done func(error)) {
+	onTimeout := h.writeTimeoutHandler(stripe, exts, data, attempt, done)
+	if attempt > 0 {
+		h.hostFallbackWrite(stripe, exts, data, onTimeout, done)
 		return
 	}
 
 	pDrive := h.geo.PDrive(stripe)
-	pAlive := !h.failed[pDrive]
+	pAlive := !h.memberFailed(stripe, pDrive)
 	qDrive, qAlive := -1, false
 	if h.geo.Level == raid.Raid6 {
 		qDrive = h.geo.QDrive(stripe)
-		qAlive = !h.failed[qDrive]
+		qAlive = !h.memberFailed(stripe, qDrive)
 	}
 
 	var touchedFailed, touchedAlive []raid.Extent
@@ -83,19 +88,17 @@ func (h *HostController) stripeWrite(stripe int64, exts []raid.Extent, data pari
 	touchedSet := make(map[int]bool)
 	for _, e := range exts {
 		touchedSet[e.Chunk] = true
-		if h.failed[h.geo.DataDrive(stripe, e.Chunk)] {
+		if h.memberFailed(stripe, h.geo.DataDrive(stripe, e.Chunk)) {
 			touchedFailed = append(touchedFailed, e)
 		} else {
 			touchedAlive = append(touchedAlive, e)
 		}
 	}
 	for c := 0; c < h.geo.DataChunks(); c++ {
-		if !touchedSet[c] && h.failed[h.geo.DataDrive(stripe, c)] {
+		if !touchedSet[c] && h.memberFailed(stripe, h.geo.DataDrive(stripe, c)) {
 			anyFailedDataUntouched = true
 		}
 	}
-
-	onTimeout := h.writeTimeoutHandler(stripe, exts, data, isRetry, done)
 
 	mode := h.geo.DecideWriteMode(exts)
 	switch {
@@ -108,7 +111,7 @@ func (h *HostController) stripeWrite(stripe int64, exts []raid.Extent, data pari
 		case !pAlive && h.geo.Level == raid.Raid5:
 			h.plainWrites(stripe, touchedAlive, data, onTimeout, done)
 		case h.cfg.HostParityOnly:
-			h.hostFallbackWrite(stripe, exts, data, done)
+			h.hostFallbackWrite(stripe, exts, data, onTimeout, done)
 		case mode == raid.ModeRMW:
 			h.stats.RMWWrites++
 			h.rmwWrite(stripe, exts, data, pAlive, qAlive, onTimeout, done)
@@ -137,30 +140,36 @@ func (h *HostController) stripeWrite(stripe int64, exts []raid.Extent, data pari
 			h.fullStripeWrite(stripe, data, exts, pAlive, qAlive, onTimeout, done)
 			return
 		}
-		h.hostFallbackWrite(stripe, exts, data, done)
+		h.hostFallbackWrite(stripe, exts, data, onTimeout, done)
 	default:
-		h.hostFallbackWrite(stripe, exts, data, done)
+		h.hostFallbackWrite(stripe, exts, data, onTimeout, done)
 	}
 }
 
 // writeTimeoutHandler implements §5.4: after a timeout, the host waits for
 // terminal states (the op's deadline), marks truly-down targets failed, and
-// retries exactly once as a full-stripe-consistent host write. Transient
-// failures (no node actually down — network jitter, dropped messages) take
-// the same retry, which is safe because the retry never depends on the
-// expired operation's partial state.
-func (h *HostController) writeTimeoutHandler(stripe int64, exts []raid.Extent, data parity.Buffer, isRetry bool, done func(error)) func([]NodeID) {
+// retries as a full-stripe-consistent host write until the per-op budget
+// (Config.MaxRetries) runs out. Transient failures (no node actually down —
+// network jitter, dropped messages) take the same retry, which is safe
+// because the retry never depends on the expired operation's partial state.
+// Faulting members also reach the health sink via the op deadline path.
+func (h *HostController) writeTimeoutHandler(stripe int64, exts []raid.Extent, data parity.Buffer, attempt int, done func(error)) func([]NodeID) {
 	return func(missing []NodeID) {
-		if isRetry {
-			done(blockdev.ErrTimeout)
+		if attempt >= h.maxRetries() {
+			for _, m := range missing {
+				h.failNode(m)
+			}
+			done(fmt.Errorf("core: stripe %d write: retries exhausted: %w", stripe, blockdev.ErrTimeout))
 			return
 		}
 		h.stats.Retries++
 		for _, m := range missing {
-			h.SetFailed(int(m), true)
+			h.failNode(m)
 		}
 		h.trace("stripe %d write retry (down: %v)", stripe, missing)
-		h.stripeWrite(stripe, exts, data, true, done)
+		h.retryAfter(attempt, func() {
+			h.stripeWrite(stripe, exts, data, attempt+1, done)
+		})
 	}
 }
 
@@ -197,8 +206,8 @@ func (h *HostController) fullStripeWrite(stripe int64, data parity.Buffer, exts 
 	var targets []NodeID
 	for c := 0; c < k; c++ {
 		d := h.geo.DataDrive(stripe, c)
-		if !h.failed[d] {
-			targets = append(targets, NodeID(d))
+		if !h.memberFailed(stripe, d) {
+			targets = append(targets, h.nodeAt(stripe, d))
 		}
 	}
 	parityWork := h.cfg.Costs.Xor(int(cs) * k)
@@ -222,21 +231,21 @@ func (h *HostController) fullStripeWrite(stripe int64, data parity.Buffer, exts 
 		}
 		watch := append([]NodeID(nil), targets...)
 		if pAlive {
-			watch = append(watch, NodeID(h.geo.PDrive(stripe)))
+			watch = append(watch, h.nodeAt(stripe, h.geo.PDrive(stripe)))
 		}
 		if qAlive {
-			watch = append(watch, NodeID(h.geo.QDrive(stripe)))
+			watch = append(watch, h.nodeAt(stripe, h.geo.QDrive(stripe)))
 		}
 		op := h.newStripeOp("full-stripe-write", stripe, expect, watch, func() { done(nil) }, onTimeout)
 		for _, t := range targets {
-			_, idx := h.geo.Role(stripe, int(t))
+			_, idx := h.geo.Role(stripe, h.memberOf(t))
 			h.send(op, t, nvmeof.Command{Opcode: nvmeof.OpWrite, Offset: absOff, Length: cs}, chunks[idx])
 		}
 		if pAlive {
-			h.send(op, NodeID(h.geo.PDrive(stripe)), nvmeof.Command{Opcode: nvmeof.OpWrite, Offset: absOff, Length: cs}, pBuf)
+			h.send(op, h.nodeAt(stripe, h.geo.PDrive(stripe)), nvmeof.Command{Opcode: nvmeof.OpWrite, Offset: absOff, Length: cs}, pBuf)
 		}
 		if qAlive {
-			h.send(op, NodeID(h.geo.QDrive(stripe)), nvmeof.Command{Opcode: nvmeof.OpWrite, Offset: absOff, Length: cs}, qBuf)
+			h.send(op, h.nodeAt(stripe, h.geo.QDrive(stripe)), nvmeof.Command{Opcode: nvmeof.OpWrite, Offset: absOff, Length: cs}, qBuf)
 		}
 	})
 }
@@ -250,11 +259,11 @@ func (h *HostController) plainWrites(stripe int64, exts []raid.Extent, data pari
 	}
 	watch := make([]NodeID, 0, len(exts))
 	for _, e := range exts {
-		watch = append(watch, NodeID(h.geo.DataDrive(stripe, e.Chunk)))
+		watch = append(watch, h.nodeAt(stripe, h.geo.DataDrive(stripe, e.Chunk)))
 	}
 	op := h.newStripeOp("plain-write", stripe, len(exts), watch, func() { done(nil) }, onTimeout)
 	for _, e := range exts {
-		t := NodeID(h.geo.DataDrive(stripe, e.Chunk))
+		t := h.nodeAt(stripe, h.geo.DataDrive(stripe, e.Chunk))
 		h.send(op, t, nvmeof.Command{
 			Opcode: nvmeof.OpWrite,
 			Offset: h.geo.DriveOffset(stripe) + e.Off, Length: e.Len,
@@ -262,14 +271,15 @@ func (h *HostController) plainWrites(stripe int64, exts []raid.Extent, data pari
 	}
 }
 
-// parityDests returns the NextDest/NextDest2 routing for a stripe.
+// parityDests returns the NextDest/NextDest2 routing for a stripe. These are
+// wire-level node indices, so rebuild indirection applies.
 func (h *HostController) parityDests(stripe int64, pAlive, qAlive bool) (pDest, qDest uint16) {
 	pDest, qDest = NoDest, NoDest
 	if pAlive {
-		pDest = uint16(h.geo.PDrive(stripe))
+		pDest = uint16(h.nodeAt(stripe, h.geo.PDrive(stripe)))
 	}
 	if qAlive && h.geo.Level == raid.Raid6 {
-		qDest = uint16(h.geo.QDrive(stripe))
+		qDest = uint16(h.nodeAt(stripe, h.geo.QDrive(stripe)))
 	}
 	return pDest, qDest
 }
@@ -286,7 +296,7 @@ func (h *HostController) rmwWrite(stripe int64, exts []raid.Extent, data parity.
 	expect := len(exts) // one bdevD callback per written chunk
 	var watch []NodeID
 	for _, e := range exts {
-		watch = append(watch, NodeID(h.geo.DataDrive(stripe, e.Chunk)))
+		watch = append(watch, h.nodeAt(stripe, h.geo.DataDrive(stripe, e.Chunk)))
 	}
 	if pDest != NoDest {
 		expect++
@@ -299,7 +309,7 @@ func (h *HostController) rmwWrite(stripe int64, exts []raid.Extent, data parity.
 	op := h.newStripeOp("rmw-write", stripe, expect, watch, func() { done(nil) }, onTimeout)
 
 	for _, e := range exts {
-		t := NodeID(h.geo.DataDrive(stripe, e.Chunk))
+		t := h.nodeAt(stripe, h.geo.DataDrive(stripe, e.Chunk))
 		h.send(op, t, nvmeof.Command{
 			Opcode:  nvmeof.OpPartialWrite,
 			Subtype: nvmeof.SubRMW,
@@ -344,7 +354,7 @@ func (h *HostController) rcwWrite(stripe int64, exts []raid.Extent, data parity.
 	var written, readers []int // chunk indices of alive participants
 	for c := 0; c < h.geo.DataChunks(); c++ {
 		d := h.geo.DataDrive(stripe, c)
-		if h.failed[d] {
+		if h.memberFailed(stripe, d) {
 			continue
 		}
 		if _, ok := extByChunk[c]; ok {
@@ -357,7 +367,7 @@ func (h *HostController) rcwWrite(stripe int64, exts []raid.Extent, data parity.
 	expect := len(written)
 	var watch []NodeID
 	for _, c := range append(append([]int(nil), written...), readers...) {
-		watch = append(watch, NodeID(h.geo.DataDrive(stripe, c)))
+		watch = append(watch, h.nodeAt(stripe, h.geo.DataDrive(stripe, c)))
 	}
 	if pDest != NoDest {
 		expect++
@@ -376,7 +386,7 @@ func (h *HostController) rcwWrite(stripe int64, exts []raid.Extent, data parity.
 	waitNum := len(written) + len(readers)
 	for _, c := range written {
 		e := extByChunk[c]
-		h.send(op, NodeID(h.geo.DataDrive(stripe, c)), nvmeof.Command{
+		h.send(op, h.nodeAt(stripe, h.geo.DataDrive(stripe, c)), nvmeof.Command{
 			Opcode:  nvmeof.OpPartialWrite,
 			Subtype: nvmeof.SubRWWrite,
 			Offset:  base + e.Off, Length: e.Len,
@@ -387,7 +397,7 @@ func (h *HostController) rcwWrite(stripe int64, exts []raid.Extent, data parity.
 		}, data.Slice(int(e.VOff), int(e.Len)))
 	}
 	for _, c := range readers {
-		h.send(op, NodeID(h.geo.DataDrive(stripe, c)), nvmeof.Command{
+		h.send(op, h.nodeAt(stripe, h.geo.DataDrive(stripe, c)), nvmeof.Command{
 			Opcode:  nvmeof.OpPartialWrite,
 			Subtype: nvmeof.SubRWRead,
 			Offset:  union.Off, Length: 0,
@@ -427,7 +437,9 @@ func (h *HostController) rcwWrite(stripe int64, exts []raid.Extent, data parity.
 // stripe's survivor state over the union range, compute new data and parity
 // on the host, and write everything back. Used for the §5.4 full-stripe
 // retry, for degraded corner cases, and for the HostParityOnly ablation.
-func (h *HostController) hostFallbackWrite(stripe int64, exts []raid.Extent, data parity.Buffer, done func(error)) {
+// Timeouts in either phase route through onTimeout, which owns the retry
+// budget.
+func (h *HostController) hostFallbackWrite(stripe int64, exts []raid.Extent, data parity.Buffer, onTimeout func([]NodeID), done func(error)) {
 	h.stats.HostFallbackWrites++
 	base := h.geo.DriveOffset(stripe)
 	uLo, uHi := unionRange(exts)
@@ -435,11 +447,11 @@ func (h *HostController) hostFallbackWrite(stripe int64, exts []raid.Extent, dat
 	k := h.geo.DataChunks()
 
 	pDrive := h.geo.PDrive(stripe)
-	pAlive := !h.failed[pDrive]
+	pAlive := !h.memberFailed(stripe, pDrive)
 	qDrive, qAlive := -1, false
 	if h.geo.Level == raid.Raid6 {
 		qDrive = h.geo.QDrive(stripe)
-		qAlive = !h.failed[qDrive]
+		qAlive = !h.memberFailed(stripe, qDrive)
 	}
 
 	// Phase 1: read the union range of every alive data chunk, plus P if we
@@ -453,7 +465,7 @@ func (h *HostController) hostFallbackWrite(stripe int64, exts []raid.Extent, dat
 	var lostIdx []int
 	var aliveIdx []int
 	for c := 0; c < k; c++ {
-		if h.failed[h.geo.DataDrive(stripe, c)] {
+		if h.memberFailed(stripe, h.geo.DataDrive(stripe, c)) {
 			lostIdx = append(lostIdx, c)
 		} else {
 			aliveIdx = append(aliveIdx, c)
@@ -476,10 +488,10 @@ func (h *HostController) hostFallbackWrite(stripe int64, exts []raid.Extent, dat
 	}
 	var watch []NodeID
 	for _, c := range aliveIdx {
-		watch = append(watch, NodeID(h.geo.DataDrive(stripe, c)))
+		watch = append(watch, h.nodeAt(stripe, h.geo.DataDrive(stripe, c)))
 	}
 	if needP {
-		watch = append(watch, NodeID(pDrive))
+		watch = append(watch, h.nodeAt(stripe, pDrive))
 	}
 
 	finishPhase2 := func() {
@@ -521,47 +533,41 @@ func (h *HostController) hostFallbackWrite(stripe int64, exts []raid.Extent, dat
 			var wWatch []NodeID
 			for _, e := range exts {
 				d := h.geo.DataDrive(stripe, e.Chunk)
-				if !h.failed[d] {
+				if !h.memberFailed(stripe, d) {
 					writes++
-					wWatch = append(wWatch, NodeID(d))
+					wWatch = append(wWatch, h.nodeAt(stripe, d))
 				}
 			}
 			if pAlive {
 				writes++
-				wWatch = append(wWatch, NodeID(pDrive))
+				wWatch = append(wWatch, h.nodeAt(stripe, pDrive))
 			}
 			if qAlive {
 				writes++
-				wWatch = append(wWatch, NodeID(qDrive))
+				wWatch = append(wWatch, h.nodeAt(stripe, qDrive))
 			}
 			if writes == 0 {
 				done(nil)
 				return
 			}
 			wOp := h.newStripeOp("fallback-writeback", stripe, writes, wWatch,
-				func() { done(nil) },
-				func(missing []NodeID) {
-					for _, m := range missing {
-						h.SetFailed(int(m), true)
-					}
-					done(blockdev.ErrTimeout)
-				})
+				func() { done(nil) }, onTimeout)
 			for _, e := range exts {
 				d := h.geo.DataDrive(stripe, e.Chunk)
-				if h.failed[d] {
+				if h.memberFailed(stripe, d) {
 					continue
 				}
-				h.send(wOp, NodeID(d), nvmeof.Command{
+				h.send(wOp, h.nodeAt(stripe, d), nvmeof.Command{
 					Opcode: nvmeof.OpWrite, Offset: base + e.Off, Length: e.Len,
 				}, data.Slice(int(e.VOff), int(e.Len)))
 			}
 			if pAlive {
-				h.send(wOp, NodeID(pDrive), nvmeof.Command{
+				h.send(wOp, h.nodeAt(stripe, pDrive), nvmeof.Command{
 					Opcode: nvmeof.OpWrite, Offset: base + uLo, Length: uLen,
 				}, pNew)
 			}
 			if qAlive {
-				h.send(wOp, NodeID(qDrive), nvmeof.Command{
+				h.send(wOp, h.nodeAt(stripe, qDrive), nvmeof.Command{
 					Opcode: nvmeof.OpWrite, Offset: base + uLo, Length: uLen,
 				}, qNew)
 			}
@@ -572,29 +578,22 @@ func (h *HostController) hostFallbackWrite(stripe int64, exts []raid.Extent, dat
 		h.eng.Defer(finishPhase2)
 		return
 	}
-	rOp := h.newStripeOp("fallback-read", stripe, reads, watch,
-		finishPhase2,
-		func(missing []NodeID) {
-			for _, m := range missing {
-				h.SetFailed(int(m), true)
-			}
-			done(blockdev.ErrTimeout)
-		})
+	rOp := h.newStripeOp("fallback-read", stripe, reads, watch, finishPhase2, onTimeout)
 	rOp.onPayload = func(from NodeID, _ nvmeof.Command, b parity.Buffer) {
-		if int(from) == pDrive {
+		if h.memberOf(from) == pDrive {
 			pOld = slot{buf: b, ok: true}
 			return
 		}
-		_, idx := h.geo.Role(stripe, int(from))
+		_, idx := h.geo.Role(stripe, h.memberOf(from))
 		dataOld[idx] = slot{buf: b, ok: true}
 	}
 	for _, c := range aliveIdx {
-		h.send(rOp, NodeID(h.geo.DataDrive(stripe, c)), nvmeof.Command{
+		h.send(rOp, h.nodeAt(stripe, h.geo.DataDrive(stripe, c)), nvmeof.Command{
 			Opcode: nvmeof.OpRead, Offset: base + uLo, Length: uLen,
 		}, parity.Buffer{})
 	}
 	if needP {
-		h.send(rOp, NodeID(pDrive), nvmeof.Command{
+		h.send(rOp, h.nodeAt(stripe, pDrive), nvmeof.Command{
 			Opcode: nvmeof.OpRead, Offset: base + uLo, Length: uLen,
 		}, parity.Buffer{})
 	}

@@ -112,6 +112,8 @@ func (s *ServerController) handle(m Message) {
 			s.handleReconstruction(m)
 		case nvmeof.OpPeer:
 			s.handlePeer(m)
+		case nvmeof.OpHeartbeat:
+			s.handleHeartbeat(m)
 		default:
 			panic(fmt.Sprintf("core: server %d: unexpected opcode %v", s.id, m.Cmd.Opcode))
 		}
@@ -128,6 +130,17 @@ func (s *ServerController) complete(dst NodeID, id uint64, st nvmeof.Status, off
 func (s *ServerController) completeSub(dst NodeID, id uint64, st nvmeof.Status, sub nvmeof.Subtype, off, length int64, payload parity.Buffer) {
 	cmd := nvmeof.Command{ID: id, Opcode: nvmeof.OpCompletion, Status: st, Subtype: sub, Offset: off, Length: length}
 	s.fab.Send(s.id, dst, cmd, payload)
+}
+
+// handleHeartbeat answers a liveness probe. A healthy bdev completes with
+// success, a failed drive with error status; a down node never gets here
+// (the fabric drops its messages) and the probe times out at the host.
+func (s *ServerController) handleHeartbeat(m Message) {
+	st := nvmeof.StatusSuccess
+	if s.drive.Failed() {
+		st = nvmeof.StatusError
+	}
+	s.complete(m.From, m.Cmd.ID, st, 0, 0, parity.Buffer{})
 }
 
 // handleRead serves a standard NVMe-oF read.

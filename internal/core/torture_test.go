@@ -12,6 +12,7 @@ import (
 	"draid/internal/core"
 	"draid/internal/parity"
 	"draid/internal/raid"
+	"draid/internal/repair"
 	"draid/internal/sim"
 	"draid/internal/ssd"
 )
@@ -29,7 +30,17 @@ type tortureDevice interface {
 // state stripe-by-stripe. The reference is updated at write COMPLETION and
 // reads are only checked when no write overlapping their range was in
 // flight during their lifetime (RAID gives no ordering promises otherwise).
-func runTorture(t *testing.T, seed int64, level raid.Level, targets int, dev tortureDevice, cl *cluster.Cluster, failDrive bool) {
+// tortureRecovery switches the mid-run failure to the paper's fail-stop
+// scenario: the victim node simply dies — nobody calls SetFailed — and the
+// supervision stack must detect the failure via heartbeats and rebuild onto a
+// hot spare while the workload keeps running. After the run, write-hole
+// stripes are rewritten (the resync a real deployment would do from the
+// write-intent bitmap) and the final sweep excludes NOTHING.
+type tortureRecovery struct {
+	sup *repair.Supervisor
+}
+
+func runTorture(t *testing.T, seed int64, level raid.Level, targets int, dev tortureDevice, cl *cluster.Cluster, failDrive bool, rec *tortureRecovery) {
 	t.Helper()
 	const chunk = 16 << 10
 	geo := raid.Geometry{Level: level, Width: targets, ChunkSize: chunk}
@@ -85,6 +96,7 @@ func runTorture(t *testing.T, seed int64, level raid.Level, targets int, dev tor
 	}
 
 	pending := 0
+	victimDown := false
 	var issue func()
 	ops := 200
 	issue = func() {
@@ -105,6 +117,16 @@ func runTorture(t *testing.T, seed int64, level raid.Level, targets int, dev tor
 			wid := nextWID
 			nextWID++
 			writes[wid] = inflightWrite{off, n}
+			// In detection mode there is a window where the victim is dead
+			// but the controller does not know yet: writes started in it can
+			// partially apply (data to the dead member vanishes while parity
+			// deltas land), the same write hole as a failure mid-flight.
+			if victimDown && rec != nil && rec.sup.Detector().FailTransitions == 0 {
+				lo, hi := stripesOf(off, n)
+				for st := lo; st <= hi; st++ {
+					damaged[st] = true
+				}
+			}
 			for _, r := range reads {
 				if off < r.off+r.n && r.off < off+n {
 					r.tainted = true
@@ -153,7 +175,12 @@ func runTorture(t *testing.T, seed int64, level raid.Level, targets int, dev tor
 	if failDrive {
 		cl.Eng.After(2*sim.Millisecond, func() {
 			cl.FailTarget(victim)
-			dev.SetFailed(victim, true)
+			victimDown = true
+			if rec == nil {
+				dev.SetFailed(victim, true)
+			}
+			// With rec set, NOBODY tells the controller: the failure
+			// detector must notice on its own.
 			for _, w := range writes {
 				lo, hi := stripesOf(w.off, w.n)
 				for st := lo; st <= hi; st++ {
@@ -168,6 +195,44 @@ func runTorture(t *testing.T, seed int64, level raid.Level, targets int, dev tor
 	}
 	if checked == 0 {
 		t.Fatal("torture validated no reads")
+	}
+
+	if rec != nil && failDrive {
+		// Detection and rebuild must both have completed during the run.
+		if got := rec.sup.Detector().FailTransitions; got != 1 {
+			t.Fatalf("fail transitions = %d, want 1 (automatic detection of victim %d)", got, victim)
+		}
+		if st := rec.sup.Rebuilder().Status(); st.Active {
+			t.Fatalf("rebuild still active after drain: %+v", st)
+		}
+		rebuildDone := false
+		for _, e := range rec.sup.Events() {
+			if e.Kind == "rebuild-done" && e.Member == victim {
+				rebuildDone = true
+			}
+		}
+		if !rebuildDone {
+			t.Fatalf("no rebuild-done event for victim %d; events:\n%v", victim, rec.sup.Events())
+		}
+		if got := dev.FailedMembers(); len(got) != 0 {
+			t.Fatalf("failed members after rebuild = %v, want none (spare promoted)", got)
+		}
+		// Resync the write hole: rewrite every damaged stripe with fresh
+		// payload (full-stripe writes regenerate data, parity, and the
+		// rebuilt chunk together), then validate with zero exclusions.
+		for st := range damaged {
+			off := st * geo.StripeDataSize()
+			data := make([]byte, geo.StripeDataSize())
+			rng.Read(data)
+			wErr := fmt.Errorf("not done")
+			dev.Write(off, parity.FromBytes(data), func(err error) { wErr = err })
+			cl.Eng.Run()
+			if wErr != nil {
+				t.Fatalf("resync rewrite of stripe %d: %v", st, wErr)
+			}
+			copy(ref[off:off+geo.StripeDataSize()], data)
+		}
+		damaged = map[int64]bool{}
 	}
 
 	// Final sweep: every byte must read back per the reference (degraded
@@ -198,11 +263,12 @@ func runTorture(t *testing.T, seed int64, level raid.Level, targets int, dev tor
 		seed, checked, skipped, len(damaged), failDrive)
 }
 
-func tortureCluster(t *testing.T, targets int, seed int64) *cluster.Cluster {
+func tortureCluster(t *testing.T, targets int, seed int64, spares int) *cluster.Cluster {
 	t.Helper()
 	spec := cluster.DefaultSpec()
 	spec.Targets = targets
 	spec.Seed = seed
+	spec.Spares = spares
 	drv := ssd.DefaultSpec()
 	drv.Capacity = 2 << 20
 	spec.Drive = &drv
@@ -224,14 +290,111 @@ func TestTortureDRAID(t *testing.T) {
 		for seed := int64(1); seed <= 3; seed++ {
 			name := fmt.Sprintf("%v-w%d-fail%v-seed%d", tc.level, tc.targets, tc.fail, seed)
 			t.Run(name, func(t *testing.T) {
-				cl := tortureCluster(t, tc.targets, seed)
+				cl := tortureCluster(t, tc.targets, seed, 0)
 				h := cl.NewDRAID(core.Config{
 					Geometry: raid.Geometry{Level: tc.level, Width: tc.targets, ChunkSize: 16 << 10},
 					Deadline: 50 * sim.Millisecond,
 				})
-				runTorture(t, seed, tc.level, tc.targets, h, cl, tc.fail)
+				runTorture(t, seed, tc.level, tc.targets, h, cl, tc.fail, nil)
 			})
 		}
+	}
+}
+
+// TestTortureRebuild is the end-to-end recovery torture: a member crashes
+// mid-workload with NO SetFailed call, the heartbeat detector escalates it to
+// failed, the supervisor rebuilds it onto a hot spare (throttled, under
+// continued live traffic), and — after the write-hole stripes are resynced —
+// the full array reads back byte-exact with zero exclusions.
+func TestTortureRebuild(t *testing.T) {
+	for _, tc := range []struct {
+		level   raid.Level
+		targets int
+	}{
+		{raid.Raid5, 5},
+		{raid.Raid6, 6},
+	} {
+		for seed := int64(1); seed <= 3; seed++ {
+			name := fmt.Sprintf("%v-w%d-seed%d", tc.level, tc.targets, seed)
+			t.Run(name, func(t *testing.T) {
+				cl := tortureCluster(t, tc.targets, seed, 1)
+				h := cl.NewDRAID(core.Config{
+					Geometry: raid.Geometry{Level: tc.level, Width: tc.targets, ChunkSize: 16 << 10},
+					Deadline: 10 * sim.Millisecond,
+				})
+				sup := repair.NewSupervisor(cl.Eng, h, repair.Config{
+					Detector: repair.DetectorConfig{
+						HeartbeatEvery:   sim.Millisecond,
+						HeartbeatTimeout: 500 * sim.Microsecond,
+					},
+					Rebuild: repair.RebuilderConfig{RateMBps: 400},
+					Spares:  cl.SpareIDs(),
+				}, nil)
+				sup.Start()
+				defer sup.Stop()
+				runTorture(t, seed, tc.level, tc.targets, h, cl, true, &tortureRecovery{sup: sup})
+			})
+		}
+	}
+}
+
+// TestTortureHostFailover crashes the CONTROLLER (not a drive) mid-write:
+// the replacement adopts the array, resyncs exactly the write-intent-dirty
+// stripes, and the array then passes a full parity audit plus a live
+// write/read roundtrip.
+func TestTortureHostFailover(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			cl := tortureCluster(t, 5, seed, 0)
+			geo := raid.Geometry{Level: raid.Raid5, Width: 5, ChunkSize: 16 << 10}
+			h := cl.NewDRAID(core.Config{Geometry: geo, Deadline: 10 * sim.Millisecond})
+
+			// Settle a base image, then start a burst of writes and crash
+			// partway through them.
+			rng := rand.New(rand.NewSource(seed))
+			base := make([]byte, geo.StripeDataSize()*8)
+			rng.Read(base)
+			mustWrite(t, cl, h, 0, base)
+
+			for i := 0; i < 6; i++ {
+				off := int64(rng.Intn(8)) * geo.StripeDataSize()
+				data := make([]byte, geo.StripeDataSize()/2)
+				rng.Read(data)
+				h.Write(off, parity.FromBytes(data), func(error) {})
+			}
+			cl.Eng.RunFor(30 * sim.Microsecond)
+			dirty := h.DirtyStripes()
+			if len(dirty) == 0 {
+				t.Fatal("test setup: nothing in flight at crash time")
+			}
+			h.Crash()
+			cl.Eng.Run()
+
+			h2 := cl.NewDRAID(core.Config{Geometry: geo, Deadline: 10 * sim.Millisecond})
+			adopted := h2.Adopt(h)
+			if len(adopted) != len(dirty) {
+				t.Fatalf("adopted %d dirty stripes, want %d", len(adopted), len(dirty))
+			}
+			ferr := fmt.Errorf("not done")
+			repair.Failover(cl.Eng, h2, adopted, func(err error) { ferr = err })
+			cl.Eng.Run()
+			if ferr != nil {
+				t.Fatalf("failover resync: %v", ferr)
+			}
+			if got := h2.Stats().Resyncs; got != int64(len(adopted)) {
+				t.Fatalf("resyncs = %d, want exactly %d (only write-intent stripes)", got, len(adopted))
+			}
+			for _, st := range adopted {
+				verifyStripeParity(t, cl, h2, st)
+			}
+			// Service resumes on the replacement.
+			fresh := make([]byte, geo.StripeDataSize())
+			rng.Read(fresh)
+			mustWrite(t, cl, h2, 0, fresh)
+			if got := mustRead(t, cl, h2, 0, geo.StripeDataSize()); !bytes.Equal(got, fresh) {
+				t.Fatal("post-failover roundtrip returned wrong bytes")
+			}
+		})
 	}
 }
 
@@ -242,14 +405,14 @@ func TestTortureBaselines(t *testing.T) {
 	} {
 		for _, fail := range []bool{false, true} {
 			t.Run(fmt.Sprintf("%s-fail%v", name, fail), func(t *testing.T) {
-				cl := tortureCluster(t, 5, 7)
+				cl := tortureCluster(t, 5, 7, 0)
 				h := baseline.NewHost(cl.Eng, cl.Fabric, cl.DriveCapacity(), baseline.Config{
 					Geometry: raid.Geometry{Level: raid.Raid5, Width: 5, ChunkSize: 16 << 10},
 					Costs:    cl.Costs,
 					Style:    style,
 					Deadline: 50 * sim.Millisecond,
 				})
-				runTorture(t, 7, raid.Raid5, 5, h, cl, fail)
+				runTorture(t, 7, raid.Raid5, 5, h, cl, fail, nil)
 			})
 		}
 	}

@@ -34,6 +34,10 @@ const (
 	// OpPeer carries a partial result between bdevs without host
 	// involvement.
 	OpPeer Opcode = 0x84
+	// OpHeartbeat is a liveness probe: a healthy bdev completes it
+	// immediately, a failed drive reports error status, and a down node
+	// never answers — the probe deadline is the detector's evidence.
+	OpHeartbeat Opcode = 0x85
 	// OpCompletion reports a final state back to the host.
 	OpCompletion Opcode = 0x8F
 )
@@ -53,6 +57,8 @@ func (o Opcode) String() string {
 		return "Reconstruction"
 	case OpPeer:
 		return "Peer"
+	case OpHeartbeat:
+		return "Heartbeat"
 	case OpCompletion:
 		return "Completion"
 	}

@@ -9,7 +9,10 @@
 // parity I/O spreads evenly across drives.
 package raid
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Level selects the RAID level.
 type Level int
@@ -161,6 +164,18 @@ func StripeExtents(exts []Extent) map[int64][]Extent {
 		m[e.Stripe] = append(m[e.Stripe], e)
 	}
 	return m
+}
+
+// StripeOrder returns the grouped stripes in ascending order. Issuing stripe
+// operations in map-iteration order would leak runtime randomness into NIC
+// FIFO reservations and trace span order, breaking same-seed determinism.
+func StripeOrder(byStripe map[int64][]Extent) []int64 {
+	stripes := make([]int64, 0, len(byStripe))
+	for s := range byStripe {
+		stripes = append(stripes, s)
+	}
+	sort.Slice(stripes, func(i, j int) bool { return stripes[i] < stripes[j] })
+	return stripes
 }
 
 // WriteMode selects how a partial-or-full stripe write is executed.

@@ -1,0 +1,254 @@
+// Package repair is the fault-supervision and recovery subsystem: automatic
+// failure detection (heartbeats + data-path evidence escalating through a
+// healthy → suspect → failed state machine), hot-spare rebuild orchestration
+// throttled to preserve foreground service (Figure 17), and host failover
+// driven by the §5.4 write-intent bitmap. The paper's Table 1 credits dRAID
+// with fault tolerance and fast recovery; this package is the control plane
+// that makes those properties automatic rather than test-fixture toggles.
+package repair
+
+import (
+	"fmt"
+
+	"draid/internal/core"
+	"draid/internal/sim"
+	"draid/internal/trace"
+)
+
+// MemberState is a member's position in the detection state machine.
+type MemberState int
+
+// Detection states. Suspect members are still served I/O (with §5.4
+// retries); Failed members are handed to the rebuild manager.
+const (
+	Healthy MemberState = iota
+	Suspect
+	Failed
+)
+
+// String names the state.
+func (s MemberState) String() string {
+	switch s {
+	case Healthy:
+		return "healthy"
+	case Suspect:
+		return "suspect"
+	case Failed:
+		return "failed"
+	}
+	return fmt.Sprintf("MemberState(%d)", int(s))
+}
+
+// DetectorConfig tunes the failure detector.
+type DetectorConfig struct {
+	// FailAfter is how many unconfirmed strikes (op timeouts, missed
+	// heartbeats with the node not observably down) escalate a suspect to
+	// failed. Default 3. Confirmed evidence — the member's node observed
+	// down, or a drive-reported error — escalates immediately.
+	FailAfter int
+	// HeartbeatEvery is the probe period; 0 disables active probing (the
+	// detector then sees only passive data-path evidence). Default when
+	// probing is wanted: 10ms.
+	HeartbeatEvery sim.Duration
+	// HeartbeatTimeout is the per-probe deadline. Default HeartbeatEvery/2.
+	HeartbeatTimeout sim.Duration
+	// Grace is the quiet window after which accumulated strikes are
+	// forgotten: a burst of transient drops older than Grace no longer
+	// counts toward escalation. Default 4×HeartbeatEvery (or 40ms when
+	// probing is disabled).
+	Grace sim.Duration
+}
+
+func (c DetectorConfig) withDefaults() DetectorConfig {
+	if c.FailAfter <= 0 {
+		c.FailAfter = 3
+	}
+	if c.HeartbeatEvery > 0 && c.HeartbeatTimeout <= 0 {
+		c.HeartbeatTimeout = c.HeartbeatEvery / 2
+	}
+	if c.Grace <= 0 {
+		if c.HeartbeatEvery > 0 {
+			c.Grace = 4 * c.HeartbeatEvery
+		} else {
+			c.Grace = 40 * sim.Millisecond
+		}
+	}
+	return c
+}
+
+type memberHealth struct {
+	state     MemberState
+	strikes   int
+	lastFault sim.Time
+}
+
+// Detector escalates per-member evidence through healthy → suspect → failed.
+// It implements core.HealthSink, so installing it on a HostController makes
+// every op timeout and error completion feed the state machine; Start adds
+// active heartbeat probing on top.
+type Detector struct {
+	eng     *sim.Engine
+	host    *core.HostController
+	cfg     DetectorConfig
+	members []memberHealth
+	onFail  func(member int)
+	ticker  *sim.Timer
+
+	track   trace.Track
+	tracer  *trace.Collector
+	// Transition counters, exposed for tests and the demo.
+	SuspectTransitions int64
+	FailTransitions    int64
+}
+
+// NewDetector builds a detector over the host's members. onFail fires (via
+// the engine, never synchronously inside evidence delivery) exactly once per
+// healthy→failed transition.
+func NewDetector(eng *sim.Engine, host *core.HostController, cfg DetectorConfig, tracer *trace.Collector, onFail func(member int)) *Detector {
+	d := &Detector{
+		eng:     eng,
+		host:    host,
+		cfg:     cfg.withDefaults(),
+		members: make([]memberHealth, host.Geometry().Width),
+		onFail:  onFail,
+		tracer:  tracer,
+	}
+	if tracer.Enabled() {
+		d.track = tracer.Track("repair", "detector")
+		tracer.AddGauge(d.track, "suspect members", func() float64 {
+			n := 0
+			for _, m := range d.members {
+				if m.state == Suspect {
+					n++
+				}
+			}
+			return float64(n)
+		})
+	}
+	return d
+}
+
+// Start begins periodic heartbeat probing (no-op when HeartbeatEvery is 0).
+// The ticker is a background event: it never keeps Engine.Run from
+// returning, so probing only advances while foreground work runs or the
+// caller drives time with RunFor/RunUntil.
+func (d *Detector) Start() {
+	if d.cfg.HeartbeatEvery <= 0 || d.ticker != nil {
+		return
+	}
+	var tick func()
+	tick = func() {
+		for m := range d.members {
+			if d.members[m].state == Failed {
+				continue
+			}
+			d.host.Probe(m, d.cfg.HeartbeatTimeout, func(bool) {})
+		}
+		d.ticker = d.eng.AfterBG(d.cfg.HeartbeatEvery, tick)
+	}
+	d.ticker = d.eng.AfterBG(d.cfg.HeartbeatEvery, tick)
+}
+
+// Stop cancels the probe ticker.
+func (d *Detector) Stop() {
+	if d.ticker != nil {
+		d.ticker.Stop()
+		d.ticker = nil
+	}
+}
+
+// Rebind points the detector (and future probes) at a replacement
+// controller after host failover.
+func (d *Detector) Rebind(h *core.HostController) { d.host = h }
+
+// State returns member's current detection state.
+func (d *Detector) State(member int) MemberState { return d.members[member].state }
+
+// States returns a snapshot of all member states.
+func (d *Detector) States() []MemberState {
+	out := make([]MemberState, len(d.members))
+	for i, m := range d.members {
+		out[i] = m.state
+	}
+	return out
+}
+
+// ObserveFault implements core.HealthSink: one strike of evidence against
+// member. Confirmed evidence escalates straight to failed; unconfirmed
+// strikes accumulate toward FailAfter, decaying after a quiet Grace window.
+func (d *Detector) ObserveFault(member int, confirmed bool) {
+	mh := &d.members[member]
+	if mh.state == Failed {
+		return
+	}
+	now := d.eng.Now()
+	if mh.strikes > 0 && now-mh.lastFault > sim.Time(d.cfg.Grace) {
+		mh.strikes = 0 // stale suspicion: transient trouble long past
+	}
+	mh.lastFault = now
+	if confirmed {
+		mh.strikes = d.cfg.FailAfter
+	} else {
+		mh.strikes++
+	}
+	if mh.strikes >= d.cfg.FailAfter {
+		d.escalate(member, Failed)
+		return
+	}
+	if mh.state == Healthy {
+		d.escalate(member, Suspect)
+	}
+}
+
+// ObserveOK implements core.HealthSink: successful completions repair
+// suspicion one strike at a time.
+func (d *Detector) ObserveOK(member int) {
+	mh := &d.members[member]
+	if mh.state != Suspect {
+		return
+	}
+	if mh.strikes > 0 {
+		mh.strikes--
+	}
+	if mh.strikes == 0 {
+		d.escalate(member, Healthy)
+	}
+}
+
+// ForceFail escalates member to failed by administrative decree (the
+// explicit FailDrive path). No-op if already failed.
+func (d *Detector) ForceFail(member int) {
+	if d.members[member].state == Failed {
+		return
+	}
+	d.members[member].strikes = d.cfg.FailAfter
+	d.escalate(member, Failed)
+}
+
+// Reset returns member to healthy — called after a completed rebuild has
+// promoted a spare in its place.
+func (d *Detector) Reset(member int) {
+	d.members[member] = memberHealth{}
+}
+
+func (d *Detector) escalate(member int, to MemberState) {
+	from := d.members[member].state
+	d.members[member].state = to
+	if d.tracer.Enabled() {
+		d.tracer.Instant(d.track, "repair", fmt.Sprintf("m%d %s→%s", member, from, to),
+			trace.I64("member", int64(member)))
+	}
+	switch to {
+	case Suspect:
+		d.SuspectTransitions++
+	case Failed:
+		d.FailTransitions++
+		if d.onFail != nil {
+			// Defer: evidence arrives from inside host completion/deadline
+			// handlers; the fail action must not re-enter the controller on
+			// this stack.
+			m := member
+			d.eng.Defer(func() { d.onFail(m) })
+		}
+	}
+}

@@ -1,0 +1,31 @@
+package repair
+
+import (
+	"fmt"
+
+	"draid/internal/core"
+	"draid/internal/sim"
+)
+
+// Failover is the §5.4 host-crash recovery protocol: a replacement
+// controller that has Adopted a crashed predecessor resyncs exactly the
+// stripes the write-intent bitmap marked dirty — never a full-array scan —
+// then resumes service. Stripes are resynced sequentially (each one re-reads
+// survivors and rewrites parity), and cb fires once all are consistent.
+func Failover(eng *sim.Engine, h *core.HostController, dirty []int64, cb func(error)) {
+	var step func(i int)
+	step = func(i int) {
+		if i >= len(dirty) {
+			cb(nil)
+			return
+		}
+		h.ResyncStripe(dirty[i], func(err error) {
+			if err != nil {
+				cb(fmt.Errorf("repair: resync stripe %d: %w", dirty[i], err))
+				return
+			}
+			step(i + 1)
+		})
+	}
+	eng.Defer(func() { step(0) })
+}

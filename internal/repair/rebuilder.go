@@ -1,0 +1,144 @@
+package repair
+
+import (
+	"fmt"
+
+	"draid/internal/core"
+	"draid/internal/sim"
+	"draid/internal/trace"
+)
+
+// RebuilderConfig tunes rebuild throttling.
+type RebuilderConfig struct {
+	// RateMBps caps the rebuild at this many megabytes of reconstructed
+	// chunk data per second (the Figure 17 rebuild-vs-foreground knob).
+	// 0 means unthrottled: stripes are rebuilt back-to-back.
+	RateMBps float64
+}
+
+// RebuildStatus is a snapshot of rebuild progress.
+type RebuildStatus struct {
+	Active       bool
+	Member       int
+	Dest         core.NodeID
+	DoneStripes  int64
+	TotalStripes int64
+}
+
+// Rebuilder copies a failed member's chunks onto a hot spare stripe by
+// stripe, using the host's disaggregated reconstruction (§6) under the
+// per-stripe write lock, paced by a token-bucket rate limit so foreground
+// I/O keeps serving.
+type Rebuilder struct {
+	eng  *sim.Engine
+	host *core.HostController
+	cfg  RebuilderConfig
+
+	status RebuildStatus
+
+	track  trace.Track
+	tracer *trace.Collector
+	span   *trace.Op
+}
+
+// NewRebuilder builds a rebuild manager for the host.
+func NewRebuilder(eng *sim.Engine, host *core.HostController, cfg RebuilderConfig, tracer *trace.Collector) *Rebuilder {
+	r := &Rebuilder{eng: eng, host: host, cfg: cfg, tracer: tracer}
+	if tracer.Enabled() {
+		r.track = tracer.Track("repair", "rebuild")
+		tracer.AddGauge(r.track, "rebuild progress", func() float64 {
+			if r.status.TotalStripes == 0 {
+				return 0
+			}
+			return float64(r.status.DoneStripes) / float64(r.status.TotalStripes)
+		})
+	}
+	return r
+}
+
+// Rebind points the rebuilder at a replacement controller after failover.
+func (r *Rebuilder) Rebind(h *core.HostController) { r.host = h }
+
+// Status returns a snapshot of the current rebuild.
+func (r *Rebuilder) Status() RebuildStatus { return r.status }
+
+// TotalStripes returns the number of stripes the array spans.
+func (r *Rebuilder) TotalStripes() int64 {
+	geo := r.host.Geometry()
+	return r.host.Size() / (int64(geo.DataChunks()) * geo.ChunkSize)
+}
+
+// stripeGap returns the token-bucket spacing between stripe starts: the
+// virtual time one rebuilt chunk's bytes take at the configured rate.
+func (r *Rebuilder) stripeGap() sim.Duration {
+	if r.cfg.RateMBps <= 0 {
+		return 0
+	}
+	bytesPerNs := r.cfg.RateMBps * 1e6 / 1e9
+	return sim.Duration(float64(r.host.Geometry().ChunkSize) / bytesPerNs)
+}
+
+// Rebuild reconstructs every stripe of member onto dest, then promotes dest
+// to be member's endpoint (FinishRebuild). On any stripe error the rebuild
+// aborts, the member stays failed, and the error is reported. Only one
+// rebuild may run at a time.
+func (r *Rebuilder) Rebuild(member int, dest core.NodeID, cb func(error)) {
+	if r.status.Active {
+		r.eng.Defer(func() { cb(fmt.Errorf("repair: rebuild of member %d already active", r.status.Member)) })
+		return
+	}
+	total := r.TotalStripes()
+	r.status = RebuildStatus{Active: true, Member: member, Dest: dest, TotalStripes: total}
+	r.host.StartRebuild(member, dest)
+	if r.tracer.Enabled() {
+		r.span = r.tracer.Begin(r.track, "repair", fmt.Sprintf("rebuild m%d→n%d", member, int(dest)),
+			trace.I64("stripes", total))
+	}
+	gap := r.stripeGap()
+	lastStart := r.eng.Now()
+
+	finish := func(err error) {
+		if err == nil {
+			r.host.FinishRebuild(member)
+		} else {
+			r.host.AbortRebuild(member)
+		}
+		if r.span != nil {
+			result := "ok"
+			if err != nil {
+				result = "aborted"
+			}
+			r.span.End(trace.Str("result", result))
+			r.span = nil
+		}
+		r.status.Active = false
+		cb(err)
+	}
+
+	var step func(stripe int64)
+	step = func(stripe int64) {
+		if stripe >= total {
+			finish(nil)
+			return
+		}
+		run := func() {
+			lastStart = r.eng.Now()
+			r.host.RebuildStripe(stripe, member, func(err error) {
+				if err != nil {
+					finish(fmt.Errorf("repair: member %d stripe %d: %w", member, stripe, err))
+					return
+				}
+				r.status.DoneStripes = stripe + 1
+				step(stripe + 1)
+			})
+		}
+		// Token bucket: the next stripe may not start before the previous
+		// one's bytes have "drained" at the configured rate.
+		if wait := sim.Duration(lastStart+sim.Time(gap)) - sim.Duration(r.eng.Now()); gap > 0 && wait > 0 {
+			r.eng.After(wait, run)
+		} else {
+			r.eng.Defer(run)
+		}
+	}
+	step(0)
+}

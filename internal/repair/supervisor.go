@@ -1,0 +1,129 @@
+package repair
+
+import (
+	"fmt"
+
+	"draid/internal/core"
+	"draid/internal/sim"
+	"draid/internal/trace"
+)
+
+// Config assembles the supervision stack.
+type Config struct {
+	Detector DetectorConfig
+	Rebuild  RebuilderConfig
+	// Spares is the hot-spare pool (fabric NodeIDs, consumed in order).
+	Spares []core.NodeID
+}
+
+// Event is one entry of the supervisor's recovery log.
+type Event struct {
+	Time   sim.Time
+	Kind   string // "suspect", "failed", "rebuild-start", "rebuild-done", "rebuild-error", "failover"
+	Member int
+	Detail string
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%-10v %-13s m%d %s", e.Time, e.Kind, e.Member, e.Detail)
+}
+
+// Supervisor ties detection to recovery: it installs a Detector as the
+// host's health sink, and on each confirmed failure marks the member failed
+// on the controller and — when a spare is available — launches a throttled
+// rebuild onto it, queueing further failures until the current rebuild
+// finishes. It is the subsystem that turns "a node stopped answering" into
+// "the array healed itself".
+type Supervisor struct {
+	eng  *sim.Engine
+	host *core.HostController
+
+	det *Detector
+	reb *Rebuilder
+
+	spares  []core.NodeID
+	queue   []int // failed members awaiting a spare or the rebuilder
+	events  []Event
+	tracer  *trace.Collector
+}
+
+// NewSupervisor wires detector + rebuilder onto the host and installs the
+// health sink. Call Start to begin heartbeat probing.
+func NewSupervisor(eng *sim.Engine, host *core.HostController, cfg Config, tracer *trace.Collector) *Supervisor {
+	s := &Supervisor{eng: eng, host: host, spares: append([]core.NodeID(nil), cfg.Spares...), tracer: tracer}
+	s.det = NewDetector(eng, host, cfg.Detector, tracer, s.handleFail)
+	s.reb = NewRebuilder(eng, host, cfg.Rebuild, tracer)
+	host.SetHealth(s.det)
+	return s
+}
+
+// Start begins heartbeat probing (no-op when the detector has no period).
+func (s *Supervisor) Start() { s.det.Start() }
+
+// Stop halts probing.
+func (s *Supervisor) Stop() { s.det.Stop() }
+
+// Detector exposes the state machine (tests, status surfaces).
+func (s *Supervisor) Detector() *Detector { return s.det }
+
+// Rebuilder exposes the rebuild manager.
+func (s *Supervisor) Rebuilder() *Rebuilder { return s.reb }
+
+// SparesAvailable returns how many spares remain in the pool.
+func (s *Supervisor) SparesAvailable() int { return len(s.spares) }
+
+// Events returns the recovery log in order.
+func (s *Supervisor) Events() []Event { return append([]Event(nil), s.events...) }
+
+// NotifyFailed is the administrative failure path (draid.FailDrive): the
+// member is declared failed without waiting for evidence.
+func (s *Supervisor) NotifyFailed(member int) { s.det.ForceFail(member) }
+
+// Rebind moves the supervision stack onto a replacement controller after
+// host failover. The replacement must already have adopted the array.
+func (s *Supervisor) Rebind(h *core.HostController) {
+	s.host = h
+	s.det.Rebind(h)
+	s.reb.Rebind(h)
+	h.SetHealth(s.det)
+	s.log("failover", -1, "supervision rebound to replacement controller")
+}
+
+func (s *Supervisor) log(kind string, member int, detail string) {
+	s.events = append(s.events, Event{Time: s.eng.Now(), Kind: kind, Member: member, Detail: detail})
+}
+
+// handleFail runs (deferred) on each healthy/suspect → failed transition.
+func (s *Supervisor) handleFail(member int) {
+	s.log("failed", member, "detector confirmed failure")
+	// The data path may already have marked it via §5.4; make it definitive
+	// either way so no new I/O targets the dead member.
+	s.host.SetFailed(member, true)
+	s.queue = append(s.queue, member)
+	s.tryRebuild()
+}
+
+// tryRebuild launches the next queued rebuild if a spare is free and the
+// rebuilder is idle.
+func (s *Supervisor) tryRebuild() {
+	if len(s.queue) == 0 || len(s.spares) == 0 || s.reb.Status().Active {
+		return
+	}
+	member := s.queue[0]
+	s.queue = s.queue[1:]
+	spare := s.spares[0]
+	s.spares = s.spares[1:]
+	s.log("rebuild-start", member, fmt.Sprintf("onto spare node %d", int(spare)))
+	s.reb.Rebuild(member, spare, func(err error) {
+		if err != nil {
+			// The spare may hold partial state; do not return it to the
+			// pool. The member stays failed (degraded service continues).
+			s.log("rebuild-error", member, err.Error())
+			s.tryRebuild()
+			return
+		}
+		s.det.Reset(member)
+		s.log("rebuild-done", member, fmt.Sprintf("member now served by node %d", int(spare)))
+		s.tryRebuild()
+	})
+}

@@ -41,6 +41,7 @@ type event struct {
 	fn   func()
 	idx  int // heap index, -1 once popped or cancelled
 	dead bool
+	bg   bool // background: does not keep Run from returning
 }
 
 type eventHeap []*event
@@ -85,7 +86,11 @@ type Engine struct {
 	// live counts scheduled events that are neither fired nor cancelled —
 	// unlike len(queue), it ignores dead timers awaiting heap reaping.
 	live int
-	obs  Observer
+	// liveFG counts live foreground events only. Run returns when it reaches
+	// zero; pending background events (periodic health probes, maintenance
+	// tickers) stay queued for the next Run/RunFor.
+	liveFG int
+	obs    Observer
 }
 
 // Observer receives run-loop lifecycle notifications. It exists for
@@ -130,6 +135,9 @@ func (t *Timer) Stop() bool {
 	}
 	t.ev.dead = true
 	t.eng.live--
+	if !t.ev.bg {
+		t.eng.liveFG--
+	}
 	return true
 }
 
@@ -142,6 +150,7 @@ func (e *Engine) At(at Time, fn func()) *Timer {
 	ev := &event{at: at, seq: e.seq, fn: fn}
 	e.seq++
 	e.live++
+	e.liveFG++
 	heap.Push(&e.queue, ev)
 	return &Timer{eng: e, ev: ev}
 }
@@ -154,6 +163,23 @@ func (e *Engine) After(d Duration, fn func()) *Timer {
 	return e.At(e.now+Time(d), fn)
 }
 
+// AfterBG schedules fn as a background event d nanoseconds from now: it runs
+// like any other event while foreground work remains, but does not by itself
+// keep Run from returning. Periodic maintenance (heartbeat probing, repair
+// tickers) uses it so an otherwise-idle simulation still quiesces; drive
+// background work forward with RunFor/RunUntil.
+func (e *Engine) AfterBG(d Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	at := e.now + Time(d)
+	ev := &event{at: at, seq: e.seq, fn: fn, bg: true}
+	e.seq++
+	e.live++
+	heap.Push(&e.queue, ev)
+	return &Timer{eng: e, ev: ev}
+}
+
 // Defer schedules fn to run at the current time, after all events already
 // queued for this instant. It is the simulation analogue of "post to the
 // event loop" and is the usual way to break call-stack recursion between
@@ -163,14 +189,16 @@ func (e *Engine) Defer(fn func()) *Timer { return e.After(0, fn) }
 // Stop makes Run return after the currently executing event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
-// Run executes events until the queue is empty or Stop is called. It returns
-// the virtual time of the last executed event.
+// Run executes events until no live foreground events remain or Stop is
+// called. Background events (AfterBG) interleave normally while foreground
+// work exists but never extend the run on their own. It returns the virtual
+// time of the last executed event.
 func (e *Engine) Run() Time {
 	e.stopped = false
 	if e.obs != nil {
 		e.obs.RunStart(e.now)
 	}
-	for len(e.queue) > 0 && !e.stopped {
+	for e.liveFG > 0 && !e.stopped {
 		e.step()
 	}
 	if e.obs != nil {
@@ -211,6 +239,9 @@ func (e *Engine) step() {
 		return
 	}
 	e.live--
+	if !ev.bg {
+		e.liveFG--
+	}
 	e.now = ev.at
 	e.processed++
 	ev.fn()
@@ -221,6 +252,11 @@ func (e *Engine) step() {
 func (e *Engine) Pending() int { return len(e.queue) }
 
 // Live reports the number of scheduled events that are neither fired nor
-// cancelled. The tracing ticker uses it to stop re-arming once only dead
-// deadline timers remain.
+// cancelled, background included.
 func (e *Engine) Live() int { return e.live }
+
+// LiveFG reports live foreground events only. The tracing ticker re-arms on
+// this rather than Live so that perpetual background tickers (heartbeat
+// probes, periodic scrub) cannot keep the sampler — itself foreground —
+// re-arming forever and prevent Run from returning.
+func (e *Engine) LiveFG() int { return e.liveFG }

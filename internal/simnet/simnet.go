@@ -224,13 +224,16 @@ func (nd *Node) ResetCounters() {
 // pair). Each endpoint is pinned to one NIC chosen at connect time by the
 // least-used rule.
 type Conn struct {
-	net      *Network
-	aNode    *Node
-	bNode    *Node
-	aNIC     *NIC
-	bNIC     *NIC
-	dropProb float64
-	delay    sim.Duration
+	net   *Network
+	aNode *Node
+	bNode *Node
+	aNIC  *NIC
+	bNIC  *NIC
+	// Fault injection is per direction (index 0: a→b, index 1: b→a), so
+	// asymmetric faults — host→target lost while target→host delivers — are
+	// expressible. InjectDrop/InjectDelay set both directions.
+	dropProb [2]float64
+	delay    [2]sim.Duration
 }
 
 // Connect establishes a connection between two distinct nodes.
@@ -244,13 +247,33 @@ func (n *Network) Connect(a, b *Node) *Conn {
 	return &Conn{net: n, aNode: a, bNode: b, aNIC: an, bNIC: bn}
 }
 
-// InjectDrop makes each message on this connection be dropped with
-// probability p (deterministically via the engine RNG). Used for transient
-// failure tests.
-func (c *Conn) InjectDrop(p float64) { c.dropProb = p }
+// dir maps a sending endpoint to its direction index.
+func (c *Conn) dir(from *Node) int {
+	switch from {
+	case c.aNode:
+		return 0
+	case c.bNode:
+		return 1
+	}
+	panic("simnet: node " + from.name + " not an endpoint")
+}
 
-// InjectDelay adds d to every message's latency on this connection.
-func (c *Conn) InjectDelay(d sim.Duration) { c.delay = d }
+// InjectDrop makes each message on this connection, in either direction, be
+// dropped with probability p (deterministically via the engine RNG). Used
+// for transient failure tests.
+func (c *Conn) InjectDrop(p float64) { c.dropProb[0], c.dropProb[1] = p, p }
+
+// InjectDropDirection drops messages sent BY from with probability p; the
+// reverse direction is untouched. An asymmetric fault: requests vanish while
+// responses (or vice versa) still flow.
+func (c *Conn) InjectDropDirection(from *Node, p float64) { c.dropProb[c.dir(from)] = p }
+
+// InjectDelay adds d to every message's latency on this connection, in both
+// directions.
+func (c *Conn) InjectDelay(d sim.Duration) { c.delay[0], c.delay[1] = d, d }
+
+// InjectDelayDirection adds d only to messages sent BY from.
+func (c *Conn) InjectDelayDirection(from *Node, d sim.Duration) { c.delay[c.dir(from)] = d }
 
 // Peer returns the node opposite from.
 func (c *Conn) Peer(from *Node) *Node {
@@ -271,14 +294,12 @@ func (c *Conn) Send(from *Node, size int64, deliver func()) {
 	if size < 0 {
 		panic("simnet: negative message size")
 	}
+	d := c.dir(from)
 	var src, dst *NIC
-	switch from {
-	case c.aNode:
+	if d == 0 {
 		src, dst = c.aNIC, c.bNIC
-	case c.bNode:
+	} else {
 		src, dst = c.bNIC, c.aNIC
-	default:
-		panic("simnet: node " + from.name + " not an endpoint")
 	}
 	eng := c.net.Eng
 	to := c.Peer(from)
@@ -290,10 +311,10 @@ func (c *Conn) Send(from *Node, size int64, deliver func()) {
 	if from.down || to.down {
 		return // consumed sender bandwidth; vanishes in the fabric
 	}
-	if c.dropProb > 0 && eng.Rand().Float64() < c.dropProb {
+	if c.dropProb[d] > 0 && eng.Rand().Float64() < c.dropProb[d] {
 		return
 	}
-	arrive := sent + sim.Time(c.net.cfg.PropDelay+c.net.cfg.PerMsgDelay+c.delay)
+	arrive := sent + sim.Time(c.net.cfg.PropDelay+c.net.cfg.PerMsgDelay+c.delay[d])
 	eng.At(arrive, func() {
 		if to.down || from.down {
 			return

@@ -187,6 +187,48 @@ func TestInjectDrop(t *testing.T) {
 	}
 }
 
+func TestInjectDropDirection(t *testing.T) {
+	eng, net, a, b := testNet(t)
+	conn := net.Connect(a, b)
+	// Black-hole only a→b; the reverse direction keeps delivering.
+	conn.InjectDropDirection(a, 1.0)
+	aToB, bToA := 0, 0
+	for i := 0; i < 10; i++ {
+		conn.Send(a, 10, func() { aToB++ })
+		conn.Send(b, 10, func() { bToA++ })
+	}
+	eng.Run()
+	if aToB != 0 {
+		t.Fatalf("%d a→b messages delivered despite 100%% directional drop", aToB)
+	}
+	if bToA != 10 {
+		t.Fatalf("b→a delivered %d/10; reverse direction must be unaffected", bToA)
+	}
+	// Clearing the direction restores symmetric delivery.
+	conn.InjectDropDirection(a, 0)
+	conn.Send(a, 10, func() { aToB++ })
+	eng.Run()
+	if aToB != 1 {
+		t.Fatal("a→b not delivered after clearing directional drop")
+	}
+}
+
+func TestInjectDelayDirection(t *testing.T) {
+	eng, net, a, b := testNet(t)
+	conn := net.Connect(a, b)
+	conn.InjectDelayDirection(b, 5000)
+	var aT, bT sim.Time
+	conn.Send(a, 1000, func() { aT = eng.Now() })
+	conn.Send(b, 1000, func() { bT = eng.Now() })
+	eng.Run()
+	if aT != 2000 {
+		t.Fatalf("a→b arrival = %d, want 2000 (undelayed direction)", aT)
+	}
+	if bT != 7000 {
+		t.Fatalf("b→a arrival = %d, want 7000 with +5000 injected delay", bT)
+	}
+}
+
 func TestInjectDelay(t *testing.T) {
 	eng, net, a, b := testNet(t)
 	conn := net.Connect(a, b)

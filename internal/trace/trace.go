@@ -298,7 +298,7 @@ func (c *Collector) sample() {
 	for _, g := range c.gauges {
 		c.counter(g.track, g.name, g.fn())
 	}
-	if c.eng.Live() > 0 {
+	if c.eng.LiveFG() > 0 {
 		c.scheduleSample()
 		return
 	}

@@ -3,6 +3,10 @@
 # Tier-1 is the first two commands; the race pass is slower but catches
 # callback-ordering bugs the single-goroutine engine can mask in -race-free
 # builds of the test harness itself.
+#
+# FULL=1 additionally runs the fault-injection torture suites (mid-run
+# crashes, automatic detection, hot-spare rebuild, host failover) under
+# -race across their multi-seed tables — see `make torture`.
 set -eux
 cd "$(dirname "$0")/.."
 
@@ -10,3 +14,7 @@ go build ./...
 go test ./...
 go vet ./...
 go test -race ./...
+
+if [ "${FULL:-0}" = "1" ]; then
+    make torture
+fi
