@@ -40,6 +40,25 @@ func benchFigure(b *testing.B, id string) {
 	}
 }
 
+// BenchmarkFigAllQuick regenerates a representative figure batch through the
+// batch API, serial vs parallel — the harness-level speedup measurement
+// (identical output is asserted by TestParallelRunsAreByteIdentical in
+// internal/experiments).
+func BenchmarkFigAllQuick(b *testing.B) {
+	ids := []string{"table1", "fig10", "fig12", "fig16", "ablation-pipeline"}
+	for _, par := range []int{1, 8} {
+		b.Run(map[int]string{1: "serial", 8: "parallel8"}[par], func(b *testing.B) {
+			o := benchOptions()
+			o.Parallel = par
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.RunAll(ids, o); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkTable1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		rows := experiments.Table1(benchOptions())

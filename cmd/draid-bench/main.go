@@ -25,9 +25,10 @@ func main() {
 		fig     = flag.String("fig", "", "experiment id(s), comma-separated, or 'all'")
 		list    = flag.Bool("list", false, "list experiment ids and exit")
 		quick   = flag.Bool("quick", false, "shrink sweeps to endpoints (smoke run)")
-		ramp    = flag.Duration("ramp", 30*time.Millisecond, "virtual warm-up window per point")
-		measure = flag.Duration("measure", 100*time.Millisecond, "virtual measurement window per point")
-		seed    = flag.Int64("seed", 1, "simulation seed")
+		ramp     = flag.Duration("ramp", 30*time.Millisecond, "virtual warm-up window per point")
+		measure  = flag.Duration("measure", 100*time.Millisecond, "virtual measurement window per point")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		parallel = flag.Int("parallel", 1, "max concurrent simulations (results are identical for any value)")
 	)
 	flag.Parse()
 
@@ -42,24 +43,26 @@ func main() {
 		os.Exit(2)
 	}
 	opts := experiments.Options{
-		Quick:   *quick,
-		Ramp:    sim.Duration(*ramp),
-		Measure: sim.Duration(*measure),
-		Seed:    *seed,
+		Quick:    *quick,
+		Ramp:     sim.Duration(*ramp),
+		Measure:  sim.Duration(*measure),
+		Seed:     *seed,
+		Parallel: *parallel,
 	}
 	ids := strings.Split(*fig, ",")
 	if *fig == "all" {
 		ids = experiments.IDs()
 	}
-	for _, id := range ids {
-		id = strings.TrimSpace(id)
-		start := time.Now()
-		out, err := experiments.Run(id, opts)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "draid-bench: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Println(out)
-		fmt.Printf("  (%s regenerated in %.1fs wall clock)\n\n", id, time.Since(start).Seconds())
+	for i, id := range ids {
+		ids[i] = strings.TrimSpace(id)
+	}
+	reports, err := experiments.RunAll(ids, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "draid-bench: %v\n", err)
+		os.Exit(1)
+	}
+	for _, r := range reports {
+		fmt.Println(r.Text)
+		fmt.Printf("  (%s regenerated in %.1fs wall clock)\n\n", r.ID, r.Elapsed.Seconds())
 	}
 }

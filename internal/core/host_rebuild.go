@@ -189,7 +189,9 @@ func (h *HostController) ReconstructStripeChunk(stripe int64, member int, cb fun
 		func() {
 			if unscale != 1 {
 				h.cores.Exec(h.cfg.Costs.Gf(result.Len()), func() {
-					cb(parity.MulInto(result, unscale), nil)
+					// result is the reducer's accumulator, owned by us now;
+					// unscale it in place rather than into a fresh buffer.
+					cb(parity.Scale(result, unscale), nil)
 				})
 				return
 			}

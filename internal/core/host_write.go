@@ -216,10 +216,12 @@ func (h *HostController) fullStripeWrite(stripe int64, data parity.Buffer, exts 
 	}
 	h.cores.Exec(parityWork, func() {
 		var pBuf, qBuf parity.Buffer
-		if pAlive {
+		switch {
+		case pAlive && qAlive:
+			pBuf, qBuf = parity.ComputePQ(chunks)
+		case pAlive:
 			pBuf = parity.ComputeP(chunks)
-		}
-		if qAlive {
+		case qAlive:
 			qBuf = parity.ComputeQ(chunks, nil)
 		}
 		expect := len(targets)
@@ -495,9 +497,13 @@ func (h *HostController) hostFallbackWrite(stripe int64, exts []raid.Extent, dat
 	}
 
 	finishPhase2 := func() {
-		// Reconstruct the lost chunk's old content through P if present.
+		// Reconstruct the lost chunk's old content through P if present. The
+		// phase-1 read payloads are exclusively ours (fresh drive-read copies)
+		// and dead after this closure, so the old-P buffer doubles as the
+		// accumulator and the overlay below mutates the reads in place — no
+		// per-chunk clones.
 		if len(lostIdx) == 1 {
-			acc := pOld.buf.Clone()
+			acc := pOld.buf
 			for _, c := range aliveIdx {
 				acc = parity.XORInto(acc, dataOld[c].buf)
 			}
@@ -506,7 +512,7 @@ func (h *HostController) hostFallbackWrite(stripe int64, exts []raid.Extent, dat
 		// Overlay the new data.
 		newData := make([]parity.Buffer, k)
 		for c := 0; c < k; c++ {
-			newData[c] = dataOld[c].buf.Clone()
+			newData[c] = dataOld[c].buf
 		}
 		elided := data.Elided()
 		for _, e := range exts {
@@ -522,10 +528,12 @@ func (h *HostController) hostFallbackWrite(stripe int64, exts []raid.Extent, dat
 		}
 		h.cores.Exec(work, func() {
 			var pNew, qNew parity.Buffer
-			if pAlive {
+			switch {
+			case pAlive && qAlive:
+				pNew, qNew = parity.ComputePQ(newData)
+			case pAlive:
 				pNew = parity.ComputeP(newData)
-			}
-			if qAlive {
+			case qAlive:
 				qNew = parity.ComputeQ(newData, nil)
 			}
 			// Phase 3: write back touched alive chunks + parity.

@@ -44,6 +44,12 @@ type ServerController struct {
 	core  *cpu.Core
 	cfg   ServerConfig
 
+	// pool recycles reduce accumulators. Safe because the accumulator is
+	// private to this controller until it is either persisted (the drive
+	// snapshots the payload at submission) or handed to the host (in which
+	// case it is not recycled).
+	pool *parity.Pool
+
 	// Reduce-phase state (Algorithm 2), keyed by command ID. The paper keys
 	// by offset, relying on single-writer-per-stripe admission; command IDs
 	// are equivalent under that invariant and carry it explicitly.
@@ -77,6 +83,7 @@ func NewServer(id NodeID, eng *sim.Engine, fab *Fabric, drive *ssd.Drive, core *
 	s := &ServerController{
 		id: id, eng: eng, fab: fab, drive: drive, core: core, cfg: cfg,
 		reduces: make(map[uint64]*reduceState),
+		pool:    parity.NewPool(),
 	}
 	fab.Register(id, s.handle)
 	return s
@@ -225,7 +232,9 @@ func (s *ServerController) handlePartialWrite(m Message) {
 			}
 			forward := func(next func()) {
 				s.core.Exec(s.cfg.Costs.Xor(int(cmd.Length)), func() {
-					delta := parity.XORInto(oldB.Clone(), m.Payload)
+					// oldB is a private drive-read copy with no other reader;
+					// fold the new data in place instead of cloning.
+					delta := parity.XORInto(oldB, m.Payload)
 					s.sendContribution(cmd, delta, cmd.FwdOffset, cmd.FwdLength, union.Off, union.Len)
 					if next != nil {
 						next()
@@ -278,7 +287,7 @@ func (s *ServerController) handlePartialWrite(m Message) {
 				s.complete(m.From, cmd.ID, nvmeof.StatusError, cmd.Offset, cmd.Length, parity.Buffer{})
 				return
 			}
-			contrib := oldB.Clone()
+			contrib := oldB // private drive-read copy; overlay in place
 			contrib.CopyAt(int(cmd.Offset-union.Off), m.Payload)
 			if m.Payload.Elided() {
 				contrib = parity.Sized(contrib.Len())
@@ -325,7 +334,7 @@ func (s *ServerController) handlePartialWrite(m Message) {
 func (s *ServerController) stateFor(id uint64, absOff, length int64) *reduceState {
 	st, ok := s.reduces[id]
 	if !ok {
-		st = &reduceState{id: id, absOff: absOff, length: length, acc: parity.Alloc(int(length)), replyTo: HostID}
+		st = &reduceState{id: id, absOff: absOff, length: length, acc: s.pool.Get(int(length)), replyTo: HostID}
 		s.reduces[id] = st
 	}
 	return st
@@ -343,7 +352,7 @@ func (s *ServerController) reduceInto(st *reduceState, contrib parity.Buffer, fo
 	if dataIdx == NoScale {
 		merged = parity.XORInto(dst, contrib)
 	} else {
-		merged = parity.MulAddInto(dst, parity.MulInto(contrib, parity.QCoeff(int(dataIdx))), 1)
+		merged = parity.MulAddInto(dst, contrib, parity.QCoeff(int(dataIdx)))
 	}
 	if merged.Elided() && !st.acc.Elided() {
 		// An elided contribution poisons the whole accumulator.
@@ -449,6 +458,8 @@ func (s *ServerController) finish(st *reduceState) {
 				s.complete(st.replyTo, st.id, st2, st.absOff, st.length, parity.Buffer{})
 			})
 		})
+		// The drive snapshotted the accumulator at submission; recycle it.
+		s.pool.Put(st.acc)
 		return
 	}
 	// Reconstruction: return the rebuilt segment to the host directly.

@@ -6,19 +6,15 @@ import "fmt"
 // overlapped bdev stages vs serial stage execution, partial-stripe writes.
 func AblationPipeline(o Options) Figure {
 	o = o.withDefaults()
-	var series []Series
-	for _, variant := range []struct {
-		name      string
-		pipelined bool
-	}{{"dRAID (pipelined)", true}, {"dRAID (serial stages)", false}} {
-		var pts []Point
-		for _, qd := range []int{4, 8, 12, 16} {
-			s := Setup{System: DRAID, Targets: 8, Pipelined: variant.pipelined, PipelineSet: true, Seed: o.Seed}
-			r := measure(s, o, 128<<10, 0, qd)
-			pts = append(pts, Point{X: float64(qd), Label: fmt.Sprintf("qd%d", qd), BW: r.BandwidthMBps(), Lat: r.AvgLatency()})
-		}
-		series = append(series, Series{System: variant.name, Points: pts})
-	}
+	names := []string{"dRAID (pipelined)", "dRAID (serial stages)"}
+	pipelined := []bool{true, false}
+	qds := []int{4, 8, 12, 16}
+	series := runGrid(o, names, len(qds), func(si, pi int) Point {
+		qd := qds[pi]
+		s := Setup{System: DRAID, Targets: 8, Pipelined: pipelined[si], PipelineSet: true, Seed: o.Seed}
+		r := measure(s, o, 128<<10, 0, qd)
+		return Point{X: float64(qd), Label: fmt.Sprintf("qd%d", qd), BW: r.BandwidthMBps(), Lat: r.AvgLatency()}
+	})
 	return Figure{
 		ID: "ablation-pipeline", Title: "Ablation: §5.3 I/O pipeline on 128 KB writes",
 		XLabel: "queue-depth", Series: series,
@@ -29,19 +25,15 @@ func AblationPipeline(o Options) Figure {
 // dRAID vs the same controller computing partial-write parity on the host.
 func AblationHostParity(o Options) Figure {
 	o = o.withDefaults()
-	var series []Series
-	for _, variant := range []struct {
-		name string
-		host bool
-	}{{"dRAID (peer-to-peer parity)", false}, {"dRAID (host parity)", true}} {
-		var pts []Point
-		for _, kb := range sizesKB(o.Quick, 32, 64, 128) {
-			s := Setup{System: DRAID, Targets: 8, HostParityOnly: variant.host, Seed: o.Seed}
-			r := measure(s, o, kb<<10, 0, writeQD)
-			pts = append(pts, toPoint(float64(kb), fmt.Sprintf("%dKB", kb), r))
-		}
-		series = append(series, Series{System: variant.name, Points: pts})
-	}
+	names := []string{"dRAID (peer-to-peer parity)", "dRAID (host parity)"}
+	hostParity := []bool{false, true}
+	sizes := sizesKB(o.Quick, 32, 64, 128)
+	series := runGrid(o, names, len(sizes), func(si, pi int) Point {
+		kb := sizes[pi]
+		s := Setup{System: DRAID, Targets: 8, HostParityOnly: hostParity[si], Seed: o.Seed}
+		r := measure(s, o, kb<<10, 0, writeQD)
+		return toPoint(float64(kb), fmt.Sprintf("%dKB", kb), r)
+	})
 	return Figure{
 		ID: "ablation-hostparity", Title: "Ablation: peer-to-peer vs host-side partial-write parity",
 		XLabel: "io-size", Series: series,
@@ -52,19 +44,15 @@ func AblationHostParity(o Options) Figure {
 // barrier between the Broadcast and Reduce phases.
 func AblationBarrier(o Options) Figure {
 	o = o.withDefaults()
-	var series []Series
-	for _, variant := range []struct {
-		name    string
-		barrier bool
-	}{{"dRAID (non-blocking reduce)", false}, {"dRAID (barrier)", true}} {
-		var pts []Point
-		for _, qd := range []int{4, 12, 24} {
-			s := Setup{System: DRAID, Targets: 8, BarrierReduce: variant.barrier, Seed: o.Seed}
-			r := measure(s, o, 128<<10, 0, qd)
-			pts = append(pts, Point{X: float64(qd), Label: fmt.Sprintf("qd%d", qd), BW: r.BandwidthMBps(), Lat: r.AvgLatency()})
-		}
-		series = append(series, Series{System: variant.name, Points: pts})
-	}
+	names := []string{"dRAID (non-blocking reduce)", "dRAID (barrier)"}
+	barrier := []bool{false, true}
+	qds := []int{4, 12, 24}
+	series := runGrid(o, names, len(qds), func(si, pi int) Point {
+		qd := qds[pi]
+		s := Setup{System: DRAID, Targets: 8, BarrierReduce: barrier[si], Seed: o.Seed}
+		r := measure(s, o, 128<<10, 0, qd)
+		return Point{X: float64(qd), Label: fmt.Sprintf("qd%d", qd), BW: r.BandwidthMBps(), Lat: r.AvgLatency()}
+	})
 	return Figure{
 		ID: "ablation-barrier", Title: "Ablation: §5.2 non-blocking reduce vs phase barrier (128 KB writes)",
 		XLabel: "queue-depth", Series: series,
@@ -77,19 +65,15 @@ func AblationBarrier(o Options) Figure {
 // and controller core carry twice the members.
 func AblationColocate(o Options) Figure {
 	o = o.withDefaults()
-	var series []Series
-	for _, variant := range []struct {
-		name      string
-		perServer int
-	}{{"8 servers (1 bdev each)", 1}, {"4 servers (2 bdevs each)", 2}} {
-		var pts []Point
-		for _, kb := range sizesKB(o.Quick, 32, 128) {
-			s := Setup{System: DRAID, Targets: 8, BdevsPerServer: variant.perServer, Seed: o.Seed}
-			r := measure(s, o, kb<<10, 0, writeQD)
-			pts = append(pts, toPoint(float64(kb), fmt.Sprintf("%dKB", kb), r))
-		}
-		series = append(series, Series{System: variant.name, Points: pts})
-	}
+	names := []string{"8 servers (1 bdev each)", "4 servers (2 bdevs each)"}
+	perServer := []int{1, 2}
+	sizes := sizesKB(o.Quick, 32, 128)
+	series := runGrid(o, names, len(sizes), func(si, pi int) Point {
+		kb := sizes[pi]
+		s := Setup{System: DRAID, Targets: 8, BdevsPerServer: perServer[si], Seed: o.Seed}
+		r := measure(s, o, kb<<10, 0, writeQD)
+		return toPoint(float64(kb), fmt.Sprintf("%dKB", kb), r)
+	})
 	return Figure{
 		ID: "ablation-colocate", Title: "Ablation: §5.5 bdev co-location on 128 KB writes",
 		XLabel: "io-size", Series: series,
@@ -101,16 +85,14 @@ func AblationColocate(o Options) Figure {
 func AblationReducer(o Options) Figure {
 	o = o.withDefaults()
 	gbps := []float64{100, 25, 100, 25, 100, 25, 100, 25}
-	var series []Series
-	for _, sel := range []string{"random", "bwaware", "fixed"} {
-		var pts []Point
-		for _, qd := range []int{8, 16, 32} {
-			s := Setup{System: DRAID, Targets: 8, FailedMembers: []int{1}, Selector: sel, TargetGbpsList: gbps, Seed: o.Seed}
-			r := measure(s, o, 128<<10, 1.0, qd)
-			pts = append(pts, Point{X: float64(qd), Label: fmt.Sprintf("qd%d", qd), BW: r.BandwidthMBps(), Lat: r.AvgLatency()})
-		}
-		series = append(series, Series{System: sel, Points: pts})
-	}
+	selectors := []string{"random", "bwaware", "fixed"}
+	qds := []int{8, 16, 32}
+	series := runGrid(o, selectors, len(qds), func(si, pi int) Point {
+		qd := qds[pi]
+		s := Setup{System: DRAID, Targets: 8, FailedMembers: []int{1}, Selector: selectors[si], TargetGbpsList: gbps, Seed: o.Seed}
+		r := measure(s, o, 128<<10, 1.0, qd)
+		return Point{X: float64(qd), Label: fmt.Sprintf("qd%d", qd), BW: r.BandwidthMBps(), Lat: r.AvgLatency()}
+	})
 	return Figure{
 		ID: "ablation-reducer", Title: "Ablation: reducer selection policy, degraded reads on 25/100G mix",
 		XLabel: "queue-depth", Series: series,

@@ -194,18 +194,15 @@ func appFigure(id, title string, o Options, failed []int, run func(System, ycsb.
 	if o.Quick {
 		wls = []ycsb.Workload{ycsb.WorkloadA, ycsb.WorkloadC}
 	}
-	var series []Series
-	for _, sys := range []System{SPDK, DRAID} {
-		var pts []Point
-		for i, wl := range wls {
-			r := run(sys, wl, failed, o)
-			pts = append(pts, Point{
-				X: float64(i), Label: wl.Name,
-				BW: r.KIOPS, Lat: r.AvgLatUs, Extra: r.KIOPS,
-			})
+	systems := []System{SPDK, DRAID}
+	series := runGrid(o, systemNames(systems), len(wls), func(si, pi int) Point {
+		wl := wls[pi]
+		r := run(systems[si], wl, failed, o)
+		return Point{
+			X: float64(pi), Label: wl.Name,
+			BW: r.KIOPS, Lat: r.AvgLatUs, Extra: r.KIOPS,
 		}
-		series = append(series, Series{System: string(sys), Points: pts})
-	}
+	})
 	return Figure{
 		ID: id, Title: title, XLabel: "workload", Series: series,
 		Notes: []string{"BW column is KIOPS for application figures"},

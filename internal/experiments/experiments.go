@@ -45,6 +45,19 @@ type Options struct {
 	Quick bool
 	// Seed drives all randomness (default 1).
 	Seed int64
+	// Parallel is the maximum number of concurrently running simulations
+	// (≤ 1 means serial). Each measurement point owns an independent engine,
+	// and results are collected in input order, so any value produces output
+	// byte-identical to a serial run.
+	Parallel int
+}
+
+// parallel returns the effective worker count.
+func (o Options) parallel() int {
+	if o.Parallel <= 1 {
+		return 1
+	}
+	return o.Parallel
 }
 
 func (o Options) withDefaults() Options {

@@ -28,18 +28,13 @@ func sizesKB(quick bool, all ...int64) []int64 {
 
 // sweepIOSize runs a size sweep for all systems.
 func sweepIOSize(o Options, base Setup, sizes []int64, readRatio float64, qd int) []Series {
-	var out []Series
-	for _, sys := range AllSystems {
+	return runGrid(o, systemNames(AllSystems), len(sizes), func(si, pi int) Point {
 		s := base
-		s.System = sys
-		var pts []Point
-		for _, kb := range sizes {
-			r := measure(s, o, kb<<10, readRatio, qd)
-			pts = append(pts, toPoint(float64(kb), fmt.Sprintf("%dKB", kb), r))
-		}
-		out = append(out, Series{System: string(sys), Points: pts})
-	}
-	return out
+		s.System = AllSystems[si]
+		kb := sizes[pi]
+		r := measure(s, o, kb<<10, readRatio, qd)
+		return toPoint(float64(kb), fmt.Sprintf("%dKB", kb), r)
+	})
 }
 
 // Fig09 — RAID-5 normal-state read vs I/O size (6 targets).
@@ -71,16 +66,12 @@ func Fig10(o Options) Figure {
 func Fig11(o Options) Figure {
 	o = o.withDefaults()
 	chunks := sizesKB(o.Quick, 32, 64, 128, 256, 512, 1024)
-	var series []Series
-	for _, sys := range AllSystems {
-		var pts []Point
-		for _, kb := range chunks {
-			s := Setup{System: sys, Targets: 8, ChunkSize: kb << 10, Seed: o.Seed}
-			r := measure(s, o, 128<<10, 0, writeQD)
-			pts = append(pts, toPoint(float64(kb), fmt.Sprintf("%dKB", kb), r))
-		}
-		series = append(series, Series{System: string(sys), Points: pts})
-	}
+	series := runGrid(o, systemNames(AllSystems), len(chunks), func(si, pi int) Point {
+		kb := chunks[pi]
+		s := Setup{System: AllSystems[si], Targets: 8, ChunkSize: kb << 10, Seed: o.Seed}
+		r := measure(s, o, 128<<10, 0, writeQD)
+		return toPoint(float64(kb), fmt.Sprintf("%dKB", kb), r)
+	})
 	return Figure{
 		ID: "fig11", Title: "RAID-5 write vs chunk size (128 KB I/O, 8 targets)",
 		XLabel: "chunk-size", Series: series,
@@ -98,16 +89,13 @@ func widths(quick bool) []int {
 // Fig12 — RAID-5 write scalability vs stripe width (128 KB I/O).
 func Fig12(o Options) Figure {
 	o = o.withDefaults()
-	var series []Series
-	for _, sys := range AllSystems {
-		var pts []Point
-		for _, w := range widths(o.Quick) {
-			s := Setup{System: sys, Targets: w, Seed: o.Seed}
-			r := measure(s, o, 128<<10, 0, 64)
-			pts = append(pts, toPoint(float64(w), fmt.Sprintf("%d", w), r))
-		}
-		series = append(series, Series{System: string(sys), Points: pts})
-	}
+	ws := widths(o.Quick)
+	series := runGrid(o, systemNames(AllSystems), len(ws), func(si, pi int) Point {
+		w := ws[pi]
+		s := Setup{System: AllSystems[si], Targets: w, Seed: o.Seed}
+		r := measure(s, o, 128<<10, 0, 64)
+		return toPoint(float64(w), fmt.Sprintf("%d", w), r)
+	})
 	return Figure{
 		ID: "fig12", Title: "RAID-5 write vs stripe width (128 KB I/O, QD 64)",
 		XLabel: "width", Series: series,
@@ -122,20 +110,16 @@ func Fig13(o Options) Figure {
 	if o.Quick {
 		ratios = []float64{0, 1.0}
 	}
-	var series []Series
-	for _, sys := range AllSystems {
-		var pts []Point
-		for _, ratio := range ratios {
-			qd := 16
-			if ratio == 1.0 {
-				qd = readQD
-			}
-			s := Setup{System: sys, Targets: 8, Seed: o.Seed}
-			r := measure(s, o, 128<<10, ratio, qd)
-			pts = append(pts, toPoint(100*ratio, fmt.Sprintf("%.0f%%", 100*ratio), r))
+	series := runGrid(o, systemNames(AllSystems), len(ratios), func(si, pi int) Point {
+		ratio := ratios[pi]
+		qd := 16
+		if ratio == 1.0 {
+			qd = readQD
 		}
-		series = append(series, Series{System: string(sys), Points: pts})
-	}
+		s := Setup{System: AllSystems[si], Targets: 8, Seed: o.Seed}
+		r := measure(s, o, 128<<10, ratio, qd)
+		return toPoint(100*ratio, fmt.Sprintf("%.0f%%", 100*ratio), r)
+	})
 	return Figure{
 		ID: "fig13", Title: "RAID-5 write vs read/write ratio (128 KB, 8 targets)",
 		XLabel: "read-ratio", Series: series,
@@ -156,16 +140,12 @@ func Fig14(o Options, variant string) Figure {
 	if o.Quick {
 		qds = []int{4, 64}
 	}
-	var series []Series
-	for _, sys := range AllSystems {
-		var pts []Point
-		for _, qd := range qds {
-			s := Setup{System: sys, Targets: 18, Seed: o.Seed}
-			r := measure(s, o, 128<<10, ratio, qd)
-			pts = append(pts, Point{X: r.BandwidthMBps(), Label: fmt.Sprintf("qd%d", qd), BW: r.BandwidthMBps(), Lat: r.AvgLatency()})
-		}
-		series = append(series, Series{System: string(sys), Points: pts})
-	}
+	series := runGrid(o, systemNames(AllSystems), len(qds), func(si, pi int) Point {
+		qd := qds[pi]
+		s := Setup{System: AllSystems[si], Targets: 18, Seed: o.Seed}
+		r := measure(s, o, 128<<10, ratio, qd)
+		return Point{X: r.BandwidthMBps(), Label: fmt.Sprintf("qd%d", qd), BW: r.BandwidthMBps(), Lat: r.AvgLatency()}
+	})
 	return Figure{
 		ID: "fig14" + variant, Title: "RAID-5 latency vs bandwidth, " + title + " (18 targets)",
 		XLabel: "load(qd)", Series: series,
@@ -187,16 +167,13 @@ func Fig15(o Options) Figure {
 // Fig16 — RAID-5 degraded read vs stripe width (128 KB).
 func Fig16(o Options) Figure {
 	o = o.withDefaults()
-	var series []Series
-	for _, sys := range AllSystems {
-		var pts []Point
-		for _, w := range widths(o.Quick) {
-			s := Setup{System: sys, Targets: w, FailedMembers: []int{0}, Seed: o.Seed}
-			r := measure(s, o, 128<<10, 1.0, readQD)
-			pts = append(pts, toPoint(float64(w), fmt.Sprintf("%d", w), r))
-		}
-		series = append(series, Series{System: string(sys), Points: pts})
-	}
+	ws := widths(o.Quick)
+	series := runGrid(o, systemNames(AllSystems), len(ws), func(si, pi int) Point {
+		w := ws[pi]
+		s := Setup{System: AllSystems[si], Targets: w, FailedMembers: []int{0}, Seed: o.Seed}
+		r := measure(s, o, 128<<10, 1.0, readQD)
+		return toPoint(float64(w), fmt.Sprintf("%d", w), r)
+	})
 	return Figure{
 		ID: "fig16", Title: "RAID-5 degraded read vs stripe width (128 KB)",
 		XLabel: "width", Series: series,
@@ -286,15 +263,13 @@ func rebuildRate(sys System, targets int, o Options, selector string, gbpsList [
 // Fig17a — reconstruction scalability vs stripe width.
 func Fig17a(o Options) Figure {
 	o = o.withDefaults()
-	var series []Series
-	for _, sys := range []System{SPDK, DRAID} {
-		var pts []Point
-		for _, w := range widths(o.Quick) {
-			r := rebuildRate(sys, w, o, "", nil, o.Seed, 8)
-			pts = append(pts, Point{X: float64(w), Label: fmt.Sprintf("%d", w), BW: r.ReadBandwidthMBps(), Lat: r.ReadLat.Mean / 1e3})
-		}
-		series = append(series, Series{System: string(sys), Points: pts})
-	}
+	systems := []System{SPDK, DRAID}
+	ws := widths(o.Quick)
+	series := runGrid(o, systemNames(systems), len(ws), func(si, pi int) Point {
+		w := ws[pi]
+		r := rebuildRate(systems[si], w, o, "", nil, o.Seed, 8)
+		return Point{X: float64(w), Label: fmt.Sprintf("%d", w), BW: r.ReadBandwidthMBps(), Lat: r.ReadLat.Mean / 1e3}
+	})
 	return Figure{
 		ID: "fig17a", Title: "Drive reconstruction throughput vs stripe width",
 		XLabel: "width", Series: series,
@@ -313,19 +288,12 @@ func Fig17b(o Options) Figure {
 	if o.Quick {
 		qds = []int{2, 12}
 	}
-	var series []Series
-	for _, sel := range []string{"random", "bwaware"} {
-		var pts []Point
-		for _, qd := range qds {
-			r := rebuildRate(DRAID, 8, o, sel, gbps, o.Seed, qd)
-			pts = append(pts, Point{X: r.ReadBandwidthMBps(), Label: fmt.Sprintf("qd%d", qd), BW: r.ReadBandwidthMBps(), Lat: r.ReadLat.Mean / 1e3})
-		}
-		name := "Random"
-		if sel == "bwaware" {
-			name = "BW-Aware"
-		}
-		series = append(series, Series{System: name, Points: pts})
-	}
+	selectors := []string{"random", "bwaware"}
+	series := runGrid(o, []string{"Random", "BW-Aware"}, len(qds), func(si, pi int) Point {
+		qd := qds[pi]
+		r := rebuildRate(DRAID, 8, o, selectors[si], gbps, o.Seed, qd)
+		return Point{X: r.ReadBandwidthMBps(), Label: fmt.Sprintf("qd%d", qd), BW: r.ReadBandwidthMBps(), Lat: r.ReadLat.Mean / 1e3}
+	})
 	return Figure{
 		ID: "fig17b", Title: "Reconstruction with heterogeneous NICs (25/100G mix): reducer policies",
 		XLabel: "load(qd)", Series: series,
@@ -375,35 +343,27 @@ func Fig23(o Options) Figure {
 func Fig24(o Options) Figure {
 	o = o.withDefaults()
 	chunks := sizesKB(o.Quick, 32, 64, 128, 256, 512, 1024)
-	var series []Series
-	for _, sys := range AllSystems {
-		var pts []Point
-		for _, kb := range chunks {
-			s := raid6Base(8, nil, o.Seed)
-			s.System = sys
-			s.ChunkSize = kb << 10
-			r := measure(s, o, 128<<10, 0, writeQD)
-			pts = append(pts, toPoint(float64(kb), fmt.Sprintf("%dKB", kb), r))
-		}
-		series = append(series, Series{System: string(sys), Points: pts})
-	}
+	series := runGrid(o, systemNames(AllSystems), len(chunks), func(si, pi int) Point {
+		kb := chunks[pi]
+		s := raid6Base(8, nil, o.Seed)
+		s.System = AllSystems[si]
+		s.ChunkSize = kb << 10
+		r := measure(s, o, 128<<10, 0, writeQD)
+		return toPoint(float64(kb), fmt.Sprintf("%dKB", kb), r)
+	})
 	return Figure{ID: "fig24", Title: "RAID-6 write vs chunk size (128 KB I/O)", XLabel: "chunk-size", Series: series}
 }
 
 // Fig25 — RAID-6 write vs stripe width.
 func Fig25(o Options) Figure {
 	o = o.withDefaults()
-	var series []Series
-	for _, sys := range AllSystems {
-		var pts []Point
-		for _, w := range widths(o.Quick) {
-			s := raid6Base(w, nil, o.Seed)
-			s.System = sys
-			r := measure(s, o, 128<<10, 0, 64)
-			pts = append(pts, toPoint(float64(w), fmt.Sprintf("%d", w), r))
-		}
-		series = append(series, Series{System: string(sys), Points: pts})
-	}
+	ws := widths(o.Quick)
+	series := runGrid(o, systemNames(AllSystems), len(ws), func(si, pi int) Point {
+		s := raid6Base(ws[pi], nil, o.Seed)
+		s.System = AllSystems[si]
+		r := measure(s, o, 128<<10, 0, 64)
+		return toPoint(float64(ws[pi]), fmt.Sprintf("%d", ws[pi]), r)
+	})
 	return Figure{ID: "fig25", Title: "RAID-6 write vs stripe width (128 KB, QD 64)", XLabel: "width", Series: series}
 }
 
@@ -414,21 +374,17 @@ func Fig26(o Options) Figure {
 	if o.Quick {
 		ratios = []float64{0, 1.0}
 	}
-	var series []Series
-	for _, sys := range AllSystems {
-		var pts []Point
-		for _, ratio := range ratios {
-			qd := 16
-			if ratio == 1.0 {
-				qd = readQD
-			}
-			s := raid6Base(8, nil, o.Seed)
-			s.System = sys
-			r := measure(s, o, 128<<10, ratio, qd)
-			pts = append(pts, toPoint(100*ratio, fmt.Sprintf("%.0f%%", 100*ratio), r))
+	series := runGrid(o, systemNames(AllSystems), len(ratios), func(si, pi int) Point {
+		ratio := ratios[pi]
+		qd := 16
+		if ratio == 1.0 {
+			qd = readQD
 		}
-		series = append(series, Series{System: string(sys), Points: pts})
-	}
+		s := raid6Base(8, nil, o.Seed)
+		s.System = AllSystems[si]
+		r := measure(s, o, 128<<10, ratio, qd)
+		return toPoint(100*ratio, fmt.Sprintf("%.0f%%", 100*ratio), r)
+	})
 	return Figure{ID: "fig26", Title: "RAID-6 write vs read/write ratio (128 KB)", XLabel: "read-ratio", Series: series}
 }
 
@@ -444,17 +400,13 @@ func Fig27(o Options, variant string) Figure {
 	if o.Quick {
 		qds = []int{4, 64}
 	}
-	var series []Series
-	for _, sys := range AllSystems {
-		var pts []Point
-		for _, qd := range qds {
-			s := raid6Base(18, nil, o.Seed)
-			s.System = sys
-			r := measure(s, o, 128<<10, ratio, qd)
-			pts = append(pts, Point{X: r.BandwidthMBps(), Label: fmt.Sprintf("qd%d", qd), BW: r.BandwidthMBps(), Lat: r.AvgLatency()})
-		}
-		series = append(series, Series{System: string(sys), Points: pts})
-	}
+	series := runGrid(o, systemNames(AllSystems), len(qds), func(si, pi int) Point {
+		qd := qds[pi]
+		s := raid6Base(18, nil, o.Seed)
+		s.System = AllSystems[si]
+		r := measure(s, o, 128<<10, ratio, qd)
+		return Point{X: r.BandwidthMBps(), Label: fmt.Sprintf("qd%d", qd), BW: r.BandwidthMBps(), Lat: r.AvgLatency()}
+	})
 	return Figure{ID: "fig27" + variant, Title: "RAID-6 latency vs bandwidth, " + title + " (18 targets)", XLabel: "load(qd)", Series: series}
 }
 
@@ -472,17 +424,13 @@ func Fig28(o Options) Figure {
 // Fig29 — RAID-6 degraded read vs stripe width.
 func Fig29(o Options) Figure {
 	o = o.withDefaults()
-	var series []Series
-	for _, sys := range AllSystems {
-		var pts []Point
-		for _, w := range widths(o.Quick) {
-			s := raid6Base(w, []int{0}, o.Seed)
-			s.System = sys
-			r := measure(s, o, 128<<10, 1.0, readQD)
-			pts = append(pts, toPoint(float64(w), fmt.Sprintf("%d", w), r))
-		}
-		series = append(series, Series{System: string(sys), Points: pts})
-	}
+	ws := widths(o.Quick)
+	series := runGrid(o, systemNames(AllSystems), len(ws), func(si, pi int) Point {
+		s := raid6Base(ws[pi], []int{0}, o.Seed)
+		s.System = AllSystems[si]
+		r := measure(s, o, 128<<10, 1.0, readQD)
+		return toPoint(float64(ws[pi]), fmt.Sprintf("%d", ws[pi]), r)
+	})
 	return Figure{ID: "fig29", Title: "RAID-6 degraded read vs stripe width (128 KB)", XLabel: "width", Series: series}
 }
 

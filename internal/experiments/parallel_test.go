@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestParallelRunsAreByteIdentical is the determinism regression guard for
+// the parallel harness: every figure must render byte-for-byte the same under
+// Parallel: 8 as under Parallel: 1. fig10 covers the plain measure() grid,
+// fig16 the degraded-read grid, and table1 the non-figure path.
+func TestParallelRunsAreByteIdentical(t *testing.T) {
+	for _, id := range []string{"fig10", "fig16", "table1"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			serial := quickOpts()
+			serial.Parallel = 1
+			par := quickOpts()
+			par.Parallel = 8
+
+			want, err := Run(id, serial)
+			if err != nil {
+				t.Fatalf("serial run: %v", err)
+			}
+			got, err := Run(id, par)
+			if err != nil {
+				t.Fatalf("parallel run: %v", err)
+			}
+			if got != want {
+				t.Errorf("%s differs between Parallel:1 and Parallel:8\nserial:\n%s\nparallel:\n%s", id, want, got)
+			}
+		})
+	}
+}
+
+// TestRunAllMatchesRun checks the batch API: input-order reports, identical
+// text to figure-at-a-time execution, and up-front ID validation.
+func TestRunAllMatchesRun(t *testing.T) {
+	o := quickOpts()
+	o.Parallel = 4
+	ids := []string{"table1", "fig10"}
+
+	reports, err := RunAll(ids, o)
+	if err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if len(reports) != len(ids) {
+		t.Fatalf("got %d reports, want %d", len(reports), len(ids))
+	}
+	for i, r := range reports {
+		if r.ID != ids[i] {
+			t.Fatalf("report %d is %q, want %q (input order)", i, r.ID, ids[i])
+		}
+		want, err := Run(ids[i], quickOpts())
+		if err != nil {
+			t.Fatalf("Run(%s): %v", ids[i], err)
+		}
+		if r.Text != want {
+			t.Errorf("RunAll output for %s differs from serial Run", ids[i])
+		}
+	}
+
+	if _, err := RunAll([]string{"fig10", "no-such-figure"}, o); err == nil {
+		t.Fatal("RunAll should reject unknown ids before running anything")
+	}
+}
+
+// TestParMap checks ordering, bounded concurrency, and the serial fallback.
+func TestParMap(t *testing.T) {
+	var live, peak atomic.Int32
+	out := parMap(3, 64, func(i int) int {
+		n := live.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		defer live.Add(-1)
+		return i * i
+	})
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+	if p := peak.Load(); p > 3 {
+		t.Fatalf("observed %d concurrent calls, cap is 3", p)
+	}
+
+	if got := parMap(1, 3, func(i int) int { return i }); got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Fatalf("serial parMap misordered: %v", got)
+	}
+	if got := parMap(4, 0, func(i int) int { return i }); len(got) != 0 {
+		t.Fatalf("empty parMap returned %v", got)
+	}
+}

@@ -49,37 +49,43 @@ func Table1(o Options) []Table1Row {
 		},
 	}
 
-	// Single-machine.
-	{
-		eng := sim.NewEngine(o.Seed)
-		net := simnet.New(eng, simnet.DefaultConfig())
-		drv := ssd.DefaultSpec()
-		drv.Capacity = 256 << 20
-		sm := baseline.NewSingleMachine(eng, net, geo, drv, cpu.DefaultCosts(), 100)
-		w, r := measureOverheads(eng, sm, chunk, func(m int) { sm.SetFailed(m, true) },
-			func() (int64, int64) { return sm.Client().BytesOut(), sm.Client().BytesIn() },
-			func() { sm.Client().ResetCounters() }, geo)
-		rows[0].WriteOverhead, rows[0].DReadOverhead = w, r
+	// The three architectures are independent simulations; measure them with
+	// the same bounded fan-out as figure grids.
+	measurers := []func() (float64, float64){
+		func() (float64, float64) { // single-machine
+			eng := sim.NewEngine(o.Seed)
+			net := simnet.New(eng, simnet.DefaultConfig())
+			drv := ssd.DefaultSpec()
+			drv.Capacity = 256 << 20
+			sm := baseline.NewSingleMachine(eng, net, geo, drv, cpu.DefaultCosts(), 100)
+			return measureOverheads(eng, sm, chunk, func(m int) { sm.SetFailed(m, true) },
+				func() (int64, int64) { return sm.Client().BytesOut(), sm.Client().BytesIn() },
+				func() { sm.Client().ResetCounters() }, geo)
+		},
+		func() (float64, float64) { // distributed host-centric (SPDK-style)
+			dev, cl := buildSmall(SPDK, geo, o.Seed)
+			return measureOverheads(cl.Eng, dev, chunk, func(m int) {
+				dev.(*baseline.Host).SetFailed(m, true)
+			}, func() (int64, int64) { return cl.HostNode.BytesOut(), cl.HostNode.BytesIn() },
+				cl.ResetTraffic, geo)
+		},
+		func() (float64, float64) { // dRAID
+			dev, cl := buildSmall(DRAID, geo, o.Seed)
+			return measureOverheads(cl.Eng, dev, chunk, func(m int) {
+				type failer interface{ SetFailed(int, bool) }
+				dev.(failer).SetFailed(m, true)
+				cl.FailTarget(m)
+			}, func() (int64, int64) { return cl.HostNode.BytesOut(), cl.HostNode.BytesIn() },
+				cl.ResetTraffic, geo)
+		},
 	}
-	// Distributed host-centric (SPDK-style).
-	{
-		dev, cl := buildSmall(SPDK, geo, o.Seed)
-		w, r := measureOverheads(cl.Eng, dev, chunk, func(m int) {
-			dev.(*baseline.Host).SetFailed(m, true)
-		}, func() (int64, int64) { return cl.HostNode.BytesOut(), cl.HostNode.BytesIn() },
-			cl.ResetTraffic, geo)
-		rows[1].WriteOverhead, rows[1].DReadOverhead = w, r
-	}
-	// dRAID.
-	{
-		dev, cl := buildSmall(DRAID, geo, o.Seed)
-		w, r := measureOverheads(cl.Eng, dev, chunk, func(m int) {
-			type failer interface{ SetFailed(int, bool) }
-			dev.(failer).SetFailed(m, true)
-			cl.FailTarget(m)
-		}, func() (int64, int64) { return cl.HostNode.BytesOut(), cl.HostNode.BytesIn() },
-			cl.ResetTraffic, geo)
-		rows[2].WriteOverhead, rows[2].DReadOverhead = w, r
+	type overheads struct{ w, r float64 }
+	measured := parMap(o.parallel(), len(measurers), func(i int) overheads {
+		w, r := measurers[i]()
+		return overheads{w, r}
+	})
+	for i, m := range measured {
+		rows[i].WriteOverhead, rows[i].DReadOverhead = m.w, m.r
 	}
 	return rows
 }

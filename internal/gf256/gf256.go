@@ -12,12 +12,23 @@
 // two-chunk failure combination.
 package gf256
 
+import "encoding/binary"
+
 // Poly is the field's reduction polynomial (without the x^8 term).
 const Poly = 0x1D
 
 var (
 	expTable [512]byte // exp[i] = g^i, doubled to avoid mod 255 in mul
 	logTable [256]byte // log[x] = i such that g^i = x, undefined for 0
+
+	// Nibble product tables (Anvin's split-table scheme, as used by the
+	// pure-Go paths of klauspost/reedsolomon and the kernel's RAID-6 SIMD):
+	// c·b = mulTableLow[c][b&0xf] ⊕ mulTableHigh[c][b>>4]. Two 16-entry rows
+	// per coefficient stay resident in L1 across a whole slice operation,
+	// and the lookups are independent (no log→exp dependent chain, no
+	// zero-operand branch).
+	mulTableLow  [256][16]byte
+	mulTableHigh [256][16]byte
 )
 
 func init() {
@@ -35,6 +46,24 @@ func init() {
 	for i := 255; i < 512; i++ {
 		expTable[i] = expTable[i-255]
 	}
+	for c := 1; c < 256; c++ {
+		logC := int(logTable[c])
+		for n := 1; n < 16; n++ {
+			mulTableLow[c][n] = expTable[logC+int(logTable[n])]
+			mulTableHigh[c][n] = expTable[logC+int(logTable[n<<4])]
+		}
+	}
+}
+
+// SWAR helpers: eight field elements packed in a uint64.
+const lsbMask = 0x0101010101010101
+
+// mul2x8 multiplies each of the eight packed bytes by g=2: shift every byte
+// left within its lane, then fold the reduction polynomial into lanes whose
+// high bit was set. (hi>>7)*Poly cannot carry across lanes since Poly < 256.
+func mul2x8(v uint64) uint64 {
+	hi := v & (lsbMask << 7)
+	return ((v ^ hi) << 1) ^ ((hi >> 7) * Poly)
 }
 
 // Exp returns g^i for the generator g=2 (i taken mod 255).
@@ -104,6 +133,8 @@ func Pow(a byte, n int) byte {
 }
 
 // MulSlice computes dst[i] = c·src[i]. dst and src must have equal length.
+// Eight source bytes are loaded and stored per iteration; the products come
+// from the per-coefficient nibble tables.
 func MulSlice(dst, src []byte, c byte) {
 	if len(dst) != len(src) {
 		panic("gf256: length mismatch")
@@ -113,72 +144,151 @@ func MulSlice(dst, src []byte, c byte) {
 		for i := range dst {
 			dst[i] = 0
 		}
+		return
 	case 1:
 		copy(dst, src)
-	default:
-		logC := int(logTable[c])
-		for i, s := range src {
-			if s == 0 {
-				dst[i] = 0
-			} else {
-				dst[i] = expTable[logC+int(logTable[s])]
-			}
-		}
+		return
+	}
+	low, high := &mulTableLow[c], &mulTableHigh[c]
+	i := archMul(dst, src, c)
+	n := len(src) &^ 7
+	for ; i < n; i += 8 {
+		s := binary.LittleEndian.Uint64(src[i:])
+		r := uint64(low[s&15] ^ high[s>>4&15])
+		r |= uint64(low[s>>8&15]^high[s>>12&15]) << 8
+		r |= uint64(low[s>>16&15]^high[s>>20&15]) << 16
+		r |= uint64(low[s>>24&15]^high[s>>28&15]) << 24
+		r |= uint64(low[s>>32&15]^high[s>>36&15]) << 32
+		r |= uint64(low[s>>40&15]^high[s>>44&15]) << 40
+		r |= uint64(low[s>>48&15]^high[s>>52&15]) << 48
+		r |= uint64(low[s>>56&15]^high[s>>60]) << 56
+		binary.LittleEndian.PutUint64(dst[i:], r)
+	}
+	for ; i < len(src); i++ {
+		s := src[i]
+		dst[i] = low[s&15] ^ high[s>>4]
 	}
 }
 
-// MulAddSlice computes dst[i] ^= c·src[i] (accumulate a scaled vector).
+// MulAddSlice computes dst[i] ^= c·src[i] (accumulate a scaled vector), with
+// the same eight-bytes-per-iteration nibble-table scheme as MulSlice.
 func MulAddSlice(dst, src []byte, c byte) {
 	if len(dst) != len(src) {
 		panic("gf256: length mismatch")
 	}
-	if c == 0 {
+	switch c {
+	case 0:
+		return
+	case 1:
+		XORSlice(dst, src)
 		return
 	}
-	if c == 1 {
-		for i, s := range src {
-			dst[i] ^= s
-		}
-		return
+	low, high := &mulTableLow[c], &mulTableHigh[c]
+	i := archMulAdd(dst, src, c)
+	n := len(src) &^ 7
+	for ; i < n; i += 8 {
+		s := binary.LittleEndian.Uint64(src[i:])
+		r := uint64(low[s&15] ^ high[s>>4&15])
+		r |= uint64(low[s>>8&15]^high[s>>12&15]) << 8
+		r |= uint64(low[s>>16&15]^high[s>>20&15]) << 16
+		r |= uint64(low[s>>24&15]^high[s>>28&15]) << 24
+		r |= uint64(low[s>>32&15]^high[s>>36&15]) << 32
+		r |= uint64(low[s>>40&15]^high[s>>44&15]) << 40
+		r |= uint64(low[s>>48&15]^high[s>>52&15]) << 48
+		r |= uint64(low[s>>56&15]^high[s>>60]) << 56
+		binary.LittleEndian.PutUint64(dst[i:], binary.LittleEndian.Uint64(dst[i:])^r)
 	}
-	logC := int(logTable[c])
-	for i, s := range src {
-		if s != 0 {
-			dst[i] ^= expTable[logC+int(logTable[s])]
-		}
+	for ; i < len(src); i++ {
+		s := src[i]
+		dst[i] ^= low[s&15] ^ high[s>>4]
 	}
 }
 
-// XORSlice computes dst[i] ^= src[i].
+// XORSlice computes dst[i] ^= src[i], one uint64 word at a time with a
+// byte-wise remainder.
 func XORSlice(dst, src []byte) {
 	if len(dst) != len(src) {
 		panic("gf256: length mismatch")
 	}
-	// Process word-at-a-time via the compiler's bounds-check-friendly form.
-	for i, s := range src {
-		dst[i] ^= s
+	i := archXOR(dst, src)
+	n := len(src) &^ 7
+	for ; i < n; i += 8 {
+		binary.LittleEndian.PutUint64(dst[i:],
+			binary.LittleEndian.Uint64(dst[i:])^binary.LittleEndian.Uint64(src[i:]))
+	}
+	for ; i < len(src); i++ {
+		dst[i] ^= src[i]
 	}
 }
 
 // SyndromePQ computes P and Q over data chunks. data[i] is chunk D_i; all
 // chunks and p, q must share one length. Pass nil p or q to skip it.
+//
+// Both syndromes are produced in one fused pass: per uint64 word, P is a
+// running XOR and Q is evaluated by Horner's rule over the chunk index
+// (q = q·g ⊕ D_i from high index to low), so the only multiplication needed
+// is the packed ×g of mul2x8 — the same scheme as the Linux kernel's
+// generated int.uc RAID-6 kernels. Each chunk is read exactly once.
 func SyndromePQ(p, q []byte, data [][]byte) {
+	length := 0
 	if p != nil {
+		length = len(p)
+	} else if q != nil {
+		length = len(q)
+	} else {
+		return
+	}
+	if p != nil && q != nil && len(p) != len(q) {
+		panic("gf256: length mismatch")
+	}
+	for _, d := range data {
+		if len(d) != length {
+			panic("gf256: length mismatch")
+		}
+	}
+	if q == nil {
+		// P only: a plain XOR reduction.
 		for i := range p {
 			p[i] = 0
 		}
 		for _, d := range data {
 			XORSlice(p, d)
 		}
+		return
 	}
-	if q != nil {
-		for i := range q {
-			q[i] = 0
+	n := length &^ 7
+	for off := archSyndromePQ(p, q, data); off < n; off += 8 {
+		var pw, qw uint64
+		for i := len(data) - 1; i >= 0; i-- {
+			dw := binary.LittleEndian.Uint64(data[i][off:])
+			pw ^= dw
+			qw = mul2x8(qw) ^ dw
 		}
-		for idx, d := range data {
-			MulAddSlice(q, d, Exp(idx))
+		if p != nil {
+			binary.LittleEndian.PutUint64(p[off:], pw)
 		}
+		binary.LittleEndian.PutUint64(q[off:], qw)
 	}
+	for off := n; off < length; off++ {
+		var pb, qb byte
+		for i := len(data) - 1; i >= 0; i-- {
+			db := data[i][off]
+			pb ^= db
+			qb = mul2(qb) ^ db
+		}
+		if p != nil {
+			p[off] = pb
+		}
+		q[off] = qb
+	}
+}
+
+// mul2 multiplies one field element by g=2.
+func mul2(v byte) byte {
+	if v&0x80 != 0 {
+		return v<<1 ^ Poly
+	}
+	return v << 1
 }
 
 // RecoverOneData reconstructs data chunk `lost` from the surviving data

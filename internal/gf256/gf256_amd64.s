@@ -1,0 +1,158 @@
+//go:build amd64 && !purego
+
+// AVX2 kernels for the GF(2^8) vector operations: XOR, constant multiply
+// (Anvin's split nibble-table scheme via VPSHUFB — the same construction as
+// the Linux RAID-6 SIMD kernels and klauspost/reedsolomon's amd64 path), and
+// the fused P/Q syndrome step. All byte counts are multiples of 32 and ≥ 32;
+// the Go wrappers handle remainders.
+
+#include "textflag.h"
+
+DATA nibMask<>+0(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA nibMask<>+8(SB)/8, $0x0f0f0f0f0f0f0f0f
+GLOBL nibMask<>(SB), RODATA|NOPTR, $16
+
+DATA polyMask<>+0(SB)/8, $0x1d1d1d1d1d1d1d1d
+DATA polyMask<>+8(SB)/8, $0x1d1d1d1d1d1d1d1d
+GLOBL polyMask<>(SB), RODATA|NOPTR, $16
+
+// func x86HasAVX2() bool
+TEXT ·x86HasAVX2(SB), NOSPLIT, $0-1
+	MOVL $0, AX
+	CPUID
+	CMPL AX, $7
+	JL   nope
+	MOVL $1, AX
+	MOVL $0, CX
+	CPUID
+	// Require OSXSAVE (ECX bit 27) and AVX (ECX bit 28).
+	MOVL CX, BX
+	ANDL $(1<<27 | 1<<28), BX
+	CMPL BX, $(1<<27 | 1<<28)
+	JNE  nope
+	// Require the OS to have enabled XMM+YMM state (XCR0 bits 1 and 2).
+	MOVL $0, CX
+	XGETBV
+	ANDL $6, AX
+	CMPL AX, $6
+	JNE  nope
+	// AVX2 is CPUID.(EAX=7,ECX=0):EBX bit 5.
+	MOVL $7, AX
+	MOVL $0, CX
+	CPUID
+	ANDL $(1 << 5), BX
+	JZ   nope
+	MOVB $1, ret+0(FP)
+	RET
+nope:
+	MOVB $0, ret+0(FP)
+	RET
+
+// func xorVecAVX2(dst, src *byte, n int)
+TEXT ·xorVecAVX2(SB), NOSPLIT, $0-24
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+
+xorLoop:
+	VMOVDQU (SI), Y0
+	VPXOR   (DI), Y0, Y0
+	VMOVDQU Y0, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	SUBQ    $32, CX
+	JNZ     xorLoop
+	VZEROUPPER
+	RET
+
+// func mulVecAVX2(dst, src *byte, n int, low, high *[16]byte)
+// dst[i] = c·src[i], products via the two 16-entry nibble tables for c.
+TEXT ·mulVecAVX2(SB), NOSPLIT, $0-40
+	MOVQ           dst+0(FP), DI
+	MOVQ           src+8(FP), SI
+	MOVQ           n+16(FP), CX
+	MOVQ           low+24(FP), AX
+	MOVQ           high+32(FP), BX
+	VBROADCASTI128 (AX), Y0            // low-nibble products in both lanes
+	VBROADCASTI128 (BX), Y1            // high-nibble products
+	VBROADCASTI128 nibMask<>(SB), Y7
+
+mulLoop:
+	VMOVDQU (SI), Y2
+	VPSRLW  $4, Y2, Y3
+	VPAND   Y7, Y2, Y2
+	VPAND   Y7, Y3, Y3
+	VPSHUFB Y2, Y0, Y4  // low-nibble partial products
+	VPSHUFB Y3, Y1, Y5  // high-nibble partial products
+	VPXOR   Y5, Y4, Y4
+	VMOVDQU Y4, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	SUBQ    $32, CX
+	JNZ     mulLoop
+	VZEROUPPER
+	RET
+
+// func mulAddVecAVX2(dst, src *byte, n int, low, high *[16]byte)
+// dst[i] ^= c·src[i].
+TEXT ·mulAddVecAVX2(SB), NOSPLIT, $0-40
+	MOVQ           dst+0(FP), DI
+	MOVQ           src+8(FP), SI
+	MOVQ           n+16(FP), CX
+	MOVQ           low+24(FP), AX
+	MOVQ           high+32(FP), BX
+	VBROADCASTI128 (AX), Y0
+	VBROADCASTI128 (BX), Y1
+	VBROADCASTI128 nibMask<>(SB), Y7
+
+mulAddLoop:
+	VMOVDQU (SI), Y2
+	VPSRLW  $4, Y2, Y3
+	VPAND   Y7, Y2, Y2
+	VPAND   Y7, Y3, Y3
+	VPSHUFB Y2, Y0, Y4
+	VPSHUFB Y3, Y1, Y5
+	VPXOR   Y5, Y4, Y4
+	VPXOR   (DI), Y4, Y4
+	VMOVDQU Y4, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	SUBQ    $32, CX
+	JNZ     mulAddLoop
+	VZEROUPPER
+	RET
+
+// func syndromeStepAVX2(p, q, d *byte, n int)
+// One Horner step of the RAID-6 syndrome over a block:
+//
+//	p ^= d;  q = q·g ⊕ d
+//
+// with the packed ×g as add-byte-to-itself (shift left within lanes) plus a
+// conditional fold of the reduction polynomial into lanes whose high bit was
+// set (VPCMPGTB against zero extracts those lanes).
+TEXT ·syndromeStepAVX2(SB), NOSPLIT, $0-32
+	MOVQ           p+0(FP), DI
+	MOVQ           q+8(FP), BX
+	MOVQ           d+16(FP), SI
+	MOVQ           n+24(FP), CX
+	VBROADCASTI128 polyMask<>(SB), Y7
+	VPXOR          Y6, Y6, Y6           // zero, for the sign extract
+
+synLoop:
+	VMOVDQU (SI), Y0      // d
+	VMOVDQU (BX), Y2      // q
+	VPCMPGTB Y2, Y6, Y3   // 0xff in lanes where q's high bit is set
+	VPADDB  Y2, Y2, Y2    // q <<= 1 within each lane
+	VPAND   Y7, Y3, Y3    // poly where the high bit overflowed
+	VPXOR   Y3, Y2, Y2
+	VPXOR   Y0, Y2, Y2    // q = q·g ⊕ d
+	VMOVDQU Y2, (BX)
+	VPXOR   (DI), Y0, Y4  // p ⊕ d
+	VMOVDQU Y4, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	ADDQ    $32, BX
+	SUBQ    $32, CX
+	JNZ     synLoop
+	VZEROUPPER
+	RET

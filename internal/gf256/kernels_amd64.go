@@ -1,0 +1,82 @@
+//go:build amd64 && !purego
+
+package gf256
+
+// useAVX2 gates the assembly kernels; detection is done once at init. The
+// portable word-wide Go kernels remain as both the fallback and the
+// remainder path.
+var useAVX2 = x86HasAVX2()
+
+// Implemented in gf256_amd64.s.
+func x86HasAVX2() bool
+
+//go:noescape
+func xorVecAVX2(dst, src *byte, n int)
+
+//go:noescape
+func mulVecAVX2(dst, src *byte, n int, low, high *[16]byte)
+
+//go:noescape
+func mulAddVecAVX2(dst, src *byte, n int, low, high *[16]byte)
+
+//go:noescape
+func syndromeStepAVX2(p, q, d *byte, n int)
+
+// archXOR runs dst ^= src over a 32-byte-multiple prefix, returning the
+// number of bytes handled (0 when the vector unit is unavailable).
+func archXOR(dst, src []byte) int {
+	n := len(src) &^ 31
+	if !useAVX2 || n == 0 {
+		return 0
+	}
+	xorVecAVX2(&dst[0], &src[0], n)
+	return n
+}
+
+// archMul runs dst = c·src over a 32-byte-multiple prefix (c ∉ {0, 1}).
+func archMul(dst, src []byte, c byte) int {
+	n := len(src) &^ 31
+	if !useAVX2 || n == 0 {
+		return 0
+	}
+	mulVecAVX2(&dst[0], &src[0], n, &mulTableLow[c], &mulTableHigh[c])
+	return n
+}
+
+// archMulAdd runs dst ^= c·src over a 32-byte-multiple prefix (c ∉ {0, 1}).
+func archMulAdd(dst, src []byte, c byte) int {
+	n := len(src) &^ 31
+	if !useAVX2 || n == 0 {
+		return 0
+	}
+	mulAddVecAVX2(&dst[0], &src[0], n, &mulTableLow[c], &mulTableHigh[c])
+	return n
+}
+
+// synTile is the column-tile width for the AVX2 syndrome: P and Q tiles stay
+// cache-resident while every data chunk streams through once per tile.
+const synTile = 32 << 10
+
+// archSyndromePQ computes the P+Q syndromes over a 32-byte-multiple prefix
+// with one Horner step per chunk per tile, returning the prefix length.
+func archSyndromePQ(p, q []byte, data [][]byte) int {
+	if !useAVX2 || p == nil || q == nil {
+		return 0
+	}
+	n := len(q) &^ 31
+	if n == 0 {
+		return 0
+	}
+	for off := 0; off < n; off += synTile {
+		t := n - off
+		if t > synTile {
+			t = synTile
+		}
+		clear(p[off : off+t])
+		clear(q[off : off+t])
+		for i := len(data) - 1; i >= 0; i-- {
+			syndromeStepAVX2(&p[off], &q[off], &data[i][off], t)
+		}
+	}
+	return n
+}

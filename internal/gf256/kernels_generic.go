@@ -1,0 +1,11 @@
+//go:build !amd64 || purego
+
+package gf256
+
+// Non-amd64 (or purego) builds run entirely on the portable word-wide Go
+// kernels; the arch hooks report zero bytes handled.
+
+func archXOR(dst, src []byte) int             { return 0 }
+func archMul(dst, src []byte, c byte) int     { return 0 }
+func archMulAdd(dst, src []byte, c byte) int  { return 0 }
+func archSyndromePQ(p, q []byte, data [][]byte) int { return 0 }

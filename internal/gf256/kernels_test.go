@@ -1,0 +1,300 @@
+package gf256
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// randBytes returns n pseudo-random bytes including occasional zeros (the
+// scalar kernels special-case zero operands).
+func randBytes(rng *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	rng.Read(b)
+	for i := range b {
+		if rng.Intn(16) == 0 {
+			b[i] = 0
+		}
+	}
+	return b
+}
+
+// kernelLengths crosses the 8-byte word boundary in both directions and
+// includes the empty and sub-word cases the remainder loops handle.
+func kernelLengths(rng *rand.Rand) []int {
+	out := []int{0, 1, 2, 3, 7, 8, 9, 15, 16, 17, 63, 64, 65, 255, 256, 257}
+	for i := 0; i < 8; i++ {
+		out = append(out, rng.Intn(4096))
+	}
+	return out
+}
+
+func TestXORSliceMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range kernelLengths(rng) {
+		for _, off := range []int{0, 1, 3, 5} {
+			src := randBytes(rng, n+off)[off:]
+			dst := randBytes(rng, n+off)[off:]
+			want := append([]byte(nil), dst...)
+			xorSliceScalar(want, src)
+			XORSlice(dst, src)
+			if !bytes.Equal(dst, want) {
+				t.Fatalf("XORSlice mismatch at len=%d off=%d", n, off)
+			}
+		}
+	}
+}
+
+func TestMulSliceMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for c := 0; c < 256; c++ {
+		for _, n := range []int{0, 1, 7, 8, 9, 31, 257} {
+			src := randBytes(rng, n)
+			dst := randBytes(rng, n)
+			want := make([]byte, n)
+			mulSliceScalar(want, src, byte(c))
+			MulSlice(dst, src, byte(c))
+			if !bytes.Equal(dst, want) {
+				t.Fatalf("MulSlice mismatch at c=%d len=%d", c, n)
+			}
+		}
+	}
+}
+
+func TestMulAddSliceMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for c := 0; c < 256; c++ {
+		for _, n := range []int{0, 1, 7, 8, 9, 31, 257} {
+			src := randBytes(rng, n)
+			dst := randBytes(rng, n)
+			want := append([]byte(nil), dst...)
+			mulAddSliceScalar(want, src, byte(c))
+			MulAddSlice(dst, src, byte(c))
+			if !bytes.Equal(dst, want) {
+				t.Fatalf("MulAddSlice mismatch at c=%d len=%d", c, n)
+			}
+		}
+	}
+}
+
+func TestMulAddSliceUnalignedOffsets(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, off := range []int{0, 1, 2, 3, 4, 5, 6, 7} {
+		n := 300
+		src := randBytes(rng, n+off)[off:]
+		dst := randBytes(rng, n+off)[off:]
+		want := append([]byte(nil), dst...)
+		mulAddSliceScalar(want, src, 0x8e)
+		MulAddSlice(dst, src, 0x8e)
+		if !bytes.Equal(dst, want) {
+			t.Fatalf("MulAddSlice mismatch at offset %d", off)
+		}
+	}
+}
+
+func TestSyndromePQMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, k := range []int{0, 1, 2, 3, 6, 16} {
+		for _, n := range []int{0, 1, 7, 8, 9, 64, 257, 1000} {
+			data := make([][]byte, k)
+			for i := range data {
+				data[i] = randBytes(rng, n)
+			}
+			p, q := randBytes(rng, n), randBytes(rng, n)
+			wantP, wantQ := make([]byte, n), make([]byte, n)
+			syndromePQScalar(wantP, wantQ, data)
+			SyndromePQ(p, q, data)
+			if !bytes.Equal(p, wantP) {
+				t.Fatalf("P mismatch at k=%d n=%d", k, n)
+			}
+			if !bytes.Equal(q, wantQ) {
+				t.Fatalf("Q mismatch at k=%d n=%d", k, n)
+			}
+
+			// The nil-p and nil-q halves must agree with the fused pass.
+			pOnly, qOnly := randBytes(rng, n), randBytes(rng, n)
+			SyndromePQ(pOnly, nil, data)
+			SyndromePQ(nil, qOnly, data)
+			if !bytes.Equal(pOnly, wantP) || !bytes.Equal(qOnly, wantQ) {
+				t.Fatalf("nil-arm mismatch at k=%d n=%d", k, n)
+			}
+		}
+	}
+}
+
+func TestSyndromePQLengthMismatchPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"chunk": func() { SyndromePQ(make([]byte, 8), make([]byte, 8), [][]byte{make([]byte, 7)}) },
+		"pq":    func() { SyndromePQ(make([]byte, 8), make([]byte, 9), nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMul2x8MatchesMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 1000; trial++ {
+		v := rng.Uint64()
+		got := mul2x8(v)
+		for lane := 0; lane < 8; lane++ {
+			b := byte(v >> (8 * lane))
+			if want := Mul(b, 2); byte(got>>(8*lane)) != want {
+				t.Fatalf("mul2x8 lane %d of %#x: got %#x want %#x", lane, v, byte(got>>(8*lane)), want)
+			}
+		}
+	}
+}
+
+func FuzzXORSlice(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, []byte{4, 5, 6, 7, 8, 9, 10, 11, 12})
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		dst, src := append([]byte(nil), a[:n]...), b[:n]
+		want := append([]byte(nil), dst...)
+		xorSliceScalar(want, src)
+		XORSlice(dst, src)
+		if !bytes.Equal(dst, want) {
+			t.Fatalf("mismatch for len %d", n)
+		}
+	})
+}
+
+func FuzzMulAddSlice(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9}, []byte{9, 8, 7, 6, 5, 4, 3, 2, 1}, byte(0x1d))
+	f.Fuzz(func(t *testing.T, a, b []byte, c byte) {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		dst, src := append([]byte(nil), a[:n]...), b[:n]
+		want := append([]byte(nil), dst...)
+		mulAddSliceScalar(want, src, c)
+		MulAddSlice(dst, src, c)
+		if !bytes.Equal(dst, want) {
+			t.Fatalf("mismatch for len %d c %d", n, c)
+		}
+	})
+}
+
+func FuzzSyndromePQ(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, uint8(3))
+	f.Fuzz(func(t *testing.T, flat []byte, k uint8) {
+		chunks := int(k%8) + 1
+		n := len(flat) / chunks
+		data := make([][]byte, chunks)
+		for i := range data {
+			data[i] = flat[i*n : (i+1)*n]
+		}
+		p, q := make([]byte, n), make([]byte, n)
+		wantP, wantQ := make([]byte, n), make([]byte, n)
+		syndromePQScalar(wantP, wantQ, data)
+		SyndromePQ(p, q, data)
+		if !bytes.Equal(p, wantP) || !bytes.Equal(q, wantQ) {
+			t.Fatalf("mismatch for %d chunks of %d bytes", chunks, n)
+		}
+	})
+}
+
+// --- microbenchmarks ---------------------------------------------------------
+
+var benchSizes = []int{4 << 10, 64 << 10, 512 << 10}
+
+func sizeName(n int) string {
+	return fmt.Sprintf("%dKB", n>>10)
+}
+
+func benchPair(n int) (dst, src []byte) {
+	dst, src = make([]byte, n), make([]byte, n)
+	for i := range src {
+		src[i] = byte(i*7 + 3)
+	}
+	return dst, src
+}
+
+func BenchmarkXORSlice(b *testing.B) {
+	for _, n := range benchSizes {
+		dst, src := benchPair(n)
+		b.Run(sizeName(n), func(b *testing.B) {
+			b.SetBytes(int64(n))
+			for i := 0; i < b.N; i++ {
+				XORSlice(dst, src)
+			}
+		})
+		b.Run(sizeName(n)+"-scalar", func(b *testing.B) {
+			b.SetBytes(int64(n))
+			for i := 0; i < b.N; i++ {
+				xorSliceScalar(dst, src)
+			}
+		})
+	}
+}
+
+func BenchmarkMulSlice(b *testing.B) {
+	for _, n := range benchSizes {
+		dst, src := benchPair(n)
+		b.Run(sizeName(n), func(b *testing.B) {
+			b.SetBytes(int64(n))
+			for i := 0; i < b.N; i++ {
+				MulSlice(dst, src, 0x1d)
+			}
+		})
+		b.Run(sizeName(n)+"-scalar", func(b *testing.B) {
+			b.SetBytes(int64(n))
+			for i := 0; i < b.N; i++ {
+				mulSliceScalar(dst, src, 0x1d)
+			}
+		})
+	}
+}
+
+func BenchmarkMulAddSlice(b *testing.B) {
+	for _, n := range benchSizes {
+		dst, src := benchPair(n)
+		b.Run(sizeName(n), func(b *testing.B) {
+			b.SetBytes(int64(n))
+			for i := 0; i < b.N; i++ {
+				MulAddSlice(dst, src, 0x1d)
+			}
+		})
+		b.Run(sizeName(n)+"-scalar", func(b *testing.B) {
+			b.SetBytes(int64(n))
+			for i := 0; i < b.N; i++ {
+				mulAddSliceScalar(dst, src, 0x1d)
+			}
+		})
+	}
+}
+
+func BenchmarkSyndromePQ(b *testing.B) {
+	const k = 6
+	for _, n := range benchSizes {
+		data := make([][]byte, k)
+		for i := range data {
+			_, data[i] = benchPair(n)
+		}
+		p, q := make([]byte, n), make([]byte, n)
+		b.Run(sizeName(n), func(b *testing.B) {
+			b.SetBytes(int64(n * k))
+			for i := 0; i < b.N; i++ {
+				SyndromePQ(p, q, data)
+			}
+		})
+		b.Run(sizeName(n)+"-scalar", func(b *testing.B) {
+			b.SetBytes(int64(n * k))
+			for i := 0; i < b.N; i++ {
+				syndromePQScalar(p, q, data)
+			}
+		})
+	}
+}

@@ -1,0 +1,73 @@
+package gf256
+
+// Scalar reference kernels. These are the obviously-correct byte-at-a-time
+// implementations of the vector operations in gf256.go; the optimized
+// word-wide kernels are property- and fuzz-tested against them (see
+// kernels_test.go). They are also the remainder loops for buffer tails
+// shorter than a machine word.
+
+// xorSliceScalar computes dst[i] ^= src[i], one byte at a time.
+func xorSliceScalar(dst, src []byte) {
+	for i, s := range src {
+		dst[i] ^= s
+	}
+}
+
+// mulSliceScalar computes dst[i] = c·src[i] via the log/exp tables.
+func mulSliceScalar(dst, src []byte, c byte) {
+	switch c {
+	case 0:
+		for i := range dst[:len(src)] {
+			dst[i] = 0
+		}
+	case 1:
+		copy(dst, src)
+	default:
+		logC := int(logTable[c])
+		for i, s := range src {
+			if s == 0 {
+				dst[i] = 0
+			} else {
+				dst[i] = expTable[logC+int(logTable[s])]
+			}
+		}
+	}
+}
+
+// mulAddSliceScalar computes dst[i] ^= c·src[i] via the log/exp tables.
+func mulAddSliceScalar(dst, src []byte, c byte) {
+	switch c {
+	case 0:
+		return
+	case 1:
+		xorSliceScalar(dst, src)
+	default:
+		logC := int(logTable[c])
+		for i, s := range src {
+			if s != 0 {
+				dst[i] ^= expTable[logC+int(logTable[s])]
+			}
+		}
+	}
+}
+
+// syndromePQScalar computes the P and Q syndromes chunk-by-chunk with the
+// scalar kernels: P as a running XOR, Q as Σ g^i·D_i.
+func syndromePQScalar(p, q []byte, data [][]byte) {
+	if p != nil {
+		for i := range p {
+			p[i] = 0
+		}
+		for _, d := range data {
+			xorSliceScalar(p, d)
+		}
+	}
+	if q != nil {
+		for i := range q {
+			q[i] = 0
+		}
+		for idx, d := range data {
+			mulAddSliceScalar(q, d, Exp(idx))
+		}
+	}
+}

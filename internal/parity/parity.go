@@ -10,6 +10,7 @@
 package parity
 
 import (
+	"bytes"
 	"fmt"
 
 	"draid/internal/gf256"
@@ -83,12 +84,7 @@ func (b Buffer) Equal(other Buffer) bool {
 	if b.data == nil || other.data == nil {
 		return b.data == nil && other.data == nil
 	}
-	for i := range b.data {
-		if b.data[i] != other.data[i] {
-			return false
-		}
-	}
-	return true
+	return bytes.Equal(b.data, other.data)
 }
 
 // XORInto computes dst ^= src, in place on dst's storage. Sizes must match.
@@ -128,6 +124,17 @@ func MulInto(src Buffer, c byte) Buffer {
 	return Buffer{size: src.size, data: out}
 }
 
+// Scale computes b = c·b in place on b's storage (no-op when elided) and
+// returns b. Use instead of MulInto when the source buffer is dead after the
+// call — it saves the fresh allocation.
+func Scale(b Buffer, c byte) Buffer {
+	if b.data == nil {
+		return b
+	}
+	gf256.MulSlice(b.data, b.data, c)
+	return b
+}
+
 // QCoeff returns the RAID-6 Q coefficient g^i for data-chunk index i.
 func QCoeff(i int) byte { return gf256.Exp(i) }
 
@@ -162,6 +169,30 @@ func ComputeQ(chunks []Buffer, idx []int) Buffer {
 		acc = MulAddInto(acc, c, QCoeff(j))
 	}
 	return acc
+}
+
+// ComputePQ returns both RAID-6 parity chunks of a full stripe in one fused
+// pass over the data (gf256.SyndromePQ reads every chunk exactly once, versus
+// one sweep per syndrome for ComputeP + ComputeQ). Chunk i carries data-chunk
+// index i. Results are elided if any input is.
+func ComputePQ(chunks []Buffer) (p, q Buffer) {
+	if len(chunks) == 0 {
+		panic("parity: ComputePQ of no chunks")
+	}
+	n := chunks[0].Len()
+	data := make([][]byte, len(chunks))
+	for i, c := range chunks {
+		if c.Len() != n {
+			panic(fmt.Sprintf("parity: ComputePQ chunk %d is %d bytes, want %d", i, c.Len(), n))
+		}
+		if c.data == nil {
+			return Buffer{size: n}, Buffer{size: n}
+		}
+		data[i] = c.data
+	}
+	p, q = Alloc(n), Alloc(n)
+	gf256.SyndromePQ(p.data, q.data, data)
+	return p, q
 }
 
 // Delta returns old ⊕ new — the RMW partial-parity seed for P. (For Q the

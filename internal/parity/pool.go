@@ -1,0 +1,67 @@
+package parity
+
+// Pool is a deterministic free list of materialized buffers, keyed by size.
+// Each sim.Engine owns its pools (one per node that recycles buffers), so
+// there is no cross-engine sharing and no locking — unlike sync.Pool, reuse
+// does not depend on GC timing or scheduling, which keeps simulation results
+// reproducible run to run and under `-parallel N`.
+//
+// Ownership rule: only Put buffers whose storage the caller exclusively owns.
+// Buffers that were sent over the fabric, sliced from a caller's payload, or
+// returned to user code must not be recycled — the pool would hand their
+// bytes to an unrelated stripe.
+//
+// A nil *Pool is valid and degrades to plain allocation.
+type Pool struct {
+	free map[int][][]byte
+
+	// Gets counts all Get/Clone calls, Hits the subset served from the free
+	// list (observability for the pooling tests and stats dumps).
+	Gets, Hits int
+}
+
+// NewPool returns an empty pool.
+func NewPool() *Pool { return &Pool{free: make(map[int][][]byte)} }
+
+// Get returns a zeroed materialized buffer of n bytes, reusing a recycled
+// buffer of the same size when one is available.
+func (p *Pool) Get(n int) Buffer {
+	if p == nil {
+		return Alloc(n)
+	}
+	p.Gets++
+	if list := p.free[n]; len(list) > 0 {
+		b := list[len(list)-1]
+		p.free[n] = list[:len(list)-1]
+		clear(b)
+		p.Hits++
+		return FromBytes(b)
+	}
+	return Alloc(n)
+}
+
+// Clone returns a pooled copy of src (elided stays elided, without touching
+// the pool).
+func (p *Pool) Clone(src Buffer) Buffer {
+	if p == nil || src.data == nil {
+		return src.Clone()
+	}
+	p.Gets++
+	if list := p.free[src.size]; len(list) > 0 {
+		b := list[len(list)-1]
+		p.free[src.size] = list[:len(list)-1]
+		copy(b, src.data)
+		p.Hits++
+		return FromBytes(b)
+	}
+	return src.Clone()
+}
+
+// Put recycles b's storage for a future Get/Clone of the same size. Elided
+// buffers and puts on a nil pool are no-ops. The caller must not use b after.
+func (p *Pool) Put(b Buffer) {
+	if p == nil || b.data == nil || b.size == 0 || len(b.data) != b.size {
+		return
+	}
+	p.free[b.size] = append(p.free[b.size], b.data)
+}

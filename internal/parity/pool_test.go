@@ -1,0 +1,150 @@
+package parity
+
+import "testing"
+
+func TestPoolGetReturnsZeroedReuse(t *testing.T) {
+	p := NewPool()
+	a := p.Get(16)
+	for i := range a.Data() {
+		a.Data()[i] = 0xAB
+	}
+	p.Put(a)
+
+	b := p.Get(16)
+	if &b.Data()[0] != &a.Data()[0] {
+		t.Fatal("Get after Put should reuse the recycled storage")
+	}
+	for i, v := range b.Data() {
+		if v != 0 {
+			t.Fatalf("recycled buffer not zeroed at %d: %#x", i, v)
+		}
+	}
+	if p.Gets != 2 || p.Hits != 1 {
+		t.Fatalf("stats = %d gets / %d hits, want 2/1", p.Gets, p.Hits)
+	}
+}
+
+func TestPoolSizesAreSegregated(t *testing.T) {
+	p := NewPool()
+	a := p.Get(8)
+	p.Put(a)
+	if b := p.Get(16); len(b.Data()) != 16 {
+		t.Fatalf("got %d-byte buffer, want 16", len(b.Data()))
+	}
+	if p.Hits != 0 {
+		t.Fatal("a different size must not hit the free list")
+	}
+	if c := p.Get(8); &c.Data()[0] != &a.Data()[0] {
+		t.Fatal("the 8-byte buffer should still be reusable")
+	}
+}
+
+func TestPoolClone(t *testing.T) {
+	p := NewPool()
+	src := FromBytes([]byte{1, 2, 3, 4})
+	c := p.Clone(src)
+	if !c.Equal(src) {
+		t.Fatal("pooled clone differs from source")
+	}
+	c.Data()[0] = 9
+	if src.Data()[0] != 1 {
+		t.Fatal("pooled clone aliases its source")
+	}
+	p.Put(c)
+	d := p.Clone(src)
+	if &d.Data()[0] != &c.Data()[0] || !d.Equal(src) {
+		t.Fatal("Clone should reuse recycled storage and copy the bytes")
+	}
+
+	if !p.Clone(Sized(5)).Elided() {
+		t.Fatal("clone of elided should stay elided")
+	}
+}
+
+func TestPoolNilSafe(t *testing.T) {
+	var p *Pool
+	b := p.Get(4)
+	if b.Elided() || b.Len() != 4 {
+		t.Fatal("nil pool Get should allocate")
+	}
+	p.Put(b) // must not panic
+	if !p.Clone(b).Equal(b) {
+		t.Fatal("nil pool Clone should copy")
+	}
+}
+
+func TestPoolIgnoresElidedPut(t *testing.T) {
+	p := NewPool()
+	p.Put(Sized(8))
+	if b := p.Get(8); b.Elided() {
+		t.Fatal("elided Put must not poison the free list")
+	}
+	if p.Hits != 0 {
+		t.Fatal("elided Put must not be reusable")
+	}
+}
+
+func TestScaleInPlace(t *testing.T) {
+	b := FromBytes([]byte{1, 2, 3})
+	want := MulInto(b, 7)
+	got := Scale(b, 7)
+	if !got.Equal(want) {
+		t.Fatal("Scale disagrees with MulInto")
+	}
+	if &got.Data()[0] != &b.Data()[0] {
+		t.Fatal("Scale should operate in place")
+	}
+	if !Scale(Sized(3), 7).Elided() {
+		t.Fatal("Scale of elided should stay elided")
+	}
+}
+
+// BenchmarkAccumulatorAllocVsPool measures the allocation behaviour the
+// server reduce path cares about: grab an accumulator, fold a contribution
+// in, release it. The pooled variant amortises to zero allocations per
+// stripe once the free list is warm.
+func BenchmarkAccumulatorAllocVsPool(b *testing.B) {
+	const n = 64 << 10
+	contrib := Alloc(n)
+	for i := range contrib.Data() {
+		contrib.Data()[i] = byte(i)
+	}
+	b.Run("alloc", func(b *testing.B) {
+		b.SetBytes(n)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			acc := Alloc(n)
+			MulAddInto(acc, contrib, 3)
+		}
+	})
+	b.Run("pool", func(b *testing.B) {
+		p := NewPool()
+		b.SetBytes(n)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			acc := p.Get(n)
+			MulAddInto(acc, contrib, 3)
+			p.Put(acc)
+		}
+	})
+}
+
+func TestComputePQMatchesSeparate(t *testing.T) {
+	chunks := []Buffer{
+		FromBytes([]byte{1, 2, 3, 4}),
+		FromBytes([]byte{5, 6, 7, 8}),
+		FromBytes([]byte{9, 10, 11, 12}),
+	}
+	p, q := ComputePQ(chunks)
+	if !p.Equal(ComputeP(chunks)) {
+		t.Fatal("fused P differs from ComputeP")
+	}
+	if !q.Equal(ComputeQ(chunks, nil)) {
+		t.Fatal("fused Q differs from ComputeQ")
+	}
+
+	pE, qE := ComputePQ([]Buffer{FromBytes([]byte{1, 2}), Sized(2)})
+	if !pE.Elided() || !qE.Elided() {
+		t.Fatal("any elided input should elide both results")
+	}
+}

@@ -25,11 +25,20 @@ import (
 // Σ_i clamp((B_i−λ)/load, 0, 1) = 1 and set P_i to the clamped terms; λ is
 // found by bisection (the sum is monotonically decreasing in λ).
 func MaxMinProbabilities(bandwidth []float64, load float64) []float64 {
+	return maxMinInto(nil, bandwidth, load)
+}
+
+// maxMinInto is MaxMinProbabilities writing into scratch (grown as needed),
+// so per-Pick callers can reuse one slice instead of allocating each call.
+func maxMinInto(scratch []float64, bandwidth []float64, load float64) []float64 {
 	n := len(bandwidth)
 	if n == 0 {
 		return nil
 	}
-	out := make([]float64, n)
+	if cap(scratch) < n {
+		scratch = make([]float64, n)
+	}
+	out := scratch[:n] // every element is assigned below
 	if load <= 0 {
 		for i := range out {
 			out[i] = 1 / float64(n)
@@ -154,6 +163,7 @@ type BandwidthTracker struct {
 	outRate  []EWMA // bytes/sec
 	loadRate EWMA   // reconstruction load L, bytes/sec
 	loadAcc  int64
+	measured []float64 // refresh scratch, one slot per NIC
 }
 
 // NewBandwidthTracker creates a tracker over the given NICs with the given
@@ -164,6 +174,7 @@ func NewBandwidthTracker(eng *sim.Engine, nics []*simnet.NIC, period sim.Duratio
 		lastTick: eng.Now(),
 		lastOut:  make([]int64, len(nics)),
 		outRate:  make([]EWMA, len(nics)),
+		measured: make([]float64, len(nics)),
 	}
 	for i := range t.outRate {
 		t.outRate[i].Alpha = 0.3
@@ -184,7 +195,7 @@ func (t *BandwidthTracker) refresh() {
 	}
 	windows := int64(elapsed) / t.period
 	secs := sim.Seconds(sim.Duration(elapsed))
-	measured := make([]float64, len(t.nics))
+	measured := t.measured
 	for i, nic := range t.nics {
 		cur := nic.BytesOut()
 		measured[i] = float64(cur-t.lastOut[i]) / secs
@@ -237,18 +248,26 @@ type BWAwareSelector struct {
 	// Fanout is (n−1): how many peer transfers the reducer absorbs per
 	// reconstruction relative to L.
 	Fanout int
+
+	// Per-Pick scratch, reused across calls (a Selector is single-threaded
+	// within its engine).
+	bw, probs []float64
 }
 
 // Pick implements Selector: it recomputes the max-min probabilities from
 // current bandwidth estimates and draws from them.
 func (s *BWAwareSelector) Pick(candidates []int, size int64) int {
 	s.Tracker.RecordReconstruction(size)
-	bw := make([]float64, len(candidates))
+	if cap(s.bw) < len(candidates) {
+		s.bw = make([]float64, len(candidates))
+	}
+	bw := s.bw[:len(candidates)]
 	for i, c := range candidates {
 		bw[i] = s.Tracker.Available(c)
 	}
 	load := s.Tracker.Load() * float64(s.Fanout)
-	probs := MaxMinProbabilities(bw, load)
+	probs := maxMinInto(s.probs, bw, load)
+	s.probs = probs
 	x := s.Rng.Float64()
 	var cum float64
 	for i, p := range probs {

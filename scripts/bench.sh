@@ -1,0 +1,28 @@
+#!/bin/sh
+# Kernel + harness benchmark runner.
+#
+# Runs the gf256 kernel microbenchmarks (vectorized and -scalar reference
+# variants at 4KB/64KB/512KB), the parity pool benchmarks, and the
+# harness-level BenchmarkFigAllQuick serial-vs-parallel comparison, with
+# allocation counts. Raw output lands in bench.out; curated before/after
+# numbers are recorded in BENCH_kernels.json.
+#
+#   ./scripts/bench.sh              # full pass (~minutes)
+#   COUNT=5 ./scripts/bench.sh     # more repetitions for stable numbers
+set -eux
+cd "$(dirname "$0")/.."
+
+COUNT="${COUNT:-1}"
+OUT="${OUT:-bench.out}"
+
+: > "$OUT"
+
+# Vectorized kernels vs their scalar references.
+go test -run '^$' -bench 'XORSlice|MulSlice|MulAddSlice|SyndromePQ' \
+    -benchmem -count "$COUNT" ./internal/gf256 | tee -a "$OUT"
+
+# Buffer-pool and parity-path allocation behaviour.
+go test -run '^$' -bench . -benchmem -count "$COUNT" ./internal/parity | tee -a "$OUT"
+
+# Harness: full figure batch, serial vs parallel workers.
+go test -run '^$' -bench 'FigAllQuick' -benchmem -count "$COUNT" . | tee -a "$OUT"

@@ -6,7 +6,9 @@
 #
 # FULL=1 additionally runs the fault-injection torture suites (mid-run
 # crashes, automatic detection, hot-spare rebuild, host failover) under
-# -race across their multi-seed tables — see `make torture`.
+# -race across their multi-seed tables — see `make torture` — plus a
+# single-iteration smoke pass over the kernel/harness benchmarks so a
+# benchmark that panics or regresses to non-compiling is caught here.
 set -eux
 cd "$(dirname "$0")/.."
 
@@ -17,4 +19,5 @@ go test -race ./...
 
 if [ "${FULL:-0}" = "1" ]; then
     make torture
+    go test -run '^$' -bench . -benchtime 1x ./internal/gf256 ./internal/parity .
 fi
