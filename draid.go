@@ -236,6 +236,9 @@ type Array struct {
 	hostCfg core.Config
 	// sup is the fault-supervision stack (nil unless Spares or Health.Detect).
 	sup *repair.Supervisor
+	// vol is non-nil for arrays opened through a Pool: traffic accounting is
+	// then scoped to the volume's share of the host NIC.
+	vol *cluster.Volume
 }
 
 // New assembles the testbed and attaches the dRAID host controller.
@@ -312,7 +315,7 @@ func New(cfg Config) (*Array, error) {
 		arr.sup = repair.NewSupervisor(cl.Eng, host, repair.Config{
 			Detector: det,
 			Rebuild:  repair.RebuilderConfig{RateMBps: cfg.RebuildRateMBps},
-			Spares:   cl.SpareIDs(),
+			Pool:     cl.Spares,
 		}, cl.Tracer)
 		if cfg.Health.Detect {
 			arr.sup.Start()
@@ -477,7 +480,9 @@ func (a *Array) FailedDrives() []int { return a.host.FailedMembers() }
 // experiments; pass 0 to rebuild the full device.
 func (a *Array) RebuildDrive(i int, stripes int64) error {
 	if stripes <= 0 {
-		stripes = a.cl.DriveCapacity() / a.host.Geometry().ChunkSize
+		// Derive the stripe count from the device size, so a volume sharing
+		// its drives rebuilds only its own extent.
+		stripes = a.host.Size() / a.host.Geometry().StripeDataSize()
 	}
 	// The replacement drive accepts writes while reads still avoid it.
 	a.cl.RecoverTarget(i)
@@ -589,15 +594,30 @@ func (a *Array) FailoverHost() (int, error) {
 
 // HostTraffic returns the client-side NIC (outbound, inbound) bytes since
 // the last ResetTraffic — the controller node's NIC normally, the thin
-// client's NIC when the controller is offloaded.
+// client's NIC when the controller is offloaded. For a volume opened
+// through a Pool, only this volume's share of the shared host NIC is
+// reported.
 func (a *Array) HostTraffic() (out, in int64) {
+	if a.vol != nil {
+		return a.cl.VolumeHostBytes(a.vol.ID)
+	}
 	return a.clientNode.BytesOut(), a.clientNode.BytesIn()
 }
 
-// ResetTraffic zeroes the NIC counters.
+// ResetTraffic zeroes the NIC counters. On a Pool volume this resets the
+// whole shared cluster's counters, co-tenant volumes included.
 func (a *Array) ResetTraffic() {
 	a.cl.ResetTraffic()
 	a.clientNode.ResetCounters()
+}
+
+// VolumeID returns the array's volume number on its cluster (0 for a
+// standalone draid.New array).
+func (a *Array) VolumeID() int {
+	if a.vol != nil {
+		return int(a.vol.ID)
+	}
+	return 0
 }
 
 // Cluster exposes the underlying testbed for advanced scenarios (fault

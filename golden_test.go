@@ -1,0 +1,95 @@
+package draid_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"testing"
+
+	"draid"
+	"draid/internal/experiments"
+)
+
+// The golden files under testdata/golden were captured from the tree
+// immediately before the volume-layer refactor. These tests pin the
+// refactor's core promise: a single-volume array built through draid.New is
+// byte-for-byte identical to the pre-volume code on the same seed — same
+// trace, same traffic, same experiment reports.
+
+func golden(t *testing.T, name string) []byte {
+	t.Helper()
+	b, err := os.ReadFile("testdata/golden/" + name)
+	if err != nil {
+		t.Fatalf("golden file: %v", err)
+	}
+	return b
+}
+
+func TestGoldenSingleVolumeTraceAndStats(t *testing.T) {
+	arr, err := draid.New(draid.Config{
+		Drives: 5, ChunkSize: 64 << 10, DriveCapacity: 1 << 20,
+		Seed: 3, Observe: draid.Observe{Trace: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 256<<10)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	if err := arr.WriteSync(0, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := arr.WriteSync(96<<10, payload[:32<<10]); err != nil {
+		t.Fatal(err)
+	}
+	arr.FailDrive(2)
+	got, err := arr.ReadSync(0, int64(len(payload)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("degraded read returned wrong data")
+	}
+
+	var buf bytes.Buffer
+	if err := arr.Trace().WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if want := golden(t, "golden_single_volume_trace.json"); !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("single-volume Chrome trace drifted from pre-refactor golden (%d bytes vs %d)",
+			buf.Len(), len(want))
+	}
+
+	o, in := arr.HostTraffic()
+	stats := arr.Stats()
+	summary := fmt.Sprintf("hostOut=%d hostIn=%d writes=%d reads=%d degraded=%d rmw=%d full=%d\n",
+		o, in, stats.Writes, stats.Reads, stats.DegradedReads, stats.RMWWrites, stats.FullStripeWrites)
+	if want := golden(t, "golden_single_volume_stats.txt"); summary != string(want) {
+		t.Errorf("traffic/stats summary drifted:\n got: %s want: %s", summary, want)
+	}
+}
+
+func TestGoldenExperimentReports(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweeps in -short mode")
+	}
+	for _, tc := range []struct {
+		id     string
+		seed   int64
+		golden string
+	}{
+		{"fig09", 1, "golden_fig09_quick.txt"},
+		{"fig12", 7, "golden_fig12_quick_seed7.txt"},
+	} {
+		t.Run(tc.id, func(t *testing.T) {
+			got, err := experiments.Run(tc.id, experiments.Options{Quick: true, Seed: tc.seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := golden(t, tc.golden); got != string(want) {
+				t.Errorf("%s quick report drifted from pre-refactor golden", tc.id)
+			}
+		})
+	}
+}

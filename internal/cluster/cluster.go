@@ -77,15 +77,50 @@ type Cluster struct {
 	Cores    []*cpu.Core
 	Servers  []*core.ServerController
 	Costs    cpu.Costs
+	// Spares arbitrates the cluster's hot spares among its volumes'
+	// rebuild supervisors (first claim wins).
+	Spares *core.SparePool
 	// Tracer is the structured trace collector (nil unless Spec.Observe).
 	Tracer *trace.Collector
 	spec   Spec
+
+	// volumes registers the virtual arrays sharing this cluster's drives,
+	// indexed by VolumeID. nextBase is the per-drive allocation cursor:
+	// volume extents are carved off each drive front to back.
+	volumes  []*Volume
+	nextBase int64
+}
+
+// Volume is one virtual array registered on a shared cluster: its own
+// geometry and host controller over an exclusive extent of every drive.
+type Volume struct {
+	ID   core.VolumeID
+	Name string
+	Host *core.HostController
+	Cfg  core.Config
+	// Base and Extent delimit the volume's slice [Base, Base+Extent) of
+	// every member drive.
+	Base   int64
+	Extent int64
+}
+
+// Validate reports why a spec cannot be assembled (too few or negative
+// targets yield zero-drive clusters whose accessors would otherwise
+// index-panic).
+func (s Spec) Validate() error {
+	if s.Targets < 3 {
+		return fmt.Errorf("cluster: need at least 3 targets, got %d", s.Targets)
+	}
+	if s.Spares < 0 {
+		return fmt.Errorf("cluster: negative spare count %d", s.Spares)
+	}
+	return nil
 }
 
 // New builds a cluster.
 func New(spec Spec) *Cluster {
-	if spec.Targets < 3 {
-		panic(fmt.Sprintf("cluster: need at least 3 targets, got %d", spec.Targets))
+	if err := spec.Validate(); err != nil {
+		panic(err.Error())
 	}
 	if spec.HostGbps == 0 {
 		spec.HostGbps = 100
@@ -187,11 +222,17 @@ func New(spec Spec) *Cluster {
 		}
 		c.Servers = append(c.Servers, core.NewServer(core.NodeID(i), eng, c.Fabric, c.Drives[i], c.Cores[i], scfg))
 	}
+	c.Spares = core.NewSparePool(c.SpareIDs())
 	return c
 }
 
 // DriveCapacity returns the per-drive capacity.
-func (c *Cluster) DriveCapacity() int64 { return c.Drives[0].Spec().Capacity }
+func (c *Cluster) DriveCapacity() int64 {
+	if len(c.Drives) == 0 {
+		panic("cluster: no drives configured (zero-target spec?)")
+	}
+	return c.Drives[0].Spec().Capacity
+}
 
 // SpareIDs returns the fabric NodeIDs of the hot spares, in pool order.
 func (c *Cluster) SpareIDs() []core.NodeID {
@@ -202,9 +243,8 @@ func (c *Cluster) SpareIDs() []core.NodeID {
 	return ids
 }
 
-// NewDRAID attaches a dRAID host controller for the given geometry. Config
-// fields left zero pick up the cluster defaults.
-func (c *Cluster) NewDRAID(cfg core.Config) *core.HostController {
+// resolveConfig fills zero Config fields with the cluster defaults.
+func (c *Cluster) resolveConfig(cfg core.Config) core.Config {
 	if cfg.Geometry.Width == 0 {
 		cfg.Geometry = raid.Geometry{Level: raid.Raid5, Width: c.spec.Targets, ChunkSize: 512 << 10}
 	}
@@ -217,7 +257,69 @@ func (c *Cluster) NewDRAID(cfg core.Config) *core.HostController {
 	if cfg.Tracer == nil {
 		cfg.Tracer = c.Tracer
 	}
-	return core.NewHost(c.Eng, c.Fabric, c.DriveCapacity(), cfg)
+	return cfg
+}
+
+// AddVolume registers a virtual array on the cluster: a dRAID host
+// controller over the next free extent of every drive. extent is the
+// per-drive slice length in bytes; 0 claims all remaining capacity. Config
+// fields left zero pick up the cluster defaults; Volume and DriveBase are
+// assigned by the registry.
+func (c *Cluster) AddVolume(name string, extent int64, cfg core.Config) (*Volume, error) {
+	remaining := c.DriveCapacity() - c.nextBase
+	if extent == 0 {
+		extent = remaining
+	}
+	if extent <= 0 || extent > remaining {
+		return nil, fmt.Errorf("cluster: volume %q wants %d bytes/drive, %d remaining", name, extent, remaining)
+	}
+	cfg = c.resolveConfig(cfg)
+	cfg.Volume = core.VolumeID(len(c.volumes))
+	cfg.DriveBase = c.nextBase
+	v := &Volume{
+		ID: cfg.Volume, Name: name, Cfg: cfg,
+		Base: c.nextBase, Extent: extent,
+	}
+	v.Host = core.NewHost(c.Eng, c.Fabric, extent, cfg)
+	c.volumes = append(c.volumes, v)
+	c.nextBase += extent
+	return v, nil
+}
+
+// Volumes returns the registered volumes in creation (= VolumeID) order.
+func (c *Cluster) Volumes() []*Volume { return c.volumes }
+
+// VolumeByID returns a registered volume, or nil.
+func (c *Cluster) VolumeByID(id core.VolumeID) *Volume {
+	if int(id) >= len(c.volumes) {
+		return nil
+	}
+	return c.volumes[id]
+}
+
+// NewDRAID attaches a dRAID host controller for the given geometry. Config
+// fields left zero pick up the cluster defaults.
+//
+// This is the single-volume compatibility entry: the first call registers
+// volume cfg.Volume (normally 0) over the drives' full remaining capacity;
+// a later call naming an already-registered volume builds a replacement
+// controller on the same extent and takes over its fabric endpoint (host
+// failover). Multi-tenant setups use AddVolume directly.
+func (c *Cluster) NewDRAID(cfg core.Config) *core.HostController {
+	if int(cfg.Volume) < len(c.volumes) {
+		v := c.volumes[cfg.Volume]
+		cfg = c.resolveConfig(cfg)
+		cfg.Volume = v.ID
+		cfg.DriveBase = v.Base
+		v.Cfg = cfg
+		v.Host = core.NewHost(c.Eng, c.Fabric, v.Extent, cfg)
+		return v.Host
+	}
+	v, err := c.AddVolume(fmt.Sprintf("vol%d", len(c.volumes)), 0, cfg)
+	if err != nil {
+		panic(err.Error())
+	}
+	return v.Host
 }
 
 // FailTarget fails a target end to end: the node drops off the network and
@@ -236,15 +338,25 @@ func (c *Cluster) RecoverTarget(i int) {
 }
 
 // TotalHostBytes reports the host NIC traffic (out, in) since the last
-// counter reset — the quantity Table 1 accounts.
+// counter reset — the quantity Table 1 accounts, aggregated over all
+// volumes sharing the host NIC.
 func (c *Cluster) TotalHostBytes() (out, in int64) {
 	return c.HostNode.BytesOut(), c.HostNode.BytesIn()
 }
 
-// ResetTraffic zeroes all NIC counters on the host and targets.
+// VolumeHostBytes reports the host NIC traffic (out, in) attributed to one
+// volume. Summed over Volumes() it equals TotalHostBytes (offload-client
+// traffic excepted, which bypasses the fabric attribution).
+func (c *Cluster) VolumeHostBytes(id core.VolumeID) (out, in int64) {
+	return c.Fabric.HostVolumeBytes(id)
+}
+
+// ResetTraffic zeroes all NIC counters on the host and targets, and the
+// per-volume attribution alongside them.
 func (c *Cluster) ResetTraffic() {
 	c.HostNode.ResetCounters()
 	for _, t := range c.Targets {
 		t.ResetCounters()
 	}
+	c.Fabric.ResetHostVolumeBytes()
 }

@@ -91,3 +91,58 @@ func TestTooFewTargetsPanics(t *testing.T) {
 	}()
 	New(Spec{Targets: 2})
 }
+
+func TestSpecValidateZeroDrives(t *testing.T) {
+	if err := (Spec{Targets: 0}).Validate(); err == nil {
+		t.Fatal("zero-target spec validated")
+	}
+	if err := (Spec{Targets: 8, Spares: -1}).Validate(); err == nil {
+		t.Fatal("negative spare count validated")
+	}
+	if err := (Spec{Targets: 8}).Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	// A hand-built cluster with no drives must refuse capacity queries with
+	// a clear message instead of an index panic.
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("no panic")
+		}
+		if s, ok := r.(string); !ok || s == "" {
+			t.Fatalf("panic value %v is not a message", r)
+		}
+	}()
+	(&Cluster{}).DriveCapacity()
+}
+
+func TestAddVolumeCarvesDisjointExtents(t *testing.T) {
+	spec := DefaultSpec()
+	spec.Targets = 5
+	cl := New(spec)
+	geo := core.Config{Geometry: raid.Geometry{Level: raid.Raid5, Width: 5, ChunkSize: 64 << 10}}
+	half := cl.DriveCapacity() / 2
+	v0, err := cl.AddVolume("a", half, geo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err := cl.AddVolume("b", 0, geo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v0.ID != 0 || v1.ID != 1 {
+		t.Fatalf("volume ids %d, %d", v0.ID, v1.ID)
+	}
+	if v0.Base != 0 || v0.Extent != half || v1.Base != half || v1.Extent != cl.DriveCapacity()-half {
+		t.Fatalf("extents: v0=[%d,%d) v1=[%d,%d)", v0.Base, v0.Base+v0.Extent, v1.Base, v1.Base+v1.Extent)
+	}
+	if _, err := cl.AddVolume("c", 1<<20, geo); err == nil {
+		t.Fatal("overcommitted volume accepted")
+	}
+	if got := cl.Volumes(); len(got) != 2 || cl.VolumeByID(0) != v0 || cl.VolumeByID(1) != v1 {
+		t.Fatal("registry lookup broken")
+	}
+	if cl.VolumeByID(7) != nil {
+		t.Fatal("unknown volume id should be nil")
+	}
+}

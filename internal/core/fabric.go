@@ -23,6 +23,12 @@ type NodeID int
 // HostID is the host's NodeID.
 const HostID NodeID = -1
 
+// VolumeID identifies one virtual array (an NVMe namespace) among the many
+// that may share a cluster. It rides in every capsule's NSID field, so the
+// shared host endpoint can demultiplex completions to the owning controller
+// and the servers can keep per-volume reduce state apart.
+type VolumeID uint32
+
 // NoDest marks an unused next-dest field.
 const NoDest uint16 = 0xFFFF
 
@@ -64,7 +70,26 @@ type Fabric struct {
 	hostConn []*simnet.Conn          // host ↔ target i (shared per node)
 	mesh     map[[2]int]*simnet.Conn // target i ↔ j, i < j (nil = co-located)
 	handlers map[NodeID]Handler
+	// volHandlers demultiplexes the shared host endpoint by volume: every
+	// capsule carries its VolumeID in NSID, so N host controllers can share
+	// one fabric endpoint without seeing each other's completions. Servers
+	// stay volume-agnostic and register in handlers.
+	volHandlers map[volKey]Handler
+	// volBytes attributes host-NIC wire bytes (capsule + payload + header)
+	// to the volume named in each capsule — the per-tenant half of the
+	// Table 1 traffic accounting. Mirrors NIC counter semantics: out counts
+	// at send (even if the message is later dropped), in counts at delivery.
+	volBytes map[VolumeID]*volTraffic
 }
+
+// volKey addresses a volume-scoped handler on one endpoint.
+type volKey struct {
+	node NodeID
+	vol  VolumeID
+}
+
+// volTraffic counts one volume's host-NIC bytes.
+type volTraffic struct{ out, in int64 }
 
 // NewFabric connects hostNode to every target server and servers pairwise.
 // Entries of targets may repeat (co-located bdevs): each distinct node pair
@@ -72,8 +97,10 @@ type Fabric struct {
 func NewFabric(net *simnet.Network, hostNode *simnet.Node, targets []*simnet.Node) *Fabric {
 	f := &Fabric{
 		net: net, hostNode: hostNode, targets: targets,
-		mesh:     make(map[[2]int]*simnet.Conn),
-		handlers: make(map[NodeID]Handler),
+		mesh:        make(map[[2]int]*simnet.Conn),
+		handlers:    make(map[NodeID]Handler),
+		volHandlers: make(map[volKey]Handler),
+		volBytes:    make(map[VolumeID]*volTraffic),
 	}
 	hostByNode := make(map[*simnet.Node]*simnet.Conn)
 	for _, t := range targets {
@@ -108,8 +135,59 @@ func NewFabric(net *simnet.Network, hostNode *simnet.Node, targets []*simnet.Nod
 	return f
 }
 
-// Register installs the message handler for an endpoint.
+// Register installs the endpoint-wide message handler for an endpoint: the
+// fallback when no volume-scoped handler matches a capsule's NSID. Servers
+// (volume-agnostic bdevs) register here.
 func (f *Fabric) Register(id NodeID, h Handler) { f.handlers[id] = h }
+
+// RegisterVolume installs a volume-scoped handler on an endpoint: capsules
+// whose NSID names vol are delivered to h, others fall back to the
+// endpoint-wide handler. Host controllers register here so many volumes can
+// share the host endpoint. Re-registering (host failover) replaces the
+// handler.
+func (f *Fabric) RegisterVolume(id NodeID, vol VolumeID, h Handler) {
+	f.volHandlers[volKey{node: id, vol: vol}] = h
+}
+
+// deliver routes a message to the endpoint's volume handler when one is
+// registered for the capsule's namespace, else to the endpoint-wide handler.
+func (f *Fabric) deliver(to NodeID, m Message) {
+	if h, ok := f.volHandlers[volKey{node: to, vol: VolumeID(m.Cmd.NSID)}]; ok {
+		h(m)
+		return
+	}
+	if h := f.handlers[to]; h != nil {
+		h(m)
+	}
+}
+
+// vol returns (creating on demand) the traffic record for a volume.
+func (f *Fabric) vol(id VolumeID) *volTraffic {
+	t, ok := f.volBytes[id]
+	if !ok {
+		t = &volTraffic{}
+		f.volBytes[id] = t
+	}
+	return t
+}
+
+// HostVolumeBytes reports the host-NIC wire bytes (out, in) attributed to
+// one volume since the last ResetHostVolumeBytes. Summed over a cluster's
+// volumes it equals the host node's NIC counters (sans offload-client
+// traffic, which bypasses the fabric).
+func (f *Fabric) HostVolumeBytes(vol VolumeID) (out, in int64) {
+	if t, ok := f.volBytes[vol]; ok {
+		return t.out, t.in
+	}
+	return 0, 0
+}
+
+// ResetHostVolumeBytes zeroes the per-volume host traffic attribution.
+func (f *Fabric) ResetHostVolumeBytes() {
+	for _, t := range f.volBytes {
+		t.out, t.in = 0, 0
+	}
+}
 
 // Width returns the number of targets.
 func (f *Fabric) Width() int { return len(f.targets) }
@@ -166,9 +244,7 @@ func (f *Fabric) Send(from, to NodeID, cmd nvmeof.Command, payload parity.Buffer
 			if dstNode.Down() {
 				return
 			}
-			if h := f.handlers[to]; h != nil {
-				h(Message{Cmd: cmd, Payload: payload, From: from})
-			}
+			f.deliver(to, Message{Cmd: cmd, Payload: payload, From: from})
 		})
 		return
 	}
@@ -177,9 +253,16 @@ func (f *Fabric) Send(from, to NodeID, cmd nvmeof.Command, payload parity.Buffer
 		panic(fmt.Sprintf("core: no connection %d→%d", from, to))
 	}
 	size := int64(cmd.EncodedSize()) + int64(payload.Len())
+	wire := size + f.net.Config().HeaderBytes
+	if from == HostID {
+		// Outbound bytes count at send, like the NIC's counter: a message
+		// dropped downstream still consumed host NIC bandwidth.
+		f.vol(VolumeID(cmd.NSID)).out += wire
+	}
 	c.Send(srcNode, size, func() {
-		if h := f.handlers[to]; h != nil {
-			h(Message{Cmd: cmd, Payload: payload, From: from})
+		if to == HostID {
+			f.vol(VolumeID(cmd.NSID)).in += wire
 		}
+		f.deliver(to, Message{Cmd: cmd, Payload: payload, From: from})
 	})
 }

@@ -104,7 +104,7 @@ func TestServerReturnsErrorCompletionOnBadRange(t *testing.T) {
 	cl, h := testCluster(t, 4, raid.Raid5)
 	_ = h
 	var status nvmeof.Status = 200
-	cl.Fabric.Register(core.HostID, func(m core.Message) { status = m.Cmd.Status })
+	cl.Fabric.RegisterVolume(core.HostID, 0, func(m core.Message) { status = m.Cmd.Status })
 	cl.Fabric.Send(core.HostID, 0, nvmeof.Command{
 		Opcode: nvmeof.OpRead, Offset: 1 << 60, Length: 4096,
 	}, parity.Buffer{})

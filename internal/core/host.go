@@ -18,6 +18,16 @@ import (
 type Config struct {
 	Geometry raid.Geometry
 	Costs    cpu.Costs
+	// Volume names the virtual array this controller serves. Every capsule
+	// it issues carries the ID in NSID, so N controllers can share the host
+	// fabric endpoint and the servers' reduce state stays per-volume.
+	// Volume 0 is the single-volume default.
+	Volume VolumeID
+	// DriveBase is the byte offset on every member drive at which this
+	// volume's extent starts. A controller owns [DriveBase,
+	// DriveBase+driveCapacity) of each drive rather than assuming the drive
+	// from offset 0 — the indirection that lets volumes share drives.
+	DriveBase int64
 	// HostCores sizes the host's reactor pool (default 4).
 	HostCores int
 	// Deadline bounds each stripe operation (§5.4). Zero means 1s.
@@ -222,13 +232,30 @@ func NewHost(eng *sim.Engine, fab *Fabric, driveCapacity int64, cfg Config) *Hos
 		h.memberNode[m] = NodeID(m)
 	}
 	if t := cfg.Tracer; t.Enabled() {
-		h.opsTrack = t.Track("host", "ops")
-		h.rpcTrack = t.Track("host", "rpc")
-		t.AddGauge(h.opsTrack, "host cores busy",
+		// Volume 0 keeps the historical bare "host" track names so
+		// single-volume traces stay byte-identical; further volumes get
+		// their own timelines.
+		proc := "host"
+		if cfg.Volume != 0 {
+			proc = fmt.Sprintf("host/v%d", cfg.Volume)
+		}
+		h.opsTrack = t.Track(proc, "ops")
+		h.rpcTrack = t.Track(proc, "rpc")
+		t.AddGauge(h.opsTrack, proc+" cores busy",
 			trace.PoolUtilizationGauge(eng, cfg.HostCores, h.cores.BusyTotal))
 	}
-	fab.Register(HostID, h.handle)
+	fab.RegisterVolume(HostID, cfg.Volume, h.handle)
 	return h
+}
+
+// Volume returns the controller's volume ID.
+func (h *HostController) Volume() VolumeID { return h.cfg.Volume }
+
+// driveOff translates a stripe number to the absolute per-drive byte offset
+// of its chunks: the volume's extent base plus the geometry's stripe offset.
+// Every capsule the controller issues addresses drives through this mapping.
+func (h *HostController) driveOff(stripe int64) int64 {
+	return h.cfg.DriveBase + h.geo.DriveOffset(stripe)
 }
 
 // Size implements blockdev.Device.
@@ -536,9 +563,11 @@ func (h *HostController) Adopt(prev *HostController) []int64 {
 	return prev.DirtyStripes()
 }
 
-// send issues a capsule for an operation.
+// send issues a capsule for an operation, stamped with the op ID and the
+// controller's volume so servers and the fabric demux can attribute it.
 func (h *HostController) send(op *stripeOp, to NodeID, cmd nvmeof.Command, payload parity.Buffer) {
 	cmd.ID = op.id
+	cmd.NSID = uint32(h.cfg.Volume)
 	if t := h.cfg.Tracer; t.Enabled() {
 		op.rpcs = append(op.rpcs, rpcSpan{target: to, span: t.Begin(h.rpcTrack, "rpc",
 			fmt.Sprintf("%s→t%d", cmd.SpanName(), int(to)), trace.I64("id", int64(op.id)))})
@@ -684,7 +713,7 @@ func (h *HostController) normalReadExtent(e raid.Extent, asm *assembler, fail *e
 
 func (h *HostController) normalReadExtentAttempt(e raid.Extent, asm *assembler, fail *error, done func(), attempt int) {
 	target := h.nodeAt(e.Stripe, h.geo.DataDrive(e.Stripe, e.Chunk))
-	absOff := h.geo.DriveOffset(e.Stripe) + e.Off
+	absOff := h.driveOff(e.Stripe) + e.Off
 	op := h.newStripeOp("read", e.Stripe, 1, []NodeID{target},
 		func() { done() },
 		func(missing []NodeID) { h.readFailurePath(e, missing, asm, fail, done, attempt) },
@@ -760,7 +789,7 @@ func (h *HostController) degradedReadStripe(stripe int64, failedExt raid.Extent,
 		return
 	}
 
-	rOff := h.geo.DriveOffset(stripe) + failedExt.Off
+	rOff := h.driveOff(stripe) + failedExt.Off
 	rLen := failedExt.Len
 
 	// Participants: every healthy member holding a data chunk of this
@@ -850,7 +879,7 @@ func (h *HostController) degradedReadStripe(stripe int64, failedExt raid.Extent,
 		readOff, readLen := rOff, rLen
 		if p.own != nil {
 			cmd.Subtype = nvmeof.SubAlsoRead
-			ownOff := h.geo.DriveOffset(stripe) + p.own.Off
+			ownOff := h.driveOff(stripe) + p.own.Off
 			cmd.SGL = []nvmeof.SGE{{Off: ownOff, Len: p.own.Len}}
 			lo, hi := readOff, readOff+readLen
 			if ownOff < lo {

@@ -31,7 +31,7 @@ type fbPiece struct {
 // available) and solve with GF arithmetic.
 func (h *HostController) hostFallbackRead(stripe int64, failedExt raid.Extent, normal []raid.Extent, asm *assembler, fail *error, done func()) {
 	h.stats.HostFallbackReads++
-	rOff := h.geo.DriveOffset(stripe) + failedExt.Off
+	rOff := h.driveOff(stripe) + failedExt.Off
 	rLen := failedExt.Len
 
 	// The op below covers the survivor fetch; normal extents outside the

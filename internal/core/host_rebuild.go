@@ -29,7 +29,7 @@ func (h *HostController) writeChunkToNode(stripe int64, to NodeID, b parity.Buff
 	)
 	h.send(op, to, nvmeof.Command{
 		Opcode: nvmeof.OpWrite,
-		Offset: h.geo.DriveOffset(stripe), Length: h.geo.ChunkSize,
+		Offset: h.driveOff(stripe), Length: h.geo.ChunkSize,
 	}, b)
 }
 
@@ -124,7 +124,7 @@ func (h *HostController) ReconstructStripeChunk(stripe int64, member int, cb fun
 	}
 	h.stats.Reconstructions++
 	kind, lostIdx := h.geo.Role(stripe, member)
-	base := h.geo.DriveOffset(stripe)
+	base := h.driveOff(stripe)
 	cs := h.geo.ChunkSize
 
 	type part struct {

@@ -48,7 +48,7 @@ func (h *HostController) DirtyStripes() []int64 {
 // repairs consistency, not the write hole.
 func (h *HostController) ResyncStripe(stripe int64, cb func(error)) {
 	h.stats.Resyncs++
-	base := h.geo.DriveOffset(stripe)
+	base := h.driveOff(stripe)
 	cs := h.geo.ChunkSize
 	k := h.geo.DataChunks()
 

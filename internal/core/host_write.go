@@ -201,7 +201,7 @@ func (h *HostController) fullStripeWrite(stripe int64, data parity.Buffer, exts 
 		}
 		chunks[e.Chunk] = data.Slice(int(e.VOff), int(cs))
 	}
-	absOff := h.geo.DriveOffset(stripe)
+	absOff := h.driveOff(stripe)
 
 	var targets []NodeID
 	for c := 0; c < k; c++ {
@@ -268,7 +268,7 @@ func (h *HostController) plainWrites(stripe int64, exts []raid.Extent, data pari
 		t := h.nodeAt(stripe, h.geo.DataDrive(stripe, e.Chunk))
 		h.send(op, t, nvmeof.Command{
 			Opcode: nvmeof.OpWrite,
-			Offset: h.geo.DriveOffset(stripe) + e.Off, Length: e.Len,
+			Offset: h.driveOff(stripe) + e.Off, Length: e.Len,
 		}, data.Slice(int(e.VOff), int(e.Len)))
 	}
 }
@@ -290,7 +290,7 @@ func (h *HostController) parityDests(stripe int64, pAlive, qAlive bool) (pDest, 
 // each written data bdev, Parity to the reducer(s), peer-to-peer delta
 // forwarding, non-blocking reduce.
 func (h *HostController) rmwWrite(stripe int64, exts []raid.Extent, data parity.Buffer, pAlive, qAlive bool, onTimeout func([]NodeID), done func(error)) {
-	base := h.geo.DriveOffset(stripe)
+	base := h.driveOff(stripe)
 	uLo, uHi := unionRange(exts)
 	union := nvmeof.SGE{Off: base + uLo, Len: uHi - uLo}
 	pDest, qDest := h.parityDests(stripe, pAlive, qAlive)
@@ -343,7 +343,7 @@ func (h *HostController) rmwWrite(stripe int64, exts []raid.Extent, data parity.
 // hostContrib, when non-nil, is the failed chunk whose new data the host
 // contributes directly to the reducer(s) (degraded writes).
 func (h *HostController) rcwWrite(stripe int64, exts []raid.Extent, data parity.Buffer, hostContrib *raid.Extent, pAlive, qAlive bool, onTimeout func([]NodeID), done func(error)) {
-	base := h.geo.DriveOffset(stripe)
+	base := h.driveOff(stripe)
 	uLo, uHi := unionRange(exts)
 	union := nvmeof.SGE{Off: base + uLo, Len: uHi - uLo}
 	pDest, qDest := h.parityDests(stripe, pAlive, qAlive)
@@ -443,7 +443,7 @@ func (h *HostController) rcwWrite(stripe int64, exts []raid.Extent, data parity.
 // budget.
 func (h *HostController) hostFallbackWrite(stripe int64, exts []raid.Extent, data parity.Buffer, onTimeout func([]NodeID), done func(error)) {
 	h.stats.HostFallbackWrites++
-	base := h.geo.DriveOffset(stripe)
+	base := h.driveOff(stripe)
 	uLo, uHi := unionRange(exts)
 	uLen := uHi - uLo
 	k := h.geo.DataChunks()

@@ -50,10 +50,18 @@ type ServerController struct {
 	// case it is not recycled).
 	pool *parity.Pool
 
-	// Reduce-phase state (Algorithm 2), keyed by command ID. The paper keys
-	// by offset, relying on single-writer-per-stripe admission; command IDs
-	// are equivalent under that invariant and carry it explicitly.
-	reduces map[uint64]*reduceState
+	// Reduce-phase state (Algorithm 2), keyed by (volume, command ID). The
+	// paper keys by offset, relying on single-writer-per-stripe admission;
+	// command IDs are equivalent under that invariant and carry it
+	// explicitly. The volume qualifier keeps co-tenant hosts — which assign
+	// op IDs independently — from colliding in one bdev's reduce table.
+	reduces map[reduceKey]*reduceState
+}
+
+// reduceKey names one reduction: the issuing volume plus its op ID.
+type reduceKey struct {
+	vol uint32
+	id  uint64
 }
 
 // reduceState accumulates partial results for one reduction (parity update
@@ -73,6 +81,7 @@ type reduceState struct {
 	// reconstructions return it to the host instead (§6.1 decoupled paths).
 	writeBack bool
 	replyTo   NodeID
+	vol       uint32
 	id        uint64
 	// deferred holds contributions buffered by the BarrierReduce ablation.
 	deferred []func()
@@ -82,7 +91,7 @@ type reduceState struct {
 func NewServer(id NodeID, eng *sim.Engine, fab *Fabric, drive *ssd.Drive, core *cpu.Core, cfg ServerConfig) *ServerController {
 	s := &ServerController{
 		id: id, eng: eng, fab: fab, drive: drive, core: core, cfg: cfg,
-		reduces: make(map[uint64]*reduceState),
+		reduces: make(map[reduceKey]*reduceState),
 		pool:    parity.NewPool(),
 	}
 	fab.Register(id, s.handle)
@@ -129,13 +138,15 @@ func (s *ServerController) handle(m Message) {
 
 // complete sends a completion capsule (optionally with payload) to dst. The
 // subtype disambiguates the two §6.1 return paths at the host: SubAlsoRead
-// marks a direct normal-read return, SubNoRead a reconstructed segment.
-func (s *ServerController) complete(dst NodeID, id uint64, st nvmeof.Status, off, length int64, payload parity.Buffer) {
-	s.completeSub(dst, id, st, nvmeof.SubNone, off, length, payload)
+// marks a direct normal-read return, SubNoRead a reconstructed segment. The
+// namespace is echoed from the triggering command so the host endpoint's
+// demux can route the completion to the owning volume's controller.
+func (s *ServerController) complete(dst NodeID, ns uint32, id uint64, st nvmeof.Status, off, length int64, payload parity.Buffer) {
+	s.completeSub(dst, ns, id, st, nvmeof.SubNone, off, length, payload)
 }
 
-func (s *ServerController) completeSub(dst NodeID, id uint64, st nvmeof.Status, sub nvmeof.Subtype, off, length int64, payload parity.Buffer) {
-	cmd := nvmeof.Command{ID: id, Opcode: nvmeof.OpCompletion, Status: st, Subtype: sub, Offset: off, Length: length}
+func (s *ServerController) completeSub(dst NodeID, ns uint32, id uint64, st nvmeof.Status, sub nvmeof.Subtype, off, length int64, payload parity.Buffer) {
+	cmd := nvmeof.Command{ID: id, Opcode: nvmeof.OpCompletion, NSID: ns, Status: st, Subtype: sub, Offset: off, Length: length}
 	s.fab.Send(s.id, dst, cmd, payload)
 }
 
@@ -147,7 +158,7 @@ func (s *ServerController) handleHeartbeat(m Message) {
 	if s.drive.Failed() {
 		st = nvmeof.StatusError
 	}
-	s.complete(m.From, m.Cmd.ID, st, 0, 0, parity.Buffer{})
+	s.complete(m.From, m.Cmd.NSID, m.Cmd.ID, st, 0, 0, parity.Buffer{})
 }
 
 // handleRead serves a standard NVMe-oF read.
@@ -158,7 +169,7 @@ func (s *ServerController) handleRead(m Message) {
 			if err != nil {
 				st = nvmeof.StatusError
 			}
-			s.complete(m.From, m.Cmd.ID, st, m.Cmd.Offset, m.Cmd.Length, b)
+			s.complete(m.From, m.Cmd.NSID, m.Cmd.ID, st, m.Cmd.Offset, m.Cmd.Length, b)
 		})
 	})
 }
@@ -171,7 +182,7 @@ func (s *ServerController) handleWrite(m Message) {
 			if err != nil {
 				st = nvmeof.StatusError
 			}
-			s.complete(m.From, m.Cmd.ID, st, m.Cmd.Offset, int64(m.Payload.Len()), parity.Buffer{})
+			s.complete(m.From, m.Cmd.NSID, m.Cmd.ID, st, m.Cmd.Offset, int64(m.Payload.Len()), parity.Buffer{})
 		})
 	})
 }
@@ -218,7 +229,7 @@ func (s *ServerController) handlePartialWrite(m Message) {
 		s.core.Exec(s.cfg.Costs.PerIO, func() {
 			// §5.3: the data bdev reports its own completion so the drive
 			// write need not gate parity forwarding.
-			s.complete(m.From, cmd.ID, nvmeof.StatusSuccess, cmd.Offset, cmd.Length, parity.Buffer{})
+			s.complete(m.From, cmd.NSID, cmd.ID, nvmeof.StatusSuccess, cmd.Offset, cmd.Length, parity.Buffer{})
 		})
 	}
 
@@ -227,7 +238,7 @@ func (s *ServerController) handlePartialWrite(m Message) {
 		// Read old data over the write segment; delta = old ⊕ new.
 		s.drive.Read(cmd.Offset, cmd.Length, func(oldB parity.Buffer, err error) {
 			if err != nil {
-				s.complete(m.From, cmd.ID, nvmeof.StatusError, cmd.Offset, cmd.Length, parity.Buffer{})
+				s.complete(m.From, cmd.NSID, cmd.ID, nvmeof.StatusError, cmd.Offset, cmd.Length, parity.Buffer{})
 				return
 			}
 			forward := func(next func()) {
@@ -244,7 +255,7 @@ func (s *ServerController) handlePartialWrite(m Message) {
 			write := func(next func()) {
 				s.drive.Write(cmd.Offset, m.Payload, func(werr error) {
 					if werr != nil {
-						s.complete(m.From, cmd.ID, nvmeof.StatusError, cmd.Offset, cmd.Length, parity.Buffer{})
+						s.complete(m.From, cmd.NSID, cmd.ID, nvmeof.StatusError, cmd.Offset, cmd.Length, parity.Buffer{})
 						return
 					}
 					writeDone()
@@ -275,7 +286,7 @@ func (s *ServerController) handlePartialWrite(m Message) {
 			buildAndGo(m.Payload.Clone())
 			s.drive.Write(cmd.Offset, m.Payload, func(err error) {
 				if err != nil {
-					s.complete(m.From, cmd.ID, nvmeof.StatusError, cmd.Offset, cmd.Length, parity.Buffer{})
+					s.complete(m.From, cmd.NSID, cmd.ID, nvmeof.StatusError, cmd.Offset, cmd.Length, parity.Buffer{})
 					return
 				}
 				writeDone()
@@ -284,7 +295,7 @@ func (s *ServerController) handlePartialWrite(m Message) {
 		}
 		s.drive.Read(union.Off, union.Len, func(oldB parity.Buffer, err error) {
 			if err != nil {
-				s.complete(m.From, cmd.ID, nvmeof.StatusError, cmd.Offset, cmd.Length, parity.Buffer{})
+				s.complete(m.From, cmd.NSID, cmd.ID, nvmeof.StatusError, cmd.Offset, cmd.Length, parity.Buffer{})
 				return
 			}
 			contrib := oldB // private drive-read copy; overlay in place
@@ -295,7 +306,7 @@ func (s *ServerController) handlePartialWrite(m Message) {
 			write := func() {
 				s.drive.Write(cmd.Offset, m.Payload, func(werr error) {
 					if werr != nil {
-						s.complete(m.From, cmd.ID, nvmeof.StatusError, cmd.Offset, cmd.Length, parity.Buffer{})
+						s.complete(m.From, cmd.NSID, cmd.ID, nvmeof.StatusError, cmd.Offset, cmd.Length, parity.Buffer{})
 						return
 					}
 					writeDone()
@@ -317,7 +328,7 @@ func (s *ServerController) handlePartialWrite(m Message) {
 		// host callback (the reducer's completion covers this bdev).
 		s.drive.Read(union.Off, union.Len, func(oldB parity.Buffer, err error) {
 			if err != nil {
-				s.complete(m.From, cmd.ID, nvmeof.StatusError, union.Off, union.Len, parity.Buffer{})
+				s.complete(m.From, cmd.NSID, cmd.ID, nvmeof.StatusError, union.Off, union.Len, parity.Buffer{})
 				return
 			}
 			s.core.Exec(s.cfg.Costs.PerIO, func() {
@@ -330,12 +341,13 @@ func (s *ServerController) handlePartialWrite(m Message) {
 	}
 }
 
-// stateFor finds or creates the reduce state for a command ID.
-func (s *ServerController) stateFor(id uint64, absOff, length int64) *reduceState {
-	st, ok := s.reduces[id]
+// stateFor finds or creates the reduce state for a command's (volume, ID).
+func (s *ServerController) stateFor(cmd nvmeof.Command, absOff, length int64) *reduceState {
+	key := reduceKey{vol: cmd.NSID, id: cmd.ID}
+	st, ok := s.reduces[key]
 	if !ok {
-		st = &reduceState{id: id, absOff: absOff, length: length, acc: s.pool.Get(int(length)), replyTo: HostID}
-		s.reduces[id] = st
+		st = &reduceState{vol: cmd.NSID, id: cmd.ID, absOff: absOff, length: length, acc: s.pool.Get(int(length)), replyTo: HostID}
+		s.reduces[key] = st
 	}
 	return st
 }
@@ -365,7 +377,7 @@ func (s *ServerController) reduceInto(st *reduceState, contrib parity.Buffer, fo
 // Parity/Reconstruction command; state is created on demand.
 func (s *ServerController) handlePeer(m Message) {
 	cmd := m.Cmd
-	st := s.stateFor(cmd.ID, cmd.Offset, cmd.Length)
+	st := s.stateFor(cmd, cmd.Offset, cmd.Length)
 	apply := func() {
 		cost := s.cfg.Costs.Xor(int(cmd.FwdLength))
 		if cmd.DataIdx != NoScale {
@@ -391,7 +403,7 @@ func (s *ServerController) handlePeer(m Message) {
 // new data).
 func (s *ServerController) handleParity(m Message) {
 	cmd := m.Cmd
-	st := s.stateFor(cmd.ID, cmd.Offset, cmd.Length)
+	st := s.stateFor(cmd, cmd.Offset, cmd.Length)
 	st.writeBack = true
 	st.replyTo = m.From
 
@@ -405,8 +417,8 @@ func (s *ServerController) handleParity(m Message) {
 		st.preloadPending = true
 		s.drive.Read(cmd.Offset, cmd.Length, func(oldB parity.Buffer, err error) {
 			if err != nil {
-				s.complete(st.replyTo, st.id, nvmeof.StatusError, st.absOff, st.length, parity.Buffer{})
-				delete(s.reduces, st.id)
+				s.complete(st.replyTo, st.vol, st.id, nvmeof.StatusError, st.absOff, st.length, parity.Buffer{})
+				delete(s.reduces, reduceKey{vol: st.vol, id: st.id})
 				return
 			}
 			s.core.Exec(s.cfg.Costs.Xor(int(cmd.Length)), func() {
@@ -447,7 +459,7 @@ func (s *ServerController) finish(st *reduceState) {
 	if !st.anchorArrived || st.preloadPending || st.counter != 0 {
 		return
 	}
-	delete(s.reduces, st.id)
+	delete(s.reduces, reduceKey{vol: st.vol, id: st.id})
 	if st.writeBack {
 		s.drive.Write(st.absOff, st.acc, func(err error) {
 			st2 := nvmeof.StatusSuccess
@@ -455,7 +467,7 @@ func (s *ServerController) finish(st *reduceState) {
 				st2 = nvmeof.StatusError
 			}
 			s.core.Exec(s.cfg.Costs.PerIO, func() {
-				s.complete(st.replyTo, st.id, st2, st.absOff, st.length, parity.Buffer{})
+				s.complete(st.replyTo, st.vol, st.id, st2, st.absOff, st.length, parity.Buffer{})
 			})
 		})
 		// The drive snapshotted the accumulator at submission; recycle it.
@@ -464,7 +476,7 @@ func (s *ServerController) finish(st *reduceState) {
 	}
 	// Reconstruction: return the rebuilt segment to the host directly.
 	s.core.Exec(s.cfg.Costs.PerIO, func() {
-		s.completeSub(st.replyTo, st.id, nvmeof.StatusSuccess, nvmeof.SubNoRead, st.absOff, st.length, st.acc)
+		s.completeSub(st.replyTo, st.vol, st.id, nvmeof.StatusSuccess, nvmeof.SubNoRead, st.absOff, st.length, st.acc)
 	})
 }
 
@@ -483,7 +495,7 @@ func (s *ServerController) handleReconstruction(m Message) {
 	cmd := m.Cmd
 	isReducer := NodeID(cmd.NextDest) == s.id
 	if isReducer {
-		st := s.stateFor(cmd.ID, cmd.FwdOffset, cmd.FwdLength)
+		st := s.stateFor(cmd, cmd.FwdOffset, cmd.FwdLength)
 		st.writeBack = false
 		st.replyTo = m.From
 		st.counter += int(cmd.WaitNum)
@@ -492,20 +504,20 @@ func (s *ServerController) handleReconstruction(m Message) {
 	}
 	s.drive.Read(cmd.Offset, cmd.Length, func(b parity.Buffer, err error) {
 		if err != nil {
-			s.complete(m.From, cmd.ID, nvmeof.StatusError, cmd.Offset, cmd.Length, parity.Buffer{})
+			s.complete(m.From, cmd.NSID, cmd.ID, nvmeof.StatusError, cmd.Offset, cmd.Length, parity.Buffer{})
 			return
 		}
 		// Decoupled return path: normal-read data goes straight home.
 		if cmd.Subtype == nvmeof.SubAlsoRead {
 			own := cmd.SGL[0]
 			s.core.Exec(s.cfg.Costs.PerIO, func() {
-				s.completeSub(m.From, cmd.ID, nvmeof.StatusSuccess, nvmeof.SubAlsoRead, own.Off, own.Len,
+				s.completeSub(m.From, cmd.NSID, cmd.ID, nvmeof.StatusSuccess, nvmeof.SubAlsoRead, own.Off, own.Len,
 					b.Slice(int(own.Off-cmd.Offset), int(own.Len)).Clone())
 			})
 		}
 		rPart := b.Slice(int(cmd.FwdOffset-cmd.Offset), int(cmd.FwdLength))
 		if isReducer {
-			st := s.stateFor(cmd.ID, cmd.FwdOffset, cmd.FwdLength)
+			st := s.stateFor(cmd, cmd.FwdOffset, cmd.FwdLength)
 			cost := s.cfg.Costs.Xor(int(cmd.FwdLength))
 			if cmd.DataIdx != NoScale {
 				cost = s.cfg.Costs.Gf(int(cmd.FwdLength))

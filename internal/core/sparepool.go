@@ -1,0 +1,50 @@
+package core
+
+// SparePool arbitrates a cluster's hot spares among the volumes sharing it.
+// Each spare is a full storage server (node, NIC, core, drive) past the
+// widest volume's member range; any volume's rebuild supervisor may claim
+// one. Arbitration is first-claim: Claim hands out the lowest-numbered free
+// spare to whichever supervisor asks first, so two volumes degraded by the
+// same drive failure race for the pool in deterministic engine order.
+//
+// The pool is not goroutine-safe; like the rest of the simulation it runs on
+// the single-threaded engine.
+type SparePool struct {
+	free    []NodeID
+	claimed map[NodeID]bool
+}
+
+// NewSparePool builds a pool over the given spare endpoints, claimable in
+// slice order.
+func NewSparePool(ids []NodeID) *SparePool {
+	return &SparePool{free: append([]NodeID(nil), ids...), claimed: make(map[NodeID]bool)}
+}
+
+// Claim removes and returns the next free spare; ok is false when the pool
+// is exhausted.
+func (p *SparePool) Claim() (id NodeID, ok bool) {
+	if len(p.free) == 0 {
+		return 0, false
+	}
+	id = p.free[0]
+	p.free = p.free[1:]
+	p.claimed[id] = true
+	return id, true
+}
+
+// Release returns a previously claimed spare to the back of the pool — only
+// valid when its contents were never written (an aborted claim), since a
+// partially rebuilt spare holds one volume's data.
+func (p *SparePool) Release(id NodeID) {
+	if !p.claimed[id] {
+		return
+	}
+	delete(p.claimed, id)
+	p.free = append(p.free, id)
+}
+
+// Available returns how many spares remain claimable.
+func (p *SparePool) Available() int { return len(p.free) }
+
+// IDs returns the free spares in claim order.
+func (p *SparePool) IDs() []NodeID { return append([]NodeID(nil), p.free...) }

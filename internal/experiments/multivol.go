@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+
+	"draid/internal/cluster"
+	"draid/internal/core"
+	"draid/internal/fio"
+	"draid/internal/raid"
+)
+
+// MultivolNoisy is the noisy-neighbor experiment over the volume layer: two
+// dRAID volumes carved out of one cluster — same drives, same host NIC —
+// with a streaming sequential-write tenant (the aggressor) ramping up
+// against a small-random-write tenant (the victim). The sweep raises the
+// aggressor's queue depth from absent to saturating and reports both
+// tenants' bandwidth and latency, showing the interference a shared
+// substrate admits (the multi-app sharing question of §2/§7).
+func MultivolNoisy(o Options) Figure {
+	o = o.withDefaults()
+	qds := []int{0, 4, 16, 32}
+	if o.Quick {
+		qds = []int{0, 32}
+	}
+	victim := Series{System: "victim rnd-wr"}
+	aggr := Series{System: "aggressor seq"}
+	for _, qd := range qds {
+		vr, ar := noisyPoint(o, qd)
+		label := fmt.Sprintf("qd=%d", qd)
+		victim.Points = append(victim.Points, toPoint(float64(qd), label, vr))
+		aggr.Points = append(aggr.Points, toPoint(float64(qd), label, ar))
+	}
+	return Figure{
+		ID:     "multivol-noisy",
+		Title:  "Noisy neighbor: two volumes sharing one cluster (victim 16K random write vs. aggressor full-stripe sequential write)",
+		XLabel: "aggr qd",
+		Series: []Series{victim, aggr},
+		Notes: []string{
+			"both volumes are RAID-5 over the same 8 drives and share the host NIC",
+			"victim holds qd=" + fmt.Sprint(o.QueueDepth) + " 16K random writes throughout",
+		},
+	}
+}
+
+// noisyPoint runs one measurement: the victim's closed loop plus, when
+// aggrQD > 0, the aggressor's, concurrently on one shared cluster.
+func noisyPoint(o Options, aggrQD int) (victim, aggr fio.Result) {
+	spec := cluster.DefaultSpec()
+	spec.Targets = 8
+	spec.Elide = true
+	spec.Seed = o.Seed
+	cl := cluster.New(spec)
+	geo := raid.Geometry{Level: raid.Raid5, Width: 8, ChunkSize: 128 << 10}
+
+	half := cl.DriveCapacity() / 2
+	vAggr, err := cl.AddVolume("seq-tenant", half, core.Config{Geometry: geo})
+	if err != nil {
+		panic(err)
+	}
+	vVictim, err := cl.AddVolume("rand-tenant", 0, core.Config{Geometry: geo})
+	if err != nil {
+		panic(err)
+	}
+
+	victimRun := fio.Start(fio.Job{
+		Name: "victim", Dev: vVictim.Host, Eng: cl.Eng,
+		IOSize: 16 << 10, QueueDepth: o.QueueDepth,
+		Ramp: o.Ramp, Measure: o.Measure, Seed: o.Seed,
+	})
+	var aggrRun *fio.Running
+	if aggrQD > 0 {
+		aggrRun = fio.Start(fio.Job{
+			Name: "aggressor", Dev: vAggr.Host, Eng: cl.Eng,
+			IOSize: geo.StripeDataSize(), QueueDepth: aggrQD, Sequential: true,
+			Ramp: o.Ramp, Measure: o.Measure, Seed: o.Seed + 1,
+		})
+	}
+	end := victimRun.End
+	if aggrRun != nil && aggrRun.End > end {
+		end = aggrRun.End
+	}
+	cl.Eng.RunUntil(end)
+	victim = victimRun.Result()
+	if aggrRun != nil {
+		aggr = aggrRun.Result()
+	} else {
+		aggr = fio.Result{Name: "aggressor"}
+	}
+	return victim, aggr
+}

@@ -37,6 +37,9 @@ type Job struct {
 	Seed int64
 	// Materialize sends real random payloads instead of size-only buffers.
 	Materialize bool
+	// Sequential issues offsets front to back (wrapping) instead of
+	// randomly — the streaming-writer tenant profile.
+	Sequential bool
 }
 
 // Result summarizes a run.
@@ -100,9 +103,38 @@ func (r Result) String() string {
 		r.Name, r.BandwidthMBps(), r.IOPS(), r.AvgLatency(), r.ReadLat, r.WriteLat)
 }
 
+// Running is a started job whose closed loop is live on the engine. It
+// exists so several jobs can run concurrently on one engine — start each,
+// advance the clock past End (e.g. eng.RunUntil), then collect Result.
+type Running struct {
+	// End is the virtual time at which the job stops issuing.
+	End sim.Time
+
+	res      Result
+	readLat  *hist.Histogram
+	writeLat *hist.Histogram
+}
+
+// Result finalizes and returns the job's measurements. Call after the
+// engine clock has passed End.
+func (r *Running) Result() Result {
+	res := r.res
+	res.ReadLat = r.readLat.Summarize()
+	res.WriteLat = r.writeLat.Summarize()
+	return res
+}
+
 // Run executes the job on the engine (which must be otherwise idle) and
 // returns the measured result. The engine clock advances by Ramp+Measure.
 func Run(job Job) Result {
+	r := Start(job)
+	job.Eng.RunUntil(r.End)
+	return r.Result()
+}
+
+// Start launches the job's closed loop without running the engine, so
+// multiple tenants can issue I/O concurrently on one shared clock.
+func Start(job Job) *Running {
 	if job.QueueDepth <= 0 {
 		job.QueueDepth = 32
 	}
@@ -131,9 +163,14 @@ func Run(job Job) Result {
 	measureStart := start + sim.Time(job.Ramp)
 	end := measureStart + sim.Time(job.Measure)
 
-	res := Result{Name: job.Name, Elapsed: job.Measure}
-	readLat := hist.New()
-	writeLat := hist.New()
+	running := &Running{
+		End:     end,
+		res:     Result{Name: job.Name, Elapsed: job.Measure},
+		readLat: hist.New(), writeLat: hist.New(),
+	}
+	res := &running.res
+	readLat := running.readLat
+	writeLat := running.writeLat
 
 	var payload parity.Buffer
 	if job.Materialize {
@@ -144,12 +181,19 @@ func Run(job Job) Result {
 		payload = parity.Sized(int(job.IOSize))
 	}
 
+	var seqCursor int64
 	var issue func()
 	issue = func() {
 		if eng.Now() >= end {
 			return
 		}
-		off := rng.Int63n(slots) * align
+		var off int64
+		if job.Sequential {
+			off = seqCursor * align
+			seqCursor = (seqCursor + 1) % slots
+		} else {
+			off = rng.Int63n(slots) * align
+		}
 		issued := eng.Now()
 		record := func(isRead bool, err error) {
 			now := eng.Now()
@@ -178,8 +222,5 @@ func Run(job Job) Result {
 	for i := 0; i < job.QueueDepth; i++ {
 		issue()
 	}
-	eng.RunUntil(end)
-	res.ReadLat = readLat.Summarize()
-	res.WriteLat = writeLat.Summarize()
-	return res
+	return running
 }

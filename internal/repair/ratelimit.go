@@ -1,0 +1,40 @@
+package repair
+
+import (
+	"draid/internal/sim"
+)
+
+// RateLimiter is a token bucket shared by the rebuilders of every volume on
+// a cluster: one reconstruction-byte budget that all concurrent rebuilds
+// draw from, so two degraded volumes do not each consume a full rebuild
+// rate's worth of shared drive and NIC bandwidth. Reservations are granted
+// in call order (first claim drains the bucket first), which on the
+// deterministic engine makes the arbitration reproducible.
+type RateLimiter struct {
+	eng      *sim.Engine
+	rateMBps float64
+	nextFree sim.Time
+}
+
+// NewRateLimiter builds a shared limiter. rateMBps <= 0 means unlimited.
+func NewRateLimiter(eng *sim.Engine, rateMBps float64) *RateLimiter {
+	return &RateLimiter{eng: eng, rateMBps: rateMBps}
+}
+
+// Reserve books bytes against the shared budget and returns how long the
+// caller must wait (from now) before starting its transfer. The budget is
+// consumed immediately, so a concurrent caller's reservation lands after
+// this one.
+func (l *RateLimiter) Reserve(bytes int64) sim.Duration {
+	if l == nil || l.rateMBps <= 0 {
+		return 0
+	}
+	now := l.eng.Now()
+	start := l.nextFree
+	if start < now {
+		start = now
+	}
+	bytesPerNs := l.rateMBps * 1e6 / 1e9
+	l.nextFree = start + sim.Time(float64(bytes)/bytesPerNs)
+	return sim.Duration(start - now)
+}

@@ -14,6 +14,11 @@ type RebuilderConfig struct {
 	// chunk data per second (the Figure 17 rebuild-vs-foreground knob).
 	// 0 means unthrottled: stripes are rebuilt back-to-back.
 	RateMBps float64
+	// Limiter, when non-nil, replaces the private RateMBps bucket with a
+	// budget shared across volumes: every rebuilder on the cluster reserves
+	// its stripe bytes from the same bucket, so concurrent rebuilds split
+	// the rate instead of each claiming it in full.
+	Limiter *RateLimiter
 }
 
 // RebuildStatus is a snapshot of rebuild progress.
@@ -133,7 +138,16 @@ func (r *Rebuilder) Rebuild(member int, dest core.NodeID, cb func(error)) {
 			})
 		}
 		// Token bucket: the next stripe may not start before the previous
-		// one's bytes have "drained" at the configured rate.
+		// one's bytes have "drained" at the configured rate. A shared
+		// limiter reserves from the cross-volume budget instead.
+		if r.cfg.Limiter != nil {
+			if wait := r.cfg.Limiter.Reserve(r.host.Geometry().ChunkSize); wait > 0 {
+				r.eng.After(wait, run)
+			} else {
+				r.eng.Defer(run)
+			}
+			return
+		}
 		if wait := sim.Duration(lastStart+sim.Time(gap)) - sim.Duration(r.eng.Now()); gap > 0 && wait > 0 {
 			r.eng.After(wait, run)
 		} else {

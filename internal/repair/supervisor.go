@@ -13,7 +13,13 @@ type Config struct {
 	Detector DetectorConfig
 	Rebuild  RebuilderConfig
 	// Spares is the hot-spare pool (fabric NodeIDs, consumed in order).
+	// Ignored when Pool is set.
 	Spares []core.NodeID
+	// Pool, when non-nil, is a spare pool shared with other supervisors on
+	// the same cluster: whichever volume's supervisor asks first claims the
+	// spare (first-claim arbitration). When nil the supervisor wraps Spares
+	// in a private pool.
+	Pool *core.SparePool
 }
 
 // Event is one entry of the supervisor's recovery log.
@@ -41,7 +47,7 @@ type Supervisor struct {
 	det *Detector
 	reb *Rebuilder
 
-	spares  []core.NodeID
+	spares  *core.SparePool
 	queue   []int // failed members awaiting a spare or the rebuilder
 	events  []Event
 	tracer  *trace.Collector
@@ -50,7 +56,11 @@ type Supervisor struct {
 // NewSupervisor wires detector + rebuilder onto the host and installs the
 // health sink. Call Start to begin heartbeat probing.
 func NewSupervisor(eng *sim.Engine, host *core.HostController, cfg Config, tracer *trace.Collector) *Supervisor {
-	s := &Supervisor{eng: eng, host: host, spares: append([]core.NodeID(nil), cfg.Spares...), tracer: tracer}
+	pool := cfg.Pool
+	if pool == nil {
+		pool = core.NewSparePool(cfg.Spares)
+	}
+	s := &Supervisor{eng: eng, host: host, spares: pool, tracer: tracer}
 	s.det = NewDetector(eng, host, cfg.Detector, tracer, s.handleFail)
 	s.reb = NewRebuilder(eng, host, cfg.Rebuild, tracer)
 	host.SetHealth(s.det)
@@ -69,8 +79,9 @@ func (s *Supervisor) Detector() *Detector { return s.det }
 // Rebuilder exposes the rebuild manager.
 func (s *Supervisor) Rebuilder() *Rebuilder { return s.reb }
 
-// SparesAvailable returns how many spares remain in the pool.
-func (s *Supervisor) SparesAvailable() int { return len(s.spares) }
+// SparesAvailable returns how many spares remain in the pool (shared with
+// other supervisors when the pool is).
+func (s *Supervisor) SparesAvailable() int { return s.spares.Available() }
 
 // Events returns the recovery log in order.
 func (s *Supervisor) Events() []Event { return append([]Event(nil), s.events...) }
@@ -103,16 +114,20 @@ func (s *Supervisor) handleFail(member int) {
 	s.tryRebuild()
 }
 
-// tryRebuild launches the next queued rebuild if a spare is free and the
-// rebuilder is idle.
+// tryRebuild launches the next queued rebuild if a spare can be claimed and
+// the rebuilder is idle. With a shared pool, the claim races supervisors of
+// co-tenant volumes degraded by the same fault; engine order decides, and
+// the loser keeps its member queued until a spare frees up.
 func (s *Supervisor) tryRebuild() {
-	if len(s.queue) == 0 || len(s.spares) == 0 || s.reb.Status().Active {
+	if len(s.queue) == 0 || s.reb.Status().Active {
+		return
+	}
+	spare, ok := s.spares.Claim()
+	if !ok {
 		return
 	}
 	member := s.queue[0]
 	s.queue = s.queue[1:]
-	spare := s.spares[0]
-	s.spares = s.spares[1:]
 	s.log("rebuild-start", member, fmt.Sprintf("onto spare node %d", int(spare)))
 	s.reb.Rebuild(member, spare, func(err error) {
 		if err != nil {

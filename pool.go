@@ -1,0 +1,242 @@
+package draid
+
+import (
+	"fmt"
+	"time"
+
+	"draid/internal/cluster"
+	"draid/internal/core"
+	"draid/internal/raid"
+	"draid/internal/recon"
+	"draid/internal/repair"
+	"draid/internal/sim"
+	"draid/internal/ssd"
+)
+
+// PoolConfig describes a shared cluster: drives, NICs, cores, and hot
+// spares that several volumes divide among themselves. It carries the
+// physical-substrate half of Config; the per-volume half (level, width,
+// chunk size) moves to VolumeConfig.
+type PoolConfig struct {
+	// Drives is the number of shared member drives (default 8). Every
+	// volume stripes over a prefix of these; a volume's width may not
+	// exceed it.
+	Drives int
+	// DriveCapacity overrides the per-drive capacity (default 1.6 TB).
+	// Volumes carve disjoint extents out of each drive until it is full.
+	DriveCapacity int64
+	// HostNICGbps and TargetNICGbps set line rates (default 100).
+	// TargetNICGbpsList overrides per-target rates.
+	HostNICGbps       float64
+	TargetNICGbps     float64
+	TargetNICGbpsList []float64
+	// DrivesPerServer co-locates several member drives on one physical
+	// storage server (§5.5). Default 1.
+	DrivesPerServer int
+	// SizeOnly runs the data plane without materializing payload bytes.
+	SizeOnly bool
+	// Seed drives all randomness (default 1).
+	Seed int64
+	// Observe configures the tracing and metrics subsystem (shared by all
+	// volumes; volume 0 owns the bare "host" tracks, others get "host/vN").
+	Observe Observe
+	// Spares provisions hot-spare servers shared by every volume's rebuild
+	// supervisor, first claim wins.
+	Spares int
+	// RebuildRateMBps is a shared token-bucket budget for reconstruction
+	// bytes: concurrent rebuilds across volumes split this rate instead of
+	// each claiming it in full. 0 means unthrottled.
+	RebuildRateMBps float64
+}
+
+// Pool is a shared cluster plus the arbitration state volumes contend on
+// (spare pool, rebuild-rate budget). Open volumes with OpenVolume; all
+// volumes share one virtual clock, advanced by any volume's *Sync methods
+// or by Pool.Run.
+type Pool struct {
+	cl      *cluster.Cluster
+	cfg     PoolConfig
+	limiter *repair.RateLimiter
+	arrays  []*Array
+}
+
+// NewPool assembles the shared testbed.
+func NewPool(cfg PoolConfig) (*Pool, error) {
+	if cfg.Drives == 0 {
+		cfg.Drives = 8
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	spec := cluster.DefaultSpec()
+	spec.Targets = cfg.Drives
+	spec.Spares = cfg.Spares
+	spec.Seed = cfg.Seed
+	spec.Elide = cfg.SizeOnly
+	if cfg.HostNICGbps != 0 {
+		spec.HostGbps = cfg.HostNICGbps
+	}
+	if cfg.TargetNICGbps != 0 {
+		spec.TargetGbps = cfg.TargetNICGbps
+	}
+	spec.TargetGbpsList = cfg.TargetNICGbpsList
+	spec.BdevsPerServer = cfg.DrivesPerServer
+	spec.Observe = cfg.Observe.Trace
+	spec.SampleEvery = sim.Duration(cfg.Observe.SampleEvery)
+	if cfg.DriveCapacity != 0 {
+		drv := ssd.DefaultSpec()
+		drv.Capacity = cfg.DriveCapacity
+		drv.StoreData = !cfg.SizeOnly
+		spec.Drive = &drv
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Pool{cl: cluster.New(spec), cfg: cfg}
+	if cfg.RebuildRateMBps > 0 {
+		p.limiter = repair.NewRateLimiter(p.cl.Eng, cfg.RebuildRateMBps)
+	}
+	return p, nil
+}
+
+// VolumeConfig describes one virtual array on a shared pool.
+type VolumeConfig struct {
+	// Name labels the volume in the registry (default "volN").
+	Name string
+	// Level is the RAID level (default Raid5).
+	Level Level
+	// Drives is the stripe width (default: the pool's drive count). A
+	// narrower volume stripes over members 0..Drives-1.
+	Drives int
+	// ChunkSize is the stripe chunk size (default 512 KB).
+	ChunkSize int64
+	// Extent is the volume's slice of every member drive in bytes; 0 claims
+	// all remaining capacity (so the last volume takes the rest).
+	Extent int64
+	// ReducerPolicy selects degraded-read reducer placement.
+	ReducerPolicy ReducerPolicy
+	// Health configures automatic failure detection for this volume.
+	Health HealthConfig
+	// MaxRetries / RetryBackoff / OpDeadline as in Config.
+	MaxRetries   int
+	RetryBackoff time.Duration
+	OpDeadline   time.Duration
+}
+
+// OpenVolume registers a new volume on the pool and returns it as an Array.
+// The array shares the pool's engine, drives, NICs, and spares with its
+// co-tenants; HostTraffic reports only this volume's share of the host NIC.
+func (p *Pool) OpenVolume(cfg VolumeConfig) (*Array, error) {
+	if cfg.Level == 0 {
+		cfg.Level = Raid5
+	}
+	if cfg.Drives == 0 {
+		cfg.Drives = p.cfg.Drives
+	}
+	if cfg.ChunkSize == 0 {
+		cfg.ChunkSize = 512 << 10
+	}
+	if cfg.Name == "" {
+		cfg.Name = fmt.Sprintf("vol%d", len(p.cl.Volumes()))
+	}
+	geo := raid.Geometry{Level: cfg.Level, Width: cfg.Drives, ChunkSize: cfg.ChunkSize}
+	if err := geo.Validate(); err != nil {
+		return nil, err
+	}
+	hostCfg := core.Config{
+		Geometry:     geo,
+		MaxRetries:   cfg.MaxRetries,
+		RetryBackoff: sim.Duration(cfg.RetryBackoff),
+		Deadline:     sim.Duration(cfg.OpDeadline),
+	}
+	switch cfg.ReducerPolicy {
+	case ReducerRandom:
+	case ReducerFixed:
+		hostCfg.Selector = recon.FixedSelector{}
+	case ReducerBWAware:
+		tr := recon.NewBandwidthTracker(p.cl.Eng, targetNICs(p.cl), 2*sim.Millisecond)
+		hostCfg.Selector = &recon.BWAwareSelector{Rng: p.cl.Eng.Rand(), Tracker: tr, Fanout: cfg.Drives - 2}
+	default:
+		return nil, fmt.Errorf("draid: unknown reducer policy %v", cfg.ReducerPolicy)
+	}
+	vol, err := p.cl.AddVolume(cfg.Name, cfg.Extent, hostCfg)
+	if err != nil {
+		return nil, err
+	}
+	arr := &Array{
+		cl: p.cl, host: vol.Host, dev: vol.Host,
+		clientNode: p.cl.HostNode, hostCfg: vol.Cfg, vol: vol,
+	}
+	if p.cfg.Spares > 0 || cfg.Health.Detect {
+		det := repair.DetectorConfig{
+			FailAfter:        cfg.Health.FailAfter,
+			HeartbeatTimeout: sim.Duration(cfg.Health.HeartbeatTimeout),
+			Grace:            sim.Duration(cfg.Health.Grace),
+		}
+		if cfg.Health.Detect {
+			det.HeartbeatEvery = sim.Duration(cfg.Health.HeartbeatEvery)
+			if det.HeartbeatEvery <= 0 {
+				det.HeartbeatEvery = 10 * sim.Millisecond
+			}
+		}
+		arr.sup = repair.NewSupervisor(p.cl.Eng, vol.Host, repair.Config{
+			Detector: det,
+			Rebuild:  repair.RebuilderConfig{RateMBps: p.cfg.RebuildRateMBps, Limiter: p.limiter},
+			Pool:     p.cl.Spares,
+		}, p.cl.Tracer)
+		if cfg.Health.Detect {
+			arr.sup.Start()
+		}
+	}
+	p.arrays = append(p.arrays, arr)
+	return arr, nil
+}
+
+// Volumes returns the pool's open volumes as Arrays were created, by name
+// and ID order.
+func (p *Pool) Volumes() []*cluster.Volume { return p.cl.Volumes() }
+
+// Cluster exposes the shared testbed for fault injection and inspection.
+func (p *Pool) Cluster() *cluster.Cluster { return p.cl }
+
+// Run advances the shared virtual clock until all volumes' outstanding
+// work completes.
+func (p *Pool) Run() { p.cl.Eng.Run() }
+
+// RunFor advances the shared virtual clock by d.
+func (p *Pool) RunFor(d time.Duration) { p.cl.Eng.RunFor(sim.Duration(d)) }
+
+// Now returns the current virtual time.
+func (p *Pool) Now() time.Duration { return time.Duration(p.cl.Eng.Now()) }
+
+// FailDrive takes shared drive i offline for every volume striped over it
+// and notifies each affected volume's controller and supervisor — one
+// physical fault degrading N tenants at once.
+func (p *Pool) FailDrive(i int) {
+	p.cl.FailTarget(i)
+	for _, a := range p.arrays {
+		if i < a.host.Geometry().Width {
+			a.host.SetFailed(i, true)
+			if a.sup != nil {
+				a.sup.NotifyFailed(i)
+			}
+		}
+	}
+}
+
+// TotalHostTraffic reports the shared host NIC counters (all volumes).
+func (p *Pool) TotalHostTraffic() (out, in int64) { return p.cl.TotalHostBytes() }
+
+// VolumeHostTraffic reports one volume's share of the host NIC.
+func (p *Pool) VolumeHostTraffic(id int) (out, in int64) {
+	return p.cl.VolumeHostBytes(core.VolumeID(id))
+}
+
+// ResetTraffic zeroes all NIC counters and the per-volume attribution.
+func (p *Pool) ResetTraffic() { p.cl.ResetTraffic() }
+
+// Trace returns the shared trace collector (nil unless Observe).
+func (p *Pool) Trace() *Tracer { return p.cl.Tracer }
+
+// SparesAvailable returns how many shared hot spares remain claimable.
+func (p *Pool) SparesAvailable() int { return p.cl.Spares.Available() }
