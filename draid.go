@@ -64,6 +64,10 @@ var (
 	// ErrDoubleFault reports failures exceeding the parity budget: the
 	// addressed data is unrecoverable until rebuild or repair.
 	ErrDoubleFault = blockdev.ErrDoubleFault
+	// ErrMediaError reports data lost to drive media faults: a latent sector
+	// error (URE) or detected corruption that parity reconstruction could not
+	// satisfy. Reads overlapping a recorded lost region also match it.
+	ErrMediaError = blockdev.ErrMediaError
 )
 
 // ReducerPolicy selects degraded-read reducer placement (§6.2).
@@ -162,6 +166,14 @@ const (
 // RebuildStatus re-exports the rebuild manager's progress snapshot.
 type RebuildStatus = repair.RebuildStatus
 
+// ScrubStatus re-exports the background scrubber's progress snapshot.
+type ScrubStatus = repair.ScrubStatus
+
+// LostRegion is one virtual byte range sacrificed to a media double fault
+// (for example, a survivor URE during a RAID-5 rebuild). See
+// Array.LostRegions.
+type LostRegion = core.LostRegion
+
 // RecoveryEvent is one entry of the supervisor's recovery log.
 type RecoveryEvent = repair.Event
 
@@ -210,6 +222,24 @@ type Config struct {
 	// reconstructed data (the Figure 17 rebuild-vs-foreground knob).
 	// 0 means unthrottled.
 	RebuildRateMBps float64
+	// Integrity enables end-to-end data integrity: storage servers keep a
+	// CRC32C per 4 KB block (a T10-DIF stand-in, computed by the drive
+	// datapath so it adds no virtual-time cost) and verify every read.
+	// Checksum mismatches and media errors surface to the host as per-chunk
+	// erasures, satisfied via parity reconstruction and then repaired in
+	// place. Incompatible with SizeOnly (checksums need stored bytes).
+	// Implied by ScrubInterval > 0.
+	Integrity bool
+	// ScrubInterval enables the background scrubber: each interval of virtual
+	// time a pass walks every stripe, verifying checksum and parity coherence
+	// and repairing latent errors before a second fault makes them fatal.
+	// Implies Integrity. Passes run on background timers, so Run still
+	// returns when foreground I/O drains.
+	ScrubInterval time.Duration
+	// ScrubRateMBps throttles scrub passes to this many MB/s of verified
+	// stripe data (all chunks), so scrubbing trickles along under foreground
+	// I/O. 0 means unthrottled.
+	ScrubRateMBps float64
 	// MaxRetries bounds §5.4 per-op retries before an I/O fails with
 	// ErrTimeout (default 1). RetryBackoff spaces successive attempts
 	// (default 0: immediate).
@@ -234,8 +264,15 @@ type Array struct {
 	clientNode *simnet.Node
 	// hostCfg is kept so FailoverHost can build an identical replacement.
 	hostCfg core.Config
-	// sup is the fault-supervision stack (nil unless Spares or Health.Detect).
+	// sup is the fault-supervision stack (nil unless Spares, Health.Detect,
+	// or ScrubInterval was configured).
 	sup *repair.Supervisor
+	// adhocScrub serves ScrubNow on arrays without a supervisor.
+	adhocScrub *repair.Scrubber
+	// scrubRate paces ad-hoc scrub passes; seed feeds per-drive fault
+	// injection (SetLatentErrorRate).
+	scrubRate float64
+	seed      int64
 	// vol is non-nil for arrays opened through a Pool: traffic accounting is
 	// then scoped to the volume's share of the host NIC.
 	vol *cluster.Volume
@@ -255,6 +292,12 @@ func New(cfg Config) (*Array, error) {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
+	if cfg.ScrubInterval > 0 {
+		cfg.Integrity = true
+	}
+	if cfg.Integrity && cfg.SizeOnly {
+		return nil, fmt.Errorf("draid: Integrity requires stored data (incompatible with SizeOnly)")
+	}
 	geo := raid.Geometry{Level: cfg.Level, Width: cfg.Drives, ChunkSize: cfg.ChunkSize}
 	if err := geo.Validate(); err != nil {
 		return nil, err
@@ -264,6 +307,7 @@ func New(cfg Config) (*Array, error) {
 	spec.Spares = cfg.Spares
 	spec.Seed = cfg.Seed
 	spec.Elide = cfg.SizeOnly
+	spec.Integrity = cfg.Integrity
 	if cfg.HostNICGbps != 0 {
 		spec.HostGbps = cfg.HostNICGbps
 	}
@@ -299,8 +343,9 @@ func New(cfg Config) (*Array, error) {
 		return nil, fmt.Errorf("draid: unknown reducer policy %v", cfg.ReducerPolicy)
 	}
 	host := cl.NewDRAID(hostCfg)
-	arr := &Array{cl: cl, host: host, dev: host, clientNode: cl.HostNode, hostCfg: hostCfg}
-	if cfg.Spares > 0 || cfg.Health.Detect {
+	arr := &Array{cl: cl, host: host, dev: host, clientNode: cl.HostNode, hostCfg: hostCfg,
+		scrubRate: cfg.ScrubRateMBps, seed: cfg.Seed}
+	if cfg.Spares > 0 || cfg.Health.Detect || cfg.ScrubInterval > 0 {
 		det := repair.DetectorConfig{
 			FailAfter:        cfg.Health.FailAfter,
 			HeartbeatTimeout: sim.Duration(cfg.Health.HeartbeatTimeout),
@@ -315,9 +360,13 @@ func New(cfg Config) (*Array, error) {
 		arr.sup = repair.NewSupervisor(cl.Eng, host, repair.Config{
 			Detector: det,
 			Rebuild:  repair.RebuilderConfig{RateMBps: cfg.RebuildRateMBps},
-			Pool:     cl.Spares,
+			Scrub: repair.ScrubberConfig{
+				Interval: sim.Duration(cfg.ScrubInterval),
+				RateMBps: cfg.ScrubRateMBps,
+			},
+			Pool: cl.Spares,
 		}, cl.Tracer)
-		if cfg.Health.Detect {
+		if cfg.Health.Detect || cfg.ScrubInterval > 0 {
 			arr.sup.Start()
 		}
 	}
@@ -541,6 +590,90 @@ func (a *Array) RebuildStatus() RebuildStatus {
 	return a.sup.Rebuilder().Status()
 }
 
+// ScrubStatus reports background-scrubber progress: passes completed,
+// current position, and cumulative repair counts (zero value when no
+// scrubbing has been configured or run).
+func (a *Array) ScrubStatus() ScrubStatus {
+	if a.sup != nil {
+		return a.sup.Scrubber().Status()
+	}
+	if a.adhocScrub != nil {
+		return a.adhocScrub.Status()
+	}
+	return ScrubStatus{}
+}
+
+// ScrubNow runs one full foreground scrub pass — verifying checksum and
+// parity coherence on every stripe and repairing latent errors in place —
+// and returns the resulting status. It advances virtual time until the pass
+// completes and works with or without ScrubInterval; without Integrity a
+// scrub can only re-silver parity to match the data.
+func (a *Array) ScrubNow() (ScrubStatus, error) {
+	scr := a.adhocScrub
+	if a.sup != nil {
+		scr = a.sup.Scrubber()
+	} else if scr == nil {
+		scr = repair.NewScrubber(a.cl.Eng, a.host, repair.ScrubberConfig{RateMBps: a.scrubRate}, a.cl.Tracer)
+		a.adhocScrub = scr
+	}
+	var st ScrubStatus
+	var err error
+	done := false
+	scr.RunPass(func(s repair.ScrubStatus, e error) { st, err, done = s, e, true })
+	a.cl.Eng.Run()
+	if !done {
+		return st, fmt.Errorf("draid: scrub pass stalled")
+	}
+	return st, err
+}
+
+// LostRegions lists virtual byte ranges sacrificed to media double faults —
+// latent errors past the parity budget, the classic RAID-5 rebuild hazard.
+// Reads overlapping a lost region fail fast with ErrMediaError instead of
+// returning fabricated bytes; a full rewrite of the range clears it.
+func (a *Array) LostRegions() []LostRegion { return a.host.LostRegions() }
+
+// InjectMediaError plants a latent sector error under the virtual byte range
+// [off, off+n): the member drives backing those bytes fail reads of the
+// affected sectors with a media-error status until something rewrites them.
+// With Integrity enabled, array reads still succeed via parity
+// reconstruction and the damage is repaired in place (repair-on-read).
+func (a *Array) InjectMediaError(off, n int64) {
+	a.injectOnRange(off, n, func(d *ssd.Drive, dOff, dLen int64) { d.InjectMediaError(dOff, dLen) })
+}
+
+// InjectBitRot silently corrupts the stored bytes under the virtual byte
+// range [off, off+n). Without Integrity the rot is served to readers as-is
+// (the silent-corruption baseline); with Integrity the per-block checksums
+// catch it and reads are satisfied via reconstruction, then repaired.
+// Requires stored data (not SizeOnly).
+func (a *Array) InjectBitRot(off, n int64) {
+	a.injectOnRange(off, n, func(d *ssd.Drive, dOff, dLen int64) { d.InjectBitRot(dOff, dLen) })
+}
+
+// injectOnRange maps a virtual byte range to the member drives and per-drive
+// offsets backing it, following rebuild-time member moves onto spares.
+func (a *Array) injectOnRange(off, n int64, fn func(*ssd.Drive, int64, int64)) {
+	geo := a.host.Geometry()
+	for _, e := range geo.Split(off, n) {
+		member := geo.DataDrive(e.Stripe, e.Chunk)
+		node := int(a.host.MemberNode(member))
+		fn(a.cl.Drives[node], geo.DriveOffset(e.Stripe)+e.Off, e.Len)
+	}
+}
+
+// SetLatentErrorRate gives every member drive a spontaneous URE rate: each
+// drive read grows, with the given probability, a new latent media-error
+// range somewhere on the drive (the paper-scale 10^-15..10^-14 per-bit rates
+// are impractical to simulate; this accelerates them). Seeded per drive from
+// Config.Seed, so runs are reproducible. Pass 0 to stop.
+func (a *Array) SetLatentErrorRate(rate float64) {
+	for m := 0; m < a.host.Geometry().Width; m++ {
+		node := int(a.host.MemberNode(m))
+		a.cl.Drives[node].SetLatentErrorRate(rate, a.seed+int64(m)*7919)
+	}
+}
+
 // SparesAvailable returns how many hot spares remain in the pool.
 func (a *Array) SparesAvailable() int {
 	if a.sup == nil {
@@ -579,6 +712,9 @@ func (a *Array) FailoverHost() (int, error) {
 	dirty := replacement.Adopt(old)
 	if a.sup != nil {
 		a.sup.Rebind(replacement)
+	}
+	if a.adhocScrub != nil {
+		a.adhocScrub.Rebind(replacement)
 	}
 	a.host = replacement
 	a.dev = replacement

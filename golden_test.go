@@ -25,11 +25,12 @@ func golden(t *testing.T, name string) []byte {
 	return b
 }
 
-func TestGoldenSingleVolumeTraceAndStats(t *testing.T) {
-	arr, err := draid.New(draid.Config{
-		Drives: 5, ChunkSize: 64 << 10, DriveCapacity: 1 << 20,
-		Seed: 3, Observe: draid.Observe{Trace: true},
-	})
+// runGoldenWorkload drives the canonical golden workload (two writes, a
+// member failure, a degraded read) against cfg and returns the array for
+// trace/stats comparison.
+func runGoldenWorkload(t *testing.T, cfg draid.Config) *draid.Array {
+	t.Helper()
+	arr, err := draid.New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,14 +52,26 @@ func TestGoldenSingleVolumeTraceAndStats(t *testing.T) {
 	if !bytes.Equal(got, payload) {
 		t.Fatal("degraded read returned wrong data")
 	}
+	return arr
+}
 
+func goldenTrace(t *testing.T, arr *draid.Array) []byte {
+	t.Helper()
 	var buf bytes.Buffer
 	if err := arr.Trace().WriteChrome(&buf); err != nil {
 		t.Fatal(err)
 	}
-	if want := golden(t, "golden_single_volume_trace.json"); !bytes.Equal(buf.Bytes(), want) {
+	return buf.Bytes()
+}
+
+func TestGoldenSingleVolumeTraceAndStats(t *testing.T) {
+	arr := runGoldenWorkload(t, draid.Config{
+		Drives: 5, ChunkSize: 64 << 10, DriveCapacity: 1 << 20,
+		Seed: 3, Observe: draid.Observe{Trace: true},
+	})
+	if got, want := goldenTrace(t, arr), golden(t, "golden_single_volume_trace.json"); !bytes.Equal(got, want) {
 		t.Errorf("single-volume Chrome trace drifted from pre-refactor golden (%d bytes vs %d)",
-			buf.Len(), len(want))
+			len(got), len(want))
 	}
 
 	o, in := arr.HostTraffic()
@@ -67,6 +80,31 @@ func TestGoldenSingleVolumeTraceAndStats(t *testing.T) {
 		o, in, stats.Writes, stats.Reads, stats.DegradedReads, stats.RMWWrites, stats.FullStripeWrites)
 	if want := golden(t, "golden_single_volume_stats.txt"); summary != string(want) {
 		t.Errorf("traffic/stats summary drifted:\n got: %s want: %s", summary, want)
+	}
+}
+
+// TestGoldenIntegrityDisabledByteIdentical pins the integrity layer's
+// zero-cost-when-off promise: with Integrity explicitly false (the default)
+// the golden workload produces a trace byte-identical to the pre-integrity
+// golden capture, and every integrity surface stays inert.
+func TestGoldenIntegrityDisabledByteIdentical(t *testing.T) {
+	arr := runGoldenWorkload(t, draid.Config{
+		Drives: 5, ChunkSize: 64 << 10, DriveCapacity: 1 << 20,
+		Seed: 3, Observe: draid.Observe{Trace: true},
+		Integrity: false,
+	})
+	if got, want := goldenTrace(t, arr), golden(t, "golden_single_volume_trace.json"); !bytes.Equal(got, want) {
+		t.Errorf("integrity-disabled trace not byte-identical to golden (%d bytes vs %d)",
+			len(got), len(want))
+	}
+	if n := arr.Stats().MediaErrors; n != 0 {
+		t.Errorf("integrity disabled but host counted %d media errors", n)
+	}
+	if lost := arr.LostRegions(); len(lost) != 0 {
+		t.Errorf("integrity disabled but lost regions recorded: %v", lost)
+	}
+	if st := arr.ScrubStatus(); st.Enabled || st.Passes != 0 || st.MediaRepairs != 0 {
+		t.Errorf("integrity disabled but scrubber reports activity: %+v", st)
 	}
 }
 

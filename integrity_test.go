@@ -1,0 +1,603 @@
+package draid_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"draid"
+	"draid/internal/core"
+)
+
+// integrityArray builds a small array with end-to-end checksums on.
+func integrityArray(t *testing.T, cfg draid.Config) *draid.Array {
+	t.Helper()
+	cfg.Integrity = true
+	if cfg.DriveCapacity == 0 {
+		cfg.DriveCapacity = 1 << 20
+	}
+	return smallArray(t, cfg)
+}
+
+// TestScrubRepairsBitRot is the scrub smoke test: silent corruption planted
+// under a virtual range is found by an on-demand pass, repaired in place, and
+// a second pass finds nothing.
+func TestScrubRepairsBitRot(t *testing.T) {
+	arr := integrityArray(t, draid.Config{Seed: 5})
+	ref := randBytes(9, int(arr.Size()))
+	if err := arr.WriteSync(0, ref); err != nil {
+		t.Fatal(err)
+	}
+	arr.InjectBitRot(100<<10, 8<<10)
+
+	st, err := arr.ScrubNow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MediaRepairs == 0 {
+		t.Fatalf("scrub found no media repairs: %+v", st)
+	}
+	if st.ScrubbedStripes == 0 || st.Errors != 0 {
+		t.Fatalf("scrub pass unhealthy: %+v", st)
+	}
+
+	got, err := arr.ReadSync(0, arr.Size())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, ref) {
+		t.Fatal("data corrupt after scrub repair")
+	}
+
+	st2, err := arr.ScrubNow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.MediaRepairs != st.MediaRepairs || st2.ParityRepairs != st.ParityRepairs {
+		t.Fatalf("second scrub pass found more damage: %+v then %+v", st, st2)
+	}
+}
+
+// TestScrubBackgroundPass proves the periodic scrubber repairs latent media
+// errors no foreground read ever touches, entirely on background timers.
+func TestScrubBackgroundPass(t *testing.T) {
+	arr := integrityArray(t, draid.Config{
+		Seed:          6,
+		ScrubInterval: time.Millisecond,
+	})
+	ref := randBytes(10, int(arr.Size()))
+	if err := arr.WriteSync(0, ref); err != nil {
+		t.Fatal(err)
+	}
+	arr.InjectMediaError(300<<10, 4<<10)
+
+	// Nothing reads the damaged range; only the background pass can find it.
+	arr.RunFor(10 * time.Millisecond)
+	st := arr.ScrubStatus()
+	if !st.Enabled {
+		t.Fatal("scrubber not enabled despite ScrubInterval")
+	}
+	if st.Passes == 0 {
+		t.Fatalf("no background pass completed in 10ms: %+v", st)
+	}
+	if st.MediaRepairs == 0 {
+		t.Fatalf("background scrub missed the injected media error: %+v", st)
+	}
+
+	got, err := arr.ReadSync(0, arr.Size())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, ref) {
+		t.Fatal("data corrupt after background scrub")
+	}
+	if arr.Stats().MediaErrors == 0 {
+		t.Fatal("host never saw a media-error completion")
+	}
+}
+
+// TestScrubEventsInRecoveryLog checks scrub life-cycle events land in the
+// supervisor's recovery log alongside detection/rebuild milestones.
+func TestScrubEventsInRecoveryLog(t *testing.T) {
+	arr := integrityArray(t, draid.Config{Seed: 7, ScrubInterval: time.Millisecond})
+	ref := randBytes(11, 256<<10)
+	if err := arr.WriteSync(0, ref); err != nil {
+		t.Fatal(err)
+	}
+	arr.InjectBitRot(64<<10, 4<<10)
+	arr.RunFor(10 * time.Millisecond)
+
+	kinds := map[string]int{}
+	for _, e := range arr.RecoveryEvents() {
+		kinds[e.Kind]++
+	}
+	if kinds["scrub-pass"] == 0 {
+		t.Fatalf("no scrub-pass event in recovery log: %v", kinds)
+	}
+	if kinds["scrub-repair"] == 0 {
+		t.Fatalf("no scrub-repair event in recovery log: %v", kinds)
+	}
+}
+
+// TestRepairOnRead proves a normal read through detected corruption succeeds
+// via reconstruction AND heals the drive: the damage is gone afterwards.
+func TestRepairOnRead(t *testing.T) {
+	arr := integrityArray(t, draid.Config{Seed: 8})
+	ref := randBytes(12, 512<<10)
+	if err := arr.WriteSync(0, ref); err != nil {
+		t.Fatal(err)
+	}
+
+	arr.InjectBitRot(40<<10, 12<<10)
+	got, err := arr.ReadSync(32<<10, 32<<10)
+	if err != nil {
+		t.Fatalf("read through bit rot: %v", err)
+	}
+	if !bytes.Equal(got, ref[32<<10:64<<10]) {
+		t.Fatal("reconstructed read returned wrong bytes")
+	}
+	if arr.Stats().MediaErrors == 0 {
+		t.Fatal("checksum mismatch never surfaced as a media error")
+	}
+	arr.Run() // let the fire-and-forget in-place repair drain
+	if arr.Stats().RepairedRanges == 0 {
+		t.Fatal("no in-place repair recorded")
+	}
+
+	// The repair rewrote the damaged sectors: a clean scrub proves it.
+	st, err := arr.ScrubNow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MediaRepairs != 0 {
+		t.Fatalf("damage survived repair-on-read: %+v", st)
+	}
+}
+
+// TestMediaErrorDegradedRead layers a latent sector error on top of a failed
+// drive: RAID-6 still reconstructs through the second parity.
+func TestMediaErrorDegradedRead(t *testing.T) {
+	arr := integrityArray(t, draid.Config{Level: draid.Raid6, Drives: 6, Seed: 9})
+	ref := randBytes(13, 512<<10)
+	if err := arr.WriteSync(0, ref); err != nil {
+		t.Fatal(err)
+	}
+	arr.InjectMediaError(8<<10, 4<<10)
+	arr.FailDrive(arr.Controller().Geometry().DataDrive(0, 1))
+
+	got, err := arr.ReadSync(0, 256<<10)
+	if err != nil {
+		t.Fatalf("degraded read across a URE: %v", err)
+	}
+	if !bytes.Equal(got, ref[:256<<10]) {
+		t.Fatal("degraded read across a URE returned wrong bytes")
+	}
+}
+
+// TestMediaDoubleFaultTyped drives RAID-5 past its parity budget with two
+// latent errors in one stripe and checks the failure is typed, not silent.
+func TestMediaDoubleFaultTyped(t *testing.T) {
+	arr := integrityArray(t, draid.Config{Seed: 10})
+	geo := arr.Controller().Geometry()
+	ref := randBytes(14, int(geo.StripeDataSize()))
+	if err := arr.WriteSync(0, ref); err != nil {
+		t.Fatal(err)
+	}
+	// Two different data chunks of stripe 0: reconstruction needs both.
+	arr.InjectMediaError(4<<10, 4<<10)
+	arr.InjectMediaError(geo.ChunkSize+4<<10, 4<<10)
+
+	_, err := arr.ReadSync(0, geo.StripeDataSize())
+	if err == nil {
+		t.Fatal("read across a media double fault returned data")
+	}
+	if !errors.Is(err, draid.ErrMediaError) {
+		t.Fatalf("double-fault error %v does not match ErrMediaError", err)
+	}
+}
+
+// rebuildWithURE seeds a full device, plants sector errors on survivor
+// chunks, fails a member, and rebuilds it in place.
+func rebuildWithURE(t *testing.T, cfg draid.Config, seed int64) (*draid.Array, []byte, int) {
+	t.Helper()
+	cfg.Seed = seed
+	arr := integrityArray(t, cfg)
+	ref := randBytes(seed+100, int(arr.Size()))
+	geo := arr.Controller().Geometry()
+	for off := int64(0); off < arr.Size(); off += geo.StripeDataSize() {
+		if err := arr.WriteSync(off, ref[off:off+geo.StripeDataSize()]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One URE per chosen stripe, always on data chunk 0 (rotation spreads
+	// them over drives); every survivor chunk is read during rebuild, so
+	// each is guaranteed to be hit.
+	for _, s := range []int64{0, 3, 7} {
+		arr.InjectMediaError(s*geo.StripeDataSize()+int64(seed%4)<<10, 4<<10)
+	}
+	member := geo.DataDrive(0, 1)
+	arr.FailDrive(member)
+	if err := arr.RebuildDrive(member, 0); err != nil {
+		t.Fatalf("rebuild across UREs: %v", err)
+	}
+	return arr, ref, member
+}
+
+// TestIntegrityTortureRebuildURE is the URE-during-rebuild matrix across
+// seeds: RAID-6 reconstructs through Q and loses nothing; RAID-5 records the
+// affected ranges as lost instead of wedging, keeps serving everything else,
+// and clears the holes on rewrite.
+func TestIntegrityTortureRebuildURE(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		t.Run(fmt.Sprintf("raid6/seed=%d", seed), func(t *testing.T) {
+			arr, ref, _ := rebuildWithURE(t, draid.Config{Level: draid.Raid6, Drives: 6}, seed)
+			if lost := arr.LostRegions(); len(lost) != 0 {
+				t.Fatalf("RAID-6 rebuild lost data despite double parity: %v", lost)
+			}
+			got, err := arr.ReadSync(0, arr.Size())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, ref) {
+				t.Fatal("device corrupt after RAID-6 rebuild through UREs")
+			}
+		})
+		t.Run(fmt.Sprintf("raid5/seed=%d", seed), func(t *testing.T) {
+			arr, ref, _ := rebuildWithURE(t, draid.Config{Level: draid.Raid5, Drives: 5}, seed)
+			lost := arr.LostRegions()
+			if len(lost) == 0 {
+				t.Fatal("RAID-5 rebuild across UREs recorded no lost regions")
+			}
+			geo := arr.Controller().Geometry()
+			sds := geo.StripeDataSize()
+			overlaps := func(off, n int64) bool {
+				for _, r := range lost {
+					if off < r.Off+r.Len && r.Off < off+n {
+						return true
+					}
+				}
+				return false
+			}
+			// Stripes clear of lost regions read back byte-exact; stripes
+			// overlapping one fail fast with the typed error.
+			sawLost := false
+			for off := int64(0); off < arr.Size(); off += sds {
+				got, err := arr.ReadSync(off, sds)
+				if overlaps(off, sds) {
+					sawLost = true
+					if !errors.Is(err, draid.ErrMediaError) {
+						t.Fatalf("read over lost region at %d: err=%v, want ErrMediaError", off, err)
+					}
+					continue
+				}
+				if err != nil {
+					t.Fatalf("read of intact stripe at %d: %v", off, err)
+				}
+				if !bytes.Equal(got, ref[off:off+sds]) {
+					t.Fatalf("intact stripe at %d corrupt", off)
+				}
+			}
+			if !sawLost {
+				t.Fatal("no stripe overlapped a lost region")
+			}
+			// Rewriting the device clears every hole.
+			fresh := randBytes(seed+200, int(arr.Size()))
+			for off := int64(0); off < arr.Size(); off += sds {
+				if err := arr.WriteSync(off, fresh[off:off+sds]); err != nil {
+					t.Fatalf("rewrite at %d: %v", off, err)
+				}
+			}
+			if lost := arr.LostRegions(); len(lost) != 0 {
+				t.Fatalf("lost regions survived a full rewrite: %v", lost)
+			}
+			got, err := arr.ReadSync(0, arr.Size())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, fresh) {
+				t.Fatal("device corrupt after rewrite over lost regions")
+			}
+		})
+	}
+}
+
+// overlapsLost reports whether [off, off+n) intersects any lost region.
+func overlapsLost(lost []draid.LostRegion, off, n int64) bool {
+	for _, lr := range lost {
+		if lr.Off < off+n && lr.Off+lr.Len > off {
+			return true
+		}
+	}
+	return false
+}
+
+// verifyWithLoss checks the whole device against model, reading around the
+// lost regions: readable ranges must be model-exact, and reads over lost
+// regions must fail with the typed media error rather than serve bytes.
+// Unrecoverable ranges are discovered piecemeal — a failing read records the
+// loss it trips over — so the walk rescans the lost list after every typed
+// failure and requires it to have grown to cover the failure.
+func verifyWithLoss(t *testing.T, arr *draid.Array, model []byte) {
+	t.Helper()
+	size := arr.Size()
+	pos := int64(0)
+	for guard := 0; pos < size; guard++ {
+		if guard > 10000 {
+			t.Fatal("verifyWithLoss: no progress")
+		}
+		var next *draid.LostRegion
+		for _, lr := range arr.LostRegions() {
+			if lr.Off+lr.Len > pos {
+				lr := lr
+				next = &lr
+				break
+			}
+		}
+		if next != nil && next.Off <= pos {
+			hi := next.Off + next.Len
+			if _, err := arr.ReadSync(pos, hi-pos); !errors.Is(err, draid.ErrMediaError) {
+				t.Fatalf("read over lost region [%d,%d): want ErrMediaError, got %v", pos, hi, err)
+			}
+			pos = hi
+			continue
+		}
+		end := size
+		if next != nil {
+			end = next.Off
+		}
+		got, err := arr.ReadSync(pos, end-pos)
+		if err != nil {
+			if !errors.Is(err, draid.ErrMediaError) {
+				t.Fatalf("read [%d,+%d): %v", pos, end-pos, err)
+			}
+			if !overlapsLost(arr.LostRegions(), pos, end-pos) {
+				t.Fatalf("read [%d,+%d) failed without recording loss: %v", pos, end-pos, err)
+			}
+			continue // lost list grew; rescan
+		}
+		if !bytes.Equal(got, model[pos:end]) {
+			t.Fatalf("device diverged from model in [%d,%d)", pos, end)
+		}
+		pos = end
+	}
+}
+
+// healLostRegions overwrites lost regions with fresh bytes (mirrored into
+// model) until the list drains: overwriting re-encodes the bytes into the
+// stripe redundancy and clears the loss, though a heal write landing in a
+// stripe with further undiscovered damage may first surface new regions.
+func healLostRegions(t *testing.T, arr *draid.Array, model []byte, seed int64) {
+	t.Helper()
+	for round := 0; round < 20; round++ {
+		lost := arr.LostRegions()
+		if len(lost) == 0 {
+			return
+		}
+		for _, lr := range lost {
+			fresh := randBytes(seed+101+lr.Off+int64(round), int(lr.Len))
+			if err := arr.WriteSync(lr.Off, fresh); err != nil {
+				t.Fatalf("heal write over %+v: %v", lr, err)
+			}
+			copy(model[lr.Off:], fresh)
+		}
+	}
+	t.Fatalf("lost regions survive overwriting: %v", arr.LostRegions())
+}
+
+// verifyHealedDevice drives the array back to a fully readable, model-exact
+// state: verify readable bytes, heal losses by overwriting, and require a
+// final whole-device read to match the model (retrying the heal while full
+// reads keep tripping over newly discovered unrecoverable ranges).
+func verifyHealedDevice(t *testing.T, arr *draid.Array, model []byte, seed int64) {
+	t.Helper()
+	verifyWithLoss(t, arr, model)
+	for round := 0; ; round++ {
+		healLostRegions(t, arr, model, seed+1000*int64(round))
+		got, err := arr.ReadSync(0, arr.Size())
+		if err == nil {
+			if !bytes.Equal(got, model) {
+				t.Fatal("device diverged from model after healing")
+			}
+			return
+		}
+		if round >= 5 || !errors.Is(err, draid.ErrMediaError) {
+			t.Fatalf("full read after healing: %v", err)
+		}
+	}
+}
+
+// TestIntegrityTortureScrubUnderWrites runs random foreground I/O with
+// corruption injected throughout while the background scrubber trickles
+// along, across seeds. Reads must either return model-exact bytes or fail
+// with the typed media error over a recorded lost region (a URE landing in
+// an aborted write's hole is honestly unrecoverable) — injected damage is
+// never silently served to a reader.
+func TestIntegrityTortureScrubUnderWrites(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			arr := integrityArray(t, draid.Config{
+				Level: draid.Raid6, Drives: 6,
+				ChunkSize:     32 << 10,
+				Seed:          seed,
+				ScrubInterval: 500 * time.Microsecond,
+				ScrubRateMBps: 8000,
+			})
+			size := arr.Size()
+			model := make([]byte, size)
+			rng := rand.New(rand.NewSource(seed * 77))
+			if err := arr.WriteSync(0, randBytes(seed, int(size))); err != nil {
+				t.Fatal(err)
+			}
+			arr.Read(0, size, func(b []byte, err error) {
+				if err != nil {
+					t.Errorf("seed read: %v", err)
+				}
+				copy(model, b)
+			})
+			arr.Run()
+
+			for iter := 0; iter < 40; iter++ {
+				// Corrupt a random already-written range, alternating silent
+				// rot (caught by checksum) with hard sector errors.
+				cOff := rng.Int63n(size - 8<<10)
+				cLen := int64(1+rng.Intn(8)) << 10
+				if iter%2 == 0 {
+					arr.InjectBitRot(cOff, cLen)
+				} else {
+					arr.InjectMediaError(cOff, cLen)
+				}
+				// Random foreground write.
+				wLen := int64(1+rng.Intn(64)) << 10
+				wOff := rng.Int63n(size - wLen)
+				data := make([]byte, wLen)
+				rng.Read(data)
+				if err := arr.WriteSync(wOff, data); err != nil {
+					t.Fatalf("iter %d write: %v", iter, err)
+				}
+				copy(model[wOff:], data)
+				// Random foreground read, model-checked.
+				rLen := int64(1+rng.Intn(64)) << 10
+				rOff := rng.Int63n(size - rLen)
+				got, err := arr.ReadSync(rOff, rLen)
+				switch {
+				case err != nil:
+					// The only legitimate failure: typed media error over
+					// bytes recorded lost. Anything else is a bug.
+					if !errors.Is(err, draid.ErrMediaError) {
+						t.Fatalf("iter %d read [%d,+%d): %v", iter, rOff, rLen, err)
+					}
+					if !overlapsLost(arr.LostRegions(), rOff, rLen) {
+						t.Fatalf("iter %d read [%d,+%d) failed outside lost regions: %v", iter, rOff, rLen, err)
+					}
+				case !bytes.Equal(got, model[rOff:rOff+rLen]):
+					t.Fatalf("iter %d read [%d,+%d) diverged from model", iter, rOff, rLen)
+				}
+				// Let background scrub passes interleave with the workload.
+				arr.RunFor(200 * time.Microsecond)
+			}
+
+			arr.RunFor(5 * time.Millisecond) // final passes sweep leftovers
+			st := arr.ScrubStatus()
+			if st.Passes == 0 {
+				t.Fatalf("no background scrub pass completed: %+v", st)
+			}
+			if lost := arr.LostRegions(); len(lost) != 0 {
+				t.Logf("write-hole losses (reported, never served): %v", lost)
+			}
+			verifyHealedDevice(t, arr, model, seed)
+		})
+	}
+}
+
+// TestIntegrityTortureLatentErrors turns on spontaneous URE development and
+// hammers reads: every read must return exact bytes or fail typed when UREs
+// pile past the parity budget, and the scrubber plus repair-on-read must
+// keep burning down the backlog.
+func TestIntegrityTortureLatentErrors(t *testing.T) {
+	for _, seed := range []int64{1, 2} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			arr := integrityArray(t, draid.Config{
+				Level: draid.Raid6, Drives: 6,
+				Seed:          seed,
+				ScrubInterval: time.Millisecond,
+			})
+			size := arr.Size()
+			ref := randBytes(seed+50, int(size))
+			if err := arr.WriteSync(0, ref); err != nil {
+				t.Fatal(err)
+			}
+			arr.SetLatentErrorRate(0.02)
+			rng := rand.New(rand.NewSource(seed * 13))
+			for iter := 0; iter < 60; iter++ {
+				n := int64(1+rng.Intn(32)) << 10
+				off := rng.Int63n(size - n)
+				got, err := arr.ReadSync(off, n)
+				if err != nil {
+					// UREs developing on three chunks of one stripe faster
+					// than repair burns them down exceed even RAID-6's
+					// budget; the failure must be typed, never garbage.
+					if !errors.Is(err, draid.ErrMediaError) {
+						t.Fatalf("iter %d read: %v", iter, err)
+					}
+					continue
+				}
+				if !bytes.Equal(got, ref[off:off+n]) {
+					t.Fatalf("iter %d read diverged", iter)
+				}
+			}
+			arr.SetLatentErrorRate(0)
+			arr.RunFor(5 * time.Millisecond)
+			verifyHealedDevice(t, arr, ref, seed)
+		})
+	}
+}
+
+// TestWireCorruptionRetries is the end-to-end link-corruption proof: frames
+// corrupted in flight are caught by the transport checksum and dropped at
+// the receiving NIC, the §5.4 timeout/retry machinery resends them, and the
+// I/O completes with correct bytes.
+func TestWireCorruptionRetries(t *testing.T) {
+	arr := smallArray(t, draid.Config{
+		DriveCapacity: 4 << 20,
+		MaxRetries:    10,
+		RetryBackoff:  20 * time.Microsecond,
+		OpDeadline:    2 * time.Millisecond,
+		Seed:          11,
+	})
+	fab := arr.Cluster().Fabric
+	for i := 0; i < 5; i++ {
+		fab.Connection(core.HostID, core.NodeID(i)).InjectCorrupt(0.08)
+	}
+	ref := randBytes(15, 512<<10)
+	if err := arr.WriteSync(0, ref); err != nil {
+		t.Fatalf("write over corrupting links: %v", err)
+	}
+	got, err := arr.ReadSync(0, int64(len(ref)))
+	if err != nil {
+		t.Fatalf("read over corrupting links: %v", err)
+	}
+	if !bytes.Equal(got, ref) {
+		t.Fatal("corrupted links leaked wrong bytes to a reader")
+	}
+	if fab.CorruptDrops() == 0 {
+		t.Fatal("no corrupted frame was ever dropped (injection ineffective)")
+	}
+	if arr.Stats().Retries == 0 {
+		t.Fatal("corruption recovered without any retry (should be impossible)")
+	}
+}
+
+// TestWireCorruptionDirectional corrupts only the host→target direction:
+// requests die, responses flow, and retries still converge.
+func TestWireCorruptionDirectional(t *testing.T) {
+	arr := smallArray(t, draid.Config{
+		DriveCapacity: 4 << 20,
+		MaxRetries:    10,
+		RetryBackoff:  20 * time.Microsecond,
+		OpDeadline:    2 * time.Millisecond,
+		Seed:          12,
+	})
+	cl := arr.Cluster()
+	host := cl.HostNode
+	for i := 0; i < 3; i++ {
+		cl.Fabric.Connection(core.HostID, core.NodeID(i)).InjectCorruptDirection(host, 0.25)
+	}
+	ref := randBytes(16, 256<<10)
+	if err := arr.WriteSync(0, ref); err != nil {
+		t.Fatalf("write over one-way corruption: %v", err)
+	}
+	got, err := arr.ReadSync(0, int64(len(ref)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, ref) {
+		t.Fatal("one-way corruption leaked wrong bytes")
+	}
+	if cl.Fabric.CorruptDrops() == 0 || arr.Stats().Retries == 0 {
+		t.Fatalf("injection ineffective: drops=%d retries=%d",
+			cl.Fabric.CorruptDrops(), arr.Stats().Retries)
+	}
+}

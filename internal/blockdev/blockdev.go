@@ -29,6 +29,10 @@ var (
 	// ErrDoubleFault reports failures exceeding the geometry's parity budget:
 	// the addressed data is unrecoverable until a rebuild or repair.
 	ErrDoubleFault = fmt.Errorf("%w: failures exceed parity budget", ErrDegraded)
+	// ErrMediaError reports that the addressed range overlaps bytes lost to
+	// media faults (drive UREs or detected bit rot) that reconstruction
+	// could not cover — the per-chunk-erasure analogue of ErrDoubleFault.
+	ErrMediaError = fmt.Errorf("%w: unrecoverable media error", ErrIO)
 )
 
 // Device is an asynchronous block device. Callbacks run on the simulation

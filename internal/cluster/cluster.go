@@ -45,6 +45,10 @@ type Spec struct {
 	// Pipelined controls the §5.3 server-side I/O pipeline (dRAID default
 	// true; the ablation sets it false).
 	Pipelined bool
+	// Integrity enables per-chunk CRC32C checksums with verify-on-read on
+	// every server (the T10 DIF stand-in). Requires data-storing drives, so
+	// it cannot be combined with Elide.
+	Integrity bool
 	// BarrierReduce enables the §5.2 barrier ablation on the servers.
 	BarrierReduce bool
 	// Seed drives all randomness (default 1).
@@ -113,6 +117,9 @@ func (s Spec) Validate() error {
 	}
 	if s.Spares < 0 {
 		return fmt.Errorf("cluster: negative spare count %d", s.Spares)
+	}
+	if s.Integrity && s.Elide {
+		return fmt.Errorf("cluster: Integrity requires stored data (incompatible with Elide)")
 	}
 	return nil
 }
@@ -214,6 +221,7 @@ func New(spec Spec) *Cluster {
 			Costs:         costs,
 			Pipelined:     spec.Pipelined,
 			BarrierReduce: spec.BarrierReduce,
+			Integrity:     spec.Integrity,
 			Trace:         spec.Trace,
 		}
 		if tracer.Enabled() {

@@ -80,6 +80,10 @@ type Fabric struct {
 	// Table 1 traffic accounting. Mirrors NIC counter semantics: out counts
 	// at send (even if the message is later dropped), in counts at delivery.
 	volBytes map[VolumeID]*volTraffic
+	// corruptDrops counts capsules discarded at the receiving NIC because
+	// their command-level CRC32C (nvmeof.Command.Checksum) failed after
+	// injected wire corruption. The sender sees a timeout and retries.
+	corruptDrops int64
 }
 
 // volKey addresses a volume-scoped handler on one endpoint.
@@ -259,10 +263,22 @@ func (f *Fabric) Send(from, to NodeID, cmd nvmeof.Command, payload parity.Buffer
 		// dropped downstream still consumed host NIC bandwidth.
 		f.vol(VolumeID(cmd.NSID)).out += wire
 	}
-	c.Send(srcNode, size, func() {
+	c.SendChecked(srcNode, size, func(corrupted bool) {
 		if to == HostID {
 			f.vol(VolumeID(cmd.NSID)).in += wire
+		}
+		if corrupted {
+			// The receiving NIC validates the capsule's CRC32C before
+			// accepting it; a corrupted capsule (or one guarding a corrupted
+			// payload) is discarded here, and the sender's §5.4 deadline
+			// fires as if the message had been lost.
+			f.corruptDrops++
+			return
 		}
 		f.deliver(to, Message{Cmd: cmd, Payload: payload, From: from})
 	})
 }
+
+// CorruptDrops reports how many capsules were discarded after failing the
+// receiver-side command checksum (injected wire corruption).
+func (f *Fabric) CorruptDrops() int64 { return f.corruptDrops }

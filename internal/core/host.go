@@ -6,6 +6,7 @@ import (
 
 	"draid/internal/blockdev"
 	"draid/internal/cpu"
+	"draid/internal/integrity"
 	"draid/internal/nvmeof"
 	"draid/internal/parity"
 	"draid/internal/raid"
@@ -81,6 +82,12 @@ type Stats struct {
 	Probes               int64
 	RebuiltStripes       int64
 	Resyncs              int64
+	// Integrity-path counters: per-chunk erasure reports received
+	// (StatusMediaError completions), successful in-place repairs
+	// (repair-on-read and scrub), and scrub progress.
+	MediaErrors     int64
+	RepairedRanges  int64
+	ScrubbedStripes int64
 }
 
 // HostController is the dRAID host: a virtual block device whose I/O is
@@ -120,6 +127,14 @@ type HostController struct {
 
 	health HealthSink
 
+	// lost tracks virtual byte ranges whose data exceeded the parity budget
+	// (RAID-5 double faults involving media errors): reads overlapping them
+	// fail fast with blockdev.ErrMediaError instead of returning garbage,
+	// and writes covering them bring the bytes back. lostEver counts every
+	// range ever recorded (monotonic), for progress deltas.
+	lost     integrity.RangeSet
+	lostEver int64
+
 	stats Stats
 
 	// Tracing timelines (meaningful only when cfg.Tracer is enabled).
@@ -154,7 +169,13 @@ type stripeOp struct {
 	timer     *sim.Timer
 	// read assembly: completions carrying payloads are routed here.
 	onPayload func(from NodeID, cmd nvmeof.Command, b parity.Buffer)
-	done      bool
+	// onMediaErr, when set, takes over after a StatusMediaError completion:
+	// the op is cancelled (no doneFn/failedFn) and the hook drives its own
+	// recovery continuation. The completion's Offset/Length carry the
+	// precise unreadable drive range. When nil, the op fails blaming no
+	// member (media errors are not node-failure evidence).
+	onMediaErr func(member int, cmd nvmeof.Command)
+	done       bool
 	// responded records endpoints that completed (any status), so a timeout
 	// implicates only the silent participants.
 	responded map[NodeID]bool
@@ -301,6 +322,11 @@ func (h *HostController) SetHealth(s HealthSink) { h.health = s }
 // nodeOf returns the fabric endpoint currently serving member.
 func (h *HostController) nodeOf(member int) NodeID { return h.memberNode[member] }
 
+// MemberNode returns the fabric endpoint currently serving member — after a
+// rebuild the member's chunks live on a spare node, not the original one.
+// Fault-injection helpers use it to find the right physical drive.
+func (h *HostController) MemberNode(member int) NodeID { return h.memberNode[member] }
+
 // nodeAt resolves member for I/O touching stripe: during a rebuild, stripes
 // below the frontier already live on the spare and are served from there.
 func (h *HostController) nodeAt(stripe int64, member int) NodeID {
@@ -405,6 +431,26 @@ func (h *HostController) handle(m Message) {
 		}
 		op.responded[m.From] = true
 		op.endRPC(m.From)
+		if m.Cmd.Status == nvmeof.StatusMediaError {
+			// Per-chunk erasure: the member is alive and answering, it just
+			// cannot read some sectors. That is OK-evidence for the health
+			// machinery (not a node fault), and the op either hands off to
+			// its media-recovery hook or fails blaming no member so write
+			// paths fall back and re-drive the stripe.
+			h.stats.MediaErrors++
+			member := h.memberOf(m.From)
+			h.trace("completion id=%d from t%d media-error [%d,+%d)",
+				m.Cmd.ID, int(m.From), m.Cmd.Offset, m.Cmd.Length)
+			h.reportOK(member)
+			if op.onMediaErr != nil {
+				hook := op.onMediaErr
+				h.cancelOp(op, "media-error")
+				hook(member, m.Cmd)
+				return
+			}
+			h.failOp(op, nil)
+			return
+		}
 		if m.Cmd.Status != nvmeof.StatusSuccess {
 			h.trace("completion id=%d from t%d status=%v", m.Cmd.ID, int(m.From), m.Cmd.Status)
 			h.reportFault(h.memberOf(m.From), true)
@@ -434,6 +480,20 @@ func (h *HostController) finishOp(op *stripeOp) {
 	delete(h.inflight, op.id)
 	op.closeSpans("")
 	op.doneFn()
+}
+
+// cancelOp retires an operation without firing doneFn or failedFn: used when
+// a media-error hook takes over the continuation.
+func (h *HostController) cancelOp(op *stripeOp, result string) {
+	if op.done {
+		return
+	}
+	op.done = true
+	if op.timer != nil {
+		op.timer.Stop()
+	}
+	delete(h.inflight, op.id)
+	op.closeSpans(result)
 }
 
 func (h *HostController) failOp(op *stripeOp, missing []NodeID) {
@@ -628,6 +688,15 @@ func (h *HostController) Read(off, n int64, cb func(parity.Buffer, error)) {
 		h.eng.Defer(func() { cb(parity.Alloc(0), nil) })
 		return
 	}
+	if s, hit := h.lost.Intersect(off, n); hit {
+		// Bytes in a lost region were sacrificed to a media double fault;
+		// fail fast with the typed error rather than serving garbage.
+		h.eng.Defer(func() {
+			cb(parity.Buffer{}, fmt.Errorf("core: read [%d,+%d) overlaps lost region [%d,+%d): %w",
+				off, n, s.Off, s.Len, blockdev.ErrMediaError))
+		})
+		return
+	}
 	exts := h.geo.Split(off, n)
 
 	asm := newAssembler(n)
@@ -719,6 +788,9 @@ func (h *HostController) normalReadExtentAttempt(e raid.Extent, asm *assembler, 
 		func(missing []NodeID) { h.readFailurePath(e, missing, asm, fail, done, attempt) },
 	)
 	op.onPayload = func(_ NodeID, _ nvmeof.Command, b parity.Buffer) { asm.put(e.VOff, b) }
+	op.onMediaErr = func(member int, _ nvmeof.Command) {
+		h.mediaRecoverExtent(e, member, asm, fail, done)
+	}
 	h.send(op, target, nvmeof.Command{Opcode: nvmeof.OpRead, Offset: absOff, Length: e.Len}, parity.Buffer{})
 }
 
@@ -848,6 +920,9 @@ func (h *HostController) degradedReadStripe(stripe int64, failedExt raid.Extent,
 			done()
 		},
 	)
+	op.onMediaErr = func(member int, _ nvmeof.Command) {
+		h.mediaFallbackGroup(stripe, []raid.Extent{failedExt}, normal, member, asm, fail, done)
+	}
 	reconVOff := failedExt.VOff
 	op.onPayload = func(from NodeID, cmd nvmeof.Command, b parity.Buffer) {
 		// The completion subtype disambiguates the two §6.1 return paths.

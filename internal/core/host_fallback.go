@@ -130,6 +130,18 @@ func (h *HostController) hostFallbackRead(stripe int64, failedExt raid.Extent, n
 			pc.buf = b
 		}
 	}
+	op.onMediaErr = func(member int, _ nvmeof.Command) {
+		// A survivor's segment is unreadable: re-drive this extent (and the
+		// overlapping normal extents it was carrying) through the generic
+		// media gather, which excludes the bad member from the solve.
+		var overlap []raid.Extent
+		for _, e := range normal {
+			if e.Off >= failedExt.Off && e.Off+e.Len <= failedExt.Off+failedExt.Len {
+				overlap = append(overlap, e)
+			}
+		}
+		h.mediaFallbackGroup(stripe, []raid.Extent{failedExt}, overlap, member, asm, fail, part)
+	}
 	for _, pc := range pieces {
 		// Fetch each survivor segment over the union of the failed extent
 		// and any normal extent on that member, so normal reads need no

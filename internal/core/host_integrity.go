@@ -1,0 +1,811 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+
+	"draid/internal/blockdev"
+	"draid/internal/gf256"
+	"draid/internal/integrity"
+	"draid/internal/nvmeof"
+	"draid/internal/parity"
+	"draid/internal/raid"
+	"draid/internal/sim"
+)
+
+// This file holds the host's media-error recovery machinery: when a server
+// answers a read with StatusMediaError (a drive URE, or a per-chunk checksum
+// mismatch caught by verify-on-read), the affected sectors are treated as a
+// per-chunk ERASURE — reconstructed through the stripe's surviving redundancy
+// like a failed member, but without marking the (perfectly healthy) node
+// failed. Recovered sectors are written back in place (repair-on-read), and
+// ranges that exceed the parity budget are recorded as lost regions instead
+// of being served as garbage.
+
+// ---------------------------------------------------------------------------
+// Lost regions.
+
+// LostRegion is a virtual byte range sacrificed to a media double fault:
+// unreadable sectors exceeded the stripe's parity budget, so the bytes are
+// unrecoverable until something overwrites them. Reads overlapping a lost
+// region fail with blockdev.ErrMediaError.
+type LostRegion struct {
+	Off, Len int64
+}
+
+// LostRegions returns the current lost regions in ascending virtual order.
+func (h *HostController) LostRegions() []LostRegion {
+	spans := h.lost.Spans()
+	out := make([]LostRegion, len(spans))
+	for i, s := range spans {
+		out[i] = LostRegion{Off: s.Off, Len: s.Len}
+	}
+	return out
+}
+
+// LostRegionsEver counts every lost range ever recorded, monotonically: the
+// delta across an operation tells its observer (the rebuilder, a scrubber
+// pass) whether data was sacrificed on its watch, even if a later write
+// already cleared the region.
+func (h *HostController) LostRegionsEver() int64 { return h.lostEver }
+
+// recordLost marks member's chunk-relative [lo,hi) of stripe as lost, if the
+// member holds user data there (parity sectors carry no addressable bytes).
+func (h *HostController) recordLost(stripe int64, member int, lo, hi int64) {
+	if member < 0 || member >= h.geo.Width {
+		return
+	}
+	kind, idx := h.geo.Role(stripe, member)
+	if kind != raid.KindData {
+		return
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > h.geo.ChunkSize {
+		hi = h.geo.ChunkSize
+	}
+	if hi <= lo {
+		return
+	}
+	v := stripe*h.geo.StripeDataSize() + int64(idx)*h.geo.ChunkSize + lo
+	h.lost.Add(v, hi-lo)
+	h.lostEver++
+	h.trace("lost region: stripe %d member %d [%d,+%d)", stripe, member, lo, hi-lo)
+}
+
+// recordShortfall records the lost region named by a mediaShortfall error,
+// if the error is one and identifies a specific member range.
+func (h *HostController) recordShortfall(err error) {
+	var sf *mediaShortfall
+	if errors.As(err, &sf) && sf.member >= 0 {
+		h.recordLost(sf.stripe, sf.member, sf.off, sf.off+sf.n)
+	}
+}
+
+// mediaShortfall reports that reconstructing a chunk range failed because
+// unreadable sectors exceeded the stripe's parity budget. It matches both
+// blockdev.ErrMediaError and blockdev.ErrDoubleFault under errors.Is.
+type mediaShortfall struct {
+	stripe int64
+	member int   // member whose unreadable range broke the budget; -1 if none specific
+	off, n int64 // chunk-relative unreadable range, valid when member >= 0
+}
+
+func (e *mediaShortfall) Error() string {
+	if e.member < 0 {
+		return fmt.Sprintf("core: stripe %d: media errors exceed parity budget", e.stripe)
+	}
+	return fmt.Sprintf("core: stripe %d: media errors exceed parity budget (member %d, [%d,+%d))",
+		e.stripe, e.member, e.off, e.n)
+}
+
+func (e *mediaShortfall) Unwrap() []error {
+	return []error{blockdev.ErrMediaError, blockdev.ErrDoubleFault}
+}
+
+// ---------------------------------------------------------------------------
+// Gather-and-solve: the generic erasure decoder behind every media path.
+
+// gatherSolveRange reads the chunk-relative range [lo,hi) of stripe from
+// every member that is neither failed nor in skip, then solves the content of
+// the unread members through the surviving redundancy. On success cb receives
+// got (member → read buffer) and solved (member → reconstructed buffer, one
+// entry per failed/skipped member, parity included). A member whose read
+// reports a media error is added to skip and the gather restarts — each
+// restart shrinks the reader set, so the recursion is bounded by Width. When
+// the erasures exceed the parity budget, cb receives a *mediaShortfall
+// carrying the budget-breaking member range.
+func (h *HostController) gatherSolveRange(stripe, lo, hi int64, skip map[int]bool, cb func(got, solved map[int]parity.Buffer, err error)) {
+	sk := make(map[int]bool, len(skip)+1)
+	for m, v := range skip {
+		if v {
+			sk[m] = true
+		}
+	}
+	g := &gatherState{h: h, stripe: stripe, lo: lo, hi: hi, skip: sk, cb: cb}
+	g.attempt()
+}
+
+// gatherState is one gather-solve across its media-error restarts.
+type gatherState struct {
+	h       *HostController
+	stripe  int64
+	lo, hi  int64
+	skip    map[int]bool
+	lastBad *mediaShortfall // most recent media report, for shortfall errors
+	cb      func(got, solved map[int]parity.Buffer, err error)
+}
+
+func (g *gatherState) attempt() {
+	h := g.h
+	n := g.hi - g.lo
+	base := h.driveOff(g.stripe)
+
+	var erased, readers []int
+	erasedData, availPar := 0, 0
+	for m := 0; m < h.geo.Width; m++ {
+		kind, _ := h.geo.Role(g.stripe, m)
+		if h.memberFailed(g.stripe, m) || g.skip[m] {
+			erased = append(erased, m)
+			if kind == raid.KindData {
+				erasedData++
+			}
+			continue
+		}
+		readers = append(readers, m)
+		if kind != raid.KindData {
+			availPar++
+		}
+	}
+	if erasedData > availPar {
+		sf := g.lastBad
+		if sf == nil {
+			sf = &mediaShortfall{stripe: g.stripe, member: -1}
+		}
+		h.eng.Defer(func() { g.cb(nil, nil, sf) })
+		return
+	}
+
+	got := make(map[int]parity.Buffer, len(readers))
+	watch := make([]NodeID, len(readers))
+	for i, m := range readers {
+		watch[i] = h.nodeAt(g.stripe, m)
+	}
+	op := h.newStripeOp("media-gather", g.stripe, len(readers), watch,
+		func() {
+			cost := h.cfg.Costs.Gf(int(n)) * sim.Duration(len(erased)+1)
+			h.cores.Exec(cost, func() {
+				solved, err := h.solveLost(g.stripe, n, erased, got)
+				if err != nil {
+					g.cb(nil, nil, err)
+					return
+				}
+				g.cb(got, solved, nil)
+			})
+		},
+		func(missing []NodeID) {
+			g.cb(nil, nil, fmt.Errorf("core: stripe %d media gather: %w", g.stripe, blockdev.ErrTimeout))
+		},
+	)
+	op.onPayload = func(from NodeID, _ nvmeof.Command, b parity.Buffer) {
+		if m := h.memberOf(from); m >= 0 {
+			got[m] = b
+		}
+	}
+	op.onMediaErr = func(member int, cmd nvmeof.Command) {
+		// A latent error on another member: exclude it too and re-gather.
+		g.lastBad = &mediaShortfall{
+			stripe: g.stripe, member: member,
+			off: cmd.Offset - base, n: cmd.Length,
+		}
+		g.skip[member] = true
+		g.attempt()
+	}
+	for _, m := range readers {
+		h.send(op, h.nodeAt(g.stripe, m), nvmeof.Command{
+			Opcode: nvmeof.OpRead, Offset: base + g.lo, Length: n,
+		}, parity.Buffer{})
+	}
+}
+
+// solveLost reconstructs each erased member's content over an n-byte
+// chunk-relative range from the gathered survivor pieces: lost data chunks
+// through P and/or Q, lost parity chunks by recomputation from the (then
+// complete) data. The caller's budget check guarantees solvability.
+func (h *HostController) solveLost(stripe, n int64, erased []int, got map[int]parity.Buffer) (map[int]parity.Buffer, error) {
+	solved := make(map[int]parity.Buffer, len(erased))
+	if len(erased) == 0 {
+		return solved, nil
+	}
+	var lostData []int // lost data-chunk indices
+	memberByIdx := make(map[int]int)
+	lostP, lostQ := false, false
+	pMember, qMember := -1, -1
+	for _, m := range erased {
+		switch kind, idx := h.geo.Role(stripe, m); kind {
+		case raid.KindP:
+			lostP, pMember = true, m
+		case raid.KindQ:
+			lostQ, qMember = true, m
+		default:
+			lostData = append(lostData, idx)
+			memberByIdx[idx] = m
+		}
+	}
+
+	k := h.geo.DataChunks()
+	data := make([]parity.Buffer, k)
+	var pBuf, qBuf parity.Buffer
+	var sBufs [][]byte
+	var sIdx []int
+	for m := 0; m < h.geo.Width; m++ {
+		b, ok := got[m]
+		if !ok {
+			continue
+		}
+		if b.Elided() {
+			// Size-only payloads carry no content to decode; propagate.
+			for _, em := range erased {
+				solved[em] = parity.Sized(int(n))
+			}
+			return solved, nil
+		}
+		switch kind, idx := h.geo.Role(stripe, m); kind {
+		case raid.KindP:
+			pBuf = b
+		case raid.KindQ:
+			qBuf = b
+		default:
+			data[idx] = b
+			sBufs = append(sBufs, b.Data())
+			sIdx = append(sIdx, idx)
+		}
+	}
+
+	switch len(lostData) {
+	case 0:
+	case 1:
+		x := lostData[0]
+		var out parity.Buffer
+		switch {
+		case !lostP && pBuf.Len() > 0:
+			acc := pBuf.Clone()
+			for c := 0; c < k; c++ {
+				if c != x {
+					acc = parity.XORInto(acc, data[c])
+				}
+			}
+			out = acc
+		case !lostQ && qBuf.Len() > 0:
+			o := make([]byte, n)
+			gf256.RecoverOneDataFromQ(o, qBuf.Data(), sBufs, sIdx, x)
+			out = parity.FromBytes(o)
+		default:
+			return nil, fmt.Errorf("core: stripe %d: no surviving parity for chunk %d: %w",
+				stripe, x, blockdev.ErrDoubleFault)
+		}
+		data[x] = out
+		solved[memberByIdx[x]] = out
+	case 2:
+		if lostP || lostQ || pBuf.Len() == 0 || qBuf.Len() == 0 {
+			return nil, fmt.Errorf("core: stripe %d: dual data loss needs P and Q: %w",
+				stripe, blockdev.ErrDoubleFault)
+		}
+		dx := make([]byte, n)
+		dy := make([]byte, n)
+		gf256.RecoverTwoData(dx, dy, pBuf.Data(), qBuf.Data(), sBufs, sIdx, lostData[0], lostData[1])
+		data[lostData[0]] = parity.FromBytes(dx)
+		data[lostData[1]] = parity.FromBytes(dy)
+		solved[memberByIdx[lostData[0]]] = data[lostData[0]]
+		solved[memberByIdx[lostData[1]]] = data[lostData[1]]
+	default:
+		return nil, fmt.Errorf("core: stripe %d: %d data chunks erased: %w",
+			stripe, len(lostData), blockdev.ErrDoubleFault)
+	}
+
+	switch {
+	case lostP && lostQ:
+		p, q := parity.ComputePQ(data)
+		solved[pMember], solved[qMember] = p, q
+	case lostP:
+		solved[pMember] = parity.ComputeP(data)
+	case lostQ:
+		solved[qMember] = parity.ComputeQ(data, nil)
+	}
+	return solved, nil
+}
+
+// ---------------------------------------------------------------------------
+// Read-path recovery continuations (installed as stripeOp.onMediaErr hooks).
+
+// mediaRecoverExtent serves a normal read whose target reported unreadable
+// sectors: reconstruct the extent through the stripe's redundancy, hand the
+// bytes to the assembler, and schedule an in-place repair of the bad sectors
+// decoupled from the user read.
+func (h *HostController) mediaRecoverExtent(e raid.Extent, member int, asm *assembler, fail *error, done func()) {
+	h.gatherSolveRange(e.Stripe, e.Off, e.Off+e.Len, map[int]bool{member: true},
+		func(got, solved map[int]parity.Buffer, err error) {
+			if err != nil {
+				h.recordLost(e.Stripe, member, e.Off, e.Off+e.Len)
+				h.recordShortfall(err)
+				*fail = fmt.Errorf("core: stripe %d read: %w", e.Stripe, err)
+				done()
+				return
+			}
+			asm.put(e.VOff, solved[member])
+			h.repairChunkRange(e.Stripe, member, e.Off, e.Off+e.Len, nil)
+			done()
+		})
+}
+
+// mediaFallbackGroup serves a reconstruction-group read (degraded read or
+// host fallback read) after one of its survivors reported unreadable
+// sectors: gather the union range of every extent in the group, solving both
+// the originally failed chunks and the media-erased survivor, then schedule
+// the survivor's repair.
+func (h *HostController) mediaFallbackGroup(stripe int64, failedExts, normal []raid.Extent, member int, asm *assembler, fail *error, done func()) {
+	all := append(append([]raid.Extent(nil), failedExts...), normal...)
+	uLo, uHi := unionRange(all)
+	h.gatherSolveRange(stripe, uLo, uHi, map[int]bool{member: true},
+		func(got, solved map[int]parity.Buffer, err error) {
+			if err != nil {
+				for _, fe := range failedExts {
+					h.recordLost(stripe, h.geo.DataDrive(stripe, fe.Chunk), fe.Off, fe.Off+fe.Len)
+				}
+				h.recordShortfall(err)
+				*fail = fmt.Errorf("core: stripe %d read: %w", stripe, err)
+				done()
+				return
+			}
+			for _, e := range all {
+				d := h.geo.DataDrive(stripe, e.Chunk)
+				b, ok := solved[d]
+				if !ok {
+					b = got[d]
+				}
+				if b.Elided() {
+					asm.put(e.VOff, parity.Sized(int(e.Len)))
+					continue
+				}
+				asm.put(e.VOff, b.Slice(int(e.Off-uLo), int(e.Len)))
+			}
+			h.repairChunkRange(stripe, member, uLo, uHi, nil)
+			done()
+		})
+}
+
+// ---------------------------------------------------------------------------
+// Fallback-write recovery: reconstructing pre-operation content through the
+// write hole.
+
+// fallbackRecoverOld rebuilds every data chunk's pre-operation content of
+// stripe over the chunk-relative range [uLo, uHi) for the host fallback
+// writer, after one of its phase-1 reads reported unreadable sectors. On
+// success cb receives one buffer per data-chunk index; ranges past the
+// parity budget come back zero-filled and recorded as lost regions, never
+// guessed.
+//
+// The subtlety is the write hole. The fallback runs after an aborted
+// partial write, whose data bdevs may already have committed their new
+// content — while parity provably has not moved (the reducer never
+// collected every contribution, so it never wrote back). Solving the bad
+// member through parity with the writers' stored bytes in the survivor set
+// would mix old parity with new data and fabricate garbage — and worse,
+// repair-on-read would then persist that garbage under valid checksums. So
+// within each segment, every writer extent overlapping it is treated as one
+// more erasure: the solver only ever sees provably pre-operation content
+// (clean chunks and parity), and returns the writers' old bytes alongside
+// the bad member's. A writer's solved old content equals its stored bytes
+// outside its extent, and inside the extent the caller overlays the new
+// data anyway, so the answer is correct whether or not the aborted write
+// landed.
+func (h *HostController) fallbackRecoverOld(stripe int64, exts []raid.Extent, uLo, uHi int64, bad map[int]bool, cb func(old []parity.Buffer, err error)) {
+	k := h.geo.DataChunks()
+	n := uHi - uLo
+	out := make([]parity.Buffer, k)
+	for c := range out {
+		out[c] = parity.Alloc(int(n))
+	}
+
+	// Segment [uLo, uHi) at writer-extent boundaries: within one segment the
+	// erasure set is uniform.
+	bounds := []int64{uLo, uHi}
+	for _, e := range exts {
+		for _, b := range []int64{e.Off, e.Off + e.Len} {
+			if b > uLo && b < uHi {
+				bounds = append(bounds, b)
+			}
+		}
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+
+	seg := 0
+	var step func()
+	step = func() {
+		for seg < len(bounds)-1 && bounds[seg] == bounds[seg+1] {
+			seg++
+		}
+		if seg >= len(bounds)-1 {
+			cb(out, nil)
+			return
+		}
+		sLo, sHi := bounds[seg], bounds[seg+1]
+		seg++
+		skip := make(map[int]bool, len(bad)+len(exts))
+		for m := range bad {
+			skip[m] = true
+		}
+		for _, e := range exts {
+			if e.Off < sHi && e.Off+e.Len > sLo {
+				skip[h.geo.DataDrive(stripe, e.Chunk)] = true
+			}
+		}
+		h.gatherSolveRange(stripe, sLo, sHi, skip, func(got, solved map[int]parity.Buffer, err error) {
+			if err != nil {
+				var sf *mediaShortfall
+				if !errors.As(err, &sf) {
+					cb(nil, err)
+					return
+				}
+				// Erasures exceed the parity budget in this segment — the
+				// write-hole × URE corner. Salvage what is still readable and
+				// record the rest lost instead of wedging the write.
+				h.salvageSegment(stripe, sLo, sHi, out, uLo, 0, step, cb)
+				return
+			}
+			for c := 0; c < k; c++ {
+				d := h.geo.DataDrive(stripe, c)
+				b, ok := got[d]
+				if !ok {
+					b, ok = solved[d]
+				}
+				if ok && !b.Elided() {
+					out[c].CopyAt(int(sLo-uLo), b)
+				}
+			}
+			step()
+		})
+	}
+	step()
+}
+
+// salvageSegment handles a fallbackRecoverOld segment whose erasures exceed
+// the parity budget: each data member's stored bytes are read directly —
+// whatever is on the drive is, by definition, the content the recomputed
+// parity must encode — degrading to protection-block granularity around
+// unreadable sectors, which are zero-filled and recorded as lost regions.
+func (h *HostController) salvageSegment(stripe, sLo, sHi int64, out []parity.Buffer, uLo int64, c int, next func(), cb func([]parity.Buffer, error)) {
+	if c >= h.geo.DataChunks() {
+		next()
+		return
+	}
+	member := h.geo.DataDrive(stripe, c)
+	if h.memberFailed(stripe, member) {
+		// No drive and no trustworthy parity: the bytes are gone.
+		h.recordLost(stripe, member, sLo, sHi)
+		h.salvageSegment(stripe, sLo, sHi, out, uLo, c+1, next, cb)
+		return
+	}
+	h.salvageBlocks(stripe, member, sLo, sHi, out[c], uLo, func(err error) {
+		if err != nil {
+			cb(nil, err)
+			return
+		}
+		h.salvageSegment(stripe, sLo, sHi, out, uLo, c+1, next, cb)
+	})
+}
+
+// salvageBlocks copies member's readable stored bytes over [sLo, sHi) into
+// dst (whose origin is chunk-relative uLo), one protection block at a time;
+// unreadable blocks stay zero and are recorded lost.
+func (h *HostController) salvageBlocks(stripe int64, member int, sLo, sHi int64, dst parity.Buffer, uLo int64, cbDone func(error)) {
+	base := h.driveOff(stripe)
+	target := h.nodeAt(stripe, member)
+	pos := sLo
+	var step func()
+	step = func() {
+		if pos >= sHi {
+			cbDone(nil)
+			return
+		}
+		pLo := pos
+		pHi := pLo - pLo%integrity.DefaultBlockSize + integrity.DefaultBlockSize
+		if pHi > sHi {
+			pHi = sHi
+		}
+		pos = pHi
+		op := h.newStripeOp("salvage-read", stripe, 1, []NodeID{target}, func() { step() },
+			func([]NodeID) {
+				cbDone(fmt.Errorf("core: stripe %d salvage read: %w", stripe, blockdev.ErrTimeout))
+			})
+		op.onPayload = func(_ NodeID, _ nvmeof.Command, b parity.Buffer) {
+			dst.CopyAt(int(pLo-uLo), b)
+		}
+		op.onMediaErr = func(_ int, _ nvmeof.Command) {
+			h.recordLost(stripe, member, pLo, pHi)
+			step()
+		}
+		h.send(op, target, nvmeof.Command{
+			Opcode: nvmeof.OpRead, Offset: base + pLo, Length: pHi - pLo,
+		}, parity.Buffer{})
+	}
+	step()
+}
+
+// repairChunkRange repairs member's chunk-relative [lo,hi) of stripe in
+// place: under the stripe write lock it re-reads the range (a racing
+// foreground write may already have replaced the bad sectors — writes clear
+// media errors), and only if the media error persists reconstructs the
+// content from the stripe's redundancy and writes it back. cb (optional)
+// observes the outcome; callers on the read path fire-and-forget with nil.
+func (h *HostController) repairChunkRange(stripe int64, member int, lo, hi int64, cb func(error)) {
+	if cb == nil {
+		cb = func(error) {}
+	}
+	// Align outward to protection-block boundaries: a sub-block repair write
+	// could not refresh its edge blocks' checksums (the server refuses to
+	// absorb slack bytes it cannot verify), so rewrite whole blocks with
+	// reconstructed content and heal them for good.
+	lo -= lo % integrity.DefaultBlockSize
+	if rem := hi % integrity.DefaultBlockSize; rem != 0 {
+		hi += integrity.DefaultBlockSize - rem
+	}
+	if hi > h.geo.ChunkSize {
+		hi = h.geo.ChunkSize
+	}
+	h.acquireStripe(stripe, func() {
+		release := func(err error) {
+			h.releaseStripe(stripe)
+			cb(err)
+		}
+		base := h.driveOff(stripe)
+		target := h.nodeAt(stripe, member)
+		op := h.newStripeOp("repair-verify", stripe, 1, []NodeID{target},
+			func() { release(nil) }, // reads clean now; nothing to repair
+			func([]NodeID) { release(fmt.Errorf("core: stripe %d repair verify: %w", stripe, blockdev.ErrTimeout)) },
+		)
+		op.onMediaErr = func(_ int, _ nvmeof.Command) {
+			h.gatherSolveRange(stripe, lo, hi, map[int]bool{member: true},
+				func(got, solved map[int]parity.Buffer, err error) {
+					if err != nil {
+						h.recordShortfall(err)
+						release(err)
+						return
+					}
+					buf, ok := solved[member]
+					if !ok {
+						release(nil)
+						return
+					}
+					wOp := h.newStripeOp("repair-write", stripe, 1, []NodeID{target},
+						func() {
+							h.stats.RepairedRanges++
+							h.trace("repaired stripe %d member %d [%d,+%d)", stripe, member, lo, hi-lo)
+							release(nil)
+						},
+						func([]NodeID) {
+							release(fmt.Errorf("core: stripe %d repair write: %w", stripe, blockdev.ErrTimeout))
+						},
+					)
+					h.send(wOp, target, nvmeof.Command{
+						Opcode: nvmeof.OpWrite, Offset: base + lo, Length: hi - lo,
+					}, buf)
+				})
+		}
+		h.send(op, target, nvmeof.Command{
+			Opcode: nvmeof.OpRead, Offset: base + lo, Length: hi - lo,
+		}, parity.Buffer{})
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Rebuild hardening.
+
+// rebuildRecoverChunk re-derives member's whole chunk of stripe after a
+// rebuild reconstruction read hit unreadable sectors on a survivor — the
+// URE-during-rebuild hazard. The gather machinery reconstructs through
+// whatever redundancy survives (on RAID-6 a URE during a single-failure
+// rebuild is absorbed by Q); where the parity budget is truly exceeded
+// (RAID-5), the unreadable hole is zero-filled in the rebuilt chunk, the
+// affected user bytes are recorded as lost regions, and recovery continues
+// around the hole so the rebuild never wedges or writes garbage silently.
+func (h *HostController) rebuildRecoverChunk(stripe int64, member int, cb func(parity.Buffer, error)) {
+	cs := h.geo.ChunkSize
+	out := parity.Alloc(int(cs))
+	elided := false
+	type rng struct{ lo, hi int64 }
+	work := []rng{{0, cs}}
+	var step func()
+	step = func() {
+		if len(work) == 0 {
+			if elided {
+				cb(parity.Sized(int(cs)), nil)
+				return
+			}
+			cb(out, nil)
+			return
+		}
+		r := work[0]
+		work = work[1:]
+		h.gatherSolveRange(stripe, r.lo, r.hi, nil, func(got, solved map[int]parity.Buffer, err error) {
+			if err != nil {
+				var sf *mediaShortfall
+				if !errors.As(err, &sf) || sf.member < 0 {
+					cb(parity.Buffer{}, err)
+					return
+				}
+				// Unrecoverable hole: both the rebuilt chunk's bytes and the
+				// reporting survivor's own bytes there are gone. Record them,
+				// zero-fill, and keep recovering around the hole.
+				badLo, badHi := sf.off, sf.off+sf.n
+				if badLo < r.lo {
+					badLo = r.lo
+				}
+				if badHi > r.hi {
+					badHi = r.hi
+				}
+				if badHi <= badLo {
+					badLo, badHi = r.lo, r.hi
+				}
+				h.recordLost(stripe, member, badLo, badHi)
+				h.recordLost(stripe, sf.member, sf.off, sf.off+sf.n)
+				if badLo > r.lo {
+					work = append(work, rng{r.lo, badLo})
+				}
+				if badHi < r.hi {
+					work = append(work, rng{badHi, r.hi})
+				}
+				step()
+				return
+			}
+			b, ok := solved[member]
+			if !ok {
+				b = got[member]
+			}
+			switch {
+			case b.Elided():
+				elided = true
+			case b.Len() > 0:
+				out.CopyAt(int(r.lo), b)
+			}
+			step()
+		})
+	}
+	step()
+}
+
+// ---------------------------------------------------------------------------
+// Scrubbing.
+
+// ScrubResult reports one stripe's scrub outcome.
+type ScrubResult struct {
+	Stripe int64
+	// Skipped marks a stripe with a failed member: redundancy is already
+	// spoken for, so coherence cannot be judged until the rebuild completes.
+	Skipped bool
+	// MediaRepairs counts chunks rewritten after their reads reported media
+	// errors or checksum mismatches (the latent errors scrub exists to find).
+	MediaRepairs int
+	// ParityRepairs counts parity chunks rewritten because they disagreed
+	// with parity recomputed from the stripe's data.
+	ParityRepairs int
+}
+
+// ScrubStripe verifies one stripe end to end under the stripe write lock:
+// every chunk is read (passing through server-side verify-on-read), chunks
+// with latent media errors are reconstructed and rewritten in place, and
+// parity is recomputed from the data and compared against what is stored,
+// rewriting any incoherent parity chunk.
+func (h *HostController) ScrubStripe(stripe int64, cb func(ScrubResult, error)) {
+	res := ScrubResult{Stripe: stripe}
+	if h.crashed {
+		return
+	}
+	for m := 0; m < h.geo.Width; m++ {
+		if h.memberFailed(stripe, m) {
+			res.Skipped = true
+			h.eng.Defer(func() { cb(res, nil) })
+			return
+		}
+	}
+	h.acquireStripe(stripe, func() {
+		finish := func(err error) {
+			h.releaseStripe(stripe)
+			cb(res, err)
+		}
+		cs := h.geo.ChunkSize
+		base := h.driveOff(stripe)
+		h.gatherSolveRange(stripe, 0, cs, nil, func(got, solved map[int]parity.Buffer, err error) {
+			if err != nil {
+				h.recordShortfall(err)
+				finish(err)
+				return
+			}
+			// Chunks the gather had to solve are exactly the latent errors:
+			// rewrite them. Then check parity coherence over the full data.
+			type fix struct {
+				member int
+				buf    parity.Buffer
+				media  bool
+			}
+			var fixes []fix
+			for m := 0; m < h.geo.Width; m++ {
+				if b, ok := solved[m]; ok {
+					fixes = append(fixes, fix{member: m, buf: b, media: true})
+				}
+			}
+			k := h.geo.DataChunks()
+			data := make([]parity.Buffer, k)
+			elided := false
+			for c := 0; c < k; c++ {
+				d := h.geo.DataDrive(stripe, c)
+				b, ok := got[d]
+				if !ok {
+					b = solved[d]
+				}
+				if b.Elided() {
+					elided = true
+				}
+				data[c] = b
+			}
+			work := h.cfg.Costs.Xor(int(cs) * k)
+			if h.geo.Level == raid.Raid6 {
+				work += h.cfg.Costs.Gf(int(cs) * k)
+			}
+			h.cores.Exec(work, func() {
+				if !elided {
+					pd := h.geo.PDrive(stripe)
+					qd := -1
+					var pWant, qWant parity.Buffer
+					if h.geo.Level == raid.Raid6 {
+						qd = h.geo.QDrive(stripe)
+						pWant, qWant = parity.ComputePQ(data)
+					} else {
+						pWant = parity.ComputeP(data)
+					}
+					if b, ok := got[pd]; ok && !b.Elided() && !bytes.Equal(b.Data(), pWant.Data()) {
+						fixes = append(fixes, fix{member: pd, buf: pWant})
+					}
+					if qd >= 0 {
+						if b, ok := got[qd]; ok && !b.Elided() && !bytes.Equal(b.Data(), qWant.Data()) {
+							fixes = append(fixes, fix{member: qd, buf: qWant})
+						}
+					}
+				}
+				h.stats.ScrubbedStripes++
+				if len(fixes) == 0 {
+					finish(nil)
+					return
+				}
+				watch := make([]NodeID, len(fixes))
+				for i, f := range fixes {
+					watch[i] = h.nodeAt(stripe, f.member)
+				}
+				op := h.newStripeOp("scrub-repair", stripe, len(fixes), watch,
+					func() {
+						for _, f := range fixes {
+							if f.media {
+								res.MediaRepairs++
+							} else {
+								res.ParityRepairs++
+							}
+							h.stats.RepairedRanges++
+						}
+						finish(nil)
+					},
+					func(missing []NodeID) {
+						finish(fmt.Errorf("core: stripe %d scrub repair: %w", stripe, blockdev.ErrTimeout))
+					},
+				)
+				for _, f := range fixes {
+					h.send(op, h.nodeAt(stripe, f.member), nvmeof.Command{
+						Opcode: nvmeof.OpWrite, Offset: base, Length: cs,
+					}, f.buf)
+				}
+			})
+		})
+	})
+}

@@ -202,6 +202,12 @@ func (h *HostController) ReconstructStripeChunk(stripe int64, member int, cb fun
 		},
 	)
 	op.onPayload = func(from NodeID, _ nvmeof.Command, b parity.Buffer) { result = b }
+	op.onMediaErr = func(_ int, _ nvmeof.Command) {
+		// A survivor hit unreadable sectors mid-rebuild: switch to the
+		// media-hardened recovery, which solves through remaining redundancy
+		// and degrades to lost-region accounting only past the parity budget.
+		h.rebuildRecoverChunk(stripe, member, cb)
+	}
 
 	for _, p := range parts {
 		cmd := nvmeof.Command{

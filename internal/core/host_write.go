@@ -37,6 +37,13 @@ func (h *HostController) Write(off int64, data parity.Buffer, cb func(error)) {
 		h.acquireStripe(stripe, func() {
 			h.markDirty(stripe)
 			h.stripeWrite(stripe, group, data, 0, func(err error) {
+				if err == nil && !h.lost.Empty() {
+					// Overwriting lost bytes brings them back: the new data
+					// is re-encoded into the stripe's redundancy.
+					for _, e := range group {
+						h.lost.Remove(off+e.VOff, e.Len)
+					}
+				}
 				h.clearDirty(stripe)
 				h.releaseStripe(stripe)
 				if err != nil && firstErr == nil {
@@ -594,6 +601,27 @@ func (h *HostController) hostFallbackWrite(stripe int64, exts []raid.Extent, dat
 		}
 		_, idx := h.geo.Role(stripe, h.memberOf(from))
 		dataOld[idx] = slot{buf: b, ok: true}
+	}
+	rOp.onMediaErr = func(member int, _ nvmeof.Command) {
+		// A phase-1 read hit unreadable sectors. The fallback may be cleaning
+		// up after an aborted partial write whose siblings already committed
+		// while parity did not, so the bad member cannot simply be solved
+		// against the survivors' stored bytes — fallbackRecoverOld re-derives
+		// every chunk's pre-operation content through the write hole.
+		h.fallbackRecoverOld(stripe, exts, uLo, uHi, map[int]bool{member: true},
+			func(old []parity.Buffer, err error) {
+				if err != nil {
+					h.recordShortfall(err)
+					done(fmt.Errorf("core: stripe %d fallback write: %w", stripe, err))
+					return
+				}
+				for c := 0; c < k; c++ {
+					dataOld[c] = slot{buf: old[c], ok: true}
+				}
+				lostIdx = nil // every chunk's old content is now in hand
+				h.repairChunkRange(stripe, member, uLo, uHi, nil)
+				finishPhase2()
+			})
 	}
 	for _, c := range aliveIdx {
 		h.send(rOp, h.nodeAt(stripe, h.geo.DataDrive(stripe, c)), nvmeof.Command{

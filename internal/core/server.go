@@ -1,9 +1,11 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"draid/internal/cpu"
+	"draid/internal/integrity"
 	"draid/internal/nvmeof"
 	"draid/internal/parity"
 	"draid/internal/sim"
@@ -24,6 +26,15 @@ type ServerConfig struct {
 	// command are buffered instead of reduced immediately (the "barrier
 	// between phases" design the paper rejects — an ablation knob).
 	BarrierReduce bool
+	// Integrity enables per-block CRC32C protection information alongside
+	// the drive (the software stand-in for T10 DIF): every write updates the
+	// covering checksums and every read verifies them, so silent bit rot is
+	// detected at the server and reported to the host as a per-chunk erasure
+	// (StatusMediaError), same as a drive URE. The CRCs are modeled as
+	// hardware-offloaded (zero virtual-time cost), so enabling integrity
+	// does not perturb timing until a fault is actually caught. Requires a
+	// data-storing drive.
+	Integrity bool
 	// Trace, when non-nil, receives protocol events.
 	Trace func(format string, args ...any)
 	// Tracer, when enabled, records capsule-arrival instants on TraceTrack
@@ -56,6 +67,11 @@ type ServerController struct {
 	// explicitly. The volume qualifier keeps co-tenant hosts — which assign
 	// op IDs independently — from colliding in one bdev's reduce table.
 	reduces map[reduceKey]*reduceState
+
+	// integ holds the per-block protection information when cfg.Integrity
+	// is set; checksumErrors counts reads it failed (detected bit rot).
+	integ          *integrity.Store
+	checksumErrors int64
 }
 
 // reduceKey names one reduction: the issuing volume plus its op ID.
@@ -94,12 +110,103 @@ func NewServer(id NodeID, eng *sim.Engine, fab *Fabric, drive *ssd.Drive, core *
 		reduces: make(map[reduceKey]*reduceState),
 		pool:    parity.NewPool(),
 	}
+	if cfg.Integrity {
+		if !drive.Spec().StoreData {
+			panic("core: integrity requires a data-storing drive (StoreData)")
+		}
+		s.integ = integrity.NewStore(integrity.DefaultBlockSize)
+	}
 	fab.Register(id, s.handle)
 	return s
 }
 
 // Drive returns the controller's drive (for tests and rebuild tooling).
 func (s *ServerController) Drive() *ssd.Drive { return s.drive }
+
+// ChecksumErrors reports how many reads failed end-to-end verification.
+func (s *ServerController) ChecksumErrors() int64 { return s.checksumErrors }
+
+// peek adapts the drive's synchronous byte access for the checksum store.
+func (s *ServerController) peek(off, n int64) []byte { return s.drive.PeekSync(off, n) }
+
+// readVerified reads [off, off+n) and, when integrity is on, verifies the
+// covering block checksums before handing the payload up: detected bit rot
+// surfaces as a *ssd.MediaError, indistinguishable from a drive URE, so one
+// host-side recovery path serves both.
+func (s *ServerController) readVerified(off, n int64, cb func(parity.Buffer, error)) {
+	s.drive.Read(off, n, func(b parity.Buffer, err error) {
+		if err == nil && s.integ != nil {
+			if badOff, badLen, ok := s.integ.Verify(off, n, s.drive.Spec().Capacity, s.peek); !ok {
+				s.checksumErrors++
+				s.trace("checksum mismatch at [%d,+%d)", badOff, badLen)
+				cb(parity.Buffer{}, &ssd.MediaError{Off: badOff, N: badLen})
+				return
+			}
+		}
+		cb(b, err)
+	})
+}
+
+// writeDrive writes and, when integrity is on, refreshes the covering block
+// checksums from the stored bytes once the write lands.
+//
+// Edge blocks only partially covered by the write keep slack bytes the
+// writer never saw. Recomputing their checksum blindly would absorb any
+// corruption sitting in that slack into a "valid" checksum — laundering bit
+// rot into data every later read trusts. So those blocks are verified
+// against their pre-write content first, and a block that fails stays
+// poisoned after the write: reads keep reporting it, and the host's
+// block-aligned repair path rewrites it whole with reconstructed bytes.
+func (s *ServerController) writeDrive(off int64, b parity.Buffer, cb func(error)) {
+	n := int64(b.Len())
+	var stale []int64
+	if s.integ != nil && n > 0 {
+		capacity := s.drive.Spec().Capacity
+		bs := s.integ.BlockSize()
+		check := func(blk int64) {
+			bEnd := blk + bs
+			if bEnd > capacity {
+				bEnd = capacity
+			}
+			if blk >= off && bEnd <= off+n {
+				return // fully covered: the write defines the whole block
+			}
+			if _, _, ok := s.integ.Verify(blk, bEnd-blk, capacity, s.peek); !ok {
+				stale = append(stale, blk)
+			}
+		}
+		head := off - off%bs
+		tail := (off + n - 1) - (off+n-1)%bs
+		check(head)
+		if tail != head {
+			check(tail)
+		}
+	}
+	s.drive.Write(off, b, func(err error) {
+		if err == nil && s.integ != nil {
+			s.integ.Update(off, n, s.drive.Spec().Capacity, s.peek)
+			for _, blk := range stale {
+				s.integ.Invalidate(blk)
+			}
+		}
+		cb(err)
+	})
+}
+
+// mediaStatus classifies a drive/verify error for a completion capsule:
+// media errors map to StatusMediaError echoing the precise unreadable range
+// (falling back to the whole accessed range), everything else to
+// StatusError over the accessed range.
+func mediaStatus(err error, off, length int64) (nvmeof.Status, int64, int64) {
+	var me *ssd.MediaError
+	if errors.As(err, &me) {
+		return nvmeof.StatusMediaError, me.Off, me.N
+	}
+	if errors.Is(err, ssd.ErrMediaError) {
+		return nvmeof.StatusMediaError, off, length
+	}
+	return nvmeof.StatusError, off, length
+}
 
 func (s *ServerController) trace(format string, args ...any) {
 	if s.cfg.Trace != nil {
@@ -163,20 +270,20 @@ func (s *ServerController) handleHeartbeat(m Message) {
 
 // handleRead serves a standard NVMe-oF read.
 func (s *ServerController) handleRead(m Message) {
-	s.drive.Read(m.Cmd.Offset, m.Cmd.Length, func(b parity.Buffer, err error) {
+	s.readVerified(m.Cmd.Offset, m.Cmd.Length, func(b parity.Buffer, err error) {
 		s.core.Exec(s.cfg.Costs.PerIO, func() {
-			st := nvmeof.StatusSuccess
+			st, off, length := nvmeof.StatusSuccess, m.Cmd.Offset, m.Cmd.Length
 			if err != nil {
-				st = nvmeof.StatusError
+				st, off, length = mediaStatus(err, m.Cmd.Offset, m.Cmd.Length)
 			}
-			s.complete(m.From, m.Cmd.NSID, m.Cmd.ID, st, m.Cmd.Offset, m.Cmd.Length, b)
+			s.complete(m.From, m.Cmd.NSID, m.Cmd.ID, st, off, length, b)
 		})
 	})
 }
 
 // handleWrite serves a standard NVMe-oF write.
 func (s *ServerController) handleWrite(m Message) {
-	s.drive.Write(m.Cmd.Offset, m.Payload, func(err error) {
+	s.writeDrive(m.Cmd.Offset, m.Payload, func(err error) {
 		s.core.Exec(s.cfg.Costs.PerIO, func() {
 			st := nvmeof.StatusSuccess
 			if err != nil {
@@ -236,9 +343,10 @@ func (s *ServerController) handlePartialWrite(m Message) {
 	switch cmd.Subtype {
 	case nvmeof.SubRMW:
 		// Read old data over the write segment; delta = old ⊕ new.
-		s.drive.Read(cmd.Offset, cmd.Length, func(oldB parity.Buffer, err error) {
+		s.readVerified(cmd.Offset, cmd.Length, func(oldB parity.Buffer, err error) {
 			if err != nil {
-				s.complete(m.From, cmd.NSID, cmd.ID, nvmeof.StatusError, cmd.Offset, cmd.Length, parity.Buffer{})
+				st, off, length := mediaStatus(err, cmd.Offset, cmd.Length)
+				s.complete(m.From, cmd.NSID, cmd.ID, st, off, length, parity.Buffer{})
 				return
 			}
 			forward := func(next func()) {
@@ -253,7 +361,7 @@ func (s *ServerController) handlePartialWrite(m Message) {
 				})
 			}
 			write := func(next func()) {
-				s.drive.Write(cmd.Offset, m.Payload, func(werr error) {
+				s.writeDrive(cmd.Offset, m.Payload, func(werr error) {
 					if werr != nil {
 						s.complete(m.From, cmd.NSID, cmd.ID, nvmeof.StatusError, cmd.Offset, cmd.Length, parity.Buffer{})
 						return
@@ -284,7 +392,7 @@ func (s *ServerController) handlePartialWrite(m Message) {
 		}
 		if cmd.Offset == union.Off && cmd.Length == union.Len {
 			buildAndGo(m.Payload.Clone())
-			s.drive.Write(cmd.Offset, m.Payload, func(err error) {
+			s.writeDrive(cmd.Offset, m.Payload, func(err error) {
 				if err != nil {
 					s.complete(m.From, cmd.NSID, cmd.ID, nvmeof.StatusError, cmd.Offset, cmd.Length, parity.Buffer{})
 					return
@@ -293,9 +401,10 @@ func (s *ServerController) handlePartialWrite(m Message) {
 			})
 			return
 		}
-		s.drive.Read(union.Off, union.Len, func(oldB parity.Buffer, err error) {
+		s.readVerified(union.Off, union.Len, func(oldB parity.Buffer, err error) {
 			if err != nil {
-				s.complete(m.From, cmd.NSID, cmd.ID, nvmeof.StatusError, cmd.Offset, cmd.Length, parity.Buffer{})
+				st, off, length := mediaStatus(err, union.Off, union.Len)
+				s.complete(m.From, cmd.NSID, cmd.ID, st, off, length, parity.Buffer{})
 				return
 			}
 			contrib := oldB // private drive-read copy; overlay in place
@@ -304,7 +413,7 @@ func (s *ServerController) handlePartialWrite(m Message) {
 				contrib = parity.Sized(contrib.Len())
 			}
 			write := func() {
-				s.drive.Write(cmd.Offset, m.Payload, func(werr error) {
+				s.writeDrive(cmd.Offset, m.Payload, func(werr error) {
 					if werr != nil {
 						s.complete(m.From, cmd.NSID, cmd.ID, nvmeof.StatusError, cmd.Offset, cmd.Length, parity.Buffer{})
 						return
@@ -326,9 +435,10 @@ func (s *ServerController) handlePartialWrite(m Message) {
 	case nvmeof.SubRWRead:
 		// Contribution = stored data over the union; nothing written, no
 		// host callback (the reducer's completion covers this bdev).
-		s.drive.Read(union.Off, union.Len, func(oldB parity.Buffer, err error) {
+		s.readVerified(union.Off, union.Len, func(oldB parity.Buffer, err error) {
 			if err != nil {
-				s.complete(m.From, cmd.NSID, cmd.ID, nvmeof.StatusError, union.Off, union.Len, parity.Buffer{})
+				st, off, length := mediaStatus(err, union.Off, union.Len)
+				s.complete(m.From, cmd.NSID, cmd.ID, st, off, length, parity.Buffer{})
 				return
 			}
 			s.core.Exec(s.cfg.Costs.PerIO, func() {
@@ -415,9 +525,10 @@ func (s *ServerController) handleParity(m Message) {
 
 	if cmd.Subtype == nvmeof.SubRMW {
 		st.preloadPending = true
-		s.drive.Read(cmd.Offset, cmd.Length, func(oldB parity.Buffer, err error) {
+		s.readVerified(cmd.Offset, cmd.Length, func(oldB parity.Buffer, err error) {
 			if err != nil {
-				s.complete(st.replyTo, st.vol, st.id, nvmeof.StatusError, st.absOff, st.length, parity.Buffer{})
+				cst, off, length := mediaStatus(err, st.absOff, st.length)
+				s.complete(st.replyTo, st.vol, st.id, cst, off, length, parity.Buffer{})
 				delete(s.reduces, reduceKey{vol: st.vol, id: st.id})
 				return
 			}
@@ -461,7 +572,7 @@ func (s *ServerController) finish(st *reduceState) {
 	}
 	delete(s.reduces, reduceKey{vol: st.vol, id: st.id})
 	if st.writeBack {
-		s.drive.Write(st.absOff, st.acc, func(err error) {
+		s.writeDrive(st.absOff, st.acc, func(err error) {
 			st2 := nvmeof.StatusSuccess
 			if err != nil {
 				st2 = nvmeof.StatusError
@@ -502,9 +613,10 @@ func (s *ServerController) handleReconstruction(m Message) {
 		st.anchorArrived = true
 		s.drainDeferred(st)
 	}
-	s.drive.Read(cmd.Offset, cmd.Length, func(b parity.Buffer, err error) {
+	s.readVerified(cmd.Offset, cmd.Length, func(b parity.Buffer, err error) {
 		if err != nil {
-			s.complete(m.From, cmd.NSID, cmd.ID, nvmeof.StatusError, cmd.Offset, cmd.Length, parity.Buffer{})
+			st, off, length := mediaStatus(err, cmd.Offset, cmd.Length)
+			s.complete(m.From, cmd.NSID, cmd.ID, st, off, length, parity.Buffer{})
 			return
 		}
 		// Decoupled return path: normal-read data goes straight home.

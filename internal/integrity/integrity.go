@@ -1,0 +1,208 @@
+// Package integrity provides the building blocks of the end-to-end data
+// integrity layer: CRC32C block checksums kept by servers alongside their
+// drive (the software stand-in for T10 DIF / NVMe end-to-end protection),
+// and a byte-range set used for media-error maps and lost-region tracking.
+//
+// The checksum store is bookkeeping, not simulation: real arrays compute
+// these CRCs in hardware on the DMA path, so maintaining and verifying them
+// costs no virtual time. That is what keeps integrity-enabled runs
+// byte-identical to integrity-disabled runs until a fault is injected.
+package integrity
+
+import "hash/crc32"
+
+// castagnoli is the CRC32C polynomial table, the checksum NVMe end-to-end
+// protection and iSCSI use (hardware CRC32 instruction on x86/ARM).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Checksum returns the CRC32C of p.
+func Checksum(p []byte) uint32 { return crc32.Checksum(p, castagnoli) }
+
+// DefaultBlockSize is the protection-information granularity: one checksum
+// per 4 KiB, the common DIF sector-guard grouping.
+const DefaultBlockSize = 4096
+
+// Store holds one CRC32C per fixed-size block of a drive, keyed by the
+// block's starting byte offset. Blocks never written carry no entry and
+// verify against the all-zeroes checksum, so bit rot in untouched ranges is
+// still caught.
+type Store struct {
+	block int64
+	sums  map[int64]uint32
+	// zeroFull is the checksum of one full block of zeroes, precomputed;
+	// partial tail blocks fall back to computing it on demand.
+	zeroFull uint32
+}
+
+// NewStore builds a store with the given block size (0 → DefaultBlockSize).
+func NewStore(blockSize int64) *Store {
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	return &Store{
+		block:    blockSize,
+		sums:     make(map[int64]uint32),
+		zeroFull: Checksum(make([]byte, blockSize)),
+	}
+}
+
+// BlockSize returns the protection granularity.
+func (s *Store) BlockSize() int64 { return s.block }
+
+// blockSpan returns the first block start and the end bound covering
+// [off, off+n), clipped to capacity.
+func (s *Store) blockSpan(off, n, capacity int64) (lo, hi int64) {
+	lo = off - off%s.block
+	hi = off + n
+	if hi > capacity {
+		hi = capacity
+	}
+	return lo, hi
+}
+
+// Update recomputes the checksums of every block overlapping [off, off+n).
+// load must return the current stored bytes for an exact block range; it is
+// called once per covered block.
+func (s *Store) Update(off, n, capacity int64, load func(off, n int64) []byte) {
+	lo, hi := s.blockSpan(off, n, capacity)
+	for b := lo; b < hi; b += s.block {
+		bLen := s.block
+		if b+bLen > capacity {
+			bLen = capacity - b
+		}
+		s.sums[b] = Checksum(load(b, bLen))
+	}
+}
+
+// Invalidate poisons the recorded checksum of the block starting at b, so
+// verification keeps failing until the block's content is refreshed by a
+// later Update. Writers use it when a partial-block write lands over slack
+// bytes that no longer verify: recomputing the checksum from the stored
+// bytes would silently launder the corruption into "valid" data.
+func (s *Store) Invalidate(b int64) { s.sums[b] ^= 0x5a5a5a5a }
+
+// Verify checks every block overlapping [off, off+n) against its recorded
+// checksum (or the zero checksum when the block was never written). On the
+// first mismatch it returns the intersection of that block with the
+// requested range and ok=false.
+func (s *Store) Verify(off, n, capacity int64, load func(off, n int64) []byte) (badOff, badLen int64, ok bool) {
+	lo, hi := s.blockSpan(off, n, capacity)
+	for b := lo; b < hi; b += s.block {
+		bLen := s.block
+		if b+bLen > capacity {
+			bLen = capacity - b
+		}
+		want, recorded := s.sums[b]
+		if !recorded {
+			if bLen == s.block {
+				want = s.zeroFull
+			} else {
+				want = Checksum(make([]byte, bLen))
+			}
+		}
+		if Checksum(load(b, bLen)) != want {
+			iLo, iHi := b, b+bLen
+			if iLo < off {
+				iLo = off
+			}
+			if iHi > off+n {
+				iHi = off + n
+			}
+			return iLo, iHi - iLo, false
+		}
+	}
+	return 0, 0, true
+}
+
+// Span is one half-open byte range [Off, Off+Len).
+type Span struct{ Off, Len int64 }
+
+// End returns the exclusive end offset.
+func (s Span) End() int64 { return s.Off + s.Len }
+
+// RangeSet is an ordered set of non-overlapping, non-adjacent byte ranges.
+// It backs the drive media-error map (which sectors are unreadable) and the
+// host lost-region list (which virtual ranges exceeded the parity budget).
+type RangeSet struct {
+	spans []Span
+}
+
+// Empty reports whether the set holds no bytes.
+func (r *RangeSet) Empty() bool { return len(r.spans) == 0 }
+
+// Spans returns a copy of the ranges in ascending order.
+func (r *RangeSet) Spans() []Span { return append([]Span(nil), r.spans...) }
+
+// Add inserts [off, off+n), merging with overlapping or adjacent ranges.
+func (r *RangeSet) Add(off, n int64) {
+	if n <= 0 {
+		return
+	}
+	lo, hi := off, off+n
+	out := r.spans[:0:0]
+	for _, s := range r.spans {
+		switch {
+		case s.End() < lo || s.Off > hi: // disjoint, not even adjacent
+			out = append(out, s)
+		default: // overlaps or touches: absorb into [lo, hi)
+			if s.Off < lo {
+				lo = s.Off
+			}
+			if s.End() > hi {
+				hi = s.End()
+			}
+		}
+	}
+	out = append(out, Span{Off: lo, Len: hi - lo})
+	r.spans = out
+	r.sort()
+}
+
+// Remove deletes [off, off+n), splitting ranges that straddle the bounds.
+func (r *RangeSet) Remove(off, n int64) {
+	if n <= 0 {
+		return
+	}
+	lo, hi := off, off+n
+	out := r.spans[:0:0]
+	for _, s := range r.spans {
+		if s.End() <= lo || s.Off >= hi {
+			out = append(out, s)
+			continue
+		}
+		if s.Off < lo {
+			out = append(out, Span{Off: s.Off, Len: lo - s.Off})
+		}
+		if s.End() > hi {
+			out = append(out, Span{Off: hi, Len: s.End() - hi})
+		}
+	}
+	r.spans = out
+}
+
+// Intersect returns the first intersection of the set with [off, off+n).
+func (r *RangeSet) Intersect(off, n int64) (Span, bool) {
+	lo, hi := off, off+n
+	for _, s := range r.spans {
+		if s.End() <= lo || s.Off >= hi {
+			continue
+		}
+		iLo, iHi := s.Off, s.End()
+		if iLo < lo {
+			iLo = lo
+		}
+		if iHi > hi {
+			iHi = hi
+		}
+		return Span{Off: iLo, Len: iHi - iLo}, true
+	}
+	return Span{}, false
+}
+
+func (r *RangeSet) sort() {
+	for i := 1; i < len(r.spans); i++ {
+		for j := i; j > 0 && r.spans[j].Off < r.spans[j-1].Off; j-- {
+			r.spans[j], r.spans[j-1] = r.spans[j-1], r.spans[j]
+		}
+	}
+}

@@ -13,6 +13,8 @@ package nvmeof
 import (
 	"encoding/binary"
 	"fmt"
+
+	"draid/internal/integrity"
 )
 
 // Opcode identifies the operation in a capsule.
@@ -115,6 +117,11 @@ const (
 	StatusSuccess Status = iota
 	StatusError
 	StatusTimeout
+	// StatusMediaError reports a per-chunk erasure: the bdev is alive but a
+	// byte range of the addressed chunk is unreadable (drive URE) or failed
+	// its end-to-end checksum (bit rot). The completion echoes the bad range
+	// in Offset/Length so the host can reconstruct exactly what is missing.
+	StatusMediaError
 )
 
 // String names the status.
@@ -126,6 +133,8 @@ func (s Status) String() string {
 		return "error"
 	case StatusTimeout:
 		return "timeout"
+	case StatusMediaError:
+		return "media-error"
 	}
 	return fmt.Sprintf("Status(%d)", uint8(s))
 }
@@ -194,6 +203,13 @@ func (c *Command) Encode() []byte {
 	}
 	return out
 }
+
+// Checksum returns the CRC32C of the encoded capsule — the command-level
+// integrity check a receiving NIC runs before accepting a capsule. The
+// fabric layer uses it to model in-flight corruption: a capsule whose
+// checksum fails verification is discarded at the receiver, and the sender's
+// §5.4 timeout/retry machinery takes over.
+func (c *Command) Checksum() uint32 { return integrity.Checksum(c.Encode()) }
 
 // Decode parses a capsule, returning an error on truncation.
 func Decode(b []byte) (Command, error) {

@@ -134,3 +134,29 @@ func TestDeterministicEncoding(t *testing.T) {
 		}
 	}
 }
+
+func TestMediaErrorStatusRoundTrip(t *testing.T) {
+	c := Command{ID: 9, Opcode: OpCompletion, NSID: 2, Offset: 4096, Length: 512, Status: StatusMediaError}
+	got, err := Decode(c.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != StatusMediaError || got.Offset != 4096 || got.Length != 512 {
+		t.Fatalf("round trip = %+v", got)
+	}
+	if StatusMediaError.String() != "media-error" {
+		t.Fatalf("String() = %q", StatusMediaError.String())
+	}
+}
+
+func TestCommandChecksumDetectsFieldChange(t *testing.T) {
+	c := Command{ID: 1, Opcode: OpWrite, Offset: 100, Length: 200}
+	sum := c.Checksum()
+	if c.Checksum() != sum {
+		t.Fatal("checksum not stable")
+	}
+	c.Offset++
+	if c.Checksum() == sum {
+		t.Fatal("checksum blind to a field change")
+	}
+}

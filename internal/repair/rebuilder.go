@@ -19,6 +19,11 @@ type RebuilderConfig struct {
 	// its stripe bytes from the same bucket, so concurrent rebuilds split
 	// the rate instead of each claiming it in full.
 	Limiter *RateLimiter
+	// OnLost, when non-nil, is called after any rebuilt stripe sacrificed
+	// data to a media double fault (a survivor URE past the parity budget —
+	// the RAID-5 rebuild hazard). The rebuild continues; the affected bytes
+	// are in the host's lost-region list.
+	OnLost func(stripe int64)
 }
 
 // RebuildStatus is a snapshot of rebuild progress.
@@ -28,6 +33,9 @@ type RebuildStatus struct {
 	Dest         core.NodeID
 	DoneStripes  int64
 	TotalStripes int64
+	// LostRegions counts lost ranges recorded during this rebuild: nonzero
+	// means some stripes were rebuilt with unrecoverable holes.
+	LostRegions int64
 }
 
 // Rebuilder copies a failed member's chunks onto a hot spare stripe by
@@ -128,7 +136,14 @@ func (r *Rebuilder) Rebuild(member int, dest core.NodeID, cb func(error)) {
 		}
 		run := func() {
 			lastStart = r.eng.Now()
+			lostBefore := r.host.LostRegionsEver()
 			r.host.RebuildStripe(stripe, member, func(err error) {
+				if delta := r.host.LostRegionsEver() - lostBefore; delta > 0 {
+					r.status.LostRegions += delta
+					if r.cfg.OnLost != nil {
+						r.cfg.OnLost(stripe)
+					}
+				}
 				if err != nil {
 					finish(fmt.Errorf("repair: member %d stripe %d: %w", member, stripe, err))
 					return

@@ -1,0 +1,226 @@
+package repair
+
+import (
+	"fmt"
+
+	"draid/internal/core"
+	"draid/internal/sim"
+	"draid/internal/trace"
+)
+
+// ScrubberConfig tunes the background scrubber.
+type ScrubberConfig struct {
+	// Interval is the virtual time between the ends of consecutive scrub
+	// passes. 0 disables periodic scrubbing (RunPass still works on demand).
+	Interval sim.Duration
+	// RateMBps caps the scrub at this many megabytes of verified stripe data
+	// (all chunks) per second, so a pass trickles along under foreground
+	// I/O instead of saturating the drives. 0 means unthrottled.
+	RateMBps float64
+	// Limiter, when non-nil, replaces the private RateMBps bucket with the
+	// cluster-shared repair budget, so concurrent scrubs and rebuilds split
+	// one rate instead of each claiming their own.
+	Limiter *RateLimiter
+	// OnEvent, when non-nil, receives scrub life-cycle notifications:
+	// "scrub-repair" (a stripe was fixed), "scrub-error" (a stripe could not
+	// be verified), "lost-region" (data was sacrificed to a media double
+	// fault), and "scrub-pass" (a full pass completed).
+	OnEvent func(kind string, stripe int64, detail string)
+}
+
+// ScrubStatus is a snapshot of scrubber progress.
+type ScrubStatus struct {
+	Enabled bool // periodic scrubbing configured (Interval > 0)
+	Active  bool // a pass is currently walking stripes
+	// Passes counts completed full passes; Stripe is the next stripe the
+	// active pass will verify, TotalStripes the pass length.
+	Passes       int64
+	Stripe       int64
+	TotalStripes int64
+	// Cumulative across passes: stripes verified, stripes skipped (failed
+	// member present), chunks rewritten after latent media errors, parity
+	// chunks rewritten after coherence mismatches, stripes that failed to
+	// verify at all.
+	ScrubbedStripes int64
+	SkippedStripes  int64
+	MediaRepairs    int64
+	ParityRepairs   int64
+	Errors          int64
+}
+
+// Scrubber walks the array stripe by stripe in the background, verifying
+// checksum and parity coherence through core.ScrubStripe and repairing latent
+// errors in place — the proactive half of the integrity story (reactive
+// repair-on-read catches only sectors something reads). Pacing uses the same
+// token-bucket discipline as the rebuilder; periodic passes run on background
+// timers so an idle simulation can still drain.
+type Scrubber struct {
+	eng  *sim.Engine
+	host *core.HostController
+	cfg  ScrubberConfig
+
+	status  ScrubStatus
+	stopped bool
+
+	track  trace.Track
+	tracer *trace.Collector
+	span   *trace.Op
+}
+
+// NewScrubber builds a scrubber for the host. Call Start for periodic
+// passes, or RunPass for a single on-demand pass.
+func NewScrubber(eng *sim.Engine, host *core.HostController, cfg ScrubberConfig, tracer *trace.Collector) *Scrubber {
+	s := &Scrubber{eng: eng, host: host, cfg: cfg, tracer: tracer}
+	s.status.Enabled = cfg.Interval > 0
+	if tracer.Enabled() {
+		s.track = tracer.Track("repair", "scrub")
+		tracer.AddGauge(s.track, "scrub progress", func() float64 {
+			if !s.status.Active || s.status.TotalStripes == 0 {
+				return 0
+			}
+			return float64(s.status.Stripe) / float64(s.status.TotalStripes)
+		})
+	}
+	return s
+}
+
+// Rebind points the scrubber at a replacement controller after failover.
+func (s *Scrubber) Rebind(h *core.HostController) { s.host = h }
+
+// Status returns a snapshot of scrub progress.
+func (s *Scrubber) Status() ScrubStatus { return s.status }
+
+// Start schedules the first periodic pass one interval from now. Passes run
+// entirely on background timers: they never keep the engine's Run from
+// returning, so simulations that do not care about scrubbing are unaffected.
+func (s *Scrubber) Start() {
+	if s.cfg.Interval <= 0 {
+		return
+	}
+	s.stopped = false
+	s.eng.AfterBG(s.cfg.Interval, func() { s.pass(true, nil) })
+}
+
+// Stop halts periodic scrubbing after the current stripe; an active pass
+// does not resume.
+func (s *Scrubber) Stop() { s.stopped = true }
+
+// RunPass runs one full foreground pass and reports the resulting status.
+// Foreground means the engine's Run drains it — the deterministic way to
+// scrub in tests and admin flows ("scrub now").
+func (s *Scrubber) RunPass(cb func(ScrubStatus, error)) {
+	s.pass(false, cb)
+}
+
+// stripeGap returns the token-bucket spacing between stripe starts at the
+// private rate: a scrub touches every chunk of the stripe.
+func (s *Scrubber) stripeGap() sim.Duration {
+	if s.cfg.RateMBps <= 0 {
+		return 0
+	}
+	geo := s.host.Geometry()
+	stripeBytes := int64(geo.Width) * geo.ChunkSize
+	bytesPerNs := s.cfg.RateMBps * 1e6 / 1e9
+	return sim.Duration(float64(stripeBytes) / bytesPerNs)
+}
+
+// pass walks every stripe once. bg selects background timers (periodic
+// passes) vs foreground timers (RunPass).
+func (s *Scrubber) pass(bg bool, cb func(ScrubStatus, error)) {
+	if s.status.Active || (bg && s.stopped) {
+		if cb != nil {
+			st := s.status
+			s.eng.Defer(func() { cb(st, fmt.Errorf("repair: scrub pass already active")) })
+		}
+		return
+	}
+	geo := s.host.Geometry()
+	total := s.host.Size() / (int64(geo.DataChunks()) * geo.ChunkSize)
+	s.status.Active = true
+	s.status.Stripe = 0
+	s.status.TotalStripes = total
+	if s.tracer.Enabled() {
+		s.span = s.tracer.Begin(s.track, "repair", fmt.Sprintf("scrub pass %d", s.status.Passes),
+			trace.I64("stripes", total))
+	}
+	schedule := func(d sim.Duration, fn func()) {
+		if bg {
+			s.eng.AfterBG(d, fn)
+		} else if d > 0 {
+			s.eng.After(d, fn)
+		} else {
+			s.eng.Defer(fn)
+		}
+	}
+	gap := s.stripeGap()
+	stripeBytes := int64(geo.Width) * geo.ChunkSize
+	lastStart := s.eng.Now()
+
+	finish := func() {
+		s.status.Active = false
+		s.status.Passes++
+		if s.span != nil {
+			s.span.End(trace.Str("result", "ok"))
+			s.span = nil
+		}
+		s.event("scrub-pass", -1, fmt.Sprintf("pass %d: %d stripes, %d media repairs, %d parity repairs",
+			s.status.Passes, total, s.status.MediaRepairs, s.status.ParityRepairs))
+		if cb != nil {
+			cb(s.status, nil)
+		}
+		if bg && !s.stopped && s.cfg.Interval > 0 {
+			s.eng.AfterBG(s.cfg.Interval, func() { s.pass(true, nil) })
+		}
+	}
+
+	var step func(stripe int64)
+	step = func(stripe int64) {
+		if stripe >= total || (bg && s.stopped) {
+			finish()
+			return
+		}
+		run := func() {
+			lastStart = s.eng.Now()
+			s.status.Stripe = stripe
+			lostBefore := s.host.LostRegionsEver()
+			s.host.ScrubStripe(stripe, func(res core.ScrubResult, err error) {
+				if delta := s.host.LostRegionsEver() - lostBefore; delta > 0 {
+					s.event("lost-region", stripe, fmt.Sprintf("%d range(s) lost during scrub", delta))
+				}
+				switch {
+				case err != nil:
+					// One bad stripe must not wedge the pass: note it, move on.
+					s.status.Errors++
+					s.event("scrub-error", stripe, err.Error())
+				case res.Skipped:
+					s.status.SkippedStripes++
+				default:
+					s.status.ScrubbedStripes++
+					if res.MediaRepairs > 0 || res.ParityRepairs > 0 {
+						s.status.MediaRepairs += int64(res.MediaRepairs)
+						s.status.ParityRepairs += int64(res.ParityRepairs)
+						s.event("scrub-repair", stripe, fmt.Sprintf("%d media, %d parity chunk(s) rewritten",
+							res.MediaRepairs, res.ParityRepairs))
+					}
+				}
+				step(stripe + 1)
+			})
+		}
+		if s.cfg.Limiter != nil {
+			schedule(s.cfg.Limiter.Reserve(stripeBytes), run)
+			return
+		}
+		if wait := sim.Duration(lastStart+sim.Time(gap)) - sim.Duration(s.eng.Now()); gap > 0 && wait > 0 {
+			schedule(wait, run)
+		} else {
+			schedule(0, run)
+		}
+	}
+	step(0)
+}
+
+func (s *Scrubber) event(kind string, stripe int64, detail string) {
+	if s.cfg.OnEvent != nil {
+		s.cfg.OnEvent(kind, stripe, detail)
+	}
+}

@@ -12,6 +12,9 @@ import (
 type Config struct {
 	Detector DetectorConfig
 	Rebuild  RebuilderConfig
+	// Scrub configures the background scrubber; a zero Interval leaves
+	// periodic scrubbing off (the scrubber still exists for on-demand use).
+	Scrub ScrubberConfig
 	// Spares is the hot-spare pool (fabric NodeIDs, consumed in order).
 	// Ignored when Pool is set.
 	Spares []core.NodeID
@@ -25,7 +28,7 @@ type Config struct {
 // Event is one entry of the supervisor's recovery log.
 type Event struct {
 	Time   sim.Time
-	Kind   string // "suspect", "failed", "rebuild-start", "rebuild-done", "rebuild-error", "failover"
+	Kind   string // "suspect", "failed", "rebuild-start", "rebuild-done", "rebuild-error", "failover", "scrub-pass", "scrub-repair", "scrub-error", "lost-region"
 	Member int
 	Detail string
 }
@@ -44,8 +47,9 @@ type Supervisor struct {
 	eng  *sim.Engine
 	host *core.HostController
 
-	det *Detector
-	reb *Rebuilder
+	det   *Detector
+	reb   *Rebuilder
+	scrub *Scrubber
 
 	spares  *core.SparePool
 	queue   []int // failed members awaiting a spare or the rebuilder
@@ -61,23 +65,44 @@ func NewSupervisor(eng *sim.Engine, host *core.HostController, cfg Config, trace
 		pool = core.NewSparePool(cfg.Spares)
 	}
 	s := &Supervisor{eng: eng, host: host, spares: pool, tracer: tracer}
+	if cfg.Rebuild.OnLost == nil {
+		cfg.Rebuild.OnLost = func(stripe int64) {
+			s.log("lost-region", s.reb.Status().Member, fmt.Sprintf("stripe %d rebuilt with unrecoverable hole", stripe))
+		}
+	}
 	s.det = NewDetector(eng, host, cfg.Detector, tracer, s.handleFail)
 	s.reb = NewRebuilder(eng, host, cfg.Rebuild, tracer)
+	if cfg.Scrub.OnEvent == nil {
+		cfg.Scrub.OnEvent = func(kind string, stripe int64, detail string) {
+			s.log(kind, -1, detail)
+		}
+	}
+	s.scrub = NewScrubber(eng, host, cfg.Scrub, tracer)
 	host.SetHealth(s.det)
 	return s
 }
 
-// Start begins heartbeat probing (no-op when the detector has no period).
-func (s *Supervisor) Start() { s.det.Start() }
+// Start begins heartbeat probing (no-op when the detector has no period) and
+// periodic scrub passes (no-op when the scrubber has no interval).
+func (s *Supervisor) Start() {
+	s.det.Start()
+	s.scrub.Start()
+}
 
-// Stop halts probing.
-func (s *Supervisor) Stop() { s.det.Stop() }
+// Stop halts probing and periodic scrubbing.
+func (s *Supervisor) Stop() {
+	s.det.Stop()
+	s.scrub.Stop()
+}
 
 // Detector exposes the state machine (tests, status surfaces).
 func (s *Supervisor) Detector() *Detector { return s.det }
 
 // Rebuilder exposes the rebuild manager.
 func (s *Supervisor) Rebuilder() *Rebuilder { return s.reb }
+
+// Scrubber exposes the background scrubber.
+func (s *Supervisor) Scrubber() *Scrubber { return s.scrub }
 
 // SparesAvailable returns how many spares remain in the pool (shared with
 // other supervisors when the pool is).
@@ -96,6 +121,7 @@ func (s *Supervisor) Rebind(h *core.HostController) {
 	s.host = h
 	s.det.Rebind(h)
 	s.reb.Rebind(h)
+	s.scrub.Rebind(h)
 	h.SetHealth(s.det)
 	s.log("failover", -1, "supervision rebound to replacement controller")
 }

@@ -232,8 +232,9 @@ type Conn struct {
 	// Fault injection is per direction (index 0: a→b, index 1: b→a), so
 	// asymmetric faults — host→target lost while target→host delivers — are
 	// expressible. InjectDrop/InjectDelay set both directions.
-	dropProb [2]float64
-	delay    [2]sim.Duration
+	dropProb    [2]float64
+	corruptProb [2]float64
+	delay       [2]sim.Duration
 }
 
 // Connect establishes a connection between two distinct nodes.
@@ -268,6 +269,17 @@ func (c *Conn) InjectDrop(p float64) { c.dropProb[0], c.dropProb[1] = p, p }
 // responses (or vice versa) still flow.
 func (c *Conn) InjectDropDirection(from *Node, p float64) { c.dropProb[c.dir(from)] = p }
 
+// InjectCorrupt makes each message on this connection, in either direction,
+// arrive with its payload corrupted with probability p (deterministically via
+// the engine RNG). Corrupted messages consume full bandwidth on both ends —
+// unlike drops, the bytes do arrive — and are flagged to the receiver via
+// SendChecked, modeling a link that flips bits which only an end-to-end
+// checksum above the transport can catch.
+func (c *Conn) InjectCorrupt(p float64) { c.corruptProb[0], c.corruptProb[1] = p, p }
+
+// InjectCorruptDirection corrupts only messages sent BY from.
+func (c *Conn) InjectCorruptDirection(from *Node, p float64) { c.corruptProb[c.dir(from)] = p }
+
 // InjectDelay adds d to every message's latency on this connection, in both
 // directions.
 func (c *Conn) InjectDelay(d sim.Duration) { c.delay[0], c.delay[1] = d, d }
@@ -291,6 +303,16 @@ func (c *Conn) Peer(from *Node) *Node {
 // (down node or injected fault) consume sender bandwidth but never deliver.
 // Size 0 is allowed (pure control message); header bytes still apply.
 func (c *Conn) Send(from *Node, size int64, deliver func()) {
+	c.SendChecked(from, size, func(bool) { deliver() })
+}
+
+// SendChecked is Send for transports that checksum their payloads end to
+// end: deliver receives whether fault injection corrupted the message in
+// flight, so the receiver can model checksum validation (typically by
+// discarding the message and letting the sender's timeout fire). Callers
+// that ignore the flag get plain Send semantics — corruption passes through
+// silently, as on a real link with no end-to-end check.
+func (c *Conn) SendChecked(from *Node, size int64, deliver func(corrupted bool)) {
 	if size < 0 {
 		panic("simnet: negative message size")
 	}
@@ -314,6 +336,9 @@ func (c *Conn) Send(from *Node, size int64, deliver func()) {
 	if c.dropProb[d] > 0 && eng.Rand().Float64() < c.dropProb[d] {
 		return
 	}
+	// Sampled only when injection is armed, so the engine RNG stream — and
+	// with it every existing seeded scenario — is untouched by default.
+	corrupted := c.corruptProb[d] > 0 && eng.Rand().Float64() < c.corruptProb[d]
 	arrive := sent + sim.Time(c.net.cfg.PropDelay+c.net.cfg.PerMsgDelay+c.delay[d])
 	eng.At(arrive, func() {
 		if to.down || from.down {
@@ -323,7 +348,7 @@ func (c *Conn) Send(from *Node, size int64, deliver func()) {
 		if t := c.net.tracer; t.Enabled() {
 			t.Span(dst.rxTrack, "net", "rx←"+from.name, rxStart, done, trace.I64("bytes", wire))
 		}
-		eng.At(done, deliver)
+		eng.At(done, func() { deliver(corrupted) })
 	})
 }
 

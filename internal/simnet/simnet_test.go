@@ -344,3 +344,69 @@ func TestGoodputBytesPerSec(t *testing.T) {
 		t.Fatalf("goodput = %v, want %v", got, want)
 	}
 }
+
+func TestInjectCorrupt(t *testing.T) {
+	eng, net, a, b := testNet(t)
+	conn := net.Connect(a, b)
+	conn.InjectCorrupt(1.0)
+	delivered, corrupted := 0, 0
+	for i := 0; i < 10; i++ {
+		conn.SendChecked(a, 10, func(c bool) {
+			delivered++
+			if c {
+				corrupted++
+			}
+		})
+	}
+	eng.Run()
+	// Unlike drops, corrupted messages still arrive — flagged.
+	if delivered != 10 || corrupted != 10 {
+		t.Fatalf("delivered=%d corrupted=%d, want 10/10", delivered, corrupted)
+	}
+	conn.InjectCorrupt(0)
+	conn.SendChecked(a, 10, func(c bool) {
+		if c {
+			t.Error("clean message flagged corrupt")
+		}
+		delivered++
+	})
+	eng.Run()
+	if delivered != 11 {
+		t.Fatal("message not delivered after clearing corruption")
+	}
+}
+
+func TestInjectCorruptDirection(t *testing.T) {
+	eng, net, a, b := testNet(t)
+	conn := net.Connect(a, b)
+	conn.InjectCorruptDirection(a, 1.0)
+	var aToB, bToA bool
+	conn.SendChecked(a, 10, func(c bool) { aToB = c })
+	conn.SendChecked(b, 10, func(c bool) { bToA = c })
+	eng.Run()
+	if !aToB || bToA {
+		t.Fatalf("aToB corrupt=%v bToA corrupt=%v, want true/false", aToB, bToA)
+	}
+}
+
+func TestInjectCorruptProbabilistic(t *testing.T) {
+	eng, net, a, b := testNet(t)
+	conn := net.Connect(a, b)
+	conn.InjectCorrupt(0.3)
+	delivered, corrupted := 0, 0
+	for i := 0; i < 200; i++ {
+		conn.SendChecked(a, 10, func(c bool) {
+			delivered++
+			if c {
+				corrupted++
+			}
+		})
+		eng.Run()
+	}
+	if delivered != 200 {
+		t.Fatalf("delivered=%d, want 200 (corruption must not drop)", delivered)
+	}
+	if corrupted == 0 || corrupted == 200 {
+		t.Fatalf("corrupted=%d, want a ~30%% mix", corrupted)
+	}
+}

@@ -11,7 +11,9 @@ package ssd
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 
+	"draid/internal/integrity"
 	"draid/internal/parity"
 	"draid/internal/sim"
 	"draid/internal/trace"
@@ -44,7 +46,25 @@ func DefaultSpec() Spec {
 var (
 	ErrOutOfRange = errors.New("ssd: access beyond capacity")
 	ErrFailed     = errors.New("ssd: drive failed")
+	// ErrMediaError is an unrecoverable read error (URE): the drive is alive
+	// and keeps serving other LBAs, but this range is gone. Unlike Fail, the
+	// operation completes — with this error instead of data.
+	ErrMediaError = errors.New("ssd: unrecoverable media error")
 )
+
+// MediaError reports the precise unreadable sub-range of a failed read, so
+// upper layers can reconstruct exactly the bytes that are lost rather than
+// the whole request. It unwraps to ErrMediaError.
+type MediaError struct {
+	Off, N int64 // absolute drive byte range that could not be read
+}
+
+func (e *MediaError) Error() string {
+	return fmt.Sprintf("ssd: unrecoverable media error at [%d,+%d)", e.Off, e.N)
+}
+
+// Unwrap makes errors.Is(err, ErrMediaError) hold.
+func (e *MediaError) Unwrap() error { return ErrMediaError }
 
 const pageSize = 64 << 10 // sparse backing-store granularity
 
@@ -52,6 +72,12 @@ const pageSize = 64 << 10 // sparse backing-store granularity
 type Stats struct {
 	ReadOps, WriteOps     int64
 	ReadBytes, WriteBytes int64
+	// MediaErrors counts reads that completed with ErrMediaError (injected
+	// or latent). CorruptReads counts reads that returned silently rotted
+	// payload bytes — the drive itself cannot see these; only an end-to-end
+	// checksum above it can.
+	MediaErrors  int64
+	CorruptReads int64
 }
 
 // Drive is one simulated SSD. All methods must be called from engine
@@ -67,6 +93,19 @@ type Drive struct {
 	inflight int
 	tracer   *trace.Collector
 	track    trace.Track
+
+	// media holds the unreadable byte ranges (injected UREs and latent
+	// errors). rot holds ranges whose stored bytes were silently flipped;
+	// it only feeds the CorruptReads counter — the payload damage itself
+	// lives in the page store. A successful write clears both over its
+	// range: flash remaps bad sectors on program.
+	media integrity.RangeSet
+	rot   integrity.RangeSet
+	// latentRate is the per-read probability of developing a new URE; it
+	// draws from its own seeded source so enabling it on one drive does not
+	// perturb the engine RNG stream shared by everything else.
+	latentRate float64
+	latentRng  *rand.Rand
 }
 
 // SetTracer enables per-operation service spans on the given track and a
@@ -111,6 +150,61 @@ func (d *Drive) Recover() { d.failed = false }
 // Failed reports the failure state.
 func (d *Drive) Failed() bool { return d.failed }
 
+// InjectMediaError marks [off, off+n) unreadable: reads overlapping the
+// range complete with a *MediaError naming the overlap. A later write over
+// the range clears it (sector remap on program).
+func (d *Drive) InjectMediaError(off, n int64) { d.media.Add(off, n) }
+
+// InjectBitRot silently flips the stored bytes of [off, off+n): reads
+// succeed and return the damaged payload. Requires StoreData — rot with no
+// bytes to rot is meaningless.
+func (d *Drive) InjectBitRot(off, n int64) {
+	if d.pages == nil {
+		panic("ssd: InjectBitRot requires StoreData")
+	}
+	buf := d.load(off, n)
+	data := buf.Data()
+	for i := range data {
+		data[i] ^= 0x5A
+	}
+	d.store(off, data)
+	d.rot.Add(off, n)
+}
+
+// MediaErrorRanges returns the currently unreadable ranges (tests, status).
+func (d *Drive) MediaErrorRanges() []integrity.Span { return d.media.Spans() }
+
+// SetLatentErrorRate enables spontaneous URE development: each read op
+// grows, with probability rate, a new sectorSize-aligned media-error range
+// inside the range it reads (and then fails on it). The draw uses a private
+// source seeded here, keeping the engine's RNG stream untouched.
+func (d *Drive) SetLatentErrorRate(rate float64, seed int64) {
+	d.latentRate = rate
+	d.latentRng = rand.New(rand.NewSource(seed))
+}
+
+const latentSector = 4096 // granularity of a spontaneously developed URE
+
+// maybeDevelopLatent rolls the latent-error dice for a read of [off, off+n).
+func (d *Drive) maybeDevelopLatent(off, n int64) {
+	if d.latentRate <= 0 || d.latentRng == nil || n <= 0 {
+		return
+	}
+	if d.latentRng.Float64() >= d.latentRate {
+		return
+	}
+	pos := off + d.latentRng.Int63n(n)
+	pos -= pos % latentSector
+	end := pos + latentSector
+	if end > d.spec.Capacity {
+		end = d.spec.Capacity
+	}
+	if pos < off {
+		pos = off
+	}
+	d.media.Add(pos, end-pos)
+}
+
 func (d *Drive) reserve(size int64, rate int64) (start, done sim.Time) {
 	start = d.eng.Now()
 	if d.busy > start {
@@ -142,6 +236,15 @@ func (d *Drive) Read(off, n int64, cb func(parity.Buffer, error)) {
 		d.stats.ReadBytes += n
 		if t := d.tracer; t.Enabled() {
 			t.Span(d.track, "drive", "read", start, end, trace.I64("bytes", n))
+		}
+		d.maybeDevelopLatent(off, n)
+		if bad, hit := d.media.Intersect(off, n); hit {
+			d.stats.MediaErrors++
+			cb(parity.Buffer{}, &MediaError{Off: bad.Off, N: bad.Len})
+			return
+		}
+		if _, hit := d.rot.Intersect(off, n); hit {
+			d.stats.CorruptReads++
 		}
 		cb(d.load(off, n), nil)
 	})
@@ -179,6 +282,8 @@ func (d *Drive) Write(off int64, b parity.Buffer, cb func(error)) {
 		if snapshot != nil {
 			d.store(off, snapshot)
 		}
+		d.media.Remove(off, n)
+		d.rot.Remove(off, n)
 		cb(nil)
 	})
 }

@@ -2,6 +2,7 @@ package ssd
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -258,5 +259,135 @@ func TestDefaultSpecSane(t *testing.T) {
 	}
 	if !s.StoreData {
 		t.Fatal("default should store data")
+	}
+}
+
+func TestMediaErrorReadCompletesWithError(t *testing.T) {
+	eng := sim.NewEngine(1)
+	d := New(eng, testSpec())
+	d.Write(0, parity.FromBytes(make([]byte, 8192)), nil2(t))
+	eng.Run()
+	d.InjectMediaError(4096, 512)
+
+	// A read missing the bad range succeeds.
+	var okRead bool
+	d.Read(0, 4096, func(b parity.Buffer, err error) { okRead = err == nil })
+	eng.Run()
+	if !okRead {
+		t.Fatal("read outside media error should succeed")
+	}
+
+	// A read overlapping it completes (does not hang) with a typed error
+	// naming the overlap.
+	var gotErr error
+	d.Read(0, 8192, func(b parity.Buffer, err error) { gotErr = err })
+	eng.Run()
+	var me *MediaError
+	if !errors.As(gotErr, &me) || !errors.Is(gotErr, ErrMediaError) {
+		t.Fatalf("read error = %v, want MediaError", gotErr)
+	}
+	if me.Off != 4096 || me.N != 512 {
+		t.Fatalf("bad range = [%d,+%d), want [4096,+512)", me.Off, me.N)
+	}
+	if s := d.Stats(); s.MediaErrors != 1 {
+		t.Fatalf("MediaErrors = %d, want 1", s.MediaErrors)
+	}
+
+	// Writing over the range remaps the sectors: the error clears.
+	d.Write(4096, parity.FromBytes(make([]byte, 512)), nil2(t))
+	eng.Run()
+	gotErr = errors.New("sentinel")
+	d.Read(0, 8192, func(b parity.Buffer, err error) { gotErr = err })
+	eng.Run()
+	if gotErr != nil {
+		t.Fatalf("read after rewrite = %v, want nil", gotErr)
+	}
+}
+
+func TestBitRotSilentlyCorrupts(t *testing.T) {
+	eng := sim.NewEngine(1)
+	d := New(eng, testSpec())
+	payload := []byte("integrity matters")
+	d.Write(100, parity.FromBytes(payload), nil2(t))
+	eng.Run()
+	d.InjectBitRot(100, 4)
+
+	var got []byte
+	var gotErr error
+	d.Read(100, int64(len(payload)), func(b parity.Buffer, err error) { got, gotErr = b.Data(), err })
+	eng.Run()
+	if gotErr != nil {
+		t.Fatalf("rotted read must succeed silently, got %v", gotErr)
+	}
+	if bytes.Equal(got, payload) {
+		t.Fatal("payload not corrupted")
+	}
+	if bytes.Equal(got[4:], payload[4:]) == false {
+		t.Fatal("rot leaked outside injected range")
+	}
+	if s := d.Stats(); s.CorruptReads != 1 {
+		t.Fatalf("CorruptReads = %d, want 1", s.CorruptReads)
+	}
+
+	// Rewriting restores clean data and stops counting corrupt reads.
+	d.Write(100, parity.FromBytes(payload), nil2(t))
+	eng.Run()
+	d.Read(100, int64(len(payload)), func(b parity.Buffer, err error) { got = b.Data() })
+	eng.Run()
+	if !bytes.Equal(got, payload) {
+		t.Fatal("rewrite did not restore data")
+	}
+	if s := d.Stats(); s.CorruptReads != 1 {
+		t.Fatal("clean read after rewrite still counted as corrupt")
+	}
+}
+
+func TestLatentErrorRateDevelopsUREs(t *testing.T) {
+	eng := sim.NewEngine(1)
+	d := New(eng, testSpec())
+	d.SetLatentErrorRate(0.2, 42)
+	errs := 0
+	for i := 0; i < 200; i++ {
+		d.Read(0, 1<<20, func(b parity.Buffer, err error) {
+			if err != nil {
+				if !errors.Is(err, ErrMediaError) {
+					t.Errorf("latent error has wrong type: %v", err)
+				}
+				errs++
+			}
+		})
+		eng.Run()
+	}
+	if errs == 0 {
+		t.Fatal("no latent errors developed at 20% per read")
+	}
+	if len(d.MediaErrorRanges()) == 0 {
+		t.Fatal("no media ranges recorded")
+	}
+	// Determinism: a second drive with the same seed develops the same map.
+	eng2 := sim.NewEngine(1)
+	d2 := New(eng2, testSpec())
+	d2.SetLatentErrorRate(0.2, 42)
+	for i := 0; i < 200; i++ {
+		d2.Read(0, 1<<20, func(parity.Buffer, error) {})
+		eng2.Run()
+	}
+	a, b := d.MediaErrorRanges(), d2.MediaErrorRanges()
+	if len(a) != len(b) {
+		t.Fatalf("latent maps diverged: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("latent maps diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// nil2 adapts a must-succeed write callback.
+func nil2(t *testing.T) func(error) {
+	return func(err error) {
+		if err != nil {
+			t.Errorf("write: %v", err)
+		}
 	}
 }

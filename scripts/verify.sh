@@ -16,6 +16,9 @@ go build ./...
 go test ./...
 go vet ./...
 go test -race ./...
+# Scrubber smoke under -race: background passes + repair-on-read are the
+# most callback-ordering-sensitive paths added by the integrity layer.
+go test -race -run '^TestScrub' . -count=1
 
 if [ "${FULL:-0}" = "1" ]; then
     make torture
