@@ -7,6 +7,7 @@
 //	draid-bench -fig table1
 //	draid-bench -fig fig10,fig12
 //	draid-bench -fig all -quick
+//	draid-bench -backend realtime -fig fig10 -quick
 package main
 
 import (
@@ -16,24 +17,37 @@ import (
 	"strings"
 	"time"
 
+	"draid"
 	"draid/internal/experiments"
 	"draid/internal/sim"
 )
 
 func main() {
 	var (
-		fig     = flag.String("fig", "", "experiment id(s), comma-separated, or 'all'")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
-		quick   = flag.Bool("quick", false, "shrink sweeps to endpoints (smoke run)")
-		ramp     = flag.Duration("ramp", 30*time.Millisecond, "virtual warm-up window per point")
-		measure  = flag.Duration("measure", 100*time.Millisecond, "virtual measurement window per point")
+		backendF = flag.String("backend", "sim", "sim | realtime (realtime reruns the dRAID sweeps on wall clocks; -list shows its subset)")
+		fig      = flag.String("fig", "", "experiment id(s), comma-separated, or 'all'")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		quick    = flag.Bool("quick", false, "shrink sweeps to endpoints (smoke run)")
+		ramp     = flag.Duration("ramp", 30*time.Millisecond, "per-point warm-up window (virtual on sim, wall-clock on realtime)")
+		measure  = flag.Duration("measure", 100*time.Millisecond, "per-point measurement window (virtual on sim, wall-clock on realtime)")
 		seed     = flag.Int64("seed", 1, "simulation seed")
-		parallel = flag.Int("parallel", 1, "max concurrent simulations (results are identical for any value)")
+		parallel = flag.Int("parallel", 1, "max concurrent simulations (results are identical for any value; realtime always runs serially)")
+		rtTCP    = flag.Bool("rt-tcp", false, "realtime: capsules over loopback TCP instead of in-process channels")
+		rtDir    = flag.String("rt-dir", "", "realtime: store drives as files under this directory (default: in-memory)")
 	)
 	flag.Parse()
 
+	kind, err := draid.ParseBackend(*backendF)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "draid-bench: %v\n", err)
+		os.Exit(2)
+	}
+	allIDs := experiments.IDs
+	if kind == draid.BackendRealtime {
+		allIDs = experiments.RealtimeIDs
+	}
 	if *list {
-		for _, id := range experiments.IDs() {
+		for _, id := range allIDs() {
 			fmt.Println(id)
 		}
 		return
@@ -51,12 +65,18 @@ func main() {
 	}
 	ids := strings.Split(*fig, ",")
 	if *fig == "all" {
-		ids = experiments.IDs()
+		ids = allIDs()
 	}
 	for i, id := range ids {
 		ids[i] = strings.TrimSpace(id)
 	}
-	reports, err := experiments.RunAll(ids, opts)
+	var reports []experiments.Report
+	if kind == draid.BackendRealtime {
+		ro := draid.RealtimeOptions{TCP: *rtTCP, Dir: *rtDir}
+		reports, err = experiments.RunAllRealtime(ids, opts, ro)
+	} else {
+		reports, err = experiments.RunAll(ids, opts)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "draid-bench: %v\n", err)
 		os.Exit(1)

@@ -1,11 +1,15 @@
 // Command draid-fio runs an ad-hoc FIO-style workload against a chosen RAID
-// system on the simulated testbed.
+// system, either on the simulated testbed (virtual time, deterministic) or
+// on the realtime backend (goroutine event loops, wall-clock timers, real
+// protocol over channels or loopback TCP).
 //
 // Examples:
 //
 //	draid-fio -system draid -targets 8 -iosize 131072 -ratio 0 -qd 12
 //	draid-fio -system spdk -targets 8 -fail 0 -ratio 1
 //	draid-fio -system linux -level 6 -targets 8 -iosize 4096
+//	draid-fio -backend realtime -targets 8 -iosize 131072 -qd 12
+//	draid-fio -backend realtime -rt-tcp -fail 2 -ratio 0.5
 package main
 
 import (
@@ -16,6 +20,7 @@ import (
 	"strings"
 	"time"
 
+	"draid"
 	"draid/internal/experiments"
 	"draid/internal/fio"
 	"draid/internal/raid"
@@ -24,6 +29,7 @@ import (
 
 func main() {
 	var (
+		backend = flag.String("backend", "sim", "sim | realtime (realtime supports -system draid only)")
 		system  = flag.String("system", "draid", "draid | spdk | linux")
 		targets = flag.Int("targets", 8, "stripe width / storage servers")
 		level   = flag.Int("level", 5, "RAID level: 5 or 6")
@@ -32,12 +38,19 @@ func main() {
 		ratio   = flag.Float64("ratio", 0, "read ratio in [0,1]")
 		qd      = flag.Int("qd", 12, "queue depth")
 		fail    = flag.String("fail", "", "comma-separated member indices to pre-fail")
-		ramp    = flag.Duration("ramp", 30*time.Millisecond, "virtual warm-up")
-		measure = flag.Duration("measure", 100*time.Millisecond, "virtual measurement window")
-		seed    = flag.Int64("seed", 1, "simulation seed")
+		ramp    = flag.Duration("ramp", 30*time.Millisecond, "warm-up window (virtual on sim, wall-clock on realtime)")
+		measure = flag.Duration("measure", 100*time.Millisecond, "measurement window (virtual on sim, wall-clock on realtime)")
+		seed    = flag.Int64("seed", 1, "workload seed")
+		rtTCP   = flag.Bool("rt-tcp", false, "realtime: capsules over loopback TCP instead of in-process channels")
+		rtDir   = flag.String("rt-dir", "", "realtime: store drives as files under this directory (default: in-memory)")
 	)
 	flag.Parse()
 
+	kind, err := draid.ParseBackend(*backend)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "draid-fio: %v\n", err)
+		os.Exit(2)
+	}
 	var sys experiments.System
 	switch strings.ToLower(*system) {
 	case "draid":
@@ -65,17 +78,51 @@ func main() {
 			failed = append(failed, m)
 		}
 	}
-	dev, cl := experiments.Build(experiments.Setup{
-		System: sys, Targets: *targets, Level: lvl, ChunkSize: *chunk,
-		FailedMembers: failed, Seed: *seed,
-	})
-	res := fio.Run(fio.Job{
-		Name: string(sys), Dev: dev, Eng: cl.Eng,
-		IOSize: *iosize, ReadRatio: *ratio, QueueDepth: *qd,
-		Ramp: sim.Duration(*ramp), Measure: sim.Duration(*measure), Seed: *seed,
-	})
+
+	var res fio.Result
+	var out, in int64
+	if kind == draid.BackendRealtime {
+		if sys != experiments.DRAID {
+			fmt.Fprintf(os.Stderr, "draid-fio: the realtime backend runs the dRAID protocol only (got -system %s)\n", *system)
+			os.Exit(2)
+		}
+		a, err := draid.New(draid.Config{
+			Backend:       draid.BackendRealtime,
+			Realtime:      draid.RealtimeOptions{TCP: *rtTCP, Dir: *rtDir},
+			Level:         lvl,
+			Drives:        *targets,
+			ChunkSize:     *chunk,
+			DriveCapacity: 1 << 30,
+			SizeOnly:      *rtDir == "", // file media need real bytes
+			Seed:          *seed,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "draid-fio: %v\n", err)
+			os.Exit(1)
+		}
+		defer a.Close()
+		for _, m := range failed {
+			a.FailDrive(m)
+		}
+		res = fio.Run(fio.Job{
+			Name: string(sys) + "/rt", Dev: a.Controller(), Eng: a.Cluster().Rt,
+			IOSize: *iosize, ReadRatio: *ratio, QueueDepth: *qd,
+			Ramp: sim.Duration(*ramp), Measure: sim.Duration(*measure), Seed: *seed,
+		})
+		out, in = a.HostTraffic()
+	} else {
+		dev, cl := experiments.Build(experiments.Setup{
+			System: sys, Targets: *targets, Level: lvl, ChunkSize: *chunk,
+			FailedMembers: failed, Seed: *seed,
+		})
+		res = fio.Run(fio.Job{
+			Name: string(sys), Dev: dev, Eng: cl.Eng,
+			IOSize: *iosize, ReadRatio: *ratio, QueueDepth: *qd,
+			Ramp: sim.Duration(*ramp), Measure: sim.Duration(*measure), Seed: *seed,
+		})
+		out, in = cl.TotalHostBytes()
+	}
 	fmt.Println(res.String())
-	out, in := cl.TotalHostBytes()
 	user := res.ReadBytes + res.WriteBytes
 	if user > 0 {
 		fmt.Printf("host NIC traffic: out=%.2fx in=%.2fx of user bytes\n",

@@ -20,10 +20,12 @@
 package draid
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
 
+	"draid/internal/backend"
 	"draid/internal/blockdev"
 	"draid/internal/cluster"
 	"draid/internal/core"
@@ -68,7 +70,50 @@ var (
 	// error (URE) or detected corruption that parity reconstruction could not
 	// satisfy. Reads overlapping a recorded lost region also match it.
 	ErrMediaError = blockdev.ErrMediaError
+	// ErrUnsupported reports an operation the array's backend cannot perform —
+	// for example, media-fault injection on file-backed realtime drives.
+	ErrUnsupported = backend.ErrUnsupported
 )
+
+// BackendKind selects the substrate an array runs on.
+type BackendKind string
+
+// Supported backends.
+const (
+	// BackendSim is the deterministic discrete-event simulation (the
+	// default): virtual time, calibrated NIC/drive/CPU models, and
+	// byte-identical replays for a given seed.
+	BackendSim BackendKind = "sim"
+	// BackendRealtime runs the identical protocol stack on goroutine event
+	// loops against wall-clock timers, with in-process channel or loopback
+	// TCP transports and memory- or file-backed drives. Timing-model
+	// features (NIC rates, Observe tracing, controller offload, the
+	// bandwidth-aware reducer) are unavailable.
+	BackendRealtime BackendKind = "realtime"
+)
+
+// ParseBackend maps a flag-style string ("sim", "realtime"; "" means sim) to
+// a BackendKind.
+func ParseBackend(s string) (BackendKind, error) {
+	switch s {
+	case "", "sim":
+		return BackendSim, nil
+	case "realtime":
+		return BackendRealtime, nil
+	}
+	return "", fmt.Errorf("draid: unknown backend %q", s)
+}
+
+// RealtimeOptions tunes the realtime backend (ignored on BackendSim).
+type RealtimeOptions struct {
+	// TCP carries capsules over loopback TCP sockets (with receiver-side
+	// command checksum verification) instead of in-process channels.
+	TCP bool
+	// Dir backs each drive with a sparse file under this directory instead
+	// of memory. File-backed drives do not support media-fault injection:
+	// the injection APIs return ErrUnsupported. Ignored with SizeOnly.
+	Dir string
+}
 
 // ReducerPolicy selects degraded-read reducer placement (§6.2).
 type ReducerPolicy int
@@ -177,8 +222,15 @@ type LostRegion = core.LostRegion
 // RecoveryEvent is one entry of the supervisor's recovery log.
 type RecoveryEvent = repair.Event
 
-// Config describes a dRAID array and its simulated testbed.
+// Config describes a dRAID array and its testbed.
 type Config struct {
+	// Backend selects the substrate (default BackendSim). BackendRealtime
+	// runs the same protocol on goroutines, channels/TCP, and real media;
+	// see RealtimeOptions for its knobs and BackendKind for what it cannot
+	// model.
+	Backend BackendKind
+	// Realtime tunes the realtime backend (ignored on BackendSim).
+	Realtime RealtimeOptions
 	// Level is the RAID level (default Raid5).
 	Level Level
 	// Drives is the stripe width: one remote target per member drive
@@ -276,10 +328,16 @@ type Array struct {
 	// vol is non-nil for arrays opened through a Pool: traffic accounting is
 	// then scoped to the volume's share of the host NIC.
 	vol *cluster.Volume
+	// realtime marks arrays on BackendRealtime: host state is then confined
+	// to the host event loop and accessed via call().
+	realtime bool
 }
 
-// New assembles the testbed and attaches the dRAID host controller.
-func New(cfg Config) (*Array, error) {
+// withDefaults returns cfg with zero fields filled in.
+func (cfg Config) withDefaults() Config {
+	if cfg.Backend == "" {
+		cfg.Backend = BackendSim
+	}
 	if cfg.Level == 0 {
 		cfg.Level = Raid5
 	}
@@ -295,13 +353,61 @@ func New(cfg Config) (*Array, error) {
 	if cfg.ScrubInterval > 0 {
 		cfg.Integrity = true
 	}
+	return cfg
+}
+
+// Validate reports why the configuration cannot be assembled, after applying
+// the same defaulting New applies. A nil return means New will accept it.
+func (cfg Config) Validate() error {
+	return cfg.withDefaults().validate()
+}
+
+// validate checks an already-defaulted config.
+func (cfg Config) validate() error {
 	if cfg.Integrity && cfg.SizeOnly {
-		return nil, fmt.Errorf("draid: Integrity requires stored data (incompatible with SizeOnly)")
+		return fmt.Errorf("draid: Integrity requires stored data (incompatible with SizeOnly)")
 	}
 	geo := raid.Geometry{Level: cfg.Level, Width: cfg.Drives, ChunkSize: cfg.ChunkSize}
 	if err := geo.Validate(); err != nil {
+		return err
+	}
+	switch cfg.ReducerPolicy {
+	case ReducerRandom, ReducerFixed, ReducerBWAware:
+	default:
+		return fmt.Errorf("draid: unknown reducer policy %v", cfg.ReducerPolicy)
+	}
+	switch cfg.Backend {
+	case BackendSim:
+	case BackendRealtime:
+		// The realtime backend has no timing models to observe or steer.
+		if cfg.OffloadController {
+			return fmt.Errorf("draid: OffloadController on the realtime backend: %w", ErrUnsupported)
+		}
+		if cfg.Observe.Trace {
+			return fmt.Errorf("draid: Observe.Trace on the realtime backend: %w", ErrUnsupported)
+		}
+		if cfg.ReducerPolicy == ReducerBWAware {
+			return fmt.Errorf("draid: ReducerBWAware on the realtime backend: %w", ErrUnsupported)
+		}
+		if cfg.DrivesPerServer > 1 {
+			return fmt.Errorf("draid: DrivesPerServer on the realtime backend: %w", ErrUnsupported)
+		}
+	default:
+		return fmt.Errorf("draid: unknown backend %q", cfg.Backend)
+	}
+	return nil
+}
+
+// New assembles the testbed and attaches the dRAID host controller.
+func New(cfg Config) (*Array, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	if cfg.Backend == BackendRealtime {
+		return newRealtime(cfg)
+	}
+	geo := raid.Geometry{Level: cfg.Level, Width: cfg.Drives, ChunkSize: cfg.ChunkSize}
 	spec := cluster.DefaultSpec()
 	spec.Targets = cfg.Drives
 	spec.Spares = cfg.Spares
@@ -345,31 +451,7 @@ func New(cfg Config) (*Array, error) {
 	host := cl.NewDRAID(hostCfg)
 	arr := &Array{cl: cl, host: host, dev: host, clientNode: cl.HostNode, hostCfg: hostCfg,
 		scrubRate: cfg.ScrubRateMBps, seed: cfg.Seed}
-	if cfg.Spares > 0 || cfg.Health.Detect || cfg.ScrubInterval > 0 {
-		det := repair.DetectorConfig{
-			FailAfter:        cfg.Health.FailAfter,
-			HeartbeatTimeout: sim.Duration(cfg.Health.HeartbeatTimeout),
-			Grace:            sim.Duration(cfg.Health.Grace),
-		}
-		if cfg.Health.Detect {
-			det.HeartbeatEvery = sim.Duration(cfg.Health.HeartbeatEvery)
-			if det.HeartbeatEvery <= 0 {
-				det.HeartbeatEvery = 10 * sim.Millisecond
-			}
-		}
-		arr.sup = repair.NewSupervisor(cl.Eng, host, repair.Config{
-			Detector: det,
-			Rebuild:  repair.RebuilderConfig{RateMBps: cfg.RebuildRateMBps},
-			Scrub: repair.ScrubberConfig{
-				Interval: sim.Duration(cfg.ScrubInterval),
-				RateMBps: cfg.ScrubRateMBps,
-			},
-			Pool: cl.Spares,
-		}, cl.Tracer)
-		if cfg.Health.Detect || cfg.ScrubInterval > 0 {
-			arr.sup.Start()
-		}
-	}
+	arr.attachSupervisor(cfg)
 	if cfg.OffloadController {
 		clientNode := cl.Net.NewNode("client")
 		gbps := cfg.HostNICGbps
@@ -383,17 +465,110 @@ func New(cfg Config) (*Array, error) {
 	return arr, nil
 }
 
+// newRealtime assembles an array on the realtime backend: node event loops,
+// channel or TCP transport, memory- or file-backed drives.
+func newRealtime(cfg Config) (*Array, error) {
+	capacity := cfg.DriveCapacity
+	if capacity == 0 {
+		// The sim's 1.6 TB default is sparse virtual capacity; realtime
+		// arrays move real bytes, so default to something rebuildable.
+		capacity = 256 << 20
+	}
+	cl, err := cluster.NewRealtime(cluster.RealtimeSpec{
+		Targets: cfg.Drives, Spares: cfg.Spares, Seed: cfg.Seed,
+		DriveCapacity: capacity, SizeOnly: cfg.SizeOnly, Integrity: cfg.Integrity,
+		Pipelined: true, TCP: cfg.Realtime.TCP, Dir: cfg.Realtime.Dir,
+	})
+	if err != nil {
+		return nil, err
+	}
+	hostCfg := core.Config{
+		Geometry:     raid.Geometry{Level: cfg.Level, Width: cfg.Drives, ChunkSize: cfg.ChunkSize},
+		MaxRetries:   cfg.MaxRetries,
+		RetryBackoff: sim.Duration(cfg.RetryBackoff),
+		Deadline:     sim.Duration(cfg.OpDeadline),
+	}
+	if cfg.ReducerPolicy == ReducerFixed {
+		hostCfg.Selector = recon.FixedSelector{}
+	}
+	host := cl.NewDRAID(hostCfg)
+	arr := &Array{cl: cl, host: host, dev: loopDev{rt: cl.Rt, dev: host},
+		hostCfg: hostCfg, scrubRate: cfg.ScrubRateMBps, seed: cfg.Seed, realtime: true}
+	arr.attachSupervisor(cfg)
+	return arr, nil
+}
+
+// attachSupervisor builds the fault-supervision stack when the config asks
+// for one. Shared by both backends.
+func (a *Array) attachSupervisor(cfg Config) {
+	if cfg.Spares == 0 && !cfg.Health.Detect && cfg.ScrubInterval == 0 {
+		return
+	}
+	det := repair.DetectorConfig{
+		FailAfter:        cfg.Health.FailAfter,
+		HeartbeatTimeout: sim.Duration(cfg.Health.HeartbeatTimeout),
+		Grace:            sim.Duration(cfg.Health.Grace),
+	}
+	if cfg.Health.Detect {
+		det.HeartbeatEvery = sim.Duration(cfg.Health.HeartbeatEvery)
+		if det.HeartbeatEvery <= 0 {
+			det.HeartbeatEvery = 10 * sim.Millisecond
+		}
+	}
+	a.sup = repair.NewSupervisor(a.cl.Rt, a.host, repair.Config{
+		Detector: det,
+		Rebuild:  repair.RebuilderConfig{RateMBps: cfg.RebuildRateMBps},
+		Scrub: repair.ScrubberConfig{
+			Interval: sim.Duration(cfg.ScrubInterval),
+			RateMBps: cfg.ScrubRateMBps,
+		},
+		Pool: a.cl.Spares,
+	}, a.cl.Tracer)
+	if cfg.Health.Detect || cfg.ScrubInterval > 0 {
+		a.sup.Start()
+	}
+}
+
+// loopDev marshals device entry points onto the host's event loop — the
+// realtime equivalent of issuing I/O from the simulation's single thread.
+type loopDev struct {
+	rt  backend.Runner
+	dev blockdev.Device
+}
+
+func (d loopDev) Size() int64 { return d.dev.Size() }
+
+func (d loopDev) Read(off, n int64, cb func(parity.Buffer, error)) {
+	d.rt.Defer(func() { d.dev.Read(off, n, cb) })
+}
+
+func (d loopDev) Write(off int64, b parity.Buffer, cb func(error)) {
+	d.rt.Defer(func() { d.dev.Write(off, b, cb) })
+}
+
+// call runs fn with safe access to host-confined state: inline on the
+// simulation, marshalled onto the host loop on the realtime backend.
+func (a *Array) call(fn func()) { a.cl.Rt.Call(fn) }
+
 // Size returns the virtual device capacity in bytes.
 func (a *Array) Size() int64 { return a.host.Size() }
 
-// Now returns the current virtual time.
-func (a *Array) Now() time.Duration { return time.Duration(a.cl.Eng.Now()) }
+// Now returns the current backend time: virtual on the simulation, elapsed
+// wall time on the realtime backend.
+func (a *Array) Now() time.Duration { return time.Duration(a.cl.Rt.Now()) }
 
-// Run advances virtual time until all outstanding work completes.
-func (a *Array) Run() { a.cl.Eng.Run() }
+// Run advances time until all outstanding work completes: on the simulation
+// it drains the event queue; on the realtime backend it blocks until
+// in-flight protocol work quiesces.
+func (a *Array) Run() { a.cl.Rt.Run() }
 
-// RunFor advances virtual time by d.
-func (a *Array) RunFor(d time.Duration) { a.cl.Eng.RunFor(sim.Duration(d)) }
+// RunFor advances time by d (sleeping, on the realtime backend).
+func (a *Array) RunFor(d time.Duration) { a.cl.Rt.RunFor(sim.Duration(d)) }
+
+// Close releases backend resources: realtime event loops, transport
+// listeners, and file-backed media. On the simulation it is a no-op. The
+// array is unusable afterwards.
+func (a *Array) Close() error { return a.cl.Close() }
 
 // Write issues an asynchronous write; cb runs when the stripe operations
 // complete. Call Run (or a *Sync method) to advance time.
@@ -416,29 +591,96 @@ func (a *Array) Read(off, n int64, cb func([]byte, error)) {
 	})
 }
 
-// WriteSync writes and advances virtual time until completion.
-func (a *Array) WriteSync(off int64, data []byte) error {
+// WriteContext writes and advances time until completion, honouring the
+// context. A context deadline bounds the operation on top of the per-op
+// OpDeadline machinery: on the simulation the remaining budget is spent as
+// virtual time; on the realtime backend cancellation takes effect
+// immediately. When the context expires the operation is abandoned (its
+// outcome is unreported, like an NVMe command whose submitter gave up) and
+// the error wraps context.DeadlineExceeded or context.Canceled.
+func (a *Array) WriteContext(ctx context.Context, off int64, data []byte) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("draid: write: %w", err)
+	}
 	var err error
 	done := false
-	a.Write(off, data, func(e error) { err, done = e, true })
-	a.cl.Eng.Run()
+	ch := make(chan struct{})
+	a.Write(off, data, func(e error) { err, done = e, true; close(ch) })
+	if werr := a.await(ctx, ch, &done); werr != nil {
+		return fmt.Errorf("draid: write: %w", werr)
+	}
 	if !done {
 		return fmt.Errorf("draid: write did not complete")
 	}
 	return err
 }
 
-// ReadSync reads and advances virtual time until completion.
-func (a *Array) ReadSync(off, n int64) ([]byte, error) {
+// ReadContext reads and advances time until completion, honouring the
+// context exactly as WriteContext does.
+func (a *Array) ReadContext(ctx context.Context, off, n int64) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("draid: read: %w", err)
+	}
 	var out []byte
 	var err error
 	done := false
-	a.Read(off, n, func(b []byte, e error) { out, err, done = b, e, true })
-	a.cl.Eng.Run()
+	ch := make(chan struct{})
+	a.Read(off, n, func(b []byte, e error) { out, err, done = b, e, true; close(ch) })
+	if rerr := a.await(ctx, ch, &done); rerr != nil {
+		return nil, fmt.Errorf("draid: read: %w", rerr)
+	}
 	if !done {
 		return nil, fmt.Errorf("draid: read did not complete")
 	}
 	return out, err
+}
+
+// await blocks until the issued operation completes or ctx gives up.
+func (a *Array) await(ctx context.Context, ch chan struct{}, done *bool) error {
+	if !a.realtime {
+		dl, hasDL := ctx.Deadline()
+		if !hasDL {
+			// No deadline: drain the event queue as plain Run does. A
+			// cancellation-only context cannot interrupt the deterministic
+			// engine mid-run; it was checked at issue time.
+			a.cl.Rt.Run()
+			return nil
+		}
+		budget := time.Until(dl)
+		if budget <= 0 {
+			return context.DeadlineExceeded
+		}
+		// Spend the wall-clock budget as virtual time, so the op deadline
+		// and retry machinery run under it.
+		a.cl.Rt.RunUntil(a.cl.Rt.Now() + sim.Time(budget))
+		if !*done {
+			return context.DeadlineExceeded
+		}
+		return nil
+	}
+	if _, hasDL := ctx.Deadline(); !hasDL && ctx.Done() == nil {
+		// Background context: wait for quiescence like the simulation, so a
+		// dropped completion (crashed controller) surfaces as "did not
+		// complete" rather than a hang.
+		a.cl.Rt.Run()
+		return nil
+	}
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// WriteSync writes and advances time until completion.
+func (a *Array) WriteSync(off int64, data []byte) error {
+	return a.WriteContext(context.Background(), off, data)
+}
+
+// ReadSync reads and advances time until completion.
+func (a *Array) ReadSync(off, n int64) ([]byte, error) {
+	return a.ReadContext(context.Background(), off, n)
 }
 
 // Trace returns the array's trace collector, or nil when Config.Observe was
@@ -498,10 +740,12 @@ var (
 // notified, so a hot-spare rebuild launches on the next Run.
 func (a *Array) FailDrive(i int) {
 	a.cl.FailTarget(i)
-	a.host.SetFailed(i, true)
-	if a.sup != nil {
-		a.sup.NotifyFailed(i)
-	}
+	a.call(func() {
+		a.host.SetFailed(i, true)
+		if a.sup != nil {
+			a.sup.NotifyFailed(i)
+		}
+	})
 }
 
 // CrashDrive takes member i offline WITHOUT telling the controller — the
@@ -517,11 +761,15 @@ func (a *Array) CrashDrive(i int) {
 // contents; use RebuildDrive to restore redundancy first.
 func (a *Array) RecoverDrive(i int) {
 	a.cl.RecoverTarget(i)
-	a.host.SetFailed(i, false)
+	a.call(func() { a.host.SetFailed(i, false) })
 }
 
 // FailedDrives lists degraded members.
-func (a *Array) FailedDrives() []int { return a.host.FailedMembers() }
+func (a *Array) FailedDrives() []int {
+	var out []int
+	a.call(func() { out = a.host.FailedMembers() })
+	return out
+}
 
 // RebuildDrive reconstructs every stripe chunk of failed member i via the
 // disaggregated reconstruction path and writes the images to the (replaced)
@@ -539,20 +787,22 @@ func (a *Array) RebuildDrive(i int, stripes int64) error {
 	for s := int64(0); s < stripes; s++ {
 		s := s
 		done := false
-		a.host.ReconstructStripeChunk(s, i, func(b parity.Buffer, err error) {
-			if err != nil {
-				rebuildErr = fmt.Errorf("draid: rebuilding stripe %d: %w", s, err)
-				done = true
-				return
-			}
-			a.host.WriteMemberChunk(s, i, b, func(err error) {
+		a.call(func() {
+			a.host.ReconstructStripeChunk(s, i, func(b parity.Buffer, err error) {
 				if err != nil {
-					rebuildErr = fmt.Errorf("draid: writing rebuilt stripe %d: %w", s, err)
+					rebuildErr = fmt.Errorf("draid: rebuilding stripe %d: %w", s, err)
+					done = true
+					return
 				}
-				done = true
+				a.host.WriteMemberChunk(s, i, b, func(err error) {
+					if err != nil {
+						rebuildErr = fmt.Errorf("draid: writing rebuilt stripe %d: %w", s, err)
+					}
+					done = true
+				})
 			})
 		})
-		a.cl.Eng.Run()
+		a.cl.Rt.Run()
 		if !done || rebuildErr != nil {
 			if rebuildErr == nil {
 				rebuildErr = fmt.Errorf("draid: rebuild of stripe %d stalled", s)
@@ -560,24 +810,32 @@ func (a *Array) RebuildDrive(i int, stripes int64) error {
 			return rebuildErr
 		}
 	}
-	a.host.SetFailed(i, false)
+	a.call(func() { a.host.SetFailed(i, false) })
 	return nil
 }
 
 // Stats exposes host-controller counters.
-func (a *Array) Stats() core.Stats { return a.host.Stats() }
+func (a *Array) Stats() core.Stats {
+	var st core.Stats
+	a.call(func() { st = a.host.Stats() })
+	return st
+}
 
 // MemberHealth returns every member's detection state. Without a configured
 // detector, members the controller has marked failed report Failed and the
 // rest Healthy.
 func (a *Array) MemberHealth() []MemberState {
-	if a.sup != nil {
-		return a.sup.Detector().States()
-	}
-	out := make([]MemberState, a.host.Geometry().Width)
-	for _, m := range a.host.FailedMembers() {
-		out[m] = Failed
-	}
+	var out []MemberState
+	a.call(func() {
+		if a.sup != nil {
+			out = a.sup.Detector().States()
+			return
+		}
+		out = make([]MemberState, a.host.Geometry().Width)
+		for _, m := range a.host.FailedMembers() {
+			out[m] = Failed
+		}
+	})
 	return out
 }
 
@@ -587,20 +845,24 @@ func (a *Array) RebuildStatus() RebuildStatus {
 	if a.sup == nil {
 		return RebuildStatus{}
 	}
-	return a.sup.Rebuilder().Status()
+	var st RebuildStatus
+	a.call(func() { st = a.sup.Rebuilder().Status() })
+	return st
 }
 
 // ScrubStatus reports background-scrubber progress: passes completed,
 // current position, and cumulative repair counts (zero value when no
 // scrubbing has been configured or run).
 func (a *Array) ScrubStatus() ScrubStatus {
-	if a.sup != nil {
-		return a.sup.Scrubber().Status()
-	}
-	if a.adhocScrub != nil {
-		return a.adhocScrub.Status()
-	}
-	return ScrubStatus{}
+	var st ScrubStatus
+	a.call(func() {
+		if a.sup != nil {
+			st = a.sup.Scrubber().Status()
+		} else if a.adhocScrub != nil {
+			st = a.adhocScrub.Status()
+		}
+	})
+	return st
 }
 
 // ScrubNow runs one full foreground scrub pass — verifying checksum and
@@ -609,18 +871,20 @@ func (a *Array) ScrubStatus() ScrubStatus {
 // completes and works with or without ScrubInterval; without Integrity a
 // scrub can only re-silver parity to match the data.
 func (a *Array) ScrubNow() (ScrubStatus, error) {
-	scr := a.adhocScrub
-	if a.sup != nil {
-		scr = a.sup.Scrubber()
-	} else if scr == nil {
-		scr = repair.NewScrubber(a.cl.Eng, a.host, repair.ScrubberConfig{RateMBps: a.scrubRate}, a.cl.Tracer)
-		a.adhocScrub = scr
-	}
 	var st ScrubStatus
 	var err error
 	done := false
-	scr.RunPass(func(s repair.ScrubStatus, e error) { st, err, done = s, e, true })
-	a.cl.Eng.Run()
+	a.call(func() {
+		scr := a.adhocScrub
+		if a.sup != nil {
+			scr = a.sup.Scrubber()
+		} else if scr == nil {
+			scr = repair.NewScrubber(a.cl.Rt, a.host, repair.ScrubberConfig{RateMBps: a.scrubRate}, a.cl.Tracer)
+			a.adhocScrub = scr
+		}
+		scr.RunPass(func(s repair.ScrubStatus, e error) { st, err, done = s, e, true })
+	})
+	a.cl.Rt.Run()
 	if !done {
 		return st, fmt.Errorf("draid: scrub pass stalled")
 	}
@@ -631,55 +895,124 @@ func (a *Array) ScrubNow() (ScrubStatus, error) {
 // latent errors past the parity budget, the classic RAID-5 rebuild hazard.
 // Reads overlapping a lost region fail fast with ErrMediaError instead of
 // returning fabricated bytes; a full rewrite of the range clears it.
-func (a *Array) LostRegions() []LostRegion { return a.host.LostRegions() }
+func (a *Array) LostRegions() []LostRegion {
+	var out []LostRegion
+	a.call(func() { out = a.host.LostRegions() })
+	return out
+}
 
-// InjectMediaError plants a latent sector error under the virtual byte range
+// Injector is the fault-injection surface of an array, obtained from
+// Array.Inject. Media-level injections report ErrUnsupported on backends
+// whose drives lack media hooks (for example, file-backed realtime drives).
+type Injector struct {
+	a *Array
+}
+
+// Inject returns the array's fault-injection surface.
+func (a *Array) Inject() Injector { return Injector{a: a} }
+
+// MediaError plants a latent sector error under the virtual byte range
 // [off, off+n): the member drives backing those bytes fail reads of the
 // affected sectors with a media-error status until something rewrites them.
 // With Integrity enabled, array reads still succeed via parity
 // reconstruction and the damage is repaired in place (repair-on-read).
-func (a *Array) InjectMediaError(off, n int64) {
-	a.injectOnRange(off, n, func(d *ssd.Drive, dOff, dLen int64) { d.InjectMediaError(dOff, dLen) })
+func (in Injector) MediaError(off, n int64) error {
+	return in.a.injectOnRange(off, n, func(mi backend.MediaInjector, dOff, dLen int64) {
+		mi.InjectMediaError(dOff, dLen)
+	}, false)
 }
 
-// InjectBitRot silently corrupts the stored bytes under the virtual byte
-// range [off, off+n). Without Integrity the rot is served to readers as-is
-// (the silent-corruption baseline); with Integrity the per-block checksums
-// catch it and reads are satisfied via reconstruction, then repaired.
-// Requires stored data (not SizeOnly).
-func (a *Array) InjectBitRot(off, n int64) {
-	a.injectOnRange(off, n, func(d *ssd.Drive, dOff, dLen int64) { d.InjectBitRot(dOff, dLen) })
+// BitRot silently corrupts the stored bytes under the virtual byte range
+// [off, off+n). Without Integrity the rot is served to readers as-is (the
+// silent-corruption baseline); with Integrity the per-block checksums catch
+// it and reads are satisfied via reconstruction, then repaired. Requires
+// stored data: on a SizeOnly array it reports ErrUnsupported.
+func (in Injector) BitRot(off, n int64) error {
+	return in.a.injectOnRange(off, n, func(mi backend.MediaInjector, dOff, dLen int64) {
+		mi.InjectBitRot(dOff, dLen)
+	}, true)
 }
 
-// injectOnRange maps a virtual byte range to the member drives and per-drive
-// offsets backing it, following rebuild-time member moves onto spares.
-func (a *Array) injectOnRange(off, n int64, fn func(*ssd.Drive, int64, int64)) {
-	geo := a.host.Geometry()
-	for _, e := range geo.Split(off, n) {
-		member := geo.DataDrive(e.Stripe, e.Chunk)
-		node := int(a.host.MemberNode(member))
-		fn(a.cl.Drives[node], geo.DriveOffset(e.Stripe)+e.Off, e.Len)
-	}
-}
-
-// SetLatentErrorRate gives every member drive a spontaneous URE rate: each
+// LatentErrorRate gives every member drive a spontaneous URE rate: each
 // drive read grows, with the given probability, a new latent media-error
 // range somewhere on the drive (the paper-scale 10^-15..10^-14 per-bit rates
 // are impractical to simulate; this accelerates them). Seeded per drive from
 // Config.Seed, so runs are reproducible. Pass 0 to stop.
-func (a *Array) SetLatentErrorRate(rate float64) {
-	for m := 0; m < a.host.Geometry().Width; m++ {
-		node := int(a.host.MemberNode(m))
-		a.cl.Drives[node].SetLatentErrorRate(rate, a.seed+int64(m)*7919)
-	}
+func (in Injector) LatentErrorRate(rate float64) error {
+	a := in.a
+	var err error
+	a.call(func() {
+		for m := 0; m < a.host.Geometry().Width; m++ {
+			node := int(a.host.MemberNode(m))
+			mi, ok := a.cl.Drives[node].(backend.MediaInjector)
+			if !ok {
+				err = fmt.Errorf("draid: latent-error injection: %w", ErrUnsupported)
+				return
+			}
+			mi.SetLatentErrorRate(rate, a.seed+int64(m)*7919)
+		}
+	})
+	return err
 }
+
+// FailDrive is Array.FailDrive, grouped here for discoverability.
+func (in Injector) FailDrive(i int) { in.a.FailDrive(i) }
+
+// CrashDrive is Array.CrashDrive, grouped here for discoverability.
+func (in Injector) CrashDrive(i int) { in.a.CrashDrive(i) }
+
+// injectOnRange maps a virtual byte range to the member drives and per-drive
+// offsets backing it, following rebuild-time member moves onto spares. It
+// reports ErrUnsupported — without partial effect — when any backing drive
+// lacks media hooks (or stored data, when needStore is set).
+func (a *Array) injectOnRange(off, n int64, fn func(backend.MediaInjector, int64, int64), needStore bool) error {
+	var err error
+	a.call(func() {
+		geo := a.host.Geometry()
+		extents := geo.Split(off, n)
+		targets := make([]backend.MediaInjector, len(extents))
+		for i, e := range extents {
+			member := geo.DataDrive(e.Stripe, e.Chunk)
+			d := a.cl.Drives[int(a.host.MemberNode(member))]
+			mi, ok := d.(backend.MediaInjector)
+			if !ok || (needStore && !d.StoresData()) {
+				err = fmt.Errorf("draid: media-fault injection: %w", ErrUnsupported)
+				return
+			}
+			targets[i] = mi
+		}
+		for i, e := range extents {
+			fn(targets[i], geo.DriveOffset(e.Stripe)+e.Off, e.Len)
+		}
+	})
+	return err
+}
+
+// InjectMediaError plants a latent sector error under [off, off+n).
+//
+// Deprecated: use Inject().MediaError, which reports backend support instead
+// of silently assuming it.
+func (a *Array) InjectMediaError(off, n int64) { _ = a.Inject().MediaError(off, n) }
+
+// InjectBitRot silently corrupts the stored bytes under [off, off+n).
+//
+// Deprecated: use Inject().BitRot, which reports backend support instead of
+// panicking on size-only arrays.
+func (a *Array) InjectBitRot(off, n int64) { _ = a.Inject().BitRot(off, n) }
+
+// SetLatentErrorRate gives every member drive a spontaneous URE rate.
+//
+// Deprecated: use Inject().LatentErrorRate, which reports backend support.
+func (a *Array) SetLatentErrorRate(rate float64) { _ = a.Inject().LatentErrorRate(rate) }
 
 // SparesAvailable returns how many hot spares remain in the pool.
 func (a *Array) SparesAvailable() int {
 	if a.sup == nil {
 		return 0
 	}
-	return a.sup.SparesAvailable()
+	var n int
+	a.call(func() { n = a.sup.SparesAvailable() })
+	return n
 }
 
 // RecoveryEvents returns the supervisor's recovery log: detection, rebuild,
@@ -688,7 +1021,9 @@ func (a *Array) RecoveryEvents() []RecoveryEvent {
 	if a.sup == nil {
 		return nil
 	}
-	return a.sup.Events()
+	var out []RecoveryEvent
+	a.call(func() { out = a.sup.Events() })
+	return out
 }
 
 // Supervisor exposes the fault-supervision stack for advanced scenarios
@@ -703,25 +1038,32 @@ func (a *Array) Supervisor() *repair.Supervisor { return a.sup }
 // never fire), exactly as a real controller crash loses in-flight requests.
 // Returns the number of stripes resynced.
 func (a *Array) FailoverHost() (int, error) {
-	if a.dev != blockdev.Device(a.host) {
+	if _, offloaded := a.dev.(*core.OffloadClient); offloaded {
 		return 0, fmt.Errorf("draid: host failover with an offloaded controller is not supported")
 	}
-	old := a.host
-	old.Crash()
-	replacement := a.cl.NewDRAID(a.hostCfg) // takes over the fabric endpoint
-	dirty := replacement.Adopt(old)
-	if a.sup != nil {
-		a.sup.Rebind(replacement)
-	}
-	if a.adhocScrub != nil {
-		a.adhocScrub.Rebind(replacement)
-	}
-	a.host = replacement
-	a.dev = replacement
+	var dirty []int64
+	a.call(func() {
+		old := a.host
+		old.Crash()
+		replacement := a.cl.NewDRAID(a.hostCfg) // takes over the fabric endpoint
+		dirty = replacement.Adopt(old)
+		if a.sup != nil {
+			a.sup.Rebind(replacement)
+		}
+		if a.adhocScrub != nil {
+			a.adhocScrub.Rebind(replacement)
+		}
+		a.host = replacement
+		if a.realtime {
+			a.dev = loopDev{rt: a.cl.Rt, dev: replacement}
+		} else {
+			a.dev = replacement
+		}
+	})
 	var ferr error
 	done := false
-	repair.Failover(a.cl.Eng, replacement, dirty, func(err error) { ferr, done = err, true })
-	a.cl.Eng.Run()
+	repair.Failover(a.cl.Rt, a.host, dirty, func(err error) { ferr, done = err, true })
+	a.cl.Rt.Run()
 	if !done {
 		return 0, fmt.Errorf("draid: failover resync stalled")
 	}
@@ -737,6 +1079,9 @@ func (a *Array) HostTraffic() (out, in int64) {
 	if a.vol != nil {
 		return a.cl.VolumeHostBytes(a.vol.ID)
 	}
+	if a.clientNode == nil { // realtime: transport-level accounting only
+		return a.cl.TotalHostBytes()
+	}
 	return a.clientNode.BytesOut(), a.clientNode.BytesIn()
 }
 
@@ -744,7 +1089,9 @@ func (a *Array) HostTraffic() (out, in int64) {
 // whole shared cluster's counters, co-tenant volumes included.
 func (a *Array) ResetTraffic() {
 	a.cl.ResetTraffic()
-	a.clientNode.ResetCounters()
+	if a.clientNode != nil {
+		a.clientNode.ResetCounters()
+	}
 }
 
 // VolumeID returns the array's volume number on its cluster (0 for a
@@ -798,7 +1145,7 @@ func (a *Array) Benchmark(spec BenchmarkSpec) BenchmarkResult {
 		spec.Measure = 100 * time.Millisecond
 	}
 	r := fio.Run(fio.Job{
-		Name: "draid", Dev: a.dev, Eng: a.cl.Eng,
+		Name: "draid", Dev: a.dev, Eng: a.cl.Rt,
 		IOSize: spec.IOSizeBytes, ReadRatio: spec.ReadRatio,
 		QueueDepth: spec.QueueDepth,
 		Ramp:       sim.Duration(spec.Ramp), Measure: sim.Duration(spec.Measure),

@@ -1,0 +1,240 @@
+// Package backend defines the substrate interfaces the dRAID protocol runs
+// on: a Runtime (event scheduling and time), a Transport (capsule delivery
+// between the host and the storage targets, with the NVMe-oF command framing
+// and checksum semantics), a Drive (block media with fault and media-error
+// injection), and an Executor (CPU cost accounting).
+//
+// Two implementations exist:
+//
+//   - the deterministic simulation (internal/sim + internal/simnet +
+//     internal/ssd, adapted by Engine in this package): single-goroutine
+//     virtual time, byte-identical runs for a given seed — the golden-test
+//     and torture substrate;
+//   - the real-time backend (internal/backend/realtime): one goroutine per
+//     node, wall-clock timers, in-process channels or TCP loopback for the
+//     fabric, and memory- or file-backed media — the same protocol code
+//     doing actual I/O.
+//
+// internal/core, internal/cluster, and internal/repair speak only these
+// interfaces; nothing above this package may assume which substrate is
+// underneath (the simulation-only experiment harness and baselines are the
+// deliberate exception).
+package backend
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"draid/internal/integrity"
+	"draid/internal/nvmeof"
+	"draid/internal/parity"
+	"draid/internal/sim"
+)
+
+// NodeID identifies an endpoint on the transport: HostID for the host,
+// 0..n-1 for storage targets.
+type NodeID int
+
+// HostID is the host's NodeID.
+const HostID NodeID = -1
+
+// VolumeID identifies one virtual array (an NVMe namespace) among the many
+// that may share a cluster. It rides in every capsule's NSID field, so the
+// shared host endpoint can demultiplex completions to the owning controller
+// and the servers can keep per-volume reduce state apart.
+type VolumeID uint32
+
+// Message is a capsule plus its (possibly elided) payload.
+type Message struct {
+	Cmd     nvmeof.Command
+	Payload parity.Buffer
+	From    NodeID
+}
+
+// Handler consumes messages delivered to a transport endpoint.
+type Handler func(Message)
+
+// Timer is a handle to a scheduled event that can be cancelled. Stop reports
+// whether the event had not yet fired; stopping twice is a no-op.
+type Timer interface {
+	Stop() bool
+}
+
+// Runtime is the event-scheduling surface a controller runs on. On the
+// simulation it is the discrete-event engine (virtual time, deterministic
+// ordering); on the real-time backend it is one node's event loop
+// (wall-clock time, per-loop FIFO ordering only).
+//
+// All controller state must be touched only from Runtime callbacks — the
+// single-threaded discipline that is free on the simulation and enforced by
+// loop confinement on the real-time backend.
+type Runtime interface {
+	// Now returns the current time in nanoseconds since the run started
+	// (virtual on the simulation, wall-clock on realtime).
+	Now() sim.Time
+	// Defer schedules fn to run after the work already queued at this
+	// instant — the "post to the event loop" primitive.
+	Defer(fn func())
+	// After schedules fn to run d nanoseconds from now as foreground work:
+	// a Runner's Run does not return while it is pending.
+	After(d sim.Duration, fn func()) Timer
+	// AfterBG schedules fn as background work d nanoseconds from now:
+	// periodic maintenance that must never keep Run from returning.
+	AfterBG(d sim.Duration, fn func()) Timer
+	// Rand returns this runtime's seeded random source. It must only be
+	// used from Runtime callbacks.
+	Rand() *rand.Rand
+}
+
+// Runner is the top-level control surface of an assembled bed: the Runtime
+// of its coordinating (host) node plus the blocking entry points that
+// advance or await work.
+type Runner interface {
+	Runtime
+	// Run blocks until no foreground work remains.
+	Run()
+	// RunFor advances time by d (virtually, or by sleeping).
+	RunFor(d sim.Duration)
+	// RunUntil advances time to t, then waits for in-flight work to drain.
+	RunUntil(t sim.Time)
+	// Call executes fn inside the runtime's execution domain and waits for
+	// it to return — the safe way for outside goroutines to touch
+	// controller state. On the simulation it runs fn inline. It must not be
+	// called from within a Runtime callback.
+	Call(fn func())
+}
+
+// Executor models CPU cost: fn runs after d nanoseconds of core time,
+// FIFO-queued behind earlier work on the same executor. The simulation backs
+// it with cpu.Core/cpu.Pool reservations; the real-time backend executes
+// immediately in submission order (real CPUs cost real time already).
+type Executor interface {
+	Exec(d sim.Duration, fn func())
+}
+
+// Transport connects the host and the storage targets: a host↔target star
+// plus a target↔target mesh. Implementations must preserve the fabric
+// contract the protocol depends on:
+//
+//   - delivery invokes the destination endpoint's handler from that
+//     endpoint's Runtime (loop/engine), never inline in Send;
+//   - messages to or from a down endpoint vanish (the sender's §5.4
+//     deadline notices);
+//   - capsules whose command-level checksum fails on receive are dropped,
+//     as if lost (receiver-side CRC validation);
+//   - per-endpoint delivery order is FIFO per sender.
+type Transport interface {
+	// Send transmits a capsule (and payload) from one endpoint to another.
+	// The payload must be treated as immutable after Send returns.
+	Send(from, to NodeID, cmd nvmeof.Command, payload parity.Buffer)
+	// Register installs the endpoint-wide handler (servers).
+	Register(id NodeID, h Handler)
+	// RegisterVolume installs a volume-scoped handler on an endpoint
+	// (host controllers, demultiplexed by capsule NSID). Re-registering
+	// replaces the handler (host failover).
+	RegisterVolume(id NodeID, vol VolumeID, h Handler)
+	// Width returns the number of targets (spares included).
+	Width() int
+	// Down reports whether an endpoint is unreachable.
+	Down(id NodeID) bool
+	// SetDown makes an endpoint unreachable (true) or reachable (false).
+	SetDown(id NodeID, down bool)
+}
+
+// Traffic is the optional byte-accounting surface of a Transport, mirroring
+// the NIC counters of the simulated fabric: out counts at send (a message
+// dropped downstream still consumed send-side bandwidth), in at delivery.
+type Traffic interface {
+	// HostBytes reports (out, in) wire bytes crossing the host endpoint.
+	HostBytes() (out, in int64)
+	// HostVolumeBytes reports the host bytes attributed to one volume.
+	HostVolumeBytes(vol VolumeID) (out, in int64)
+	// ResetTraffic zeroes all counters.
+	ResetTraffic()
+}
+
+// DriveStats counts completed drive operations.
+type DriveStats struct {
+	ReadOps, WriteOps     int64
+	TrimOps               int64
+	ReadBytes, WriteBytes int64
+	// MediaErrors counts reads that completed with ErrMediaError (injected
+	// or latent). CorruptReads counts reads that returned silently rotted
+	// payload bytes — the drive itself cannot see these; only an end-to-end
+	// checksum above it can.
+	MediaErrors  int64
+	CorruptReads int64
+}
+
+// Drive is one block device. Operations are asynchronous: callbacks fire
+// from the owning node's Runtime. A failed drive never completes operations
+// (in-flight or future) — callers detect this via timeouts, as with a dead
+// device on a real fabric.
+type Drive interface {
+	// Capacity returns the drive size in bytes.
+	Capacity() int64
+	// StoresData reports whether payload bytes are materialized (false in
+	// size-only benchmark mode: reads return elided buffers).
+	StoresData() bool
+	// Read fetches n bytes at off. cb receives the payload (zeros for
+	// never-written ranges) or an error; reads overlapping an unreadable
+	// media range complete with a *MediaError naming the overlap.
+	Read(off, n int64, cb func(parity.Buffer, error))
+	// Write persists b at off. A successful write clears media-error state
+	// over its range (sector remap on program).
+	Write(off int64, b parity.Buffer, cb func(error))
+	// Trim discards [off, off+n): subsequent reads return zeros. Like a
+	// write, it clears media-error state over the range.
+	Trim(off, n int64, cb func(error))
+	// PeekSync reads stored bytes immediately, bypassing timing and queues
+	// — for integrity checksums and test assertions only. Returns nil when
+	// the drive does not store data.
+	PeekSync(off, n int64) []byte
+	// Fail puts the drive into the failed state; Recover returns it to
+	// service with stored data retained (a transient failure).
+	Fail()
+	Recover()
+	Failed() bool
+	// Stats returns operation counters.
+	Stats() DriveStats
+}
+
+// MediaInjector is the optional fault-injection surface of a Drive. Backends
+// without media-error hooks (for example the file-backed real-time drive)
+// simply do not implement it; callers detect that with a type assertion and
+// surface ErrUnsupported.
+type MediaInjector interface {
+	// InjectMediaError marks [off, off+n) unreadable until rewritten.
+	InjectMediaError(off, n int64)
+	// InjectBitRot silently corrupts the stored bytes of [off, off+n).
+	InjectBitRot(off, n int64)
+	// SetLatentErrorRate gives each read op probability rate of developing
+	// a new unreadable range; the draw uses a private source seeded here.
+	SetLatentErrorRate(rate float64, seed int64)
+	// MediaErrorRanges returns the currently unreadable ranges.
+	MediaErrorRanges() []integrity.Span
+}
+
+// ErrUnsupported reports an operation the active backend cannot perform —
+// for example, media-error injection on a drive without media hooks.
+var ErrUnsupported = errors.New("backend: operation not supported by this backend")
+
+// ErrMediaError is an unrecoverable read error (URE): the drive is alive and
+// keeps serving other LBAs, but this range is gone. Unlike a failed drive,
+// the operation completes — with this error instead of data.
+var ErrMediaError = errors.New("drive: unrecoverable media error")
+
+// MediaError reports the precise unreadable sub-range of a failed read, so
+// upper layers can reconstruct exactly the bytes that are lost rather than
+// the whole request. It unwraps to ErrMediaError.
+type MediaError struct {
+	Off, N int64 // absolute drive byte range that could not be read
+}
+
+func (e *MediaError) Error() string {
+	return fmt.Sprintf("drive: unrecoverable media error at [%d,+%d)", e.Off, e.N)
+}
+
+// Unwrap makes errors.Is(err, ErrMediaError) hold.
+func (e *MediaError) Unwrap() error { return ErrMediaError }

@@ -1,0 +1,473 @@
+package realtime
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"os"
+	"sync"
+
+	"draid/internal/backend"
+	"draid/internal/integrity"
+	"draid/internal/parity"
+)
+
+// ErrOutOfRange reports access beyond a drive's capacity.
+var ErrOutOfRange = errors.New("realtime: access beyond drive capacity")
+
+const (
+	memPageSize  = 64 << 10
+	latentSector = 4096
+)
+
+// MemDrive is a memory-backed drive for the realtime backend: a sparse page
+// store with the same fault-injection surface as the simulated SSD (media
+// errors, bit rot, latent URE development). Completions are delivered on the
+// owning node's loop via the runtime; state is mutex-guarded because
+// injection calls arrive from other goroutines.
+type MemDrive struct {
+	rt       backend.Runtime
+	capacity int64
+
+	mu         sync.Mutex
+	pages      map[int64][]byte // nil ⇒ SizeOnly (elided payloads)
+	failed     bool
+	media      integrity.RangeSet
+	rot        integrity.RangeSet
+	latentRate float64
+	latentRng  *rand.Rand
+	stats      backend.DriveStats
+}
+
+// NewMemDrive builds a drive of the given capacity. With storeData false the
+// drive tracks only sizes and returns elided payloads.
+func NewMemDrive(rt backend.Runtime, capacity int64, storeData bool) *MemDrive {
+	d := &MemDrive{rt: rt, capacity: capacity}
+	if storeData {
+		d.pages = make(map[int64][]byte)
+	}
+	return d
+}
+
+func (d *MemDrive) Capacity() int64  { return d.capacity }
+func (d *MemDrive) StoresData() bool { return d.pages != nil }
+
+func (d *MemDrive) Stats() backend.DriveStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+func (d *MemDrive) Fail() {
+	d.mu.Lock()
+	d.failed = true
+	d.mu.Unlock()
+}
+
+func (d *MemDrive) Recover() {
+	d.mu.Lock()
+	d.failed = false
+	d.mu.Unlock()
+}
+
+func (d *MemDrive) Failed() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.failed
+}
+
+// Read implements backend.Drive. As on the simulated SSD, operations
+// submitted to a failed drive never complete — the caller's op deadline is
+// the detection mechanism.
+func (d *MemDrive) Read(off, n int64, cb func(parity.Buffer, error)) {
+	if off < 0 || n < 0 || off+n > d.capacity {
+		d.rt.Defer(func() { cb(parity.Buffer{}, ErrOutOfRange) })
+		return
+	}
+	if d.Failed() {
+		return
+	}
+	d.rt.Defer(func() {
+		d.mu.Lock()
+		if d.failed {
+			d.mu.Unlock()
+			return
+		}
+		d.stats.ReadOps++
+		d.stats.ReadBytes += n
+		d.maybeDevelopLatentLocked(off, n)
+		if bad, hit := d.media.Intersect(off, n); hit {
+			d.stats.MediaErrors++
+			d.mu.Unlock()
+			cb(parity.Buffer{}, &backend.MediaError{Off: bad.Off, N: bad.Len})
+			return
+		}
+		if _, hit := d.rot.Intersect(off, n); hit {
+			d.stats.CorruptReads++
+		}
+		b := d.loadLocked(off, n)
+		d.mu.Unlock()
+		cb(b, nil)
+	})
+}
+
+// Write implements backend.Drive. Payload bytes are snapshotted at
+// submission (DMA semantics).
+func (d *MemDrive) Write(off int64, b parity.Buffer, cb func(error)) {
+	n := int64(b.Len())
+	if off < 0 || off+n > d.capacity {
+		d.rt.Defer(func() { cb(ErrOutOfRange) })
+		return
+	}
+	if d.Failed() {
+		return
+	}
+	var snapshot []byte
+	if d.pages != nil && !b.Elided() {
+		snapshot = append([]byte(nil), b.Data()...)
+	}
+	d.rt.Defer(func() {
+		d.mu.Lock()
+		if d.failed {
+			d.mu.Unlock()
+			return
+		}
+		d.stats.WriteOps++
+		d.stats.WriteBytes += n
+		if snapshot != nil {
+			d.storeLocked(off, snapshot)
+		}
+		d.media.Remove(off, n)
+		d.rot.Remove(off, n)
+		d.mu.Unlock()
+		cb(nil)
+	})
+}
+
+// Trim implements backend.Drive: discards the range and clears fault state
+// over it.
+func (d *MemDrive) Trim(off, n int64, cb func(error)) {
+	if off < 0 || n < 0 || off+n > d.capacity {
+		d.rt.Defer(func() { cb(ErrOutOfRange) })
+		return
+	}
+	if d.Failed() {
+		return
+	}
+	d.rt.Defer(func() {
+		d.mu.Lock()
+		if d.failed {
+			d.mu.Unlock()
+			return
+		}
+		d.stats.TrimOps++
+		d.discardLocked(off, n)
+		d.media.Remove(off, n)
+		d.rot.Remove(off, n)
+		d.mu.Unlock()
+		cb(nil)
+	})
+}
+
+// PeekSync reads stored bytes immediately, bypassing the loop — for test
+// assertions only.
+func (d *MemDrive) PeekSync(off, n int64) []byte {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	b := d.loadLocked(off, n)
+	if b.Elided() {
+		return nil
+	}
+	return b.Data()
+}
+
+// InjectMediaError implements backend.MediaInjector.
+func (d *MemDrive) InjectMediaError(off, n int64) {
+	d.mu.Lock()
+	d.media.Add(off, n)
+	d.mu.Unlock()
+}
+
+// InjectBitRot implements backend.MediaInjector. It requires stored data.
+func (d *MemDrive) InjectBitRot(off, n int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.pages == nil {
+		panic("realtime: InjectBitRot requires stored data")
+	}
+	buf := d.loadLocked(off, n)
+	data := buf.Data()
+	for i := range data {
+		data[i] ^= 0x5A
+	}
+	d.storeLocked(off, data)
+	d.rot.Add(off, n)
+}
+
+// SetLatentErrorRate implements backend.MediaInjector.
+func (d *MemDrive) SetLatentErrorRate(rate float64, seed int64) {
+	d.mu.Lock()
+	d.latentRate = rate
+	d.latentRng = rand.New(rand.NewSource(seed))
+	d.mu.Unlock()
+}
+
+// MediaErrorRanges implements backend.MediaInjector.
+func (d *MemDrive) MediaErrorRanges() []integrity.Span {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.media.Spans()
+}
+
+func (d *MemDrive) maybeDevelopLatentLocked(off, n int64) {
+	if d.latentRate <= 0 || d.latentRng == nil || n <= 0 {
+		return
+	}
+	if d.latentRng.Float64() >= d.latentRate {
+		return
+	}
+	pos := off + d.latentRng.Int63n(n)
+	pos -= pos % latentSector
+	end := pos + latentSector
+	if end > d.capacity {
+		end = d.capacity
+	}
+	if pos < off {
+		pos = off
+	}
+	d.media.Add(pos, end-pos)
+}
+
+func (d *MemDrive) loadLocked(off, n int64) parity.Buffer {
+	if d.pages == nil {
+		return parity.Sized(int(n))
+	}
+	out := make([]byte, n)
+	for pos := int64(0); pos < n; {
+		pageNo := (off + pos) / memPageSize
+		pageOff := (off + pos) % memPageSize
+		span := memPageSize - pageOff
+		if span > n-pos {
+			span = n - pos
+		}
+		if page, ok := d.pages[pageNo]; ok {
+			copy(out[pos:pos+span], page[pageOff:pageOff+span])
+		}
+		pos += span
+	}
+	return parity.FromBytes(out)
+}
+
+func (d *MemDrive) storeLocked(off int64, data []byte) {
+	n := int64(len(data))
+	for pos := int64(0); pos < n; {
+		pageNo := (off + pos) / memPageSize
+		pageOff := (off + pos) % memPageSize
+		span := memPageSize - pageOff
+		if span > n-pos {
+			span = n - pos
+		}
+		page, ok := d.pages[pageNo]
+		if !ok {
+			page = make([]byte, memPageSize)
+			d.pages[pageNo] = page
+		}
+		copy(page[pageOff:pageOff+span], data[pos:pos+span])
+		pos += span
+	}
+}
+
+func (d *MemDrive) discardLocked(off, n int64) {
+	if d.pages == nil {
+		return
+	}
+	for pos := int64(0); pos < n; {
+		pageNo := (off + pos) / memPageSize
+		pageOff := (off + pos) % memPageSize
+		span := memPageSize - pageOff
+		if span > n-pos {
+			span = n - pos
+		}
+		if page, ok := d.pages[pageNo]; ok {
+			if span == memPageSize {
+				delete(d.pages, pageNo)
+			} else {
+				clearTo := page[pageOff : pageOff+span]
+				for i := range clearTo {
+					clearTo[i] = 0
+				}
+			}
+		}
+		pos += span
+	}
+}
+
+// FileDrive is a file-backed drive: reads and writes go to a sparse file via
+// pread/pwrite. It deliberately implements only backend.Drive — not
+// backend.MediaInjector — making it the backend on which injection APIs
+// surface backend.ErrUnsupported.
+type FileDrive struct {
+	rt       backend.Runtime
+	f        *os.File
+	path     string
+	capacity int64
+
+	mu     sync.Mutex
+	failed bool
+	stats  backend.DriveStats
+}
+
+// NewFileDrive creates (truncating) the backing file.
+func NewFileDrive(rt backend.Runtime, path string, capacity int64) (*FileDrive, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o600)
+	if err != nil {
+		return nil, err
+	}
+	return &FileDrive{rt: rt, f: f, path: path, capacity: capacity}, nil
+}
+
+// Path returns the backing file's path.
+func (d *FileDrive) Path() string { return d.path }
+
+// Close closes the backing file (the drive must be idle).
+func (d *FileDrive) Close() error { return d.f.Close() }
+
+func (d *FileDrive) Capacity() int64  { return d.capacity }
+func (d *FileDrive) StoresData() bool { return true }
+
+func (d *FileDrive) Stats() backend.DriveStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+func (d *FileDrive) Fail() {
+	d.mu.Lock()
+	d.failed = true
+	d.mu.Unlock()
+}
+
+func (d *FileDrive) Recover() {
+	d.mu.Lock()
+	d.failed = false
+	d.mu.Unlock()
+}
+
+func (d *FileDrive) Failed() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.failed
+}
+
+// readAt fills out from the file, zero-filling past EOF (sparse semantics).
+func (d *FileDrive) readAt(out []byte, off int64) error {
+	n, err := d.f.ReadAt(out, off)
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		for i := n; i < len(out); i++ {
+			out[i] = 0
+		}
+		return nil
+	}
+	return err
+}
+
+// Read implements backend.Drive.
+func (d *FileDrive) Read(off, n int64, cb func(parity.Buffer, error)) {
+	if off < 0 || n < 0 || off+n > d.capacity {
+		d.rt.Defer(func() { cb(parity.Buffer{}, ErrOutOfRange) })
+		return
+	}
+	if d.Failed() {
+		return
+	}
+	d.rt.Defer(func() {
+		d.mu.Lock()
+		if d.failed {
+			d.mu.Unlock()
+			return
+		}
+		d.stats.ReadOps++
+		d.stats.ReadBytes += n
+		d.mu.Unlock()
+		out := make([]byte, n)
+		if err := d.readAt(out, off); err != nil {
+			cb(parity.Buffer{}, err)
+			return
+		}
+		cb(parity.FromBytes(out), nil)
+	})
+}
+
+// Write implements backend.Drive. Elided payloads are rejected: a file-backed
+// drive cannot represent sizes without bytes.
+func (d *FileDrive) Write(off int64, b parity.Buffer, cb func(error)) {
+	n := int64(b.Len())
+	if off < 0 || off+n > d.capacity {
+		d.rt.Defer(func() { cb(ErrOutOfRange) })
+		return
+	}
+	if d.Failed() {
+		return
+	}
+	var snapshot []byte
+	if !b.Elided() {
+		snapshot = append([]byte(nil), b.Data()...)
+	} else {
+		snapshot = make([]byte, n) // elided payload: store zeros
+	}
+	d.rt.Defer(func() {
+		d.mu.Lock()
+		if d.failed {
+			d.mu.Unlock()
+			return
+		}
+		d.stats.WriteOps++
+		d.stats.WriteBytes += n
+		d.mu.Unlock()
+		if _, err := d.f.WriteAt(snapshot, off); err != nil {
+			cb(err)
+			return
+		}
+		cb(nil)
+	})
+}
+
+// Trim implements backend.Drive by writing zeros (portable hole emulation).
+func (d *FileDrive) Trim(off, n int64, cb func(error)) {
+	if off < 0 || n < 0 || off+n > d.capacity {
+		d.rt.Defer(func() { cb(ErrOutOfRange) })
+		return
+	}
+	if d.Failed() {
+		return
+	}
+	d.rt.Defer(func() {
+		d.mu.Lock()
+		if d.failed {
+			d.mu.Unlock()
+			return
+		}
+		d.stats.TrimOps++
+		d.mu.Unlock()
+		if _, err := d.f.WriteAt(make([]byte, n), off); err != nil {
+			cb(err)
+			return
+		}
+		cb(nil)
+	})
+}
+
+// PeekSync reads stored bytes immediately — for test assertions only.
+func (d *FileDrive) PeekSync(off, n int64) []byte {
+	out := make([]byte, n)
+	if err := d.readAt(out, off); err != nil {
+		return nil
+	}
+	return out
+}
+
+var (
+	_ backend.Drive         = (*MemDrive)(nil)
+	_ backend.MediaInjector = (*MemDrive)(nil)
+	_ backend.Drive         = (*FileDrive)(nil)
+)

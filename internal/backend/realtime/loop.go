@@ -1,0 +1,307 @@
+// Package realtime is the wall-clock backend: the same dRAID protocol code
+// that runs on the deterministic simulation, executed by real goroutines
+// against real timers, in-process channel or TCP-loopback transports, and
+// memory- or file-backed media.
+//
+// Concurrency model: one event loop (goroutine) per node — the host plus
+// each storage target. All of a controller's callbacks run on its node's
+// loop, preserving the single-threaded discipline the protocol code was
+// written under; cross-node interaction happens only through the transport,
+// which posts deliveries onto the destination loop.
+//
+// Quiescence: Run() must block exactly while protocol work is outstanding,
+// like the simulation's foreground event count. A shared foreground-token
+// counter implements this: every posted loop task, in-flight drive
+// operation, undelivered transport message, and armed foreground timer holds
+// one token from creation until its work completes. An operation on a failed
+// drive takes no token (it will never complete — its op deadline, itself a
+// foreground timer, is what keeps Run waiting). Background timers take none.
+//
+// Unlike the simulation, nothing here is deterministic: goroutine
+// interleaving, wall-clock jitter, and TCP scheduling vary run to run. Only
+// application-visible semantics are preserved — the conformance suite in
+// backend/conformancetest is the contract.
+package realtime
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"draid/internal/backend"
+	"draid/internal/sim"
+)
+
+// loop is one node's event loop: a goroutine draining a FIFO task queue.
+type loop struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	q      []func()
+	closed bool
+}
+
+func newLoop() *loop {
+	l := &loop{}
+	l.cond = sync.NewCond(&l.mu)
+	go l.run()
+	return l
+}
+
+func (l *loop) run() {
+	for {
+		l.mu.Lock()
+		for len(l.q) == 0 && !l.closed {
+			l.cond.Wait()
+		}
+		if len(l.q) == 0 {
+			l.mu.Unlock()
+			return
+		}
+		fn := l.q[0]
+		l.q = l.q[1:]
+		l.mu.Unlock()
+		fn()
+	}
+}
+
+// post enqueues fn, reporting false when the loop is closed (the caller must
+// release any foreground token it meant the task to carry).
+func (l *loop) post(fn func()) bool {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return false
+	}
+	l.q = append(l.q, fn)
+	l.cond.Signal()
+	l.mu.Unlock()
+	return true
+}
+
+func (l *loop) close() {
+	l.mu.Lock()
+	l.closed = true
+	l.cond.Broadcast()
+	l.mu.Unlock()
+}
+
+// Bed is an assembled real-time testbed: the host loop plus one loop per
+// storage target, sharing a foreground-token counter. Bed itself is the
+// host's backend.Runner (and Executor); NodeRuntime returns the per-target
+// runtimes.
+type Bed struct {
+	start time.Time
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	fg     int
+	closed bool
+
+	host  *NodeRuntime
+	nodes []*NodeRuntime
+}
+
+// NewBed creates the loops for a host plus n targets. Each node gets its own
+// seeded random source (used only from its loop).
+func NewBed(seed int64, n int) *Bed {
+	if seed == 0 {
+		seed = 1
+	}
+	b := &Bed{start: time.Now()}
+	b.cond = sync.NewCond(&b.mu)
+	b.host = &NodeRuntime{bed: b, loop: newLoop(), rng: rand.New(rand.NewSource(seed))}
+	for i := 0; i < n; i++ {
+		b.nodes = append(b.nodes, &NodeRuntime{
+			bed: b, loop: newLoop(), rng: rand.New(rand.NewSource(seed + int64(i) + 1)),
+		})
+	}
+	return b
+}
+
+// NodeRuntime returns the runtime of one endpoint (backend.HostID or a
+// target index). It implements backend.Runtime and backend.Executor.
+func (b *Bed) NodeRuntime(id backend.NodeID) *NodeRuntime {
+	if id == backend.HostID {
+		return b.host
+	}
+	return b.nodes[id]
+}
+
+func (b *Bed) loopFor(id backend.NodeID) *loop { return b.NodeRuntime(id).loop }
+
+// hold takes a foreground token; release returns it, waking Run when the
+// count reaches zero.
+func (b *Bed) hold() {
+	b.mu.Lock()
+	b.fg++
+	b.mu.Unlock()
+}
+
+func (b *Bed) release() {
+	b.mu.Lock()
+	b.fg--
+	if b.fg <= 0 {
+		b.cond.Broadcast()
+	}
+	b.mu.Unlock()
+}
+
+// postFG posts fn to l as foreground work: a token is held until the task
+// finishes (or is dropped because the loop closed).
+func (b *Bed) postFG(l *loop, fn func()) {
+	b.hold()
+	if !l.post(func() { fn(); b.release() }) {
+		b.release()
+	}
+}
+
+// rtTimer is a wall-clock timer whose callback runs on its node's loop. The
+// done flag arbitrates the Stop-vs-fire race: exactly one side wins.
+type rtTimer struct {
+	bed *Bed
+	mu  sync.Mutex
+	t   *time.Timer
+	fg  bool
+	out bool // fired or stopped
+}
+
+func (b *Bed) newTimer(l *loop, d sim.Duration, fn func(), fg bool) backend.Timer {
+	if d < 0 {
+		d = 0
+	}
+	tm := &rtTimer{bed: b, fg: fg}
+	if fg {
+		b.hold()
+	}
+	tm.t = time.AfterFunc(time.Duration(d), func() {
+		tm.mu.Lock()
+		if tm.out {
+			tm.mu.Unlock()
+			return
+		}
+		tm.out = true
+		tm.mu.Unlock()
+		// The token transfers from "armed" to "queued task" without a gap.
+		if !l.post(func() {
+			fn()
+			if fg {
+				b.release()
+			}
+		}) && fg {
+			b.release()
+		}
+	})
+	return tm
+}
+
+func (tm *rtTimer) Stop() bool {
+	tm.mu.Lock()
+	if tm.out {
+		tm.mu.Unlock()
+		return false
+	}
+	tm.out = true
+	tm.mu.Unlock()
+	tm.t.Stop()
+	if tm.fg {
+		tm.bed.release()
+	}
+	return true
+}
+
+// NodeRuntime is one node's backend.Runtime: scheduling lands on the node's
+// loop. Its Exec executes CPU work immediately in submission order (real
+// cores cost real time), which also makes it the node's backend.Executor.
+type NodeRuntime struct {
+	bed  *Bed
+	loop *loop
+	rng  *rand.Rand
+}
+
+func (n *NodeRuntime) Now() sim.Time     { return sim.Time(time.Since(n.bed.start)) }
+func (n *NodeRuntime) Defer(fn func())   { n.bed.postFG(n.loop, fn) }
+func (n *NodeRuntime) Rand() *rand.Rand  { return n.rng }
+
+func (n *NodeRuntime) After(d sim.Duration, fn func()) backend.Timer {
+	return n.bed.newTimer(n.loop, d, fn, true)
+}
+
+func (n *NodeRuntime) AfterBG(d sim.Duration, fn func()) backend.Timer {
+	return n.bed.newTimer(n.loop, d, fn, false)
+}
+
+func (n *NodeRuntime) Exec(d sim.Duration, fn func()) { n.bed.postFG(n.loop, fn) }
+
+// ---------------------------------------------------------------------------
+// Bed as the host's Runner.
+
+func (b *Bed) Now() sim.Time    { return b.host.Now() }
+func (b *Bed) Defer(fn func())  { b.host.Defer(fn) }
+func (b *Bed) Rand() *rand.Rand { return b.host.rng }
+
+func (b *Bed) After(d sim.Duration, fn func()) backend.Timer   { return b.host.After(d, fn) }
+func (b *Bed) AfterBG(d sim.Duration, fn func()) backend.Timer { return b.host.AfterBG(d, fn) }
+func (b *Bed) Exec(d sim.Duration, fn func())                  { b.host.Exec(d, fn) }
+
+// Run blocks until no foreground work remains (or the bed is closed).
+func (b *Bed) Run() {
+	b.mu.Lock()
+	for b.fg > 0 && !b.closed {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}
+
+// RunFor sleeps for d of wall time.
+func (b *Bed) RunFor(d sim.Duration) {
+	if d > 0 {
+		time.Sleep(time.Duration(d))
+	}
+}
+
+// RunUntil sleeps until instant t on the bed's clock.
+func (b *Bed) RunUntil(t sim.Time) {
+	if d := time.Until(b.start.Add(time.Duration(t))); d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// Call marshals fn onto the host loop and waits for it to return — the safe
+// way for an outside goroutine to touch host-confined state. It must not be
+// called from a loop task (it would deadlock waiting on itself). On a closed
+// bed fn runs inline: the loops are gone, so nothing races.
+func (b *Bed) Call(fn func()) {
+	done := make(chan struct{})
+	b.hold()
+	if !b.host.loop.post(func() { fn(); close(done); b.release() }) {
+		b.release()
+		fn()
+		return
+	}
+	<-done
+}
+
+// Close stops every loop. Queued tasks drain; future posts are dropped (with
+// their tokens released), and Run unblocks.
+func (b *Bed) Close() error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil
+	}
+	b.closed = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+	b.host.loop.close()
+	for _, n := range b.nodes {
+		n.loop.close()
+	}
+	return nil
+}
+
+var (
+	_ backend.Runner   = (*Bed)(nil)
+	_ backend.Executor = (*Bed)(nil)
+	_ backend.Runtime  = (*NodeRuntime)(nil)
+	_ backend.Executor = (*NodeRuntime)(nil)
+)

@@ -1,0 +1,224 @@
+package realtime
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"draid/internal/backend"
+	"draid/internal/integrity"
+	"draid/internal/nvmeof"
+	"draid/internal/parity"
+)
+
+// TCPTransport carries capsules over real TCP loopback sockets: each
+// endpoint (host + every target) owns a listener, and each ordered sender→
+// receiver pair gets one lazily-dialed connection, so per-pair FIFO order is
+// preserved by the stream. Frames carry the encoded capsule, its CRC32C
+// (recomputed and verified at the receiver, like the NIC-level command check
+// on the simulated fabric — a mismatch drops the frame and the sender's op
+// deadline takes over), and the payload bytes.
+//
+// Quiescence across the wire: the sender takes a foreground token before the
+// socket write and the receiver releases it after the delivery task runs (or
+// the frame is dropped). The tokens are a shared counter, so any release
+// pairs with any hold; what matters is that a frame buffered in the kernel
+// still counts as outstanding work.
+type TCPTransport struct {
+	endpoints
+	bed *Bed
+
+	addrs map[backend.NodeID]string
+	lns   []net.Listener
+
+	connMu sync.Mutex
+	conns  map[[2]backend.NodeID]net.Conn
+
+	corruptDrops int64
+	closed       atomic.Bool
+	wg           sync.WaitGroup
+}
+
+// NewTCPTransport opens one loopback listener per endpoint and starts its
+// accept loop. Close shuts everything down.
+func NewTCPTransport(bed *Bed, width int) (*TCPTransport, error) {
+	t := &TCPTransport{
+		endpoints: newEndpoints(width),
+		bed:       bed,
+		addrs:     make(map[backend.NodeID]string),
+		conns:     make(map[[2]backend.NodeID]net.Conn),
+	}
+	ids := make([]backend.NodeID, 0, width+1)
+	ids = append(ids, backend.HostID)
+	for i := 0; i < width; i++ {
+		ids = append(ids, backend.NodeID(i))
+	}
+	for _, id := range ids {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Close()
+			return nil, fmt.Errorf("realtime: listen for node %d: %w", id, err)
+		}
+		t.lns = append(t.lns, ln)
+		t.addrs[id] = ln.Addr().String()
+		t.wg.Add(1)
+		go t.acceptLoop(id, ln)
+	}
+	return t, nil
+}
+
+func (t *TCPTransport) acceptLoop(id backend.NodeID, ln net.Listener) {
+	defer t.wg.Done()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		t.wg.Add(1)
+		go t.readLoop(id, c)
+	}
+}
+
+// frame layout: u32 cmdLen | cmd | u32 checksum | i64 from | u8 elided |
+// u32 payloadLen | payload bytes (absent when elided).
+func (t *TCPTransport) readLoop(id backend.NodeID, c net.Conn) {
+	defer t.wg.Done()
+	defer c.Close()
+	var hdr [4]byte
+	for {
+		if _, err := io.ReadFull(c, hdr[:]); err != nil {
+			return
+		}
+		cmdLen := binary.LittleEndian.Uint32(hdr[:])
+		if cmdLen > 1<<20 {
+			return // stream corrupt beyond recovery
+		}
+		rest := make([]byte, int(cmdLen)+4+8+1+4)
+		if _, err := io.ReadFull(c, rest); err != nil {
+			return
+		}
+		cmdBytes := rest[:cmdLen]
+		tail := rest[cmdLen:]
+		sum := binary.LittleEndian.Uint32(tail[0:])
+		from := backend.NodeID(int64(binary.LittleEndian.Uint64(tail[4:])))
+		elided := tail[12] != 0
+		payloadLen := int(binary.LittleEndian.Uint32(tail[13:]))
+		var payload parity.Buffer
+		if elided {
+			payload = parity.Sized(payloadLen)
+		} else {
+			data := make([]byte, payloadLen)
+			if _, err := io.ReadFull(c, data); err != nil {
+				return
+			}
+			payload = parity.FromBytes(data)
+		}
+		if integrity.Checksum(cmdBytes) != sum {
+			atomic.AddInt64(&t.corruptDrops, 1)
+			t.bed.release() // the sender's hold for this frame
+			continue
+		}
+		cmd, err := nvmeof.Decode(cmdBytes)
+		if err != nil {
+			atomic.AddInt64(&t.corruptDrops, 1)
+			t.bed.release()
+			continue
+		}
+		wire := int64(len(cmdBytes)) + int64(payloadLen) + wireHeaderBytes
+		vol := backend.VolumeID(cmd.NSID)
+		// The sender's token transfers to the delivery task; postFG takes its
+		// own, so release the sender's once the task (or drop) is accounted.
+		t.bed.postFG(t.bed.loopFor(id), func() {
+			if h := t.accept(id, vol, wire); h != nil {
+				h(backend.Message{Cmd: cmd, Payload: payload, From: from})
+			}
+		})
+		t.bed.release()
+	}
+}
+
+// dial returns (creating on demand) the from→to connection.
+func (t *TCPTransport) dial(from, to backend.NodeID) (net.Conn, error) {
+	t.connMu.Lock()
+	defer t.connMu.Unlock()
+	key := [2]backend.NodeID{from, to}
+	if c, ok := t.conns[key]; ok {
+		return c, nil
+	}
+	c, err := net.Dial("tcp", t.addrs[to])
+	if err != nil {
+		return nil, err
+	}
+	t.conns[key] = c
+	return c, nil
+}
+
+// Send implements backend.Transport.
+func (t *TCPTransport) Send(from, to backend.NodeID, cmd nvmeof.Command, payload parity.Buffer) {
+	if from == to {
+		panic(fmt.Sprintf("realtime: send from %d to itself", from))
+	}
+	if t.closed.Load() || t.Down(from) {
+		return
+	}
+	cmdBytes := cmd.Encode()
+	wire := int64(len(cmdBytes)) + int64(payload.Len()) + wireHeaderBytes
+	t.countOut(from, backend.VolumeID(cmd.NSID), wire)
+
+	frame := make([]byte, 0, 4+len(cmdBytes)+4+8+1+4+payload.Len())
+	le := binary.LittleEndian
+	frame = le.AppendUint32(frame, uint32(len(cmdBytes)))
+	frame = append(frame, cmdBytes...)
+	frame = le.AppendUint32(frame, cmd.Checksum())
+	frame = le.AppendUint64(frame, uint64(int64(from)))
+	if payload.Elided() {
+		frame = append(frame, 1)
+	} else {
+		frame = append(frame, 0)
+	}
+	frame = le.AppendUint32(frame, uint32(payload.Len()))
+	if !payload.Elided() {
+		frame = append(frame, payload.Data()...)
+	}
+
+	t.bed.hold() // released by the receiver after delivery (or on error below)
+	c, err := t.dial(from, to)
+	if err == nil {
+		t.connMu.Lock()
+		_, err = c.Write(frame)
+		t.connMu.Unlock()
+	}
+	if err != nil {
+		t.bed.release()
+	}
+}
+
+// CorruptDrops reports frames discarded after a receiver-side checksum
+// mismatch.
+func (t *TCPTransport) CorruptDrops() int64 { return atomic.LoadInt64(&t.corruptDrops) }
+
+// Close shuts down listeners and connections and waits for the I/O
+// goroutines to exit.
+func (t *TCPTransport) Close() error {
+	if t.closed.Swap(true) {
+		return nil
+	}
+	for _, ln := range t.lns {
+		ln.Close()
+	}
+	t.connMu.Lock()
+	for _, c := range t.conns {
+		c.Close()
+	}
+	t.connMu.Unlock()
+	t.wg.Wait()
+	return nil
+}
+
+var (
+	_ backend.Transport = (*TCPTransport)(nil)
+	_ backend.Traffic   = (*TCPTransport)(nil)
+)

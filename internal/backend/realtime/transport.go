@@ -1,0 +1,180 @@
+package realtime
+
+import (
+	"fmt"
+	"sync"
+
+	"draid/internal/backend"
+	"draid/internal/nvmeof"
+	"draid/internal/parity"
+)
+
+// wireHeaderBytes is the per-message framing overhead counted against the
+// traffic totals, matching the simulated fabric's default header size.
+const wireHeaderBytes = 128
+
+// volKey addresses a volume-scoped handler on one endpoint.
+type volKey struct {
+	node backend.NodeID
+	vol  backend.VolumeID
+}
+
+// volTraffic counts one volume's host wire bytes.
+type volTraffic struct{ out, in int64 }
+
+// endpoints is the registration/routing/accounting state shared by both
+// realtime transports. All fields are guarded by mu: unlike the simulation,
+// senders and receivers live on different goroutines.
+type endpoints struct {
+	mu          sync.Mutex
+	width       int
+	handlers    map[backend.NodeID]backend.Handler
+	volHandlers map[volKey]backend.Handler
+	down        map[backend.NodeID]bool
+	hostOut     int64
+	hostIn      int64
+	volBytes    map[backend.VolumeID]*volTraffic
+}
+
+func newEndpoints(width int) endpoints {
+	return endpoints{
+		width:       width,
+		handlers:    make(map[backend.NodeID]backend.Handler),
+		volHandlers: make(map[volKey]backend.Handler),
+		down:        make(map[backend.NodeID]bool),
+		volBytes:    make(map[backend.VolumeID]*volTraffic),
+	}
+}
+
+func (e *endpoints) Register(id backend.NodeID, h backend.Handler) {
+	e.mu.Lock()
+	e.handlers[id] = h
+	e.mu.Unlock()
+}
+
+func (e *endpoints) RegisterVolume(id backend.NodeID, vol backend.VolumeID, h backend.Handler) {
+	e.mu.Lock()
+	e.volHandlers[volKey{node: id, vol: vol}] = h
+	e.mu.Unlock()
+}
+
+func (e *endpoints) Width() int { return e.width }
+
+func (e *endpoints) Down(id backend.NodeID) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.down[id]
+}
+
+func (e *endpoints) SetDown(id backend.NodeID, down bool) {
+	e.mu.Lock()
+	e.down[id] = down
+	e.mu.Unlock()
+}
+
+// countOut books outbound host bytes at send time (NIC-counter semantics: a
+// message dropped downstream still consumed send bandwidth).
+func (e *endpoints) countOut(from backend.NodeID, vol backend.VolumeID, wire int64) {
+	if from != backend.HostID {
+		return
+	}
+	e.mu.Lock()
+	e.hostOut += wire
+	e.vol(vol).out += wire
+	e.mu.Unlock()
+}
+
+// accept runs the delivery-side checks and accounting, returning the handler
+// to invoke (nil: the destination is down or has no handler).
+func (e *endpoints) accept(to backend.NodeID, vol backend.VolumeID, wire int64) backend.Handler {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.down[to] {
+		return nil
+	}
+	if to == backend.HostID {
+		e.hostIn += wire
+		e.vol(vol).in += wire
+	}
+	if h, ok := e.volHandlers[volKey{node: to, vol: vol}]; ok {
+		return h
+	}
+	return e.handlers[to]
+}
+
+// vol returns (creating on demand) a volume's traffic record. Callers hold mu.
+func (e *endpoints) vol(id backend.VolumeID) *volTraffic {
+	t, ok := e.volBytes[id]
+	if !ok {
+		t = &volTraffic{}
+		e.volBytes[id] = t
+	}
+	return t
+}
+
+func (e *endpoints) HostBytes() (out, in int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.hostOut, e.hostIn
+}
+
+func (e *endpoints) HostVolumeBytes(vol backend.VolumeID) (out, in int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if t, ok := e.volBytes[vol]; ok {
+		return t.out, t.in
+	}
+	return 0, 0
+}
+
+func (e *endpoints) ResetTraffic() {
+	e.mu.Lock()
+	e.hostOut, e.hostIn = 0, 0
+	for _, t := range e.volBytes {
+		t.out, t.in = 0, 0
+	}
+	e.mu.Unlock()
+}
+
+// ChanTransport moves capsules between node loops in-process: a Send posts a
+// delivery task onto the destination's loop. The payload is cloned at send
+// time (DMA snapshot semantics — the sender may reuse its buffer), and the
+// message holds a foreground token until the handler returns, so Run()
+// observes in-flight messages exactly as the simulation's event count does.
+type ChanTransport struct {
+	endpoints
+	bed *Bed
+}
+
+// NewChanTransport builds the in-process transport over bed's loops.
+func NewChanTransport(bed *Bed, width int) *ChanTransport {
+	return &ChanTransport{endpoints: newEndpoints(width), bed: bed}
+}
+
+// Send implements backend.Transport. Messages from or to a down endpoint
+// vanish (the sender's op deadline fires, as on the simulated fabric).
+func (t *ChanTransport) Send(from, to backend.NodeID, cmd nvmeof.Command, payload parity.Buffer) {
+	if from == to {
+		panic(fmt.Sprintf("realtime: send from %d to itself", from))
+	}
+	if t.Down(from) {
+		return
+	}
+	p := payload
+	if !p.Elided() {
+		p = p.Clone()
+	}
+	wire := int64(cmd.EncodedSize()) + int64(p.Len()) + wireHeaderBytes
+	vol := backend.VolumeID(cmd.NSID)
+	t.countOut(from, vol, wire)
+	t.bed.postFG(t.bed.loopFor(to), func() {
+		if h := t.accept(to, vol, wire); h != nil {
+			h(backend.Message{Cmd: cmd, Payload: p, From: from})
+		}
+	})
+}
+
+var (
+	_ backend.Transport = (*ChanTransport)(nil)
+	_ backend.Traffic   = (*ChanTransport)(nil)
+)

@@ -8,6 +8,7 @@ package cluster
 import (
 	"fmt"
 
+	"draid/internal/backend"
 	"draid/internal/core"
 	"draid/internal/cpu"
 	"draid/internal/raid"
@@ -70,17 +71,25 @@ func DefaultSpec() Spec {
 	return Spec{Targets: 8, HostGbps: 100, TargetGbps: 100, Pipelined: true, Seed: 1}
 }
 
-// Cluster is an assembled testbed.
+// Cluster is an assembled testbed. Rt, Fab, Drives, and Servers are set on
+// every backend; Eng, Net, Fabric, HostNode, Targets, and Cores are the
+// concrete simulation parts and are nil on the real-time backend — code that
+// needs them is simulation-only by construction.
 type Cluster struct {
 	Eng      *sim.Engine
 	Net      *simnet.Network
 	Fabric   *core.Fabric
 	HostNode *simnet.Node
 	Targets  []*simnet.Node
-	Drives   []*ssd.Drive
+	Drives   []backend.Drive
 	Cores    []*cpu.Core
 	Servers  []*core.ServerController
 	Costs    cpu.Costs
+	// Rt is the backend runner the controllers are scheduled on; Fab is the
+	// transport they exchange capsules over. On the simulation these wrap
+	// Eng and Fabric.
+	Rt  backend.Runner
+	Fab backend.Transport
 	// Spares arbitrates the cluster's hot spares among its volumes'
 	// rebuild supervisors (first claim wins).
 	Spares *core.SparePool
@@ -93,6 +102,10 @@ type Cluster struct {
 	// volume extents are carved off each drive front to back.
 	volumes  []*Volume
 	nextBase int64
+
+	// close releases backend resources (real-time loops, listeners, files);
+	// nil on the simulation, which holds nothing to release.
+	close func() error
 }
 
 // Volume is one virtual array registered on a shared cluster: its own
@@ -169,7 +182,8 @@ func New(spec Spec) *Cluster {
 	if perServer <= 0 {
 		perServer = 1
 	}
-	c := &Cluster{Eng: eng, Net: net, HostNode: hostNode, Costs: costs, Tracer: tracer, spec: spec}
+	c := &Cluster{Eng: eng, Net: net, HostNode: hostNode, Costs: costs, Tracer: tracer, spec: spec,
+		Rt: backend.SimRunner(eng)}
 	var serverNode *simnet.Node
 	var serverCore *cpu.Core
 	for i := 0; i < spec.Targets; i++ {
@@ -216,6 +230,7 @@ func New(spec Spec) *Cluster {
 		c.Cores = append(c.Cores, spareCore)
 	}
 	c.Fabric = core.NewFabric(net, hostNode, c.Targets)
+	c.Fab = c.Fabric
 	for i := range c.Targets {
 		scfg := core.ServerConfig{
 			Costs:         costs,
@@ -228,7 +243,7 @@ func New(spec Spec) *Cluster {
 			scfg.Tracer = tracer
 			scfg.TraceTrack = tracer.Track(c.Targets[i].Name(), fmt.Sprintf("bdev%d", i))
 		}
-		c.Servers = append(c.Servers, core.NewServer(core.NodeID(i), eng, c.Fabric, c.Drives[i], c.Cores[i], scfg))
+		c.Servers = append(c.Servers, core.NewServer(core.NodeID(i), c.Rt, c.Fab, c.Drives[i], c.Cores[i], scfg))
 	}
 	c.Spares = core.NewSparePool(c.SpareIDs())
 	return c
@@ -239,7 +254,17 @@ func (c *Cluster) DriveCapacity() int64 {
 	if len(c.Drives) == 0 {
 		panic("cluster: no drives configured (zero-target spec?)")
 	}
-	return c.Drives[0].Spec().Capacity
+	return c.Drives[0].Capacity()
+}
+
+// Close releases backend resources. On the simulation it is a no-op; on the
+// real-time backend it stops the node loops, closes transport listeners, and
+// removes file-backed media.
+func (c *Cluster) Close() error {
+	if c.close == nil {
+		return nil
+	}
+	return c.close()
 }
 
 // SpareIDs returns the fabric NodeIDs of the hot spares, in pool order.
@@ -288,7 +313,7 @@ func (c *Cluster) AddVolume(name string, extent int64, cfg core.Config) (*Volume
 		ID: cfg.Volume, Name: name, Cfg: cfg,
 		Base: c.nextBase, Extent: extent,
 	}
-	v.Host = core.NewHost(c.Eng, c.Fabric, extent, cfg)
+	v.Host = core.NewHost(c.Rt, c.Fab, extent, cfg)
 	c.volumes = append(c.volumes, v)
 	c.nextBase += extent
 	return v, nil
@@ -320,7 +345,7 @@ func (c *Cluster) NewDRAID(cfg core.Config) *core.HostController {
 		cfg.Volume = v.ID
 		cfg.DriveBase = v.Base
 		v.Cfg = cfg
-		v.Host = core.NewHost(c.Eng, c.Fabric, v.Extent, cfg)
+		v.Host = core.NewHost(c.Rt, c.Fab, v.Extent, cfg)
 		return v.Host
 	}
 	v, err := c.AddVolume(fmt.Sprintf("vol%d", len(c.volumes)), 0, cfg)
@@ -330,18 +355,18 @@ func (c *Cluster) NewDRAID(cfg core.Config) *core.HostController {
 	return v.Host
 }
 
-// FailTarget fails a target end to end: the node drops off the network and
-// its drive stops completing I/O. Pair with HostController.SetFailed (the
-// host notices either via timeouts or via explicit administrative action, as
-// in the paper's evaluation).
+// FailTarget fails a target end to end: the endpoint drops off the transport
+// and its drive stops completing I/O. Pair with HostController.SetFailed
+// (the host notices either via timeouts or via explicit administrative
+// action, as in the paper's evaluation).
 func (c *Cluster) FailTarget(i int) {
-	c.Targets[i].SetDown(true)
+	c.Fab.SetDown(core.NodeID(i), true)
 	c.Drives[i].Fail()
 }
 
 // RecoverTarget reverses FailTarget.
 func (c *Cluster) RecoverTarget(i int) {
-	c.Targets[i].SetDown(false)
+	c.Fab.SetDown(core.NodeID(i), false)
 	c.Drives[i].Recover()
 }
 
@@ -349,19 +374,37 @@ func (c *Cluster) RecoverTarget(i int) {
 // counter reset — the quantity Table 1 accounts, aggregated over all
 // volumes sharing the host NIC.
 func (c *Cluster) TotalHostBytes() (out, in int64) {
-	return c.HostNode.BytesOut(), c.HostNode.BytesIn()
+	if c.HostNode != nil {
+		return c.HostNode.BytesOut(), c.HostNode.BytesIn()
+	}
+	if t, ok := c.Fab.(backend.Traffic); ok {
+		return t.HostBytes()
+	}
+	return 0, 0
 }
 
 // VolumeHostBytes reports the host NIC traffic (out, in) attributed to one
 // volume. Summed over Volumes() it equals TotalHostBytes (offload-client
 // traffic excepted, which bypasses the fabric attribution).
 func (c *Cluster) VolumeHostBytes(id core.VolumeID) (out, in int64) {
-	return c.Fabric.HostVolumeBytes(id)
+	if c.Fabric != nil {
+		return c.Fabric.HostVolumeBytes(id)
+	}
+	if t, ok := c.Fab.(backend.Traffic); ok {
+		return t.HostVolumeBytes(id)
+	}
+	return 0, 0
 }
 
 // ResetTraffic zeroes all NIC counters on the host and targets, and the
 // per-volume attribution alongside them.
 func (c *Cluster) ResetTraffic() {
+	if c.HostNode == nil {
+		if t, ok := c.Fab.(backend.Traffic); ok {
+			t.ResetTraffic()
+		}
+		return
+	}
 	c.HostNode.ResetCounters()
 	for _, t := range c.Targets {
 		t.ResetCounters()

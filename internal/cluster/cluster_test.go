@@ -78,7 +78,7 @@ func TestElideFlowsToDrives(t *testing.T) {
 	spec.Targets = 4
 	spec.Elide = true
 	cl := New(spec)
-	if cl.Drives[0].Spec().StoreData {
+	if cl.Drives[0].StoresData() {
 		t.Fatal("elide did not disable drive data storage")
 	}
 }

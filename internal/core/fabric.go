@@ -11,23 +11,26 @@ package core
 import (
 	"fmt"
 
+	"draid/internal/backend"
 	"draid/internal/nvmeof"
 	"draid/internal/parity"
 	"draid/internal/simnet"
 )
 
+// The wire-level vocabulary (endpoint IDs, volume IDs, messages, handlers)
+// is defined by the backend package, shared by every transport
+// implementation. The names here are aliases kept for existing callers.
+
 // NodeID identifies an endpoint on the fabric: HostID for the host, 0..n-1
 // for storage targets.
-type NodeID int
+type NodeID = backend.NodeID
 
 // HostID is the host's NodeID.
-const HostID NodeID = -1
+const HostID = backend.HostID
 
 // VolumeID identifies one virtual array (an NVMe namespace) among the many
-// that may share a cluster. It rides in every capsule's NSID field, so the
-// shared host endpoint can demultiplex completions to the owning controller
-// and the servers can keep per-volume reduce state apart.
-type VolumeID uint32
+// that may share a cluster.
+type VolumeID = backend.VolumeID
 
 // NoDest marks an unused next-dest field.
 const NoDest uint16 = 0xFFFF
@@ -48,14 +51,10 @@ const NoScale uint16 = 0xFFFF
 // pushed with the capsule; the transfer consumes sender and receiver NIC
 // bandwidth but no receiver CPU beyond per-message processing, modelling
 // one-sided RDMA data movement.
-type Message struct {
-	Cmd     nvmeof.Command
-	Payload parity.Buffer
-	From    NodeID
-}
+type Message = backend.Message
 
 // Handler consumes messages delivered to a fabric endpoint.
-type Handler func(Message)
+type Handler = backend.Handler
 
 // Fabric wires the host and targets with reliable connections: host↔target
 // stars plus a full target↔target mesh (created pairwise by the server-side
@@ -196,6 +195,14 @@ func (f *Fabric) ResetHostVolumeBytes() {
 // Width returns the number of targets.
 func (f *Fabric) Width() int { return len(f.targets) }
 
+// Down reports whether an endpoint's node is unreachable.
+func (f *Fabric) Down(id NodeID) bool { return f.Node(id).Down() }
+
+// SetDown makes an endpoint's node unreachable (true) or reachable (false).
+// Note that co-located bdevs share a node, so taking one down takes down its
+// neighbours — exactly the blast radius of a server failure (§5.5).
+func (f *Fabric) SetDown(id NodeID, down bool) { f.Node(id).SetDown(down) }
+
 // Node returns the simnet node behind an endpoint.
 func (f *Fabric) Node(id NodeID) *simnet.Node {
 	if id == HostID {
@@ -282,3 +289,6 @@ func (f *Fabric) Send(from, to NodeID, cmd nvmeof.Command, payload parity.Buffer
 // CorruptDrops reports how many capsules were discarded after failing the
 // receiver-side command checksum (injected wire corruption).
 func (f *Fabric) CorruptDrops() int64 { return f.corruptDrops }
+
+// The simulated fabric is the deterministic backend.Transport.
+var _ backend.Transport = (*Fabric)(nil)

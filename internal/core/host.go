@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"draid/internal/backend"
 	"draid/internal/blockdev"
 	"draid/internal/cpu"
 	"draid/internal/integrity"
@@ -93,11 +94,11 @@ type Stats struct {
 // HostController is the dRAID host: a virtual block device whose I/O is
 // disaggregated across the storage targets.
 type HostController struct {
-	eng   *sim.Engine
-	fab   *Fabric
+	rt    backend.Runtime
+	fab   backend.Transport
 	geo   raid.Geometry
 	cfg   Config
-	cores *cpu.Pool
+	cores backend.Executor
 
 	size   int64
 	nextID uint64
@@ -166,7 +167,7 @@ type stripeOp struct {
 	remaining int
 	failedFn  func(missing []NodeID)
 	doneFn    func()
-	timer     *sim.Timer
+	timer     backend.Timer
 	// read assembly: completions carrying payloads are routed here.
 	onPayload func(from NodeID, cmd nvmeof.Command, b parity.Buffer)
 	// onMediaErr, when set, takes over after a StatusMediaError completion:
@@ -221,8 +222,11 @@ func (op *stripeOp) closeSpans(result string) {
 	}
 }
 
-// NewHost creates the dRAID host controller on the fabric's host node.
-func NewHost(eng *sim.Engine, fab *Fabric, driveCapacity int64, cfg Config) *HostController {
+// NewHost creates the dRAID host controller on the transport's host
+// endpoint. It is backend-agnostic: on a simulation runtime the reactor pool
+// models CPU cost in virtual time; on any other runtime CPU work executes
+// immediately in submission order (real cores cost real time already).
+func NewHost(rt backend.Runtime, fab backend.Transport, driveCapacity int64, cfg Config) *HostController {
 	if err := cfg.Geometry.Validate(); err != nil {
 		panic(err)
 	}
@@ -236,11 +240,23 @@ func NewHost(eng *sim.Engine, fab *Fabric, driveCapacity int64, cfg Config) *Hos
 		cfg.Deadline = sim.Second
 	}
 	if cfg.Selector == nil {
-		cfg.Selector = &recon.RandomSelector{Rng: eng.Rand()}
+		cfg.Selector = &recon.RandomSelector{Rng: rt.Rand()}
+	}
+	var pool *cpu.Pool
+	var eng *sim.Engine
+	var exec backend.Executor
+	if ep, ok := rt.(backend.EngineProvider); ok {
+		eng = ep.SimEngine()
+		pool = cpu.NewPool(eng, cfg.HostCores)
+		exec = pool
+	} else if ex, ok := rt.(backend.Executor); ok {
+		exec = ex
+	} else {
+		panic("core: runtime provides neither a sim engine nor an executor")
 	}
 	h := &HostController{
-		eng: eng, fab: fab, geo: cfg.Geometry, cfg: cfg,
-		cores:      cpu.NewPool(eng, cfg.HostCores),
+		rt: rt, fab: fab, geo: cfg.Geometry, cfg: cfg,
+		cores:      exec,
 		size:       cfg.Geometry.VirtualSize(driveCapacity),
 		stripeQ:    make(map[int64]*stripeQueue),
 		inflight:   make(map[uint64]*subOp),
@@ -252,7 +268,7 @@ func NewHost(eng *sim.Engine, fab *Fabric, driveCapacity int64, cfg Config) *Hos
 	for m := range h.memberNode {
 		h.memberNode[m] = NodeID(m)
 	}
-	if t := cfg.Tracer; t.Enabled() {
+	if t := cfg.Tracer; t.Enabled() && pool != nil {
 		// Volume 0 keeps the historical bare "host" track names so
 		// single-volume traces stay byte-identical; further volumes get
 		// their own timelines.
@@ -263,7 +279,7 @@ func NewHost(eng *sim.Engine, fab *Fabric, driveCapacity int64, cfg Config) *Hos
 		h.opsTrack = t.Track(proc, "ops")
 		h.rpcTrack = t.Track(proc, "rpc")
 		t.AddGauge(h.opsTrack, proc+" cores busy",
-			trace.PoolUtilizationGauge(eng, cfg.HostCores, h.cores.BusyTotal))
+			trace.PoolUtilizationGauge(eng, cfg.HostCores, pool.BusyTotal))
 	}
 	fab.RegisterVolume(HostID, cfg.Volume, h.handle)
 	return h
@@ -388,7 +404,7 @@ func (h *HostController) retryAfter(attempt int, fn func()) {
 		fn()
 		return
 	}
-	h.eng.After(h.cfg.RetryBackoff*sim.Duration(attempt+1), fn)
+	h.rt.After(h.cfg.RetryBackoff*sim.Duration(attempt+1), fn)
 }
 
 func (h *HostController) reportFault(member int, confirmed bool) {
@@ -405,7 +421,7 @@ func (h *HostController) reportOK(member int) {
 
 func (h *HostController) trace(format string, args ...any) {
 	if h.cfg.Trace != nil {
-		h.cfg.Trace("[host %8s] "+format, append([]any{h.eng.Now()}, args...)...)
+		h.cfg.Trace("[host %8s] "+format, append([]any{h.rt.Now()}, args...)...)
 	}
 }
 
@@ -530,7 +546,7 @@ func (h *HostController) newStripeOpDeadline(kind string, stripe int64, expect i
 		op.span = t.Begin(h.opsTrack, "op", kind,
 			trace.I64("stripe", stripe), trace.I64("id", int64(op.id)))
 	}
-	op.timer = h.eng.After(deadline, func() {
+	op.timer = h.rt.After(deadline, func() {
 		if op.done {
 			return
 		}
@@ -541,7 +557,7 @@ func (h *HostController) newStripeOpDeadline(kind string, stripe int64, expect i
 			if op.responded[t] {
 				continue
 			}
-			if h.fab.Node(t).Down() {
+			if h.fab.Down(t) {
 				down = append(down, t)
 			} else {
 				silent = append(silent, t)
@@ -665,7 +681,7 @@ func (h *HostController) releaseStripe(stripe int64) {
 	next := q.waiters[0]
 	q.waiters = q.waiters[1:]
 	// Defer so the releasing op's stack unwinds first.
-	h.eng.Defer(next)
+	h.rt.Defer(next)
 }
 
 // ---------------------------------------------------------------------------
@@ -679,19 +695,19 @@ func (h *HostController) Read(off, n int64, cb func(parity.Buffer, error)) {
 		return
 	}
 	if err := blockdev.CheckRange(off, n, h.size); err != nil {
-		h.eng.Defer(func() { cb(parity.Buffer{}, err) })
+		h.rt.Defer(func() { cb(parity.Buffer{}, err) })
 		return
 	}
 	h.stats.Reads++
 	h.stats.UserBytesRead += n
 	if n == 0 {
-		h.eng.Defer(func() { cb(parity.Alloc(0), nil) })
+		h.rt.Defer(func() { cb(parity.Alloc(0), nil) })
 		return
 	}
 	if s, hit := h.lost.Intersect(off, n); hit {
 		// Bytes in a lost region were sacrificed to a media double fault;
 		// fail fast with the typed error rather than serving garbage.
-		h.eng.Defer(func() {
+		h.rt.Defer(func() {
 			cb(parity.Buffer{}, fmt.Errorf("core: read [%d,+%d) overlaps lost region [%d,+%d): %w",
 				off, n, s.Off, s.Len, blockdev.ErrMediaError))
 		})
@@ -850,7 +866,7 @@ func (h *HostController) degradedReadStripe(stripe int64, failedExt raid.Extent,
 		}
 	}
 	if failedData+lostParityCount(h, stripe) > h.geo.Level.ParityCount() {
-		h.eng.Defer(func() {
+		h.rt.Defer(func() {
 			*fail = fmt.Errorf("core: stripe %d: %w", stripe, blockdev.ErrDoubleFault)
 			done()
 		})

@@ -76,7 +76,7 @@ func (h *HostController) hostFallbackRead(stripe int64, failedExt raid.Extent, n
 	}
 	if lostData+lostPar > h.geo.Level.ParityCount() ||
 		(lostData >= 2 && h.geo.Level != raid.Raid6) {
-		h.eng.Defer(func() {
+		h.rt.Defer(func() {
 			*fail = fmt.Errorf("core: stripe %d fallback read: %w", stripe, blockdev.ErrDoubleFault)
 			done()
 		})

@@ -165,7 +165,7 @@ func (g *gatherState) attempt() {
 		if sf == nil {
 			sf = &mediaShortfall{stripe: g.stripe, member: -1}
 		}
-		h.eng.Defer(func() { g.cb(nil, nil, sf) })
+		h.rt.Defer(func() { g.cb(nil, nil, sf) })
 		return
 	}
 
@@ -707,7 +707,7 @@ func (h *HostController) ScrubStripe(stripe int64, cb func(ScrubResult, error)) 
 	for m := 0; m < h.geo.Width; m++ {
 		if h.memberFailed(stripe, m) {
 			res.Skipped = true
-			h.eng.Defer(func() { cb(res, nil) })
+			h.rt.Defer(func() { cb(res, nil) })
 			return
 		}
 	}

@@ -20,7 +20,7 @@ func (h *HostController) WriteMemberChunk(stripe int64, member int, b parity.Buf
 // endpoint — a member's drive or a hot spare being rebuilt onto.
 func (h *HostController) writeChunkToNode(stripe int64, to NodeID, b parity.Buffer, cb func(error)) {
 	if int64(b.Len()) != h.geo.ChunkSize {
-		h.eng.Defer(func() { cb(fmt.Errorf("core: chunk image is %d bytes, want %d", b.Len(), h.geo.ChunkSize)) })
+		h.rt.Defer(func() { cb(fmt.Errorf("core: chunk image is %d bytes, want %d", b.Len(), h.geo.ChunkSize)) })
 		return
 	}
 	op := h.newStripeOp("rebuild-write", stripe, 1, []NodeID{to},
@@ -68,7 +68,7 @@ func (h *HostController) Rebuilding(member int) (dest NodeID, frontier int64, ok
 func (h *HostController) RebuildStripe(stripe int64, member int, cb func(error)) {
 	r, ok := h.rebuilds[member]
 	if !ok {
-		h.eng.Defer(func() { cb(fmt.Errorf("core: member %d has no rebuild in progress", member)) })
+		h.rt.Defer(func() { cb(fmt.Errorf("core: member %d has no rebuild in progress", member)) })
 		return
 	}
 	h.acquireStripe(stripe, func() {
@@ -119,7 +119,7 @@ func (h *HostController) AbortRebuild(member int) { delete(h.rebuilds, member) }
 //   - Q chunk:    GF-reduce all data chunks with their g^i coefficients.
 func (h *HostController) ReconstructStripeChunk(stripe int64, member int, cb func(parity.Buffer, error)) {
 	if !h.failed[member] {
-		h.eng.Defer(func() { cb(parity.Buffer{}, fmt.Errorf("core: member %d is not failed", member)) })
+		h.rt.Defer(func() { cb(parity.Buffer{}, fmt.Errorf("core: member %d is not failed", member)) })
 		return
 	}
 	h.stats.Reconstructions++
@@ -161,7 +161,7 @@ func (h *HostController) ReconstructStripeChunk(stripe int64, member int, cb fun
 			addData(true)
 			unscale = gf256.Inv(parity.QCoeff(lostIdx))
 		default:
-			h.eng.Defer(func() { cb(parity.Buffer{}, blockdev.ErrIO) })
+			h.rt.Defer(func() { cb(parity.Buffer{}, blockdev.ErrIO) })
 			return
 		}
 	case raid.KindP:
@@ -170,7 +170,7 @@ func (h *HostController) ReconstructStripeChunk(stripe int64, member int, cb fun
 		addData(true)
 	}
 	if len(parts) < h.geo.DataChunks() {
-		h.eng.Defer(func() { cb(parity.Buffer{}, blockdev.ErrIO) })
+		h.rt.Defer(func() { cb(parity.Buffer{}, blockdev.ErrIO) })
 		return
 	}
 

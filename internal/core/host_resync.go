@@ -60,7 +60,7 @@ func (h *HostController) ResyncStripe(stripe int64, cb func(error)) {
 		qAlive = !h.memberFailed(stripe, qDrive)
 	}
 	if !pAlive && !qAlive {
-		h.eng.Defer(func() { cb(nil) }) // nothing to resync
+		h.rt.Defer(func() { cb(nil) }) // nothing to resync
 		return
 	}
 
@@ -80,7 +80,7 @@ func (h *HostController) ResyncStripe(stripe int64, cb func(error)) {
 		watch = append(watch, h.nodeAt(stripe, m))
 	}
 	if reads == 0 {
-		h.eng.Defer(func() { cb(blockdev.ErrIO) })
+		h.rt.Defer(func() { cb(blockdev.ErrIO) })
 		return
 	}
 

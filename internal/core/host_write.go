@@ -20,13 +20,13 @@ func (h *HostController) Write(off int64, data parity.Buffer, cb func(error)) {
 	}
 	n := int64(data.Len())
 	if err := blockdev.CheckRange(off, n, h.size); err != nil {
-		h.eng.Defer(func() { cb(err) })
+		h.rt.Defer(func() { cb(err) })
 		return
 	}
 	h.stats.Writes++
 	h.stats.UserBytesWritten += n
 	if n == 0 {
-		h.eng.Defer(func() { cb(nil) })
+		h.rt.Defer(func() { cb(nil) })
 		return
 	}
 	byStripe := raid.StripeExtents(h.geo.Split(off, n))
@@ -263,7 +263,7 @@ func (h *HostController) fullStripeWrite(stripe int64, data parity.Buffer, exts 
 // degenerate degraded mode when no parity member of the stripe survives.
 func (h *HostController) plainWrites(stripe int64, exts []raid.Extent, data parity.Buffer, onTimeout func([]NodeID), done func(error)) {
 	if len(exts) == 0 {
-		h.eng.Defer(func() { done(nil) })
+		h.rt.Defer(func() { done(nil) })
 		return
 	}
 	watch := make([]NodeID, 0, len(exts))
@@ -387,7 +387,7 @@ func (h *HostController) rcwWrite(stripe int64, exts []raid.Extent, data parity.
 		watch = append(watch, NodeID(qDest))
 	}
 	if expect == 0 {
-		h.eng.Defer(func() { done(fmt.Errorf("core: stripe %d has no healthy participants: %w", stripe, blockdev.ErrDegraded)) })
+		h.rt.Defer(func() { done(fmt.Errorf("core: stripe %d has no healthy participants: %w", stripe, blockdev.ErrDegraded)) })
 		return
 	}
 	op := h.newStripeOp("rcw-write", stripe, expect, watch, func() { done(nil) }, onTimeout)
@@ -484,7 +484,7 @@ func (h *HostController) hostFallbackWrite(stripe int64, exts []raid.Extent, dat
 		// Two lost data chunks, or a lost chunk whose old content can no
 		// longer be recovered through P — reconstructable in principle via
 		// Q, but out of scope for the fallback writer.
-		h.eng.Defer(func() {
+		h.rt.Defer(func() {
 			done(fmt.Errorf("core: stripe %d fallback write: %w", stripe, blockdev.ErrDoubleFault))
 		})
 		return
@@ -590,7 +590,7 @@ func (h *HostController) hostFallbackWrite(stripe int64, exts []raid.Extent, dat
 	}
 
 	if reads == 0 {
-		h.eng.Defer(finishPhase2)
+		h.rt.Defer(finishPhase2)
 		return
 	}
 	rOp := h.newStripeOp("fallback-read", stripe, reads, watch, finishPhase2, onTimeout)

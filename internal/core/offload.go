@@ -43,9 +43,12 @@ type OffloadClient struct {
 // the gateway executes it. host must live on the fabric's coordinator node
 // (the storage server now carrying the controller).
 func NewOffload(eng *sim.Engine, net *simnet.Network, clientNode *simnet.Node, host *HostController, costs cpu.Costs) *OffloadClient {
-	conn := net.Connect(clientNode, host.fab.HostNode())
+	// Offload is a simulation-only experiment (§7): it reaches through to
+	// the concrete simulated fabric for its client↔coordinator hop.
+	fab := host.fab.(*Fabric)
+	conn := net.Connect(clientNode, fab.HostNode())
 	gw := &OffloadGateway{
-		eng: eng, host: host, conn: conn, node: host.fab.HostNode(),
+		eng: eng, host: host, conn: conn, node: fab.HostNode(),
 		core: cpu.NewCore(eng), costs: costs,
 	}
 	return &OffloadClient{eng: eng, node: clientNode, conn: conn, gw: gw, size: host.Size()}

@@ -4,12 +4,11 @@ import (
 	"errors"
 	"fmt"
 
+	"draid/internal/backend"
 	"draid/internal/cpu"
 	"draid/internal/integrity"
 	"draid/internal/nvmeof"
 	"draid/internal/parity"
-	"draid/internal/sim"
-	"draid/internal/ssd"
 	"draid/internal/trace"
 )
 
@@ -49,10 +48,10 @@ type ServerConfig struct {
 // being in a RAID").
 type ServerController struct {
 	id    NodeID
-	eng   *sim.Engine
-	fab   *Fabric
-	drive *ssd.Drive
-	core  *cpu.Core
+	rt    backend.Runtime
+	fab   backend.Transport
+	drive backend.Drive
+	core  backend.Executor
 	cfg   ServerConfig
 
 	// pool recycles reduce accumulators. Safe because the accumulator is
@@ -103,15 +102,17 @@ type reduceState struct {
 	deferred []func()
 }
 
-// NewServer creates a server-side controller and registers it on the fabric.
-func NewServer(id NodeID, eng *sim.Engine, fab *Fabric, drive *ssd.Drive, core *cpu.Core, cfg ServerConfig) *ServerController {
+// NewServer creates a server-side controller and registers it on the
+// transport. It is backend-agnostic: rt, fab, drive, and core may belong to
+// the deterministic simulation or to the real-time backend.
+func NewServer(id NodeID, rt backend.Runtime, fab backend.Transport, drive backend.Drive, core backend.Executor, cfg ServerConfig) *ServerController {
 	s := &ServerController{
-		id: id, eng: eng, fab: fab, drive: drive, core: core, cfg: cfg,
+		id: id, rt: rt, fab: fab, drive: drive, core: core, cfg: cfg,
 		reduces: make(map[reduceKey]*reduceState),
 		pool:    parity.NewPool(),
 	}
 	if cfg.Integrity {
-		if !drive.Spec().StoreData {
+		if !drive.StoresData() {
 			panic("core: integrity requires a data-storing drive (StoreData)")
 		}
 		s.integ = integrity.NewStore(integrity.DefaultBlockSize)
@@ -121,7 +122,7 @@ func NewServer(id NodeID, eng *sim.Engine, fab *Fabric, drive *ssd.Drive, core *
 }
 
 // Drive returns the controller's drive (for tests and rebuild tooling).
-func (s *ServerController) Drive() *ssd.Drive { return s.drive }
+func (s *ServerController) Drive() backend.Drive { return s.drive }
 
 // ChecksumErrors reports how many reads failed end-to-end verification.
 func (s *ServerController) ChecksumErrors() int64 { return s.checksumErrors }
@@ -131,15 +132,15 @@ func (s *ServerController) peek(off, n int64) []byte { return s.drive.PeekSync(o
 
 // readVerified reads [off, off+n) and, when integrity is on, verifies the
 // covering block checksums before handing the payload up: detected bit rot
-// surfaces as a *ssd.MediaError, indistinguishable from a drive URE, so one
-// host-side recovery path serves both.
+// surfaces as a *backend.MediaError, indistinguishable from a drive URE, so
+// one host-side recovery path serves both.
 func (s *ServerController) readVerified(off, n int64, cb func(parity.Buffer, error)) {
 	s.drive.Read(off, n, func(b parity.Buffer, err error) {
 		if err == nil && s.integ != nil {
-			if badOff, badLen, ok := s.integ.Verify(off, n, s.drive.Spec().Capacity, s.peek); !ok {
+			if badOff, badLen, ok := s.integ.Verify(off, n, s.drive.Capacity(), s.peek); !ok {
 				s.checksumErrors++
 				s.trace("checksum mismatch at [%d,+%d)", badOff, badLen)
-				cb(parity.Buffer{}, &ssd.MediaError{Off: badOff, N: badLen})
+				cb(parity.Buffer{}, &backend.MediaError{Off: badOff, N: badLen})
 				return
 			}
 		}
@@ -161,7 +162,7 @@ func (s *ServerController) writeDrive(off int64, b parity.Buffer, cb func(error)
 	n := int64(b.Len())
 	var stale []int64
 	if s.integ != nil && n > 0 {
-		capacity := s.drive.Spec().Capacity
+		capacity := s.drive.Capacity()
 		bs := s.integ.BlockSize()
 		check := func(blk int64) {
 			bEnd := blk + bs
@@ -184,7 +185,7 @@ func (s *ServerController) writeDrive(off int64, b parity.Buffer, cb func(error)
 	}
 	s.drive.Write(off, b, func(err error) {
 		if err == nil && s.integ != nil {
-			s.integ.Update(off, n, s.drive.Spec().Capacity, s.peek)
+			s.integ.Update(off, n, s.drive.Capacity(), s.peek)
 			for _, blk := range stale {
 				s.integ.Invalidate(blk)
 			}
@@ -198,11 +199,11 @@ func (s *ServerController) writeDrive(off int64, b parity.Buffer, cb func(error)
 // (falling back to the whole accessed range), everything else to
 // StatusError over the accessed range.
 func mediaStatus(err error, off, length int64) (nvmeof.Status, int64, int64) {
-	var me *ssd.MediaError
+	var me *backend.MediaError
 	if errors.As(err, &me) {
 		return nvmeof.StatusMediaError, me.Off, me.N
 	}
-	if errors.Is(err, ssd.ErrMediaError) {
+	if errors.Is(err, backend.ErrMediaError) {
 		return nvmeof.StatusMediaError, off, length
 	}
 	return nvmeof.StatusError, off, length
@@ -210,7 +211,7 @@ func mediaStatus(err error, off, length int64) (nvmeof.Status, int64, int64) {
 
 func (s *ServerController) trace(format string, args ...any) {
 	if s.cfg.Trace != nil {
-		s.cfg.Trace("[t%d %8s] "+format, append([]any{int(s.id), s.eng.Now()}, args...)...)
+		s.cfg.Trace("[t%d %8s] "+format, append([]any{int(s.id), s.rt.Now()}, args...)...)
 	}
 }
 

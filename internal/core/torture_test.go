@@ -322,7 +322,7 @@ func TestTortureRebuild(t *testing.T) {
 					Geometry: raid.Geometry{Level: tc.level, Width: tc.targets, ChunkSize: 16 << 10},
 					Deadline: 10 * sim.Millisecond,
 				})
-				sup := repair.NewSupervisor(cl.Eng, h, repair.Config{
+				sup := repair.NewSupervisor(cl.Rt, h, repair.Config{
 					Detector: repair.DetectorConfig{
 						HeartbeatEvery:   sim.Millisecond,
 						HeartbeatTimeout: 500 * sim.Microsecond,
@@ -376,7 +376,7 @@ func TestTortureHostFailover(t *testing.T) {
 				t.Fatalf("adopted %d dirty stripes, want %d", len(adopted), len(dirty))
 			}
 			ferr := fmt.Errorf("not done")
-			repair.Failover(cl.Eng, h2, adopted, func(err error) { ferr = err })
+			repair.Failover(cl.Rt, h2, adopted, func(err error) { ferr = err })
 			cl.Eng.Run()
 			if ferr != nil {
 				t.Fatalf("failover resync: %v", ferr)

@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"draid"
+	"draid/internal/fio"
+)
+
+// Realtime counterparts of the figure sweeps: the same fio workloads driven
+// through draid.Config{Backend: BackendRealtime}, so each point measures the
+// real protocol on goroutine event loops and wall-clock timers instead of
+// the calibrated simulation. Only the dRAID system exists here — the Linux
+// and SPDK baselines, NIC line rates, and CPU cost models are simulation
+// artifacts — so these figures carry a single series and their absolute
+// numbers reflect the host machine, not the paper's testbed. Use them to
+// sanity-check shapes (RMW knees, width scaling), not magnitudes.
+
+// realtimeRegistry maps the experiment IDs that have a realtime counterpart.
+var realtimeRegistry = map[string]func(Options, draid.RealtimeOptions) (Figure, error){
+	"fig09": RealtimeFig09,
+	"fig10": RealtimeFig10,
+	"fig12": RealtimeFig12,
+	"fig13": RealtimeFig13,
+}
+
+// RealtimeIDs returns the experiment IDs runnable on the realtime backend.
+func RealtimeIDs() []string {
+	var out []string
+	for id := range realtimeRegistry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// measureRealtime runs one fio point against a realtime-backed array.
+func measureRealtime(o Options, ro draid.RealtimeOptions, targets int, ioSize int64, readRatio float64, qd int) (fio.Result, error) {
+	a, err := draid.New(draid.Config{
+		Backend:       draid.BackendRealtime,
+		Realtime:      ro,
+		Drives:        targets,
+		DriveCapacity: 1 << 30,
+		SizeOnly:      ro.Dir == "", // file media need real bytes
+		Seed:          o.Seed,
+	})
+	if err != nil {
+		return fio.Result{}, err
+	}
+	defer a.Close()
+	r := fio.Run(fio.Job{
+		Name: "dRAID", Dev: a.Controller(), Eng: a.Cluster().Rt,
+		IOSize: ioSize, ReadRatio: readRatio, QueueDepth: qd,
+		Ramp: o.Ramp, Measure: o.Measure, Seed: o.Seed,
+	})
+	return r, nil
+}
+
+// realtimeSweep runs one single-series sweep point by point, serially: each
+// point is a wall-clock measurement and must not share the CPU with another.
+func realtimeSweep(n int, point func(i int) (Point, error)) ([]Series, error) {
+	s := Series{System: "dRAID (realtime)"}
+	for i := 0; i < n; i++ {
+		p, err := point(i)
+		if err != nil {
+			return nil, err
+		}
+		s.Points = append(s.Points, p)
+	}
+	return []Series{s}, nil
+}
+
+// RealtimeFig09 — RAID-5 normal-state read vs I/O size (6 targets).
+func RealtimeFig09(o Options, ro draid.RealtimeOptions) (Figure, error) {
+	o = o.withDefaults()
+	sizes := sizesKB(o.Quick, 4, 8, 16, 32, 64, 128)
+	series, err := realtimeSweep(len(sizes), func(i int) (Point, error) {
+		kb := sizes[i]
+		r, err := measureRealtime(o, ro, 6, kb<<10, 1.0, readQD)
+		if err != nil {
+			return Point{}, err
+		}
+		return toPoint(float64(kb), fmt.Sprintf("%dKB", kb), r), nil
+	})
+	return Figure{
+		ID: "fig09", Title: "RAID-5 read vs I/O size (6 targets, realtime backend)",
+		XLabel: "io-size", Series: series,
+	}, err
+}
+
+// RealtimeFig10 — RAID-5 write vs I/O size (8 targets).
+func RealtimeFig10(o Options, ro draid.RealtimeOptions) (Figure, error) {
+	o = o.withDefaults()
+	sizes := sizesKB(o.Quick, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 3584)
+	series, err := realtimeSweep(len(sizes), func(i int) (Point, error) {
+		kb := sizes[i]
+		r, err := measureRealtime(o, ro, 8, kb<<10, 0, writeQD)
+		if err != nil {
+			return Point{}, err
+		}
+		return toPoint(float64(kb), fmt.Sprintf("%dKB", kb), r), nil
+	})
+	return Figure{
+		ID: "fig10", Title: "RAID-5 write vs I/O size (8 targets, realtime backend)",
+		XLabel: "io-size", Series: series,
+	}, err
+}
+
+// RealtimeFig12 — RAID-5 write scalability vs stripe width (128 KB I/O).
+func RealtimeFig12(o Options, ro draid.RealtimeOptions) (Figure, error) {
+	o = o.withDefaults()
+	ws := widths(o.Quick)
+	series, err := realtimeSweep(len(ws), func(i int) (Point, error) {
+		r, err := measureRealtime(o, ro, ws[i], 128<<10, 0, 64)
+		if err != nil {
+			return Point{}, err
+		}
+		return toPoint(float64(ws[i]), fmt.Sprintf("%d", ws[i]), r), nil
+	})
+	return Figure{
+		ID: "fig12", Title: "RAID-5 write vs stripe width (128 KB I/O, QD 64, realtime backend)",
+		XLabel: "width", Series: series,
+	}, err
+}
+
+// RealtimeFig13 — RAID-5 mixed read/write ratio (128 KB, 8 targets).
+func RealtimeFig13(o Options, ro draid.RealtimeOptions) (Figure, error) {
+	o = o.withDefaults()
+	ratios := []float64{0, 0.25, 0.5, 0.75, 1.0}
+	if o.Quick {
+		ratios = []float64{0, 1.0}
+	}
+	series, err := realtimeSweep(len(ratios), func(i int) (Point, error) {
+		ratio := ratios[i]
+		qd := 16
+		if ratio == 1.0 {
+			qd = readQD
+		}
+		r, err := measureRealtime(o, ro, 8, 128<<10, ratio, qd)
+		if err != nil {
+			return Point{}, err
+		}
+		return toPoint(100*ratio, fmt.Sprintf("%.0f%%", 100*ratio), r), nil
+	})
+	return Figure{
+		ID: "fig13", Title: "RAID-5 write vs read/write ratio (128 KB, 8 targets, realtime backend)",
+		XLabel: "read-ratio", Series: series,
+	}, err
+}
+
+// RunAllRealtime executes the given experiment IDs on the realtime backend
+// and returns their reports in input order. Unknown or simulation-only IDs
+// are rejected up front. Experiments run strictly serially: every point is a
+// wall-clock measurement, so concurrent runs would contend for the CPU they
+// are measuring.
+func RunAllRealtime(ids []string, o Options, ro draid.RealtimeOptions) ([]Report, error) {
+	for _, id := range ids {
+		if _, ok := realtimeRegistry[id]; !ok {
+			return nil, fmt.Errorf("experiments: %q has no realtime counterpart (available: %v)", id, RealtimeIDs())
+		}
+	}
+	out := make([]Report, len(ids))
+	for i, id := range ids {
+		start := time.Now()
+		fig, err := realtimeRegistry[id](o, ro)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s (realtime): %w", id, err)
+		}
+		out[i] = Report{ID: id, Text: fig.String(), Elapsed: time.Since(start)}
+	}
+	return out, nil
+}

@@ -14,11 +14,21 @@ import (
 	"draid/internal/sim"
 )
 
+// Engine is the clock/scheduler surface fio needs: the simulation engine or
+// a realtime backend runner. Call marshals a function into the device's
+// callback context (inline on the simulation), which Start uses so the
+// closed loop's state is only ever touched from that context.
+type Engine interface {
+	Now() sim.Time
+	RunUntil(t sim.Time)
+	Call(fn func())
+}
+
 // Job describes one benchmark run.
 type Job struct {
 	Name string
 	Dev  blockdev.Device
-	Eng  *sim.Engine
+	Eng  Engine
 	// IOSize is the per-operation transfer size in bytes.
 	IOSize int64
 	// ReadRatio in [0,1]: fraction of operations that are reads.
@@ -129,7 +139,11 @@ func (r *Running) Result() Result {
 func Run(job Job) Result {
 	r := Start(job)
 	job.Eng.RunUntil(r.End)
-	return r.Result()
+	// Collect inside Call: on a realtime backend, stragglers completing
+	// after End still invoke record on the device's loop.
+	var res Result
+	job.Eng.Call(func() { res = r.Result() })
+	return res
 }
 
 // Start launches the job's closed loop without running the engine, so
@@ -219,8 +233,13 @@ func Start(job Job) *Running {
 			job.Dev.Write(off, payload, func(err error) { record(false, err) })
 		}
 	}
-	for i := 0; i < job.QueueDepth; i++ {
-		issue()
-	}
+	// Issue the initial window from the device's callback context, so the
+	// loop state (rng, cursors, counters) has a single owner. Inline on the
+	// simulation.
+	eng.Call(func() {
+		for i := 0; i < job.QueueDepth; i++ {
+			issue()
+		}
+	})
 	return running
 }

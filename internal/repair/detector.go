@@ -10,6 +10,7 @@ package repair
 import (
 	"fmt"
 
+	"draid/internal/backend"
 	"draid/internal/core"
 	"draid/internal/sim"
 	"draid/internal/trace"
@@ -87,12 +88,12 @@ type memberHealth struct {
 // every op timeout and error completion feed the state machine; Start adds
 // active heartbeat probing on top.
 type Detector struct {
-	eng     *sim.Engine
+	eng     backend.Runtime
 	host    *core.HostController
 	cfg     DetectorConfig
 	members []memberHealth
 	onFail  func(member int)
-	ticker  *sim.Timer
+	ticker  backend.Timer
 
 	track   trace.Track
 	tracer  *trace.Collector
@@ -104,7 +105,7 @@ type Detector struct {
 // NewDetector builds a detector over the host's members. onFail fires (via
 // the engine, never synchronously inside evidence delivery) exactly once per
 // healthy→failed transition.
-func NewDetector(eng *sim.Engine, host *core.HostController, cfg DetectorConfig, tracer *trace.Collector, onFail func(member int)) *Detector {
+func NewDetector(eng backend.Runtime, host *core.HostController, cfg DetectorConfig, tracer *trace.Collector, onFail func(member int)) *Detector {
 	d := &Detector{
 		eng:     eng,
 		host:    host,

@@ -3,8 +3,8 @@ package repair
 import (
 	"fmt"
 
+	"draid/internal/backend"
 	"draid/internal/core"
-	"draid/internal/sim"
 )
 
 // Failover is the §5.4 host-crash recovery protocol: a replacement
@@ -12,7 +12,7 @@ import (
 // stripes the write-intent bitmap marked dirty — never a full-array scan —
 // then resumes service. Stripes are resynced sequentially (each one re-reads
 // survivors and rewrites parity), and cb fires once all are consistent.
-func Failover(eng *sim.Engine, h *core.HostController, dirty []int64, cb func(error)) {
+func Failover(eng backend.Runtime, h *core.HostController, dirty []int64, cb func(error)) {
 	var step func(i int)
 	step = func(i int) {
 		if i >= len(dirty) {

@@ -1,6 +1,7 @@
 package repair
 
 import (
+	"draid/internal/backend"
 	"draid/internal/sim"
 )
 
@@ -11,13 +12,13 @@ import (
 // in call order (first claim drains the bucket first), which on the
 // deterministic engine makes the arbitration reproducible.
 type RateLimiter struct {
-	eng      *sim.Engine
+	eng      backend.Runtime
 	rateMBps float64
 	nextFree sim.Time
 }
 
 // NewRateLimiter builds a shared limiter. rateMBps <= 0 means unlimited.
-func NewRateLimiter(eng *sim.Engine, rateMBps float64) *RateLimiter {
+func NewRateLimiter(eng backend.Runtime, rateMBps float64) *RateLimiter {
 	return &RateLimiter{eng: eng, rateMBps: rateMBps}
 }
 

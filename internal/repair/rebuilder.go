@@ -3,6 +3,7 @@ package repair
 import (
 	"fmt"
 
+	"draid/internal/backend"
 	"draid/internal/core"
 	"draid/internal/sim"
 	"draid/internal/trace"
@@ -43,7 +44,7 @@ type RebuildStatus struct {
 // per-stripe write lock, paced by a token-bucket rate limit so foreground
 // I/O keeps serving.
 type Rebuilder struct {
-	eng  *sim.Engine
+	eng  backend.Runtime
 	host *core.HostController
 	cfg  RebuilderConfig
 
@@ -55,7 +56,7 @@ type Rebuilder struct {
 }
 
 // NewRebuilder builds a rebuild manager for the host.
-func NewRebuilder(eng *sim.Engine, host *core.HostController, cfg RebuilderConfig, tracer *trace.Collector) *Rebuilder {
+func NewRebuilder(eng backend.Runtime, host *core.HostController, cfg RebuilderConfig, tracer *trace.Collector) *Rebuilder {
 	r := &Rebuilder{eng: eng, host: host, cfg: cfg, tracer: tracer}
 	if tracer.Enabled() {
 		r.track = tracer.Track("repair", "rebuild")

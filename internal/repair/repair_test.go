@@ -39,7 +39,7 @@ func mustWrite(t *testing.T, cl *cluster.Cluster, h *core.HostController, off in
 	t.Helper()
 	doneErr := errors.New("not done")
 	h.Write(off, parity.FromBytes(data), func(err error) { doneErr = err })
-	cl.Eng.Run()
+	cl.Rt.Run()
 	if doneErr != nil {
 		t.Fatalf("write at %d (%d bytes): %v", off, len(data), doneErr)
 	}
@@ -53,7 +53,7 @@ func mustRead(t *testing.T, cl *cluster.Cluster, h *core.HostController, off, n 
 		doneErr = err
 		out = b.Data()
 	})
-	cl.Eng.Run()
+	cl.Rt.Run()
 	if doneErr != nil {
 		t.Fatalf("read at %d (%d bytes): %v", off, n, doneErr)
 	}
@@ -72,7 +72,7 @@ func detectorFixture(t *testing.T) (*cluster.Cluster, *core.HostController, *rep
 	t.Helper()
 	cl, h := testCluster(t, 5, 0, raid.Raid5)
 	var failed []int
-	det := repair.NewDetector(cl.Eng, h, repair.DetectorConfig{
+	det := repair.NewDetector(cl.Rt, h, repair.DetectorConfig{
 		FailAfter: 3,
 		Grace:     10 * sim.Millisecond,
 	}, nil, func(m int) { failed = append(failed, m) })
@@ -95,13 +95,13 @@ func TestDetectorStrikesEscalate(t *testing.T) {
 		t.Fatalf("after 3 strikes: state = %v, want failed", got)
 	}
 	// onFail is deferred through the engine, exactly once.
-	cl.Eng.Run()
+	cl.Rt.Run()
 	if len(*failed) != 1 || (*failed)[0] != 2 {
 		t.Fatalf("onFail calls = %v, want [2]", *failed)
 	}
 	// Further evidence against a failed member is a no-op.
 	det.ObserveFault(2, true)
-	cl.Eng.Run()
+	cl.Rt.Run()
 	if len(*failed) != 1 {
 		t.Fatalf("onFail fired again on post-failure evidence: %v", *failed)
 	}
@@ -117,7 +117,7 @@ func TestDetectorConfirmedEscalatesImmediately(t *testing.T) {
 	if got := det.State(1); got != repair.Failed {
 		t.Fatalf("after confirmed fault: state = %v, want failed", got)
 	}
-	cl.Eng.Run()
+	cl.Rt.Run()
 	if len(*failed) != 1 || (*failed)[0] != 1 {
 		t.Fatalf("onFail calls = %v, want [1]", *failed)
 	}
@@ -145,12 +145,12 @@ func TestDetectorGraceDecaysStrikes(t *testing.T) {
 	det.ObserveFault(3, false)
 	det.ObserveFault(3, false)
 	// A quiet window longer than Grace forgets the old strikes.
-	cl.Eng.RunFor(20 * sim.Millisecond)
+	cl.Rt.RunFor(20 * sim.Millisecond)
 	det.ObserveFault(3, false)
 	if got := det.State(3); got != repair.Suspect {
 		t.Fatalf("stale strikes still counted: state = %v, want suspect", got)
 	}
-	cl.Eng.Run()
+	cl.Rt.Run()
 	if len(*failed) != 0 {
 		t.Fatalf("member failed despite grace decay: %v", *failed)
 	}
@@ -163,7 +163,7 @@ func TestDetectorGraceDecaysStrikes(t *testing.T) {
 func TestHeartbeatDetectsDownNode(t *testing.T) {
 	cl, h := testCluster(t, 5, 0, raid.Raid5)
 	var failed []int
-	det := repair.NewDetector(cl.Eng, h, repair.DetectorConfig{
+	det := repair.NewDetector(cl.Rt, h, repair.DetectorConfig{
 		HeartbeatEvery:   sim.Millisecond,
 		HeartbeatTimeout: 500 * sim.Microsecond,
 	}, nil, func(m int) { failed = append(failed, m) })
@@ -172,7 +172,7 @@ func TestHeartbeatDetectsDownNode(t *testing.T) {
 	defer det.Stop()
 
 	cl.FailTarget(3) // node down + drive dead; nobody tells the host
-	cl.Eng.RunFor(5 * sim.Millisecond)
+	cl.Rt.RunFor(5 * sim.Millisecond)
 
 	if got := det.State(3); got != repair.Failed {
 		t.Fatalf("state = %v, want failed (automatic detection)", got)
@@ -195,7 +195,7 @@ func TestHeartbeatDetectsDownNode(t *testing.T) {
 func TestHeartbeatDetectsAsymmetricDrop(t *testing.T) {
 	cl, h := testCluster(t, 5, 0, raid.Raid5)
 	var failed []int
-	det := repair.NewDetector(cl.Eng, h, repair.DetectorConfig{
+	det := repair.NewDetector(cl.Rt, h, repair.DetectorConfig{
 		FailAfter:        3,
 		HeartbeatEvery:   sim.Millisecond,
 		HeartbeatTimeout: 500 * sim.Microsecond,
@@ -207,11 +207,11 @@ func TestHeartbeatDetectsAsymmetricDrop(t *testing.T) {
 	conn := cl.Fabric.Connection(core.HostID, core.NodeID(2))
 	conn.InjectDropDirection(cl.HostNode, 1.0) // host→target black hole
 
-	cl.Eng.RunFor(2 * sim.Millisecond)
+	cl.Rt.RunFor(2 * sim.Millisecond)
 	if got := det.State(2); got != repair.Suspect {
 		t.Fatalf("mid-escalation state = %v, want suspect", got)
 	}
-	cl.Eng.RunFor(8 * sim.Millisecond)
+	cl.Rt.RunFor(8 * sim.Millisecond)
 	if got := det.State(2); got != repair.Failed {
 		t.Fatalf("state = %v, want failed after repeated missed heartbeats", got)
 	}
@@ -224,7 +224,7 @@ func TestHeartbeatDetectsAsymmetricDrop(t *testing.T) {
 // resumes, successful probes repair it back to healthy without escalation.
 func TestTransientDropRecoversToHealthy(t *testing.T) {
 	cl, h := testCluster(t, 5, 0, raid.Raid5)
-	det := repair.NewDetector(cl.Eng, h, repair.DetectorConfig{
+	det := repair.NewDetector(cl.Rt, h, repair.DetectorConfig{
 		FailAfter:        4,
 		HeartbeatEvery:   sim.Millisecond,
 		HeartbeatTimeout: 500 * sim.Microsecond,
@@ -235,12 +235,12 @@ func TestTransientDropRecoversToHealthy(t *testing.T) {
 
 	conn := cl.Fabric.Connection(core.HostID, core.NodeID(1))
 	conn.InjectDrop(1.0)
-	cl.Eng.RunFor(2500 * sim.Microsecond) // ~2 missed probes
+	cl.Rt.RunFor(2500 * sim.Microsecond) // ~2 missed probes
 	if got := det.State(1); got != repair.Suspect {
 		t.Fatalf("state = %v, want suspect during the drop burst", got)
 	}
 	conn.InjectDrop(0)
-	cl.Eng.RunFor(5 * sim.Millisecond)
+	cl.Rt.RunFor(5 * sim.Millisecond)
 	if got := det.State(1); got != repair.Healthy {
 		t.Fatalf("state = %v, want healthy after delivery resumed", got)
 	}
@@ -272,10 +272,10 @@ func TestRebuildCopiesMemberToSpare(t *testing.T) {
 	cl.FailTarget(victim)
 	h.SetFailed(victim, true)
 
-	reb := repair.NewRebuilder(cl.Eng, h, repair.RebuilderConfig{}, nil)
+	reb := repair.NewRebuilder(cl.Rt, h, repair.RebuilderConfig{}, nil)
 	rebErr := errors.New("not done")
 	reb.Rebuild(victim, cl.SpareIDs()[0], func(err error) { rebErr = err })
-	cl.Eng.Run()
+	cl.Rt.Run()
 	if rebErr != nil {
 		t.Fatalf("rebuild: %v", rebErr)
 	}
@@ -302,15 +302,15 @@ func TestRebuildThrottleRate(t *testing.T) {
 		seedDevice(t, cl, h, 7)
 		cl.FailTarget(2)
 		h.SetFailed(2, true)
-		reb := repair.NewRebuilder(cl.Eng, h, repair.RebuilderConfig{RateMBps: rateMBps}, nil)
-		start := cl.Eng.Now()
+		reb := repair.NewRebuilder(cl.Rt, h, repair.RebuilderConfig{RateMBps: rateMBps}, nil)
+		start := cl.Rt.Now()
 		rebErr := errors.New("not done")
 		reb.Rebuild(2, cl.SpareIDs()[0], func(err error) { rebErr = err })
-		cl.Eng.Run()
+		cl.Rt.Run()
 		if rebErr != nil {
 			t.Fatalf("rebuild at %v MB/s: %v", rateMBps, rebErr)
 		}
-		return cl.Eng.Now() - start
+		return cl.Rt.Now() - start
 	}
 
 	unthrottled := elapsed(0)
@@ -337,7 +337,7 @@ func TestSupervisorAutoRecovery(t *testing.T) {
 	cl, h := testCluster(t, 5, 1, raid.Raid5)
 	ref := seedDevice(t, cl, h, 99)
 
-	sup := repair.NewSupervisor(cl.Eng, h, repair.Config{
+	sup := repair.NewSupervisor(cl.Rt, h, repair.Config{
 		Detector: repair.DetectorConfig{
 			HeartbeatEvery:   sim.Millisecond,
 			HeartbeatTimeout: 500 * sim.Microsecond,
@@ -348,8 +348,8 @@ func TestSupervisorAutoRecovery(t *testing.T) {
 	defer sup.Stop()
 
 	cl.FailTarget(3) // nobody calls SetFailed
-	cl.Eng.RunFor(5 * sim.Millisecond)
-	cl.Eng.Run() // drive the launched rebuild to completion
+	cl.Rt.RunFor(5 * sim.Millisecond)
+	cl.Rt.Run() // drive the launched rebuild to completion
 
 	if got := sup.Detector().FailTransitions; got != 1 {
 		t.Fatalf("fail transitions = %d, want 1 (automatic detection)", got)
@@ -393,7 +393,7 @@ func TestForegroundServiceDuringRebuild(t *testing.T) {
 
 	cl.FailTarget(0)
 	h.SetFailed(0, true)
-	reb := repair.NewRebuilder(cl.Eng, h, repair.RebuilderConfig{RateMBps: 50}, nil)
+	reb := repair.NewRebuilder(cl.Rt, h, repair.RebuilderConfig{RateMBps: 50}, nil)
 	rebErr := errors.New("not done")
 	reb.Rebuild(0, cl.SpareIDs()[0], func(err error) { rebErr = err })
 
@@ -414,10 +414,10 @@ func TestForegroundServiceDuringRebuild(t *testing.T) {
 			}
 			completed++
 		})
-		cl.Eng.After(sim.Millisecond, func() { issue(i + 1) })
+		cl.Rt.After(sim.Millisecond, func() { issue(i + 1) })
 	}
 	issue(0)
-	cl.Eng.Run()
+	cl.Rt.Run()
 
 	if rebErr != nil {
 		t.Fatalf("rebuild: %v", rebErr)
@@ -451,14 +451,14 @@ func TestHostFailoverResyncsDirtyStripes(t *testing.T) {
 			t.Error("write callback fired on a crashed controller")
 		}
 	})
-	cl.Eng.RunFor(20 * sim.Microsecond) // partway into the writes
+	cl.Rt.RunFor(20 * sim.Microsecond) // partway into the writes
 	dirtyBefore := h.DirtyStripes()
 	if len(dirtyBefore) == 0 {
 		t.Fatal("test setup: no dirty stripes at crash time")
 	}
 	h.Crash()
 	crashed = true
-	cl.Eng.Run() // drain whatever the crash left behind
+	cl.Rt.Run() // drain whatever the crash left behind
 	if !h.Crashed() {
 		t.Fatal("Crashed() = false after Crash")
 	}
@@ -474,8 +474,8 @@ func TestHostFailoverResyncsDirtyStripes(t *testing.T) {
 	}
 
 	ferr := errors.New("not done")
-	repair.Failover(cl.Eng, h2, adopted, func(err error) { ferr = err })
-	cl.Eng.Run()
+	repair.Failover(cl.Rt, h2, adopted, func(err error) { ferr = err })
+	cl.Rt.Run()
 	if ferr != nil {
 		t.Fatalf("failover resync: %v", ferr)
 	}
@@ -490,14 +490,14 @@ func TestHostFailoverResyncsDirtyStripes(t *testing.T) {
 	fresh := randBytes(14, int(stripeBytes))
 	wrErr := errors.New("not done")
 	h2.Write(0, parity.FromBytes(fresh), func(err error) { wrErr = err })
-	cl.Eng.Run()
+	cl.Rt.Run()
 	if wrErr != nil {
 		t.Fatalf("post-failover write: %v", wrErr)
 	}
 	var got []byte
 	rdErr := errors.New("not done")
 	h2.Read(0, stripeBytes, func(b parity.Buffer, err error) { got, rdErr = b.Data(), err })
-	cl.Eng.Run()
+	cl.Rt.Run()
 	if rdErr != nil {
 		t.Fatalf("post-failover read: %v", rdErr)
 	}

@@ -3,6 +3,7 @@ package repair
 import (
 	"fmt"
 
+	"draid/internal/backend"
 	"draid/internal/core"
 	"draid/internal/sim"
 	"draid/internal/trace"
@@ -55,7 +56,7 @@ type ScrubStatus struct {
 // token-bucket discipline as the rebuilder; periodic passes run on background
 // timers so an idle simulation can still drain.
 type Scrubber struct {
-	eng  *sim.Engine
+	eng  backend.Runtime
 	host *core.HostController
 	cfg  ScrubberConfig
 
@@ -69,7 +70,7 @@ type Scrubber struct {
 
 // NewScrubber builds a scrubber for the host. Call Start for periodic
 // passes, or RunPass for a single on-demand pass.
-func NewScrubber(eng *sim.Engine, host *core.HostController, cfg ScrubberConfig, tracer *trace.Collector) *Scrubber {
+func NewScrubber(eng backend.Runtime, host *core.HostController, cfg ScrubberConfig, tracer *trace.Collector) *Scrubber {
 	s := &Scrubber{eng: eng, host: host, cfg: cfg, tracer: tracer}
 	s.status.Enabled = cfg.Interval > 0
 	if tracer.Enabled() {

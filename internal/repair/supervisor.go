@@ -3,6 +3,7 @@ package repair
 import (
 	"fmt"
 
+	"draid/internal/backend"
 	"draid/internal/core"
 	"draid/internal/sim"
 	"draid/internal/trace"
@@ -44,7 +45,7 @@ func (e Event) String() string {
 // finishes. It is the subsystem that turns "a node stopped answering" into
 // "the array healed itself".
 type Supervisor struct {
-	eng  *sim.Engine
+	eng  backend.Runtime
 	host *core.HostController
 
 	det   *Detector
@@ -59,7 +60,7 @@ type Supervisor struct {
 
 // NewSupervisor wires detector + rebuilder onto the host and installs the
 // health sink. Call Start to begin heartbeat probing.
-func NewSupervisor(eng *sim.Engine, host *core.HostController, cfg Config, tracer *trace.Collector) *Supervisor {
+func NewSupervisor(eng backend.Runtime, host *core.HostController, cfg Config, tracer *trace.Collector) *Supervisor {
 	pool := cfg.Pool
 	if pool == nil {
 		pool = core.NewSparePool(cfg.Spares)

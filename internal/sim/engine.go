@@ -233,6 +233,12 @@ func (e *Engine) RunUntil(deadline Time) {
 // RunFor advances the clock by d, executing all events in the window.
 func (e *Engine) RunFor(d Duration) { e.RunUntil(e.now + Time(d)) }
 
+// Call executes fn inside the engine's execution domain. A single-goroutine
+// simulation's domain is simply the caller, so fn runs inline; the method
+// exists so code written against the backend Runner interface (where Call
+// marshals onto an event loop) works unchanged on the simulation.
+func (e *Engine) Call(fn func()) { fn() }
+
 func (e *Engine) step() {
 	ev := heap.Pop(&e.queue).(*event)
 	if ev.dead {

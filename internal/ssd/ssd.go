@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"draid/internal/backend"
 	"draid/internal/integrity"
 	"draid/internal/parity"
 	"draid/internal/sim"
@@ -42,43 +43,26 @@ func DefaultSpec() Spec {
 	}
 }
 
-// Errors reported through operation callbacks.
+// Errors reported through operation callbacks. The media-error types live in
+// the backend package (they are part of the Drive interface contract shared
+// by every backend); the names here are aliases kept for existing callers.
 var (
 	ErrOutOfRange = errors.New("ssd: access beyond capacity")
 	ErrFailed     = errors.New("ssd: drive failed")
 	// ErrMediaError is an unrecoverable read error (URE): the drive is alive
 	// and keeps serving other LBAs, but this range is gone. Unlike Fail, the
 	// operation completes — with this error instead of data.
-	ErrMediaError = errors.New("ssd: unrecoverable media error")
+	ErrMediaError = backend.ErrMediaError
 )
 
-// MediaError reports the precise unreadable sub-range of a failed read, so
-// upper layers can reconstruct exactly the bytes that are lost rather than
-// the whole request. It unwraps to ErrMediaError.
-type MediaError struct {
-	Off, N int64 // absolute drive byte range that could not be read
-}
-
-func (e *MediaError) Error() string {
-	return fmt.Sprintf("ssd: unrecoverable media error at [%d,+%d)", e.Off, e.N)
-}
-
-// Unwrap makes errors.Is(err, ErrMediaError) hold.
-func (e *MediaError) Unwrap() error { return ErrMediaError }
+// MediaError reports the precise unreadable sub-range of a failed read. It
+// unwraps to ErrMediaError.
+type MediaError = backend.MediaError
 
 const pageSize = 64 << 10 // sparse backing-store granularity
 
 // Stats counts completed operations.
-type Stats struct {
-	ReadOps, WriteOps     int64
-	ReadBytes, WriteBytes int64
-	// MediaErrors counts reads that completed with ErrMediaError (injected
-	// or latent). CorruptReads counts reads that returned silently rotted
-	// payload bytes — the drive itself cannot see these; only an end-to-end
-	// checksum above it can.
-	MediaErrors  int64
-	CorruptReads int64
-}
+type Stats = backend.DriveStats
 
 // Drive is one simulated SSD. All methods must be called from engine
 // callbacks (single-threaded simulation discipline).
@@ -134,6 +118,12 @@ func New(eng *sim.Engine, spec Spec) *Drive {
 
 // Spec returns the drive's specification.
 func (d *Drive) Spec() Spec { return d.spec }
+
+// Capacity returns the drive size in bytes.
+func (d *Drive) Capacity() int64 { return d.spec.Capacity }
+
+// StoresData reports whether payload bytes are materialized.
+func (d *Drive) StoresData() bool { return d.spec.StoreData }
 
 // Stats returns operation counters.
 func (d *Drive) Stats() Stats { return d.stats }
@@ -288,6 +278,57 @@ func (d *Drive) Write(off int64, b parity.Buffer, cb func(error)) {
 	})
 }
 
+// Trim discards [off, off+n): subsequent reads return zeros. Modeled as a
+// metadata operation — per-op write latency, no bandwidth reservation. Like
+// a write, it clears media-error and rot state over its range.
+func (d *Drive) Trim(off, n int64, cb func(error)) {
+	if off < 0 || n < 0 || off+n > d.spec.Capacity {
+		d.eng.Defer(func() { cb(ErrOutOfRange) })
+		return
+	}
+	if d.failed {
+		return
+	}
+	d.inflight++
+	d.eng.After(d.spec.WriteLatency, func() {
+		d.inflight--
+		if d.failed {
+			return
+		}
+		d.stats.TrimOps++
+		d.discard(off, n)
+		d.media.Remove(off, n)
+		d.rot.Remove(off, n)
+		cb(nil)
+	})
+}
+
+// discard zeroes [off, off+n) in the page store, dropping whole pages.
+func (d *Drive) discard(off, n int64) {
+	if d.pages == nil {
+		return
+	}
+	for pos := int64(0); pos < n; {
+		pageNo := (off + pos) / pageSize
+		pageOff := (off + pos) % pageSize
+		span := pageSize - pageOff
+		if span > n-pos {
+			span = n - pos
+		}
+		if page, ok := d.pages[pageNo]; ok {
+			if span == pageSize {
+				delete(d.pages, pageNo)
+			} else {
+				clearTo := page[pageOff : pageOff+span]
+				for i := range clearTo {
+					clearTo[i] = 0
+				}
+			}
+		}
+		pos += span
+	}
+}
+
 // load copies [off, off+n) out of the sparse page store.
 func (d *Drive) load(off, n int64) parity.Buffer {
 	if d.pages == nil {
@@ -337,3 +378,10 @@ func (d *Drive) PeekSync(off, n int64) []byte {
 	}
 	return b.Data()
 }
+
+// The simulated drive is the deterministic backend.Drive implementation and
+// supports the full fault-injection surface.
+var (
+	_ backend.Drive         = (*Drive)(nil)
+	_ backend.MediaInjector = (*Drive)(nil)
+)

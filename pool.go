@@ -94,7 +94,7 @@ func NewPool(cfg PoolConfig) (*Pool, error) {
 	}
 	p := &Pool{cl: cluster.New(spec), cfg: cfg}
 	if cfg.RebuildRateMBps > 0 {
-		p.limiter = repair.NewRateLimiter(p.cl.Eng, cfg.RebuildRateMBps)
+		p.limiter = repair.NewRateLimiter(p.cl.Rt, cfg.RebuildRateMBps)
 	}
 	return p, nil
 }
@@ -179,7 +179,7 @@ func (p *Pool) OpenVolume(cfg VolumeConfig) (*Array, error) {
 				det.HeartbeatEvery = 10 * sim.Millisecond
 			}
 		}
-		arr.sup = repair.NewSupervisor(p.cl.Eng, vol.Host, repair.Config{
+		arr.sup = repair.NewSupervisor(p.cl.Rt, vol.Host, repair.Config{
 			Detector: det,
 			Rebuild:  repair.RebuilderConfig{RateMBps: p.cfg.RebuildRateMBps, Limiter: p.limiter},
 			Pool:     p.cl.Spares,

@@ -19,6 +19,12 @@ go test -race ./...
 # Scrubber smoke under -race: background passes + repair-on-read are the
 # most callback-ordering-sensitive paths added by the integrity layer.
 go test -race -run '^TestScrub' . -count=1
+# Realtime-backend smoke: the cross-backend conformance suite under -race
+# (real goroutine schedules, channel and TCP transports, file media), plus
+# a short draid-fio run on each realtime transport.
+go test -race -count=1 ./internal/backend/...
+go run ./cmd/draid-fio -backend realtime -iosize 131072 -qd 8 -ramp 10ms -measure 40ms
+go run ./cmd/draid-fio -backend realtime -rt-tcp -iosize 65536 -qd 8 -ramp 10ms -measure 40ms
 
 if [ "${FULL:-0}" = "1" ]; then
     make torture
