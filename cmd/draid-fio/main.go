@@ -43,6 +43,9 @@ func main() {
 		seed    = flag.Int64("seed", 1, "workload seed")
 		rtTCP   = flag.Bool("rt-tcp", false, "realtime: capsules over loopback TCP instead of in-process channels")
 		rtDir   = flag.String("rt-dir", "", "realtime: store drives as files under this directory (default: in-memory)")
+		hedge   = flag.String("hedge", "off", "read hedging policy: off | fixed-delay | adaptive-p95 | eager-parity (dRAID only)")
+		hdDelay = flag.Duration("hedge-delay", 0, "fixed-delay hedge trigger (0 = 500µs default)")
+		slow    = flag.String("slow", "", "grey-drive injection, comma-separated member=profile entries (profiles: const:F, fade:F:RAMP, stall:STALL/PERIOD; e.g. 2=const:10,4=stall:2ms/10ms)")
 	)
 	flag.Parse()
 
@@ -78,9 +81,46 @@ func main() {
 			failed = append(failed, m)
 		}
 	}
+	hedgePolicy, err := draid.ParseHedgePolicy(*hedge)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "draid-fio: %v\n", err)
+		os.Exit(2)
+	}
+	hedgeCfg := draid.HedgeConfig{Policy: hedgePolicy, Delay: *hdDelay}
+	type slowEntry struct {
+		member int
+		prof   draid.SlowProfile
+	}
+	var slows []slowEntry
+	if *slow != "" {
+		for _, part := range strings.Split(*slow, ",") {
+			mem, spec, ok := strings.Cut(strings.TrimSpace(part), "=")
+			if !ok {
+				fmt.Fprintf(os.Stderr, "draid-fio: bad -slow entry %q (want member=profile)\n", part)
+				os.Exit(2)
+			}
+			m, err := strconv.Atoi(mem)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "draid-fio: bad -slow member %q\n", mem)
+				os.Exit(2)
+			}
+			p, err := draid.ParseSlowProfile(spec)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "draid-fio: %v\n", err)
+				os.Exit(2)
+			}
+			slows = append(slows, slowEntry{m, p})
+		}
+	}
+	greyPath := hedgePolicy != draid.HedgeOff || len(slows) > 0
+	if greyPath && sys != experiments.DRAID {
+		fmt.Fprintf(os.Stderr, "draid-fio: -hedge/-slow run the dRAID protocol only (got -system %s)\n", *system)
+		os.Exit(2)
+	}
 
 	var res fio.Result
 	var out, in int64
+	var arr *draid.Array
 	if kind == draid.BackendRealtime {
 		if sys != experiments.DRAID {
 			fmt.Fprintf(os.Stderr, "draid-fio: the realtime backend runs the dRAID protocol only (got -system %s)\n", *system)
@@ -95,17 +135,54 @@ func main() {
 			DriveCapacity: 1 << 30,
 			SizeOnly:      *rtDir == "", // file media need real bytes
 			Seed:          *seed,
+			Hedge:         hedgeCfg,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "draid-fio: %v\n", err)
 			os.Exit(1)
 		}
 		defer a.Close()
+		arr = a
+		for _, e := range slows {
+			if err := a.Inject().SlowDrive(e.member, e.prof); err != nil {
+				fmt.Fprintf(os.Stderr, "draid-fio: %v\n", err)
+				os.Exit(1)
+			}
+		}
 		for _, m := range failed {
 			a.FailDrive(m)
 		}
 		res = fio.Run(fio.Job{
 			Name: string(sys) + "/rt", Dev: a.Controller(), Eng: a.Cluster().Rt,
+			IOSize: *iosize, ReadRatio: *ratio, QueueDepth: *qd,
+			Ramp: sim.Duration(*ramp), Measure: sim.Duration(*measure), Seed: *seed,
+		})
+		out, in = a.HostTraffic()
+	} else if greyPath {
+		a, err := draid.New(draid.Config{
+			Level:     lvl,
+			Drives:    *targets,
+			ChunkSize: *chunk,
+			SizeOnly:  true,
+			Seed:      *seed,
+			Hedge:     hedgeCfg,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "draid-fio: %v\n", err)
+			os.Exit(1)
+		}
+		arr = a
+		for _, e := range slows {
+			if err := a.Inject().SlowDrive(e.member, e.prof); err != nil {
+				fmt.Fprintf(os.Stderr, "draid-fio: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		for _, m := range failed {
+			a.FailDrive(m)
+		}
+		res = fio.Run(fio.Job{
+			Name: string(sys), Dev: a.Controller(), Eng: a.Cluster().Rt,
 			IOSize: *iosize, ReadRatio: *ratio, QueueDepth: *qd,
 			Ramp: sim.Duration(*ramp), Measure: sim.Duration(*measure), Seed: *seed,
 		})
@@ -127,5 +204,10 @@ func main() {
 	if user > 0 {
 		fmt.Printf("host NIC traffic: out=%.2fx in=%.2fx of user bytes\n",
 			float64(out)/float64(user), float64(in)/float64(user))
+	}
+	if arr != nil && hedgePolicy != draid.HedgeOff {
+		st := arr.Stats()
+		fmt.Printf("hedging (%s): %d hedged reads, %d hedge wins\n",
+			hedgePolicy, st.HedgedReads, st.HedgeWins)
 	}
 }

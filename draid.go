@@ -23,6 +23,8 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"strconv"
+	"strings"
 	"time"
 
 	"draid/internal/backend"
@@ -159,6 +161,174 @@ func ParseReducerPolicy(s string) (ReducerPolicy, error) {
 	return 0, fmt.Errorf("draid: unknown reducer policy %q", s)
 }
 
+// HedgePolicy selects when a read hedges its stragglers (see HedgeConfig).
+type HedgePolicy = core.HedgePolicy
+
+// Hedging policies.
+const (
+	// HedgeOff never hedges (the default; the read path is byte-identical
+	// to an array built without hedging support).
+	HedgeOff = core.HedgeOff
+	// HedgeFixedDelay hedges a straggler outstanding longer than
+	// HedgeConfig.Delay.
+	HedgeFixedDelay = core.HedgeFixedDelay
+	// HedgeAdaptiveP95 hedges a straggler outstanding longer than
+	// Multiplier × the median of per-member p95 completion latencies.
+	HedgeAdaptiveP95 = core.HedgeAdaptiveP95
+	// HedgeEagerParity issues the parity read up front with the data reads
+	// and solves with whichever k of the n members complete first.
+	HedgeEagerParity = core.HedgeEagerParity
+)
+
+// ParseHedgePolicy maps a flag-style string ("off", "fixed-delay",
+// "adaptive-p95", "eager-parity"; "" means off) to a policy.
+func ParseHedgePolicy(s string) (HedgePolicy, error) {
+	switch s {
+	case "", "off":
+		return HedgeOff, nil
+	case "fixed", "fixed-delay":
+		return HedgeFixedDelay, nil
+	case "adaptive", "adaptive-p95":
+		return HedgeAdaptiveP95, nil
+	case "eager", "eager-parity":
+		return HedgeEagerParity, nil
+	}
+	return 0, fmt.Errorf("draid: unknown hedge policy %q", s)
+}
+
+// HedgeConfig tunes hedged reads: when an otherwise-complete stripe read is
+// stalled by exactly one slow member, the host reads the stripe's parity
+// chunk, reuses the completions it already holds, and XOR-solves the
+// straggler's range — any k of the n members answer the read. The abandoned
+// straggler feeds the failure detector's grey-failure lattice (see
+// HealthConfig.DegradeAfter), so persistent laggards are eventually evicted
+// rather than hedged forever.
+type HedgeConfig struct {
+	// Policy selects the trigger (default HedgeOff). Use ParseHedgePolicy
+	// at flag boundaries.
+	Policy HedgePolicy
+	// Delay is the HedgeFixedDelay trigger (default 500µs).
+	Delay time.Duration
+	// Multiplier scales the HedgeAdaptiveP95 threshold (default 3).
+	Multiplier float64
+	// MinSamples is the per-member warm-up before adaptive hedging trusts
+	// its latency quantiles (default 32).
+	MinSamples int
+}
+
+// SlowKind classifies slow-drive injection profiles (grey failures: the
+// drive answers correctly, just slowly).
+type SlowKind = backend.SlowKind
+
+// Slow-drive profile kinds.
+const (
+	// SlowNone clears a previously installed profile.
+	SlowNone = backend.SlowNone
+	// SlowConstant inflates service time by a constant Factor.
+	SlowConstant = backend.SlowConstant
+	// SlowFading ramps inflation linearly from 1× to Factor over Ramp —
+	// the classic fading drive.
+	SlowFading = backend.SlowFading
+	// SlowStall freezes completions for Stall out of every Period — an
+	// intermittent brown-out (firmware GC, link flaps).
+	SlowStall = backend.SlowStall
+)
+
+// SlowProfile describes deterministic per-drive latency inflation, installed
+// with Inject().SlowDrive. Randomized jitter is seeded from Config.Seed, so
+// two same-seed runs inject identical slowness.
+type SlowProfile struct {
+	Kind SlowKind
+	// Factor is the steady-state service-time multiplier (SlowConstant,
+	// SlowFading).
+	Factor float64
+	// Ramp is the SlowFading ramp length from healthy to Factor.
+	Ramp time.Duration
+	// Period and Stall define the SlowStall duty cycle: completions freeze
+	// for Stall out of every Period.
+	Period, Stall time.Duration
+	// Base overrides the synthetic per-op latency the realtime backend
+	// inflates (its memory drives complete instantly otherwise). Default
+	// 100µs. Ignored by the simulation, which inflates its calibrated
+	// drive model instead.
+	Base time.Duration
+	// Jitter scales the inflation by ±Jitter uniformly at random (seeded).
+	Jitter float64
+}
+
+// ParseSlowProfile maps a flag-style string to a profile:
+//
+//	"none" or ""        no slowness
+//	"const:F"           constant F× inflation           (const:10)
+//	"fade:F:RAMP"       linear ramp to F× over RAMP     (fade:10:50ms)
+//	"stall:STALL/PERIOD" freeze STALL out of each PERIOD (stall:2ms/20ms)
+func ParseSlowProfile(s string) (SlowProfile, error) {
+	if s == "" || s == "none" {
+		return SlowProfile{}, nil
+	}
+	bad := func() (SlowProfile, error) {
+		return SlowProfile{}, fmt.Errorf("draid: malformed slow profile %q", s)
+	}
+	kind, rest, _ := strings.Cut(s, ":")
+	switch kind {
+	case "const":
+		f, err := strconv.ParseFloat(rest, 64)
+		if err != nil || f <= 0 {
+			return bad()
+		}
+		return SlowProfile{Kind: SlowConstant, Factor: f}, nil
+	case "fade":
+		fs, rs, ok := strings.Cut(rest, ":")
+		if !ok {
+			return bad()
+		}
+		f, err := strconv.ParseFloat(fs, 64)
+		if err != nil || f <= 0 {
+			return bad()
+		}
+		ramp, err := time.ParseDuration(rs)
+		if err != nil || ramp <= 0 {
+			return bad()
+		}
+		return SlowProfile{Kind: SlowFading, Factor: f, Ramp: ramp}, nil
+	case "stall":
+		ss, ps, ok := strings.Cut(rest, "/")
+		if !ok {
+			return bad()
+		}
+		stall, err := time.ParseDuration(ss)
+		if err != nil || stall <= 0 {
+			return bad()
+		}
+		period, err := time.ParseDuration(ps)
+		if err != nil || period < stall {
+			return bad()
+		}
+		return SlowProfile{Kind: SlowStall, Stall: stall, Period: period}, nil
+	}
+	return bad()
+}
+
+// toCore converts the public hedge config to the core representation.
+func (c HedgeConfig) toCore() core.HedgeConfig {
+	return core.HedgeConfig{
+		Policy:     c.Policy,
+		Delay:      sim.Duration(c.Delay),
+		Multiplier: c.Multiplier,
+		MinSamples: c.MinSamples,
+	}
+}
+
+// toBackend converts the public profile to the backend representation.
+func (p SlowProfile) toBackend() backend.SlowProfile {
+	return backend.SlowProfile{
+		Kind: p.Kind, Factor: p.Factor,
+		Ramp: sim.Duration(p.Ramp), Period: sim.Duration(p.Period),
+		Stall: sim.Duration(p.Stall), Base: sim.Duration(p.Base),
+		Jitter: p.Jitter,
+	}
+}
+
 // Tracer is the structured virtual-time trace collector. A nil *Tracer is
 // the disabled tracer: every method is safe to call and does nothing, and
 // WriteChrome/WriteFlame emit valid empty documents.
@@ -195,17 +365,26 @@ type HealthConfig struct {
 	// Grace is the quiet window after which accumulated strikes decay
 	// (default 4×HeartbeatEvery).
 	Grace time.Duration
+	// DegradeAfter is how many slow strikes (hedge losses, see HedgeConfig)
+	// mark a healthy member degraded (default 8).
+	DegradeAfter int
+	// EvictAfter is how many slow strikes evict a persistently slow member:
+	// suspect at EvictAfter/2, failed — triggering spare rebuild — at
+	// EvictAfter (default 64; negative disables slow-strike eviction).
+	EvictAfter int
 }
 
-// MemberState re-exports the detector's per-member state (healthy, suspect,
-// failed) for status surfaces.
+// MemberState re-exports the detector's per-member state (healthy, degraded,
+// suspect, failed) for status surfaces.
 type MemberState = repair.MemberState
 
-// Detection states.
+// Detection states: the health lattice healthy → degraded → suspect →
+// failed. Degraded members answer correctly but slowly (grey failure).
 const (
-	Healthy = repair.Healthy
-	Suspect = repair.Suspect
-	Failed  = repair.Failed
+	Healthy  = repair.Healthy
+	Degraded = repair.Degraded
+	Suspect  = repair.Suspect
+	Failed   = repair.Failed
 )
 
 // RebuildStatus re-exports the rebuild manager's progress snapshot.
@@ -249,6 +428,9 @@ type Config struct {
 	// ReducerPolicy selects degraded-read reducer placement (default
 	// ReducerRandom). Use ParseReducerPolicy at flag boundaries.
 	ReducerPolicy ReducerPolicy
+	// Hedge tunes hedged reads against slow (grey-failed) members. The
+	// zero value disables hedging and leaves the read path byte-identical.
+	Hedge HedgeConfig
 	// DrivesPerServer co-locates several member drives on one physical
 	// storage server, sharing its NIC and controller core (§5.5 resource
 	// sharing). Default 1.
@@ -376,6 +558,11 @@ func (cfg Config) validate() error {
 	default:
 		return fmt.Errorf("draid: unknown reducer policy %v", cfg.ReducerPolicy)
 	}
+	switch cfg.Hedge.Policy {
+	case HedgeOff, HedgeFixedDelay, HedgeAdaptiveP95, HedgeEagerParity:
+	default:
+		return fmt.Errorf("draid: unknown hedge policy %v", cfg.Hedge.Policy)
+	}
 	switch cfg.Backend {
 	case BackendSim:
 	case BackendRealtime:
@@ -437,6 +624,7 @@ func New(cfg Config) (*Array, error) {
 		MaxRetries:   cfg.MaxRetries,
 		RetryBackoff: sim.Duration(cfg.RetryBackoff),
 		Deadline:     sim.Duration(cfg.OpDeadline),
+		Hedge:        cfg.Hedge.toCore(),
 	}
 	switch cfg.ReducerPolicy {
 	case ReducerRandom:
@@ -487,6 +675,7 @@ func newRealtime(cfg Config) (*Array, error) {
 		MaxRetries:   cfg.MaxRetries,
 		RetryBackoff: sim.Duration(cfg.RetryBackoff),
 		Deadline:     sim.Duration(cfg.OpDeadline),
+		Hedge:        cfg.Hedge.toCore(),
 	}
 	if cfg.ReducerPolicy == ReducerFixed {
 		hostCfg.Selector = recon.FixedSelector{}
@@ -508,6 +697,8 @@ func (a *Array) attachSupervisor(cfg Config) {
 		FailAfter:        cfg.Health.FailAfter,
 		HeartbeatTimeout: sim.Duration(cfg.Health.HeartbeatTimeout),
 		Grace:            sim.Duration(cfg.Health.Grace),
+		DegradeAfter:     cfg.Health.DegradeAfter,
+		EvictAfter:       cfg.Health.EvictAfter,
 	}
 	if cfg.Health.Detect {
 		det.HeartbeatEvery = sim.Duration(cfg.Health.HeartbeatEvery)
@@ -955,6 +1146,32 @@ func (in Injector) LatentErrorRate(rate float64) error {
 	return err
 }
 
+// SlowDrive installs (or, with a SlowNone profile, clears) a deterministic
+// latency-inflation profile on member drive i — the grey-failure injection:
+// the drive keeps answering correctly, just slowly. On the simulation the
+// profile scales the calibrated drive model's service rate and access
+// latency; on the realtime backend it inflates a synthetic per-op latency
+// (see SlowProfile.Base). Jitter is seeded per drive from Config.Seed.
+// Reports ErrUnsupported on backends whose drives lack the hook (for
+// example, file-backed realtime drives).
+func (in Injector) SlowDrive(i int, p SlowProfile) error {
+	a := in.a
+	var err error
+	a.call(func() {
+		if i < 0 || i >= a.host.Geometry().Width {
+			err = fmt.Errorf("draid: slow-drive injection: member %d out of range", i)
+			return
+		}
+		si, ok := a.cl.Drives[int(a.host.MemberNode(i))].(backend.SlowInjector)
+		if !ok {
+			err = fmt.Errorf("draid: slow-drive injection: %w", ErrUnsupported)
+			return
+		}
+		si.SetSlowProfile(p.toBackend(), a.seed+int64(i)*7919+104729)
+	})
+	return err
+}
+
 // FailDrive is Array.FailDrive, grouped here for discoverability.
 func (in Injector) FailDrive(i int) { in.a.FailDrive(i) }
 
@@ -1122,12 +1339,15 @@ type BenchmarkSpec struct {
 	Ramp, Measure time.Duration
 }
 
-// BenchmarkResult reports a Benchmark run.
+// BenchmarkResult reports a Benchmark run. The latency quantiles are the
+// worse of the read and write distributions.
 type BenchmarkResult struct {
 	BandwidthMBps float64
 	IOPS          float64
 	AvgLatency    time.Duration
+	P50Latency    time.Duration
 	P99Latency    time.Duration
+	P999Latency   time.Duration
 }
 
 // Benchmark runs an FIO-style random workload against the array.
@@ -1150,15 +1370,19 @@ func (a *Array) Benchmark(spec BenchmarkSpec) BenchmarkResult {
 		QueueDepth: spec.QueueDepth,
 		Ramp:       sim.Duration(spec.Ramp), Measure: sim.Duration(spec.Measure),
 	})
-	p99 := r.ReadLat.P99
-	if r.WriteLat.P99 > p99 {
-		p99 = r.WriteLat.P99
+	worse := func(rd, wr float64) time.Duration {
+		if wr > rd {
+			return time.Duration(wr)
+		}
+		return time.Duration(rd)
 	}
 	return BenchmarkResult{
 		BandwidthMBps: r.BandwidthMBps(),
 		IOPS:          r.IOPS(),
 		AvgLatency:    time.Duration(r.AvgLatency() * 1e3),
-		P99Latency:    time.Duration(p99),
+		P50Latency:    worse(r.ReadLat.P50, r.WriteLat.P50),
+		P99Latency:    worse(r.ReadLat.P99, r.WriteLat.P99),
+		P999Latency:   worse(r.ReadLat.P999, r.WriteLat.P999),
 	}
 }
 

@@ -144,6 +144,12 @@ func TestBenchmarkRuns(t *testing.T) {
 	if res.AvgLatency <= 0 || res.P99Latency < res.AvgLatency/2 {
 		t.Fatalf("latencies = %v / %v", res.AvgLatency, res.P99Latency)
 	}
+	if res.P50Latency <= 0 || res.P99Latency < res.P50Latency {
+		t.Fatalf("quantiles out of order: p50=%v p99=%v", res.P50Latency, res.P99Latency)
+	}
+	if res.P999Latency < res.P99Latency {
+		t.Fatalf("quantiles out of order: p99=%v p999=%v", res.P99Latency, res.P999Latency)
+	}
 	if res.IOPS <= 0 {
 		t.Fatal("no IOPS")
 	}

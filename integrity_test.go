@@ -535,6 +535,121 @@ func TestIntegrityTortureLatentErrors(t *testing.T) {
 	}
 }
 
+// TestIntegrityTortureHedgedReads races hedged reads against everything at
+// once: a grey member whose chunk reads the hedger routinely abandons, bit
+// rot and media errors landing anywhere — including on that same straggler,
+// where the abandoned primary was also the URE victim and the parity solve
+// must still produce exact bytes, never stale or zero data — the background
+// scrubber repairing damage underneath, and a mid-run fail-stop crash whose
+// hot-spare rebuild overlaps the remaining iterations. Every read verifies
+// against a byte model or fails typed over a recorded lost region.
+func TestIntegrityTortureHedgedReads(t *testing.T) {
+	policies := []draid.HedgeConfig{
+		{Policy: draid.HedgeFixedDelay, Delay: 100 * time.Microsecond},
+		{Policy: draid.HedgeAdaptiveP95, MinSamples: 8},
+	}
+	for _, hc := range policies {
+		for _, seed := range []int64{1, 2, 3} {
+			t.Run(fmt.Sprintf("%s/seed=%d", hc.Policy, seed), func(t *testing.T) {
+				arr := integrityArray(t, draid.Config{
+					Level: draid.Raid6, Drives: 6,
+					ChunkSize:     16 << 10,
+					Spares:        1,
+					Seed:          seed,
+					Hedge:         hc,
+					ScrubInterval: 500 * time.Microsecond,
+					ScrubRateMBps: 8000,
+					Health: draid.HealthConfig{
+						Detect:         true,
+						HeartbeatEvery: time.Millisecond,
+						// Keep the grey member in service: this torture wants
+						// hedges firing start to finish, not an early eviction.
+						EvictAfter: -1,
+					},
+					RebuildRateMBps: 400,
+				})
+				size := arr.Size()
+				model := make([]byte, size)
+				rng := rand.New(rand.NewSource(seed * 131))
+				if err := arr.WriteSync(0, randBytes(seed, int(size))); err != nil {
+					t.Fatal(err)
+				}
+				arr.Read(0, size, func(b []byte, err error) {
+					if err != nil {
+						t.Errorf("seed read: %v", err)
+					}
+					copy(model, b)
+				})
+				arr.Run()
+				if err := arr.Inject().SlowDrive(2, draid.SlowProfile{
+					Kind: draid.SlowConstant, Factor: 25,
+				}); err != nil {
+					t.Fatalf("inject slow drive: %v", err)
+				}
+
+				check := func(iter int, rOff, rLen int64) {
+					got, err := arr.ReadSync(rOff, rLen)
+					switch {
+					case err != nil:
+						if !errors.Is(err, draid.ErrMediaError) {
+							t.Fatalf("iter %d read [%d,+%d): %v", iter, rOff, rLen, err)
+						}
+						if !overlapsLost(arr.LostRegions(), rOff, rLen) {
+							t.Fatalf("iter %d read [%d,+%d) failed outside lost regions: %v", iter, rOff, rLen, err)
+						}
+					case !bytes.Equal(got, model[rOff:rOff+rLen]):
+						t.Fatalf("iter %d read [%d,+%d) diverged from model", iter, rOff, rLen)
+					}
+				}
+
+				for iter := 0; iter < 40; iter++ {
+					cOff := rng.Int63n(size - 8<<10)
+					cLen := int64(1+rng.Intn(8)) << 10
+					if iter%2 == 0 {
+						arr.InjectBitRot(cOff, cLen)
+					} else {
+						arr.InjectMediaError(cOff, cLen)
+					}
+					// Read straight over the fresh damage: if the damaged chunk
+					// lives on the grey member, the hedge abandons the very read
+					// that would have reported the URE — the solve (or the
+					// repair-on-read it stands down for) must still be exact.
+					check(iter, cOff&^4095, 8<<10)
+					wLen := int64(1+rng.Intn(64)) << 10
+					wOff := rng.Int63n(size - wLen)
+					data := make([]byte, wLen)
+					rng.Read(data)
+					if err := arr.WriteSync(wOff, data); err != nil {
+						t.Fatalf("iter %d write: %v", iter, err)
+					}
+					copy(model[wOff:], data)
+					rLen := int64(1+rng.Intn(64)) << 10
+					check(iter, rng.Int63n(size-rLen), rLen)
+					if iter == 15 {
+						// Fail-stop a healthy member (not the grey one): the
+						// heartbeat prober detects it and the hot-spare rebuild
+						// runs under the rest of the loop.
+						arr.CrashDrive(4)
+					}
+					arr.RunFor(200 * time.Microsecond)
+				}
+
+				arr.RunFor(20 * time.Millisecond) // rebuild + final scrub passes drain
+				if st := arr.RebuildStatus(); st.Active {
+					t.Fatalf("rebuild still active at end: %+v", st)
+				}
+				if got := arr.FailedDrives(); len(got) != 0 {
+					t.Fatalf("failed drives after rebuild = %v, want none", got)
+				}
+				if arr.Stats().HedgedReads == 0 {
+					t.Fatal("torture ran without a single hedged read; injection or policy wiring broken")
+				}
+				verifyHealedDevice(t, arr, model, seed)
+			})
+		}
+	}
+}
+
 // TestWireCorruptionRetries is the end-to-end link-corruption proof: frames
 // corrupted in flight are caught by the transport checksum and dropped at
 // the receiving NIC, the §5.4 timeout/retry machinery resends them, and the

@@ -200,6 +200,109 @@ type Drive interface {
 	Stats() DriveStats
 }
 
+// SlowKind names a grey-failure latency profile: the drive keeps answering
+// correctly, just late.
+type SlowKind int
+
+const (
+	// SlowNone disables injection (the zero value).
+	SlowNone SlowKind = iota
+	// SlowConstant inflates every operation's modeled latency by Factor
+	// from the moment of injection.
+	SlowConstant
+	// SlowFading ramps the inflation factor linearly from 1 up to Factor
+	// over Ramp, then holds — a drive that is wearing out.
+	SlowFading
+	// SlowStall freezes the drive periodically: operations completing
+	// inside the first Stall of every Period are held until the window
+	// ends — firmware garbage collection, internal retries.
+	SlowStall
+)
+
+// SlowProfile describes deterministic per-drive latency inflation. The same
+// profile drives both backends: the simulated SSD scales its modeled service
+// and access latency by FactorAt, while realtime drives (which have no
+// timing model of their own) add (FactorAt-1)×Base of wall-clock delay per
+// operation. StallDelay applies identically on both.
+type SlowProfile struct {
+	Kind SlowKind
+	// Factor is the steady-state latency multiplier (SlowConstant,
+	// SlowFading). Values ≤ 1 mean no inflation.
+	Factor float64
+	// Ramp is the SlowFading ramp length.
+	Ramp sim.Duration
+	// Period and Stall shape SlowStall: every Period, the drive stalls for
+	// the first Stall of the cycle.
+	Period, Stall sim.Duration
+	// Base is the synthetic per-op latency inflated by drives without a
+	// timing model (the realtime backend). Zero means 100µs. The simulated
+	// SSD ignores it — it scales its own modeled latency instead.
+	Base sim.Duration
+	// Jitter, when > 0, multiplies each op's inflation by a uniform draw
+	// from [1-Jitter, 1+Jitter] using the injection seed, so repeated runs
+	// stay reproducible while individual ops vary.
+	Jitter float64
+}
+
+// FactorAt returns the latency multiplier for an operation issued at now
+// under a profile injected at since. rng carries the injection-seeded source
+// for Jitter; it may be nil when Jitter is 0.
+func (p SlowProfile) FactorAt(now, since sim.Time, rng *rand.Rand) float64 {
+	f := 1.0
+	switch p.Kind {
+	case SlowConstant:
+		f = p.Factor
+	case SlowFading:
+		if p.Ramp <= 0 || now-since >= sim.Time(p.Ramp) {
+			f = p.Factor
+		} else {
+			f = 1 + (p.Factor-1)*float64(now-since)/float64(p.Ramp)
+		}
+	}
+	if f < 1 {
+		f = 1
+	}
+	if f > 1 && p.Jitter > 0 && rng != nil {
+		f = 1 + (f-1)*(1+p.Jitter*(2*rng.Float64()-1))
+	}
+	return f
+}
+
+// StallDelay returns the extra completion delay of an operation issued at
+// now under a SlowStall profile injected at since; zero for other kinds.
+func (p SlowProfile) StallDelay(now, since sim.Time) sim.Duration {
+	if p.Kind != SlowStall || p.Period <= 0 || p.Stall <= 0 {
+		return 0
+	}
+	phase := sim.Duration((now - since) % sim.Time(p.Period))
+	if phase < p.Stall {
+		return p.Stall - phase
+	}
+	return 0
+}
+
+// BaseLatency returns the synthetic per-op latency realtime drives inflate.
+func (p SlowProfile) BaseLatency() sim.Duration {
+	if p.Base > 0 {
+		return p.Base
+	}
+	return 100 * sim.Microsecond
+}
+
+// SlowInjector is the optional grey-failure surface of a Drive: backends
+// that cannot model latency inflation (for example the file-backed realtime
+// drive) simply do not implement it, and callers surface ErrUnsupported
+// after a failed type assertion.
+type SlowInjector interface {
+	// SetSlowProfile installs (or, with Kind SlowNone, clears) the drive's
+	// latency-inflation profile. seed feeds the profile's private jitter
+	// source so injection stays reproducible.
+	SetSlowProfile(p SlowProfile, seed int64)
+	// SlowProfileInstalled returns the active profile (Kind SlowNone when
+	// healthy).
+	SlowProfileInstalled() SlowProfile
+}
+
 // MediaInjector is the optional fault-injection surface of a Drive. Backends
 // without media-error hooks (for example the file-backed real-time drive)
 // simply do not implement it; callers detect that with a type assertion and

@@ -219,6 +219,43 @@ func Run(t *testing.T, f Factory) {
 		}
 	})
 
+	t.Run("SlowDriveHedgedRead", func(t *testing.T) {
+		cfg := baseConfig()
+		cfg.Hedge = draid.HedgeConfig{Policy: draid.HedgeFixedDelay, Delay: 10 * time.Millisecond}
+		a := f(t, cfg)
+		defer a.Close()
+		// Four stripes, so member 1 serves data chunks in several of them no
+		// matter where the parity rotation places it.
+		want := pattern(0, 256<<10)
+		if err := a.WriteSync(0, want); err != nil {
+			t.Fatalf("priming write: %v", err)
+		}
+		// Member 1 now stalls for the full 2s of every 2s cycle: any chunk
+		// read it serves lands seconds late. The hedge must solve k-of-n
+		// through parity well inside the context budget instead of waiting
+		// out the straggler.
+		if err := a.Inject().SlowDrive(1, draid.SlowProfile{
+			Kind: draid.SlowStall, Stall: 2 * time.Second, Period: 2 * time.Second,
+		}); err != nil {
+			if errors.Is(err, draid.ErrUnsupported) {
+				t.Skipf("backend does not support slow-drive injection: %v", err)
+			}
+			t.Fatalf("inject slow drive: %v", err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+		defer cancel()
+		got, err := a.ReadContext(ctx, 0, int64(len(want)))
+		if err != nil {
+			t.Fatalf("hedged read under slow drive: %v", err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatal("hedged read: payload mismatch (parity solve wrong)")
+		}
+		if a.Stats().HedgedReads == 0 {
+			t.Fatal("read completed without hedging; expected a hedged parity solve")
+		}
+	})
+
 	t.Run("OutOfRange", func(t *testing.T) {
 		a := f(t, baseConfig())
 		defer a.Close()

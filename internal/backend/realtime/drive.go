@@ -10,6 +10,7 @@ import (
 	"draid/internal/backend"
 	"draid/internal/integrity"
 	"draid/internal/parity"
+	"draid/internal/sim"
 )
 
 // ErrOutOfRange reports access beyond a drive's capacity.
@@ -37,6 +38,14 @@ type MemDrive struct {
 	latentRate float64
 	latentRng  *rand.Rand
 	stats      backend.DriveStats
+
+	// Grey-failure latency profile. MemDrive has no timing model, so
+	// constant/fading profiles inflate SlowProfile.BaseLatency() per op;
+	// stall profiles hold completions until the stall window ends. Delays
+	// are scheduled on the owning loop via rt.After.
+	slow      backend.SlowProfile
+	slowSince sim.Time
+	slowRng   *rand.Rand
 }
 
 // NewMemDrive builds a drive of the given capacity. With storeData false the
@@ -76,6 +85,49 @@ func (d *MemDrive) Failed() bool {
 	return d.failed
 }
 
+// SetSlowProfile implements backend.SlowInjector.
+func (d *MemDrive) SetSlowProfile(p backend.SlowProfile, seed int64) {
+	d.mu.Lock()
+	d.slow = p
+	d.slowSince = d.rt.Now()
+	d.slowRng = rand.New(rand.NewSource(seed))
+	d.mu.Unlock()
+}
+
+// SlowProfileInstalled implements backend.SlowInjector.
+func (d *MemDrive) SlowProfileInstalled() backend.SlowProfile {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.slow
+}
+
+// slowDelay returns the grey-failure completion delay for an op issued now.
+func (d *MemDrive) slowDelay() sim.Duration {
+	d.mu.Lock()
+	p, since, rng := d.slow, d.slowSince, d.slowRng
+	d.mu.Unlock()
+	if p.Kind == backend.SlowNone {
+		return 0
+	}
+	now := d.rt.Now()
+	var extra sim.Duration
+	if f := p.FactorAt(now, since, rng); f > 1 {
+		extra += sim.Duration(float64(p.BaseLatency()) * (f - 1))
+	}
+	extra += p.StallDelay(now, since)
+	return extra
+}
+
+// complete schedules an op completion on the owning loop, delayed when a
+// slow profile is installed.
+func (d *MemDrive) complete(fn func()) {
+	if extra := d.slowDelay(); extra > 0 {
+		d.rt.After(extra, fn)
+		return
+	}
+	d.rt.Defer(fn)
+}
+
 // Read implements backend.Drive. As on the simulated SSD, operations
 // submitted to a failed drive never complete — the caller's op deadline is
 // the detection mechanism.
@@ -87,7 +139,7 @@ func (d *MemDrive) Read(off, n int64, cb func(parity.Buffer, error)) {
 	if d.Failed() {
 		return
 	}
-	d.rt.Defer(func() {
+	d.complete(func() {
 		d.mu.Lock()
 		if d.failed {
 			d.mu.Unlock()
@@ -126,7 +178,7 @@ func (d *MemDrive) Write(off int64, b parity.Buffer, cb func(error)) {
 	if d.pages != nil && !b.Elided() {
 		snapshot = append([]byte(nil), b.Data()...)
 	}
-	d.rt.Defer(func() {
+	d.complete(func() {
 		d.mu.Lock()
 		if d.failed {
 			d.mu.Unlock()
@@ -154,7 +206,7 @@ func (d *MemDrive) Trim(off, n int64, cb func(error)) {
 	if d.Failed() {
 		return
 	}
-	d.rt.Defer(func() {
+	d.complete(func() {
 		d.mu.Lock()
 		if d.failed {
 			d.mu.Unlock()
@@ -469,5 +521,6 @@ func (d *FileDrive) PeekSync(off, n int64) []byte {
 var (
 	_ backend.Drive         = (*MemDrive)(nil)
 	_ backend.MediaInjector = (*MemDrive)(nil)
+	_ backend.SlowInjector  = (*MemDrive)(nil)
 	_ backend.Drive         = (*FileDrive)(nil)
 )

@@ -102,6 +102,9 @@ type Cluster struct {
 	// volume extents are carved off each drive front to back.
 	volumes  []*Volume
 	nextBase int64
+	// qos is the shared per-volume fair scheduler (nil until EnableQoS);
+	// volumes registered afterwards are admitted through it.
+	qos *core.QoS
 
 	// close releases backend resources (real-time loops, listeners, files);
 	// nil on the simulation, which holds nothing to release.
@@ -290,8 +293,27 @@ func (c *Cluster) resolveConfig(cfg core.Config) core.Config {
 	if cfg.Tracer == nil {
 		cfg.Tracer = c.Tracer
 	}
+	if cfg.QoS == nil {
+		cfg.QoS = c.qos
+	}
 	return cfg
 }
+
+// EnableQoS installs a shared weighted-fair I/O arbiter on the cluster:
+// every volume registered afterwards has its user reads and writes admitted
+// through start-time fair queuing over a shared in-flight byte window, so a
+// noisy neighbor cannot bury a victim volume's tail latency in device
+// queues. window <= 0 selects the default (4 MiB). Per-volume weights come
+// from core.Config.QoSWeight. Idempotent; returns the arbiter.
+func (c *Cluster) EnableQoS(window int64) *core.QoS {
+	if c.qos == nil {
+		c.qos = core.NewQoS(c.Rt, window)
+	}
+	return c.qos
+}
+
+// QoS returns the shared arbiter, or nil when EnableQoS was never called.
+func (c *Cluster) QoS() *core.QoS { return c.qos }
 
 // AddVolume registers a virtual array on the cluster: a dRAID host
 // controller over the next free extent of every drive. extent is the

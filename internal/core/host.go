@@ -49,6 +49,22 @@ type Config struct {
 	// Health, when non-nil, receives per-member evidence from the data path
 	// (see HealthSink). Also settable after construction via SetHealth.
 	Health HealthSink
+	// Hedge configures straggler hedging on the read path (see hedge.go).
+	// The zero value (HedgeOff) leaves the read path byte-identical to the
+	// unhedged implementation.
+	Hedge HedgeConfig
+	// QoS, when non-nil, admits this controller's user reads and writes
+	// through a shared weighted-fair arbiter keyed by volume (NSID), so a
+	// noisy neighbor volume cannot monopolize the cluster's in-flight byte
+	// window. Several controllers share one arbiter (cluster wiring).
+	QoS *QoS
+	// QoSWeight is this volume's weight in the shared arbiter (default 1).
+	QoSWeight float64
+	// QoSRate, when positive, caps this volume's admitted throughput with a
+	// token bucket of QoSRate bytes/sec and QoSBurst bytes of burst
+	// (QoSBurst <= 0 selects the arbiter's window size).
+	QoSRate  float64
+	QoSBurst int64
 	// Trace, when non-nil, receives protocol events.
 	Trace func(format string, args ...any)
 	// Tracer, when enabled, records structured stripe-op and per-member RPC
@@ -89,6 +105,11 @@ type Stats struct {
 	MediaErrors     int64
 	RepairedRanges  int64
 	ScrubbedStripes int64
+	// Grey-failure counters: HedgedReads counts stripe groups that issued
+	// a hedge (parity + cover reads); HedgeWins counts hedges that beat
+	// the straggler and settled the extent through the XOR solve.
+	HedgedReads int64
+	HedgeWins   int64
 }
 
 // HostController is the dRAID host: a virtual block device whose I/O is
@@ -127,6 +148,11 @@ type HostController struct {
 	crashed bool
 
 	health HealthSink
+
+	// hedge is the per-member latency model driving hedged reads; nil
+	// whenever Config.Hedge.Policy is HedgeOff, so the default path pays
+	// nothing.
+	hedge *hedger
 
 	// lost tracks virtual byte ranges whose data exceeded the parity budget
 	// (RAID-5 double faults involving media errors): reads overlapping them
@@ -267,6 +293,19 @@ func NewHost(rt backend.Runtime, fab backend.Transport, driveCapacity int64, cfg
 	}
 	for m := range h.memberNode {
 		h.memberNode[m] = NodeID(m)
+	}
+	if cfg.Hedge.Policy != HedgeOff {
+		h.hedge = newHedger(cfg.Hedge, cfg.Geometry.Width)
+	}
+	if cfg.QoS != nil {
+		w := cfg.QoSWeight
+		if w <= 0 {
+			w = 1
+		}
+		cfg.QoS.SetWeight(cfg.Volume, w)
+		if cfg.QoSRate > 0 {
+			cfg.QoS.SetRate(cfg.Volume, cfg.QoSRate, cfg.QoSBurst)
+		}
 	}
 	if t := cfg.Tracer; t.Enabled() && pool != nil {
 		// Volume 0 keeps the historical bare "host" track names so
@@ -687,10 +726,26 @@ func (h *HostController) releaseStripe(stripe int64) {
 // ---------------------------------------------------------------------------
 // Reads.
 
-// Read implements blockdev.Device. Extents on healthy members are plain
+// Read implements blockdev.Device: per-volume QoS admission when a shared
+// arbiter is configured, then the real read.
+func (h *HostController) Read(off, n int64, cb func(parity.Buffer, error)) {
+	if q := h.cfg.QoS; q != nil && !h.crashed {
+		cost := qosCost(n)
+		q.Admit(h.cfg.Volume, cost, func() {
+			h.readIO(off, n, func(b parity.Buffer, err error) {
+				q.Done(h.cfg.Volume, cost)
+				cb(b, err)
+			})
+		})
+		return
+	}
+	h.readIO(off, n, cb)
+}
+
+// readIO is the read path proper. Extents on healthy members are plain
 // NVMe-oF reads; extents on a failed member trigger the §6.1 disaggregated
 // reconstruction, co-designed with the normal reads of the same stripe.
-func (h *HostController) Read(off, n int64, cb func(parity.Buffer, error)) {
+func (h *HostController) readIO(off, n int64, cb func(parity.Buffer, error)) {
 	if h.crashed {
 		return
 	}
@@ -743,6 +798,11 @@ func (h *HostController) Read(off, n int64, cb func(parity.Buffer, error)) {
 		}
 		switch {
 		case len(failedExts) == 0:
+			if h.hedge != nil {
+				pending++
+				h.hedgedReadStripe(stripe, normal, asm, &fail, maybeDone)
+				continue
+			}
 			for _, e := range normal {
 				pending++
 				h.normalReadExtent(e, asm, &fail, maybeDone)

@@ -187,7 +187,19 @@ func (g *gatherState) attempt() {
 			})
 		},
 		func(missing []NodeID) {
-			g.cb(nil, nil, fmt.Errorf("core: stripe %d media gather: %w", g.stripe, blockdev.ErrTimeout))
+			// A reader vanished mid-gather (crashed but not yet detected):
+			// escalate it exactly like the normal read path and re-solve with
+			// it erased — the budget check above decides between remaining
+			// redundancy and a typed loss. Each escalation permanently
+			// shrinks the reader set, so the restarts are bounded by Width.
+			if len(missing) == 0 {
+				g.cb(nil, nil, fmt.Errorf("core: stripe %d media gather: %w", g.stripe, blockdev.ErrTimeout))
+				return
+			}
+			for _, m := range missing {
+				h.failNode(m)
+			}
+			g.attempt()
 		},
 	)
 	op.onPayload = func(from NodeID, _ nvmeof.Command, b parity.Buffer) {

@@ -9,12 +9,28 @@ import (
 	"draid/internal/raid"
 )
 
-// Write implements blockdev.Device. Each affected stripe is admitted through
+// Write implements blockdev.Device: per-volume QoS admission when a shared
+// arbiter is configured, then the real write.
+func (h *HostController) Write(off int64, data parity.Buffer, cb func(error)) {
+	if q := h.cfg.QoS; q != nil && !h.crashed {
+		cost := qosCost(int64(data.Len()))
+		q.Admit(h.cfg.Volume, cost, func() {
+			h.writeIO(off, data, func(err error) {
+				q.Done(h.cfg.Volume, cost)
+				cb(err)
+			})
+		})
+		return
+	}
+	h.writeIO(off, data, cb)
+}
+
+// writeIO is the write path proper. Each affected stripe is admitted through
 // the per-stripe write queue (§3), then executed in the cheapest mode:
 // full-stripe (host-side parity), disaggregated read-modify-write, or
 // disaggregated reconstruct-write (§5). Degraded stripes are handled per the
 // rules documented on stripeWrite.
-func (h *HostController) Write(off int64, data parity.Buffer, cb func(error)) {
+func (h *HostController) writeIO(off int64, data parity.Buffer, cb func(error)) {
 	if h.crashed {
 		return
 	}
@@ -387,7 +403,9 @@ func (h *HostController) rcwWrite(stripe int64, exts []raid.Extent, data parity.
 		watch = append(watch, NodeID(qDest))
 	}
 	if expect == 0 {
-		h.rt.Defer(func() { done(fmt.Errorf("core: stripe %d has no healthy participants: %w", stripe, blockdev.ErrDegraded)) })
+		h.rt.Defer(func() {
+			done(fmt.Errorf("core: stripe %d has no healthy participants: %w", stripe, blockdev.ErrDegraded))
+		})
 		return
 	}
 	op := h.newStripeOp("rcw-write", stripe, expect, watch, func() { done(nil) }, onTimeout)

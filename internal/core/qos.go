@@ -1,0 +1,300 @@
+package core
+
+import (
+	"sort"
+
+	"draid/internal/backend"
+	"draid/internal/sim"
+)
+
+// QoS is a per-volume fair scheduler for the user I/O of one cluster:
+// weighted fair queuing (start-time fair queuing over byte cost, keyed by
+// NSID) on top of a shared in-flight byte window, with optional per-volume
+// token buckets. Bounding the aggregate bytes in flight bounds the queueing
+// every drive and NIC can build up, so a noisy neighbor streaming huge
+// sequential ops cannot bury a victim volume's small reads at the back of
+// the device FIFOs; the weighted virtual-time ordering then splits the
+// window fairly whenever volumes actually contend. The window scheduler is
+// work-conserving: an idle victim cedes its share, and a lone volume gets
+// the whole window. That work conservation has a tail cost — capacity a
+// latency-sensitive tenant is not using right now still goes to the
+// aggressor, which keeps one large op in the device FIFOs at all times — so
+// a volume can additionally be given a token bucket (SetRate): a hard
+// provisioned throughput cap that forces idle gaps into its stream and is
+// the only way to buy back the victim's near-isolated tail.
+//
+// All methods must be called from the owning Runtime's callbacks (the same
+// single-threaded discipline as the host controllers that share it).
+type QoS struct {
+	rt       backend.Runtime
+	window   int64
+	inflight int64
+	queued   int     // total requests waiting across all volumes
+	vt       float64 // virtual time, in byte/weight units
+	vols     map[VolumeID]*qosVol
+	order    []VolumeID // sorted, for deterministic dispatch tie-breaks
+	armed    bool       // a pacing timer is pending
+	stats    QoSStats
+}
+
+// QoSStats counts arbiter decisions.
+type QoSStats struct {
+	Admitted   int64 // ran immediately, window had room
+	Queued     int64 // had to wait for the window or their turn
+	Dispatched int64 // dequeued after a completion freed the window
+}
+
+type qosVol struct {
+	weight     float64
+	lastFinish float64
+	queue      []qosReq
+	// Token bucket (rate == 0 means uncapped). Tokens are bytes, refilled
+	// continuously at rate bytes/sec up to burst, spent when a request
+	// starts; a request needs min(cost, burst) tokens to be eligible.
+	rate   float64
+	burst  int64
+	tokens float64
+	filled sim.Time
+}
+
+type qosReq struct {
+	bytes           int64
+	vstart, vfinish float64
+	run             func()
+}
+
+// NewQoS builds an arbiter over a shared in-flight byte window. window <= 0
+// selects the 4 MiB default.
+func NewQoS(rt backend.Runtime, window int64) *QoS {
+	if window <= 0 {
+		window = 4 << 20
+	}
+	return &QoS{rt: rt, window: window, vols: make(map[VolumeID]*qosVol)}
+}
+
+// Window returns the shared in-flight byte budget.
+func (q *QoS) Window() int64 { return q.window }
+
+// Stats returns a snapshot of arbiter counters.
+func (q *QoS) Stats() QoSStats { return q.stats }
+
+// SetWeight sets a volume's share weight (default 1; larger is more).
+func (q *QoS) SetWeight(vol VolumeID, w float64) {
+	v := q.volState(vol)
+	if w > 0 {
+		v.weight = w
+	}
+}
+
+// SetRate installs a token bucket on a volume: a hard cap of rate bytes/sec
+// with the given burst allowance in bytes (burst <= 0 selects the window
+// size). rate <= 0 removes the cap. The bucket starts full.
+func (q *QoS) SetRate(vol VolumeID, rate float64, burst int64) {
+	v := q.volState(vol)
+	if rate <= 0 {
+		v.rate = 0
+		return
+	}
+	if burst <= 0 {
+		burst = q.window
+	}
+	v.rate = rate
+	v.burst = burst
+	v.tokens = float64(burst)
+	v.filled = q.rt.Now()
+}
+
+// refill accrues a capped volume's tokens up to now.
+func (v *qosVol) refill(now sim.Time) {
+	if v.rate == 0 || now <= v.filled {
+		return
+	}
+	v.tokens += v.rate * float64(now-v.filled) / 1e9
+	if max := float64(v.burst); v.tokens > max {
+		v.tokens = max
+	}
+	v.filled = now
+}
+
+// need is the token balance a request of this cost must reach before it may
+// start; clamped to the burst so an op larger than the bucket still drains
+// through (its overdraft is paid back by later refills).
+func (v *qosVol) need(bytes int64) float64 {
+	if bytes > v.burst {
+		bytes = v.burst
+	}
+	return float64(bytes)
+}
+
+// eligible reports whether a request of this cost may start now under the
+// volume's token bucket (always true when uncapped).
+func (v *qosVol) eligible(now sim.Time, bytes int64) bool {
+	if v.rate == 0 {
+		return true
+	}
+	v.refill(now)
+	return v.tokens >= v.need(bytes)
+}
+
+// spend deducts a starting request's cost from the bucket.
+func (v *qosVol) spend(bytes int64) {
+	if v.rate != 0 {
+		v.tokens -= float64(bytes)
+	}
+}
+
+func (q *QoS) volState(id VolumeID) *qosVol {
+	v, ok := q.vols[id]
+	if !ok {
+		v = &qosVol{weight: 1}
+		q.vols[id] = v
+		q.order = append(q.order, id)
+		sort.Slice(q.order, func(i, j int) bool { return q.order[i] < q.order[j] })
+	}
+	return v
+}
+
+// Admit runs fn now if the window has room and nothing is queued anywhere;
+// otherwise fn is queued and dispatched in weighted virtual-finish order as
+// completions free the window. The no-bypass rule (any queued request, even
+// another volume's, forces newcomers to queue) is what prevents starvation:
+// without it a stream of small ops could slip through the window's headroom
+// forever while a large op waits for room that never accumulates. Every
+// admitted request must eventually call Done with the same byte cost.
+func (q *QoS) Admit(vol VolumeID, bytes int64, fn func()) {
+	v := q.volState(vol)
+	if q.queued == 0 && (q.inflight == 0 || q.inflight+bytes <= q.window) &&
+		v.eligible(q.rt.Now(), bytes) {
+		v.spend(bytes)
+		q.charge(v, bytes)
+		q.stats.Admitted++
+		fn()
+		return
+	}
+	vstart := q.vt
+	if v.lastFinish > vstart {
+		vstart = v.lastFinish
+	}
+	vf := vstart + float64(bytes)/v.weight
+	v.lastFinish = vf
+	v.queue = append(v.queue, qosReq{bytes: bytes, vstart: vstart, vfinish: vf, run: fn})
+	q.queued++
+	q.stats.Queued++
+	// A rate-blocked queue may have nothing in flight to trigger dispatch
+	// from Done, and an eligible newcomer may be the fair next pick even
+	// while others wait on tokens — re-evaluate now.
+	q.dispatch()
+}
+
+// charge accounts an immediately-admitted request against the window and
+// the volume's virtual clock, so later contention remembers who used what.
+func (q *QoS) charge(v *qosVol, bytes int64) {
+	q.inflight += bytes
+	vstart := q.vt
+	if v.lastFinish > vstart {
+		vstart = v.lastFinish
+	}
+	v.lastFinish = vstart + float64(bytes)/v.weight
+	if vstart > q.vt {
+		q.vt = vstart
+	}
+}
+
+// Done releases a completed request's bytes and dispatches queued work.
+func (q *QoS) Done(vol VolumeID, bytes int64) {
+	q.inflight -= bytes
+	if q.inflight < 0 {
+		q.inflight = 0
+	}
+	q.dispatch()
+}
+
+// dispatch drains queued requests in virtual-finish order (ties broken by
+// volume ID — q.order is sorted) while the window has room. When the
+// globally next request does not fit, dispatch stops — later (larger
+// virtual-finish) requests may not overtake it, or it would starve.
+// Rate-blocked heads are the exception: a volume waiting on its own token
+// bucket is not contending for the window, so it is skipped rather than
+// allowed to hold everyone else hostage, and a pacing timer re-runs
+// dispatch when its tokens accrue. Runs are deferred through the runtime
+// so a completion's stack unwinds before the next request issues.
+func (q *QoS) dispatch() {
+	now := q.rt.Now()
+	for {
+		var bv *qosVol
+		rateBlocked := false
+		for _, id := range q.order {
+			v := q.vols[id]
+			if len(v.queue) == 0 {
+				continue
+			}
+			if !v.eligible(now, v.queue[0].bytes) {
+				rateBlocked = true
+				continue
+			}
+			if bv == nil || v.queue[0].vfinish < bv.queue[0].vfinish {
+				bv = v
+			}
+		}
+		if bv == nil {
+			if rateBlocked {
+				q.pace()
+			}
+			return
+		}
+		head := bv.queue[0]
+		if q.inflight > 0 && q.inflight+head.bytes > q.window {
+			return
+		}
+		bv.queue = bv.queue[1:]
+		q.queued--
+		q.inflight += head.bytes
+		bv.spend(head.bytes)
+		if head.vstart > q.vt {
+			q.vt = head.vstart
+		}
+		q.stats.Dispatched++
+		q.rt.Defer(head.run)
+	}
+}
+
+// pace arms a timer for the earliest instant a rate-blocked head becomes
+// eligible, so capped volumes make progress even when no completion is due
+// (a lone capped volume has nothing in flight to trigger dispatch).
+func (q *QoS) pace() {
+	if q.armed {
+		return
+	}
+	wait := sim.Duration(-1)
+	for _, id := range q.order {
+		v := q.vols[id]
+		if len(v.queue) == 0 || v.rate == 0 {
+			continue
+		}
+		deficit := v.need(v.queue[0].bytes) - v.tokens
+		if deficit <= 0 {
+			continue
+		}
+		d := sim.Duration(deficit/v.rate*1e9) + 1
+		if wait < 0 || d < wait {
+			wait = d
+		}
+	}
+	if wait < 0 {
+		return
+	}
+	q.armed = true
+	q.rt.After(wait, func() {
+		q.armed = false
+		q.dispatch()
+	})
+}
+
+// qosCost is the byte cost a request charges against the shared window; a
+// floor keeps metadata-sized ops from being free.
+func qosCost(n int64) int64 {
+	if n < 4096 {
+		return 4096
+	}
+	return n
+}

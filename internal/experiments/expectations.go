@@ -250,5 +250,60 @@ func Expectations() []Expectation {
 		}},
 		{"ablation-hostparity", "peer-to-peer parity is the load-bearing design choice (≥2x host-side)",
 			ratioCheck("dRAID (peer-to-peer parity)", "dRAID (host parity)", "128KB", 2.0, 5.0)},
+		{"greyfail", "adaptive hedging cuts read p99 ≥2x under a 10x-slow member (qd=16)", func(f Figure) error {
+			off, err := series(f, "off")
+			if err != nil {
+				return err
+			}
+			ad, err := series(f, "adaptive-p95")
+			if err != nil {
+				return err
+			}
+			po, err := at(off, "qd=16")
+			if err != nil {
+				return err
+			}
+			pa, err := at(ad, "qd=16")
+			if err != nil {
+				return err
+			}
+			if pa.Lat*2 > po.Lat {
+				return fmt.Errorf("read p99: off %.0fus vs adaptive-p95 %.0fus = %.2fx cut, want ≥ 2x",
+					po.Lat, pa.Lat, po.Lat/pa.Lat)
+			}
+			return nil
+		}},
+		{"multivol-noisy", "per-volume QoS keeps the victim's write p99 within 1.5x of isolated", func(f Figure) error {
+			shared, err := series(f, "victim rnd-wr")
+			if err != nil {
+				return err
+			}
+			qos, err := series(f, "victim (QoS)")
+			if err != nil {
+				return err
+			}
+			iso, err := at(shared, "qd=0")
+			if err != nil {
+				return err
+			}
+			hurt, err := at(shared, "qd=32")
+			if err != nil {
+				return err
+			}
+			kept, err := at(qos, "qd=32")
+			if err != nil {
+				return err
+			}
+			// Extra carries the victim's write p99 in us. The unprotected
+			// series must show real interference, else the claim is vacuous.
+			if hurt.Extra < 3*iso.Extra {
+				return fmt.Errorf("aggressor barely hurts: shared p99 %.0fus vs isolated %.0fus", hurt.Extra, iso.Extra)
+			}
+			if kept.Extra > 1.5*iso.Extra {
+				return fmt.Errorf("QoS victim p99 %.0fus = %.2fx isolated %.0fus, want ≤ 1.5x",
+					kept.Extra, kept.Extra/iso.Extra, iso.Extra)
+			}
+			return nil
+		}},
 	}
 }

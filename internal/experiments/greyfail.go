@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"draid"
+	"draid/internal/fio"
+)
+
+// Greyfail is the grey-failure experiment: one member of an 8-wide RAID-5
+// array is made deterministically slow (10× service-time inflation — it
+// answers correctly, just late) and a full-stripe random-read workload sweeps
+// queue depth under each hedging policy. The figure reports read p99 (Lat)
+// and p999 (Extra) per policy: without hedging every read that touches the
+// grey member waits out its straggler; with hedging the host solves the
+// straggler's chunk through parity from the k completions it already holds.
+// The adaptive series also feeds the failure detector's slow-strike lattice,
+// so the grey member is eventually evicted and reads continue degraded at
+// zero extra cost — the "adaptive/no-evict" series isolates what eviction
+// buys. Notes carry the drive-read amplification each policy paid.
+func Greyfail(o Options) Figure {
+	o = o.withDefaults()
+	qds := []int{8, 16, 32}
+	policies := []greyfailPolicy{
+		{label: "off", policy: draid.HedgeOff},
+		{label: "fixed-delay", policy: draid.HedgeFixedDelay},
+		{label: "adaptive-p95", policy: draid.HedgeAdaptiveP95},
+		{label: "adaptive/no-evict", policy: draid.HedgeAdaptiveP95, noEvict: true},
+		{label: "eager-parity", policy: draid.HedgeEagerParity},
+	}
+	if o.Quick {
+		qds = []int{16}
+		policies = policies[:3]
+	}
+
+	type cell struct {
+		p    Point
+		note string
+	}
+	grid := parMap(o.parallel(), len(policies)*len(qds), func(idx int) cell {
+		pol := policies[idx/len(qds)]
+		qd := qds[idx%len(qds)]
+		r, note := greyfailPoint(o, pol, qd)
+		return cell{
+			p: Point{
+				X: float64(qd), Label: fmt.Sprintf("qd=%d", qd),
+				BW:  r.BandwidthMBps(),
+				Lat: r.ReadLat.P99 / 1e3, Extra: r.ReadLat.P999 / 1e3,
+			},
+			note: note,
+		}
+	})
+
+	fig := Figure{
+		ID:     "greyfail",
+		Title:  "Grey failure: read p99 vs hedging policy (8-wide RAID-5, full-stripe reads, member 2 at 10x latency)",
+		XLabel: "queue depth",
+		Notes: []string{
+			"Lat column is read p99 in us; Extra (per-point) is p999",
+			"slow member injected via SlowProfile{const,10x}; hedge solves k-of-n through parity",
+		},
+	}
+	for pi, pol := range policies {
+		s := Series{System: pol.label}
+		for qi := range qds {
+			c := grid[pi*len(qds)+qi]
+			s.Points = append(s.Points, c.p)
+			if qi == len(qds)-1 {
+				fig.Notes = append(fig.Notes, c.note)
+			}
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig
+}
+
+type greyfailPolicy struct {
+	label   string
+	policy  draid.HedgePolicy
+	noEvict bool
+}
+
+// greyfailPoint measures one (policy, queue depth) cell on a fresh array and
+// returns the fio result plus a note summarizing what the policy cost:
+// drive-read amplification over the user bytes, hedge counts, and whether
+// the detector evicted the grey member.
+func greyfailPoint(o Options, pol greyfailPolicy, qd int) (fio.Result, string) {
+	evictAfter := 0 // default (64)
+	if pol.noEvict {
+		evictAfter = -1
+	}
+	arr, err := draid.New(draid.Config{
+		Drives: 8, ChunkSize: 64 << 10, SizeOnly: true, Seed: o.Seed,
+		Hedge: draid.HedgeConfig{Policy: pol.policy},
+		Health: draid.HealthConfig{
+			// The detector here consumes only slow strikes from the hedger;
+			// park the heartbeat prober far beyond the run so fault evidence
+			// cannot contribute.
+			Detect: true, HeartbeatEvery: time.Hour, EvictAfter: evictAfter,
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	if err := arr.Inject().SlowDrive(2, draid.SlowProfile{Kind: draid.SlowConstant, Factor: 10}); err != nil {
+		panic(err)
+	}
+	geo := arr.Controller().Geometry()
+	r := fio.Run(fio.Job{
+		Name: pol.label, Dev: arr.Controller(), Eng: arr.Cluster().Rt,
+		IOSize: geo.StripeDataSize(), ReadRatio: 1, QueueDepth: qd,
+		Ramp: o.Ramp, Measure: o.Measure, Seed: o.Seed,
+	})
+
+	var driveBytes int64
+	for _, d := range arr.Cluster().Drives {
+		driveBytes += d.Stats().ReadBytes
+	}
+	st := arr.Stats()
+	amp := 0.0
+	if st.UserBytesRead > 0 {
+		amp = 100 * (float64(driveBytes)/float64(st.UserBytesRead) - 1)
+	}
+	evicted := "grey member still in service"
+	if h := arr.MemberHealth(); h[2] == draid.Failed {
+		evicted = "grey member evicted"
+	} else if h[2] == draid.Degraded || h[2] == draid.Suspect {
+		evicted = "grey member " + h[2].String()
+	}
+	note := fmt.Sprintf("%s @qd=%d: %+.1f%% drive-read amplification, %d hedged / %d wins, %s",
+		pol.label, qd, amp, st.HedgedReads, st.HedgeWins, evicted)
+	return r, note
+}
+
+// RealtimeGreyfail is the realtime counterpart: the same grey-failure
+// scenario driven through the realtime backend's memory drives, whose slow
+// profile inflates a synthetic per-op latency instead of a modeled service
+// rate. One point per policy (off vs adaptive-p95) at a fixed queue depth —
+// wall-clock quantiles, so shapes matter, not magnitudes.
+func RealtimeGreyfail(o Options, ro draid.RealtimeOptions) (Figure, error) {
+	o = o.withDefaults()
+	if ro.Dir != "" {
+		return Figure{}, fmt.Errorf("experiments: greyfail needs slow-drive injection, unsupported on file-backed drives: %w", draid.ErrUnsupported)
+	}
+	policies := []draid.HedgeConfig{
+		{Policy: draid.HedgeOff},
+		{Policy: draid.HedgeFixedDelay, Delay: 2 * time.Millisecond},
+		{Policy: draid.HedgeAdaptiveP95},
+	}
+	s := Series{System: "dRAID (realtime)"}
+	for _, hc := range policies {
+		pol := hc.Policy
+		arr, err := draid.New(draid.Config{
+			Backend: draid.BackendRealtime, Realtime: ro,
+			Drives: 8, ChunkSize: 64 << 10, DriveCapacity: 256 << 20,
+			SizeOnly: true, Seed: o.Seed,
+			Hedge: hc,
+		})
+		if err != nil {
+			return Figure{}, err
+		}
+		// The realtime drives' slow profile inflates a synthetic latency, so
+		// the penalty must clear wall-clock scheduling noise: 20x on a 500us
+		// base pins the straggler ~9.5ms late, far above any hedge path.
+		if err := arr.Inject().SlowDrive(2, draid.SlowProfile{
+			Kind: draid.SlowConstant, Factor: 20, Base: 500 * time.Microsecond,
+		}); err != nil {
+			arr.Close()
+			return Figure{}, err
+		}
+		geo := arr.Controller().Geometry()
+		r := fio.Run(fio.Job{
+			Name: pol.String(), Dev: arr.Controller(), Eng: arr.Cluster().Rt,
+			IOSize: geo.StripeDataSize(), ReadRatio: 1, QueueDepth: 16,
+			Ramp: o.Ramp, Measure: o.Measure, Seed: o.Seed,
+		})
+		arr.Close()
+		s.Points = append(s.Points, Point{
+			X: float64(len(s.Points)), Label: pol.String(),
+			BW: r.BandwidthMBps(), Lat: r.ReadLat.P99 / 1e3, Extra: r.ReadLat.P999 / 1e3,
+		})
+	}
+	return Figure{
+		ID:     "greyfail",
+		Title:  "Grey failure: read p99 by hedging policy (8-wide RAID-5, member 2 at 20x, realtime backend)",
+		XLabel: "policy",
+		Series: []Series{s},
+		Notes:  []string{"Lat column is read p99 in us; Extra is p999 (wall clock)"},
+	}, nil
+}

@@ -166,7 +166,7 @@ func (h *Histogram) Reset() {
 type Summary struct {
 	Count          uint64
 	Mean, P50, P95 float64
-	P99, Max       float64
+	P99, P999, Max float64
 }
 
 // Summarize extracts a Summary.
@@ -177,6 +177,7 @@ func (h *Histogram) Summarize() Summary {
 		P50:   float64(h.Quantile(0.50)),
 		P95:   float64(h.Quantile(0.95)),
 		P99:   float64(h.Quantile(0.99)),
+		P999:  float64(h.Quantile(0.999)),
 		Max:   float64(h.Max()),
 	}
 }
@@ -184,8 +185,8 @@ func (h *Histogram) Summarize() Summary {
 // String renders the summary with microsecond units (samples are assumed to
 // be nanoseconds, as everywhere in this repository).
 func (s Summary) String() string {
-	return fmt.Sprintf("n=%d mean=%.1fus p50=%.1fus p95=%.1fus p99=%.1fus max=%.1fus",
-		s.Count, s.Mean/1e3, s.P50/1e3, s.P95/1e3, s.P99/1e3, s.Max/1e3)
+	return fmt.Sprintf("n=%d mean=%.1fus p50=%.1fus p95=%.1fus p99=%.1fus p999=%.1fus max=%.1fus",
+		s.Count, s.Mean/1e3, s.P50/1e3, s.P95/1e3, s.P99/1e3, s.P999/1e3, s.Max/1e3)
 }
 
 // Welford accumulates streaming mean/variance for scalar series (used for

@@ -167,6 +167,73 @@ func TestWelford(t *testing.T) {
 	}
 }
 
+// TestQuantilesBimodal pins the summary quantiles on a grey-failure-shaped
+// distribution: 97% of samples at a fast mode, 3% stuck at a 100× slow mode
+// (a straggling drive). p50/p95 must sit on the fast mode, p99/p999 on the
+// slow one, and the summary must carry them in order.
+func TestQuantilesBimodal(t *testing.T) {
+	h := New()
+	const fast, slow = 100_000, 10_000_000 // 100µs vs 10ms
+	for i := 0; i < 10000; i++ {
+		if i%100 < 97 {
+			h.Record(fast)
+		} else {
+			h.Record(slow)
+		}
+	}
+	s := h.Summarize()
+	within := func(got float64, want int64) bool {
+		return math.Abs(got-float64(want))/float64(want) < 0.02
+	}
+	if !within(s.P50, fast) || !within(s.P95, fast) {
+		t.Fatalf("p50=%.0f p95=%.0f, want both ~%d", s.P50, s.P95, int64(fast))
+	}
+	if !within(s.P99, slow) || !within(s.P999, slow) {
+		t.Fatalf("p99=%.0f p999=%.0f, want both ~%d", s.P99, s.P999, int64(slow))
+	}
+	if !(s.P50 <= s.P95 && s.P95 <= s.P99 && s.P99 <= s.P999 && s.P999 <= float64(s.Max)) {
+		t.Fatalf("quantiles out of order: %+v", s)
+	}
+}
+
+// TestQuantilesHeavyTail checks p999 on a Pareto-like tail where the extreme
+// quantiles are far above p99 — exactly the regime the hedging figures
+// report — against the exact order statistics.
+func TestQuantilesHeavyTail(t *testing.T) {
+	h := New()
+	rng := rand.New(rand.NewSource(7))
+	samples := make([]int64, 0, 200000)
+	for i := 0; i < 200000; i++ {
+		// Pareto(alpha=1.5) scaled to ~50µs minimum.
+		v := int64(50_000 * math.Pow(1-rng.Float64(), -1/1.5))
+		h.Record(v)
+		samples = append(samples, v)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	exact := func(q float64) int64 {
+		return samples[int(q*float64(len(samples)-1))]
+	}
+	s := h.Summarize()
+	for _, c := range []struct {
+		name string
+		got  float64
+		want int64
+	}{
+		{"p50", s.P50, exact(0.50)},
+		{"p95", s.P95, exact(0.95)},
+		{"p99", s.P99, exact(0.99)},
+		{"p999", s.P999, exact(0.999)},
+	} {
+		rel := math.Abs(c.got-float64(c.want)) / float64(c.want)
+		if rel > 0.05 {
+			t.Errorf("%s: got %.0f want %d (rel err %.3f)", c.name, c.got, c.want, rel)
+		}
+	}
+	if s.P999 < 2*s.P99 {
+		t.Fatalf("tail not heavy enough to exercise p999: p99=%.0f p999=%.0f", s.P99, s.P999)
+	}
+}
+
 func TestSummaryString(t *testing.T) {
 	h := New()
 	h.Record(1500)

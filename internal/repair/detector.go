@@ -19,10 +19,14 @@ import (
 // MemberState is a member's position in the detection state machine.
 type MemberState int
 
-// Detection states. Suspect members are still served I/O (with §5.4
-// retries); Failed members are handed to the rebuild manager.
+// Detection states form the health lattice healthy → degraded → suspect →
+// failed. Degraded members answer correctly but slowly (grey failure:
+// repeated hedge losses); they are still served I/O and are one fault away
+// from Suspect. Suspect members are still served I/O (with §5.4 retries);
+// Failed members are handed to the rebuild manager.
 const (
 	Healthy MemberState = iota
+	Degraded
 	Suspect
 	Failed
 )
@@ -32,6 +36,8 @@ func (s MemberState) String() string {
 	switch s {
 	case Healthy:
 		return "healthy"
+	case Degraded:
+		return "degraded"
 	case Suspect:
 		return "suspect"
 	case Failed:
@@ -58,6 +64,15 @@ type DetectorConfig struct {
 	// counts toward escalation. Default 4×HeartbeatEvery (or 40ms when
 	// probing is disabled).
 	Grace sim.Duration
+	// DegradeAfter is how many slow strikes (hedge losses reported via
+	// ObserveSlow) mark a healthy member degraded. Default 8.
+	DegradeAfter int
+	// EvictAfter is how many slow strikes evict a persistently slow member
+	// (healthy → degraded → suspect at EvictAfter/2 → failed at EvictAfter).
+	// Default 64; negative disables slow-strike eviction entirely (members
+	// can still reach Degraded/Suspect via DegradeAfter, but never Failed
+	// on slowness alone).
+	EvictAfter int
 }
 
 func (c DetectorConfig) withDefaults() DetectorConfig {
@@ -74,13 +89,21 @@ func (c DetectorConfig) withDefaults() DetectorConfig {
 			c.Grace = 40 * sim.Millisecond
 		}
 	}
+	if c.DegradeAfter <= 0 {
+		c.DegradeAfter = 8
+	}
+	if c.EvictAfter == 0 {
+		c.EvictAfter = 64
+	}
 	return c
 }
 
 type memberHealth struct {
-	state     MemberState
-	strikes   int
-	lastFault sim.Time
+	state       MemberState
+	strikes     int
+	lastFault   sim.Time
+	slowStrikes int
+	lastSlow    sim.Time
 }
 
 // Detector escalates per-member evidence through healthy → suspect → failed.
@@ -98,6 +121,7 @@ type Detector struct {
 	track   trace.Track
 	tracer  *trace.Collector
 	// Transition counters, exposed for tests and the demo.
+	DegradeTransitions int64
 	SuspectTransitions int64
 	FailTransitions    int64
 }
@@ -196,23 +220,76 @@ func (d *Detector) ObserveFault(member int, confirmed bool) {
 		d.escalate(member, Failed)
 		return
 	}
-	if mh.state == Healthy {
+	if mh.state < Suspect {
 		d.escalate(member, Suspect)
 	}
 }
 
-// ObserveOK implements core.HealthSink: successful completions repair
-// suspicion one strike at a time.
-func (d *Detector) ObserveOK(member int) {
+// ObserveSlow implements core.SlowSink: one strike of grey-failure evidence —
+// the member completed successfully, but so slowly that a hedged parity solve
+// beat it. Slow strikes decay only after a quiet Grace window, never on fast
+// completions (grey drives still complete; an OK proves nothing about
+// latency). Enough strikes walk the member down the lattice healthy →
+// degraded → suspect → failed, so a persistently fading drive is eventually
+// evicted and rebuilt instead of dragging every stripe it serves.
+func (d *Detector) ObserveSlow(member int) {
 	mh := &d.members[member]
-	if mh.state != Suspect {
+	if mh.state == Failed {
 		return
 	}
-	if mh.strikes > 0 {
-		mh.strikes--
+	now := d.eng.Now()
+	if mh.slowStrikes > 0 && now-mh.lastSlow > sim.Time(d.cfg.Grace) {
+		mh.slowStrikes = 0 // stale sluggishness: a transient brown-out long past
 	}
-	if mh.strikes == 0 {
-		d.escalate(member, Healthy)
+	mh.lastSlow = now
+	mh.slowStrikes++
+	if d.cfg.EvictAfter > 0 && mh.slowStrikes >= d.cfg.EvictAfter {
+		d.escalate(member, Failed)
+		return
+	}
+	if t := d.slowTier(mh); t > mh.state {
+		d.escalate(member, t)
+	}
+}
+
+// slowTier maps a member's accumulated slow strikes to the minimum lattice
+// state they pin it at.
+func (d *Detector) slowTier(mh *memberHealth) MemberState {
+	if d.cfg.EvictAfter > 0 && mh.slowStrikes >= d.cfg.EvictAfter/2 {
+		return Suspect
+	}
+	if mh.slowStrikes >= d.cfg.DegradeAfter {
+		return Degraded
+	}
+	return Healthy
+}
+
+// ObserveOK implements core.HealthSink: successful completions repair fault
+// suspicion one strike at a time. Slow strikes are deliberately untouched —
+// a grey drive's completions are all "successful" — so a slow-suspect member
+// is not instantly re-promoted; it de-escalates only as far as its slow tier
+// allows, and Degraded itself clears only after a quiet Grace window with no
+// new slow evidence.
+func (d *Detector) ObserveOK(member int) {
+	mh := &d.members[member]
+	now := d.eng.Now()
+	if mh.slowStrikes > 0 && now-mh.lastSlow > sim.Time(d.cfg.Grace) {
+		mh.slowStrikes = 0
+	}
+	switch mh.state {
+	case Suspect:
+		if mh.strikes > 0 {
+			mh.strikes--
+		}
+		if mh.strikes == 0 {
+			if t := d.slowTier(mh); t < Suspect {
+				d.escalate(member, t)
+			}
+		}
+	case Degraded:
+		if mh.strikes == 0 && d.slowTier(mh) == Healthy {
+			d.escalate(member, Healthy)
+		}
 	}
 }
 
@@ -240,6 +317,8 @@ func (d *Detector) escalate(member int, to MemberState) {
 			trace.I64("member", int64(member)))
 	}
 	switch to {
+	case Degraded:
+		d.DegradeTransitions++
 	case Suspect:
 		d.SuspectTransitions++
 	case Failed:

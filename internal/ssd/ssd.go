@@ -90,6 +90,15 @@ type Drive struct {
 	// perturb the engine RNG stream shared by everything else.
 	latentRate float64
 	latentRng  *rand.Rand
+
+	// slow is the grey-failure latency profile (SlowNone when healthy):
+	// constant/fading profiles scale the drive's service and access latency
+	// — slowness serializes inside the device, so queue depth compounds it
+	// — while stall profiles delay completions without consuming bandwidth.
+	// The jitter draw uses its own seeded source, like latentRng.
+	slow      backend.SlowProfile
+	slowSince sim.Time
+	slowRng   *rand.Rand
 }
 
 // SetTracer enables per-operation service spans on the given track and a
@@ -173,6 +182,33 @@ func (d *Drive) SetLatentErrorRate(rate float64, seed int64) {
 	d.latentRng = rand.New(rand.NewSource(seed))
 }
 
+// SetSlowProfile installs (or, with Kind SlowNone, clears) a grey-failure
+// latency profile. seed feeds the profile's private jitter source.
+func (d *Drive) SetSlowProfile(p backend.SlowProfile, seed int64) {
+	d.slow = p
+	d.slowSince = d.eng.Now()
+	d.slowRng = rand.New(rand.NewSource(seed))
+}
+
+// SlowProfileInstalled returns the active slow profile.
+func (d *Drive) SlowProfileInstalled() backend.SlowProfile { return d.slow }
+
+// slowFactor returns the current latency multiplier (1 when healthy).
+func (d *Drive) slowFactor() float64 {
+	if d.slow.Kind == backend.SlowNone {
+		return 1
+	}
+	return d.slow.FactorAt(d.eng.Now(), d.slowSince, d.slowRng)
+}
+
+// slowStall returns the extra completion delay of an op issued now.
+func (d *Drive) slowStall() sim.Duration {
+	if d.slow.Kind != backend.SlowStall {
+		return 0
+	}
+	return d.slow.StallDelay(d.eng.Now(), d.slowSince)
+}
+
 const latentSector = 4096 // granularity of a spontaneously developed URE
 
 // maybeDevelopLatent rolls the latent-error dice for a read of [off, off+n).
@@ -214,9 +250,19 @@ func (d *Drive) Read(off, n int64, cb func(parity.Buffer, error)) {
 	if d.failed {
 		return
 	}
-	start, done := d.reserve(n, d.spec.ReadBps)
+	rate, lat := d.spec.ReadBps, d.spec.ReadLatency
+	if d.slow.Kind != backend.SlowNone {
+		if f := d.slowFactor(); f > 1 {
+			rate = int64(float64(rate) / f)
+			lat = sim.Duration(float64(lat) * f)
+		}
+	}
+	start, done := d.reserve(n, rate)
 	d.inflight++
-	end := done + sim.Time(d.spec.ReadLatency)
+	end := done + sim.Time(lat)
+	if s := d.slowStall(); s > 0 {
+		end += sim.Time(s)
+	}
 	d.eng.At(end, func() {
 		d.inflight--
 		if d.failed {
@@ -256,9 +302,19 @@ func (d *Drive) Write(off int64, b parity.Buffer, cb func(error)) {
 	if d.pages != nil && !b.Elided() {
 		snapshot = append([]byte(nil), b.Data()...)
 	}
-	start, done := d.reserve(n, d.spec.WriteBps)
+	rate, lat := d.spec.WriteBps, d.spec.WriteLatency
+	if d.slow.Kind != backend.SlowNone {
+		if f := d.slowFactor(); f > 1 {
+			rate = int64(float64(rate) / f)
+			lat = sim.Duration(float64(lat) * f)
+		}
+	}
+	start, done := d.reserve(n, rate)
 	d.inflight++
-	end := done + sim.Time(d.spec.WriteLatency)
+	end := done + sim.Time(lat)
+	if s := d.slowStall(); s > 0 {
+		end += sim.Time(s)
+	}
 	d.eng.At(end, func() {
 		d.inflight--
 		if d.failed {
@@ -384,4 +440,5 @@ func (d *Drive) PeekSync(off, n int64) []byte {
 var (
 	_ backend.Drive         = (*Drive)(nil)
 	_ backend.MediaInjector = (*Drive)(nil)
+	_ backend.SlowInjector  = (*Drive)(nil)
 )

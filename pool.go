@@ -47,6 +47,13 @@ type PoolConfig struct {
 	// bytes: concurrent rebuilds across volumes split this rate instead of
 	// each claiming it in full. 0 means unthrottled.
 	RebuildRateMBps float64
+	// QoSWindowBytes enables the shared per-volume fair scheduler: user I/O
+	// from every volume is admitted through weighted fair queuing over this
+	// many in-flight bytes, bounding how deeply a noisy neighbor can bury a
+	// victim's requests in device queues. 0 disables QoS (the default);
+	// negative selects the 4 MiB default window. Per-volume weights come
+	// from VolumeConfig.QoSWeight.
+	QoSWindowBytes int64
 }
 
 // Pool is a shared cluster plus the arbitration state volumes contend on
@@ -96,6 +103,13 @@ func NewPool(cfg PoolConfig) (*Pool, error) {
 	if cfg.RebuildRateMBps > 0 {
 		p.limiter = repair.NewRateLimiter(p.cl.Rt, cfg.RebuildRateMBps)
 	}
+	if cfg.QoSWindowBytes != 0 {
+		window := cfg.QoSWindowBytes
+		if window < 0 {
+			window = 0 // core.NewQoS defaults it
+		}
+		p.cl.EnableQoS(window)
+	}
 	return p, nil
 }
 
@@ -115,6 +129,12 @@ type VolumeConfig struct {
 	Extent int64
 	// ReducerPolicy selects degraded-read reducer placement.
 	ReducerPolicy ReducerPolicy
+	// Hedge tunes hedged reads against slow members (see HedgeConfig).
+	Hedge HedgeConfig
+	// QoSWeight is this volume's share weight under the pool's QoS
+	// scheduler (default 1; larger is more; ignored without
+	// PoolConfig.QoSWindowBytes).
+	QoSWeight float64
 	// Health configures automatic failure detection for this volume.
 	Health HealthConfig
 	// MaxRetries / RetryBackoff / OpDeadline as in Config.
@@ -148,6 +168,8 @@ func (p *Pool) OpenVolume(cfg VolumeConfig) (*Array, error) {
 		MaxRetries:   cfg.MaxRetries,
 		RetryBackoff: sim.Duration(cfg.RetryBackoff),
 		Deadline:     sim.Duration(cfg.OpDeadline),
+		Hedge:        cfg.Hedge.toCore(),
+		QoSWeight:    cfg.QoSWeight,
 	}
 	switch cfg.ReducerPolicy {
 	case ReducerRandom:
@@ -172,6 +194,8 @@ func (p *Pool) OpenVolume(cfg VolumeConfig) (*Array, error) {
 			FailAfter:        cfg.Health.FailAfter,
 			HeartbeatTimeout: sim.Duration(cfg.Health.HeartbeatTimeout),
 			Grace:            sim.Duration(cfg.Health.Grace),
+			DegradeAfter:     cfg.Health.DegradeAfter,
+			EvictAfter:       cfg.Health.EvictAfter,
 		}
 		if cfg.Health.Detect {
 			det.HeartbeatEvery = sim.Duration(cfg.Health.HeartbeatEvery)

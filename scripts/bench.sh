@@ -26,3 +26,8 @@ go test -run '^$' -bench . -benchmem -count "$COUNT" ./internal/parity | tee -a 
 
 # Harness: full figure batch, serial vs parallel workers.
 go test -run '^$' -bench 'FigAllQuick' -benchmem -count "$COUNT" . | tee -a "$OUT"
+
+# Grey-failure sweep: read p99/p999 per hedging policy under a 10x-slow
+# member, sim + realtime. Curated numbers live in BENCH_greyfail.json.
+go run ./cmd/draid-bench -fig greyfail -parallel 4 | tee -a "$OUT"
+go run ./cmd/draid-bench -backend realtime -fig greyfail | tee -a "$OUT"
