@@ -25,10 +25,12 @@ trace:
 
 # Adversarial fault-injection suites under the race detector: random
 # concurrent I/O with mid-run crashes, automatic detection + hot-spare
-# rebuild, host failover, and the data-integrity tortures (scrub under
-# foreground writes, rebuild through UREs, latent-error development) —
-# each across ≥2 seeds (seeds are baked into the test tables). Slower
-# than `race`; run via FULL=1 scripts/verify.sh.
+# rebuild, host failover, the data-integrity tortures (scrub under
+# foreground writes, rebuild through UREs, latent-error development), and
+# the write-back staging tortures (controller crash mid-destage, intent-log
+# adoption, destage racing rebuild) — each across ≥2 seeds (seeds are baked
+# into the test tables). Slower than `race`; run via FULL=1
+# scripts/verify.sh.
 torture:
 	$(GO) test -race -run 'TestTorture' ./internal/core -count=1
-	$(GO) test -race -run 'TestAutoRecovery|TestFailoverHost|TestRecoveryTraceDeterminism|TestIntegrityTorture' . -count=1
+	$(GO) test -race -run 'TestAutoRecovery|TestFailoverHost|TestRecoveryTraceDeterminism|TestIntegrityTorture|TestWritebackTorture' . -count=1

@@ -46,6 +46,9 @@ func main() {
 		hedge   = flag.String("hedge", "off", "read hedging policy: off | fixed-delay | adaptive-p95 | eager-parity (dRAID only)")
 		hdDelay = flag.Duration("hedge-delay", 0, "fixed-delay hedge trigger (0 = 500µs default)")
 		slow    = flag.String("slow", "", "grey-drive injection, comma-separated member=profile entries (profiles: const:F, fade:F:RAMP, stall:STALL/PERIOD; e.g. 2=const:10,4=stall:2ms/10ms)")
+		wb      = flag.Bool("writeback", false, "host-side write-back staging: small writes ack from host memory and destage as full stripes (dRAID only)")
+		stageMB = flag.Int("stage-mb", 0, "staging buffer size in MiB (0 = 16 MiB default; requires -writeback)")
+		cacheMB = flag.Int("cache-mb", 0, "host clean-read cache size in MiB (0 = none; requires -writeback)")
 	)
 	flag.Parse()
 
@@ -112,9 +115,13 @@ func main() {
 			slows = append(slows, slowEntry{m, p})
 		}
 	}
-	greyPath := hedgePolicy != draid.HedgeOff || len(slows) > 0
+	if !*wb && (*stageMB != 0 || *cacheMB != 0) {
+		fmt.Fprintf(os.Stderr, "draid-fio: -stage-mb/-cache-mb require -writeback\n")
+		os.Exit(2)
+	}
+	greyPath := hedgePolicy != draid.HedgeOff || len(slows) > 0 || *wb
 	if greyPath && sys != experiments.DRAID {
-		fmt.Fprintf(os.Stderr, "draid-fio: -hedge/-slow run the dRAID protocol only (got -system %s)\n", *system)
+		fmt.Fprintf(os.Stderr, "draid-fio: -hedge/-slow/-writeback run the dRAID protocol only (got -system %s)\n", *system)
 		os.Exit(2)
 	}
 
@@ -136,6 +143,9 @@ func main() {
 			SizeOnly:      *rtDir == "", // file media need real bytes
 			Seed:          *seed,
 			Hedge:         hedgeCfg,
+			WriteBack:     *wb,
+			StageMB:       *stageMB,
+			CacheMB:       *cacheMB,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "draid-fio: %v\n", err)
@@ -166,6 +176,9 @@ func main() {
 			SizeOnly:  true,
 			Seed:      *seed,
 			Hedge:     hedgeCfg,
+			WriteBack: *wb,
+			StageMB:   *stageMB,
+			CacheMB:   *cacheMB,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "draid-fio: %v\n", err)
@@ -209,5 +222,10 @@ func main() {
 		st := arr.Stats()
 		fmt.Printf("hedging (%s): %d hedged reads, %d hedge wins\n",
 			hedgePolicy, st.HedgedReads, st.HedgeWins)
+	}
+	if arr != nil && *wb {
+		st := arr.Stats()
+		fmt.Printf("writeback: %d staged writes, %d full-stripe destages, %d RCW destages, %d cache hits\n",
+			st.StagedWrites, st.DestageFullStripe, st.DestageRCW, st.CacheHits)
 	}
 }

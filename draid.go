@@ -474,6 +474,25 @@ type Config struct {
 	// stripe data (all chunks), so scrubbing trickles along under foreground
 	// I/O. 0 means unthrottled.
 	ScrubRateMBps float64
+	// WriteBack enables host-side write-back staging: sub-stripe writes land
+	// in a bounded, intent-logged staging buffer, are acknowledged
+	// immediately, coalesced by stripe, and destaged as full-stripe writes —
+	// cutting small-write drive-byte amplification from ~2x toward
+	// (k+parity)/k and closing the write hole by construction for staged
+	// writes. Off (the default) leaves the write path byte-identical.
+	// Acknowledged staged writes survive FailoverHost via intent-log replay.
+	WriteBack bool
+	// StageMB bounds the staging buffer in MiB (default 16). Requires
+	// WriteBack.
+	StageMB int
+	// CacheMB sizes the host's clean-read cache in MiB (default 0: no clean
+	// cache; reads of staged-but-not-destaged data still hit host memory).
+	// Requires WriteBack.
+	CacheMB int
+	// DestageIntervalMs is the idle-destage tick in milliseconds (default
+	// 2): staged stripes with no new writes for a full tick are flushed.
+	// Requires WriteBack.
+	DestageIntervalMs int
 	// MaxRetries bounds §5.4 per-op retries before an I/O fails with
 	// ErrTimeout (default 1). RetryBackoff spaces successive attempts
 	// (default 0: immediate).
@@ -563,6 +582,14 @@ func (cfg Config) validate() error {
 	default:
 		return fmt.Errorf("draid: unknown hedge policy %v", cfg.Hedge.Policy)
 	}
+	if !cfg.WriteBack {
+		if cfg.StageMB != 0 || cfg.CacheMB != 0 || cfg.DestageIntervalMs != 0 {
+			return fmt.Errorf("draid: StageMB/CacheMB/DestageIntervalMs require WriteBack")
+		}
+	}
+	if cfg.StageMB < 0 || cfg.CacheMB < 0 || cfg.DestageIntervalMs < 0 {
+		return fmt.Errorf("draid: negative write-back sizing")
+	}
 	switch cfg.Backend {
 	case BackendSim:
 	case BackendRealtime:
@@ -626,6 +653,7 @@ func New(cfg Config) (*Array, error) {
 		Deadline:     sim.Duration(cfg.OpDeadline),
 		Hedge:        cfg.Hedge.toCore(),
 	}
+	cfg.applyWriteBack(&hostCfg)
 	switch cfg.ReducerPolicy {
 	case ReducerRandom:
 	case ReducerFixed:
@@ -677,6 +705,7 @@ func newRealtime(cfg Config) (*Array, error) {
 		Deadline:     sim.Duration(cfg.OpDeadline),
 		Hedge:        cfg.Hedge.toCore(),
 	}
+	cfg.applyWriteBack(&hostCfg)
 	if cfg.ReducerPolicy == ReducerFixed {
 		hostCfg.Selector = recon.FixedSelector{}
 	}
@@ -685,6 +714,17 @@ func newRealtime(cfg Config) (*Array, error) {
 		hostCfg: hostCfg, scrubRate: cfg.ScrubRateMBps, seed: cfg.Seed, realtime: true}
 	arr.attachSupervisor(cfg)
 	return arr, nil
+}
+
+// applyWriteBack translates the public write-back knobs onto a host config.
+func (cfg Config) applyWriteBack(hc *core.Config) {
+	if !cfg.WriteBack {
+		return
+	}
+	hc.WriteBack = true
+	hc.StageBytes = int64(cfg.StageMB) << 20
+	hc.CacheBytes = int64(cfg.CacheMB) << 20
+	hc.DestageInterval = sim.Duration(cfg.DestageIntervalMs) * sim.Millisecond
 }
 
 // attachSupervisor builds the fault-supervision stack when the config asks
@@ -974,23 +1014,33 @@ func (a *Array) RebuildDrive(i int, stripes int64) error {
 	}
 	// The replacement drive accepts writes while reads still avoid it.
 	a.cl.RecoverTarget(i)
+	// Rebuild in place through the frontier machinery: each stripe is
+	// reconstructed and written under its stripe write lock, and foreground
+	// I/O (including write-back destages) below the advancing frontier treats
+	// the member as healthy again. Without the lock and frontier, a destage
+	// racing the rebuild could encode staged data into parity of an
+	// already-rebuilt stripe and strand it behind the stale replacement image.
+	var dupErr error
+	a.call(func() {
+		if _, _, ok := a.host.Rebuilding(i); ok {
+			dupErr = fmt.Errorf("draid: member %d already rebuilding", i)
+			return
+		}
+		a.host.StartRebuild(i, a.host.MemberNode(i))
+	})
+	if dupErr != nil {
+		return dupErr
+	}
 	var rebuildErr error
 	for s := int64(0); s < stripes; s++ {
 		s := s
 		done := false
 		a.call(func() {
-			a.host.ReconstructStripeChunk(s, i, func(b parity.Buffer, err error) {
+			a.host.RebuildStripe(s, i, func(err error) {
 				if err != nil {
 					rebuildErr = fmt.Errorf("draid: rebuilding stripe %d: %w", s, err)
-					done = true
-					return
 				}
-				a.host.WriteMemberChunk(s, i, b, func(err error) {
-					if err != nil {
-						rebuildErr = fmt.Errorf("draid: writing rebuilt stripe %d: %w", s, err)
-					}
-					done = true
-				})
+				done = true
 			})
 		})
 		a.cl.Rt.Run()
@@ -998,10 +1048,11 @@ func (a *Array) RebuildDrive(i int, stripes int64) error {
 			if rebuildErr == nil {
 				rebuildErr = fmt.Errorf("draid: rebuild of stripe %d stalled", s)
 			}
+			a.call(func() { a.host.AbortRebuild(i) })
 			return rebuildErr
 		}
 	}
-	a.call(func() { a.host.SetFailed(i, false) })
+	a.call(func() { a.host.FinishRebuild(i) })
 	return nil
 }
 
@@ -1320,6 +1371,22 @@ func (a *Array) VolumeID() int {
 	return 0
 }
 
+// Flush destages every staged write to the drives and advances time until
+// the stage has drained, reporting the first destage failure (failed stripes
+// stay staged for retry). Without Config.WriteBack it completes immediately.
+func (a *Array) Flush() error {
+	var ferr error
+	done := false
+	a.call(func() {
+		a.host.FlushStage(func(err error) { ferr, done = err, true })
+	})
+	a.cl.Rt.Run()
+	if !done {
+		return fmt.Errorf("draid: flush stalled")
+	}
+	return ferr
+}
+
 // Cluster exposes the underlying testbed for advanced scenarios (fault
 // injection, per-NIC inspection).
 func (a *Array) Cluster() *cluster.Cluster { return a.cl }
@@ -1348,6 +1415,13 @@ type BenchmarkResult struct {
 	P50Latency    time.Duration
 	P99Latency    time.Duration
 	P999Latency   time.Duration
+	// Write-mix ratios over the run (ramp included): the fraction of
+	// per-stripe write executions that ran as full-stripe, read-modify-write,
+	// and reconstruct-write. They sum to 1 when any such write ran (fallback
+	// and plain degraded writes are outside all three buckets).
+	FullStripeFrac float64
+	RMWFrac        float64
+	RCWFrac        float64
 }
 
 // Benchmark runs an FIO-style random workload against the array.
@@ -1364,19 +1438,21 @@ func (a *Array) Benchmark(spec BenchmarkSpec) BenchmarkResult {
 	if spec.Measure == 0 {
 		spec.Measure = 100 * time.Millisecond
 	}
+	before := a.Stats()
 	r := fio.Run(fio.Job{
 		Name: "draid", Dev: a.dev, Eng: a.cl.Rt,
 		IOSize: spec.IOSizeBytes, ReadRatio: spec.ReadRatio,
 		QueueDepth: spec.QueueDepth,
 		Ramp:       sim.Duration(spec.Ramp), Measure: sim.Duration(spec.Measure),
 	})
+	after := a.Stats()
 	worse := func(rd, wr float64) time.Duration {
 		if wr > rd {
 			return time.Duration(wr)
 		}
 		return time.Duration(rd)
 	}
-	return BenchmarkResult{
+	res := BenchmarkResult{
 		BandwidthMBps: r.BandwidthMBps(),
 		IOPS:          r.IOPS(),
 		AvgLatency:    time.Duration(r.AvgLatency() * 1e3),
@@ -1384,6 +1460,15 @@ func (a *Array) Benchmark(spec BenchmarkSpec) BenchmarkResult {
 		P99Latency:    worse(r.ReadLat.P99, r.WriteLat.P99),
 		P999Latency:   worse(r.ReadLat.P999, r.WriteLat.P999),
 	}
+	full := float64(after.FullStripeWrites - before.FullStripeWrites)
+	rmw := float64(after.RMWWrites - before.RMWWrites)
+	rcw := float64(after.RCWWrites - before.RCWWrites)
+	if total := full + rmw + rcw; total > 0 {
+		res.FullStripeFrac = full / total
+		res.RMWFrac = rmw / total
+		res.RCWFrac = rcw / total
+	}
+	return res
 }
 
 // targetNICs returns each target's first NIC, in member order.

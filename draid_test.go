@@ -155,6 +155,40 @@ func TestBenchmarkRuns(t *testing.T) {
 	}
 }
 
+func TestWriteMixAccountsEveryWrite(t *testing.T) {
+	// Every per-stripe write execution lands in exactly one mix bucket:
+	// with each user write contained in a single healthy stripe (and no
+	// staging coalescing them), full + RMW + RCW must equal the user write
+	// count exactly.
+	arr := smallArray(t, draid.Config{Seed: 11})
+	cs := int64(64 << 10)
+	sds := 4 * cs // 5 drives, RAID-5: 4 data chunks per stripe
+	writes := 0
+	put := func(off, n int64) {
+		if err := arr.WriteSync(off, randBytes(off+n, int(n))); err != nil {
+			t.Fatal(err)
+		}
+		writes++
+	}
+	for s := int64(0); s < 8; s++ {
+		put(s*sds, sds)        // full stripe
+		put(s*sds+4096, 8<<10) // sub-chunk partial → RMW
+		put(s*sds+cs, 3*cs)    // most-of-stripe partial → RCW
+	}
+	st := arr.Stats()
+	if st.Writes != int64(writes) {
+		t.Fatalf("Writes = %d, issued %d", st.Writes, writes)
+	}
+	if got := st.FullStripeWrites + st.RMWWrites + st.RCWWrites; got != st.Writes {
+		t.Fatalf("write mix leak: full %d + rmw %d + rcw %d = %d, want %d",
+			st.FullStripeWrites, st.RMWWrites, st.RCWWrites, got, st.Writes)
+	}
+	if st.FullStripeWrites == 0 || st.RMWWrites == 0 || st.RCWWrites == 0 {
+		t.Fatalf("expected every mode exercised: full %d, rmw %d, rcw %d",
+			st.FullStripeWrites, st.RMWWrites, st.RCWWrites)
+	}
+}
+
 func TestReducerPolicies(t *testing.T) {
 	for _, policy := range []draid.ReducerPolicy{draid.ReducerRandom, draid.ReducerBWAware, draid.ReducerFixed} {
 		arr := smallArray(t, draid.Config{ReducerPolicy: policy})

@@ -256,6 +256,61 @@ func Run(t *testing.T, f Factory) {
 		}
 	})
 
+	t.Run("WritebackStagedCrashRecovery", func(t *testing.T) {
+		cfg := baseConfig()
+		cfg.WriteBack = true
+		cfg.StageMB = 1
+		cfg.CacheMB = 1
+		a := f(t, cfg)
+		defer a.Close()
+		base := pattern(0, 128<<10)
+		if err := a.WriteSync(0, base); err != nil {
+			t.Fatalf("priming write: %v", err)
+		}
+		if err := a.Flush(); err != nil {
+			t.Fatalf("priming flush: %v", err)
+		}
+		// Sub-stripe writes acknowledged from the staging buffer; some may
+		// still be staged (or mid-destage) when the controller dies.
+		staged := []struct{ off, n int64 }{
+			{4 << 10, 6 << 10},   // sub-chunk
+			{70 << 10, 9 << 10},  // chunk-crossing partial
+			{100 << 10, 2 << 10}, // second write into the same stripe
+		}
+		want := append([]byte(nil), base...)
+		for _, c := range staged {
+			p := pattern(c.off+1, int(c.n)) // +1: differs from the primer
+			if err := a.WriteSync(c.off, p); err != nil {
+				t.Fatalf("staged write [%d,%d): %v", c.off, c.off+c.n, err)
+			}
+			copy(want[c.off:], p)
+		}
+		// Kill the controller; the replacement adopts the intent log, fences
+		// the dead session, and resyncs — zero acknowledged writes may be
+		// lost.
+		if _, err := a.FailoverHost(); err != nil {
+			t.Fatalf("host failover: %v", err)
+		}
+		got, err := a.ReadSync(0, int64(len(want)))
+		if err != nil {
+			t.Fatalf("read after failover: %v", err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatal("read after failover: acknowledged staged writes lost")
+		}
+		// Destage everything and read back from the drives proper.
+		if err := a.Flush(); err != nil {
+			t.Fatalf("flush after failover: %v", err)
+		}
+		got, err = a.ReadSync(0, int64(len(want)))
+		if err != nil {
+			t.Fatalf("read after flush: %v", err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatal("read after flush: destaged bytes differ")
+		}
+	})
+
 	t.Run("OutOfRange", func(t *testing.T) {
 		a := f(t, baseConfig())
 		defer a.Close()

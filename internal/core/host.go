@@ -53,6 +53,21 @@ type Config struct {
 	// The zero value (HedgeOff) leaves the read path byte-identical to the
 	// unhedged implementation.
 	Hedge HedgeConfig
+	// WriteBack enables host-side write-back staging: sub-stripe writes are
+	// absorbed into an intent-logged staging buffer, acknowledged
+	// immediately, coalesced by stripe, and destaged as full-stripe writes
+	// (stage.go / destage.go). Off (the default) leaves the write path
+	// byte-identical to the unstaged implementation.
+	WriteBack bool
+	// StageBytes bounds the staging buffer (default 16 MiB). A limit smaller
+	// than one stripe's data size degenerates to write-through.
+	StageBytes int64
+	// CacheBytes sizes the clean-read cache (0 disables it; staged-data
+	// read hits work regardless).
+	CacheBytes int64
+	// DestageInterval is the idle-destage tick period (default 2ms): stripes
+	// with no new writes for a full interval are flushed to the drives.
+	DestageInterval sim.Duration
 	// QoS, when non-nil, admits this controller's user reads and writes
 	// through a shared weighted-fair arbiter keyed by volume (NSID), so a
 	// noisy neighbor volume cannot monopolize the cluster's in-flight byte
@@ -110,6 +125,16 @@ type Stats struct {
 	// the straggler and settled the extent through the XOR solve.
 	HedgedReads int64
 	HedgeWins   int64
+	// Write-back staging counters: StagedWrites counts stripe groups
+	// absorbed by the stage (acknowledged without drive I/O);
+	// DestageFullStripe / DestageRCW count destages by mode; CacheHits
+	// counts reads served entirely from host memory (stage + read cache);
+	// CacheBytes is the read cache's current occupancy (a gauge).
+	StagedWrites      int64
+	DestageFullStripe int64
+	DestageRCW        int64
+	CacheHits         int64
+	CacheBytes        int64
 }
 
 // HostController is the dRAID host: a virtual block device whose I/O is
@@ -148,6 +173,12 @@ type HostController struct {
 	crashed bool
 
 	health HealthSink
+
+	// stage is the write-back staging layer (stage.go); nil whenever
+	// Config.WriteBack is false, so the default path pays nothing. cache is
+	// the clean-read cache; nil when disabled.
+	stage *stage
+	cache *readCache
 
 	// hedge is the per-member latency model driving hedged reads; nil
 	// whenever Config.Hedge.Policy is HedgeOff, so the default path pays
@@ -296,6 +327,17 @@ func NewHost(rt backend.Runtime, fab backend.Transport, driveCapacity int64, cfg
 	}
 	if cfg.Hedge.Policy != HedgeOff {
 		h.hedge = newHedger(cfg.Hedge, cfg.Geometry.Width)
+	}
+	if cfg.WriteBack {
+		limit := cfg.StageBytes
+		if limit <= 0 {
+			limit = 16 << 20
+		}
+		h.stage = newStage(h, limit)
+		if cfg.CacheBytes > 0 {
+			h.cache = newReadCache(h, cfg.CacheBytes)
+		}
+		h.stage.startDestageTimer()
 	}
 	if cfg.QoS != nil {
 		w := cfg.QoSWeight
@@ -668,6 +710,12 @@ func (h *HostController) Adopt(prev *HostController) []int64 {
 	if !prev.crashed {
 		panic("core: adopting a live controller")
 	}
+	// Continue the predecessor's op-ID sequence: server-side state (reduce
+	// sessions, fencing boundaries) is keyed by (volume, op ID), so a
+	// replacement reusing IDs would collide with the crashed session's
+	// leftovers. Monotone IDs also let a fence name the dead session as
+	// "every ID below mine".
+	h.nextID = prev.nextID
 	for m := range prev.failed {
 		h.failed[m] = true
 	}
@@ -675,7 +723,49 @@ func (h *HostController) Adopt(prev *HostController) []int64 {
 	for m, r := range prev.rebuilds {
 		h.rebuilds[m] = &rebuildState{dest: r.dest, frontier: r.frontier}
 	}
+	if h.stage != nil && prev.stage != nil {
+		// Replay the predecessor's intent log: acknowledged staged writes
+		// (including any mid-destage snapshot) become live staged data here
+		// and destage normally — zero acknowledged writes lost.
+		h.stage.adopt(prev.stage)
+	}
 	return prev.DirtyStripes()
+}
+
+// Fence severs the crashed predecessor's controller session at every
+// reachable bdev (§5.4): each bdev discards the dead session's open
+// reductions, drops its straggler commands, and acks only after the drive
+// writes in flight at the fence's arrival have landed. Only after every
+// fence completes may the replacement resync dirty stripes — otherwise a
+// straggler write could land after the resync read the data it recomputed
+// parity from, silently invalidating the fresh parity. Unreachable nodes
+// are skipped (nothing can land on them) and a fence timeout is treated the
+// same way.
+func (h *HostController) Fence(cb func(error)) {
+	seen := make(map[NodeID]bool)
+	var targets []NodeID
+	add := func(n NodeID) {
+		if !seen[n] && !h.fab.Down(n) {
+			seen[n] = true
+			targets = append(targets, n)
+		}
+	}
+	for _, n := range h.memberNode {
+		add(n)
+	}
+	for _, r := range h.rebuilds {
+		add(r.dest)
+	}
+	if len(targets) == 0 {
+		h.rt.Defer(func() { cb(nil) })
+		return
+	}
+	op := h.newStripeOp("fence", -1, len(targets), targets,
+		func() { cb(nil) },
+		func([]NodeID) { cb(nil) })
+	for _, n := range targets {
+		h.send(op, n, nvmeof.Command{Opcode: nvmeof.OpFence}, parity.Buffer{})
+	}
 }
 
 // send issues a capsule for an operation, stamped with the op ID and the
@@ -759,14 +849,50 @@ func (h *HostController) readIO(off, n int64, cb func(parity.Buffer, error)) {
 		h.rt.Defer(func() { cb(parity.Alloc(0), nil) })
 		return
 	}
-	if s, hit := h.lost.Intersect(off, n); hit {
+	if h.tryMemRead(off, n, cb) {
+		// Read-your-writes fast path: staged data plus the clean cache cover
+		// the whole range — served from host memory, no drive I/O.
+		h.cores.Exec(h.cfg.Costs.PerUser, func() {})
+		return
+	}
+	if s, hit := h.lostUncovered(off, n); hit {
 		// Bytes in a lost region were sacrificed to a media double fault;
-		// fail fast with the typed error rather than serving garbage.
+		// fail fast with the typed error rather than serving garbage. Lost
+		// bytes covered by staged writes are fine — the stage overlay
+		// supplies them.
 		h.rt.Defer(func() {
 			cb(parity.Buffer{}, fmt.Errorf("core: read [%d,+%d) overlaps lost region [%d,+%d): %w",
 				off, n, s.Off, s.Len, blockdev.ErrMediaError))
 		})
 		return
+	}
+	if h.stage != nil || h.cache != nil {
+		// Overlay staged bytes over every assembled result (newer than the
+		// drives) and feed completed reads into the clean cache. The capture
+		// pins the issue-time staged bytes: a destage completing mid-read
+		// drops its snapshot, so the completion-time overlay alone could miss
+		// acknowledged bytes the drives served stale.
+		var pinned []ovSpan
+		if h.stage != nil {
+			pinned = h.stage.captureOverlay(off, n)
+		}
+		user := cb
+		cb = func(b parity.Buffer, err error) {
+			if err == nil {
+				if !b.Elided() {
+					for _, sp := range pinned {
+						b.CopyAt(int(sp.off-off), sp.buf)
+					}
+				}
+				if h.stage != nil {
+					h.stage.overlayInto(off, n, b)
+				}
+				if h.cache != nil {
+					h.cache.insert(off, n, b, off)
+				}
+			}
+			user(b, err)
+		}
 	}
 	exts := h.geo.Split(off, n)
 

@@ -45,8 +45,20 @@ func (h *HostController) DirtyStripes() []int64 {
 // ResyncStripe restores the parity invariant of one stripe, exactly as MD's
 // resync does: read every healthy data chunk in full, recompute P (and Q),
 // write the parity chunk(s) back. Data content is taken as found — resync
-// repairs consistency, not the write hole.
+// repairs consistency, not the write hole. The whole read-compute-write runs
+// under the stripe write lock: a destage (or user write) landing between the
+// resync's reads and its parity write would otherwise have its fresh parity
+// overwritten by a recomputation from stale data.
 func (h *HostController) ResyncStripe(stripe int64, cb func(error)) {
+	h.acquireStripe(stripe, func() {
+		h.resyncStripeLocked(stripe, func(err error) {
+			h.releaseStripe(stripe)
+			cb(err)
+		})
+	})
+}
+
+func (h *HostController) resyncStripeLocked(stripe int64, cb func(error)) {
 	h.stats.Resyncs++
 	base := h.driveOff(stripe)
 	cs := h.geo.ChunkSize

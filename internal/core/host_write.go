@@ -45,34 +45,60 @@ func (h *HostController) writeIO(off int64, data parity.Buffer, cb func(error)) 
 		h.rt.Defer(func() { cb(nil) })
 		return
 	}
+	if h.stage != nil {
+		// Write-back staging: sub-stripe groups are absorbed and acknowledged
+		// without drive I/O; full-stripe groups write through (stage.go).
+		h.stage.write(off, data, cb)
+		h.cores.Exec(h.cfg.Costs.PerUser, func() {})
+		return
+	}
 	byStripe := raid.StripeExtents(h.geo.Split(off, n))
 	pending := len(byStripe)
 	var firstErr error
+	part := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		pending--
+		if pending == 0 {
+			cb(firstErr)
+		}
+	}
 	for _, stripe := range raid.StripeOrder(byStripe) {
-		stripe, group := stripe, byStripe[stripe]
-		h.acquireStripe(stripe, func() {
-			h.markDirty(stripe)
-			h.stripeWrite(stripe, group, data, 0, func(err error) {
-				if err == nil && !h.lost.Empty() {
-					// Overwriting lost bytes brings them back: the new data
-					// is re-encoded into the stripe's redundancy.
-					for _, e := range group {
-						h.lost.Remove(off+e.VOff, e.Len)
-					}
-				}
-				h.clearDirty(stripe)
-				h.releaseStripe(stripe)
-				if err != nil && firstErr == nil {
-					firstErr = err
-				}
-				pending--
-				if pending == 0 {
-					cb(firstErr)
-				}
-			})
-		})
+		h.writeStripeGroup(off, stripe, byStripe[stripe], data, part)
 	}
 	h.cores.Exec(h.cfg.Costs.PerUser, func() {})
+}
+
+// writeStripeGroup admits one stripe's extent group through the per-stripe
+// write queue and executes it via stripeWrite. With staging enabled it is the
+// write-through path: under the stripe lock it supersedes any staged live
+// data for the written ranges (a destage snapshot cannot coexist — destages
+// hold the same lock), and it invalidates the clean-read cache.
+func (h *HostController) writeStripeGroup(off, stripe int64, group []raid.Extent, data parity.Buffer, done func(error)) {
+	h.acquireStripe(stripe, func() {
+		if h.stage != nil {
+			h.stage.drop(stripe, group)
+		}
+		if h.cache != nil {
+			for _, e := range group {
+				h.cache.invalidate(off+e.VOff, e.Len)
+			}
+		}
+		h.markDirty(stripe)
+		h.stripeWrite(stripe, group, data, 0, func(err error) {
+			if err == nil && !h.lost.Empty() {
+				// Overwriting lost bytes brings them back: the new data
+				// is re-encoded into the stripe's redundancy.
+				for _, e := range group {
+					h.lost.Remove(off+e.VOff, e.Len)
+				}
+			}
+			h.clearDirty(stripe)
+			h.releaseStripe(stripe)
+			done(err)
+		})
+	})
 }
 
 // stripeWrite executes the write for one stripe. Degraded rules:

@@ -71,6 +71,25 @@ type ServerController struct {
 	// is set; checksumErrors counts reads it failed (detected bit rot).
 	integ          *integrity.Store
 	checksumErrors int64
+
+	// fenced records, per volume, the highest command ID severed by an
+	// OpFence: commands of that volume at or below the boundary belong to a
+	// dead controller session and are discarded on arrival, and their
+	// not-yet-submitted drive writes are dropped (§5.4 failover fencing).
+	fenced map[uint32]uint64
+	// wseq/wpending track drive writes in flight through writeDrive;
+	// fences barrier on the writes pending at their arrival.
+	wseq     uint64
+	wpending map[uint64]struct{}
+	barriers []*fenceBarrier
+}
+
+// fenceBarrier waits for the drive writes that were in flight when a fence
+// arrived (those numbered at or below seq) to land, then fires.
+type fenceBarrier struct {
+	seq       uint64
+	remaining int
+	fire      func()
 }
 
 // reduceKey names one reduction: the issuing volume plus its op ID.
@@ -98,6 +117,10 @@ type reduceState struct {
 	replyTo   NodeID
 	vol       uint32
 	id        uint64
+	// dead marks a reduction severed by a fence: in-flight closures that
+	// still hold the state (a parity preload, a deferred contribution) must
+	// never complete it.
+	dead bool
 	// deferred holds contributions buffered by the BarrierReduce ablation.
 	deferred []func()
 }
@@ -108,8 +131,10 @@ type reduceState struct {
 func NewServer(id NodeID, rt backend.Runtime, fab backend.Transport, drive backend.Drive, core backend.Executor, cfg ServerConfig) *ServerController {
 	s := &ServerController{
 		id: id, rt: rt, fab: fab, drive: drive, core: core, cfg: cfg,
-		reduces: make(map[reduceKey]*reduceState),
-		pool:    parity.NewPool(),
+		reduces:  make(map[reduceKey]*reduceState),
+		pool:     parity.NewPool(),
+		fenced:   make(map[uint32]uint64),
+		wpending: make(map[uint64]struct{}),
 	}
 	if cfg.Integrity {
 		if !drive.StoresData() {
@@ -183,6 +208,9 @@ func (s *ServerController) writeDrive(off int64, b parity.Buffer, cb func(error)
 			check(tail)
 		}
 	}
+	s.wseq++
+	seq := s.wseq
+	s.wpending[seq] = struct{}{}
 	s.drive.Write(off, b, func(err error) {
 		if err == nil && s.integ != nil {
 			s.integ.Update(off, n, s.drive.Capacity(), s.peek)
@@ -190,8 +218,34 @@ func (s *ServerController) writeDrive(off int64, b parity.Buffer, cb func(error)
 				s.integ.Invalidate(blk)
 			}
 		}
+		s.writeLanded(seq)
 		cb(err)
 	})
+}
+
+// writeLanded retires one drive write and releases any fence barrier whose
+// pre-fence writes have all landed.
+func (s *ServerController) writeLanded(seq uint64) {
+	delete(s.wpending, seq)
+	kept := s.barriers[:0]
+	for _, b := range s.barriers {
+		if seq <= b.seq {
+			b.remaining--
+		}
+		if b.remaining <= 0 {
+			b.fire()
+		} else {
+			kept = append(kept, b)
+		}
+	}
+	s.barriers = kept
+}
+
+// fencedOut reports whether a command belongs to a controller session a
+// fence has severed: its effects must be dropped, not executed.
+func (s *ServerController) fencedOut(vol uint32, id uint64) bool {
+	bound, ok := s.fenced[vol]
+	return ok && id <= bound
 }
 
 // mediaStatus classifies a drive/verify error for a completion capsule:
@@ -223,6 +277,13 @@ func (s *ServerController) handle(m Message) {
 			t.Instant(s.cfg.TraceTrack, "rpc", m.Cmd.SpanName()+"←"+fromName(m.From),
 				trace.I64("id", int64(m.Cmd.ID)))
 		}
+		if m.Cmd.Opcode != nvmeof.OpFence && s.fencedOut(m.Cmd.NSID, m.Cmd.ID) {
+			// A straggler from a fenced (dead) controller session — a
+			// command still in the fabric when the fence arrived, or a peer
+			// contribution triggered by one. Drop it; its issuer is gone.
+			s.trace("drop fenced %v", m.Cmd.String())
+			return
+		}
 		switch m.Cmd.Opcode {
 		case nvmeof.OpRead:
 			s.handleRead(m)
@@ -238,6 +299,8 @@ func (s *ServerController) handle(m Message) {
 			s.handlePeer(m)
 		case nvmeof.OpHeartbeat:
 			s.handleHeartbeat(m)
+		case nvmeof.OpFence:
+			s.handleFence(m)
 		default:
 			panic(fmt.Sprintf("core: server %d: unexpected opcode %v", s.id, m.Cmd.Opcode))
 		}
@@ -267,6 +330,44 @@ func (s *ServerController) handleHeartbeat(m Message) {
 		st = nvmeof.StatusError
 	}
 	s.complete(m.From, m.Cmd.NSID, m.Cmd.ID, st, 0, 0, parity.Buffer{})
+}
+
+// handleFence severs a dead controller session (§5.4): every command of the
+// fence's namespace with an ID below the fence's own — the fabric delivers
+// in order, so anything the crashed controller sent has already arrived or
+// carries a lower ID — is discarded from now on, its open reductions are
+// killed, and the fence completes only after the drive writes in flight at
+// its arrival have landed. The replacement controller fences every bdev
+// before resyncing dirty stripes, so no straggler write can land after the
+// resync read the data it recomputed parity from.
+func (s *ServerController) handleFence(m Message) {
+	vol, bound := m.Cmd.NSID, m.Cmd.ID-1
+	if cur, ok := s.fenced[vol]; !ok || bound > cur {
+		s.fenced[vol] = bound
+	}
+	for key, st := range s.reduces {
+		if key.vol == vol && key.id <= bound {
+			st.dead = true
+			delete(s.reduces, key)
+		}
+	}
+	done := func() {
+		s.complete(m.From, m.Cmd.NSID, m.Cmd.ID, nvmeof.StatusSuccess, 0, 0, parity.Buffer{})
+	}
+	if s.drive.Failed() {
+		// A failed drive swallows writes (and their completions) instead of
+		// landing them: nothing pending can take effect, so the barrier is
+		// moot. Forget the swallowed writes — their callbacks never run.
+		s.wpending = make(map[uint64]struct{})
+		s.barriers = nil
+		done()
+		return
+	}
+	if len(s.wpending) == 0 {
+		done()
+		return
+	}
+	s.barriers = append(s.barriers, &fenceBarrier{seq: s.wseq, remaining: len(s.wpending), fire: done})
 }
 
 // handleRead serves a standard NVMe-oF read.
@@ -362,6 +463,9 @@ func (s *ServerController) handlePartialWrite(m Message) {
 				})
 			}
 			write := func(next func()) {
+				if s.fencedOut(cmd.NSID, cmd.ID) {
+					return // fenced mid-command: the write must not land
+				}
 				s.writeDrive(cmd.Offset, m.Payload, func(werr error) {
 					if werr != nil {
 						s.complete(m.From, cmd.NSID, cmd.ID, nvmeof.StatusError, cmd.Offset, cmd.Length, parity.Buffer{})
@@ -414,6 +518,9 @@ func (s *ServerController) handlePartialWrite(m Message) {
 				contrib = parity.Sized(contrib.Len())
 			}
 			write := func() {
+				if s.fencedOut(cmd.NSID, cmd.ID) {
+					return // fenced mid-command: the write must not land
+				}
 				s.writeDrive(cmd.Offset, m.Payload, func(werr error) {
 					if werr != nil {
 						s.complete(m.From, cmd.NSID, cmd.ID, nvmeof.StatusError, cmd.Offset, cmd.Length, parity.Buffer{})
@@ -568,6 +675,9 @@ func (s *ServerController) drainDeferred(st *reduceState) {
 // result has been folded in (counter back to zero after the anchor's
 // WaitNum), persist or return the result.
 func (s *ServerController) finish(st *reduceState) {
+	if st.dead || s.fencedOut(st.vol, st.id) {
+		return // reduction severed by a fence: never persist or reply
+	}
 	if !st.anchorArrived || st.preloadPending || st.counter != 0 {
 		return
 	}

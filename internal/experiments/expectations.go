@@ -305,5 +305,50 @@ func Expectations() []Expectation {
 			}
 			return nil
 		}},
+		{"writeback", "staging cuts sub-chunk write amplification to ≤1.3x where unstaged pays ≥2x", func(f Figure) error {
+			staged, err := series(f, "staged")
+			if err != nil {
+				return err
+			}
+			unstaged, err := series(f, "unstaged")
+			if err != nil {
+				return err
+			}
+			ps, err := at(staged, "64KB")
+			if err != nil {
+				return err
+			}
+			pu, err := at(unstaged, "64KB")
+			if err != nil {
+				return err
+			}
+			// Extra carries drive-byte amplification at equal data written.
+			if pu.Extra < 2.0 {
+				return fmt.Errorf("unstaged 64KB amplification = %.2fx, want ≥ 2x (RMW pays data+parity)", pu.Extra)
+			}
+			if ps.Extra > 1.3 {
+				return fmt.Errorf("staged 64KB amplification = %.2fx, want ≤ 1.3x (full-stripe destage)", ps.Extra)
+			}
+			if ps.Extra < 1.0 {
+				return fmt.Errorf("staged 64KB amplification = %.2fx < 1x: drives missing bytes after flush", ps.Extra)
+			}
+			return nil
+		}},
+		{"writeback", "full-stripe writes are unaffected by staging (both ~(k+1)/k)", func(f Figure) error {
+			for _, sys := range []string{"staged", "unstaged"} {
+				s, err := series(f, sys)
+				if err != nil {
+					return err
+				}
+				pt, err := at(s, "448KB")
+				if err != nil {
+					return err
+				}
+				if pt.Extra < 1.0 || pt.Extra > 1.3 {
+					return fmt.Errorf("%s 448KB amplification = %.2fx, want ~1.14x", sys, pt.Extra)
+				}
+			}
+			return nil
+		}},
 	}
 }

@@ -20,11 +20,12 @@ import (
 
 // realtimeRegistry maps the experiment IDs that have a realtime counterpart.
 var realtimeRegistry = map[string]func(Options, draid.RealtimeOptions) (Figure, error){
-	"fig09":    RealtimeFig09,
-	"fig10":    RealtimeFig10,
-	"fig12":    RealtimeFig12,
-	"fig13":    RealtimeFig13,
-	"greyfail": RealtimeGreyfail,
+	"fig09":     RealtimeFig09,
+	"fig10":     RealtimeFig10,
+	"fig12":     RealtimeFig12,
+	"fig13":     RealtimeFig13,
+	"greyfail":  RealtimeGreyfail,
+	"writeback": RealtimeWriteback,
 }
 
 // RealtimeIDs returns the experiment IDs runnable on the realtime backend.

@@ -35,6 +35,7 @@ var registry = map[string]func(Options) Figure{
 	"fig30":               Fig30,
 	"greyfail":            Greyfail,
 	"multivol-noisy":      MultivolNoisy,
+	"writeback":           Writeback,
 	"ablation-pipeline":   AblationPipeline,
 	"ablation-hostparity": AblationHostParity,
 	"ablation-barrier":    AblationBarrier,

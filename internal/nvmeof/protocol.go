@@ -40,6 +40,14 @@ const (
 	// immediately, a failed drive reports error status, and a down node
 	// never answers — the probe deadline is the detector's evidence.
 	OpHeartbeat Opcode = 0x85
+	// OpFence severs a dead controller session (§5.4 failover): the bdev
+	// discards every reduction and drops every later-arriving command of
+	// the fence's namespace with an ID below the fence's own, and completes
+	// once the drive writes in flight at its arrival have landed. A
+	// replacement controller fences all bdevs before resyncing, so no
+	// straggler write from the crashed controller can land after the resync
+	// read what it took to be the final data.
+	OpFence Opcode = 0x86
 	// OpCompletion reports a final state back to the host.
 	OpCompletion Opcode = 0x8F
 )
@@ -61,6 +69,8 @@ func (o Opcode) String() string {
 		return "Peer"
 	case OpHeartbeat:
 		return "Heartbeat"
+	case OpFence:
+		return "Fence"
 	case OpCompletion:
 		return "Completion"
 	}

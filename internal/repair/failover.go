@@ -8,10 +8,13 @@ import (
 )
 
 // Failover is the §5.4 host-crash recovery protocol: a replacement
-// controller that has Adopted a crashed predecessor resyncs exactly the
-// stripes the write-intent bitmap marked dirty — never a full-array scan —
-// then resumes service. Stripes are resynced sequentially (each one re-reads
-// survivors and rewrites parity), and cb fires once all are consistent.
+// controller that has Adopted a crashed predecessor first fences the dead
+// session at every bdev — discarding its open reductions and waiting out
+// its in-flight drive writes, so no straggler can land later — then resyncs
+// exactly the stripes the write-intent bitmap marked dirty — never a
+// full-array scan — and resumes service. Stripes are resynced sequentially
+// (each one re-reads survivors and rewrites parity), and cb fires once all
+// are consistent.
 func Failover(eng backend.Runtime, h *core.HostController, dirty []int64, cb func(error)) {
 	var step func(i int)
 	step = func(i int) {
@@ -27,5 +30,7 @@ func Failover(eng backend.Runtime, h *core.HostController, dirty []int64, cb fun
 			step(i + 1)
 		})
 	}
-	eng.Defer(func() { step(0) })
+	eng.Defer(func() {
+		h.Fence(func(error) { step(0) })
+	})
 }

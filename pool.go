@@ -137,6 +137,12 @@ type VolumeConfig struct {
 	QoSWeight float64
 	// Health configures automatic failure detection for this volume.
 	Health HealthConfig
+	// WriteBack / StageMB / CacheMB / DestageIntervalMs as in Config: this
+	// volume's write-back staging layer, accounted per volume.
+	WriteBack         bool
+	StageMB           int
+	CacheMB           int
+	DestageIntervalMs int
 	// MaxRetries / RetryBackoff / OpDeadline as in Config.
 	MaxRetries   int
 	RetryBackoff time.Duration
@@ -171,6 +177,8 @@ func (p *Pool) OpenVolume(cfg VolumeConfig) (*Array, error) {
 		Hedge:        cfg.Hedge.toCore(),
 		QoSWeight:    cfg.QoSWeight,
 	}
+	Config{WriteBack: cfg.WriteBack, StageMB: cfg.StageMB, CacheMB: cfg.CacheMB,
+		DestageIntervalMs: cfg.DestageIntervalMs}.applyWriteBack(&hostCfg)
 	switch cfg.ReducerPolicy {
 	case ReducerRandom:
 	case ReducerFixed:

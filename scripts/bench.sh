@@ -31,3 +31,9 @@ go test -run '^$' -bench 'FigAllQuick' -benchmem -count "$COUNT" . | tee -a "$OU
 # member, sim + realtime. Curated numbers live in BENCH_greyfail.json.
 go run ./cmd/draid-bench -fig greyfail -parallel 4 | tee -a "$OUT"
 go run ./cmd/draid-bench -backend realtime -fig greyfail | tee -a "$OUT"
+
+# Write-back staging sweep: small-write drive amplification and write
+# latency, staged vs unstaged, per I/O size, sim + realtime. Curated
+# numbers live in BENCH_writeback.json.
+go run ./cmd/draid-bench -fig writeback -parallel 4 | tee -a "$OUT"
+go run ./cmd/draid-bench -backend realtime -fig writeback | tee -a "$OUT"

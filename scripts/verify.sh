@@ -35,4 +35,11 @@ if [ "${FULL:-0}" = "1" ]; then
     go run ./cmd/draid-fio -backend realtime -hedge fixed-delay -hedge-delay 2ms -slow '2=const:20' -ratio 1 -qd 16 -ramp 10ms -measure 40ms
     go run ./cmd/draid-bench -fig greyfail -quick -ramp 10ms -measure 40ms
     go run ./cmd/draid-bench -backend realtime -fig greyfail -ramp 10ms -measure 40ms
+    # Write-back staging smoke: staged small writes on both backends, plus
+    # the writeback amplification figure (quick sim sweep + realtime run)
+    # with its machine-checked ≤1.3×-staged vs ≥2×-unstaged expectations.
+    go run ./cmd/draid-fio -writeback -stage-mb 4 -cache-mb 2 -iosize 16384 -qd 16 -ramp 10ms -measure 40ms
+    go run ./cmd/draid-fio -backend realtime -writeback -iosize 16384 -qd 16 -ramp 10ms -measure 40ms
+    go run ./cmd/draid-bench -fig writeback -quick -ramp 10ms -measure 40ms
+    go run ./cmd/draid-bench -backend realtime -fig writeback -ramp 10ms -measure 40ms
 fi

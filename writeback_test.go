@@ -1,0 +1,404 @@
+package draid_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"draid"
+)
+
+// wbArray builds a small write-back array: 5-wide RAID-5, 16 KB chunks
+// (64 KB stripe data), staging on with a long idle-destage tick so tests
+// control destage timing explicitly (via Flush or full-stripe coverage).
+func wbArray(t *testing.T, seed int64) *draid.Array {
+	t.Helper()
+	arr, err := draid.New(draid.Config{
+		Drives: 5, ChunkSize: 16 << 10, DriveCapacity: 1 << 20, Seed: seed,
+		WriteBack: true, StageMB: 1, DestageIntervalMs: 10_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return arr
+}
+
+// TestWritebackReadYourWrites: sub-stripe writes are acknowledged without
+// drive I/O, readable before destage (from the stage, through every read
+// path), and land on the drives after Flush.
+func TestWritebackReadYourWrites(t *testing.T) {
+	arr := wbArray(t, 11)
+	data := randBytes(21, 24<<10) // 1.5 chunks: sub-stripe, stays staged
+	if err := arr.WriteSync(4<<10, data); err != nil {
+		t.Fatal(err)
+	}
+	st := arr.Stats()
+	if st.StagedWrites == 0 {
+		t.Fatalf("sub-stripe write was not staged: %+v", st)
+	}
+	if st.DestageFullStripe+st.DestageRCW != 0 {
+		t.Fatalf("premature destage: %+v", st)
+	}
+	got, err := arr.ReadSync(4<<10, int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("staged read-your-writes returned wrong data")
+	}
+	// A read straddling staged and unstaged bytes must merge correctly.
+	wide, err := arr.ReadSync(0, 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wide[4<<10:28<<10], data) {
+		t.Fatal("straddling read lost staged bytes")
+	}
+	if err := arr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st = arr.Stats()
+	if st.DestageFullStripe+st.DestageRCW == 0 {
+		t.Fatalf("flush destaged nothing: %+v", st)
+	}
+	if n := arr.Controller().StagedBytes(); n != 0 {
+		t.Fatalf("stage not drained after flush: %d bytes", n)
+	}
+	got, err = arr.ReadSync(4<<10, int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("post-flush read returned wrong data")
+	}
+}
+
+// TestWritebackFullCoverageDestagesImmediately: coalescing sub-stripe writes
+// to full coverage triggers an immediate full-stripe destage — the optimal
+// amplification path needs no timer.
+func TestWritebackFullCoverageDestagesImmediately(t *testing.T) {
+	arr := wbArray(t, 12)
+	ref := randBytes(22, 64<<10)
+	for c := 0; c < 4; c++ {
+		if err := arr.WriteSync(int64(c)*16<<10, ref[c*16<<10:(c+1)*16<<10]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	arr.Run()
+	st := arr.Stats()
+	if st.DestageFullStripe == 0 {
+		t.Fatalf("full coverage did not destage as a full stripe: %+v", st)
+	}
+	if st.DestageRCW != 0 {
+		t.Fatalf("full coverage paid RCW: %+v", st)
+	}
+	got, err := arr.ReadSync(0, 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, ref) {
+		t.Fatal("destaged stripe read back wrong")
+	}
+}
+
+// TestWritebackFailoverAdoptsStage: acknowledged staged writes survive a host
+// crash — the replacement controller replays the intent log via Adopt and
+// serves them before any destage.
+func TestWritebackFailoverAdoptsStage(t *testing.T) {
+	arr := wbArray(t, 13)
+	data := randBytes(23, 20<<10)
+	if err := arr.WriteSync(8<<10, data); err != nil {
+		t.Fatal(err)
+	}
+	if arr.Stats().StagedWrites == 0 {
+		t.Fatal("write was not staged")
+	}
+	if _, err := arr.FailoverHost(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := arr.ReadSync(8<<10, int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("staged write lost across failover")
+	}
+	if err := arr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err = arr.ReadSync(8<<10, int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("adopted write lost after destage")
+	}
+}
+
+// TestWritebackTortureCrashMidDestage is the crash-consistency torture
+// family: random acknowledged sub-stripe writes against a byte model, with
+// host failovers fired while destages are in flight (drive writes abandoned
+// mid-stripe), drive failure + degraded service + rebuild racing the stage,
+// and background scrubbing under staged-but-not-destaged stripes. Every
+// acknowledged write must be readable at every point — zero lost writes.
+func TestWritebackTortureCrashMidDestage(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			arr, err := draid.New(draid.Config{
+				Drives: 5, ChunkSize: 16 << 10, DriveCapacity: 1 << 20, Seed: seed,
+				WriteBack: true, StageMB: 1, DestageIntervalMs: 1,
+				Integrity: true,
+				Hedge:     draid.HedgeConfig{Policy: draid.HedgeAdaptiveP95},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			size := arr.Size()
+			model := randBytes(seed+40, int(size))
+			if err := arr.WriteSync(0, model); err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(seed * 101))
+			failed := -1
+			for iter := 0; iter < 60; iter++ {
+				// Random acknowledged sub-stripe write; write-back semantics
+				// mean the ack makes it durable, so the model updates now.
+				wLen := int64(1+rng.Intn(24)) << 10
+				wOff := rng.Int63n(size - wLen)
+				data := make([]byte, wLen)
+				rng.Read(data)
+				if err := arr.WriteSync(wOff, data); err != nil {
+					t.Fatalf("iter %d write: %v", iter, err)
+				}
+				copy(model[wOff:], data)
+
+				// Model-checked read (hedged/degraded/overlaid as the state
+				// dictates).
+				rLen := int64(1+rng.Intn(32)) << 10
+				rOff := rng.Int63n(size - rLen)
+				got, err := arr.ReadSync(rOff, rLen)
+				if err != nil {
+					t.Fatalf("iter %d read [%d,+%d): %v", iter, rOff, rLen, err)
+				}
+				if !bytes.Equal(got, model[rOff:rOff+rLen]) {
+					t.Fatalf("iter %d read [%d,+%d) diverged from model", iter, rOff, rLen)
+				}
+
+				switch {
+				case iter%9 == 4 && failed < 0:
+					// Crash mid-destage: kick destages of everything staged
+					// (their drive writes go in flight inline), then fail the
+					// host over before they complete. The replacement adopts
+					// the stage via the intent log; abandoned partial stripes
+					// resync through the dirty bitmap. Only while healthy —
+					// MD-style resync of a degraded stripe forfeits the
+					// missing chunk, which is the classic RAID-5 double
+					// failure, not a staging property.
+					arr.Controller().FlushStage(func(error) {})
+					if _, err := arr.FailoverHost(); err != nil {
+						t.Fatalf("iter %d failover: %v", iter, err)
+					}
+				case iter%15 == 7 && failed < 0:
+					failed = 1 + rng.Intn(4)
+					arr.FailDrive(failed)
+				case iter%15 == 13 && failed >= 0:
+					if err := arr.RebuildDrive(failed, 0); err != nil {
+						t.Fatalf("iter %d rebuild: %v", iter, err)
+					}
+					failed = -1
+				case iter%10 == 9 && failed < 0:
+					if _, err := arr.ScrubNow(); err != nil {
+						t.Fatalf("iter %d scrub: %v", iter, err)
+					}
+				}
+			}
+			if failed >= 0 {
+				if err := arr.RebuildDrive(failed, 0); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := arr.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			st := arr.Stats()
+			if st.StagedWrites == 0 || st.DestageFullStripe+st.DestageRCW == 0 {
+				t.Fatalf("torture never exercised the stage: %+v", st)
+			}
+			got, err := arr.ReadSync(0, size)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, model) {
+				t.Fatal("device diverged from model after flush — acknowledged writes lost")
+			}
+			// One last crash after the flush: an empty stage adopts cleanly.
+			if _, err := arr.FailoverHost(); err != nil {
+				t.Fatal(err)
+			}
+			got, err = arr.ReadSync(0, size)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, model) {
+				t.Fatal("device diverged after post-flush failover")
+			}
+		})
+	}
+}
+
+// TestWritebackReadCache: with a clean-read cache configured, repeated reads
+// of the same range are served from host memory (CacheHits) and writes
+// invalidate stale blocks.
+func TestWritebackReadCache(t *testing.T) {
+	arr, err := draid.New(draid.Config{
+		Drives: 5, ChunkSize: 16 << 10, DriveCapacity: 1 << 20, Seed: 31,
+		WriteBack: true, StageMB: 1, CacheMB: 1, DestageIntervalMs: 10_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := randBytes(32, 64<<10)
+	if err := arr.WriteSync(0, ref); err != nil { // full stripe: write-through
+		t.Fatal(err)
+	}
+	if _, err := arr.ReadSync(0, 64<<10); err != nil { // fills the cache
+		t.Fatal(err)
+	}
+	before := arr.Stats().CacheHits
+	got, err := arr.ReadSync(8<<10, 16<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, ref[8<<10:24<<10]) {
+		t.Fatal("cached read returned wrong data")
+	}
+	st := arr.Stats()
+	if st.CacheHits == before {
+		t.Fatalf("repeat read missed the cache: %+v", st)
+	}
+	if st.CacheBytes == 0 {
+		t.Fatalf("cache occupancy not accounted: %+v", st)
+	}
+	// Overwrite through the cache; the stale blocks must not be served.
+	upd := randBytes(33, 64<<10)
+	if err := arr.WriteSync(0, upd); err != nil {
+		t.Fatal(err)
+	}
+	got, err = arr.ReadSync(8<<10, 16<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, upd[8<<10:24<<10]) {
+		t.Fatal("cache served stale data after overwrite")
+	}
+}
+
+// TestGoldenWritebackDisabledByteIdentical pins the staging layer's
+// zero-cost-when-off promise: with WriteBack false (the default) the golden
+// workload produces a trace byte-identical to the pre-staging golden capture,
+// and every staging surface stays inert.
+func TestGoldenWritebackDisabledByteIdentical(t *testing.T) {
+	arr := runGoldenWorkload(t, draid.Config{
+		Drives: 5, ChunkSize: 64 << 10, DriveCapacity: 1 << 20,
+		Seed: 3, Observe: draid.Observe{Trace: true},
+		WriteBack: false,
+	})
+	if got, want := goldenTrace(t, arr), golden(t, "golden_single_volume_trace.json"); !bytes.Equal(got, want) {
+		t.Errorf("writeback-disabled trace not byte-identical to golden (%d bytes vs %d)",
+			len(got), len(want))
+	}
+	st := arr.Stats()
+	if st.StagedWrites != 0 || st.DestageFullStripe != 0 || st.DestageRCW != 0 ||
+		st.CacheHits != 0 || st.CacheBytes != 0 {
+		t.Errorf("writeback disabled but staging counters moved: %+v", st)
+	}
+	if n := arr.Controller().StagedBytes(); n != 0 {
+		t.Errorf("writeback disabled but stage reports %d bytes", n)
+	}
+	if err := arr.Flush(); err != nil { // must complete immediately as a no-op
+		t.Errorf("no-op flush failed: %v", err)
+	}
+}
+
+// TestWritebackConfigValidation: the sizing knobs require WriteBack.
+func TestWritebackConfigValidation(t *testing.T) {
+	for _, cfg := range []draid.Config{
+		{StageMB: 16},
+		{CacheMB: 4},
+		{DestageIntervalMs: 5},
+		{WriteBack: true, StageMB: -1},
+	} {
+		if _, err := draid.New(cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+	if err := (draid.Config{WriteBack: true, StageMB: 8, CacheMB: 2, DestageIntervalMs: 5}).Validate(); err != nil {
+		t.Errorf("valid writeback config rejected: %v", err)
+	}
+}
+
+// TestWritebackPoolVolume: staging composes with pooled volumes — per-volume
+// stage, per-volume counters, co-tenant unaffected.
+func TestWritebackPoolVolume(t *testing.T) {
+	p, err := draid.NewPool(draid.PoolConfig{Drives: 5, DriveCapacity: 2 << 20, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	staged, err := p.OpenVolume(draid.VolumeConfig{
+		Name: "staged", ChunkSize: 16 << 10, Extent: 1 << 20,
+		WriteBack: true, StageMB: 1, DestageIntervalMs: 10_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := p.OpenVolume(draid.VolumeConfig{Name: "plain", ChunkSize: 16 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := randBytes(41, 24<<10)
+	if err := staged.WriteSync(0, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.WriteSync(0, data); err != nil {
+		t.Fatal(err)
+	}
+	if staged.Stats().StagedWrites == 0 {
+		t.Fatal("pool volume did not stage")
+	}
+	if plain.Stats().StagedWrites != 0 {
+		t.Fatal("co-tenant volume staged without WriteBack")
+	}
+	if err := staged.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := staged.ReadSync(0, int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("pooled staged volume read back wrong data")
+	}
+}
+
+// TestWritebackBenchmark: the closed-loop benchmark runs against a staged
+// array and the write-mix ratios stay coherent.
+func TestWritebackBenchmark(t *testing.T) {
+	arr, err := draid.New(draid.Config{
+		Drives: 8, ChunkSize: 64 << 10, SizeOnly: true, Seed: 17, WriteBack: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := arr.Benchmark(draid.BenchmarkSpec{
+		IOSizeBytes: 64 << 10, QueueDepth: 8,
+		Ramp: 5 * time.Millisecond, Measure: 20 * time.Millisecond,
+	})
+	if res.BandwidthMBps <= 0 {
+		t.Fatalf("no bandwidth measured: %+v", res)
+	}
+	if sum := res.FullStripeFrac + res.RMWFrac + res.RCWFrac; sum != 0 && (sum < 0.999 || sum > 1.001) {
+		t.Fatalf("write-mix fractions do not sum to 1: %+v", res)
+	}
+}
