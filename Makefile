@@ -28,9 +28,10 @@ trace:
 # rebuild, host failover, the data-integrity tortures (scrub under
 # foreground writes, rebuild through UREs, latent-error development), and
 # the write-back staging tortures (controller crash mid-destage, intent-log
-# adoption, destage racing rebuild) — each across ≥2 seeds (seeds are baked
-# into the test tables). Slower than `race`; run via FULL=1
-# scripts/verify.sh.
+# adoption, destage racing rebuild), and the declustered-placement tortures
+# (AddDrive rebalance racing foreground writes, destage, and a concurrent
+# drive failure) — each across ≥2 seeds (seeds are baked into the test
+# tables). Slower than `race`; run via FULL=1 scripts/verify.sh.
 torture:
 	$(GO) test -race -run 'TestTorture' ./internal/core -count=1
-	$(GO) test -race -run 'TestAutoRecovery|TestFailoverHost|TestRecoveryTraceDeterminism|TestIntegrityTorture|TestWritebackTorture' . -count=1
+	$(GO) test -race -run 'TestAutoRecovery|TestFailoverHost|TestRecoveryTraceDeterminism|TestIntegrityTorture|TestWritebackTorture|TestDeclusterTorture' . -count=1

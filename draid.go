@@ -33,6 +33,7 @@ import (
 	"draid/internal/core"
 	"draid/internal/fio"
 	"draid/internal/parity"
+	"draid/internal/placement"
 	"draid/internal/raid"
 	"draid/internal/recon"
 	"draid/internal/repair"
@@ -75,6 +76,9 @@ var (
 	// ErrUnsupported reports an operation the array's backend cannot perform —
 	// for example, media-fault injection on file-backed realtime drives.
 	ErrUnsupported = backend.ErrUnsupported
+	// ErrNoCapacity reports a volume allocation that exceeds the drives'
+	// remaining capacity (Pool.OpenVolume past the allocation cursor).
+	ErrNoCapacity = cluster.ErrNoCapacity
 )
 
 // BackendKind selects the substrate an array runs on.
@@ -413,8 +417,22 @@ type Config struct {
 	// Level is the RAID level (default Raid5).
 	Level Level
 	// Drives is the stripe width: one remote target per member drive
-	// (default 8, the paper's default).
+	// (default 8, the paper's default). With Declustered it remains the
+	// stripe width while the cluster holds ClusterDrives targets.
 	Drives int
+	// Declustered spreads the stripes over ClusterDrives > Drives physical
+	// drives with a seeded parity-declustered placement (dRAID-style):
+	// every drive holds chunks of ~Stripes×Drives/ClusterDrives stripes,
+	// each row keeps distributed spare slots, and a failed drive is rebuilt
+	// many-to-many into those slots — so rebuild time shrinks as the
+	// cluster grows, and drives can be added (AddDrive) and removed
+	// (RemoveDrive) online. Off (the default) keeps the classic fixed
+	// layout, byte-identical to previous releases.
+	Declustered bool
+	// ClusterDrives is the physical drive count a declustered array spreads
+	// over; must exceed Drives so every row keeps at least one spare slot.
+	// Requires Declustered.
+	ClusterDrives int
 	// ChunkSize is the stripe chunk size (default 512 KB).
 	ChunkSize int64
 	// DriveCapacity overrides the per-drive capacity (default 1.6 TB, the
@@ -532,6 +550,10 @@ type Array struct {
 	// realtime marks arrays on BackendRealtime: host state is then confined
 	// to the host event loop and accessed via call().
 	realtime bool
+	// rebalDone/rebalErr record the outcome of the last AddDrive/RemoveDrive
+	// background migration, read by WaitRebalance.
+	rebalDone bool
+	rebalErr  error
 }
 
 // withDefaults returns cfg with zero fields filled in.
@@ -582,6 +604,13 @@ func (cfg Config) validate() error {
 	default:
 		return fmt.Errorf("draid: unknown hedge policy %v", cfg.Hedge.Policy)
 	}
+	if cfg.ClusterDrives != 0 && !cfg.Declustered {
+		return fmt.Errorf("draid: ClusterDrives requires Declustered")
+	}
+	if cfg.Declustered && cfg.ClusterDrives <= cfg.Drives {
+		return fmt.Errorf("draid: declustered placement needs ClusterDrives (%d) > Drives (%d) for distributed spare slots",
+			cfg.ClusterDrives, cfg.Drives)
+	}
 	if !cfg.WriteBack {
 		if cfg.StageMB != 0 || cfg.CacheMB != 0 || cfg.DestageIntervalMs != 0 {
 			return fmt.Errorf("draid: StageMB/CacheMB/DestageIntervalMs require WriteBack")
@@ -623,7 +652,7 @@ func New(cfg Config) (*Array, error) {
 	}
 	geo := raid.Geometry{Level: cfg.Level, Width: cfg.Drives, ChunkSize: cfg.ChunkSize}
 	spec := cluster.DefaultSpec()
-	spec.Targets = cfg.Drives
+	spec.Targets = cfg.clusterTargets()
 	spec.Spares = cfg.Spares
 	spec.Seed = cfg.Seed
 	spec.Elide = cfg.SizeOnly
@@ -652,6 +681,7 @@ func New(cfg Config) (*Array, error) {
 		RetryBackoff: sim.Duration(cfg.RetryBackoff),
 		Deadline:     sim.Duration(cfg.OpDeadline),
 		Hedge:        cfg.Hedge.toCore(),
+		LayoutFor:    cfg.layoutFor(),
 	}
 	cfg.applyWriteBack(&hostCfg)
 	switch cfg.ReducerPolicy {
@@ -691,7 +721,7 @@ func newRealtime(cfg Config) (*Array, error) {
 		capacity = 256 << 20
 	}
 	cl, err := cluster.NewRealtime(cluster.RealtimeSpec{
-		Targets: cfg.Drives, Spares: cfg.Spares, Seed: cfg.Seed,
+		Targets: cfg.clusterTargets(), Spares: cfg.Spares, Seed: cfg.Seed,
 		DriveCapacity: capacity, SizeOnly: cfg.SizeOnly, Integrity: cfg.Integrity,
 		Pipelined: true, TCP: cfg.Realtime.TCP, Dir: cfg.Realtime.Dir,
 	})
@@ -704,6 +734,7 @@ func newRealtime(cfg Config) (*Array, error) {
 		RetryBackoff: sim.Duration(cfg.RetryBackoff),
 		Deadline:     sim.Duration(cfg.OpDeadline),
 		Hedge:        cfg.Hedge.toCore(),
+		LayoutFor:    cfg.layoutFor(),
 	}
 	cfg.applyWriteBack(&hostCfg)
 	if cfg.ReducerPolicy == ReducerFixed {
@@ -714,6 +745,32 @@ func newRealtime(cfg Config) (*Array, error) {
 		hostCfg: hostCfg, scrubRate: cfg.ScrubRateMBps, seed: cfg.Seed, realtime: true}
 	arr.attachSupervisor(cfg)
 	return arr, nil
+}
+
+// clusterTargets returns the physical target count the testbed needs: the
+// stripe width normally, the whole declustered drive set otherwise.
+func (cfg Config) clusterTargets() int {
+	if cfg.Declustered {
+		return cfg.ClusterDrives
+	}
+	return cfg.Drives
+}
+
+// layoutFor returns the declustered layout constructor for a host config,
+// or nil to keep the default fixed layout (byte-identical placement).
+func (cfg Config) layoutFor() func(base, extent int64) placement.Layout {
+	if !cfg.Declustered {
+		return nil
+	}
+	width, drives, chunk, seed := cfg.Drives, cfg.ClusterDrives, cfg.ChunkSize, cfg.Seed
+	return func(base, extent int64) placement.Layout {
+		l, err := placement.NewDeclustered(base, extent, chunk, width, drives, seed)
+		if err != nil {
+			// validate() enforced width ≥ 2, drives > width, extent ≥ chunk.
+			panic(err.Error())
+		}
+		return l
+	}
 }
 
 // applyWriteBack translates the public write-back knobs onto a host config.
@@ -1007,6 +1064,11 @@ func (a *Array) FailedDrives() []int {
 // drive, then returns the member to service. stripes bounds the work for
 // experiments; pass 0 to rebuild the full device.
 func (a *Array) RebuildDrive(i int, stripes int64) error {
+	var decl bool
+	a.call(func() { decl = a.host.Declustered() })
+	if decl {
+		return a.rebuildDeclustered(i, stripes)
+	}
 	if stripes <= 0 {
 		// Derive the stripe count from the device size, so a volume sharing
 		// its drives rebuilds only its own extent.
@@ -1056,6 +1118,124 @@ func (a *Array) RebuildDrive(i int, stripes int64) error {
 	return nil
 }
 
+// rebuildDeclustered is the many-to-many rebuild behind RebuildDrive on a
+// declustered array: each chunk the layout places on drive i is
+// reconstructed into an idle spare slot of its own row, spreading reads
+// and writes over the whole cluster. The drive is not returned to service —
+// its chunks now live elsewhere — and is retired in the layout once empty.
+func (a *Array) rebuildDeclustered(drive int, stripes int64) error {
+	var slots []placement.Slot
+	a.call(func() { slots = a.host.PlacementSlots(drive) })
+	partial := false
+	if stripes > 0 && int64(len(slots)) > stripes {
+		slots, partial = slots[:stripes], true
+	}
+	var rebuildErr error
+	for _, sl := range slots {
+		sl := sl
+		done := false
+		a.call(func() {
+			a.host.RebuildSlot(sl.Stripe, drive, func(err error) {
+				if err != nil {
+					rebuildErr = fmt.Errorf("draid: rebuilding stripe %d: %w", sl.Stripe, err)
+				}
+				done = true
+			})
+		})
+		a.cl.Rt.Run()
+		if !done || rebuildErr != nil {
+			if rebuildErr == nil {
+				rebuildErr = fmt.Errorf("draid: rebuild of stripe %d stalled", sl.Stripe)
+			}
+			return rebuildErr
+		}
+	}
+	if !partial {
+		a.call(func() { a.host.RetireDrive(drive) })
+	}
+	return nil
+}
+
+// RebalanceStatus re-exports the rebalancer's progress snapshot.
+type RebalanceStatus = repair.RebalanceStatus
+
+// AddDrive grows a declustered array by one drive: it claims an idle hot
+// spare endpoint (provisioned by Config.Spares), adds it to the layout,
+// and starts a background rebalance migrating a fair share of existing
+// chunks onto it, paced by Config.RebuildRateMBps alongside any rebuild.
+// The new drive index returns immediately; WaitRebalance (or Run plus
+// RebalanceStatus) observes convergence. Foreground I/O keeps serving
+// throughout — every migration runs under its stripe's write lock.
+func (a *Array) AddDrive() (int, error) {
+	if a.sup == nil {
+		return 0, fmt.Errorf("draid: AddDrive needs a supervisor (configure Spares): %w", ErrUnsupported)
+	}
+	var idx int
+	var err error
+	a.call(func() {
+		node, ok := a.cl.Spares.Claim()
+		if !ok {
+			err = fmt.Errorf("draid: no spare endpoint left to add")
+			return
+		}
+		a.rebalDone, a.rebalErr = false, nil
+		idx, err = a.sup.AddDrive(node, func(e error) { a.rebalErr, a.rebalDone = e, true })
+	})
+	return idx, err
+}
+
+// RemoveDrive drains every chunk off drive i onto the remaining drives'
+// spare slots and retires it from the layout — online shrink. Like
+// AddDrive it returns immediately; WaitRebalance observes the drain.
+func (a *Array) RemoveDrive(i int) error {
+	if a.sup == nil {
+		return fmt.Errorf("draid: RemoveDrive needs a supervisor (configure Spares): %w", ErrUnsupported)
+	}
+	var err error
+	a.call(func() {
+		if i < 0 || i >= a.host.Drives() {
+			err = fmt.Errorf("draid: drive %d out of range", i)
+			return
+		}
+		a.rebalDone, a.rebalErr = false, nil
+		a.sup.RemoveDrive(i, func(e error) { a.rebalErr, a.rebalDone = e, true })
+	})
+	return err
+}
+
+// WaitRebalance advances time until the rebalance or drain started by the
+// last AddDrive/RemoveDrive converges, and returns its outcome.
+func (a *Array) WaitRebalance() error {
+	a.cl.Rt.Run()
+	var done bool
+	var err error
+	a.call(func() { done, err = a.rebalDone, a.rebalErr })
+	if !done {
+		return fmt.Errorf("draid: rebalance stalled")
+	}
+	return err
+}
+
+// DriveCount returns the number of physical drives the layout addresses:
+// the stripe width for a fixed layout, the (possibly grown) cluster for a
+// declustered one.
+func (a *Array) DriveCount() int {
+	var n int
+	a.call(func() { n = a.host.Drives() })
+	return n
+}
+
+// CurrentRebalance reports the in-flight (or last) rebalance/drain
+// progress; the zero value means none ever ran.
+func (a *Array) CurrentRebalance() RebalanceStatus {
+	if a.sup == nil {
+		return RebalanceStatus{}
+	}
+	var st RebalanceStatus
+	a.call(func() { st = a.sup.Rebalancer().Status() })
+	return st
+}
+
 // Stats exposes host-controller counters.
 func (a *Array) Stats() core.Stats {
 	var st core.Stats
@@ -1073,7 +1253,7 @@ func (a *Array) MemberHealth() []MemberState {
 			out = a.sup.Detector().States()
 			return
 		}
-		out = make([]MemberState, a.host.Geometry().Width)
+		out = make([]MemberState, a.host.Drives())
 		for _, m := range a.host.FailedMembers() {
 			out[m] = Failed
 		}
@@ -1184,7 +1364,7 @@ func (in Injector) LatentErrorRate(rate float64) error {
 	a := in.a
 	var err error
 	a.call(func() {
-		for m := 0; m < a.host.Geometry().Width; m++ {
+		for m := 0; m < a.host.Drives(); m++ {
 			node := int(a.host.MemberNode(m))
 			mi, ok := a.cl.Drives[node].(backend.MediaInjector)
 			if !ok {
@@ -1209,7 +1389,7 @@ func (in Injector) SlowDrive(i int, p SlowProfile) error {
 	a := in.a
 	var err error
 	a.call(func() {
-		if i < 0 || i >= a.host.Geometry().Width {
+		if i < 0 || i >= a.host.Drives() {
 			err = fmt.Errorf("draid: slow-drive injection: member %d out of range", i)
 			return
 		}
@@ -1237,11 +1417,13 @@ func (a *Array) injectOnRange(off, n int64, fn func(backend.MediaInjector, int64
 	var err error
 	a.call(func() {
 		geo := a.host.Geometry()
+		lay := a.host.Layout()
 		extents := geo.Split(off, n)
 		targets := make([]backend.MediaInjector, len(extents))
 		for i, e := range extents {
 			member := geo.DataDrive(e.Stripe, e.Chunk)
-			d := a.cl.Drives[int(a.host.MemberNode(member))]
+			drive := lay.Drive(e.Stripe, member)
+			d := a.cl.Drives[int(a.host.MemberNode(drive))]
 			mi, ok := d.(backend.MediaInjector)
 			if !ok || (needStore && !d.StoresData()) {
 				err = fmt.Errorf("draid: media-fault injection: %w", ErrUnsupported)
@@ -1250,7 +1432,7 @@ func (a *Array) injectOnRange(off, n int64, fn func(backend.MediaInjector, int64
 			targets[i] = mi
 		}
 		for i, e := range extents {
-			fn(targets[i], geo.DriveOffset(e.Stripe)+e.Off, e.Len)
+			fn(targets[i], lay.StripeBase(e.Stripe)+e.Off, e.Len)
 		}
 	})
 	return err

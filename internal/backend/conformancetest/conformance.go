@@ -311,6 +311,44 @@ func Run(t *testing.T, f Factory) {
 		}
 	})
 
+	t.Run("DeclusteredCrashAndRebuild", func(t *testing.T) {
+		// Width-3 parity groups declustered over 5 physical drives: a drive
+		// crash must be survivable and the many-to-many rebuild (relocation
+		// into distributed spare slots, no spare endpoint) must restore
+		// redundancy identically on every backend.
+		cfg := baseConfig()
+		cfg.Drives = 3
+		cfg.Declustered = true
+		cfg.ClusterDrives = 5
+		a := f(t, cfg)
+		defer a.Close()
+		want := pattern(0, 160<<10)
+		if err := a.WriteSync(0, want); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		a.FailDrive(2)
+		got, err := a.ReadSync(0, int64(len(want)))
+		if err != nil {
+			t.Fatalf("degraded read: %v", err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatal("degraded read: payload mismatch")
+		}
+		if err := a.RebuildDrive(2, 0); err != nil {
+			t.Fatalf("declustered rebuild: %v", err)
+		}
+		// Redundancy must be whole again: a second failure on a different
+		// drive reconstructs through the relocated chunks.
+		a.FailDrive(4)
+		got, err = a.ReadSync(0, int64(len(want)))
+		if err != nil {
+			t.Fatalf("read after rebuild with second drive failed: %v", err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatal("read after declustered rebuild: payload mismatch")
+		}
+	})
+
 	t.Run("OutOfRange", func(t *testing.T) {
 		a := f(t, baseConfig())
 		defer a.Close()

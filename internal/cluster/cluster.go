@@ -6,6 +6,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 
 	"draid/internal/backend"
@@ -17,6 +18,11 @@ import (
 	"draid/internal/ssd"
 	"draid/internal/trace"
 )
+
+// ErrNoCapacity reports a volume allocation that exceeds the drives'
+// remaining capacity: the per-drive allocation cursor has no room for the
+// requested extent. Callers match it with errors.Is.
+var ErrNoCapacity = errors.New("cluster: insufficient drive capacity")
 
 // Spec describes a testbed.
 type Spec struct {
@@ -326,11 +332,19 @@ func (c *Cluster) AddVolume(name string, extent int64, cfg core.Config) (*Volume
 		extent = remaining
 	}
 	if extent <= 0 || extent > remaining {
-		return nil, fmt.Errorf("cluster: volume %q wants %d bytes/drive, %d remaining", name, extent, remaining)
+		return nil, fmt.Errorf("cluster: volume %q wants %d bytes/drive, %d remaining: %w",
+			name, extent, remaining, ErrNoCapacity)
 	}
 	cfg = c.resolveConfig(cfg)
 	cfg.Volume = core.VolumeID(len(c.volumes))
 	cfg.DriveBase = c.nextBase
+	if cfg.Layout == nil && cfg.LayoutFor != nil {
+		// Materialize the layout here rather than in NewHost, so the stored
+		// Volume.Cfg carries the same layout instance a failover replacement
+		// must reuse — a declustered layout accumulates relocation overrides
+		// that a freshly seeded copy would not have.
+		cfg.Layout = cfg.LayoutFor(cfg.DriveBase, extent)
+	}
 	v := &Volume{
 		ID: cfg.Volume, Name: name, Cfg: cfg,
 		Base: c.nextBase, Extent: extent,
@@ -366,6 +380,11 @@ func (c *Cluster) NewDRAID(cfg core.Config) *core.HostController {
 		cfg = c.resolveConfig(cfg)
 		cfg.Volume = v.ID
 		cfg.DriveBase = v.Base
+		if cfg.Layout == nil {
+			// Failover re-entry: reuse the volume's materialized layout (its
+			// relocation overrides included) rather than re-seeding one.
+			cfg.Layout = v.Cfg.Layout
+		}
 		v.Cfg = cfg
 		v.Host = core.NewHost(c.Rt, c.Fab, v.Extent, cfg)
 		return v.Host

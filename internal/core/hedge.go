@@ -170,9 +170,10 @@ func (h *HostController) MemberLatencyEWMA(member int) float64 {
 }
 
 // observeSlow forwards straggler evidence to the health sink, if it cares.
-func (h *HostController) observeSlow(member int) {
-	if s, ok := h.health.(SlowSink); ok && member >= 0 && member < h.geo.Width {
-		s.ObserveSlow(member)
+// Like all health evidence, slowness is attributed in drive space.
+func (h *HostController) observeSlow(drive int) {
+	if s, ok := h.health.(SlowSink); ok && drive >= 0 && drive < len(h.memberNode) {
+		s.ObserveSlow(drive)
 	}
 }
 
@@ -237,12 +238,13 @@ func (hr *hedgeRead) issuePrimary(i, attempt int) {
 	h := hr.h
 	e := hr.exts[i]
 	member := h.geo.DataDrive(e.Stripe, e.Chunk)
+	drive := h.layout.Drive(e.Stripe, member)
 	target := h.nodeAt(e.Stripe, member)
 	absOff := h.driveOff(e.Stripe) + e.Off
 	sent := h.rt.Now()
 	op := h.newStripeOp("read", e.Stripe, 1, []NodeID{target},
 		func() {
-			h.hedge.record(member, sim.Duration(h.rt.Now()-sent))
+			h.hedge.record(drive, sim.Duration(h.rt.Now()-sent))
 			hr.ops[i] = nil
 			hr.settle(i)
 		},
@@ -493,7 +495,7 @@ func (hr *hedgeRead) resolve(i int) {
 				hr.ops[i] = nil
 			}
 			h.stats.HedgeWins++
-			h.observeSlow(h.geo.DataDrive(stripe, e.Chunk))
+			h.observeSlow(h.layout.Drive(stripe, h.geo.DataDrive(stripe, e.Chunk)))
 			hr.asm.put(e.VOff, out)
 			hr.settle(i)
 		})

@@ -10,6 +10,7 @@ import (
 	"draid/internal/integrity"
 	"draid/internal/nvmeof"
 	"draid/internal/parity"
+	"draid/internal/placement"
 	"draid/internal/raid"
 	"draid/internal/recon"
 	"draid/internal/sim"
@@ -30,6 +31,18 @@ type Config struct {
 	// DriveBase+driveCapacity) of each drive rather than assuming the drive
 	// from offset 0 — the indirection that lets volumes share drives.
 	DriveBase int64
+	// Layout maps (stripe, member) to (physical drive, offset). Nil selects
+	// the classic contiguous placement.Fixed over DriveBase, which is
+	// byte-identical to the pre-layout address arithmetic. A
+	// placement.Dynamic layout (declustered) spreads the volume over more
+	// drives than the stripe width and enables chunk-level relocation
+	// (many-to-many rebuild, online drive add/remove).
+	Layout placement.Layout
+	// LayoutFor, when non-nil and Layout is nil, builds the layout once the
+	// volume registry has assigned the extent window — the allocator calls
+	// it with the final (DriveBase, extent) pair. This keeps layout
+	// construction out of callers that don't know their base yet.
+	LayoutFor func(base, extent int64) placement.Layout
 	// HostCores sizes the host's reactor pool (default 4).
 	HostCores int
 	// Deadline bounds each stripe operation (§5.4). Zero means 1s.
@@ -146,6 +159,11 @@ type HostController struct {
 	cfg   Config
 	cores backend.Executor
 
+	// layout places every (stripe, member) chunk on a physical drive;
+	// dyn is non-nil when the layout supports relocation (declustered).
+	layout placement.Layout
+	dyn    placement.Dynamic
+
 	size   int64
 	nextID uint64
 
@@ -156,12 +174,14 @@ type HostController struct {
 	// inflight maps command IDs to their parent operation.
 	inflight map[uint64]*subOp
 
-	failed map[int]bool // member index → failed
+	failed map[int]bool // physical drive index → failed
 
-	// memberNode maps member index → the fabric endpoint currently serving
-	// it. Identity at construction; spare promotion repoints entries.
+	// memberNode maps physical drive index → the fabric endpoint currently
+	// serving it. Identity at construction; spare promotion repoints
+	// entries; AddDrive appends. With the fixed layout drive index and
+	// stripe member index coincide.
 	memberNode []NodeID
-	// rebuilds tracks in-progress spare rebuilds by member: stripes below
+	// rebuilds tracks in-progress spare rebuilds by drive: stripes below
 	// the frontier already live on the spare and are routed there.
 	rebuilds map[int]*rebuildState
 
@@ -287,8 +307,17 @@ func NewHost(rt backend.Runtime, fab backend.Transport, driveCapacity int64, cfg
 	if err := cfg.Geometry.Validate(); err != nil {
 		panic(err)
 	}
-	if cfg.Geometry.Width > fab.Width() {
-		panic(fmt.Sprintf("core: geometry width %d > fabric targets %d", cfg.Geometry.Width, fab.Width()))
+	if cfg.Layout == nil && cfg.LayoutFor != nil {
+		cfg.Layout = cfg.LayoutFor(cfg.DriveBase, driveCapacity)
+	}
+	if cfg.Layout == nil {
+		cfg.Layout = placement.NewFixed(cfg.DriveBase, cfg.Geometry.ChunkSize, cfg.Geometry.Width, driveCapacity)
+	}
+	if cfg.Layout.Width() != cfg.Geometry.Width {
+		panic(fmt.Sprintf("core: layout width %d != geometry width %d", cfg.Layout.Width(), cfg.Geometry.Width))
+	}
+	if cfg.Layout.Drives() > fab.Width() {
+		panic(fmt.Sprintf("core: layout drives %d > fabric targets %d", cfg.Layout.Drives(), fab.Width()))
 	}
 	if cfg.HostCores <= 0 {
 		cfg.HostCores = 4
@@ -314,19 +343,21 @@ func NewHost(rt backend.Runtime, fab backend.Transport, driveCapacity int64, cfg
 	h := &HostController{
 		rt: rt, fab: fab, geo: cfg.Geometry, cfg: cfg,
 		cores:      exec,
-		size:       cfg.Geometry.VirtualSize(driveCapacity),
+		layout:     cfg.Layout,
+		size:       cfg.Layout.Stripes() * cfg.Geometry.StripeDataSize(),
 		stripeQ:    make(map[int64]*stripeQueue),
 		inflight:   make(map[uint64]*subOp),
 		failed:     make(map[int]bool),
-		memberNode: make([]NodeID, cfg.Geometry.Width),
+		memberNode: make([]NodeID, cfg.Layout.Drives()),
 		rebuilds:   make(map[int]*rebuildState),
 		health:     cfg.Health,
 	}
+	h.dyn, _ = cfg.Layout.(placement.Dynamic)
 	for m := range h.memberNode {
 		h.memberNode[m] = NodeID(m)
 	}
 	if cfg.Hedge.Policy != HedgeOff {
-		h.hedge = newHedger(cfg.Hedge, cfg.Geometry.Width)
+		h.hedge = newHedger(cfg.Hedge, len(h.memberNode))
 	}
 	if cfg.WriteBack {
 		limit := cfg.StageBytes
@@ -370,11 +401,25 @@ func NewHost(rt backend.Runtime, fab backend.Transport, driveCapacity int64, cfg
 func (h *HostController) Volume() VolumeID { return h.cfg.Volume }
 
 // driveOff translates a stripe number to the absolute per-drive byte offset
-// of its chunks: the volume's extent base plus the geometry's stripe offset.
-// Every capsule the controller issues addresses drives through this mapping.
+// shared by all its chunks. Every capsule the controller issues addresses
+// drives through this mapping; both layouts place a stripe's chunks at one
+// common offset, which is what lets server-side reduce key its
+// accumulators by absolute offset.
 func (h *HostController) driveOff(stripe int64) int64 {
-	return h.cfg.DriveBase + h.geo.DriveOffset(stripe)
+	return h.layout.StripeBase(stripe)
 }
+
+// Layout exposes the volume's placement map.
+func (h *HostController) Layout() placement.Layout { return h.layout }
+
+// Declustered reports whether the layout supports chunk-level relocation
+// (distributed-spare rebuild, online drive add/remove).
+func (h *HostController) Declustered() bool { return h.dyn != nil }
+
+// Drives returns the number of physical drives the layout may address —
+// the stripe width for the fixed layout, the whole cluster for a
+// declustered one.
+func (h *HostController) Drives() int { return len(h.memberNode) }
 
 // Size implements blockdev.Device.
 func (h *HostController) Size() int64 { return h.size }
@@ -385,10 +430,10 @@ func (h *HostController) Stats() Stats { return h.stats }
 // Geometry returns the array geometry.
 func (h *HostController) Geometry() raid.Geometry { return h.geo }
 
-// SetFailed marks a member drive failed (true) or restored (false); the
-// array serves degraded I/O for failed members.
+// SetFailed marks a drive failed (true) or restored (false); the array
+// serves degraded I/O for stripes whose chunks live on failed drives.
 func (h *HostController) SetFailed(member int, failed bool) {
-	if member < 0 || member >= h.geo.Width {
+	if member < 0 || member >= len(h.memberNode) {
 		panic(fmt.Sprintf("core: member %d out of range", member))
 	}
 	if failed {
@@ -398,7 +443,7 @@ func (h *HostController) SetFailed(member int, failed bool) {
 	}
 }
 
-// FailedMembers returns the sorted failed member indices.
+// FailedMembers returns the sorted failed drive indices.
 func (h *HostController) FailedMembers() []int {
 	var out []int
 	for m := range h.failed {
@@ -412,29 +457,36 @@ func (h *HostController) FailedMembers() []int {
 func (h *HostController) SetHealth(s HealthSink) { h.health = s }
 
 // ---------------------------------------------------------------------------
-// Member → endpoint indirection. RAID math lives in member-index space; the
-// fabric speaks NodeIDs. The two coincide until a spare is promoted or a
-// rebuild routes early stripes to its destination.
+// Member → drive → endpoint indirection. RAID math lives in member-index
+// space (which role of the stripe); the layout maps members to physical
+// drives; the fabric speaks NodeIDs. All three coincide under the fixed
+// layout until a spare is promoted or a rebuild routes early stripes to
+// its destination; a declustered layout rotates the member→drive map per
+// stripe.
 
-// nodeOf returns the fabric endpoint currently serving member.
-func (h *HostController) nodeOf(member int) NodeID { return h.memberNode[member] }
+// nodeOf returns the fabric endpoint currently serving a physical drive.
+func (h *HostController) nodeOf(drive int) NodeID { return h.memberNode[drive] }
 
-// MemberNode returns the fabric endpoint currently serving member — after a
-// rebuild the member's chunks live on a spare node, not the original one.
-// Fault-injection helpers use it to find the right physical drive.
-func (h *HostController) MemberNode(member int) NodeID { return h.memberNode[member] }
+// MemberNode returns the fabric endpoint currently serving a drive — after
+// a spare rebuild the drive's chunks live on a spare node, not the
+// original one. Fault-injection helpers use it to find the right physical
+// drive.
+func (h *HostController) MemberNode(drive int) NodeID { return h.memberNode[drive] }
 
-// nodeAt resolves member for I/O touching stripe: during a rebuild, stripes
-// below the frontier already live on the spare and are served from there.
+// nodeAt resolves stripe member m to its endpoint: the layout names the
+// drive; during a frontier rebuild, stripes below the frontier already
+// live on the spare and are served from there.
 func (h *HostController) nodeAt(stripe int64, member int) NodeID {
-	if r, ok := h.rebuilds[member]; ok && stripe >= 0 && stripe < r.frontier {
+	d := h.layout.Drive(stripe, member)
+	if r, ok := h.rebuilds[d]; ok && stripe >= 0 && stripe < r.frontier {
 		return r.dest
 	}
-	return h.memberNode[member]
+	return h.memberNode[d]
 }
 
-// memberOf is the reverse mapping: which member does endpoint n serve?
-// Returns -1 for endpoints serving no member (an idle spare).
+// memberOf is the reverse mapping to DRIVE space: which drive does
+// endpoint n serve? Returns -1 for endpoints serving no drive (an idle
+// spare). Health evidence is attributed in this space.
 func (h *HostController) memberOf(n NodeID) int {
 	for m, nd := range h.memberNode {
 		if nd == n {
@@ -449,21 +501,37 @@ func (h *HostController) memberOf(n NodeID) int {
 	return -1
 }
 
-// memberFailed reports whether member is unavailable for I/O touching
-// stripe. A member under rebuild is healthy again for stripes already copied
-// to the spare — that is what lets foreground I/O shed the degraded path as
-// the rebuild frontier advances.
+// memberOfAt is the reverse mapping to MEMBER space for one stripe: which
+// member of the stripe does endpoint n serve? Role math (geo.Role and
+// friends) must go through this, not memberOf, because a declustered
+// layout permutes drives per stripe.
+func (h *HostController) memberOfAt(stripe int64, n NodeID) int {
+	for m := 0; m < h.geo.Width; m++ {
+		if h.nodeAt(stripe, m) == n {
+			return m
+		}
+	}
+	return -1
+}
+
+// memberFailed reports whether stripe member m is unavailable for I/O. A
+// drive under frontier rebuild is healthy again for stripes already
+// copied to the spare; a declustered rebuild instead relocates chunks and
+// commits the new placement, after which the layout no longer maps the
+// member to the failed drive at all — either way foreground I/O sheds the
+// degraded path as the rebuild advances.
 func (h *HostController) memberFailed(stripe int64, member int) bool {
-	if !h.failed[member] {
+	d := h.layout.Drive(stripe, member)
+	if !h.failed[d] {
 		return false
 	}
-	if r, ok := h.rebuilds[member]; ok && stripe >= 0 && stripe < r.frontier {
+	if r, ok := h.rebuilds[d]; ok && stripe >= 0 && stripe < r.frontier {
 		return false
 	}
 	return true
 }
 
-// failNode marks the member served by endpoint n failed, if any.
+// failNode marks the drive served by endpoint n failed, if any.
 func (h *HostController) failNode(n NodeID) {
 	if m := h.memberOf(n); m >= 0 {
 		h.SetFailed(m, true)
@@ -489,13 +557,13 @@ func (h *HostController) retryAfter(attempt int, fn func()) {
 }
 
 func (h *HostController) reportFault(member int, confirmed bool) {
-	if h.health != nil && member >= 0 && member < h.geo.Width {
+	if h.health != nil && member >= 0 && member < len(h.memberNode) {
 		h.health.ObserveFault(member, confirmed)
 	}
 }
 
 func (h *HostController) reportOK(member int) {
-	if h.health != nil && member >= 0 && member < h.geo.Width {
+	if h.health != nil && member >= 0 && member < len(h.memberNode) {
 		h.health.ObserveOK(member)
 	}
 }
@@ -719,7 +787,10 @@ func (h *HostController) Adopt(prev *HostController) []int64 {
 	for m := range prev.failed {
 		h.failed[m] = true
 	}
-	copy(h.memberNode, prev.memberNode)
+	// Replace rather than copy: the predecessor may have grown its drive
+	// set (AddDrive) past what this controller's layout reported at
+	// construction.
+	h.memberNode = append([]NodeID(nil), prev.memberNode...)
 	for m, r := range prev.rebuilds {
 		h.rebuilds[m] = &rebuildState{dest: r.dest, frontier: r.frontier}
 	}

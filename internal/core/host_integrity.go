@@ -203,7 +203,7 @@ func (g *gatherState) attempt() {
 		},
 	)
 	op.onPayload = func(from NodeID, _ nvmeof.Command, b parity.Buffer) {
-		if m := h.memberOf(from); m >= 0 {
+		if m := h.memberOfAt(g.stripe, from); m >= 0 {
 			got[m] = b
 		}
 	}

@@ -3,17 +3,20 @@ package core
 import (
 	"fmt"
 
+	"draid/internal/backend"
 	"draid/internal/blockdev"
 	"draid/internal/gf256"
 	"draid/internal/nvmeof"
 	"draid/internal/parity"
+	"draid/internal/placement"
 	"draid/internal/raid"
 )
 
-// WriteMemberChunk writes a full chunk image directly to a member's drive —
-// the delivery half of rebuilding onto a replacement drive.
+// WriteMemberChunk writes a full chunk image directly to the drive holding
+// stripe member m — the delivery half of rebuilding onto a replacement
+// drive.
 func (h *HostController) WriteMemberChunk(stripe int64, member int, b parity.Buffer, cb func(error)) {
-	h.writeChunkToNode(stripe, h.nodeOf(member), b, cb)
+	h.writeChunkToNode(stripe, h.nodeOf(h.layout.Drive(stripe, member)), b, cb)
 }
 
 // writeChunkToNode writes a full chunk image for stripe to an arbitrary
@@ -39,8 +42,8 @@ func (h *HostController) writeChunkToNode(stripe int64, to NodeID, b parity.Buff
 // I/O below the advancing frontier to the spare, so the array sheds the
 // degraded path incrementally instead of all at once.
 
-// StartRebuild registers an in-progress rebuild of member onto endpoint dest
-// (a hot spare). The member must currently be failed.
+// StartRebuild registers an in-progress rebuild of a drive onto endpoint
+// dest (a hot spare). The drive must currently be failed.
 func (h *HostController) StartRebuild(member int, dest NodeID) {
 	if !h.failed[member] {
 		panic(fmt.Sprintf("core: rebuilding healthy member %d", member))
@@ -71,8 +74,20 @@ func (h *HostController) RebuildStripe(stripe int64, member int, cb func(error))
 		h.rt.Defer(func() { cb(fmt.Errorf("core: member %d has no rebuild in progress", member)) })
 		return
 	}
+	mem := h.layout.Member(stripe, member)
+	if mem < 0 {
+		// The stripe holds no chunk on this drive (declustered layouts only)
+		// — nothing to rebuild; just advance the frontier.
+		h.rt.Defer(func() {
+			if r.frontier == stripe {
+				r.frontier = stripe + 1
+			}
+			cb(nil)
+		})
+		return
+	}
 	h.acquireStripe(stripe, func() {
-		h.ReconstructStripeChunk(stripe, member, func(b parity.Buffer, err error) {
+		h.ReconstructStripeChunk(stripe, mem, func(b parity.Buffer, err error) {
 			if err != nil {
 				h.releaseStripe(stripe)
 				cb(err)
@@ -118,7 +133,7 @@ func (h *HostController) AbortRebuild(member int) { delete(h.rebuilds, member) }
 //   - P chunk:    XOR-reduce all data chunks;
 //   - Q chunk:    GF-reduce all data chunks with their g^i coefficients.
 func (h *HostController) ReconstructStripeChunk(stripe int64, member int, cb func(parity.Buffer, error)) {
-	if !h.failed[member] {
+	if !h.memberFailed(stripe, member) {
 		h.rt.Defer(func() { cb(parity.Buffer{}, fmt.Errorf("core: member %d is not failed", member)) })
 		return
 	}
@@ -222,5 +237,153 @@ func (h *HostController) ReconstructStripeChunk(stripe int64, member int, cb fun
 			cmd.WaitNum = uint16(len(parts))
 		}
 		h.send(op, p.target, cmd, parity.Buffer{})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Declustered (many-to-many) rebuild and chunk migration. A declustered
+// layout has no single spare endpoint: each chunk of the failed drive is
+// reconstructed and relocated into an idle slot of its own row —
+// distributed spare space — and the new placement is committed to the
+// layout. Once committed, the layout no longer maps the stripe's member
+// to the failed drive, so foreground I/O sheds the degraded path chunk by
+// chunk, and both the reads and the writes of the rebuild spread over the
+// whole cluster.
+
+// PlacementSlots lists the chunks currently placed on a drive, in stripe
+// order — the work list for a declustered rebuild or drive removal. Nil
+// for non-declustered layouts.
+func (h *HostController) PlacementSlots(drive int) []placement.Slot {
+	if h.dyn == nil {
+		return nil
+	}
+	return h.dyn.Slots(drive)
+}
+
+// readChunk reads the full current chunk image of stripe member m from its
+// healthy drive.
+func (h *HostController) readChunk(stripe int64, member int, cb func(parity.Buffer, error)) {
+	target := h.nodeAt(stripe, member)
+	var result parity.Buffer
+	op := h.newStripeOp("migrate-read", stripe, 1, []NodeID{target},
+		func() { cb(result, nil) },
+		func([]NodeID) {
+			cb(parity.Buffer{}, fmt.Errorf("core: stripe %d migrate read: %w", stripe, blockdev.ErrTimeout))
+		},
+	)
+	op.onPayload = func(_ NodeID, _ nvmeof.Command, b parity.Buffer) { result = b }
+	h.send(op, target, nvmeof.Command{
+		Opcode: nvmeof.OpRead,
+		Offset: h.driveOff(stripe), Length: h.geo.ChunkSize,
+	}, parity.Buffer{})
+}
+
+// MigrateStripeChunk relocates stripe member m to physical drive `to`,
+// which must already be reserved in the layout (ClaimSpare/ClaimDrive or a
+// PlanAdd move). The whole relocation runs under the stripe write lock, so
+// no foreground write can interleave between the chunk read (or
+// reconstruction, when the source drive is failed) and the write+commit —
+// the same discipline destage and frontier rebuild use. On success the new
+// placement is committed; on failure the reservation is released and the
+// chunk stays where it was.
+func (h *HostController) MigrateStripeChunk(stripe int64, member, to int, cb func(error)) {
+	if h.dyn == nil {
+		h.rt.Defer(func() { cb(fmt.Errorf("core: layout does not support migration: %w", backend.ErrUnsupported)) })
+		return
+	}
+	h.acquireStripe(stripe, func() {
+		done := func(err error) {
+			if err != nil {
+				h.dyn.Release(stripe, to)
+			}
+			h.releaseStripe(stripe)
+			cb(err)
+		}
+		deliver := func(b parity.Buffer, err error) {
+			if err != nil {
+				done(err)
+				return
+			}
+			h.writeChunkToNode(stripe, h.nodeOf(to), b, func(err error) {
+				if err == nil {
+					h.dyn.Commit(stripe, member, to)
+					h.stats.RebuiltStripes++
+				}
+				done(err)
+			})
+		}
+		if h.memberFailed(stripe, member) {
+			h.ReconstructStripeChunk(stripe, member, deliver)
+		} else {
+			h.readChunk(stripe, member, deliver)
+		}
+	})
+}
+
+// RebuildSlot rebuilds one chunk of a failed drive into an idle slot of
+// its row: the declustered unit of rebuild work. A stripe whose chunk was
+// already relocated (by a racing rebalance) completes immediately.
+func (h *HostController) RebuildSlot(stripe int64, drive int, cb func(error)) {
+	if h.dyn == nil {
+		h.rt.Defer(func() { cb(fmt.Errorf("core: layout does not support slot rebuild: %w", backend.ErrUnsupported)) })
+		return
+	}
+	member := h.dyn.Member(stripe, drive)
+	if member < 0 {
+		h.rt.Defer(func() { cb(nil) })
+		return
+	}
+	to, ok := h.dyn.ClaimSpare(stripe, func(d int) bool { return h.failed[d] })
+	if !ok {
+		h.rt.Defer(func() { cb(fmt.Errorf("core: stripe %d: no spare slot for drive %d: %w", stripe, drive, blockdev.ErrIO)) })
+		return
+	}
+	h.MigrateStripeChunk(stripe, member, to, cb)
+}
+
+// EvictSlot migrates one chunk off a drive being removed, into an idle
+// slot of its row on the remaining drives.
+func (h *HostController) EvictSlot(stripe int64, drive int, cb func(error)) {
+	if h.dyn == nil {
+		h.rt.Defer(func() { cb(fmt.Errorf("core: layout does not support eviction: %w", backend.ErrUnsupported)) })
+		return
+	}
+	member := h.dyn.Member(stripe, drive)
+	if member < 0 {
+		h.rt.Defer(func() { cb(nil) })
+		return
+	}
+	to, ok := h.dyn.ClaimSpare(stripe, func(d int) bool { return d == drive || h.failed[d] })
+	if !ok {
+		h.rt.Defer(func() { cb(fmt.Errorf("core: stripe %d: no slot to evict drive %d into: %w", stripe, drive, blockdev.ErrIO)) })
+		return
+	}
+	h.MigrateStripeChunk(stripe, member, to, cb)
+}
+
+// AddDrive grows a declustered volume's drive set by one: the layout gains
+// an (initially empty) drive and the controller maps it to fabric endpoint
+// node. Returns the new drive index. The caller rebalances existing chunks
+// onto it via the layout's PlanAdd and MigrateStripeChunk.
+func (h *HostController) AddDrive(node NodeID) (int, error) {
+	if h.dyn == nil {
+		return 0, fmt.Errorf("core: layout does not support drive add: %w", backend.ErrUnsupported)
+	}
+	idx := h.dyn.AddDrive()
+	if idx != len(h.memberNode) {
+		// Several controllers can share one Dynamic layout only if they grow
+		// it in lockstep; today each volume owns its layout.
+		panic(fmt.Sprintf("core: layout drive %d != controller drive %d", idx, len(h.memberNode)))
+	}
+	h.memberNode = append(h.memberNode, node)
+	return idx, nil
+}
+
+// RetireDrive marks a drive removed in the layout: ClaimSpare and future
+// rebalances never target it again. Chunks must already be migrated off
+// (EvictSlot) or rebuilt elsewhere (RebuildSlot).
+func (h *HostController) RetireDrive(drive int) {
+	if h.dyn != nil {
+		h.dyn.SetRemoved(drive, true)
 	}
 }

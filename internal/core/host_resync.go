@@ -134,7 +134,7 @@ func (h *HostController) resyncStripeLocked(stripe int64, cb func(error)) {
 			cb(fmt.Errorf("core: stripe %d resync read: %w", stripe, blockdev.ErrTimeout))
 		})
 	rOp.onPayload = func(from NodeID, _ nvmeof.Command, b parity.Buffer) {
-		_, idx := h.geo.Role(stripe, h.memberOf(from))
+		_, idx := h.geo.Role(stripe, h.memberOfAt(stripe, from))
 		chunks[idx] = b
 	}
 	for c := 0; c < k; c++ {

@@ -252,11 +252,19 @@ func (h *HostController) fullStripeWrite(stripe int64, data parity.Buffer, exts 
 	}
 	absOff := h.driveOff(stripe)
 
-	var targets []NodeID
+	// Carry each target's chunk index forward: the reverse node→role lookup
+	// is ambiguous under a declustered layout (one endpoint can serve
+	// different members of different stripes), so it must not be re-derived
+	// from the completion's origin.
+	type dataTarget struct {
+		node  NodeID
+		chunk int
+	}
+	var targets []dataTarget
 	for c := 0; c < k; c++ {
 		d := h.geo.DataDrive(stripe, c)
 		if !h.memberFailed(stripe, d) {
-			targets = append(targets, h.nodeAt(stripe, d))
+			targets = append(targets, dataTarget{node: h.nodeAt(stripe, d), chunk: c})
 		}
 	}
 	parityWork := h.cfg.Costs.Xor(int(cs) * k)
@@ -280,7 +288,10 @@ func (h *HostController) fullStripeWrite(stripe int64, data parity.Buffer, exts 
 		if qAlive {
 			expect++
 		}
-		watch := append([]NodeID(nil), targets...)
+		watch := make([]NodeID, 0, expect)
+		for _, t := range targets {
+			watch = append(watch, t.node)
+		}
 		if pAlive {
 			watch = append(watch, h.nodeAt(stripe, h.geo.PDrive(stripe)))
 		}
@@ -289,8 +300,7 @@ func (h *HostController) fullStripeWrite(stripe int64, data parity.Buffer, exts 
 		}
 		op := h.newStripeOp("full-stripe-write", stripe, expect, watch, func() { done(nil) }, onTimeout)
 		for _, t := range targets {
-			_, idx := h.geo.Role(stripe, h.memberOf(t))
-			h.send(op, t, nvmeof.Command{Opcode: nvmeof.OpWrite, Offset: absOff, Length: cs}, chunks[idx])
+			h.send(op, t.node, nvmeof.Command{Opcode: nvmeof.OpWrite, Offset: absOff, Length: cs}, chunks[t.chunk])
 		}
 		if pAlive {
 			h.send(op, h.nodeAt(stripe, h.geo.PDrive(stripe)), nvmeof.Command{Opcode: nvmeof.OpWrite, Offset: absOff, Length: cs}, pBuf)
@@ -639,11 +649,15 @@ func (h *HostController) hostFallbackWrite(stripe int64, exts []raid.Extent, dat
 	}
 	rOp := h.newStripeOp("fallback-read", stripe, reads, watch, finishPhase2, onTimeout)
 	rOp.onPayload = func(from NodeID, _ nvmeof.Command, b parity.Buffer) {
-		if h.memberOf(from) == pDrive {
+		// Per-stripe reverse lookup: under a declustered layout the global
+		// node→drive map says nothing about which member of THIS stripe the
+		// endpoint served.
+		m := h.memberOfAt(stripe, from)
+		if m == pDrive {
 			pOld = slot{buf: b, ok: true}
 			return
 		}
-		_, idx := h.geo.Role(stripe, h.memberOf(from))
+		_, idx := h.geo.Role(stripe, m)
 		dataOld[idx] = slot{buf: b, ok: true}
 	}
 	rOp.onMediaErr = func(member int, _ nvmeof.Command) {

@@ -250,6 +250,47 @@ func Expectations() []Expectation {
 		}},
 		{"ablation-hostparity", "peer-to-peer parity is the load-bearing design choice (≥2x host-side)",
 			ratioCheck("dRAID (peer-to-peer parity)", "dRAID (host parity)", "128KB", 2.0, 5.0)},
+		{"decluster", "declustered rebuild at 3x the drives completes in ≤0.6x the time (many-to-many)", func(f Figure) error {
+			s, err := series(f, "declustered")
+			if err != nil {
+				return err
+			}
+			small, err := at(s, "6")
+			if err != nil {
+				return err
+			}
+			big, err := at(s, "18")
+			if err != nil {
+				return err
+			}
+			if small.Lat <= 0 || big.Lat > 0.6*small.Lat {
+				return fmt.Errorf("declustered rebuild: 18 drives %.0fus vs 6 drives %.0fus = %.2fx, want ≤ 0.6x",
+					big.Lat, small.Lat, big.Lat/small.Lat)
+			}
+			return nil
+		}},
+		{"decluster", "fixed-layout rebuild time stays flat as the cluster grows (±10%)", func(f Figure) error {
+			s, err := series(f, "fixed")
+			if err != nil {
+				return err
+			}
+			lo, hi := 0.0, 0.0
+			for i, p := range s.Points {
+				if p.Lat <= 0 {
+					return fmt.Errorf("fixed rebuild at %s took no time", p.Label)
+				}
+				if i == 0 || p.Lat < lo {
+					lo = p.Lat
+				}
+				if i == 0 || p.Lat > hi {
+					hi = p.Lat
+				}
+			}
+			if hi > 1.1*lo {
+				return fmt.Errorf("fixed rebuild spread = %.2fx across cluster sizes, want ≤ 1.1x", hi/lo)
+			}
+			return nil
+		}},
 		{"greyfail", "adaptive hedging cuts read p99 ≥2x under a 10x-slow member (qd=16)", func(f Figure) error {
 			off, err := series(f, "off")
 			if err != nil {

@@ -20,6 +20,7 @@ func TestAllFiguresRunQuick(t *testing.T) {
 		Fig15(o), Fig16(o), Fig17a(o), Fig17b(o), Fig18(o),
 		Fig22(o), Fig23(o), Fig24(o), Fig25(o), Fig26(o),
 		Fig27(o, "wo"), Fig27(o, "rw"), Fig28(o), Fig29(o), Fig30(o),
+		Decluster(o),
 	}
 	seen := map[string]bool{}
 	for _, f := range figs {

@@ -24,6 +24,7 @@ var realtimeRegistry = map[string]func(Options, draid.RealtimeOptions) (Figure, 
 	"fig10":     RealtimeFig10,
 	"fig12":     RealtimeFig12,
 	"fig13":     RealtimeFig13,
+	"decluster": RealtimeDecluster,
 	"greyfail":  RealtimeGreyfail,
 	"writeback": RealtimeWriteback,
 }

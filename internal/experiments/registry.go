@@ -33,6 +33,7 @@ var registry = map[string]func(Options) Figure{
 	"fig28":               Fig28,
 	"fig29":               Fig29,
 	"fig30":               Fig30,
+	"decluster":           Decluster,
 	"greyfail":            Greyfail,
 	"multivol-noisy":      MultivolNoisy,
 	"writeback":           Writeback,

@@ -126,15 +126,16 @@ type Detector struct {
 	FailTransitions    int64
 }
 
-// NewDetector builds a detector over the host's members. onFail fires (via
-// the engine, never synchronously inside evidence delivery) exactly once per
-// healthy→failed transition.
+// NewDetector builds a detector over the host's drives (the stripe width
+// for a fixed layout, the whole cluster for a declustered one). onFail
+// fires (via the engine, never synchronously inside evidence delivery)
+// exactly once per healthy→failed transition.
 func NewDetector(eng backend.Runtime, host *core.HostController, cfg DetectorConfig, tracer *trace.Collector, onFail func(member int)) *Detector {
 	d := &Detector{
 		eng:     eng,
 		host:    host,
 		cfg:     cfg.withDefaults(),
-		members: make([]memberHealth, host.Geometry().Width),
+		members: make([]memberHealth, host.Drives()),
 		onFail:  onFail,
 		tracer:  tracer,
 	}
@@ -186,8 +187,21 @@ func (d *Detector) Stop() {
 // controller after host failover.
 func (d *Detector) Rebind(h *core.HostController) { d.host = h }
 
+// Grow extends the detector to cover n drives — the online drive-add path.
+// Existing state is preserved; new drives start healthy.
+func (d *Detector) Grow(n int) {
+	for len(d.members) < n {
+		d.members = append(d.members, memberHealth{})
+	}
+}
+
 // State returns member's current detection state.
-func (d *Detector) State(member int) MemberState { return d.members[member].state }
+func (d *Detector) State(member int) MemberState {
+	if member >= len(d.members) {
+		return Healthy
+	}
+	return d.members[member].state
+}
 
 // States returns a snapshot of all member states.
 func (d *Detector) States() []MemberState {
@@ -202,6 +216,7 @@ func (d *Detector) States() []MemberState {
 // member. Confirmed evidence escalates straight to failed; unconfirmed
 // strikes accumulate toward FailAfter, decaying after a quiet Grace window.
 func (d *Detector) ObserveFault(member int, confirmed bool) {
+	d.Grow(member + 1)
 	mh := &d.members[member]
 	if mh.state == Failed {
 		return
@@ -233,6 +248,7 @@ func (d *Detector) ObserveFault(member int, confirmed bool) {
 // degraded → suspect → failed, so a persistently fading drive is eventually
 // evicted and rebuilt instead of dragging every stripe it serves.
 func (d *Detector) ObserveSlow(member int) {
+	d.Grow(member + 1)
 	mh := &d.members[member]
 	if mh.state == Failed {
 		return
@@ -271,6 +287,7 @@ func (d *Detector) slowTier(mh *memberHealth) MemberState {
 // allows, and Degraded itself clears only after a quiet Grace window with no
 // new slow evidence.
 func (d *Detector) ObserveOK(member int) {
+	d.Grow(member + 1)
 	mh := &d.members[member]
 	now := d.eng.Now()
 	if mh.slowStrikes > 0 && now-mh.lastSlow > sim.Time(d.cfg.Grace) {
@@ -296,6 +313,7 @@ func (d *Detector) ObserveOK(member int) {
 // ForceFail escalates member to failed by administrative decree (the
 // explicit FailDrive path). No-op if already failed.
 func (d *Detector) ForceFail(member int) {
+	d.Grow(member + 1)
 	if d.members[member].state == Failed {
 		return
 	}

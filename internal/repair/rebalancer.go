@@ -1,0 +1,200 @@
+package repair
+
+import (
+	"fmt"
+
+	"draid/internal/backend"
+	"draid/internal/core"
+	"draid/internal/placement"
+	"draid/internal/sim"
+	"draid/internal/trace"
+)
+
+// RebalanceStatus is a snapshot of an online-expansion migration.
+type RebalanceStatus struct {
+	Active bool
+	Drive  int  // drive being filled (add) or drained (remove)
+	Drain  bool // true when draining for removal
+	// Done/Total count chunk relocations of the current (or last) run.
+	Done, Total int
+	// Skipped counts planned moves abandoned because their target slot was
+	// claimed by a racing rebuild or migration; the chunk stays where it is
+	// and placement remains valid, merely a little less balanced.
+	Skipped int
+}
+
+// Rebalancer executes layout migrations for online expansion on a
+// declustered volume: after a drive add it moves the new drive's fair
+// share of chunks onto it, and before a drive removal it drains every
+// chunk off the leaving drive into the remaining rows' spare slots. Each
+// relocation runs under the per-stripe write lock (the same discipline as
+// destage and rebuild) and is paced by the shared repair rate budget, so
+// foreground service keeps its share while the cluster reshapes.
+type Rebalancer struct {
+	eng  backend.Runtime
+	host *core.HostController
+	cfg  RebuilderConfig
+
+	status RebalanceStatus
+
+	track  trace.Track
+	tracer *trace.Collector
+	span   *trace.Op
+}
+
+// NewRebalancer builds a rebalance manager sharing the rebuilder's rate
+// configuration (and, through cfg.Limiter, its cluster-wide budget).
+func NewRebalancer(eng backend.Runtime, host *core.HostController, cfg RebuilderConfig, tracer *trace.Collector) *Rebalancer {
+	r := &Rebalancer{eng: eng, host: host, cfg: cfg, tracer: tracer}
+	if tracer.Enabled() {
+		r.track = tracer.Track("repair", "rebalance")
+		tracer.AddGauge(r.track, "rebalance progress", func() float64 {
+			if r.status.Total == 0 {
+				return 0
+			}
+			return float64(r.status.Done) / float64(r.status.Total)
+		})
+	}
+	return r
+}
+
+// Rebind points the rebalancer at a replacement controller after failover.
+func (r *Rebalancer) Rebind(h *core.HostController) { r.host = h }
+
+// Status returns a snapshot of the current (or last) rebalance.
+func (r *Rebalancer) Status() RebalanceStatus { return r.status }
+
+// chunkGap returns the token-bucket spacing between relocations at the
+// private rate; the shared limiter replaces it when configured.
+func (r *Rebalancer) chunkGap() sim.Duration {
+	if r.cfg.RateMBps <= 0 {
+		return 0
+	}
+	bytesPerNs := r.cfg.RateMBps * 1e6 / 1e9
+	return sim.Duration(float64(r.host.Geometry().ChunkSize) / bytesPerNs)
+}
+
+func (r *Rebalancer) pace(lastStart *sim.Time, gap sim.Duration, run func()) {
+	if r.cfg.Limiter != nil {
+		if wait := r.cfg.Limiter.Reserve(r.host.Geometry().ChunkSize); wait > 0 {
+			r.eng.After(wait, run)
+		} else {
+			r.eng.Defer(run)
+		}
+		return
+	}
+	if wait := sim.Duration(*lastStart+sim.Time(gap)) - sim.Duration(r.eng.Now()); gap > 0 && wait > 0 {
+		r.eng.After(wait, run)
+	} else {
+		r.eng.Defer(run)
+	}
+}
+
+func (r *Rebalancer) begin(drive int, drain bool, total int, label string) {
+	r.status = RebalanceStatus{Active: true, Drive: drive, Drain: drain, Total: total}
+	if r.tracer.Enabled() {
+		r.span = r.tracer.Begin(r.track, "repair", label, trace.I64("chunks", int64(total)))
+	}
+}
+
+func (r *Rebalancer) finish(err error, cb func(error)) {
+	if r.span != nil {
+		result := "ok"
+		if err != nil {
+			result = "aborted"
+		}
+		r.span.End(trace.Str("result", result))
+		r.span = nil
+	}
+	r.status.Active = false
+	cb(err)
+}
+
+// Fill migrates a fair share of existing chunks onto a freshly added drive
+// (the host must already have grown its drive set via AddDrive). A planned
+// move whose target row slot has meanwhile been claimed is skipped — the
+// placement stays valid either way.
+func (r *Rebalancer) Fill(drive int, cb func(error)) {
+	if r.status.Active {
+		r.eng.Defer(func() { cb(fmt.Errorf("repair: rebalance of drive %d already active", r.status.Drive)) })
+		return
+	}
+	dyn, ok := r.host.Layout().(placement.Dynamic)
+	if !ok {
+		r.eng.Defer(func() { cb(fmt.Errorf("repair: layout does not support rebalance: %w", backend.ErrUnsupported)) })
+		return
+	}
+	moves := dyn.PlanAdd(drive)
+	r.begin(drive, false, len(moves), fmt.Sprintf("rebalance onto d%d", drive))
+	gap := r.chunkGap()
+	lastStart := r.eng.Now()
+
+	var step func(i int)
+	step = func(i int) {
+		if i >= len(moves) {
+			r.finish(nil, cb)
+			return
+		}
+		run := func() {
+			lastStart = r.eng.Now()
+			m := moves[i]
+			if !dyn.ClaimDrive(m.Stripe, m.To) {
+				r.status.Skipped++
+				r.status.Done = i + 1
+				step(i + 1)
+				return
+			}
+			r.host.MigrateStripeChunk(m.Stripe, m.Member, m.To, func(err error) {
+				if err != nil {
+					r.finish(fmt.Errorf("repair: rebalance stripe %d member %d → d%d: %w", m.Stripe, m.Member, m.To, err), cb)
+					return
+				}
+				r.status.Done = i + 1
+				step(i + 1)
+			})
+		}
+		r.pace(&lastStart, gap, run)
+	}
+	step(0)
+}
+
+// Drain migrates every chunk off a drive being removed into spare slots on
+// the remaining drives, then leaves the drive retired in the layout. The
+// drive is marked removed up front so no racing rebuild or rebalance
+// places new chunks onto it mid-drain.
+func (r *Rebalancer) Drain(drive int, cb func(error)) {
+	if r.status.Active {
+		r.eng.Defer(func() { cb(fmt.Errorf("repair: rebalance of drive %d already active", r.status.Drive)) })
+		return
+	}
+	if !r.host.Declustered() {
+		r.eng.Defer(func() { cb(fmt.Errorf("repair: layout does not support drive removal: %w", backend.ErrUnsupported)) })
+		return
+	}
+	r.host.RetireDrive(drive)
+	slots := r.host.PlacementSlots(drive)
+	r.begin(drive, true, len(slots), fmt.Sprintf("drain d%d", drive))
+	gap := r.chunkGap()
+	lastStart := r.eng.Now()
+
+	var step func(i int)
+	step = func(i int) {
+		if i >= len(slots) {
+			r.finish(nil, cb)
+			return
+		}
+		run := func() {
+			lastStart = r.eng.Now()
+			r.host.EvictSlot(slots[i].Stripe, drive, func(err error) {
+				if err != nil {
+					r.finish(fmt.Errorf("repair: drain stripe %d off d%d: %w", slots[i].Stripe, drive, err), cb)
+					return
+				}
+				r.status.Done = i + 1
+				step(i + 1)
+			})
+		}
+		r.pace(&lastStart, gap, run)
+	}
+	step(0)
+}

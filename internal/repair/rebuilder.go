@@ -156,19 +156,93 @@ func (r *Rebuilder) Rebuild(member int, dest core.NodeID, cb func(error)) {
 		// Token bucket: the next stripe may not start before the previous
 		// one's bytes have "drained" at the configured rate. A shared
 		// limiter reserves from the cross-volume budget instead.
-		if r.cfg.Limiter != nil {
-			if wait := r.cfg.Limiter.Reserve(r.host.Geometry().ChunkSize); wait > 0 {
-				r.eng.After(wait, run)
-			} else {
-				r.eng.Defer(run)
-			}
-			return
-		}
-		if wait := sim.Duration(lastStart+sim.Time(gap)) - sim.Duration(r.eng.Now()); gap > 0 && wait > 0 {
+		r.pace(&lastStart, gap, run)
+	}
+	step(0)
+}
+
+// pace schedules run according to the rebuild rate: reserving one chunk's
+// bytes from the shared limiter when configured, else spacing starts by the
+// private token-bucket gap anchored at *lastStart.
+func (r *Rebuilder) pace(lastStart *sim.Time, gap sim.Duration, run func()) {
+	if r.cfg.Limiter != nil {
+		if wait := r.cfg.Limiter.Reserve(r.host.Geometry().ChunkSize); wait > 0 {
 			r.eng.After(wait, run)
 		} else {
 			r.eng.Defer(run)
 		}
+		return
+	}
+	if wait := sim.Duration(*lastStart+sim.Time(gap)) - sim.Duration(r.eng.Now()); gap > 0 && wait > 0 {
+		r.eng.After(wait, run)
+	} else {
+		r.eng.Defer(run)
+	}
+}
+
+// RebuildDrive is the declustered many-to-many rebuild: every chunk the
+// layout places on the failed drive is reconstructed into an idle spare
+// slot of its own row, so both the reconstruction reads and the replacement
+// writes spread over the whole cluster and the rebuild shortens as the
+// cluster grows. There is no spare endpoint and no frontier — each
+// committed relocation immediately heals its stripe — and on success the
+// drive is retired in the layout, never to be placed on again. The same
+// rate budget paces it: one chunk's bytes per relocation.
+func (r *Rebuilder) RebuildDrive(drive int, cb func(error)) {
+	if r.status.Active {
+		r.eng.Defer(func() { cb(fmt.Errorf("repair: rebuild of member %d already active", r.status.Member)) })
+		return
+	}
+	slots := r.host.PlacementSlots(drive)
+	r.status = RebuildStatus{Active: true, Member: drive, TotalStripes: int64(len(slots))}
+	if r.tracer.Enabled() {
+		r.span = r.tracer.Begin(r.track, "repair", fmt.Sprintf("declustered rebuild d%d", drive),
+			trace.I64("chunks", int64(len(slots))))
+	}
+	gap := r.stripeGap()
+	lastStart := r.eng.Now()
+
+	finish := func(err error) {
+		if err == nil {
+			r.host.RetireDrive(drive)
+		}
+		if r.span != nil {
+			result := "ok"
+			if err != nil {
+				result = "aborted"
+			}
+			r.span.End(trace.Str("result", result))
+			r.span = nil
+		}
+		r.status.Active = false
+		cb(err)
+	}
+
+	var step func(i int)
+	step = func(i int) {
+		if i >= len(slots) {
+			finish(nil)
+			return
+		}
+		run := func() {
+			lastStart = r.eng.Now()
+			lostBefore := r.host.LostRegionsEver()
+			r.host.RebuildSlot(slots[i].Stripe, drive, func(err error) {
+				if delta := r.host.LostRegionsEver() - lostBefore; delta > 0 {
+					r.status.LostRegions += delta
+					if r.cfg.OnLost != nil {
+						r.cfg.OnLost(slots[i].Stripe)
+					}
+				}
+				if err != nil {
+					finish(fmt.Errorf("repair: drive %d stripe %d: %w", drive, slots[i].Stripe, err))
+					return
+				}
+				r.status.DoneStripes = int64(i + 1)
+				step(i + 1)
+			})
+		}
+		r.pace(&lastStart, gap, run)
 	}
 	step(0)
 }

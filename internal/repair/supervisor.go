@@ -29,7 +29,7 @@ type Config struct {
 // Event is one entry of the supervisor's recovery log.
 type Event struct {
 	Time   sim.Time
-	Kind   string // "suspect", "failed", "rebuild-start", "rebuild-done", "rebuild-error", "failover", "scrub-pass", "scrub-repair", "scrub-error", "lost-region"
+	Kind   string // "suspect", "failed", "rebuild-start", "rebuild-done", "rebuild-error", "failover", "scrub-pass", "scrub-repair", "scrub-error", "lost-region", "drive-add", "drive-remove", "rebalance-done", "rebalance-error"
 	Member int
 	Detail string
 }
@@ -50,6 +50,7 @@ type Supervisor struct {
 
 	det   *Detector
 	reb   *Rebuilder
+	rebal *Rebalancer
 	scrub *Scrubber
 
 	spares  *core.SparePool
@@ -73,6 +74,7 @@ func NewSupervisor(eng backend.Runtime, host *core.HostController, cfg Config, t
 	}
 	s.det = NewDetector(eng, host, cfg.Detector, tracer, s.handleFail)
 	s.reb = NewRebuilder(eng, host, cfg.Rebuild, tracer)
+	s.rebal = NewRebalancer(eng, host, cfg.Rebuild, tracer)
 	if cfg.Scrub.OnEvent == nil {
 		cfg.Scrub.OnEvent = func(kind string, stripe int64, detail string) {
 			s.log(kind, -1, detail)
@@ -102,6 +104,9 @@ func (s *Supervisor) Detector() *Detector { return s.det }
 // Rebuilder exposes the rebuild manager.
 func (s *Supervisor) Rebuilder() *Rebuilder { return s.reb }
 
+// Rebalancer exposes the online-expansion migration manager.
+func (s *Supervisor) Rebalancer() *Rebalancer { return s.rebal }
+
 // Scrubber exposes the background scrubber.
 func (s *Supervisor) Scrubber() *Scrubber { return s.scrub }
 
@@ -122,6 +127,7 @@ func (s *Supervisor) Rebind(h *core.HostController) {
 	s.host = h
 	s.det.Rebind(h)
 	s.reb.Rebind(h)
+	s.rebal.Rebind(h)
 	s.scrub.Rebind(h)
 	h.SetHealth(s.det)
 	s.log("failover", -1, "supervision rebound to replacement controller")
@@ -129,6 +135,43 @@ func (s *Supervisor) Rebind(h *core.HostController) {
 
 func (s *Supervisor) log(kind string, member int, detail string) {
 	s.events = append(s.events, Event{Time: s.eng.Now(), Kind: kind, Member: member, Detail: detail})
+}
+
+// AddDrive grows a declustered volume onto a fresh fabric endpoint and
+// rebalances its fair share of chunks onto it in the background. Returns
+// the new drive index immediately; cb fires when the rebalance converges.
+func (s *Supervisor) AddDrive(node core.NodeID, cb func(error)) (int, error) {
+	idx, err := s.host.AddDrive(node)
+	if err != nil {
+		return 0, err
+	}
+	s.det.Grow(s.host.Drives())
+	s.log("drive-add", idx, fmt.Sprintf("node %d joined as drive %d; rebalancing", int(node), idx))
+	s.rebal.Fill(idx, func(err error) {
+		if err != nil {
+			s.log("rebalance-error", idx, err.Error())
+		} else {
+			st := s.rebal.Status()
+			s.log("rebalance-done", idx, fmt.Sprintf("%d chunk(s) moved, %d skipped", st.Done-st.Skipped, st.Skipped))
+		}
+		cb(err)
+	})
+	return idx, nil
+}
+
+// RemoveDrive drains every chunk off a drive and retires it from the
+// layout; cb fires when the drive is empty. The endpoint itself is not
+// touched — fencing or reusing it is the caller's business.
+func (s *Supervisor) RemoveDrive(drive int, cb func(error)) {
+	s.log("drive-remove", drive, "draining chunks onto remaining drives")
+	s.rebal.Drain(drive, func(err error) {
+		if err != nil {
+			s.log("rebalance-error", drive, err.Error())
+		} else {
+			s.log("rebalance-done", drive, fmt.Sprintf("%d chunk(s) evicted; drive retired", s.rebal.Status().Done))
+		}
+		cb(err)
+	})
 }
 
 // handleFail runs (deferred) on each healthy/suspect → failed transition.
@@ -147,6 +190,24 @@ func (s *Supervisor) handleFail(member int) {
 // the loser keeps its member queued until a spare frees up.
 func (s *Supervisor) tryRebuild() {
 	if len(s.queue) == 0 || s.reb.Status().Active {
+		return
+	}
+	if s.host.Declustered() {
+		// Many-to-many rebuild: the failed drive's chunks relocate into the
+		// rows' distributed spare slots — no spare endpoint is claimed, and
+		// the drive stays failed (and retired) afterwards, so the detector
+		// state is deliberately not reset.
+		drive := s.queue[0]
+		s.queue = s.queue[1:]
+		s.log("rebuild-start", drive, "declustered: relocating onto distributed spare slots")
+		s.reb.RebuildDrive(drive, func(err error) {
+			if err != nil {
+				s.log("rebuild-error", drive, err.Error())
+			} else {
+				s.log("rebuild-done", drive, "chunks relocated; drive retired")
+			}
+			s.tryRebuild()
+		})
 		return
 	}
 	spare, ok := s.spares.Claim()

@@ -6,6 +6,7 @@ import (
 
 	"draid/internal/cluster"
 	"draid/internal/core"
+	"draid/internal/placement"
 	"draid/internal/raid"
 	"draid/internal/recon"
 	"draid/internal/repair"
@@ -65,6 +66,9 @@ type Pool struct {
 	cfg     PoolConfig
 	limiter *repair.RateLimiter
 	arrays  []*Array
+	// pending lists the volumes whose layouts the last AddDrive/RemoveDrive
+	// is still migrating; WaitRebalance drains it.
+	pending []*Array
 }
 
 // NewPool assembles the shared testbed.
@@ -120,8 +124,17 @@ type VolumeConfig struct {
 	// Level is the RAID level (default Raid5).
 	Level Level
 	// Drives is the stripe width (default: the pool's drive count). A
-	// narrower volume stripes over members 0..Drives-1.
+	// narrower volume stripes over members 0..Drives-1 — unless Declustered
+	// is set, in which case the width-Drives parity groups spread over every
+	// pool drive.
 	Drives int
+	// Declustered spreads this volume's stripes across all pool drives with
+	// seeded parity declustering instead of pinning them to a contiguous
+	// member window: rebuild becomes many-to-many (shrinking as the pool
+	// grows) and the volume follows Pool.AddDrive/RemoveDrive expansions.
+	// Requires a stripe width (Drives) strictly below the pool's drive
+	// count, so every row keeps distributed spare slots.
+	Declustered bool
 	// ChunkSize is the stripe chunk size (default 512 KB).
 	ChunkSize int64
 	// Extent is the volume's slice of every member drive in bytes; 0 claims
@@ -165,6 +178,10 @@ func (p *Pool) OpenVolume(cfg VolumeConfig) (*Array, error) {
 	if cfg.Name == "" {
 		cfg.Name = fmt.Sprintf("vol%d", len(p.cl.Volumes()))
 	}
+	if cfg.Declustered && cfg.Drives >= p.cfg.Drives {
+		return nil, fmt.Errorf("draid: declustered volume %q needs width (%d) below the pool's drive count (%d)",
+			cfg.Name, cfg.Drives, p.cfg.Drives)
+	}
 	geo := raid.Geometry{Level: cfg.Level, Width: cfg.Drives, ChunkSize: cfg.ChunkSize}
 	if err := geo.Validate(); err != nil {
 		return nil, err
@@ -179,6 +196,16 @@ func (p *Pool) OpenVolume(cfg VolumeConfig) (*Array, error) {
 	}
 	Config{WriteBack: cfg.WriteBack, StageMB: cfg.StageMB, CacheMB: cfg.CacheMB,
 		DestageIntervalMs: cfg.DestageIntervalMs}.applyWriteBack(&hostCfg)
+	if cfg.Declustered {
+		width, drives, chunk, seed := cfg.Drives, p.cfg.Drives, cfg.ChunkSize, p.cfg.Seed
+		hostCfg.LayoutFor = func(base, extent int64) placement.Layout {
+			l, err := placement.NewDeclustered(base, extent, chunk, width, drives, seed)
+			if err != nil {
+				panic(err.Error()) // width/drive preconditions checked above
+			}
+			return l
+		}
+	}
 	switch cfg.ReducerPolicy {
 	case ReducerRandom:
 	case ReducerFixed:
@@ -247,13 +274,96 @@ func (p *Pool) Now() time.Duration { return time.Duration(p.cl.Eng.Now()) }
 func (p *Pool) FailDrive(i int) {
 	p.cl.FailTarget(i)
 	for _, a := range p.arrays {
-		if i < a.host.Geometry().Width {
+		if i < a.host.Drives() {
 			a.host.SetFailed(i, true)
 			if a.sup != nil {
 				a.sup.NotifyFailed(i)
 			}
 		}
 	}
+}
+
+// AddDrive grows the pool by one drive: it claims an idle hot-spare
+// endpoint (PoolConfig.Spares) and adds it to every declustered volume's
+// layout, each volume rebalancing its fair share of chunks onto the
+// newcomer in the background, paced by the shared RebuildRateMBps budget.
+// Returns the new drive index immediately; WaitRebalance observes
+// convergence. Fixed-layout volumes are unaffected — their windows stay
+// where they are.
+func (p *Pool) AddDrive() (int, error) {
+	var grow []*Array
+	for _, a := range p.arrays {
+		if a.host.Declustered() {
+			if a.sup == nil {
+				return 0, fmt.Errorf("draid: AddDrive: volume %q has no supervisor (configure PoolConfig.Spares)", a.vol.Name)
+			}
+			grow = append(grow, a)
+		}
+	}
+	if len(grow) == 0 {
+		return 0, fmt.Errorf("draid: AddDrive: pool has no declustered volumes: %w", ErrUnsupported)
+	}
+	node, ok := p.cl.Spares.Claim()
+	if !ok {
+		return 0, fmt.Errorf("draid: no spare endpoint left to add")
+	}
+	idx := -1
+	p.pending = nil
+	for _, a := range grow {
+		arr := a
+		arr.rebalDone, arr.rebalErr = false, nil
+		i, err := arr.sup.AddDrive(node, func(e error) { arr.rebalErr, arr.rebalDone = e, true })
+		if err != nil {
+			return 0, err
+		}
+		idx = i
+		p.pending = append(p.pending, arr)
+	}
+	return idx, nil
+}
+
+// RemoveDrive drains drive i out of every declustered volume's layout and
+// retires it — online shrink. Returns immediately; WaitRebalance observes
+// the drains. Fails if any volume's fixed window covers the drive, since a
+// fixed layout cannot give it up.
+func (p *Pool) RemoveDrive(i int) error {
+	for _, a := range p.arrays {
+		if !a.host.Declustered() && i < a.host.Drives() {
+			return fmt.Errorf("draid: RemoveDrive: fixed-layout volume %q stripes over drive %d: %w", a.vol.Name, i, ErrUnsupported)
+		}
+	}
+	p.pending = nil
+	for _, a := range p.arrays {
+		if !a.host.Declustered() {
+			continue
+		}
+		if a.sup == nil {
+			return fmt.Errorf("draid: RemoveDrive: volume %q has no supervisor (configure PoolConfig.Spares)", a.vol.Name)
+		}
+		arr := a
+		arr.rebalDone, arr.rebalErr = false, nil
+		arr.sup.RemoveDrive(i, func(e error) { arr.rebalErr, arr.rebalDone = e, true })
+		p.pending = append(p.pending, arr)
+	}
+	if len(p.pending) == 0 {
+		return fmt.Errorf("draid: RemoveDrive: pool has no declustered volumes: %w", ErrUnsupported)
+	}
+	return nil
+}
+
+// WaitRebalance advances the shared clock until every migration started by
+// the last AddDrive/RemoveDrive converges, returning the first error.
+func (p *Pool) WaitRebalance() error {
+	p.cl.Eng.Run()
+	for _, a := range p.pending {
+		if !a.rebalDone {
+			return fmt.Errorf("draid: rebalance of volume %q stalled", a.vol.Name)
+		}
+		if a.rebalErr != nil {
+			return a.rebalErr
+		}
+	}
+	return nil
 }
 
 // TotalHostTraffic reports the shared host NIC counters (all volumes).

@@ -37,3 +37,9 @@ go run ./cmd/draid-bench -backend realtime -fig greyfail | tee -a "$OUT"
 # numbers live in BENCH_writeback.json.
 go run ./cmd/draid-bench -fig writeback -parallel 4 | tee -a "$OUT"
 go run ./cmd/draid-bench -backend realtime -fig writeback | tee -a "$OUT"
+
+# Declustered placement sweep: rebuild rate and duration vs cluster size,
+# fixed vs declustered, sim + realtime. Curated numbers live in
+# BENCH_decluster.json.
+go run ./cmd/draid-bench -fig decluster -parallel 4 | tee -a "$OUT"
+go run ./cmd/draid-bench -backend realtime -fig decluster | tee -a "$OUT"

@@ -25,6 +25,11 @@ go test -race -run '^TestScrub' . -count=1
 go test -race -count=1 ./internal/backend/...
 go run ./cmd/draid-fio -backend realtime -iosize 131072 -qd 8 -ramp 10ms -measure 40ms
 go run ./cmd/draid-fio -backend realtime -rt-tcp -iosize 65536 -qd 8 -ramp 10ms -measure 40ms
+# Declustered-placement smoke: rebuild + online expansion under -race, plus
+# the decluster figure (quick sim sweep) with its machine-checked
+# rebuild-shrinks-with-cluster-size expectations.
+go test -race -run 'TestDeclustered|TestAddDriveLiveTrafficP99|TestPoolAddDrive' . -count=1
+go run ./cmd/draid-bench -fig decluster -quick
 
 if [ "${FULL:-0}" = "1" ]; then
     make torture
@@ -42,4 +47,8 @@ if [ "${FULL:-0}" = "1" ]; then
     go run ./cmd/draid-fio -backend realtime -writeback -iosize 16384 -qd 16 -ramp 10ms -measure 40ms
     go run ./cmd/draid-bench -fig writeback -quick -ramp 10ms -measure 40ms
     go run ./cmd/draid-bench -backend realtime -fig writeback -ramp 10ms -measure 40ms
+    # Declustered placement at full sweep: the rebuild-vs-cluster-size
+    # figure on sim (all cluster sizes) and realtime (endpoints).
+    go run ./cmd/draid-bench -fig decluster -parallel 4
+    go run ./cmd/draid-bench -backend realtime -fig decluster
 fi
