@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race verify trace torture
+.PHONY: all build test vet race verify trace torture chaos
 
 all: build
 
@@ -35,3 +35,14 @@ trace:
 torture:
 	$(GO) test -race -run 'TestTorture' ./internal/core -count=1
 	$(GO) test -race -run 'TestAutoRecovery|TestFailoverHost|TestRecoveryTraceDeterminism|TestIntegrityTorture|TestWritebackTorture|TestDeclusterTorture' . -count=1
+
+# Deterministic protocol chaos: one fault (partition, crash+failover, grey
+# delay, capsule duplication) placed before every step of a seeded workload,
+# healed, and checked against the membership invariants — no acked write
+# lost, nothing stale visible, converged scrub. The teeth pass disables
+# epoch enforcement and must DETECT the stale-destage corruption.
+chaos:
+	$(GO) run ./cmd/draid-chaos -wb
+	$(GO) run ./cmd/draid-chaos
+	$(GO) run ./cmd/draid-chaos -declustered -wb
+	$(GO) run ./cmd/draid-chaos -wb -teeth

@@ -1,0 +1,93 @@
+// Command draid-chaos runs the deterministic protocol chaos sweep: a seeded
+// workload with one fault — partition, host crash+failover, grey slowness,
+// capsule duplication — placed before every step in turn, healed, and checked
+// against the membership invariants (no acked write lost, nothing stale
+// visible, converged scrub). Every trial is addressable as
+// (mode, seed, fault, step) and replays bit-identically on the sim backend.
+//
+//	draid-chaos                          # sim, fixed layout, write-through
+//	draid-chaos -wb -declustered         # write-back staging, declustered layout
+//	draid-chaos -backend realtime -tcp   # same schedules over loopback sockets
+//	draid-chaos -seeds 4 -steps 4        # smaller sweep
+//	draid-chaos -faults partition        # only partition-shaped faults
+//	draid-chaos -teeth                   # disable epoch enforcement: the sweep
+//	                                     # must now DETECT corruption (exit 0
+//	                                     # only if violations were found)
+//
+// Exit status: 0 on a clean sweep, 1 on violations (inverted under -teeth:
+// a teeth sweep that finds nothing proves the harness is blind).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"draid"
+	"draid/internal/chaos"
+)
+
+func main() {
+	backend := flag.String("backend", "sim", "backend: sim or realtime")
+	tcp := flag.Bool("tcp", false, "use the TCP transport on the realtime backend")
+	declustered := flag.Bool("declustered", false, "declustered layout instead of fixed geometry")
+	wb := flag.Bool("wb", false, "write-back staging (host-side stage + destage)")
+	teeth := flag.Bool("teeth", false, "disable server epoch enforcement; expect the sweep to catch corruption")
+	seeds := flag.Int("seeds", 8, "number of workload seeds (1..n)")
+	steps := flag.Int("steps", 6, "workload steps per trial; the fault is placed before each in turn")
+	faults := flag.String("faults", "all", "fault set: all or partition")
+	flag.Parse()
+
+	mode := chaos.Mode{
+		Declustered: *declustered,
+		WriteBack:   *wb,
+		Teeth:       *teeth,
+		TCP:         *tcp,
+	}
+	switch *backend {
+	case "sim":
+		mode.Backend = draid.BackendSim
+	case "realtime":
+		mode.Backend = draid.BackendRealtime
+	default:
+		log.Fatalf("unknown backend %q (sim or realtime)", *backend)
+	}
+
+	opts := chaos.Options{Mode: mode, Steps: *steps}
+	for s := int64(1); s <= int64(*seeds); s++ {
+		opts.Seeds = append(opts.Seeds, s)
+	}
+	switch *faults {
+	case "all":
+		if *teeth {
+			// Teeth hunts the stale-destage corruption; only the zombie
+			// schedules can produce it.
+			opts.Faults = []chaos.Fault{chaos.FaultIsolateSeize}
+		}
+	case "partition":
+		opts.Faults = chaos.PartitionFaults()
+	default:
+		log.Fatalf("unknown fault set %q (all or partition)", *faults)
+	}
+
+	rep, err := chaos.Run(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %s\n", mode, rep.Summary())
+	for _, v := range rep.Violations {
+		fmt.Printf("  violation: %s\n", v)
+	}
+	if *teeth {
+		if rep.Clean() {
+			fmt.Println("TEETH FAILURE: enforcement disabled but no corruption detected — the harness is blind")
+			os.Exit(1)
+		}
+		fmt.Printf("teeth ok: %d/%d trials caught the stale corruption\n", len(rep.Violations), rep.Trials)
+		return
+	}
+	if !rep.Clean() {
+		os.Exit(1)
+	}
+}

@@ -79,6 +79,13 @@ var (
 	// ErrNoCapacity reports a volume allocation that exceeds the drives'
 	// remaining capacity (Pool.OpenVolume past the allocation cursor).
 	ErrNoCapacity = cluster.ErrNoCapacity
+	// ErrFenced reports I/O refused because the issuing controller no longer
+	// owns the volume: its lease expired or a replacement seized the epoch.
+	ErrFenced = blockdev.ErrFenced
+	// ErrStaleEpoch reports a command rejected by a storage server because it
+	// carried a superseded host epoch — proof a takeover happened while the
+	// issuing controller was partitioned. Wraps ErrFenced.
+	ErrStaleEpoch = blockdev.ErrStaleEpoch
 )
 
 // BackendKind selects the substrate an array runs on.
@@ -511,6 +518,23 @@ type Config struct {
 	// 2): staged stripes with no new writes for a full tick are flushed.
 	// Requires WriteBack.
 	DestageIntervalMs int
+	// EpochFencing enables membership epochs: the host controller holds a
+	// monotone epoch granted by the cluster at volume-open and takeover time,
+	// stamps it into every protocol capsule, and the storage servers reject
+	// commands from superseded epochs with a typed status — so a partitioned
+	// predecessor can never corrupt state after a replacement takes over
+	// (SeizeHost), no matter how long it keeps retrying. A host that observes
+	// a stale-epoch rejection stands down: further I/O fails with
+	// ErrStaleEpoch. Off (the default) leaves the wire format and every code
+	// path byte-identical to previous releases.
+	EpochFencing bool
+	// HostLease arms the controller's membership lease: the host re-validates
+	// its epoch against the cluster every HostLease/2 and proactively fences
+	// itself — parking foreground I/O and destage with ErrFenced — once a
+	// full lease elapses without a successful renewal, bounding how long a
+	// partitioned host keeps issuing doomed writes. 0 (the default) disables
+	// the watchdog. Requires EpochFencing.
+	HostLease time.Duration
 	// MaxRetries bounds §5.4 per-op retries before an I/O fails with
 	// ErrTimeout (default 1). RetryBackoff spaces successive attempts
 	// (default 0: immediate).
@@ -619,6 +643,12 @@ func (cfg Config) validate() error {
 	if cfg.StageMB < 0 || cfg.CacheMB < 0 || cfg.DestageIntervalMs < 0 {
 		return fmt.Errorf("draid: negative write-back sizing")
 	}
+	if cfg.HostLease < 0 {
+		return fmt.Errorf("draid: negative HostLease")
+	}
+	if cfg.HostLease > 0 && !cfg.EpochFencing {
+		return fmt.Errorf("draid: HostLease requires EpochFencing (renewal validates the epoch)")
+	}
 	switch cfg.Backend {
 	case BackendSim:
 	case BackendRealtime:
@@ -694,6 +724,9 @@ func New(cfg Config) (*Array, error) {
 	default:
 		return nil, fmt.Errorf("draid: unknown reducer policy %v", cfg.ReducerPolicy)
 	}
+	if cfg.EpochFencing {
+		grantEpoch(cl, 0, &hostCfg, sim.Duration(cfg.HostLease))
+	}
 	host := cl.NewDRAID(hostCfg)
 	arr := &Array{cl: cl, host: host, dev: host, clientNode: cl.HostNode, hostCfg: hostCfg,
 		scrubRate: cfg.ScrubRateMBps, seed: cfg.Seed}
@@ -740,6 +773,9 @@ func newRealtime(cfg Config) (*Array, error) {
 	if cfg.ReducerPolicy == ReducerFixed {
 		hostCfg.Selector = recon.FixedSelector{}
 	}
+	if cfg.EpochFencing {
+		grantEpoch(cl, 0, &hostCfg, sim.Duration(cfg.HostLease))
+	}
 	host := cl.NewDRAID(hostCfg)
 	arr := &Array{cl: cl, host: host, dev: loopDev{rt: cl.Rt, dev: host},
 		hostCfg: hostCfg, scrubRate: cfg.ScrubRateMBps, seed: cfg.Seed, realtime: true}
@@ -770,6 +806,20 @@ func (cfg Config) layoutFor() func(base, extent int64) placement.Layout {
 			panic(err.Error())
 		}
 		return l
+	}
+}
+
+// grantEpoch takes the next host epoch for a volume from the cluster's
+// membership registry and stamps it (plus the lease watchdog) onto a host
+// config. The renewal closure re-validates against the registry, so a host
+// superseded by a takeover cannot renew.
+func grantEpoch(cl *cluster.Cluster, vol core.VolumeID, hc *core.Config, lease sim.Duration) {
+	epoch := cl.GrantEpoch(vol)
+	hc.Epoch = epoch
+	hc.Lease = lease
+	hc.RenewLease = nil
+	if lease > 0 {
+		hc.RenewLease = func() bool { return cl.CurrentEpoch(vol) == epoch }
 	}
 }
 
@@ -1403,6 +1453,158 @@ func (in Injector) SlowDrive(i int, p SlowProfile) error {
 	return err
 }
 
+// PartitionDir selects which direction(s) of a node pair a partition cuts:
+// symmetric (PartitionBoth) or asymmetric (one way keeps delivering — the
+// classic half-open failure).
+type PartitionDir = backend.PartitionDir
+
+// Partition directions.
+const (
+	PartitionBoth = backend.PartitionBoth
+	PartitionAToB = backend.PartitionAToB
+	PartitionBToA = backend.PartitionBToA
+)
+
+// PartitionHost cuts the fabric between the host controller and member drive
+// i. Cut messages vanish after consuming send bandwidth, exactly like
+// messages to a down node: the sender's op deadline notices, nothing else.
+// Directions read host→drive as A→B. Reports ErrUnsupported on transports
+// without partition hooks.
+func (in Injector) PartitionHost(i int, dir PartitionDir) error {
+	return in.a.partitionOp(core.HostID, i, dir, false)
+}
+
+// HealHostPartition restores the host↔drive i fabric in the given
+// direction(s).
+func (in Injector) HealHostPartition(i int, dir PartitionDir) error {
+	return in.a.partitionOp(core.HostID, i, dir, true)
+}
+
+// PartitionPeers cuts the target-to-target fabric between member drives i
+// and j — the peer-to-peer parity and reconstruction path — while both keep
+// talking to the host. Directions read i→j as A→B. On the simulated fabric,
+// drives co-located on one storage server (DrivesPerServer > 1) exchange
+// local memory copies and cannot be partitioned from each other: the cut is
+// a silent no-op there.
+func (in Injector) PartitionPeers(i, j int, dir PartitionDir) error {
+	return in.a.peerPartitionOp(i, j, dir, false)
+}
+
+// HealPeerPartition restores the drive i ↔ drive j fabric in the given
+// direction(s).
+func (in Injector) HealPeerPartition(i, j int, dir PartitionDir) error {
+	return in.a.peerPartitionOp(i, j, dir, true)
+}
+
+// IsolateHost cuts the host off from every member drive in both directions —
+// the full partition a takeover scenario starts from. Heal with
+// HealHostIsolation.
+func (in Injector) IsolateHost() error {
+	return in.a.eachMember(func(i int) error {
+		return in.PartitionHost(i, PartitionBoth)
+	})
+}
+
+// HealHostIsolation reverses IsolateHost.
+func (in Injector) HealHostIsolation() error {
+	return in.a.eachMember(func(i int) error {
+		return in.HealHostPartition(i, PartitionBoth)
+	})
+}
+
+// DuplicateNext arms a one-shot duplication of the next capsule in each
+// direction between the host and member drive i — a retransmission the
+// fabric resolved late. The protocol must shrug it off: writes are
+// idempotent and completions for retired command IDs are discarded. Reports
+// ErrUnsupported on transports without duplication hooks.
+func (in Injector) DuplicateNext(i int) error {
+	a := in.a
+	di, ok := a.cl.Fab.(backend.DuplicateInjector)
+	if !ok {
+		return fmt.Errorf("draid: duplicate injection: %w", ErrUnsupported)
+	}
+	var err error
+	a.call(func() {
+		if i < 0 || i >= a.host.Drives() {
+			err = fmt.Errorf("draid: duplicate injection: member %d out of range", i)
+			return
+		}
+		bID := a.host.MemberNode(i)
+		di.DuplicateNext(core.HostID, bID)
+		di.DuplicateNext(bID, core.HostID)
+	})
+	return err
+}
+
+// SetEpochChecks enables or disables server-side epoch enforcement on every
+// bdev of the cluster. Disabling it is a deliberate fault injection — the
+// chaos harness's "teeth" mode — that reproduces the stale-destage
+// corruption the membership layer exists to prevent: a superseded host's
+// writes are applied instead of rejected. Checks are on by default; never
+// disable them outside a test.
+func (in Injector) SetEpochChecks(on bool) {
+	for _, s := range in.a.cl.Servers {
+		s.SetEpochChecks(on)
+	}
+}
+
+// partitionOp validates a member index and applies one host↔member partition
+// change.
+func (a *Array) partitionOp(aID core.NodeID, b int, dir PartitionDir, heal bool) error {
+	pi, ok := a.cl.Fab.(backend.PartitionInjector)
+	if !ok {
+		return fmt.Errorf("draid: partition injection: %w", ErrUnsupported)
+	}
+	var err error
+	a.call(func() {
+		if b < 0 || b >= a.host.Drives() {
+			err = fmt.Errorf("draid: partition injection: member %d out of range", b)
+			return
+		}
+		bID := a.host.MemberNode(b)
+		if heal {
+			pi.HealPartition(aID, bID, dir)
+		} else {
+			pi.InjectPartition(aID, bID, dir)
+		}
+	})
+	return err
+}
+
+// peerPartitionOp applies one drive↔drive partition change.
+func (a *Array) peerPartitionOp(i, j int, dir PartitionDir, heal bool) error {
+	pi, ok := a.cl.Fab.(backend.PartitionInjector)
+	if !ok {
+		return fmt.Errorf("draid: partition injection: %w", ErrUnsupported)
+	}
+	var err error
+	a.call(func() {
+		if i < 0 || i >= a.host.Drives() || j < 0 || j >= a.host.Drives() || i == j {
+			err = fmt.Errorf("draid: partition injection: member pair (%d,%d) invalid", i, j)
+			return
+		}
+		aID, bID := a.host.MemberNode(i), a.host.MemberNode(j)
+		if heal {
+			pi.HealPartition(aID, bID, dir)
+		} else {
+			pi.InjectPartition(aID, bID, dir)
+		}
+	})
+	return err
+}
+
+// eachMember runs fn over every member index, stopping at the first error.
+func (a *Array) eachMember(fn func(int) error) error {
+	var n int
+	a.call(func() { n = a.host.Drives() })
+	for i := 0; i < n; i++ {
+		if err := fn(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // FailDrive is Array.FailDrive, grouped here for discoverability.
 func (in Injector) FailDrive(i int) { in.a.FailDrive(i) }
 
@@ -1455,6 +1657,35 @@ func (a *Array) InjectBitRot(off, n int64) { _ = a.Inject().BitRot(off, n) }
 // Deprecated: use Inject().LatentErrorRate, which reports backend support.
 func (a *Array) SetLatentErrorRate(rate float64) { _ = a.Inject().LatentErrorRate(rate) }
 
+// HostEpoch returns the controller's cluster-granted membership epoch
+// (0 when Config.EpochFencing is off).
+func (a *Array) HostEpoch() uint64 {
+	var e uint64
+	a.call(func() { e = a.host.Epoch() })
+	return e
+}
+
+// HostFenced reports whether the controller has stood down — its lease
+// lapsed or a storage server rejected it with a stale-epoch status. A fenced
+// controller fails all further I/O with ErrFenced/ErrStaleEpoch; bring up a
+// successor with SeizeHost or FailoverHost.
+func (a *Array) HostFenced() bool {
+	var f bool
+	a.call(func() { f = a.host.Fenced() })
+	return f
+}
+
+// StaleRejects returns the total number of commands the storage servers
+// refused for carrying a superseded host epoch — each one a write or read a
+// fenced-out predecessor attempted after a takeover.
+func (a *Array) StaleRejects() int64 {
+	var n int64
+	for _, s := range a.cl.Servers {
+		n += s.StaleRejects()
+	}
+	return n
+}
+
 // SparesAvailable returns how many hot spares remain in the pool.
 func (a *Array) SparesAvailable() int {
 	if a.sup == nil {
@@ -1495,21 +1726,77 @@ func (a *Array) FailoverHost() (int, error) {
 	a.call(func() {
 		old := a.host
 		old.Crash()
+		a.regrantEpoch()
 		replacement := a.cl.NewDRAID(a.hostCfg) // takes over the fabric endpoint
 		dirty = replacement.Adopt(old)
-		if a.sup != nil {
-			a.sup.Rebind(replacement)
-		}
-		if a.adhocScrub != nil {
-			a.adhocScrub.Rebind(replacement)
-		}
-		a.host = replacement
-		if a.realtime {
-			a.dev = loopDev{rt: a.cl.Rt, dev: replacement}
-		} else {
-			a.dev = replacement
-		}
+		a.rebind(replacement)
 	})
+	return a.resyncDirty(dirty)
+}
+
+// SeizeHost brings up a replacement controller WITHOUT crashing the current
+// one — the partitioned-zombie takeover. Requires EpochFencing: the
+// replacement is granted the next host epoch, so the storage servers fence
+// the old controller's in-flight and retried commands with StatusStaleEpoch
+// the moment the replacement's first command arrives, and the old
+// controller's own I/O fails with ErrStaleEpoch (or ErrFenced once its lease
+// lapses). Like FailoverHost, the replacement adopts the member map, staged
+// writes, and write-intent bitmap, and resyncs exactly the dirty stripes.
+// Returns the number of stripes resynced.
+//
+// With WriteBack on, configure HostLease (or heal the partition promptly):
+// an isolated predecessor with no lease retries its stale destages forever,
+// and the deterministic backends' run-to-quiescence sync ops wait for it.
+func (a *Array) SeizeHost() (int, error) {
+	if _, offloaded := a.dev.(*core.OffloadClient); offloaded {
+		return 0, fmt.Errorf("draid: host takeover with an offloaded controller is not supported")
+	}
+	if a.hostCfg.Epoch == 0 {
+		return 0, fmt.Errorf("draid: SeizeHost requires EpochFencing: %w", ErrUnsupported)
+	}
+	var dirty []int64
+	a.call(func() {
+		old := a.host
+		a.regrantEpoch()
+		replacement := a.cl.NewDRAID(a.hostCfg) // takes over the fabric endpoint
+		dirty = replacement.Seize(old)
+		a.rebind(replacement)
+	})
+	return a.resyncDirty(dirty)
+}
+
+// regrantEpoch advances the stored host config to the next cluster-granted
+// epoch before a takeover builds the replacement. No-op with fencing off.
+func (a *Array) regrantEpoch() {
+	if a.hostCfg.Epoch == 0 {
+		return
+	}
+	vol := core.VolumeID(0)
+	if a.vol != nil {
+		vol = a.vol.ID
+	}
+	grantEpoch(a.cl, vol, &a.hostCfg, a.hostCfg.Lease)
+}
+
+// rebind points the array and its supervision stack at a replacement
+// controller. Runs inside call().
+func (a *Array) rebind(replacement *core.HostController) {
+	if a.sup != nil {
+		a.sup.Rebind(replacement)
+	}
+	if a.adhocScrub != nil {
+		a.adhocScrub.Rebind(replacement)
+	}
+	a.host = replacement
+	if a.realtime {
+		a.dev = loopDev{rt: a.cl.Rt, dev: replacement}
+	} else {
+		a.dev = replacement
+	}
+}
+
+// resyncDirty runs the §5.4 failover resync over the adopted dirty stripes.
+func (a *Array) resyncDirty(dirty []int64) (int, error) {
 	var ferr error
 	done := false
 	repair.Failover(a.cl.Rt, a.host, dirty, func(err error) { ferr, done = err, true })

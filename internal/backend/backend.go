@@ -142,6 +142,50 @@ type Transport interface {
 	SetDown(id NodeID, down bool)
 }
 
+// PartitionDir selects which directions of a node pair a partition cuts.
+type PartitionDir int
+
+const (
+	// PartitionBoth cuts a→b and b→a (a symmetric partition).
+	PartitionBoth PartitionDir = iota
+	// PartitionAToB cuts only messages from a to b — the asymmetric case
+	// where b still hears a's peer but not vice versa.
+	PartitionAToB
+	// PartitionBToA cuts only messages from b to a.
+	PartitionBToA
+)
+
+// PartitionInjector is the optional network-partition surface of a
+// Transport: messages crossing a partitioned pair vanish in the cut
+// direction(s) exactly as if addressed to a down endpoint — the sender's
+// §5.4 deadline machinery notices, nothing else does. Partitions compose
+// with drop/delay/corruption injection and with SetDown; they are tracked
+// per ordered pair, so asymmetric (one-way) partitions and partial heals
+// are expressible. Backends that cannot cut links pairwise simply do not
+// implement the interface, and callers surface ErrUnsupported.
+type PartitionInjector interface {
+	// InjectPartition cuts the pair (a, b) in the given direction(s).
+	// Injecting an already-cut direction is a no-op.
+	InjectPartition(a, b NodeID, dir PartitionDir)
+	// HealPartition restores the pair in the given direction(s); healing a
+	// healthy direction is a no-op.
+	HealPartition(a, b NodeID, dir PartitionDir)
+	// Partitioned reports whether messages from 'from' to 'to' are cut.
+	Partitioned(from, to NodeID) bool
+}
+
+// DuplicateInjector is the optional message-duplication surface of a
+// Transport: a one-shot trigger per ordered pair that makes the next message
+// from 'from' to 'to' arrive twice back to back, modeling a retransmission
+// the fabric resolved late. The protocol must tolerate it — writes are
+// idempotent, completions for retired command IDs are discarded. Backends
+// that cannot replay frames do not implement the interface.
+type DuplicateInjector interface {
+	// DuplicateNext arms the one-shot for the ordered pair (from, to).
+	// Arming an already-armed pair is a no-op.
+	DuplicateNext(from, to NodeID)
+}
+
 // Traffic is the optional byte-accounting surface of a Transport, mirroring
 // the NIC counters of the simulated fabric: out counts at send (a message
 // dropped downstream still consumed send-side bandwidth), in at delivery.

@@ -349,6 +349,116 @@ func Run(t *testing.T, f Factory) {
 		}
 	})
 
+	t.Run("PartitionedHostFailover", func(t *testing.T) {
+		// The tentpole robustness scenario: the host is partitioned from every
+		// drive mid-workload, a replacement seizes the volume at a higher
+		// epoch, the partition heals — and no acknowledged write may be lost,
+		// while nothing the stale host attempted may surface after takeover.
+		cfg := baseConfig()
+		cfg.EpochFencing = true
+		cfg.HostLease = 50 * time.Millisecond
+		cfg.WriteBack = true
+		cfg.StageMB = 1
+		cfg.OpDeadline = 50 * time.Millisecond
+		a := f(t, cfg)
+		defer a.Close()
+		base := pattern(0, 128<<10)
+		if err := a.WriteSync(0, base); err != nil {
+			t.Fatalf("priming write: %v", err)
+		}
+		if err := a.Flush(); err != nil {
+			t.Fatalf("priming flush: %v", err)
+		}
+		if err := a.Inject().IsolateHost(); err != nil {
+			if errors.Is(err, draid.ErrUnsupported) {
+				t.Skipf("backend does not support partition injection: %v", err)
+			}
+			t.Fatalf("isolate host: %v", err)
+		}
+		want := append([]byte(nil), base...)
+		// A sub-stripe write is acknowledged from the staging buffer even
+		// while the fabric is cut; its destages fail until takeover. Once
+		// acknowledged it must survive everything that follows.
+		ackd := pattern(5<<10, 6<<10)
+		if err := a.WriteSync(4<<10, ackd); err != nil {
+			t.Fatalf("staged write during partition: %v", err)
+		}
+		copy(want[4<<10:], ackd)
+		// A full-stripe write goes write-through into the cut fabric and must
+		// fail — never be silently dropped as acknowledged. (The exact error
+		// depends on what the partition starved first: a plain op timeout, or
+		// a degraded-path failure after timeouts struck members out.)
+		if err := a.WriteSync(64<<10, pattern(1, 64<<10)); err == nil {
+			t.Fatal("write-through during partition unexpectedly succeeded")
+		}
+		if err := a.Inject().HealHostIsolation(); err != nil {
+			t.Fatalf("heal partition: %v", err)
+		}
+		// The replacement seizes the volume without crashing the predecessor:
+		// the epoch bump plus the servers' stale-epoch rejections are what
+		// fence the zombie out.
+		if _, err := a.SeizeHost(); err != nil {
+			t.Fatalf("seize host: %v", err)
+		}
+		if got := a.HostEpoch(); got != 2 {
+			t.Fatalf("replacement epoch: got %d, want 2", got)
+		}
+		if err := a.Flush(); err != nil {
+			t.Fatalf("flush after takeover: %v", err)
+		}
+		got, err := a.ReadSync(0, int64(len(want)))
+		if err != nil {
+			t.Fatalf("read after takeover: %v", err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatal("read after takeover: acknowledged write lost or stale write applied")
+		}
+	})
+
+	t.Run("DeclusteredRaid6RebuildThroughQ", func(t *testing.T) {
+		// Double fault on a declustered RAID-6 volume: reads must solve
+		// through P+Q, and the many-to-many rebuild must relocate both failed
+		// drives' chunks — Q parity included — into distributed spare slots,
+		// leaving redundancy whole enough to survive two further failures.
+		cfg := baseConfig()
+		cfg.Level = draid.Raid6
+		cfg.Drives = 4
+		cfg.Declustered = true
+		cfg.ClusterDrives = 7
+		a := f(t, cfg)
+		defer a.Close()
+		want := pattern(0, 160<<10)
+		if err := a.WriteSync(0, want); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		a.FailDrive(1)
+		a.FailDrive(3)
+		got, err := a.ReadSync(0, int64(len(want)))
+		if err != nil {
+			t.Fatalf("double-degraded read: %v", err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatal("double-degraded read: P+Q solve wrong")
+		}
+		if err := a.RebuildDrive(1, 0); err != nil {
+			t.Fatalf("rebuild first failed drive: %v", err)
+		}
+		if err := a.RebuildDrive(3, 0); err != nil {
+			t.Fatalf("rebuild second failed drive: %v", err)
+		}
+		// Redundancy must be fully restored: two fresh failures reconstruct
+		// through the relocated chunks (Q among them).
+		a.FailDrive(0)
+		a.FailDrive(4)
+		got, err = a.ReadSync(0, int64(len(want)))
+		if err != nil {
+			t.Fatalf("read after rebuild with two more drives failed: %v", err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatal("read after RAID-6 declustered rebuild: payload mismatch")
+		}
+	})
+
 	t.Run("OutOfRange", func(t *testing.T) {
 		a := f(t, baseConfig())
 		defer a.Close()

@@ -167,6 +167,9 @@ func (t *TCPTransport) Send(from, to backend.NodeID, cmd nvmeof.Command, payload
 	cmdBytes := cmd.Encode()
 	wire := int64(len(cmdBytes)) + int64(payload.Len()) + wireHeaderBytes
 	t.countOut(from, backend.VolumeID(cmd.NSID), wire)
+	if t.Partitioned(from, to) {
+		return // cut by an injected partition after consuming send bandwidth
+	}
 
 	frame := make([]byte, 0, 4+len(cmdBytes)+4+8+1+4+payload.Len())
 	le := binary.LittleEndian
@@ -184,15 +187,21 @@ func (t *TCPTransport) Send(from, to backend.NodeID, cmd nvmeof.Command, payload
 		frame = append(frame, payload.Data()...)
 	}
 
-	t.bed.hold() // released by the receiver after delivery (or on error below)
-	c, err := t.dial(from, to)
-	if err == nil {
-		t.connMu.Lock()
-		_, err = c.Write(frame)
-		t.connMu.Unlock()
+	copies := 1
+	if t.consumeDup(from, to) {
+		copies = 2 // the stream replays the frame back to back
 	}
-	if err != nil {
-		t.bed.release()
+	for i := 0; i < copies; i++ {
+		t.bed.hold() // released by the receiver after delivery (or on error below)
+		c, err := t.dial(from, to)
+		if err == nil {
+			t.connMu.Lock()
+			_, err = c.Write(frame)
+			t.connMu.Unlock()
+		}
+		if err != nil {
+			t.bed.release()
+		}
 	}
 }
 
@@ -219,6 +228,8 @@ func (t *TCPTransport) Close() error {
 }
 
 var (
-	_ backend.Transport = (*TCPTransport)(nil)
-	_ backend.Traffic   = (*TCPTransport)(nil)
+	_ backend.Transport         = (*TCPTransport)(nil)
+	_ backend.Traffic           = (*TCPTransport)(nil)
+	_ backend.PartitionInjector = (*TCPTransport)(nil)
+	_ backend.DuplicateInjector = (*TCPTransport)(nil)
 )

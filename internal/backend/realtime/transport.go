@@ -31,6 +31,8 @@ type endpoints struct {
 	handlers    map[backend.NodeID]backend.Handler
 	volHandlers map[volKey]backend.Handler
 	down        map[backend.NodeID]bool
+	partitions  map[[2]backend.NodeID]bool
+	dupOnce     map[[2]backend.NodeID]bool
 	hostOut     int64
 	hostIn      int64
 	volBytes    map[backend.VolumeID]*volTraffic
@@ -42,8 +44,66 @@ func newEndpoints(width int) endpoints {
 		handlers:    make(map[backend.NodeID]backend.Handler),
 		volHandlers: make(map[volKey]backend.Handler),
 		down:        make(map[backend.NodeID]bool),
+		partitions:  make(map[[2]backend.NodeID]bool),
+		dupOnce:     make(map[[2]backend.NodeID]bool),
 		volBytes:    make(map[backend.VolumeID]*volTraffic),
 	}
+}
+
+// InjectPartition cuts traffic between two endpoints in the given
+// direction(s). Cut messages vanish after consuming sender bandwidth,
+// exactly like messages to a down node — only the sender's op deadline
+// notices. Both realtime transports share this state via embedding.
+func (e *endpoints) InjectPartition(a, b backend.NodeID, dir backend.PartitionDir) {
+	e.mu.Lock()
+	if dir == backend.PartitionBoth || dir == backend.PartitionAToB {
+		e.partitions[[2]backend.NodeID{a, b}] = true
+	}
+	if dir == backend.PartitionBoth || dir == backend.PartitionBToA {
+		e.partitions[[2]backend.NodeID{b, a}] = true
+	}
+	e.mu.Unlock()
+}
+
+// HealPartition restores traffic between two endpoints in the given
+// direction(s).
+func (e *endpoints) HealPartition(a, b backend.NodeID, dir backend.PartitionDir) {
+	e.mu.Lock()
+	if dir == backend.PartitionBoth || dir == backend.PartitionAToB {
+		delete(e.partitions, [2]backend.NodeID{a, b})
+	}
+	if dir == backend.PartitionBoth || dir == backend.PartitionBToA {
+		delete(e.partitions, [2]backend.NodeID{b, a})
+	}
+	e.mu.Unlock()
+}
+
+// Partitioned reports whether messages from 'from' to 'to' are cut.
+func (e *endpoints) Partitioned(from, to backend.NodeID) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.partitions[[2]backend.NodeID{from, to}]
+}
+
+// DuplicateNext arms a one-shot duplication for the ordered pair: the next
+// message from 'from' to 'to' is delivered twice back to back (a late
+// fabric retransmission). Both realtime transports share this state.
+func (e *endpoints) DuplicateNext(from, to backend.NodeID) {
+	e.mu.Lock()
+	e.dupOnce[[2]backend.NodeID{from, to}] = true
+	e.mu.Unlock()
+}
+
+// consumeDup reports and clears the pair's one-shot duplication.
+func (e *endpoints) consumeDup(from, to backend.NodeID) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	key := [2]backend.NodeID{from, to}
+	if !e.dupOnce[key] {
+		return false
+	}
+	delete(e.dupOnce, key)
+	return true
 }
 
 func (e *endpoints) Register(id backend.NodeID, h backend.Handler) {
@@ -167,14 +227,29 @@ func (t *ChanTransport) Send(from, to backend.NodeID, cmd nvmeof.Command, payloa
 	wire := int64(cmd.EncodedSize()) + int64(p.Len()) + wireHeaderBytes
 	vol := backend.VolumeID(cmd.NSID)
 	t.countOut(from, vol, wire)
-	t.bed.postFG(t.bed.loopFor(to), func() {
-		if h := t.accept(to, vol, wire); h != nil {
-			h(backend.Message{Cmd: cmd, Payload: p, From: from})
+	if t.Partitioned(from, to) {
+		return // cut by an injected partition after consuming send bandwidth
+	}
+	copies := 1
+	if t.consumeDup(from, to) {
+		copies = 2
+	}
+	for i := 0; i < copies; i++ {
+		dp := p
+		if i > 0 && !dp.Elided() {
+			dp = dp.Clone() // each delivered copy owns its payload
 		}
-	})
+		t.bed.postFG(t.bed.loopFor(to), func() {
+			if h := t.accept(to, vol, wire); h != nil {
+				h(backend.Message{Cmd: cmd, Payload: dp, From: from})
+			}
+		})
+	}
 }
 
 var (
-	_ backend.Transport = (*ChanTransport)(nil)
-	_ backend.Traffic   = (*ChanTransport)(nil)
+	_ backend.Transport         = (*ChanTransport)(nil)
+	_ backend.Traffic           = (*ChanTransport)(nil)
+	_ backend.PartitionInjector = (*ChanTransport)(nil)
+	_ backend.DuplicateInjector = (*ChanTransport)(nil)
 )

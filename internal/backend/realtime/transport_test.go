@@ -1,0 +1,167 @@
+package realtime
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"draid/internal/backend"
+	"draid/internal/nvmeof"
+	"draid/internal/parity"
+)
+
+// recorder collects delivered messages thread-safely and signals arrivals.
+type recorder struct {
+	mu   sync.Mutex
+	msgs []backend.Message
+	ch   chan struct{}
+}
+
+func newRecorder() *recorder { return &recorder{ch: make(chan struct{}, 64)} }
+
+func (r *recorder) handler(m backend.Message) {
+	r.mu.Lock()
+	r.msgs = append(r.msgs, m)
+	r.mu.Unlock()
+	r.ch <- struct{}{}
+}
+
+func (r *recorder) count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.msgs)
+}
+
+// waitFor blocks until n messages arrived or the deadline passes.
+func (r *recorder) waitFor(n int, d time.Duration) bool {
+	dl := time.After(d)
+	for {
+		if r.count() >= n {
+			return true
+		}
+		select {
+		case <-r.ch:
+		case <-dl:
+			return r.count() >= n
+		}
+	}
+}
+
+// settle gives in-flight deliveries a moment to land (used before asserting
+// a message did NOT arrive).
+func settle() { time.Sleep(50 * time.Millisecond) }
+
+type sendTransport interface {
+	backend.Transport
+	backend.PartitionInjector
+	backend.DuplicateInjector
+}
+
+func testCmd(id uint64) nvmeof.Command {
+	return nvmeof.Command{Opcode: nvmeof.OpWrite, ID: id, NSID: 1, Length: 8}
+}
+
+// runTransportTests exercises partition and duplication semantics shared by
+// both realtime transports.
+func runTransportTests(t *testing.T, bed *Bed, tr sendTransport) {
+	host := backend.HostID
+	n0 := backend.NodeID(0)
+	rec := newRecorder()
+	tr.Register(n0, rec.handler)
+
+	// Baseline delivery.
+	tr.Send(host, n0, testCmd(1), parity.Sized(8))
+	if !rec.waitFor(1, 2*time.Second) {
+		t.Fatal("baseline send never delivered")
+	}
+
+	// Symmetric partition cuts host→member.
+	tr.InjectPartition(host, n0, backend.PartitionBoth)
+	tr.Send(host, n0, testCmd(2), parity.Sized(8))
+	settle()
+	if rec.count() != 1 {
+		t.Fatalf("partitioned send delivered: %d messages", rec.count())
+	}
+
+	// Asymmetric heal: host→member restored, member→host still cut.
+	tr.HealPartition(host, n0, backend.PartitionAToB)
+	if tr.Partitioned(host, n0) {
+		t.Fatal("host→member should be healed")
+	}
+	if !tr.Partitioned(n0, host) {
+		t.Fatal("member→host should still be cut")
+	}
+	tr.Send(host, n0, testCmd(3), parity.Sized(8))
+	if !rec.waitFor(2, 2*time.Second) {
+		t.Fatal("send after asymmetric heal never delivered")
+	}
+	tr.HealPartition(host, n0, backend.PartitionBoth)
+
+	// One-shot duplication: next message arrives twice, following one once.
+	tr.DuplicateNext(host, n0)
+	tr.Send(host, n0, testCmd(4), parity.FromBytes([]byte("payload!")))
+	if !rec.waitFor(4, 2*time.Second) {
+		t.Fatalf("duplicated send delivered %d messages, want 2 copies", rec.count()-2)
+	}
+	tr.Send(host, n0, testCmd(5), parity.Sized(8))
+	if !rec.waitFor(5, 2*time.Second) {
+		t.Fatal("post-duplicate send never delivered")
+	}
+	settle()
+	if rec.count() != 5 {
+		t.Fatalf("one-shot duplication leaked: %d total messages, want 5", rec.count())
+	}
+
+	// The duplicated copies carried identical commands and payloads.
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	a, b := rec.msgs[2], rec.msgs[3]
+	if a.Cmd.ID != 4 || b.Cmd.ID != 4 {
+		t.Fatalf("duplicate copies carry IDs %d and %d, want both 4", a.Cmd.ID, b.Cmd.ID)
+	}
+	if string(a.Payload.Data()) != "payload!" || string(b.Payload.Data()) != "payload!" {
+		t.Fatal("duplicate copies should carry identical payload bytes")
+	}
+}
+
+func TestChanTransportPartitionAndDuplicate(t *testing.T) {
+	bed := NewBed(1, 2)
+	defer bed.Close()
+	tr := NewChanTransport(bed, 2)
+	runTransportTests(t, bed, tr)
+}
+
+func TestTCPTransportPartitionAndDuplicate(t *testing.T) {
+	bed := NewBed(1, 2)
+	defer bed.Close()
+	tr, err := NewTCPTransport(bed, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	runTransportTests(t, bed, tr)
+}
+
+// Duplication is per ordered pair: arming host→0 must not duplicate host→1.
+func TestDuplicatePerPair(t *testing.T) {
+	bed := NewBed(1, 2)
+	defer bed.Close()
+	tr := NewChanTransport(bed, 2)
+	host := backend.HostID
+	rec0, rec1 := newRecorder(), newRecorder()
+	tr.Register(backend.NodeID(0), rec0.handler)
+	tr.Register(backend.NodeID(1), rec1.handler)
+	tr.DuplicateNext(host, backend.NodeID(0))
+	tr.Send(host, backend.NodeID(1), testCmd(1), parity.Sized(8))
+	if !rec1.waitFor(1, 2*time.Second) {
+		t.Fatal("send to node 1 never delivered")
+	}
+	settle()
+	if rec1.count() != 1 {
+		t.Fatalf("node 1 got %d messages; duplication armed for node 0 leaked", rec1.count())
+	}
+	tr.Send(host, backend.NodeID(0), testCmd(2), parity.Sized(8))
+	if !rec0.waitFor(2, 2*time.Second) {
+		t.Fatalf("node 0 got %d messages, want the armed duplicate pair", rec0.count())
+	}
+}

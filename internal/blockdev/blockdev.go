@@ -35,6 +35,21 @@ var (
 	ErrMediaError = fmt.Errorf("%w: unrecoverable media error", ErrIO)
 )
 
+// Membership-fencing errors (host epochs and leases). ErrStaleEpoch wraps
+// ErrFenced: a host learning it is superseded is by definition fenced, so
+// callers matching the broader condition keep working.
+var (
+	// ErrFenced reports I/O refused because the issuing controller no longer
+	// owns the volume: its lease expired or a replacement seized the epoch.
+	// The controller has parked the operation's side effects; nothing was
+	// applied.
+	ErrFenced = fmt.Errorf("%w: controller fenced from volume", ErrIO)
+	// ErrStaleEpoch reports a command a storage server rejected because it
+	// carried a superseded host epoch — the positive confirmation that a
+	// takeover happened while this controller was partitioned.
+	ErrStaleEpoch = fmt.Errorf("%w: command carried stale host epoch", ErrFenced)
+)
+
 // Device is an asynchronous block device. Callbacks run on the simulation
 // engine; implementations must never invoke a callback synchronously from
 // Read/Write (use the engine's Defer), so callers can rely on stack-safe

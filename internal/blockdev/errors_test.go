@@ -1,0 +1,44 @@
+package blockdev
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// The fencing sentinels form a chain: ErrStaleEpoch ⊂ ErrFenced ⊂ ErrIO.
+// Callers written against plain ErrIO keep working; callers that care can
+// match at any level of specificity.
+func TestFencingSentinelChain(t *testing.T) {
+	if !errors.Is(ErrStaleEpoch, ErrFenced) {
+		t.Error("ErrStaleEpoch should match ErrFenced")
+	}
+	if !errors.Is(ErrStaleEpoch, ErrIO) {
+		t.Error("ErrStaleEpoch should match ErrIO")
+	}
+	if !errors.Is(ErrFenced, ErrIO) {
+		t.Error("ErrFenced should match ErrIO")
+	}
+	if errors.Is(ErrFenced, ErrStaleEpoch) {
+		t.Error("ErrFenced must not match the more specific ErrStaleEpoch")
+	}
+	if errors.Is(ErrTimeout, ErrFenced) || errors.Is(ErrIO, ErrFenced) {
+		t.Error("unrelated sentinels must not match ErrFenced")
+	}
+}
+
+// Wrapped errors keep matching through any number of %w layers — the form
+// every layer of the stack uses to add context.
+func TestFencingSentinelsSurviveWrapping(t *testing.T) {
+	err := fmt.Errorf("core: write refused: %w",
+		fmt.Errorf("op 17 rejected by server 3: %w", ErrStaleEpoch))
+	for _, target := range []error{ErrStaleEpoch, ErrFenced, ErrIO} {
+		if !errors.Is(err, target) {
+			t.Errorf("wrapped stale-epoch error should match %v", target)
+		}
+	}
+	fenced := fmt.Errorf("core: destage refused: %w", ErrFenced)
+	if errors.Is(fenced, ErrStaleEpoch) {
+		t.Error("a plain fence must not match ErrStaleEpoch")
+	}
+}

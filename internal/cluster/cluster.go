@@ -112,6 +112,12 @@ type Cluster struct {
 	// volumes registered afterwards are admitted through it.
 	qos *core.QoS
 
+	// epochs is the membership registry: the highest host epoch granted per
+	// volume. The cluster is the (modelled) membership authority — grants
+	// are serial and monotone, so a replacement host always outranks every
+	// predecessor at the bdevs.
+	epochs map[core.VolumeID]uint64
+
 	// close releases backend resources (real-time loops, listeners, files);
 	// nil on the simulation, which holds nothing to release.
 	close func() error
@@ -320,6 +326,25 @@ func (c *Cluster) EnableQoS(window int64) *core.QoS {
 
 // QoS returns the shared arbiter, or nil when EnableQoS was never called.
 func (c *Cluster) QoS() *core.QoS { return c.qos }
+
+// GrantEpoch advances and returns a volume's host epoch: one grant per
+// controller session (volume open, failover, seize). The first grant
+// returns 1, so a granted epoch is always distinguishable from the zero
+// "fencing off" value.
+func (c *Cluster) GrantEpoch(id core.VolumeID) uint64 {
+	if c.epochs == nil {
+		c.epochs = make(map[core.VolumeID]uint64)
+	}
+	c.epochs[id]++
+	return c.epochs[id]
+}
+
+// CurrentEpoch returns the highest epoch granted for a volume (0 when epoch
+// fencing was never used). A host whose epoch is below this must not renew
+// its lease.
+func (c *Cluster) CurrentEpoch(id core.VolumeID) uint64 {
+	return c.epochs[id]
+}
 
 // AddVolume registers a virtual array on the cluster: a dRAID host
 // controller over the next free extent of every drive. extent is the

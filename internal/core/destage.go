@@ -24,7 +24,10 @@ func (st *stage) startDestageTimer() {
 	}
 	var tick func()
 	tick = func() {
-		if st.h.crashed {
+		if st.h.crashed || st.h.fenced {
+			// A fenced host must stop destaging: its staged data now belongs
+			// to the replacement that seized the volume (the bdevs would
+			// reject the writes anyway).
 			return
 		}
 		mark := st.tickMark
@@ -77,6 +80,11 @@ func (st *stage) destageStripe(stripe int64, done func(error)) {
 		}
 	}
 	h.acquireStripe(stripe, func() {
+		if h.fenced {
+			h.releaseStripe(stripe)
+			h.rt.Defer(func() { finish(h.fenceError("destage")) })
+			return
+		}
 		s := st.stripes[stripe]
 		if s == nil || s.set.Empty() || h.crashed {
 			h.releaseStripe(stripe)

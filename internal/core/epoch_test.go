@@ -1,0 +1,201 @@
+package core_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"draid/internal/blockdev"
+	"draid/internal/cluster"
+	"draid/internal/core"
+	"draid/internal/parity"
+	"draid/internal/raid"
+	"draid/internal/sim"
+)
+
+// epochCluster builds a testbed whose controllers carry explicit host epochs.
+func epochCluster(t *testing.T, targets int) *cluster.Cluster {
+	t.Helper()
+	spec := cluster.DefaultSpec()
+	spec.Targets = targets
+	return cluster.New(spec)
+}
+
+func epochConfig(targets int, epoch uint64) core.Config {
+	return core.Config{
+		Geometry: raid.Geometry{Level: raid.Raid5, Width: targets, ChunkSize: chunkSize},
+		Deadline: 50 * sim.Millisecond,
+		Epoch:    epoch,
+	}
+}
+
+// A controller holding a superseded epoch gets its commands rejected with
+// StatusStaleEpoch, counts the rejection, reports the typed error, and
+// stands down — one rejection is positive confirmation of the takeover.
+func TestStaleEpochRejectionStandsDown(t *testing.T) {
+	cl := epochCluster(t, 5)
+	h1 := cl.NewDRAID(epochConfig(5, 1))
+	data := randBytes(1, 2*chunkSize)
+	mustWrite(t, cl, h1, 0, data)
+
+	// A successor at a higher epoch makes first contact: the servers learn
+	// epoch 2 and will reject everything below it from now on.
+	h2 := cl.NewDRAID(epochConfig(5, 2))
+	mustWrite(t, cl, h2, 0, data)
+	for i, s := range cl.Servers {
+		if got := s.VolumeEpoch(0); got != 2 {
+			t.Fatalf("server %d at epoch %d after successor contact, want 2", i, got)
+		}
+	}
+
+	// A latecomer re-registers the endpoint with the stale epoch: its first
+	// write bounces off every bdev, and the echoed rejection fences it.
+	stale := cl.NewDRAID(epochConfig(5, 1))
+	errDone := errors.New("not done")
+	stale.Write(0, parity.FromBytes(data), func(err error) { errDone = err })
+	cl.Eng.Run()
+	if errDone == nil {
+		t.Fatal("stale-epoch write succeeded")
+	}
+	if !errors.Is(errDone, blockdev.ErrStaleEpoch) || !errors.Is(errDone, blockdev.ErrFenced) {
+		t.Fatalf("stale-epoch write error = %v, want ErrStaleEpoch (and ErrFenced)", errDone)
+	}
+	if !stale.Fenced() {
+		t.Fatal("controller should stand down after a stale-epoch rejection")
+	}
+	if got := stale.Stats().StaleEpochRejects; got == 0 {
+		t.Fatal("StaleEpochRejects never counted")
+	}
+	var serverRejects int64
+	for _, s := range cl.Servers {
+		serverRejects += s.StaleRejects()
+	}
+	if serverRejects == 0 {
+		t.Fatal("no server counted a stale reject")
+	}
+
+	// Once fenced, I/O fails fast with the typed error — no fabric traffic.
+	errDone = errors.New("not done")
+	stale.Write(0, parity.FromBytes(data), func(err error) { errDone = err })
+	cl.Eng.Run()
+	if !errors.Is(errDone, blockdev.ErrStaleEpoch) {
+		t.Fatalf("post-fence write error = %v, want ErrStaleEpoch", errDone)
+	}
+}
+
+// Seize adopts a live predecessor: the successor reads everything the
+// predecessor wrote, and the predecessor's late completions are discarded by
+// the foreign-epoch check rather than settling the successor's ops.
+func TestSeizeAdoptsLivePredecessor(t *testing.T) {
+	cl := epochCluster(t, 5)
+	h1 := cl.NewDRAID(epochConfig(5, 1))
+	data := randBytes(2, 4*chunkSize)
+	mustWrite(t, cl, h1, 0, data)
+
+	h2 := cl.NewDRAID(epochConfig(5, 2))
+	h2.Seize(h1)
+	got := mustRead(t, cl, h2, 0, int64(len(data)))
+	if !bytes.Equal(got, data) {
+		t.Fatal("successor does not read the predecessor's data after seize")
+	}
+
+	// The zombie keeps writing on its old epoch. The servers reject it; the
+	// completions route to the successor (which now owns the endpoint) and
+	// carry the zombie's epoch, so the successor must drop them.
+	errDone := errors.New("not done")
+	h1.Write(0, parity.FromBytes(randBytes(3, 2*chunkSize)), func(err error) { errDone = err })
+	cl.Eng.Run()
+	if errDone == nil {
+		t.Fatal("zombie write succeeded after seize")
+	}
+	if h2.Stats().ForeignCompletions == 0 {
+		t.Fatal("successor never dropped a foreign-epoch completion")
+	}
+	// The rejected bytes must not have landed.
+	if got := mustRead(t, cl, h2, 0, int64(len(data))); !bytes.Equal(got, data) {
+		t.Fatal("zombie write mutated data after seize")
+	}
+}
+
+// Seizing a live controller without a strictly higher nonzero epoch is a
+// programming error: nothing would fence the predecessor, and shared command
+// IDs would corrupt both sessions.
+func TestSeizeRequiresHigherEpoch(t *testing.T) {
+	cl := epochCluster(t, 5)
+	h1 := cl.NewDRAID(epochConfig(5, 1))
+	for _, bad := range []uint64{0, 1} {
+		h2 := cl.NewDRAID(epochConfig(5, bad))
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Seize with epoch %d should panic", bad)
+				}
+			}()
+			h2.Seize(h1)
+		}()
+	}
+}
+
+// The lease watchdog stands the controller down within one lease of losing
+// the ability to renew — proactive fencing, before any server rejects it.
+func TestLeaseExpiryStandsDown(t *testing.T) {
+	cl := epochCluster(t, 5)
+	renew := true
+	cfg := epochConfig(5, 1)
+	cfg.Lease = 10 * sim.Millisecond
+	cfg.RenewLease = func() bool { return renew }
+	h := cl.NewDRAID(cfg)
+	data := randBytes(4, 2*chunkSize)
+	mustWrite(t, cl, h, 0, data)
+
+	cl.Eng.RunFor(50 * sim.Millisecond)
+	if h.Fenced() {
+		t.Fatal("controller fenced while renewals succeed")
+	}
+	renew = false
+	cl.Eng.RunFor(50 * sim.Millisecond)
+	if !h.Fenced() {
+		t.Fatal("controller should stand down after a full lease without renewal")
+	}
+	if h.Stats().LeaseExpiries == 0 {
+		t.Fatal("LeaseExpiries never counted")
+	}
+	errDone := errors.New("not done")
+	h.Write(0, parity.FromBytes(data), func(err error) { errDone = err })
+	cl.Eng.Run()
+	if !errors.Is(errDone, blockdev.ErrFenced) {
+		t.Fatalf("post-expiry write error = %v, want ErrFenced", errDone)
+	}
+	if errors.Is(errDone, blockdev.ErrStaleEpoch) {
+		t.Fatal("watchdog stand-down should report the generic fence, not a stale epoch")
+	}
+}
+
+// With enforcement injected away (the chaos harness's teeth mode), stale
+// commands are admitted — the knob must actually disable the fence, or teeth
+// sweeps would prove nothing.
+func TestSetEpochChecksDisablesFence(t *testing.T) {
+	cl := epochCluster(t, 5)
+	h1 := cl.NewDRAID(epochConfig(5, 1))
+	data := randBytes(5, 2*chunkSize)
+	mustWrite(t, cl, h1, 0, data)
+	h2 := cl.NewDRAID(epochConfig(5, 2))
+	mustWrite(t, cl, h2, 0, data)
+	for _, s := range cl.Servers {
+		s.SetEpochChecks(false)
+	}
+	stale := cl.NewDRAID(epochConfig(5, 1))
+	errDone := errors.New("not done")
+	stale.Write(0, parity.FromBytes(data), func(err error) { errDone = err })
+	cl.Eng.Run()
+	if errDone != nil {
+		t.Fatalf("with checks off the stale write should land: %v", errDone)
+	}
+	var rejects int64
+	for _, s := range cl.Servers {
+		rejects += s.StaleRejects()
+	}
+	if rejects != 0 {
+		t.Fatalf("%d stale rejects counted with enforcement off", rejects)
+	}
+}

@@ -237,6 +237,63 @@ func (f *Fabric) conn(a, b NodeID) *simnet.Conn {
 	}
 }
 
+// InjectPartition cuts the fabric between two endpoints in the given
+// direction(s): messages crossing the cut vanish after consuming sender
+// bandwidth, exactly like messages to a down node — only the sender's §5.4
+// deadline notices. Endpoints sharing a server node share a connection, so
+// partitioning one bdev pair partitions the whole node pair (the same blast
+// radius as SetDown, §5.5); co-located bdevs exchange local memcpys and
+// cannot be partitioned from each other (the cut is a silent no-op there).
+func (f *Fabric) InjectPartition(a, b NodeID, dir backend.PartitionDir) {
+	f.setPartition(a, b, dir, true)
+}
+
+// HealPartition restores the fabric between two endpoints in the given
+// direction(s).
+func (f *Fabric) HealPartition(a, b NodeID, dir backend.PartitionDir) {
+	f.setPartition(a, b, dir, false)
+}
+
+func (f *Fabric) setPartition(a, b NodeID, dir backend.PartitionDir, cut bool) {
+	c := f.conn(a, b)
+	if c == nil {
+		return // co-located bdevs: local transfers bypass the network
+	}
+	apply := func(from *simnet.Node) {
+		if cut {
+			c.InjectPartitionDirection(from)
+		} else {
+			c.HealPartitionDirection(from)
+		}
+	}
+	if dir == backend.PartitionBoth || dir == backend.PartitionAToB {
+		apply(f.Node(a))
+	}
+	if dir == backend.PartitionBoth || dir == backend.PartitionBToA {
+		apply(f.Node(b))
+	}
+}
+
+// Partitioned reports whether messages from 'from' to 'to' are cut.
+func (f *Fabric) Partitioned(from, to NodeID) bool {
+	c := f.conn(from, to)
+	if c == nil {
+		return false
+	}
+	return c.PartitionedFrom(f.Node(from))
+}
+
+// DuplicateNext arms a one-shot duplication of the next message from 'from'
+// to 'to' (a late fabric retransmission — backend.DuplicateInjector).
+// Co-located bdevs exchange local memcpys: the arm is a silent no-op there.
+func (f *Fabric) DuplicateNext(from, to NodeID) {
+	c := f.conn(from, to)
+	if c == nil {
+		return
+	}
+	c.InjectDuplicateOnceDirection(f.Node(from))
+}
+
 // Send transmits a capsule (and payload) from one endpoint to another. Wire
 // size is the encoded capsule plus payload length. Delivery invokes the
 // destination's handler; messages to failed nodes vanish (sender times
@@ -290,5 +347,10 @@ func (f *Fabric) Send(from, to NodeID, cmd nvmeof.Command, payload parity.Buffer
 // receiver-side command checksum (injected wire corruption).
 func (f *Fabric) CorruptDrops() int64 { return f.corruptDrops }
 
-// The simulated fabric is the deterministic backend.Transport.
-var _ backend.Transport = (*Fabric)(nil)
+// The simulated fabric is the deterministic backend.Transport, with
+// pairwise partition and duplication injection.
+var (
+	_ backend.Transport         = (*Fabric)(nil)
+	_ backend.PartitionInjector = (*Fabric)(nil)
+	_ backend.DuplicateInjector = (*Fabric)(nil)
+)

@@ -93,6 +93,25 @@ type Config struct {
 	// (QoSBurst <= 0 selects the arbiter's window size).
 	QoSRate  float64
 	QoSBurst int64
+	// Epoch is the host epoch the cluster granted this controller for its
+	// volume (membership fencing, §5.4 extended). Every capsule the
+	// controller issues carries it; bdevs reject anything below their
+	// current epoch with StatusStaleEpoch, so a partitioned predecessor can
+	// never apply a write after a takeover. Zero disables epoch stamping
+	// and leaves the wire format and protocol byte-identical to the
+	// pre-epoch implementation.
+	Epoch uint64
+	// Lease, when positive, arms the membership lease watchdog: the
+	// controller re-validates ownership (via RenewLease) every half-lease
+	// and proactively stands down — parking foreground I/O and destage with
+	// ErrFenced — once a full lease elapses without a successful renewal,
+	// rather than discovering the takeover through rejected writes.
+	Lease sim.Duration
+	// RenewLease is polled by the lease watchdog; returning false means the
+	// grantor has moved the volume's epoch past this controller's and the
+	// lease must not be extended. Nil self-renews (the watchdog only fires
+	// on explicit revocation then).
+	RenewLease func() bool
 	// Trace, when non-nil, receives protocol events.
 	Trace func(format string, args ...any)
 	// Tracer, when enabled, records structured stripe-op and per-member RPC
@@ -148,6 +167,15 @@ type Stats struct {
 	DestageRCW        int64
 	CacheHits         int64
 	CacheBytes        int64
+	// Membership-fencing counters: StaleEpochRejects counts completions
+	// reporting this controller's epoch superseded (each one triggers
+	// stand-down); ForeignCompletions counts completions discarded because
+	// they echoed a different epoch (answers addressed to a predecessor
+	// whose command IDs collide with ours after a seize); LeaseExpiries
+	// counts watchdog-driven stand-downs.
+	StaleEpochRejects  int64
+	ForeignCompletions int64
+	LeaseExpiries      int64
 }
 
 // HostController is the dRAID host: a virtual block device whose I/O is
@@ -191,6 +219,14 @@ type HostController struct {
 	// crashed simulates controller death: no new I/O is accepted, no
 	// completions are processed, and pending callbacks never fire.
 	crashed bool
+
+	// fenced marks a controller that has stood down from its volume: its
+	// lease expired or a bdev reported its epoch superseded. Foreground I/O
+	// fails fast with fenceErr (ErrFenced or ErrStaleEpoch) and destage
+	// parks; unlike crashed, callbacks still fire — the issuer deserves the
+	// typed error, not silence.
+	fenced   bool
+	fenceErr error
 
 	health HealthSink
 
@@ -394,6 +430,9 @@ func NewHost(rt backend.Runtime, fab backend.Transport, driveCapacity int64, cfg
 			trace.PoolUtilizationGauge(eng, cfg.HostCores, pool.BusyTotal))
 	}
 	fab.RegisterVolume(HostID, cfg.Volume, h.handle)
+	if cfg.Lease > 0 {
+		h.startLeaseWatchdog()
+	}
 	return h
 }
 
@@ -586,6 +625,16 @@ func (h *HostController) handle(m Message) {
 		if m.Cmd.Opcode != nvmeof.OpCompletion {
 			panic(fmt.Sprintf("core: host received %v", m.Cmd.Opcode))
 		}
+		if m.Cmd.Epoch != h.cfg.Epoch {
+			// A completion echoing someone else's epoch: the answer to a
+			// command a predecessor issued. After a seize both sessions share
+			// the ID sequence, so without this check a zombie's completion
+			// could settle (or fail) the replacement's op of the same ID.
+			h.stats.ForeignCompletions++
+			h.trace("drop foreign-epoch completion id=%d epoch=%d (ours %d)",
+				m.Cmd.ID, m.Cmd.Epoch, h.cfg.Epoch)
+			return
+		}
 		sub, ok := h.inflight[m.Cmd.ID]
 		if !ok || sub.op.done {
 			return // late completion after timeout handling
@@ -613,6 +662,18 @@ func (h *HostController) handle(m Message) {
 				hook(member, m.Cmd)
 				return
 			}
+			h.failOp(op, nil)
+			return
+		}
+		if m.Cmd.Status == nvmeof.StatusStaleEpoch {
+			// Positive confirmation of a takeover: the bdev is healthy, WE
+			// are the problem. Stand down (before failing the op, so its
+			// failure path reports the typed error) and never charge the
+			// bdev fault evidence for doing its job.
+			h.stats.StaleEpochRejects++
+			h.trace("completion id=%d from t%d stale-epoch: standing down", m.Cmd.ID, int(m.From))
+			h.reportOK(h.memberOf(m.From))
+			h.standDown(blockdev.ErrStaleEpoch)
 			h.failOp(op, nil)
 			return
 		}
@@ -778,29 +839,7 @@ func (h *HostController) Adopt(prev *HostController) []int64 {
 	if !prev.crashed {
 		panic("core: adopting a live controller")
 	}
-	// Continue the predecessor's op-ID sequence: server-side state (reduce
-	// sessions, fencing boundaries) is keyed by (volume, op ID), so a
-	// replacement reusing IDs would collide with the crashed session's
-	// leftovers. Monotone IDs also let a fence name the dead session as
-	// "every ID below mine".
-	h.nextID = prev.nextID
-	for m := range prev.failed {
-		h.failed[m] = true
-	}
-	// Replace rather than copy: the predecessor may have grown its drive
-	// set (AddDrive) past what this controller's layout reported at
-	// construction.
-	h.memberNode = append([]NodeID(nil), prev.memberNode...)
-	for m, r := range prev.rebuilds {
-		h.rebuilds[m] = &rebuildState{dest: r.dest, frontier: r.frontier}
-	}
-	if h.stage != nil && prev.stage != nil {
-		// Replay the predecessor's intent log: acknowledged staged writes
-		// (including any mid-destage snapshot) become live staged data here
-		// and destage normally — zero acknowledged writes lost.
-		h.stage.adopt(prev.stage)
-	}
-	return prev.DirtyStripes()
+	return h.takeover(prev)
 }
 
 // Fence severs the crashed predecessor's controller session at every
@@ -839,11 +878,13 @@ func (h *HostController) Fence(cb func(error)) {
 	}
 }
 
-// send issues a capsule for an operation, stamped with the op ID and the
-// controller's volume so servers and the fabric demux can attribute it.
+// send issues a capsule for an operation, stamped with the op ID, the
+// controller's volume, and its host epoch so servers and the fabric demux
+// can attribute (and, for the epoch, fence) it.
 func (h *HostController) send(op *stripeOp, to NodeID, cmd nvmeof.Command, payload parity.Buffer) {
 	cmd.ID = op.id
 	cmd.NSID = uint32(h.cfg.Volume)
+	cmd.Epoch = h.cfg.Epoch
 	if t := h.cfg.Tracer; t.Enabled() {
 		op.rpcs = append(op.rpcs, rpcSpan{target: to, span: t.Begin(h.rpcTrack, "rpc",
 			fmt.Sprintf("%s→t%d", cmd.SpanName(), int(to)), trace.I64("id", int64(op.id)))})
@@ -908,6 +949,10 @@ func (h *HostController) Read(off, n int64, cb func(parity.Buffer, error)) {
 // reconstruction, co-designed with the normal reads of the same stripe.
 func (h *HostController) readIO(off, n int64, cb func(parity.Buffer, error)) {
 	if h.crashed {
+		return
+	}
+	if h.fenced {
+		h.rt.Defer(func() { cb(parity.Buffer{}, h.fenceError("read")) })
 		return
 	}
 	if err := blockdev.CheckRange(off, n, h.size); err != nil {
@@ -1072,6 +1117,11 @@ func (h *HostController) normalReadExtentAttempt(e raid.Extent, asm *assembler, 
 // (nothing down) retries the plain read, with deterministic backoff, until
 // the retry budget runs out.
 func (h *HostController) readFailurePath(e raid.Extent, missing []NodeID, asm *assembler, fail *error, done func(), attempt int) {
+	if h.fenced {
+		*fail = h.fenceError(fmt.Sprintf("stripe %d read", e.Stripe))
+		done()
+		return
+	}
 	if attempt >= h.maxRetries() {
 		*fail = fmt.Errorf("core: stripe %d read: retries exhausted: %w", e.Stripe, blockdev.ErrTimeout)
 		done()

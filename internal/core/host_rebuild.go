@@ -185,6 +185,16 @@ func (h *HostController) ReconstructStripeChunk(stripe int64, member int, cb fun
 		addData(true)
 	}
 	if len(parts) < h.geo.DataChunks() {
+		// A second member of this stripe is failed alongside the one being
+		// rebuilt (RAID-6 double fault). The single reduce tree cannot express
+		// that solve — it needs P and Q together with per-survivor
+		// coefficients outside the g^i form — so gather the survivors to the
+		// host and solve both erasures there: rebuild-through-Q. Stripes past
+		// the parity budget fail inside the recovery.
+		if h.geo.Level == raid.Raid6 {
+			h.rebuildRecoverChunk(stripe, member, cb)
+			return
+		}
 		h.rt.Defer(func() { cb(parity.Buffer{}, blockdev.ErrIO) })
 		return
 	}

@@ -34,6 +34,10 @@ func (h *HostController) writeIO(off int64, data parity.Buffer, cb func(error)) 
 	if h.crashed {
 		return
 	}
+	if h.fenced {
+		h.rt.Defer(func() { cb(h.fenceError("write")) })
+		return
+	}
 	n := int64(data.Len())
 	if err := blockdev.CheckRange(off, n, h.size); err != nil {
 		h.rt.Defer(func() { cb(err) })
@@ -204,6 +208,13 @@ func (h *HostController) stripeWrite(stripe int64, exts []raid.Extent, data pari
 // Faulting members also reach the health sink via the op deadline path.
 func (h *HostController) writeTimeoutHandler(stripe int64, exts []raid.Extent, data parity.Buffer, attempt int, done func(error)) func([]NodeID) {
 	return func(missing []NodeID) {
+		if h.fenced {
+			// Stood down mid-operation (a bdev answered StatusStaleEpoch, or
+			// the lease ran out): retrying would only collect more
+			// rejections. Surface the typed error.
+			done(h.fenceError(fmt.Sprintf("stripe %d write", stripe)))
+			return
+		}
 		if attempt >= h.maxRetries() {
 			for _, m := range missing {
 				h.failNode(m)

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"draid/internal/backend"
 	"draid/internal/cpu"
@@ -82,6 +83,29 @@ type ServerController struct {
 	wseq     uint64
 	wpending map[uint64]struct{}
 	barriers []*fenceBarrier
+
+	// epochs records, per volume, the highest host epoch seen on a capsule:
+	// the consensus-free membership fence. Commands below it are rejected
+	// with StatusStaleEpoch — a partitioned predecessor can never corrupt
+	// state after a takeover, whether or not the replacement got an explicit
+	// OpFence through. Volumes absent from the map (epoch 0 on the wire) run
+	// with fencing off, byte-identical to previous releases.
+	epochs map[uint32]uint64
+	// epochHold queues a volume's commands while an epoch bump waits out the
+	// predecessor epoch's in-flight drive writes — the implicit barrier that
+	// demotes the explicit Fence verb to a latency optimization. Presence of
+	// the key marks the hold; messages drain FIFO when the barrier fires.
+	epochHold map[uint32][]Message
+	// staleRejects counts stale-epoch rejections. Atomic: status surfaces
+	// read it from outside the controller's event loop on the realtime
+	// backend.
+	staleRejects int64
+	// epochChecksOff disables admitEpoch entirely — every capsule is
+	// dispatched regardless of its epoch, as if this bdev predated the
+	// membership layer. Exists for the chaos harness's "teeth" mode, which
+	// must reproduce the stale-destage corruption that epoch fencing
+	// prevents. Atomic: injected from outside the event loop.
+	epochChecksOff atomic.Bool
 }
 
 // fenceBarrier waits for the drive writes that were in flight when a fence
@@ -117,9 +141,12 @@ type reduceState struct {
 	replyTo   NodeID
 	vol       uint32
 	id        uint64
-	// dead marks a reduction severed by a fence: in-flight closures that
-	// still hold the state (a parity preload, a deferred contribution) must
-	// never complete it.
+	// epoch is the host epoch the reduction was opened under; an epoch bump
+	// kills reductions of superseded epochs exactly as a fence does.
+	epoch uint64
+	// dead marks a reduction severed by a fence or an epoch bump: in-flight
+	// closures that still hold the state (a parity preload, a deferred
+	// contribution) must never complete it.
 	dead bool
 	// deferred holds contributions buffered by the BarrierReduce ablation.
 	deferred []func()
@@ -131,10 +158,12 @@ type reduceState struct {
 func NewServer(id NodeID, rt backend.Runtime, fab backend.Transport, drive backend.Drive, core backend.Executor, cfg ServerConfig) *ServerController {
 	s := &ServerController{
 		id: id, rt: rt, fab: fab, drive: drive, core: core, cfg: cfg,
-		reduces:  make(map[reduceKey]*reduceState),
-		pool:     parity.NewPool(),
-		fenced:   make(map[uint32]uint64),
-		wpending: make(map[uint64]struct{}),
+		reduces:   make(map[reduceKey]*reduceState),
+		pool:      parity.NewPool(),
+		fenced:    make(map[uint32]uint64),
+		wpending:  make(map[uint64]struct{}),
+		epochs:    make(map[uint32]uint64),
+		epochHold: make(map[uint32][]Message),
 	}
 	if cfg.Integrity {
 		if !drive.StoresData() {
@@ -151,6 +180,21 @@ func (s *ServerController) Drive() backend.Drive { return s.drive }
 
 // ChecksumErrors reports how many reads failed end-to-end verification.
 func (s *ServerController) ChecksumErrors() int64 { return s.checksumErrors }
+
+// StaleRejects reports how many commands this bdev rejected for carrying a
+// superseded host epoch. Safe to call from any goroutine.
+func (s *ServerController) StaleRejects() int64 { return atomic.LoadInt64(&s.staleRejects) }
+
+// VolumeEpoch reports the highest host epoch seen for a volume (0 when the
+// volume has never sent an epoch-stamped capsule). Test/status surface; call
+// from the controller's loop.
+func (s *ServerController) VolumeEpoch(vol uint32) uint64 { return s.epochs[vol] }
+
+// SetEpochChecks enables or disables this bdev's epoch enforcement. Disabling
+// it is a deliberate fault injection (chaos "teeth" mode): stale hosts' writes
+// are applied instead of rejected, reproducing the corruption the membership
+// layer exists to prevent. Safe to call from any goroutine.
+func (s *ServerController) SetEpochChecks(on bool) { s.epochChecksOff.Store(!on) }
 
 // peek adapts the drive's synchronous byte access for the checksum store.
 func (s *ServerController) peek(off, n int64) []byte { return s.drive.PeekSync(off, n) }
@@ -223,22 +267,40 @@ func (s *ServerController) writeDrive(off int64, b parity.Buffer, cb func(error)
 	})
 }
 
-// writeLanded retires one drive write and releases any fence barrier whose
-// pre-fence writes have all landed.
+// writeLanded retires one drive write and releases any fence or epoch
+// barrier whose pre-barrier writes have all landed. Barriers are detached
+// before firing: an epoch barrier's fire dispatches queued commands, which
+// may install new barriers of their own.
 func (s *ServerController) writeLanded(seq uint64) {
 	delete(s.wpending, seq)
-	kept := s.barriers[:0]
-	for _, b := range s.barriers {
+	current := s.barriers
+	s.barriers = nil
+	var fires []*fenceBarrier
+	for _, b := range current {
 		if seq <= b.seq {
 			b.remaining--
 		}
 		if b.remaining <= 0 {
-			b.fire()
+			fires = append(fires, b)
 		} else {
-			kept = append(kept, b)
+			s.barriers = append(s.barriers, b)
 		}
 	}
-	s.barriers = kept
+	for _, b := range fires {
+		b.fire()
+	}
+}
+
+// releaseBarriers fires every pending barrier: the drive has failed, so the
+// writes they were waiting out are swallowed (their callbacks never run) and
+// can never take effect.
+func (s *ServerController) releaseBarriers() {
+	s.wpending = make(map[uint64]struct{})
+	pending := s.barriers
+	s.barriers = nil
+	for _, b := range pending {
+		b.fire()
+	}
 }
 
 // fencedOut reports whether a command belongs to a controller session a
@@ -246,6 +308,13 @@ func (s *ServerController) writeLanded(seq uint64) {
 func (s *ServerController) fencedOut(vol uint32, id uint64) bool {
 	bound, ok := s.fenced[vol]
 	return ok && id <= bound
+}
+
+// superseded reports whether a command admitted at epoch e has been
+// overtaken by a takeover: the volume's epoch moved past it while its drive
+// I/O was still in flight. Mirrors the mid-command fencedOut checks.
+func (s *ServerController) superseded(vol uint32, e uint64) bool {
+	return e != 0 && e < s.epochs[vol]
 }
 
 // mediaStatus classifies a drive/verify error for a completion capsule:
@@ -284,40 +353,128 @@ func (s *ServerController) handle(m Message) {
 			s.trace("drop fenced %v", m.Cmd.String())
 			return
 		}
-		switch m.Cmd.Opcode {
-		case nvmeof.OpRead:
-			s.handleRead(m)
-		case nvmeof.OpWrite:
-			s.handleWrite(m)
-		case nvmeof.OpPartialWrite:
-			s.handlePartialWrite(m)
-		case nvmeof.OpParity:
-			s.handleParity(m)
-		case nvmeof.OpReconstruction:
-			s.handleReconstruction(m)
-		case nvmeof.OpPeer:
-			s.handlePeer(m)
-		case nvmeof.OpHeartbeat:
-			s.handleHeartbeat(m)
-		case nvmeof.OpFence:
-			s.handleFence(m)
-		default:
-			panic(fmt.Sprintf("core: server %d: unexpected opcode %v", s.id, m.Cmd.Opcode))
+		if !s.admitEpoch(m) {
+			return
 		}
+		s.dispatch(m)
 	})
+}
+
+// admitEpoch enforces the per-volume host epoch on an arriving command.
+// It returns false when the command must not be dispatched now: rejected as
+// stale, or queued behind an epoch-bump barrier.
+func (s *ServerController) admitEpoch(m Message) bool {
+	e := m.Cmd.Epoch
+	if e == 0 {
+		return true // epoch fencing off for this capsule: legacy behavior
+	}
+	if s.epochChecksOff.Load() {
+		return true // teeth mode: enforcement injected away (SetEpochChecks)
+	}
+	vol := m.Cmd.NSID
+	cur := s.epochs[vol]
+	if e < cur {
+		// A superseded host (partitioned through a takeover) is still
+		// talking. Reject with a typed status so it learns to stand down;
+		// peer contributions are dropped silently — their originator is
+		// another bdev relaying the stale host's work, and the stale host's
+		// own anchor command earns the typed answer.
+		atomic.AddInt64(&s.staleRejects, 1)
+		s.trace("reject stale epoch %d (current %d): %v", e, cur, m.Cmd.String())
+		if m.Cmd.Opcode != nvmeof.OpPeer {
+			s.complete(m.From, vol, m.Cmd.ID, e, nvmeof.StatusStaleEpoch, 0, 0, parity.Buffer{})
+		}
+		return false
+	}
+	if hold, holding := s.epochHold[vol]; holding {
+		// An epoch bump is still waiting out the predecessor's in-flight
+		// drive writes; everything behind it queues FIFO.
+		s.epochHold[vol] = append(hold, m)
+		return false
+	}
+	if e > cur {
+		s.bumpEpoch(vol, e)
+		if _, holding := s.epochHold[vol]; holding {
+			s.epochHold[vol] = append(s.epochHold[vol], m)
+			return false
+		}
+	}
+	return true
+}
+
+// bumpEpoch installs a higher host epoch for a volume: first contact from a
+// replacement host implicitly fences every predecessor. Reductions opened
+// under lower epochs are killed, and when predecessor drive writes are still
+// in flight, a barrier holds the volume's traffic until they land — the same
+// guarantee an explicit OpFence gives, without requiring one to arrive.
+func (s *ServerController) bumpEpoch(vol uint32, e uint64) {
+	s.trace("epoch bump vol %d: %d -> %d", vol, s.epochs[vol], e)
+	s.epochs[vol] = e
+	for key, st := range s.reduces {
+		if key.vol == vol && st.epoch < e {
+			st.dead = true
+			delete(s.reduces, key)
+		}
+	}
+	if s.drive.Failed() {
+		// Swallowed writes never land; waiting on them would hang forever.
+		s.releaseBarriers()
+		return
+	}
+	if len(s.wpending) == 0 {
+		return
+	}
+	s.epochHold[vol] = nil // presence marks the hold
+	s.barriers = append(s.barriers, &fenceBarrier{seq: s.wseq, remaining: len(s.wpending), fire: func() {
+		pending := s.epochHold[vol]
+		delete(s.epochHold, vol)
+		for _, qm := range pending {
+			// Re-admit: the queue may hold a yet-newer epoch's first
+			// command, or stragglers an interleaved bump made stale.
+			if s.admitEpoch(qm) {
+				s.dispatch(qm)
+			}
+		}
+	}})
+}
+
+// dispatch routes an admitted command to its opcode handler.
+func (s *ServerController) dispatch(m Message) {
+	switch m.Cmd.Opcode {
+	case nvmeof.OpRead:
+		s.handleRead(m)
+	case nvmeof.OpWrite:
+		s.handleWrite(m)
+	case nvmeof.OpPartialWrite:
+		s.handlePartialWrite(m)
+	case nvmeof.OpParity:
+		s.handleParity(m)
+	case nvmeof.OpReconstruction:
+		s.handleReconstruction(m)
+	case nvmeof.OpPeer:
+		s.handlePeer(m)
+	case nvmeof.OpHeartbeat:
+		s.handleHeartbeat(m)
+	case nvmeof.OpFence:
+		s.handleFence(m)
+	default:
+		panic(fmt.Sprintf("core: server %d: unexpected opcode %v", s.id, m.Cmd.Opcode))
+	}
 }
 
 // complete sends a completion capsule (optionally with payload) to dst. The
 // subtype disambiguates the two §6.1 return paths at the host: SubAlsoRead
 // marks a direct normal-read return, SubNoRead a reconstructed segment. The
-// namespace is echoed from the triggering command so the host endpoint's
-// demux can route the completion to the owning volume's controller.
-func (s *ServerController) complete(dst NodeID, ns uint32, id uint64, st nvmeof.Status, off, length int64, payload parity.Buffer) {
-	s.completeSub(dst, ns, id, st, nvmeof.SubNone, off, length, payload)
+// namespace and epoch are echoed from the triggering command so the host
+// endpoint's demux can route the completion to the owning volume's
+// controller — and so a replacement host can discard completions addressed
+// to the predecessor epoch it seized.
+func (s *ServerController) complete(dst NodeID, ns uint32, id, epoch uint64, st nvmeof.Status, off, length int64, payload parity.Buffer) {
+	s.completeSub(dst, ns, id, epoch, st, nvmeof.SubNone, off, length, payload)
 }
 
-func (s *ServerController) completeSub(dst NodeID, ns uint32, id uint64, st nvmeof.Status, sub nvmeof.Subtype, off, length int64, payload parity.Buffer) {
-	cmd := nvmeof.Command{ID: id, Opcode: nvmeof.OpCompletion, NSID: ns, Status: st, Subtype: sub, Offset: off, Length: length}
+func (s *ServerController) completeSub(dst NodeID, ns uint32, id, epoch uint64, st nvmeof.Status, sub nvmeof.Subtype, off, length int64, payload parity.Buffer) {
+	cmd := nvmeof.Command{ID: id, Opcode: nvmeof.OpCompletion, NSID: ns, Status: st, Subtype: sub, Offset: off, Length: length, Epoch: epoch}
 	s.fab.Send(s.id, dst, cmd, payload)
 }
 
@@ -329,7 +486,7 @@ func (s *ServerController) handleHeartbeat(m Message) {
 	if s.drive.Failed() {
 		st = nvmeof.StatusError
 	}
-	s.complete(m.From, m.Cmd.NSID, m.Cmd.ID, st, 0, 0, parity.Buffer{})
+	s.complete(m.From, m.Cmd.NSID, m.Cmd.ID, m.Cmd.Epoch, st, 0, 0, parity.Buffer{})
 }
 
 // handleFence severs a dead controller session (§5.4): every command of the
@@ -352,14 +509,14 @@ func (s *ServerController) handleFence(m Message) {
 		}
 	}
 	done := func() {
-		s.complete(m.From, m.Cmd.NSID, m.Cmd.ID, nvmeof.StatusSuccess, 0, 0, parity.Buffer{})
+		s.complete(m.From, m.Cmd.NSID, m.Cmd.ID, m.Cmd.Epoch, nvmeof.StatusSuccess, 0, 0, parity.Buffer{})
 	}
 	if s.drive.Failed() {
 		// A failed drive swallows writes (and their completions) instead of
 		// landing them: nothing pending can take effect, so the barrier is
-		// moot. Forget the swallowed writes — their callbacks never run.
-		s.wpending = make(map[uint64]struct{})
-		s.barriers = nil
+		// moot. Forget the swallowed writes — their callbacks never run —
+		// and release any barriers (epoch holds) waiting on them.
+		s.releaseBarriers()
 		done()
 		return
 	}
@@ -378,7 +535,7 @@ func (s *ServerController) handleRead(m Message) {
 			if err != nil {
 				st, off, length = mediaStatus(err, m.Cmd.Offset, m.Cmd.Length)
 			}
-			s.complete(m.From, m.Cmd.NSID, m.Cmd.ID, st, off, length, b)
+			s.complete(m.From, m.Cmd.NSID, m.Cmd.ID, m.Cmd.Epoch, st, off, length, b)
 		})
 	})
 }
@@ -391,7 +548,7 @@ func (s *ServerController) handleWrite(m Message) {
 			if err != nil {
 				st = nvmeof.StatusError
 			}
-			s.complete(m.From, m.Cmd.NSID, m.Cmd.ID, st, m.Cmd.Offset, int64(m.Payload.Len()), parity.Buffer{})
+			s.complete(m.From, m.Cmd.NSID, m.Cmd.ID, m.Cmd.Epoch, st, m.Cmd.Offset, int64(m.Payload.Len()), parity.Buffer{})
 		})
 	})
 }
@@ -402,7 +559,7 @@ func (s *ServerController) handleWrite(m Message) {
 // finds consistent state (§5.2).
 func (s *ServerController) sendContribution(cmd nvmeof.Command, contrib parity.Buffer, fo, fl int64, unionOff, unionLen int64) {
 	peer := nvmeof.Command{
-		ID: cmd.ID, Opcode: nvmeof.OpPeer, NSID: cmd.NSID,
+		ID: cmd.ID, Opcode: nvmeof.OpPeer, NSID: cmd.NSID, Epoch: cmd.Epoch,
 		Offset: unionOff, Length: unionLen,
 		FwdOffset: fo, FwdLength: fl,
 		DataIdx: NoScale,
@@ -438,7 +595,7 @@ func (s *ServerController) handlePartialWrite(m Message) {
 		s.core.Exec(s.cfg.Costs.PerIO, func() {
 			// §5.3: the data bdev reports its own completion so the drive
 			// write need not gate parity forwarding.
-			s.complete(m.From, cmd.NSID, cmd.ID, nvmeof.StatusSuccess, cmd.Offset, cmd.Length, parity.Buffer{})
+			s.complete(m.From, cmd.NSID, cmd.ID, cmd.Epoch, nvmeof.StatusSuccess, cmd.Offset, cmd.Length, parity.Buffer{})
 		})
 	}
 
@@ -448,7 +605,7 @@ func (s *ServerController) handlePartialWrite(m Message) {
 		s.readVerified(cmd.Offset, cmd.Length, func(oldB parity.Buffer, err error) {
 			if err != nil {
 				st, off, length := mediaStatus(err, cmd.Offset, cmd.Length)
-				s.complete(m.From, cmd.NSID, cmd.ID, st, off, length, parity.Buffer{})
+				s.complete(m.From, cmd.NSID, cmd.ID, cmd.Epoch, st, off, length, parity.Buffer{})
 				return
 			}
 			forward := func(next func()) {
@@ -463,12 +620,12 @@ func (s *ServerController) handlePartialWrite(m Message) {
 				})
 			}
 			write := func(next func()) {
-				if s.fencedOut(cmd.NSID, cmd.ID) {
-					return // fenced mid-command: the write must not land
+				if s.fencedOut(cmd.NSID, cmd.ID) || s.superseded(cmd.NSID, cmd.Epoch) {
+					return // fenced or superseded mid-command: the write must not land
 				}
 				s.writeDrive(cmd.Offset, m.Payload, func(werr error) {
 					if werr != nil {
-						s.complete(m.From, cmd.NSID, cmd.ID, nvmeof.StatusError, cmd.Offset, cmd.Length, parity.Buffer{})
+						s.complete(m.From, cmd.NSID, cmd.ID, cmd.Epoch, nvmeof.StatusError, cmd.Offset, cmd.Length, parity.Buffer{})
 						return
 					}
 					writeDone()
@@ -499,7 +656,7 @@ func (s *ServerController) handlePartialWrite(m Message) {
 			buildAndGo(m.Payload.Clone())
 			s.writeDrive(cmd.Offset, m.Payload, func(err error) {
 				if err != nil {
-					s.complete(m.From, cmd.NSID, cmd.ID, nvmeof.StatusError, cmd.Offset, cmd.Length, parity.Buffer{})
+					s.complete(m.From, cmd.NSID, cmd.ID, cmd.Epoch, nvmeof.StatusError, cmd.Offset, cmd.Length, parity.Buffer{})
 					return
 				}
 				writeDone()
@@ -509,7 +666,7 @@ func (s *ServerController) handlePartialWrite(m Message) {
 		s.readVerified(union.Off, union.Len, func(oldB parity.Buffer, err error) {
 			if err != nil {
 				st, off, length := mediaStatus(err, union.Off, union.Len)
-				s.complete(m.From, cmd.NSID, cmd.ID, st, off, length, parity.Buffer{})
+				s.complete(m.From, cmd.NSID, cmd.ID, cmd.Epoch, st, off, length, parity.Buffer{})
 				return
 			}
 			contrib := oldB // private drive-read copy; overlay in place
@@ -518,12 +675,12 @@ func (s *ServerController) handlePartialWrite(m Message) {
 				contrib = parity.Sized(contrib.Len())
 			}
 			write := func() {
-				if s.fencedOut(cmd.NSID, cmd.ID) {
-					return // fenced mid-command: the write must not land
+				if s.fencedOut(cmd.NSID, cmd.ID) || s.superseded(cmd.NSID, cmd.Epoch) {
+					return // fenced or superseded mid-command: the write must not land
 				}
 				s.writeDrive(cmd.Offset, m.Payload, func(werr error) {
 					if werr != nil {
-						s.complete(m.From, cmd.NSID, cmd.ID, nvmeof.StatusError, cmd.Offset, cmd.Length, parity.Buffer{})
+						s.complete(m.From, cmd.NSID, cmd.ID, cmd.Epoch, nvmeof.StatusError, cmd.Offset, cmd.Length, parity.Buffer{})
 						return
 					}
 					writeDone()
@@ -546,7 +703,7 @@ func (s *ServerController) handlePartialWrite(m Message) {
 		s.readVerified(union.Off, union.Len, func(oldB parity.Buffer, err error) {
 			if err != nil {
 				st, off, length := mediaStatus(err, union.Off, union.Len)
-				s.complete(m.From, cmd.NSID, cmd.ID, st, off, length, parity.Buffer{})
+				s.complete(m.From, cmd.NSID, cmd.ID, cmd.Epoch, st, off, length, parity.Buffer{})
 				return
 			}
 			s.core.Exec(s.cfg.Costs.PerIO, func() {
@@ -564,7 +721,7 @@ func (s *ServerController) stateFor(cmd nvmeof.Command, absOff, length int64) *r
 	key := reduceKey{vol: cmd.NSID, id: cmd.ID}
 	st, ok := s.reduces[key]
 	if !ok {
-		st = &reduceState{vol: cmd.NSID, id: cmd.ID, absOff: absOff, length: length, acc: s.pool.Get(int(length)), replyTo: HostID}
+		st = &reduceState{vol: cmd.NSID, id: cmd.ID, epoch: cmd.Epoch, absOff: absOff, length: length, acc: s.pool.Get(int(length)), replyTo: HostID}
 		s.reduces[key] = st
 	}
 	return st
@@ -636,7 +793,7 @@ func (s *ServerController) handleParity(m Message) {
 		s.readVerified(cmd.Offset, cmd.Length, func(oldB parity.Buffer, err error) {
 			if err != nil {
 				cst, off, length := mediaStatus(err, st.absOff, st.length)
-				s.complete(st.replyTo, st.vol, st.id, cst, off, length, parity.Buffer{})
+				s.complete(st.replyTo, st.vol, st.id, st.epoch, cst, off, length, parity.Buffer{})
 				delete(s.reduces, reduceKey{vol: st.vol, id: st.id})
 				return
 			}
@@ -675,8 +832,8 @@ func (s *ServerController) drainDeferred(st *reduceState) {
 // result has been folded in (counter back to zero after the anchor's
 // WaitNum), persist or return the result.
 func (s *ServerController) finish(st *reduceState) {
-	if st.dead || s.fencedOut(st.vol, st.id) {
-		return // reduction severed by a fence: never persist or reply
+	if st.dead || s.fencedOut(st.vol, st.id) || s.superseded(st.vol, st.epoch) {
+		return // reduction severed by a fence or epoch bump: never persist or reply
 	}
 	if !st.anchorArrived || st.preloadPending || st.counter != 0 {
 		return
@@ -689,7 +846,7 @@ func (s *ServerController) finish(st *reduceState) {
 				st2 = nvmeof.StatusError
 			}
 			s.core.Exec(s.cfg.Costs.PerIO, func() {
-				s.complete(st.replyTo, st.vol, st.id, st2, st.absOff, st.length, parity.Buffer{})
+				s.complete(st.replyTo, st.vol, st.id, st.epoch, st2, st.absOff, st.length, parity.Buffer{})
 			})
 		})
 		// The drive snapshotted the accumulator at submission; recycle it.
@@ -698,7 +855,7 @@ func (s *ServerController) finish(st *reduceState) {
 	}
 	// Reconstruction: return the rebuilt segment to the host directly.
 	s.core.Exec(s.cfg.Costs.PerIO, func() {
-		s.completeSub(st.replyTo, st.vol, st.id, nvmeof.StatusSuccess, nvmeof.SubNoRead, st.absOff, st.length, st.acc)
+		s.completeSub(st.replyTo, st.vol, st.id, st.epoch, nvmeof.StatusSuccess, nvmeof.SubNoRead, st.absOff, st.length, st.acc)
 	})
 }
 
@@ -727,14 +884,14 @@ func (s *ServerController) handleReconstruction(m Message) {
 	s.readVerified(cmd.Offset, cmd.Length, func(b parity.Buffer, err error) {
 		if err != nil {
 			st, off, length := mediaStatus(err, cmd.Offset, cmd.Length)
-			s.complete(m.From, cmd.NSID, cmd.ID, st, off, length, parity.Buffer{})
+			s.complete(m.From, cmd.NSID, cmd.ID, cmd.Epoch, st, off, length, parity.Buffer{})
 			return
 		}
 		// Decoupled return path: normal-read data goes straight home.
 		if cmd.Subtype == nvmeof.SubAlsoRead {
 			own := cmd.SGL[0]
 			s.core.Exec(s.cfg.Costs.PerIO, func() {
-				s.completeSub(m.From, cmd.NSID, cmd.ID, nvmeof.StatusSuccess, nvmeof.SubAlsoRead, own.Off, own.Len,
+				s.completeSub(m.From, cmd.NSID, cmd.ID, cmd.Epoch, nvmeof.StatusSuccess, nvmeof.SubAlsoRead, own.Off, own.Len,
 					b.Slice(int(own.Off-cmd.Offset), int(own.Len)).Clone())
 			})
 		}
@@ -753,7 +910,7 @@ func (s *ServerController) handleReconstruction(m Message) {
 			return
 		}
 		peer := nvmeof.Command{
-			ID: cmd.ID, Opcode: nvmeof.OpPeer, NSID: cmd.NSID,
+			ID: cmd.ID, Opcode: nvmeof.OpPeer, NSID: cmd.NSID, Epoch: cmd.Epoch,
 			Offset: cmd.FwdOffset, Length: cmd.FwdLength,
 			FwdOffset: cmd.FwdOffset, FwdLength: cmd.FwdLength,
 			DataIdx: cmd.DataIdx,

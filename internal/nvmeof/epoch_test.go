@@ -1,0 +1,82 @@
+package nvmeof
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func TestEpochRoundTrip(t *testing.T) {
+	cmd := Command{
+		ID: 9, Opcode: OpWrite, NSID: 2, Offset: 4096, Length: 512,
+		Epoch: 7,
+	}
+	b := cmd.Encode()
+	if len(b) != cmd.EncodedSize() {
+		t.Fatalf("encoded %d bytes, EncodedSize says %d", len(b), cmd.EncodedSize())
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, cmd) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, cmd)
+	}
+}
+
+func TestEpochRoundTripWithSGL(t *testing.T) {
+	// The epoch extension trails the sg-lists; both must survive together.
+	cmd := Command{
+		ID: 11, Opcode: OpPartialWrite, NSID: 1,
+		Subtype: SubRMW, SGL: []SGE{{Off: 0, Len: 64}, {Off: 128, Len: 64}},
+		SGL2:  []SGE{{Off: 256, Len: 32}},
+		Epoch: 1 << 40,
+	}
+	got, err := Decode(cmd.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, cmd) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, cmd)
+	}
+}
+
+// A zero epoch encodes as no extension at all: capsules from hosts without
+// epoch fencing are byte-identical to the pre-epoch wire format.
+func TestZeroEpochLegacyByteIdentity(t *testing.T) {
+	cmd := Command{ID: 5, Opcode: OpRead, NSID: 4, Offset: 8192, Length: 4096}
+	plain := cmd.Encode()
+	if len(plain) != fixedEncodedSize {
+		t.Fatalf("zero-epoch capsule is %d bytes, want fixed size %d", len(plain), fixedEncodedSize)
+	}
+	withEpoch := cmd
+	withEpoch.Epoch = 3
+	b := withEpoch.Encode()
+	if len(b) != fixedEncodedSize+8 {
+		t.Fatalf("epoch capsule is %d bytes, want %d", len(b), fixedEncodedSize+8)
+	}
+	if !bytes.Equal(b[:fixedEncodedSize], plain) {
+		t.Fatal("epoch extension must not disturb the fixed prefix")
+	}
+}
+
+// Completions echo the command's epoch through the same extension.
+func TestEpochCompletionEcho(t *testing.T) {
+	cpl := Command{ID: 5, Opcode: OpCompletion, Status: StatusStaleEpoch, Epoch: 2}
+	got, err := Decode(cpl.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != StatusStaleEpoch || got.Epoch != 2 {
+		t.Fatalf("completion round trip: %+v", got)
+	}
+}
+
+func TestEpochChecksumCoversExtension(t *testing.T) {
+	cmd := Command{ID: 1, Opcode: OpWrite, Epoch: 1}
+	before := cmd.Checksum()
+	cmd.Epoch = 2
+	if cmd.Checksum() == before {
+		t.Fatal("checksum must cover the epoch extension")
+	}
+}

@@ -132,6 +132,12 @@ const (
 	// its end-to-end checksum (bit rot). The completion echoes the bad range
 	// in Offset/Length so the host can reconstruct exactly what is missing.
 	StatusMediaError
+	// StatusStaleEpoch rejects a command whose Epoch is below the bdev's
+	// current epoch for the namespace: the sender is a superseded host — it
+	// lost the volume to a takeover (possibly while partitioned) — and its
+	// command was discarded without touching the drive. The sender must stand
+	// down, not retry.
+	StatusStaleEpoch
 )
 
 // String names the status.
@@ -145,6 +151,8 @@ func (s Status) String() string {
 		return "timeout"
 	case StatusMediaError:
 		return "media-error"
+	case StatusStaleEpoch:
+		return "stale-epoch"
 	}
 	return fmt.Sprintf("Status(%d)", uint8(s))
 }
@@ -179,13 +187,25 @@ type Command struct {
 
 	// Completion-only fields.
 	Status Status
+
+	// Epoch is the sender's host epoch for the namespace (membership
+	// fencing): bdevs reject commands below their current epoch with
+	// StatusStaleEpoch, and completions echo the command's epoch so a host
+	// can discard answers addressed to a predecessor. Zero means epoch
+	// fencing is off for this capsule; it is encoded as a trailing extension
+	// only when set, so legacy capsules are byte-identical.
+	Epoch uint64
 }
 
 const fixedEncodedSize = 8 + 1 + 4 + 8 + 8 + 1 + 8 + 8 + 2 + 2 + 2 + 2 + 1 + 2 + 2 // see Encode
 
 // EncodedSize returns the wire size of the capsule in bytes.
 func (c *Command) EncodedSize() int {
-	return fixedEncodedSize + 16*(len(c.SGL)+len(c.SGL2))
+	n := fixedEncodedSize + 16*(len(c.SGL)+len(c.SGL2))
+	if c.Epoch != 0 {
+		n += 8
+	}
+	return n
 }
 
 // Encode serializes the capsule.
@@ -210,6 +230,9 @@ func (c *Command) Encode() []byte {
 	for _, s := range append(append([]SGE(nil), c.SGL...), c.SGL2...) {
 		out = le.AppendUint64(out, uint64(s.Off))
 		out = le.AppendUint64(out, uint64(s.Len))
+	}
+	if c.Epoch != 0 {
+		out = le.AppendUint64(out, c.Epoch)
 	}
 	return out
 }
@@ -260,6 +283,9 @@ func Decode(b []byte) (Command, error) {
 	}
 	c.SGL = read(n1)
 	c.SGL2 = read(n2)
+	if len(rest) >= 8 {
+		c.Epoch = le.Uint64(rest)
+	}
 	return c, nil
 }
 
@@ -283,6 +309,9 @@ func (c *Command) String() string {
 	}
 	if c.Opcode == OpCompletion {
 		s += " status=" + c.Status.String()
+	}
+	if c.Epoch != 0 {
+		s += fmt.Sprintf(" epoch=%d", c.Epoch)
 	}
 	return s
 }

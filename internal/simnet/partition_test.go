@@ -1,0 +1,176 @@
+package simnet
+
+import (
+	"testing"
+
+	"draid/internal/sim"
+)
+
+func TestInjectPartitionCutsBothDirections(t *testing.T) {
+	eng, net, a, b := testNet(t)
+	conn := net.Connect(a, b)
+	conn.InjectPartition()
+	delivered := 0
+	conn.Send(a, 1000, func() { delivered++ })
+	conn.Send(b, 1000, func() { delivered++ })
+	eng.Run()
+	if delivered != 0 {
+		t.Fatalf("%d messages crossed a symmetric partition", delivered)
+	}
+	if !conn.PartitionedFrom(a) || !conn.PartitionedFrom(b) {
+		t.Fatal("PartitionedFrom should report both directions cut")
+	}
+}
+
+func TestInjectPartitionDirectionIsAsymmetric(t *testing.T) {
+	eng, net, a, b := testNet(t)
+	conn := net.Connect(a, b)
+	conn.InjectPartitionDirection(a)
+	var fromA, fromB int
+	conn.Send(a, 1000, func() { fromA++ })
+	conn.Send(b, 1000, func() { fromB++ })
+	eng.Run()
+	if fromA != 0 {
+		t.Fatal("a→b should be cut")
+	}
+	if fromB != 1 {
+		t.Fatal("b→a should still deliver")
+	}
+	if !conn.PartitionedFrom(a) || conn.PartitionedFrom(b) {
+		t.Fatal("only the a→b direction should report cut")
+	}
+}
+
+func TestHealPartitionRestoresDelivery(t *testing.T) {
+	eng, net, a, b := testNet(t)
+	conn := net.Connect(a, b)
+	conn.InjectPartition()
+	delivered := 0
+	conn.Send(a, 1000, func() { delivered++ })
+	eng.Run()
+	if delivered != 0 {
+		t.Fatal("partitioned send delivered")
+	}
+	conn.HealPartition()
+	conn.Send(a, 1000, func() { delivered++ })
+	conn.Send(b, 1000, func() { delivered++ })
+	eng.Run()
+	if delivered != 2 {
+		t.Fatalf("after heal %d/2 messages delivered", delivered)
+	}
+}
+
+func TestHealPartitionDirection(t *testing.T) {
+	eng, net, a, b := testNet(t)
+	conn := net.Connect(a, b)
+	conn.InjectPartition()
+	conn.HealPartitionDirection(b)
+	var fromA, fromB int
+	conn.Send(a, 1000, func() { fromA++ })
+	conn.Send(b, 1000, func() { fromB++ })
+	eng.Run()
+	if fromA != 0 || fromB != 1 {
+		t.Fatalf("fromA=%d fromB=%d, want 0 and 1 after healing only b→a", fromA, fromB)
+	}
+}
+
+// A partitioned message is dropped silently: no delivery, no error, and the
+// send still consumes outbound NIC time (the sender cannot tell).
+func TestPartitionConsumesSendBandwidth(t *testing.T) {
+	eng, net, a, b := testNet(t)
+	conn := net.Connect(a, b)
+	conn.InjectPartition()
+	conn.Send(a, 1000, func() { t.Fatal("delivered across partition") })
+	eng.Run()
+	if got := a.nics[0].BusyOut(); got == 0 {
+		t.Fatal("partitioned send should still serialize out the sender's NIC")
+	}
+}
+
+func TestInjectDuplicateOnceDeliversTwiceThenClears(t *testing.T) {
+	eng, net, a, b := testNet(t)
+	conn := net.Connect(a, b)
+	conn.InjectDuplicateOnce()
+	delivered := 0
+	conn.Send(a, 1000, func() { delivered++ })
+	eng.Run()
+	if delivered != 2 {
+		t.Fatalf("duplicated send delivered %d times, want 2", delivered)
+	}
+	// One-shot: the next send is back to a single delivery.
+	conn.Send(a, 1000, func() { delivered++ })
+	eng.Run()
+	if delivered != 3 {
+		t.Fatalf("post-duplicate send delivered %d total, want 3", delivered)
+	}
+}
+
+func TestInjectDuplicateOnceDirection(t *testing.T) {
+	eng, net, a, b := testNet(t)
+	conn := net.Connect(a, b)
+	conn.InjectDuplicateOnceDirection(a)
+	var fromA, fromB int
+	conn.Send(a, 1000, func() { fromA++ })
+	conn.Send(b, 1000, func() { fromB++ })
+	eng.Run()
+	if fromA != 2 || fromB != 1 {
+		t.Fatalf("fromA=%d fromB=%d, want 2 and 1 (only a→b armed)", fromA, fromB)
+	}
+}
+
+// Duplication composes with partition: the armed duplicate stays pending
+// while the link is cut and fires on the first delivered message after heal.
+func TestDuplicateSurvivesPartition(t *testing.T) {
+	eng, net, a, b := testNet(t)
+	conn := net.Connect(a, b)
+	conn.InjectDuplicateOnceDirection(a)
+	conn.InjectPartition()
+	delivered := 0
+	conn.Send(a, 1000, func() { delivered++ })
+	eng.Run()
+	if delivered != 0 {
+		t.Fatal("partition should drop before duplication applies")
+	}
+	conn.HealPartition()
+	conn.Send(a, 1000, func() { delivered++ })
+	eng.Run()
+	if delivered != 2 {
+		t.Fatalf("first post-heal send delivered %d times, want 2", delivered)
+	}
+}
+
+// Injections draw no randomness, so arming a partition or duplicate must not
+// perturb the RNG sequence other injections (drop, corrupt) consume.
+func TestPartitionDoesNotPerturbRNG(t *testing.T) {
+	run := func(usePartition bool) []sim.Time {
+		eng := sim.NewEngine(42)
+		net := New(eng, Config{Goodput: 1.0})
+		a := net.NewNode("a")
+		b := net.NewNode("b")
+		a.AddNIC("nic0", 8)
+		b.AddNIC("nic0", 8)
+		conn := net.Connect(a, b)
+		conn.InjectDrop(0.5)
+		if usePartition {
+			conn.InjectPartition()
+			conn.HealPartition()
+			conn.InjectDuplicateOnce()
+			conn.duplicate[0], conn.duplicate[1] = false, false
+		}
+		var times []sim.Time
+		for i := 0; i < 32; i++ {
+			conn.Send(a, 100, func() { times = append(times, eng.Now()) })
+		}
+		eng.Run()
+		return times
+	}
+	base, with := run(false), run(true)
+	if len(base) != len(with) {
+		t.Fatalf("drop pattern diverged: %d vs %d deliveries", len(base), len(with))
+	}
+	for i := range base {
+		if base[i] != with[i] {
+			t.Fatalf("delivery %d at %d vs %d: partition arming perturbed the RNG", i, base[i], with[i])
+		}
+	}
+}

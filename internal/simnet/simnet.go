@@ -235,6 +235,18 @@ type Conn struct {
 	dropProb    [2]float64
 	corruptProb [2]float64
 	delay       [2]sim.Duration
+	// partitioned cuts a direction entirely: every message vanishes in the
+	// fabric after consuming sender bandwidth, exactly like a message to a
+	// down node. Unlike dropProb it is deterministic (no RNG draw), so
+	// arming or healing a partition never perturbs the engine RNG stream —
+	// and it composes with drop/corrupt/delay injection on the same
+	// connection.
+	partitioned [2]bool
+	// duplicate arms a one-shot per-direction duplication: the next message
+	// sent that way is delivered twice back to back (each copy consuming
+	// receiver bandwidth), modeling a retransmission the fabric resolved
+	// late. Deterministic — no RNG draw — and self-clearing.
+	duplicate [2]bool
 }
 
 // Connect establishes a connection between two distinct nodes.
@@ -287,6 +299,32 @@ func (c *Conn) InjectDelay(d sim.Duration) { c.delay[0], c.delay[1] = d, d }
 // InjectDelayDirection adds d only to messages sent BY from.
 func (c *Conn) InjectDelayDirection(from *Node, d sim.Duration) { c.delay[c.dir(from)] = d }
 
+// InjectPartition cuts the connection in both directions: a symmetric
+// network partition of this node pair. Messages already in flight still
+// deliver — the cut applies at send time, like a switch rule installed now.
+func (c *Conn) InjectPartition() { c.partitioned[0], c.partitioned[1] = true, true }
+
+// InjectPartitionDirection cuts only messages sent BY from — the asymmetric
+// partition where one side keeps hearing the other.
+func (c *Conn) InjectPartitionDirection(from *Node) { c.partitioned[c.dir(from)] = true }
+
+// HealPartition restores the connection in both directions.
+func (c *Conn) HealPartition() { c.partitioned[0], c.partitioned[1] = false, false }
+
+// HealPartitionDirection restores only the direction sent BY from.
+func (c *Conn) HealPartitionDirection(from *Node) { c.partitioned[c.dir(from)] = false }
+
+// PartitionedFrom reports whether messages sent BY from are currently cut.
+func (c *Conn) PartitionedFrom(from *Node) bool { return c.partitioned[c.dir(from)] }
+
+// InjectDuplicateOnce arms a one-shot duplication in both directions: the
+// next message either way arrives twice.
+func (c *Conn) InjectDuplicateOnce() { c.duplicate[0], c.duplicate[1] = true, true }
+
+// InjectDuplicateOnceDirection arms a one-shot duplication only for the next
+// message sent BY from.
+func (c *Conn) InjectDuplicateOnceDirection(from *Node) { c.duplicate[c.dir(from)] = true }
+
 // Peer returns the node opposite from.
 func (c *Conn) Peer(from *Node) *Node {
 	switch from {
@@ -333,22 +371,32 @@ func (c *Conn) SendChecked(from *Node, size int64, deliver func(corrupted bool))
 	if from.down || to.down {
 		return // consumed sender bandwidth; vanishes in the fabric
 	}
+	if c.partitioned[d] {
+		return // cut by an injected partition; no RNG draw, stream untouched
+	}
 	if c.dropProb[d] > 0 && eng.Rand().Float64() < c.dropProb[d] {
 		return
 	}
 	// Sampled only when injection is armed, so the engine RNG stream — and
 	// with it every existing seeded scenario — is untouched by default.
 	corrupted := c.corruptProb[d] > 0 && eng.Rand().Float64() < c.corruptProb[d]
+	copies := 1
+	if c.duplicate[d] {
+		c.duplicate[d] = false
+		copies = 2
+	}
 	arrive := sent + sim.Time(c.net.cfg.PropDelay+c.net.cfg.PerMsgDelay+c.delay[d])
 	eng.At(arrive, func() {
 		if to.down || from.down {
 			return
 		}
-		rxStart, done := dst.pipeIn().reserve(eng.Now(), wire)
-		if t := c.net.tracer; t.Enabled() {
-			t.Span(dst.rxTrack, "net", "rx←"+from.name, rxStart, done, trace.I64("bytes", wire))
+		for i := 0; i < copies; i++ {
+			rxStart, done := dst.pipeIn().reserve(eng.Now(), wire)
+			if t := c.net.tracer; t.Enabled() {
+				t.Span(dst.rxTrack, "net", "rx←"+from.name, rxStart, done, trace.I64("bytes", wire))
+			}
+			eng.At(done, func() { deliver(corrupted) })
 		}
-		eng.At(done, func() { deliver(corrupted) })
 	})
 }
 

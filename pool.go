@@ -156,6 +156,11 @@ type VolumeConfig struct {
 	StageMB           int
 	CacheMB           int
 	DestageIntervalMs int
+	// EpochFencing / HostLease as in Config: membership epochs and the
+	// lease watchdog for this volume's controller, granted from the shared
+	// cluster's per-volume epoch registry.
+	EpochFencing bool
+	HostLease    time.Duration
 	// MaxRetries / RetryBackoff / OpDeadline as in Config.
 	MaxRetries   int
 	RetryBackoff time.Duration
@@ -215,6 +220,14 @@ func (p *Pool) OpenVolume(cfg VolumeConfig) (*Array, error) {
 		hostCfg.Selector = &recon.BWAwareSelector{Rng: p.cl.Eng.Rand(), Tracker: tr, Fanout: cfg.Drives - 2}
 	default:
 		return nil, fmt.Errorf("draid: unknown reducer policy %v", cfg.ReducerPolicy)
+	}
+	if cfg.HostLease < 0 || (cfg.HostLease > 0 && !cfg.EpochFencing) {
+		return nil, fmt.Errorf("draid: HostLease requires EpochFencing (renewal validates the epoch)")
+	}
+	if cfg.EpochFencing {
+		// The registry assigns the next VolumeID sequentially, so the grant
+		// can name it before AddVolume runs.
+		grantEpoch(p.cl, core.VolumeID(len(p.cl.Volumes())), &hostCfg, sim.Duration(cfg.HostLease))
 	}
 	vol, err := p.cl.AddVolume(cfg.Name, cfg.Extent, hostCfg)
 	if err != nil {

@@ -30,6 +30,12 @@ go run ./cmd/draid-fio -backend realtime -rt-tcp -iosize 65536 -qd 8 -ramp 10ms 
 # rebuild-shrinks-with-cluster-size expectations.
 go test -race -run 'TestDeclustered|TestAddDriveLiveTrafficP99|TestPoolAddDrive' . -count=1
 go run ./cmd/draid-bench -fig decluster -quick
+# Membership chaos smoke: a small deterministic fault sweep (partition at
+# every step of a short write-back workload) plus the teeth pass — with
+# epoch enforcement injected off the same sweep must DETECT the zombie's
+# stale-destage corruption (draid-chaos inverts its exit code under -teeth).
+go run ./cmd/draid-chaos -seeds 2 -steps 4 -wb
+go run ./cmd/draid-chaos -seeds 2 -steps 4 -wb -teeth
 
 if [ "${FULL:-0}" = "1" ]; then
     make torture
@@ -51,4 +57,13 @@ if [ "${FULL:-0}" = "1" ]; then
     # figure on sim (all cluster sizes) and realtime (endpoints).
     go run ./cmd/draid-bench -fig decluster -parallel 4
     go run ./cmd/draid-bench -backend realtime -fig decluster
+    # Membership chaos at full budget: every fault kind × 8 seeds × 6 steps
+    # across fixed/declustered layouts with write-back on and off (sim), a
+    # bounded sweep on both realtime transports (wall clocks), and the
+    # teeth pass on both layouts.
+    make chaos
+    go run ./cmd/draid-chaos -declustered
+    go run ./cmd/draid-chaos -declustered -wb -teeth
+    go run ./cmd/draid-chaos -backend realtime -wb -seeds 2 -steps 3 -faults partition
+    go run ./cmd/draid-chaos -backend realtime -tcp -seeds 1 -steps 2 -faults partition
 fi
